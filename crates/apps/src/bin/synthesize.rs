@@ -1,0 +1,112 @@
+//! `synthesize`: run the full pipeline on a CSV corpus directory and
+//! write the synthesized mapping tables as TSV files.
+//!
+//! ```text
+//! synthesize <corpus-dir> [--out DIR] [--min-domains N] [--min-pairs N] [--workers W]
+//!
+//! corpus layout: <corpus-dir>/<domain>/<table>.csv  (header row = column names)
+//! output:        <out>/mapping-NNNN.tsv  (left \t right), curation-ranked
+//!                <out>/index.tsv         (id, pairs, tables, domains)
+//! ```
+
+use mapsynth::pipeline::{Pipeline, PipelineConfig};
+use mapsynth_corpus::load_csv_dir;
+use std::io::Write;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut out_dir = PathBuf::from("mappings");
+    let mut min_domains = 1usize;
+    let mut min_pairs = 3usize;
+    let mut workers = 0usize;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).expect("--out needs a value"));
+            }
+            "--min-domains" => {
+                i += 1;
+                min_domains = args.get(i).expect("--min-domains needs a value").parse().unwrap();
+            }
+            "--min-pairs" => {
+                i += 1;
+                min_pairs = args.get(i).expect("--min-pairs needs a value").parse().unwrap();
+            }
+            "--workers" => {
+                i += 1;
+                workers = args.get(i).expect("--workers needs a value").parse().unwrap();
+            }
+            other if !other.starts_with("--") && corpus_dir.is_none() => {
+                corpus_dir = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(corpus_dir) = corpus_dir else {
+        eprintln!(
+            "usage: synthesize <corpus-dir> [--out DIR] [--min-domains N] [--min-pairs N] [--workers W]"
+        );
+        std::process::exit(2);
+    };
+
+    let corpus = match load_csv_dir(&corpus_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to load corpus from {}: {e}", corpus_dir.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "loaded {} tables from {} domains",
+        corpus.len(),
+        corpus.domain_names.len()
+    );
+
+    let pipeline = Pipeline::new(PipelineConfig {
+        workers,
+        ..Default::default()
+    });
+    let output = pipeline.run(&corpus);
+    eprintln!(
+        "{} candidates -> {} edges ({} negative) -> {} mappings in {:.2?}",
+        output.candidates,
+        output.edges,
+        output.negative_edges,
+        output.mappings.len(),
+        output.timings.total
+    );
+
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let mut index = std::fs::File::create(out_dir.join("index.tsv")).expect("create index");
+    writeln!(index, "id\tpairs\ttables\tdomains").unwrap();
+    let mut written = 0usize;
+    for (mi, m) in output.mappings.iter().enumerate() {
+        if m.domains < min_domains || m.pairs.len() < min_pairs {
+            continue;
+        }
+        let name = format!("mapping-{mi:04}.tsv");
+        let mut f = std::fs::File::create(out_dir.join(&name)).expect("create mapping file");
+        for (l, r) in &m.pairs {
+            writeln!(f, "{l}\t{r}").unwrap();
+        }
+        writeln!(
+            index,
+            "{mi}\t{}\t{}\t{}",
+            m.pairs.len(),
+            m.source_tables,
+            m.domains
+        )
+        .unwrap();
+        written += 1;
+    }
+    eprintln!("wrote {written} mapping tables to {}", out_dir.display());
+}

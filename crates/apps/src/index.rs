@@ -1,0 +1,238 @@
+//! Materialized mapping index.
+//!
+//! Synthesized mappings become data assets only when applications can
+//! find the right one fast. The index answers "which mappings contain
+//! these values (as left values, right values, or a mix)?" with a
+//! Bloom-filter prefilter per mapping and exact hash maps behind it —
+//! the simple, scalable lookup structure the paper argues for in §1
+//! ("why pre-compute mappings").
+
+use crate::bloom::BloomFilter;
+use mapsynth::SynthesizedMapping;
+use mapsynth_text::normalize;
+use std::collections::{HashMap, HashSet};
+
+/// A raw mapping input: optional name plus its value pairs.
+type NamedPairSet = (Option<String>, Vec<(String, String)>);
+
+/// One materialized mapping table.
+pub struct MappingHandle {
+    /// Optional human label.
+    pub name: Option<String>,
+    /// left → right (first winner per left; mappings are conflict-free
+    /// after resolution, so this is total).
+    pub forward: HashMap<String, String>,
+    /// right → lefts (non-unique for N:1 mappings).
+    pub reverse: HashMap<String, Vec<String>>,
+    /// All left values.
+    pub lefts: HashSet<String>,
+    /// All right values.
+    pub rights: HashSet<String>,
+    bloom: BloomFilter,
+}
+
+impl MappingHandle {
+    fn build(name: Option<String>, pairs: &[(String, String)]) -> Self {
+        let mut forward = HashMap::new();
+        let mut reverse: HashMap<String, Vec<String>> = HashMap::new();
+        let mut lefts = HashSet::new();
+        let mut rights = HashSet::new();
+        let mut bloom = BloomFilter::new(pairs.len() * 2, 0.01);
+        for (l, r) in pairs {
+            forward.entry(l.clone()).or_insert_with(|| r.clone());
+            reverse.entry(r.clone()).or_default().push(l.clone());
+            lefts.insert(l.clone());
+            rights.insert(r.clone());
+            bloom.insert(l);
+            bloom.insert(r);
+        }
+        Self {
+            name,
+            forward,
+            reverse,
+            lefts,
+            rights,
+            bloom,
+        }
+    }
+
+    /// Number of distinct left values.
+    pub fn len(&self) -> usize {
+        self.lefts.len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lefts.is_empty()
+    }
+
+    /// How the given normalized values are covered by this mapping:
+    /// `(as lefts, as rights, uncovered)`.
+    pub fn coverage(&self, values: &[String]) -> (usize, usize, usize) {
+        let mut l = 0;
+        let mut r = 0;
+        let mut none = 0;
+        for v in values {
+            // Bloom prefilter: definitely-absent values skip the hash
+            // lookups entirely.
+            if !self.bloom.may_contain(v) {
+                none += 1;
+                continue;
+            }
+            let in_l = self.lefts.contains(v);
+            let in_r = self.rights.contains(v);
+            match (in_l, in_r) {
+                (true, _) => l += 1,
+                (false, true) => r += 1,
+                (false, false) => none += 1,
+            }
+        }
+        (l, r, none)
+    }
+}
+
+/// The mapping index: all materialized mappings plus value→mapping
+/// posting lists.
+pub struct MappingIndex {
+    /// Materialized mappings.
+    pub mappings: Vec<MappingHandle>,
+    /// Normalized value → mapping ids containing it (left or right).
+    postings: HashMap<String, Vec<u32>>,
+}
+
+impl MappingIndex {
+    /// Build from synthesized mappings (already normalized pairs).
+    pub fn build(mappings: &[SynthesizedMapping]) -> Self {
+        Self::from_pair_sets(
+            mappings
+                .iter()
+                .map(|m| (None, m.pairs.clone()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Build from named raw pair sets (normalization applied).
+    pub fn from_named_raw(sets: Vec<(String, Vec<(String, String)>)>) -> Self {
+        Self::from_pair_sets(
+            sets.into_iter()
+                .map(|(name, pairs)| {
+                    let pairs = pairs
+                        .into_iter()
+                        .map(|(l, r)| (normalize(&l), normalize(&r)))
+                        .filter(|(l, r)| !l.is_empty() && !r.is_empty())
+                        .collect();
+                    (Some(name), pairs)
+                })
+                .collect(),
+        )
+    }
+
+    fn from_pair_sets(sets: Vec<NamedPairSet>) -> Self {
+        let mut handles = Vec::with_capacity(sets.len());
+        let mut postings: HashMap<String, Vec<u32>> = HashMap::new();
+        for (mi, (name, pairs)) in sets.into_iter().enumerate() {
+            let handle = MappingHandle::build(name, &pairs);
+            for v in handle.lefts.iter().chain(handle.rights.iter()) {
+                let posting = postings.entry(v.clone()).or_default();
+                if posting.last() != Some(&(mi as u32)) {
+                    posting.push(mi as u32);
+                }
+            }
+            handles.push(handle);
+        }
+        Self {
+            mappings: handles,
+            postings,
+        }
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mappings.is_empty()
+    }
+
+    /// Mappings containing a value (normalized by the caller).
+    pub fn mappings_containing(&self, value: &str) -> &[u32] {
+        self.postings.get(value).map_or(&[], Vec::as_slice)
+    }
+
+    /// Rank mappings by how many of `values` (raw strings; normalized
+    /// here) they contain. Returns `(mapping id, covered count)` sorted
+    /// descending, ties by id.
+    pub fn rank_by_containment(&self, values: &[&str]) -> Vec<(u32, usize)> {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for v in values {
+            let n = normalize(v);
+            for &mi in self.mappings_containing(&n) {
+                *counts.entry(mi).or_default() += 1;
+            }
+        }
+        let mut ranked: Vec<(u32, usize)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> MappingIndex {
+        MappingIndex::from_named_raw(vec![
+            (
+                "state->abbr".into(),
+                vec![
+                    ("California".into(), "CA".into()),
+                    ("Washington".into(), "WA".into()),
+                    ("Oregon".into(), "OR".into()),
+                ],
+            ),
+            (
+                "country->code".into(),
+                vec![
+                    ("United States".into(), "USA".into()),
+                    ("Canada".into(), "CAN".into()),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn containment_ranking() {
+        let idx = index();
+        let ranked = idx.rank_by_containment(&["California", "WA", "Oregon"]);
+        assert_eq!(ranked[0].0, 0);
+        assert_eq!(ranked[0].1, 3);
+    }
+
+    #[test]
+    fn coverage_sides() {
+        let idx = index();
+        let values: Vec<String> = ["california", "wa", "nonsense"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (l, r, none) = idx.mappings[0].coverage(&values);
+        assert_eq!((l, r, none), (1, 1, 1));
+    }
+
+    #[test]
+    fn postings_lookup() {
+        let idx = index();
+        assert_eq!(idx.mappings_containing("usa"), &[1]);
+        assert!(idx.mappings_containing("absent").is_empty());
+    }
+
+    #[test]
+    fn forward_and_reverse_maps() {
+        let idx = index();
+        let m = &idx.mappings[0];
+        assert_eq!(m.forward["california"], "ca");
+        assert_eq!(m.reverse["ca"], vec!["california".to_string()]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 7 workload: per-method synthesis over a fixed corpus.
+//!
+//! Times what each method does *after* shared preprocessing — the
+//! quality numbers themselves come from `experiments comparison`; this
+//! bench tracks the cost of the aggregation stage per method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapsynth::pipeline::Resolver;
+use mapsynth::SynthesisConfig;
+use mapsynth_baselines::correlation::{correlation_from_scores, CorrelationConfig};
+use mapsynth_baselines::schema_cc::{schema_cc_from_scores, SchemaCcConfig};
+use mapsynth_baselines::union::{union_tables, UnionScope};
+use mapsynth_bench::bench_corpus;
+use mapsynth_eval::PreparedWeb;
+
+fn fig7(c: &mut Criterion) {
+    let prepared = PreparedWeb::prepare(bench_corpus(600), 0.5, 0);
+    let mut g = c.benchmark_group("fig7_methods");
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("method", "Synthesis"), |b| {
+        b.iter(|| prepared.run_synthesis(&SynthesisConfig::default(), Resolver::Algorithm4))
+    });
+    g.bench_function(BenchmarkId::new("method", "SynthesisPos"), |b| {
+        b.iter(|| {
+            prepared.run_synthesis(
+                &SynthesisConfig::default().without_negative(),
+                Resolver::Algorithm4,
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::new("method", "SchemaCC"), |b| {
+        b.iter(|| {
+            schema_cc_from_scores(
+                &prepared.space,
+                &prepared.tables,
+                &prepared.scored,
+                &SchemaCcConfig::default(),
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::new("method", "Correlation"), |b| {
+        b.iter(|| {
+            correlation_from_scores(
+                &prepared.space,
+                &prepared.tables,
+                &prepared.scored,
+                &CorrelationConfig::default(),
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::new("method", "UnionWeb"), |b| {
+        b.iter(|| {
+            union_tables(
+                &prepared.corpus,
+                &prepared.candidates,
+                &prepared.space,
+                &prepared.tables,
+                UnionScope::Web,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

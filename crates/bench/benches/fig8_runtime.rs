@@ -1,0 +1,21 @@
+//! Figure 8 workload: end-to-end pipeline runtime (extraction through
+//! conflict resolution) — the Synthesis bar of the paper's runtime
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapsynth::pipeline::{Pipeline, PipelineConfig};
+use mapsynth_bench::bench_corpus;
+
+fn fig8(c: &mut Criterion) {
+    let wc = bench_corpus(600);
+    let mut g = c.benchmark_group("fig8_pipeline");
+    g.sample_size(10);
+    g.bench_function("end_to_end", |b| {
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        b.iter(|| pipeline.run(&wc.corpus))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! §4.1 efficiency ablation: blocked candidate generation vs the
+//! all-pairs comparison it avoids. The paper's inverted-index
+//! re-grouping is what makes pairwise scoring feasible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapsynth::blocking::candidate_pairs;
+use mapsynth::compat::score_pair;
+use mapsynth::values::build_value_space;
+use mapsynth::SynthesisConfig;
+use mapsynth_bench::bench_corpus;
+use mapsynth_extract::{extract_candidates, ExtractionConfig};
+use mapsynth_mapreduce::MapReduce;
+
+fn blocking(c: &mut Criterion) {
+    let wc = bench_corpus(400);
+    let mr = MapReduce::default();
+    let (cands, _) = extract_candidates(&wc.corpus, &ExtractionConfig::default(), &mr);
+    let feed = wc.registry.partial_synonym_feed(0.5, 11);
+    let (space, tables) = build_value_space(&wc.corpus, &cands, &feed);
+    let cfg = SynthesisConfig::default();
+
+    let mut g = c.benchmark_group("blocking");
+    g.sample_size(10);
+    g.bench_function("blocked_pairs", |b| {
+        b.iter(|| candidate_pairs(&space, &tables, &cfg))
+    });
+    // All-pairs scoring on a small subset to keep the bench bounded;
+    // the quadratic shape is the point.
+    let k = tables.len().min(150);
+    g.bench_function("all_pairs_scoring_150", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    total += score_pair(&space, &tables[i], &tables[j], &cfg).pos;
+                }
+            }
+            total
+        })
+    });
+    let (pairs, _) = candidate_pairs(&space, &tables, &cfg);
+    g.bench_function("blocked_scoring_all", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(a, b2)| {
+                    score_pair(&space, &tables[a as usize], &tables[b2 as usize], &cfg).pos
+                })
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, blocking);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Algorithm 2 ablation: banded edit distance vs full-matrix DP.
+//! The paper's point: with small thresholds, the banded DP makes
+//! approximate matching affordable at corpus scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapsynth_text::{edit_distance_full, edit_distance_within};
+
+fn pairs(n: usize) -> Vec<(String, String)> {
+    (0..n)
+        .map(|i| {
+            (
+                format!("korea republic of number {i} extended name"),
+                format!("korea repulbic of number {i} extended names"),
+            )
+        })
+        .collect()
+}
+
+fn edit_distance(c: &mut Criterion) {
+    let data = pairs(200);
+    let mut g = c.benchmark_group("edit_distance");
+    for bound in [2u32, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("banded", bound), &bound, |b, &bound| {
+            b.iter(|| {
+                data.iter()
+                    .filter(|(x, y)| edit_distance_within(x, y, bound).is_some())
+                    .count()
+            })
+        });
+    }
+    g.bench_function("full_dp", |b| {
+        b.iter(|| {
+            data.iter()
+                .map(|(x, y)| edit_distance_full(x, y))
+                .sum::<u32>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, edit_distance);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Algorithm 3 micro-bench: lazy-heap greedy partitioning, global vs
+//! divide-and-conquer by connected components (Appendix F).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapsynth::graph::graph_from_scores;
+use mapsynth::partition::{greedy_partition, partition_by_components};
+use mapsynth::SynthesisConfig;
+use mapsynth_baselines::score_candidate_pairs;
+use mapsynth_bench::bench_corpus;
+use mapsynth_eval::PreparedWeb;
+use mapsynth_mapreduce::MapReduce;
+
+fn partition(c: &mut Criterion) {
+    let prepared = PreparedWeb::prepare(bench_corpus(600), 0.5, 0);
+    let scored = score_candidate_pairs(&prepared.space, &prepared.tables, &prepared.mr);
+    let cfg = SynthesisConfig {
+        theta_edge: 0.5,
+        ..Default::default()
+    };
+    let graph = graph_from_scores(prepared.tables.len(), &scored, &cfg);
+    let mr = MapReduce::default();
+
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(20);
+    g.bench_function("greedy_global", |b| {
+        b.iter(|| greedy_partition(&graph, &cfg))
+    });
+    g.bench_function("greedy_by_components", |b| {
+        b.iter(|| partition_by_components(&graph, &cfg, &mr))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, partition);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! # mapsynth-bench
+//!
+//! Shared fixtures for the Criterion benchmarks. The benches map to
+//! the paper's evaluation as follows:
+//!
+//! | Bench | Paper artifact |
+//! |---|---|
+//! | `fig7_quality` | Figure 7 — per-method synthesis quality workload |
+//! | `fig8_runtime` | Figure 8 — per-method end-to-end runtime |
+//! | `fig9_scalability` | Figure 9 — pipeline runtime vs corpus fraction |
+//! | `micro_edit_distance` | Algorithm 2 ablation: banded vs full DP |
+//! | `micro_blocking` | §4.1 ablation: blocked vs all-pairs scoring |
+//! | `micro_partition` | Algorithm 3: lazy-heap greedy merge |
+//! | `apps_lookup` | §1 mapping-index containment lookup (Bloom) |
+
+use mapsynth_gen::procedural::ProceduralConfig;
+use mapsynth_gen::webgen::WebCorpus;
+use mapsynth_gen::{generate_web, WebConfig};
+
+/// A small deterministic web corpus for benchmarks.
+pub fn bench_corpus(tables: usize) -> WebCorpus {
+    generate_web(&WebConfig {
+        tables,
+        domains: (tables / 20).clamp(30, 200),
+        procedural: ProceduralConfig {
+            families: 20,
+            temporal_families: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}

@@ -1,0 +1,242 @@
+//! Candidate-pair blocking (paper §4.1 "Efficiency").
+//!
+//! Compatibility scores for all `O(N²)` table pairs are unaffordable
+//! and almost all are zero. The paper re-groups tables by shared
+//! content with an inverted index so that only tables sharing at least
+//! `θ_overlap` value pairs (for `w⁺`) or left values (for `w⁻`) are
+//! compared. This module builds those candidate pairs.
+//!
+//! A per-key fanout cap bounds hot keys: a value pair shared by
+//! thousands of tables would alone contribute millions of candidate
+//! pairs while adding no discriminative signal — tables of the same
+//! relation meet anyway through their rarer values.
+
+use crate::config::SynthesisConfig;
+use crate::values::{NormBinary, ValueSpace};
+use std::collections::HashMap;
+
+/// Statistics from blocking, used by the scalability experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlockingStats {
+    /// Distinct positive keys (value pairs).
+    pub pos_keys: usize,
+    /// Distinct negative keys (left values).
+    pub neg_keys: usize,
+    /// Keys skipped by the fanout cap.
+    pub capped_keys: usize,
+    /// Candidate pairs emitted.
+    pub pairs: usize,
+}
+
+/// Compute candidate table pairs `(i, j)` with `i < j` (indices into
+/// the `tables` slice). A pair qualifies if it shares ≥ `θ_overlap`
+/// value-pair keys, or (when negative evidence is enabled) ≥
+/// `θ_overlap` left-value keys.
+pub fn candidate_pairs(
+    space: &ValueSpace,
+    tables: &[NormBinary],
+    cfg: &SynthesisConfig,
+) -> (Vec<(u32, u32)>, BlockingStats) {
+    let mut stats = BlockingStats::default();
+
+    // Inverted index: key → table indices (ascending, deduped).
+    let mut pos_index: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+    let mut neg_index: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (ti, t) in tables.iter().enumerate() {
+        let ti = ti as u32;
+        let mut last_pos = None;
+        let mut last_neg = None;
+        for &(l, r) in &t.pairs {
+            let key = (space.class(l), space.class(r));
+            if last_pos != Some(key) {
+                let v = pos_index.entry(key).or_default();
+                if v.last() != Some(&ti) {
+                    v.push(ti);
+                }
+                last_pos = Some(key);
+            }
+            if cfg.use_negative && last_neg != Some(key.0) {
+                let v = neg_index.entry(key.0).or_default();
+                if v.last() != Some(&ti) {
+                    v.push(ti);
+                }
+                last_neg = Some(key.0);
+            }
+        }
+    }
+    stats.pos_keys = pos_index.len();
+    stats.neg_keys = neg_index.len();
+
+    // Count shared keys per table pair — positive and negative keys
+    // counted separately: a pair qualifies by sharing θ_overlap value
+    // pairs (w⁺ candidates) or θ_overlap left values (w⁻ candidates),
+    // not a mixture.
+    //
+    // Hot keys (shared by more than `max_key_fanout` tables) cannot
+    // afford all-pairs emission, but skipping them entirely would erase
+    // exactly the edges that matter most: popular relations' hub tables
+    // (comprehensive reference lists) appear in *every* posting list of
+    // their relation, so every one of their keys is hot. Without
+    // hub-to-hub edges, the partition-level negative constraints the
+    // paper relies on (ISO-hub vs IOC-hub) never materialize. So for
+    // hot keys we emit pairs among the `HUB_SAMPLE` *largest* tables:
+    // deterministic, bounded, and it guarantees cluster representatives
+    // stay connected.
+    const HUB_SAMPLE: usize = 12;
+    let sizes: Vec<u32> = tables.iter().map(|t| t.len() as u32).collect();
+    let count_from =
+        |shared: &mut HashMap<(u32, u32), u32>, postings: &[u32], capped: &mut usize| {
+            let mut hubs: Vec<u32>;
+            let postings = if postings.len() > cfg.max_key_fanout {
+                *capped += 1;
+                hubs = postings.to_vec();
+                hubs.sort_by(|&a, &b| sizes[b as usize].cmp(&sizes[a as usize]).then(a.cmp(&b)));
+                hubs.truncate(HUB_SAMPLE);
+                hubs.sort_unstable();
+                &hubs[..]
+            } else {
+                postings
+            };
+            for (i, &a) in postings.iter().enumerate() {
+                for &b in &postings[i + 1..] {
+                    *shared.entry((a, b)).or_default() += 1;
+                }
+            }
+        };
+    let mut shared_pos: HashMap<(u32, u32), u32> = HashMap::new();
+    for postings in pos_index.values() {
+        count_from(&mut shared_pos, postings, &mut stats.capped_keys);
+    }
+    let mut shared_neg: HashMap<(u32, u32), u32> = HashMap::new();
+    for postings in neg_index.values() {
+        count_from(&mut shared_neg, postings, &mut stats.capped_keys);
+    }
+
+    let mut pairs: Vec<(u32, u32)> = shared_pos
+        .into_iter()
+        .filter(|&(_, c)| c as usize >= cfg.theta_overlap)
+        .map(|(p, _)| p)
+        .chain(
+            shared_neg
+                .into_iter()
+                .filter(|&(_, c)| c as usize >= cfg.theta_overlap)
+                .map(|(p, _)| p),
+        )
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    stats.pairs = pairs.len();
+    (pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::build_value_space;
+    use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_text::SynonymDict;
+
+    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (ValueSpace, Vec<NormBinary>) {
+        let mut corpus = Corpus::new();
+        let d = corpus.domain("x");
+        let cands: Vec<BinaryTable> = tables
+            .into_iter()
+            .enumerate()
+            .map(|(i, rows)| {
+                let syms = rows
+                    .iter()
+                    .map(|(l, r)| (corpus.interner.intern(l), corpus.interner.intern(r)))
+                    .collect();
+                BinaryTable::new(BinaryId(i as u32), TableId(i as u32), d, 0, 1, syms)
+            })
+            .collect();
+        build_value_space(&corpus, &cands, &SynonymDict::new())
+    }
+
+    #[test]
+    fn overlapping_tables_paired_disjoint_not() {
+        let (space, t) = setup(vec![
+            vec![("a", "1"), ("b", "2"), ("c", "3")],
+            vec![("a", "1"), ("b", "2"), ("d", "4")],
+            vec![("x", "9"), ("y", "8"), ("z", "7")],
+        ]);
+        let (pairs, stats) = candidate_pairs(&space, &t, &SynthesisConfig::default());
+        assert_eq!(pairs, vec![(0, 1)]);
+        assert!(stats.pos_keys >= 7);
+    }
+
+    #[test]
+    fn negative_blocking_catches_conflicting_standards() {
+        // Same lefts, totally different rights: zero shared pairs but
+        // must still be compared (for w−).
+        let (space, t) = setup(vec![
+            vec![("a", "1"), ("b", "2"), ("c", "3")],
+            vec![("a", "9"), ("b", "8"), ("c", "7")],
+        ]);
+        let cfg = SynthesisConfig::default();
+        let (pairs, _) = candidate_pairs(&space, &t, &cfg);
+        assert_eq!(pairs, vec![(0, 1)]);
+        // Without negative evidence the pair is not needed.
+        let (pairs, _) = candidate_pairs(&space, &t, &cfg.without_negative());
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn theta_overlap_excludes_single_shared_value() {
+        let (space, t) = setup(vec![
+            vec![("a", "1"), ("b", "2"), ("c", "3")],
+            vec![("a", "1"), ("y", "8"), ("z", "7")],
+        ]);
+        // shares exactly one pair and one left < θ_overlap = 2
+        let (pairs, _) = candidate_pairs(&space, &t, &SynthesisConfig::default());
+        assert!(pairs.is_empty());
+        let cfg = SynthesisConfig {
+            theta_overlap: 1,
+            ..Default::default()
+        };
+        let (pairs, _) = candidate_pairs(&space, &t, &cfg);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn fanout_cap_samples_hubs() {
+        // 20 identical small tables plus 2 big "hub" tables sharing
+        // the same hot keys; cap at 4 → only pairs among the sampled
+        // hubs (largest tables) are emitted for the hot keys.
+        let small = vec![("hot", "1"), ("hot2", "2")];
+        let mut tables: Vec<Vec<(&str, &str)>> = (0..20).map(|_| small.clone()).collect();
+        let big = vec![
+            ("hot", "1"),
+            ("hot2", "2"),
+            ("x", "3"),
+            ("y", "4"),
+            ("z", "5"),
+        ];
+        tables.push(big.clone());
+        tables.push(big);
+        let (space, t) = setup(tables);
+        let cfg = SynthesisConfig {
+            max_key_fanout: 4,
+            ..Default::default()
+        };
+        let (pairs, stats) = candidate_pairs(&space, &t, &cfg);
+        assert!(stats.capped_keys >= 2);
+        // The two hubs (indices 20, 21) must be paired.
+        assert!(pairs.contains(&(20, 21)), "hub pair missing: {pairs:?}");
+        // Far fewer than the C(22,2)=231 all-pairs.
+        assert!(pairs.len() < 100, "{} pairs", pairs.len());
+    }
+
+    #[test]
+    fn pairs_sorted_and_unique() {
+        let rows = vec![("a", "1"), ("b", "2"), ("c", "3")];
+        let (space, t) = setup((0..5).map(|_| rows.clone()).collect());
+        let (pairs, _) = candidate_pairs(&space, &t, &SynthesisConfig::default());
+        assert_eq!(pairs.len(), 10); // C(5,2)
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(pairs, sorted);
+        assert!(pairs.iter().all(|&(a, b)| a < b));
+    }
+}

@@ -1,0 +1,407 @@
+//! Pairwise table compatibility (paper §4.1).
+//!
+//! * Positive compatibility `w⁺(B,B′) = max{|B∩B′|/|B|, |B∩B′|/|B′|}`
+//!   (Equation 3) — the symmetric Maximum-of-Containment, chosen over
+//!   Jaccard because a small table fully contained in a large one is
+//!   perfectly compatible.
+//! * Negative incompatibility `w⁻(B,B′) = −max{|F|/|B|, |F|/|B′|}`
+//!   (Equation 4) where `F(B,B′) = {l | (l,r)∈B, (l,r′)∈B′, r≠r′}` is
+//!   the FD-conflict set.
+//!
+//! Value matching layers (fast → slow): class equality (normalized
+//! string equality ∪ synonym feed) via hash join, then banded
+//! edit-distance matching (paper Algorithm 2) for residual values.
+
+use crate::config::SynthesisConfig;
+use crate::values::{NormBinary, NormId, ValueSpace};
+use mapsynth_text::{approx_match, fractional_threshold};
+use std::collections::{HashMap, HashSet};
+
+/// Raw match counts between two candidate tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MatchCounts {
+    /// `|B ∩ B′|`: matching value pairs.
+    pub overlap: usize,
+    /// `|F(B,B′)|`: left values matched with conflicting rights.
+    pub conflicts: usize,
+}
+
+/// Compatibility weights for a table pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairWeights {
+    /// `w⁺` in `[0, 1]`.
+    pub pos: f64,
+    /// `w⁻` in `[-1, 0]`.
+    pub neg: f64,
+}
+
+/// Count pair matches and left conflicts between two tables.
+pub fn match_counts(
+    space: &ValueSpace,
+    a: &NormBinary,
+    b: &NormBinary,
+    cfg: &SynthesisConfig,
+) -> MatchCounts {
+    // Index b by left class.
+    let mut b_index: HashMap<u32, Vec<(u32, NormId)>> = HashMap::with_capacity(b.len());
+    for &(l, r) in &b.pairs {
+        b_index
+            .entry(space.class(l))
+            .or_default()
+            .push((space.class(r), r));
+    }
+
+    let mut overlap = 0usize;
+    let mut conflict_lefts: HashSet<u32> = HashSet::new();
+    let mut unmatched_a: Vec<(NormId, NormId)> = Vec::new();
+
+    for &(l, r) in &a.pairs {
+        let lc = space.class(l);
+        match b_index.get(&lc) {
+            Some(rights) => {
+                let rc = space.class(r);
+                let mut matched = false;
+                let mut mismatched = false;
+                for &(brc, br) in rights {
+                    if brc == rc || right_approx(space, r, br, cfg) {
+                        matched = true;
+                    } else {
+                        mismatched = true;
+                    }
+                }
+                if matched {
+                    overlap += 1;
+                }
+                if mismatched {
+                    conflict_lefts.insert(lc);
+                }
+            }
+            None => unmatched_a.push((l, r)),
+        }
+    }
+
+    // Approximate matching for lefts with no class match, bounded by
+    // the cross-product guard (cost control; paper banded DP makes each
+    // comparison cheap but pair count still matters).
+    if cfg.approx_matching
+        && !unmatched_a.is_empty()
+        && unmatched_a.len() * b.len() <= cfg.max_approx_cross
+    {
+        // Distinct b lefts (class-representative) with strings.
+        let mut b_lefts: Vec<(NormId, u32)> = Vec::new();
+        let mut seen = HashSet::new();
+        for &(l, _) in &b.pairs {
+            if seen.insert(l) {
+                b_lefts.push((l, space.class(l)));
+            }
+        }
+        for &(al, ar) in &unmatched_a {
+            let a_str = space.compact(al);
+            let a_len = a_str.chars().count();
+            let mut matched = false;
+            let mut mismatched_left: Option<u32> = None;
+            for &(bl, blc) in &b_lefts {
+                let b_str = space.compact(bl);
+                // Cheap length prefilter before the banded DP.
+                let max_band = (a_len.max(b_str.len()) as f64 * cfg.match_params.f_ed) as usize + 1;
+                if a_len.abs_diff(b_str.chars().count()) > max_band {
+                    continue;
+                }
+                if fractional_threshold(a_str, b_str, cfg.match_params) == 0 {
+                    continue; // short values require exact match; classes already differ
+                }
+                if !approx_match(a_str, b_str, cfg.match_params) {
+                    continue;
+                }
+                // Left values match approximately; compare rights.
+                let rc = space.class(ar);
+                for &(l2, r2) in &b.pairs {
+                    if l2 != bl {
+                        continue;
+                    }
+                    if space.class(r2) == rc || right_approx(space, ar, r2, cfg) {
+                        matched = true;
+                    } else {
+                        mismatched_left = Some(blc);
+                    }
+                }
+            }
+            if matched {
+                overlap += 1;
+            } else if let Some(blc) = mismatched_left {
+                conflict_lefts.insert(blc);
+            }
+        }
+    }
+
+    MatchCounts {
+        overlap,
+        conflicts: conflict_lefts.len(),
+    }
+}
+
+#[inline]
+fn right_approx(space: &ValueSpace, a: NormId, b: NormId, cfg: &SynthesisConfig) -> bool {
+    cfg.approx_matching && approx_match(space.compact(a), space.compact(b), cfg.match_params)
+}
+
+/// Turn match counts into edge weights (Equations 3 and 4).
+pub fn pair_weights(counts: MatchCounts, len_a: usize, len_b: usize) -> PairWeights {
+    let la = len_a.max(1) as f64;
+    let lb = len_b.max(1) as f64;
+    let o = counts.overlap as f64;
+    let f = counts.conflicts as f64;
+    PairWeights {
+        pos: (o / la).max(o / lb).min(1.0),
+        neg: -((f / la).max(f / lb)).min(1.0),
+    }
+}
+
+/// Convenience: score a table pair end to end.
+///
+/// `w⁺` and `w⁻` are symmetric by definition (Eq. 3–4), but the
+/// approximate-matching pass walks one table's residual lefts against
+/// the other's, which makes raw counts direction-dependent in corner
+/// cases (an a-left can approximately hit a b-left that was already
+/// exactly matched from b's perspective). A canonical orientation —
+/// smaller table first, ties broken by pair content — restores
+/// `score_pair(a, b) == score_pair(b, a)` exactly.
+pub fn score_pair(
+    space: &ValueSpace,
+    a: &NormBinary,
+    b: &NormBinary,
+    cfg: &SynthesisConfig,
+) -> PairWeights {
+    let (x, y) = if (a.len(), &a.pairs) <= (b.len(), &b.pairs) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let counts = match_counts(space, x, y, cfg);
+    pair_weights(counts, x.len(), y.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::build_value_space;
+    use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_text::SynonymDict;
+
+    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (ValueSpace, Vec<NormBinary>) {
+        let mut corpus = Corpus::new();
+        let d = corpus.domain("x");
+        let cands: Vec<BinaryTable> = tables
+            .into_iter()
+            .enumerate()
+            .map(|(i, rows)| {
+                let syms = rows
+                    .iter()
+                    .map(|(l, r)| (corpus.interner.intern(l), corpus.interner.intern(r)))
+                    .collect();
+                BinaryTable::new(BinaryId(i as u32), TableId(i as u32), d, 0, 1, syms)
+            })
+            .collect();
+        build_value_space(&corpus, &cands, &SynonymDict::new())
+    }
+
+    /// Paper Table 8 / Examples 7–9: B1 (IOC), B2 (IOC with synonyms),
+    /// B3 (ISO).
+    fn paper_tables() -> (ValueSpace, Vec<NormBinary>) {
+        setup(vec![
+            vec![
+                ("Afghanistan", "AFG"),
+                ("Albania", "ALB"),
+                ("Algeria", "ALG"),
+                ("American Samoa", "ASA"),
+                ("South Korea", "KOR"),
+                ("US Virgin Islands", "ISV"),
+            ],
+            vec![
+                ("Afghanistan", "AFG"),
+                ("Albania", "ALB"),
+                ("Algeria", "ALG"),
+                ("American Samoa (US)", "ASA"),
+                ("Korea, Republic of (South)", "KOR"),
+                ("United States Virgin Islands", "ISV"),
+            ],
+            vec![
+                ("Afghanistan", "AFG"),
+                ("Albania", "ALB"),
+                ("Algeria", "DZA"),
+                ("American Samoa", "ASM"),
+                ("South Korea", "KOR"),
+                ("US Virgin Islands", "VIR"),
+            ],
+        ])
+    }
+
+    #[test]
+    fn paper_example_7_exact_positive() {
+        // Without approximate matching: w+(B1,B2) = 3/6 = 0.5.
+        let (space, t) = paper_tables();
+        let cfg = SynthesisConfig {
+            approx_matching: false,
+            ..Default::default()
+        };
+        let w = score_pair(&space, &t[0], &t[1], &cfg);
+        assert!((w.pos - 0.5).abs() < 1e-9, "w+ = {}", w.pos);
+        assert_eq!(w.neg, 0.0);
+    }
+
+    #[test]
+    fn paper_example_8_approximate_positive() {
+        // With approximate matching, "American Samoa" ≈ "American
+        // Samoa (US)" is also a match → w+ = 4/6 ≈ 0.67.
+        let (space, t) = paper_tables();
+        let cfg = SynthesisConfig::default();
+        let w = score_pair(&space, &t[0], &t[1], &cfg);
+        assert!((w.pos - 4.0 / 6.0).abs() < 1e-9, "w+ = {}", w.pos);
+        assert_eq!(w.neg, 0.0, "same standard must not conflict");
+    }
+
+    #[test]
+    fn paper_example_9_negative() {
+        // B1 (IOC) vs B3 (ISO): 3 matching rows, 3 conflicting rows →
+        // w+ = 0.5, w− = −0.5.
+        let (space, t) = paper_tables();
+        let cfg = SynthesisConfig {
+            approx_matching: false,
+            ..Default::default()
+        };
+        let w = score_pair(&space, &t[0], &t[2], &cfg);
+        assert!((w.pos - 0.5).abs() < 1e-9, "w+ = {}", w.pos);
+        assert!((w.neg - -0.5).abs() < 1e-9, "w− = {}", w.neg);
+    }
+
+    #[test]
+    fn symmetry() {
+        let (space, t) = paper_tables();
+        let cfg = SynthesisConfig::default();
+        for i in 0..t.len() {
+            for j in 0..t.len() {
+                let wij = score_pair(&space, &t[i], &t[j], &cfg);
+                let wji = score_pair(&space, &t[j], &t[i], &cfg);
+                assert!((wij.pos - wji.pos).abs() < 1e-9, "pos asym {i},{j}");
+                assert!((wij.neg - wji.neg).abs() < 1e-9, "neg asym {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn containment_beats_jaccard() {
+        // Small table fully contained in a big one: w+ must be 1.0
+        // even though Jaccard would be small.
+        let (space, t) = setup(vec![
+            vec![("a", "1"), ("b", "2")],
+            vec![
+                ("a", "1"),
+                ("b", "2"),
+                ("c", "3"),
+                ("d", "4"),
+                ("e", "5"),
+                ("f", "6"),
+                ("g", "7"),
+                ("h", "8"),
+            ],
+        ]);
+        let w = score_pair(&space, &t[0], &t[1], &SynthesisConfig::default());
+        assert_eq!(w.pos, 1.0);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let (space, t) = paper_tables();
+        let w = score_pair(&space, &t[0], &t[0], &SynthesisConfig::default());
+        assert_eq!(w.pos, 1.0);
+        assert_eq!(w.neg, 0.0);
+    }
+
+    #[test]
+    fn disjoint_tables_score_zero() {
+        let (space, t) = setup(vec![
+            vec![("a", "1"), ("b", "2")],
+            vec![("x", "9"), ("y", "8")],
+        ]);
+        let w = score_pair(&space, &t[0], &t[1], &SynthesisConfig::default());
+        assert_eq!(w.pos, 0.0);
+        assert_eq!(w.neg, 0.0);
+    }
+
+    #[test]
+    fn short_codes_never_match_approximately() {
+        // "USA" vs "RSA": fractional threshold 0 → distinct.
+        let (space, t) = setup(vec![
+            vec![("United States", "USA"), ("Canada", "CAN")],
+            vec![("United States", "RSA"), ("Canada", "CAN")],
+        ]);
+        let w = score_pair(&space, &t[0], &t[1], &SynthesisConfig::default());
+        assert!((w.pos - 0.5).abs() < 1e-9);
+        assert!((w.neg - -0.5).abs() < 1e-9, "USA vs RSA must conflict");
+    }
+
+    #[test]
+    fn weights_bounded() {
+        let counts = MatchCounts {
+            overlap: 100,
+            conflicts: 100,
+        };
+        let w = pair_weights(counts, 10, 10);
+        assert!(w.pos <= 1.0 && w.neg >= -1.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::values::build_value_space;
+    use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_text::SynonymDict;
+    use proptest::prelude::*;
+
+    /// Build two strict-mapping tables (unique lefts) over a small
+    /// entity universe so they overlap and conflict randomly.
+    fn strategy() -> impl Strategy<Value = (Vec<(u8, u8)>, Vec<(u8, u8)>)> {
+        let table = proptest::collection::btree_map(0u8..12, 0u8..6, 2..10)
+            .prop_map(|m| m.into_iter().collect::<Vec<_>>());
+        (table.clone(), table)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// For strict mappings, a table pair cannot be both strongly
+        /// positive and strongly negative: overlap + conflicts ≤
+        /// min(|B|, |B'|) bounds w⁺ + |w⁻| by 1 (the structural fact
+        /// behind the paper's partition-level use of negatives).
+        #[test]
+        fn prop_pos_plus_neg_bounded((a, b) in strategy()) {
+            let mut corpus = Corpus::new();
+            let d = corpus.domain("x");
+            let mk = |corpus: &mut Corpus, i: u32, rows: &[(u8, u8)]| {
+                let syms = rows
+                    .iter()
+                    .map(|(l, r)| {
+                        (
+                            corpus.interner.intern(&format!("entity-{l}")),
+                            corpus.interner.intern(&format!("code-{r}")),
+                        )
+                    })
+                    .collect();
+                BinaryTable::new(BinaryId(i), TableId(i), d, 0, 1, syms)
+            };
+            let cands = vec![mk(&mut corpus, 0, &a), mk(&mut corpus, 1, &b)];
+            let (space, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+            prop_assume!(tables.len() == 2);
+            let cfg = SynthesisConfig::default();
+            let w = score_pair(&space, &tables[0], &tables[1], &cfg);
+            prop_assert!(w.pos >= 0.0 && w.pos <= 1.0);
+            prop_assert!(w.neg <= 0.0 && w.neg >= -1.0);
+            prop_assert!(w.pos - w.neg <= 1.0 + 1e-9,
+                "w+ {} + |w-| {} exceeds 1 for strict mappings", w.pos, -w.neg);
+            // Symmetry.
+            let w2 = score_pair(&space, &tables[1], &tables[0], &cfg);
+            prop_assert!((w.pos - w2.pos).abs() < 1e-9);
+            prop_assert!((w.neg - w2.neg).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Curation support (paper §4.3).
+//!
+//! Synthesized mappings are meant for *human curation*: algorithms
+//! can't reach the near-perfect precision commercial spreadsheet
+//! software needs, but they can distill millions of raw tables into a
+//! ranked list short enough for people to review. The ranking signal is
+//! popularity — how many independent web domains contributed tables to
+//! a cluster ("we only use about 60K synthesized mappings from at least
+//! 8 independent web domains").
+
+use crate::synth::SynthesizedMapping;
+
+/// Rank mappings for curation: by contributing domains (desc), then by
+/// member tables, then by size. Stable and deterministic.
+pub fn curation_rank(mappings: &mut [SynthesizedMapping]) {
+    mappings.sort_by(|a, b| {
+        b.domains
+            .cmp(&a.domains)
+            .then(b.source_tables.cmp(&a.source_tables))
+            .then(b.pairs.len().cmp(&a.pairs.len()))
+            .then(a.pairs.cmp(&b.pairs))
+    });
+}
+
+/// Keep mappings contributed by at least `min_domains` independent
+/// domains (the paper's curation floor of 8 for the web corpus).
+pub fn filter_by_domains(
+    mappings: Vec<SynthesizedMapping>,
+    min_domains: usize,
+) -> Vec<SynthesizedMapping> {
+    mappings
+        .into_iter()
+        .filter(|m| m.domains >= min_domains)
+        .collect()
+}
+
+/// Curation summary counters (paper §4.3 and Appendix J).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CurationSummary {
+    /// Total synthesized mappings.
+    pub total: usize,
+    /// Mappings above the domain floor.
+    pub above_floor: usize,
+    /// Mean member tables among above-floor mappings.
+    pub mean_tables: f64,
+    /// Mean contributing domains among above-floor mappings.
+    pub mean_domains: f64,
+}
+
+/// Summarize a mapping set for a curation report.
+pub fn summarize(mappings: &[SynthesizedMapping], min_domains: usize) -> CurationSummary {
+    let above: Vec<&SynthesizedMapping> = mappings
+        .iter()
+        .filter(|m| m.domains >= min_domains)
+        .collect();
+    let n = above.len().max(1) as f64;
+    CurationSummary {
+        total: mappings.len(),
+        above_floor: above.len(),
+        mean_tables: above.iter().map(|m| m.source_tables as f64).sum::<f64>() / n,
+        mean_domains: above.iter().map(|m| m.domains as f64).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping(domains: usize, tables: usize, pairs: usize) -> SynthesizedMapping {
+        SynthesizedMapping {
+            pairs: (0..pairs)
+                .map(|i| (format!("l{i}"), format!("r{i}")))
+                .collect(),
+            member_tables: (0..tables as u32).collect(),
+            domains,
+            source_tables: tables,
+            tables_removed: 0,
+        }
+    }
+
+    #[test]
+    fn rank_by_domains_then_tables() {
+        let mut ms = vec![mapping(2, 10, 5), mapping(8, 3, 5), mapping(8, 9, 5)];
+        curation_rank(&mut ms);
+        assert_eq!(ms[0].domains, 8);
+        assert_eq!(ms[0].source_tables, 9);
+        assert_eq!(ms[2].domains, 2);
+    }
+
+    #[test]
+    fn domain_floor_filters() {
+        let ms = vec![mapping(1, 1, 3), mapping(9, 4, 3), mapping(8, 2, 3)];
+        let kept = filter_by_domains(ms, 8);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let ms = vec![mapping(1, 1, 3), mapping(9, 4, 3), mapping(7, 2, 3)];
+        let s = summarize(&ms, 7);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.above_floor, 2);
+        assert!((s.mean_tables - 3.0).abs() < 1e-9);
+        assert!((s.mean_domains - 8.0).abs() < 1e-9);
+    }
+}

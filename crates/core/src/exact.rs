@@ -1,0 +1,429 @@
+//! Exact solvers for the complexity trichotomy (paper §4.2).
+//!
+//! Table synthesis is NP-hard in general (Theorem 13), but the paper
+//! notes a trichotomy by negative-edge count \[17\]:
+//!
+//! * **0 negative edges** — merge every positively connected component;
+//! * **1 negative edge** — equivalent to s-t min-cut / max-flow with
+//!   the negative edge's endpoints as source and sink;
+//! * **2 negative edges** — polynomial via Yannakakis et al. \[39\]
+//!   (not implemented; the greedy handles it heuristically);
+//! * **≥ 3 negative edges** — NP-hard.
+//!
+//! This module implements the 0- and 1-negative-edge exact cases (the
+//! latter via Dinic's max-flow) and a brute-force optimal search over
+//! set partitions for small graphs, used by property tests to measure
+//! the greedy heuristic against the true optimum.
+
+use crate::config::SynthesisConfig;
+use crate::graph::CompatGraph;
+use crate::partition::Partitioning;
+use mapsynth_mapreduce::connected_components_union_find;
+use std::collections::HashMap;
+
+/// Exact solution for graphs with zero hard negative edges: every
+/// positively connected component merges (optimum: no positive weight
+/// lost).
+pub fn solve_no_negative(graph: &CompatGraph) -> Partitioning {
+    let pos_edges: Vec<(u32, u32)> = graph
+        .edges
+        .iter()
+        .filter(|(_, _, w)| w.pos > 0.0)
+        .map(|&(a, b, _)| (a, b))
+        .collect();
+    let groups = connected_components_union_find(graph.n, &pos_edges)
+        .into_iter()
+        .map(|g| g.into_iter().map(|v| v as u32).collect())
+        .collect();
+    Partitioning { groups }
+}
+
+/// Exact solution for graphs with exactly one hard negative edge
+/// `(s, t)`: a minimum s-t cut over positive weights (the paper's
+/// min-cut/max-flow equivalence). Returns `None` if the graph does not
+/// have exactly one hard negative edge under `cfg.tau`.
+pub fn solve_single_negative(graph: &CompatGraph, cfg: &SynthesisConfig) -> Option<Partitioning> {
+    let neg: Vec<(u32, u32)> = graph
+        .edges
+        .iter()
+        .filter(|(_, _, w)| w.neg < cfg.tau)
+        .map(|&(a, b, _)| (a, b))
+        .collect();
+    let [(s, t)] = neg.as_slice() else {
+        return None;
+    };
+    let (s, t) = (*s as usize, *t as usize);
+
+    // Min s-t cut on positive weights via Dinic.
+    let mut dinic = Dinic::new(graph.n);
+    for &(a, b, w) in &graph.edges {
+        if w.pos > 0.0 {
+            dinic.add_undirected(a as usize, b as usize, w.pos);
+        }
+    }
+    dinic.max_flow(s, t);
+    let s_side = dinic.min_cut_side(s);
+
+    // Partition: s-side and t-side, then split each side into its
+    // positively connected components (disconnected vertices need not
+    // share a partition).
+    let mut side_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(), Vec::new()];
+    for &(a, b, w) in &graph.edges {
+        if w.pos > 0.0 && s_side[a as usize] == s_side[b as usize] {
+            side_edges[usize::from(s_side[a as usize])].push((a, b));
+        }
+    }
+    // Reuse CC machinery over the full vertex set; constrain by side.
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    for side in [true, false] {
+        let verts: Vec<u32> = (0..graph.n as u32)
+            .filter(|&v| s_side[v as usize] == side)
+            .collect();
+        if verts.is_empty() {
+            continue;
+        }
+        let local: HashMap<u32, u32> = verts
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let edges: Vec<(u32, u32)> = side_edges[usize::from(side)]
+            .iter()
+            .map(|&(a, b)| (local[&a], local[&b]))
+            .collect();
+        for comp in connected_components_union_find(verts.len(), &edges) {
+            groups.push(comp.into_iter().map(|i| verts[i]).collect());
+        }
+    }
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups.sort_by_key(|g| g[0]);
+    Some(Partitioning { groups })
+}
+
+/// Brute-force optimal partitioning by exhaustive set-partition search
+/// (restricted-growth strings). Only for `n ≤ 11` (Bell(11) ≈ 678k).
+///
+/// Maximizes intra-partition positive weight subject to no intra-
+/// partition hard negative edge.
+pub fn brute_force_optimal(graph: &CompatGraph, cfg: &SynthesisConfig) -> Partitioning {
+    let n = graph.n;
+    assert!(n <= 11, "brute force limited to 11 vertices, got {n}");
+    if n == 0 {
+        return Partitioning { groups: vec![] };
+    }
+    let mut best_assign: Vec<u8> = (0..n as u8).collect();
+    let mut best_score = f64::NEG_INFINITY;
+
+    // Iterate restricted growth strings a[0]=0, a[i] ≤ max(a[..i])+1.
+    let mut a = vec![0u8; n];
+    loop {
+        // Score this assignment.
+        let mut score = 0.0;
+        let mut feasible = true;
+        for &(x, y, w) in &graph.edges {
+            if a[x as usize] == a[y as usize] {
+                if w.neg < cfg.tau {
+                    feasible = false;
+                    break;
+                }
+                score += w.pos;
+            }
+        }
+        if feasible && score > best_score {
+            best_score = score;
+            best_assign.copy_from_slice(&a);
+        }
+        // Next restricted growth string.
+        let mut i = n - 1;
+        loop {
+            if i == 0 {
+                return assignment_to_partitioning(&best_assign);
+            }
+            let prefix_max = a[..i].iter().copied().max().unwrap_or(0);
+            if a[i] <= prefix_max {
+                a[i] += 1;
+                for x in a.iter_mut().skip(i + 1) {
+                    *x = 0;
+                }
+                break;
+            }
+            i -= 1;
+        }
+    }
+}
+
+fn assignment_to_partitioning(assign: &[u8]) -> Partitioning {
+    let mut by_label: HashMap<u8, Vec<u32>> = HashMap::new();
+    for (v, &l) in assign.iter().enumerate() {
+        by_label.entry(l).or_default().push(v as u32);
+    }
+    let mut groups: Vec<Vec<u32>> = by_label.into_values().collect();
+    groups.sort_by_key(|g| g[0]);
+    Partitioning { groups }
+}
+
+/// Dinic's max-flow on an undirected capacity graph.
+struct Dinic {
+    n: usize,
+    // edges stored as pairs (to, cap); reverse edge at idx ^ 1.
+    to: Vec<u32>,
+    cap: Vec<f64>,
+    head: Vec<Vec<u32>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    fn add_undirected(&mut self, a: usize, b: usize, c: f64) {
+        let i = self.to.len() as u32;
+        self.to.push(b as u32);
+        self.cap.push(c);
+        self.head[a].push(i);
+        self.to.push(a as u32);
+        self.cap.push(c);
+        self.head[b].push(i + 1);
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.fill(-1);
+        let mut q = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &ei in &self.head[v] {
+                let u = self.to[ei as usize] as usize;
+                if self.cap[ei as usize] > 1e-12 && self.level[u] < 0 {
+                    self.level[u] = self.level[v] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: f64) -> f64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.head[v].len() {
+            let ei = self.head[v][self.iter[v]] as usize;
+            let u = self.to[ei] as usize;
+            if self.cap[ei] > 1e-12 && self.level[u] == self.level[v] + 1 {
+                let d = self.dfs(u, t, f.min(self.cap[ei]));
+                if d > 1e-12 {
+                    self.cap[ei] -= d;
+                    self.cap[ei ^ 1] += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0.0
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter.fill(0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY);
+                if f <= 1e-12 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// After max_flow: vertices reachable from `s` in the residual
+    /// graph form the s-side of a minimum cut.
+    fn min_cut_side(&self, s: usize) -> Vec<bool> {
+        let mut side = vec![false; self.n];
+        let mut q = std::collections::VecDeque::new();
+        side[s] = true;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &ei in &self.head[v] {
+                let u = self.to[ei as usize] as usize;
+                if self.cap[ei as usize] > 1e-12 && !side[u] {
+                    side[u] = true;
+                    q.push_back(u);
+                }
+            }
+        }
+        side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeWeights;
+    use crate::partition::greedy_partition;
+    use proptest::prelude::*;
+
+    fn graph(n: usize, edges: Vec<(u32, u32, f64, f64)>) -> CompatGraph {
+        CompatGraph {
+            n,
+            edges: edges
+                .into_iter()
+                .map(|(a, b, p, ng)| (a, b, EdgeWeights { pos: p, neg: ng }))
+                .collect(),
+            blocking: Default::default(),
+        }
+    }
+
+    fn cfg() -> SynthesisConfig {
+        SynthesisConfig {
+            theta_edge: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn no_negative_merges_components() {
+        let g = graph(4, vec![(0, 1, 0.5, 0.0), (1, 2, 0.5, 0.0)]);
+        let p = solve_no_negative(&g);
+        assert_eq!(p.groups, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn single_negative_cuts_minimum_weight() {
+        // Chain 0 -1.0- 1 -0.2- 2 -1.0- 3 with hard negative (0, 3):
+        // the cheapest cut severs the 0.2 edge.
+        let g = graph(
+            4,
+            vec![
+                (0, 1, 1.0, 0.0),
+                (1, 2, 0.2, 0.0),
+                (2, 3, 1.0, 0.0),
+                (0, 3, 0.0, -1.0),
+            ],
+        );
+        let p = solve_single_negative(&g, &cfg()).expect("one negative edge");
+        assert_eq!(p.groups, vec![vec![0, 1], vec![2, 3]]);
+        assert!(!p.violates_constraints(&g, cfg().tau));
+        assert!((p.objective(&g) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_negative_matches_brute_force() {
+        let g = graph(
+            5,
+            vec![
+                (0, 1, 0.9, 0.0),
+                (1, 2, 0.3, 0.0),
+                (2, 3, 0.8, 0.0),
+                (3, 4, 0.7, 0.0),
+                (1, 3, 0.1, 0.0),
+                (0, 4, 0.0, -1.0),
+            ],
+        );
+        let exact = solve_single_negative(&g, &cfg()).unwrap();
+        let brute = brute_force_optimal(&g, &cfg());
+        assert!((exact.objective(&g) - brute.objective(&g)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn returns_none_for_other_negative_counts() {
+        let g0 = graph(2, vec![(0, 1, 0.5, 0.0)]);
+        assert!(solve_single_negative(&g0, &cfg()).is_none());
+        let g2 = graph(4, vec![(0, 1, 0.0, -1.0), (2, 3, 0.0, -1.0)]);
+        assert!(solve_single_negative(&g2, &cfg()).is_none());
+    }
+
+    #[test]
+    fn brute_force_respects_constraints() {
+        let g = graph(
+            3,
+            vec![(0, 1, 0.9, 0.0), (1, 2, 0.8, 0.0), (0, 2, 0.0, -0.9)],
+        );
+        let p = brute_force_optimal(&g, &cfg());
+        assert!(!p.violates_constraints(&g, cfg().tau));
+        // Optimal keeps the heavier edge.
+        assert!((p.objective(&g) - 0.9).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The greedy heuristic is feasible and close to optimal on
+        /// small random graphs; the exact 1-negative solver is optimal.
+        #[test]
+        fn prop_greedy_feasible_and_bounded(
+            n in 2usize..8,
+            edges in proptest::collection::vec((0u32..8, 0u32..8, 0.0f64..1.0, 0u8..4), 1..16),
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let edges: Vec<(u32, u32, f64, f64)> = edges
+                .into_iter()
+                .filter_map(|(a, b, p, negish)| {
+                    let (a, b) = (a.min(b), a.max(b));
+                    if a == b || a as usize >= n || b as usize >= n || !seen.insert((a, b)) {
+                        return None;
+                    }
+                    let neg = if negish == 0 { -0.9 } else { 0.0 };
+                    Some((a, b, p, neg))
+                })
+                .collect();
+            let g = graph(n, edges);
+            let cfg = cfg();
+            let greedy = greedy_partition(&g, &cfg);
+            prop_assert!(!greedy.violates_constraints(&g, cfg.tau));
+            let optimal = brute_force_optimal(&g, &cfg);
+            prop_assert!(!optimal.violates_constraints(&g, cfg.tau));
+            let (gs, os) = (greedy.objective(&g), optimal.objective(&g));
+            prop_assert!(gs <= os + 1e-9, "greedy {gs} beat optimal {os}?");
+        }
+
+        #[test]
+        fn prop_single_negative_exact_is_optimal(
+            n in 2usize..8,
+            edges in proptest::collection::vec((0u32..8, 0u32..8, 0.05f64..1.0), 1..14),
+            neg_pair in (0u32..8, 0u32..8),
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let mut es: Vec<(u32, u32, f64, f64)> = edges
+                .into_iter()
+                .filter_map(|(a, b, p)| {
+                    let (a, b) = (a.min(b), a.max(b));
+                    if a == b || b as usize >= n || !seen.insert((a, b)) {
+                        return None;
+                    }
+                    Some((a, b, p, 0.0))
+                })
+                .collect();
+            let (s, t) = (neg_pair.0.min(neg_pair.1), neg_pair.0.max(neg_pair.1));
+            prop_assume!(s != t && (t as usize) < n);
+            if seen.contains(&(s, t)) {
+                for e in &mut es {
+                    if (e.0, e.1) == (s, t) {
+                        e.3 = -0.9;
+                    }
+                }
+            } else {
+                es.push((s, t, 0.0, -0.9));
+            }
+            let g = graph(n, es);
+            let cfg = cfg();
+            let exact = solve_single_negative(&g, &cfg).expect("one neg edge");
+            prop_assert!(!exact.violates_constraints(&g, cfg.tau));
+            let brute = brute_force_optimal(&g, &cfg);
+            prop_assert!((exact.objective(&g) - brute.objective(&g)).abs() < 1e-6,
+                "mincut {} vs optimal {}", exact.objective(&g), brute.objective(&g));
+        }
+    }
+}

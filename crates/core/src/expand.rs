@@ -1,0 +1,183 @@
+//! Table expansion (paper Appendix I).
+//!
+//! Web tables are written for human consumption and tend to be short;
+//! large relations like airport→IATA (10k+ instances) never appear in
+//! full. Synthesized mappings provide a robust "core" which can be
+//! expanded from comprehensive trusted sources (data.gov dumps,
+//! spreadsheet files): if a trusted table agrees with the core and
+//! conflicts with almost none of it, their union is adopted.
+
+use crate::synth::SynthesizedMapping;
+use mapsynth_text::normalize;
+use std::collections::{HashMap, HashSet};
+
+/// Expansion thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpansionConfig {
+    /// The trusted source must contain at least this fraction of the
+    /// core's pairs (similarity requirement).
+    pub min_core_containment: f64,
+    /// At most this fraction of the core's left values may conflict
+    /// with the trusted source (dissimilarity bound).
+    pub max_conflict_ratio: f64,
+}
+
+impl Default for ExpansionConfig {
+    fn default() -> Self {
+        Self {
+            min_core_containment: 0.5,
+            max_conflict_ratio: 0.02,
+        }
+    }
+}
+
+/// Result of one expansion attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExpansionOutcome {
+    /// The trusted source matched; pairs were merged in.
+    Expanded {
+        /// Pairs added to the mapping.
+        added: usize,
+    },
+    /// Containment too low: the source is unrelated to the core.
+    NotContained,
+    /// Too many conflicts: the source disagrees with the core.
+    Conflicting,
+}
+
+/// Attempt to expand `mapping` with a trusted source (raw string
+/// pairs; they are normalized here). On success the mapping's pairs
+/// grow in place.
+pub fn expand_mapping(
+    mapping: &mut SynthesizedMapping,
+    trusted: &[(String, String)],
+    cfg: &ExpansionConfig,
+) -> ExpansionOutcome {
+    if mapping.is_empty() {
+        return ExpansionOutcome::NotContained;
+    }
+    let trusted_norm: Vec<(String, String)> = trusted
+        .iter()
+        .map(|(l, r)| (normalize(l), normalize(r)))
+        .filter(|(l, r)| !l.is_empty() && !r.is_empty())
+        .collect();
+    let trusted_pairs: HashSet<(&str, &str)> = trusted_norm
+        .iter()
+        .map(|(l, r)| (l.as_str(), r.as_str()))
+        .collect();
+    let trusted_rights: HashMap<&str, HashSet<&str>> = {
+        let mut m: HashMap<&str, HashSet<&str>> = HashMap::new();
+        for (l, r) in &trusted_norm {
+            m.entry(l.as_str()).or_default().insert(r.as_str());
+        }
+        m
+    };
+
+    let mut contained = 0usize;
+    let mut conflicting_lefts: HashSet<&str> = HashSet::new();
+    for (l, r) in &mapping.pairs {
+        if trusted_pairs.contains(&(l.as_str(), r.as_str())) {
+            contained += 1;
+        } else if let Some(rs) = trusted_rights.get(l.as_str()) {
+            if !rs.contains(r.as_str()) {
+                conflicting_lefts.insert(l.as_str());
+            }
+        }
+    }
+    let core = mapping.pairs.len() as f64;
+    if (contained as f64) < cfg.min_core_containment * core {
+        return ExpansionOutcome::NotContained;
+    }
+    if conflicting_lefts.len() as f64 > cfg.max_conflict_ratio * core {
+        return ExpansionOutcome::Conflicting;
+    }
+
+    let before = mapping.pairs.len();
+    let existing: HashSet<(String, String)> = mapping.pairs.drain(..).collect();
+    let mut merged = existing;
+    for p in trusted_norm {
+        merged.insert(p);
+    }
+    let mut pairs: Vec<(String, String)> = merged.into_iter().collect();
+    pairs.sort();
+    mapping.pairs = pairs;
+    ExpansionOutcome::Expanded {
+        added: mapping.pairs.len() - before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping(pairs: &[(&str, &str)]) -> SynthesizedMapping {
+        SynthesizedMapping {
+            pairs: pairs
+                .iter()
+                .map(|(l, r)| (l.to_string(), r.to_string()))
+                .collect(),
+            member_tables: vec![0],
+            domains: 3,
+            source_tables: 3,
+            tables_removed: 0,
+        }
+    }
+
+    fn pairs(raw: &[(&str, &str)]) -> Vec<(String, String)> {
+        raw.iter()
+            .map(|(l, r)| (l.to_string(), r.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn expands_agreeing_superset() {
+        let mut m = mapping(&[("lax airport", "lax"), ("sfo airport", "sfo")]);
+        let trusted = pairs(&[
+            ("LAX Airport", "LAX"),
+            ("SFO Airport", "SFO"),
+            ("JFK Airport", "JFK"),
+            ("ORD Airport", "ORD"),
+        ]);
+        let out = expand_mapping(&mut m, &trusted, &ExpansionConfig::default());
+        assert_eq!(out, ExpansionOutcome::Expanded { added: 2 });
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn rejects_unrelated_source() {
+        let mut m = mapping(&[("a", "1"), ("b", "2")]);
+        let trusted = pairs(&[("x", "9"), ("y", "8")]);
+        assert_eq!(
+            expand_mapping(&mut m, &trusted, &ExpansionConfig::default()),
+            ExpansionOutcome::NotContained
+        );
+        assert_eq!(m.len(), 2, "mapping unchanged");
+    }
+
+    #[test]
+    fn rejects_conflicting_source() {
+        // Source covers the core but flips many rights (a different
+        // code standard).
+        let mut m = mapping(&[("a", "1"), ("b", "2"), ("c", "3"), ("d", "4")]);
+        let trusted = pairs(&[("a", "1"), ("b", "2"), ("c", "9"), ("d", "8")]);
+        assert_eq!(
+            expand_mapping(&mut m, &trusted, &ExpansionConfig::default()),
+            ExpansionOutcome::Conflicting
+        );
+    }
+
+    #[test]
+    fn small_conflict_tolerated_with_loose_config() {
+        let mut m = mapping(&[("a", "1"), ("b", "2"), ("c", "3"), ("d", "4")]);
+        let trusted = pairs(&[("a", "1"), ("b", "2"), ("c", "3"), ("d", "9"), ("e", "5")]);
+        let cfg = ExpansionConfig {
+            min_core_containment: 0.5,
+            max_conflict_ratio: 0.3,
+        };
+        match expand_mapping(&mut m, &trusted, &cfg) {
+            ExpansionOutcome::Expanded { .. } => {}
+            other => panic!("expected expansion, got {other:?}"),
+        }
+        assert!(m.pairs.iter().any(|(l, _)| l == "e"));
+    }
+}

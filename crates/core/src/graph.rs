@@ -1,0 +1,178 @@
+//! The compatibility graph `G = (B, E)` (paper §4.2).
+//!
+//! Vertices are candidate tables; edges carry positive and negative
+//! weights. Construction scores blocked candidate pairs in parallel,
+//! then keeps an edge only if its positive weight clears `θ_edge` or
+//! its negative weight breaches the hard-constraint threshold `τ`.
+
+use crate::blocking::{candidate_pairs, BlockingStats};
+use crate::compat::score_pair;
+use crate::config::SynthesisConfig;
+use crate::values::{NormBinary, ValueSpace};
+use mapsynth_mapreduce::MapReduce;
+
+/// Edge weights.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeWeights {
+    /// Positive compatibility `w⁺ ∈ [0, 1]` (0 if below `θ_edge`).
+    pub pos: f64,
+    /// Negative incompatibility `w⁻ ∈ [-1, 0]` (0 if above `τ`).
+    pub neg: f64,
+}
+
+/// The compatibility graph: `n` vertices (indices into the
+/// `NormBinary` slice) and a sorted, deduplicated edge list with
+/// `a < b`.
+#[derive(Clone, Debug)]
+pub struct CompatGraph {
+    /// Vertex count.
+    pub n: usize,
+    /// Edges `(a, b, weights)` with `a < b`, sorted.
+    pub edges: Vec<(u32, u32, EdgeWeights)>,
+    /// Blocking statistics (for the scalability experiments).
+    pub blocking: BlockingStats,
+}
+
+impl CompatGraph {
+    /// Number of edges with a hard negative constraint.
+    pub fn negative_edges(&self) -> usize {
+        self.edges.iter().filter(|(_, _, w)| w.neg < 0.0).count()
+    }
+
+    /// Number of edges with positive weight.
+    pub fn positive_edges(&self) -> usize {
+        self.edges.iter().filter(|(_, _, w)| w.pos > 0.0).count()
+    }
+}
+
+/// Build the compatibility graph: block, score in parallel, filter.
+pub fn build_graph(
+    space: &ValueSpace,
+    tables: &[NormBinary],
+    cfg: &SynthesisConfig,
+    mr: &MapReduce,
+) -> CompatGraph {
+    let (pairs, blocking) = candidate_pairs(space, tables, cfg);
+    let scored = mr.par_map(&pairs, |&(a, b)| {
+        let w = score_pair(space, &tables[a as usize], &tables[b as usize], cfg);
+        (a, b, w)
+    });
+    let mut g = graph_from_scores(tables.len(), &scored, cfg);
+    g.blocking = blocking;
+    g
+}
+
+/// Build the graph from pre-scored pairs (evaluation harnesses share
+/// one scoring pass across Synthesis and the schema-matching
+/// baselines, which use the same signals).
+pub fn graph_from_scores(
+    n: usize,
+    scored: &[(u32, u32, crate::compat::PairWeights)],
+    cfg: &SynthesisConfig,
+) -> CompatGraph {
+    let edges: Vec<(u32, u32, EdgeWeights)> = scored
+        .iter()
+        .filter_map(|&(a, b, w)| {
+            let pos = if w.pos >= cfg.theta_edge { w.pos } else { 0.0 };
+            let neg = if cfg.use_negative && w.neg < cfg.tau {
+                w.neg
+            } else {
+                0.0
+            };
+            (pos > 0.0 || neg < 0.0).then_some((a, b, EdgeWeights { pos, neg }))
+        })
+        .collect();
+    CompatGraph {
+        n,
+        edges,
+        blocking: Default::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::build_value_space;
+    use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_text::SynonymDict;
+
+    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (ValueSpace, Vec<NormBinary>) {
+        let mut corpus = Corpus::new();
+        let d = corpus.domain("x");
+        let cands: Vec<BinaryTable> = tables
+            .into_iter()
+            .enumerate()
+            .map(|(i, rows)| {
+                let syms = rows
+                    .iter()
+                    .map(|(l, r)| (corpus.interner.intern(l), corpus.interner.intern(r)))
+                    .collect();
+                BinaryTable::new(BinaryId(i as u32), TableId(i as u32), d, 0, 1, syms)
+            })
+            .collect();
+        build_value_space(&corpus, &cands, &SynonymDict::new())
+    }
+
+    #[test]
+    fn graph_keeps_strong_pos_and_hard_neg() {
+        let (space, t) = setup(vec![
+            // 0 and 1: identical → pos 1.0
+            vec![("a", "1"), ("b", "2"), ("c", "3")],
+            vec![("a", "1"), ("b", "2"), ("c", "3")],
+            // 2: conflicts with both on every row → hard negative
+            vec![("a", "9"), ("b", "8"), ("c", "7")],
+            // 3: weak overlap with 0 (2/4 = 0.5 < θ_edge) → filtered
+            vec![("a", "1"), ("b", "2"), ("x", "5"), ("y", "6")],
+        ]);
+        let g = build_graph(&space, &t, &SynthesisConfig::default(), &MapReduce::new(2));
+        assert_eq!(g.n, 4);
+        let find = |a: u32, b: u32| g.edges.iter().find(|&&(x, y, _)| (x, y) == (a, b));
+        let e01 = find(0, 1).expect("identical tables edge");
+        assert_eq!(e01.2.pos, 1.0);
+        let e02 = find(0, 2).expect("conflict edge");
+        assert!(e02.2.neg <= -0.9);
+        // weak edge filtered: (0,3) pos = max(2/3, 2/4) = 0.67 < 0.85, no conflicts
+        assert!(find(0, 3).is_none());
+        // hard negatives: (0,2), (1,2), and (2,3) — table 3 also
+        // conflicts with 2 on lefts a and b.
+        assert_eq!(g.negative_edges(), 3);
+    }
+
+    #[test]
+    fn without_negative_drops_hard_constraints() {
+        let (space, t) = setup(vec![
+            vec![("a", "1"), ("b", "2"), ("c", "3")],
+            vec![("a", "9"), ("b", "8"), ("c", "7")],
+        ]);
+        let g = build_graph(
+            &space,
+            &t,
+            &SynthesisConfig::default().without_negative(),
+            &MapReduce::new(1),
+        );
+        assert_eq!(g.edges.len(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_workers() {
+        let rows: Vec<Vec<(&str, &str)>> = (0..6)
+            .map(|i| {
+                vec![
+                    ("a", "1"),
+                    ("b", "2"),
+                    ("c", "3"),
+                    if i % 2 == 0 { ("d", "4") } else { ("e", "5") },
+                ]
+            })
+            .collect();
+        let (space, t) = setup(rows);
+        let g1 = build_graph(&space, &t, &SynthesisConfig::default(), &MapReduce::new(1));
+        let g8 = build_graph(&space, &t, &SynthesisConfig::default(), &MapReduce::new(8));
+        assert_eq!(g1.edges.len(), g8.edges.len());
+        for (a, b) in g1.edges.iter().zip(&g8.edges) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1, b.1);
+            assert_eq!(a.2, b.2);
+        }
+    }
+}

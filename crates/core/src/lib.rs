@@ -1,0 +1,66 @@
+//! # mapsynth
+//!
+//! A from-scratch implementation of **"Synthesizing Mapping
+//! Relationships Using Table Corpus"** (Wang & He, SIGMOD 2017).
+//!
+//! Mapping tables — two-column tables where the left column
+//! functionally determines the right, like `(country, country-code)` or
+//! `(company, stock-ticker)` — power auto-correction, auto-fill and
+//! auto-join. This crate synthesizes them from a heterogeneous table
+//! corpus in three steps (paper Figure 1):
+//!
+//! 1. **Candidate extraction** (via [`mapsynth_extract`]) — ordered
+//!    column pairs filtered by PMI coherence and approximate FD;
+//! 2. **Table synthesis** — a compatibility graph over candidates with
+//!    positive max-containment weights ([`compat`], Eq. 3) and negative
+//!    FD-conflict weights (Eq. 4), partitioned by a greedy agglomerative
+//!    algorithm ([`partition`], Algorithm 3) that never merges across a
+//!    hard conflict; the exact solvers for the paper's complexity
+//!    trichotomy live in [`exact`];
+//! 3. **Conflict resolution** ([`conflict`], Algorithm 4) — remove the
+//!    fewest tables so the unioned mapping has no internal conflicts.
+//!
+//! The end-to-end driver is [`pipeline::Pipeline`]:
+//!
+//! ```
+//! use mapsynth::pipeline::{Pipeline, PipelineConfig};
+//! use mapsynth_corpus::Corpus;
+//!
+//! let mut corpus = Corpus::new();
+//! let d = corpus.domain("example.com");
+//! for _ in 0..4 {
+//!     corpus.push_table(d, vec![
+//!         (Some("name"), vec!["United States", "Canada", "Japan", "Germany", "France"]),
+//!         (Some("code"), vec!["USA", "CAN", "JPN", "DEU", "FRA"]),
+//!     ]);
+//! }
+//! let output = Pipeline::new(PipelineConfig::default()).run(&corpus);
+//! // Both orientations are synthesized (name→code and code→name).
+//! assert!(output.mappings.iter().any(|m| {
+//!     m.pairs.iter().any(|(l, r)| l == "united states" && r == "usa")
+//! }));
+//! ```
+
+pub mod blocking;
+pub mod compat;
+pub mod config;
+pub mod conflict;
+pub mod curate;
+pub mod exact;
+pub mod expand;
+pub mod graph;
+pub mod partition;
+pub mod pipeline;
+pub mod synth;
+pub mod values;
+
+pub use config::SynthesisConfig;
+pub use conflict::{resolve_conflicts, resolve_majority_vote, ConflictStats};
+pub use graph::{CompatGraph, EdgeWeights};
+pub use partition::{greedy_partition, Partitioning};
+pub use pipeline::{
+    synthesize_from, synthesize_graph, Pipeline, PipelineConfig, PipelineOutput, Resolver,
+    StageTimings,
+};
+pub use synth::SynthesizedMapping;
+pub use values::{NormBinary, NormId, ValueSpace};

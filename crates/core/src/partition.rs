@@ -1,0 +1,403 @@
+//! Greedy table-synthesis partitioning — the paper's Algorithm 3.
+//!
+//! Table synthesis (Problem 11) maximizes the sum of intra-partition
+//! positive weights subject to *no hard negative edge inside any
+//! partition*. The problem is NP-hard (Theorem 13, reduction from
+//! multiway cut), and the O(log N) LP-rounding approximation is
+//! impractical at corpus scale, so the paper uses a greedy
+//! agglomerative heuristic:
+//!
+//! * start with singleton partitions;
+//! * repeatedly merge the pair of partitions with the largest positive
+//!   weight among pairs whose negative weight is not a hard constraint
+//!   (`w⁻ ≥ τ`);
+//! * on merge, positive weights to other partitions add up and negative
+//!   weights take the minimum (most conflicting member pair governs);
+//! * stop when no mergeable pair remains.
+//!
+//! Implemented with a lazily-invalidated max-heap (stale entries are
+//! checked against per-partition versions on pop) and per-partition
+//! adjacency maps; overall `O(E log E · α)` with small constants. The
+//! divide-and-conquer variant ([`partition_by_components`]) first
+//! splits the graph into positively-connected components (Appendix F /
+//! Hash-to-Min) and partitions each independently — identical results,
+//! embarrassingly parallel.
+
+use crate::config::SynthesisConfig;
+use crate::graph::CompatGraph;
+use mapsynth_mapreduce::{connected_components_union_find, MapReduce};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A disjoint partitioning of graph vertices. Groups are sorted
+/// internally and by first member; singletons included.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partitioning {
+    /// Vertex groups.
+    pub groups: Vec<Vec<u32>>,
+}
+
+impl Partitioning {
+    /// Total objective value: sum of intra-partition positive edge
+    /// weights (Equation 5) for a given graph.
+    pub fn objective(&self, graph: &CompatGraph) -> f64 {
+        let mut part_of: HashMap<u32, usize> = HashMap::new();
+        for (gi, g) in self.groups.iter().enumerate() {
+            for &v in g {
+                part_of.insert(v, gi);
+            }
+        }
+        graph
+            .edges
+            .iter()
+            .filter(|&&(a, b, _)| part_of.get(&a) == part_of.get(&b))
+            .map(|&(_, _, w)| w.pos)
+            .sum()
+    }
+
+    /// Whether the partitioning violates any hard negative constraint.
+    pub fn violates_constraints(&self, graph: &CompatGraph, tau: f64) -> bool {
+        let mut part_of: HashMap<u32, usize> = HashMap::new();
+        for (gi, g) in self.groups.iter().enumerate() {
+            for &v in g {
+                part_of.insert(v, gi);
+            }
+        }
+        graph
+            .edges
+            .iter()
+            .any(|&(a, b, w)| w.neg < tau && part_of.get(&a) == part_of.get(&b))
+    }
+}
+
+/// Heap entry ordered by positive weight, tie-broken by vertex ids for
+/// determinism.
+struct MergeCandidate {
+    pos: f64,
+    a: u32,
+    b: u32,
+    ver_a: u64,
+    ver_b: u64,
+}
+
+impl PartialEq for MergeCandidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for MergeCandidate {}
+impl PartialOrd for MergeCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeCandidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.pos
+            .total_cmp(&other.pos)
+            .then_with(|| other.a.cmp(&self.a)) // smaller ids first on tie
+            .then_with(|| other.b.cmp(&self.b))
+    }
+}
+
+/// Run Algorithm 3 on the whole graph.
+pub fn greedy_partition(graph: &CompatGraph, cfg: &SynthesisConfig) -> Partitioning {
+    let n = graph.n;
+    // Per-partition adjacency: root vertex → (neighbor root → (pos, neg)).
+    let mut adj: Vec<HashMap<u32, (f64, f64)>> = vec![HashMap::new(); n];
+    for &(a, b, w) in &graph.edges {
+        adj[a as usize].insert(b, (w.pos, w.neg));
+        adj[b as usize].insert(a, (w.pos, w.neg));
+    }
+    let mut members: Vec<Vec<u32>> = (0..n as u32).map(|v| vec![v]).collect();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut version: Vec<u64> = vec![0; n];
+
+    let mut heap: BinaryHeap<MergeCandidate> = BinaryHeap::new();
+    for &(a, b, w) in &graph.edges {
+        if w.pos > 0.0 && w.neg >= cfg.tau {
+            heap.push(MergeCandidate {
+                pos: w.pos,
+                a,
+                b,
+                ver_a: 0,
+                ver_b: 0,
+            });
+        }
+    }
+
+    while let Some(cand) = heap.pop() {
+        let (a, b) = (cand.a as usize, cand.b as usize);
+        // Lazy invalidation: stale version or dead partition.
+        if !alive[a] || !alive[b] || version[a] != cand.ver_a || version[b] != cand.ver_b {
+            continue;
+        }
+        let Some(&(pos, neg)) = adj[a].get(&cand.b) else {
+            continue;
+        };
+        if pos <= 0.0 || neg < cfg.tau {
+            continue;
+        }
+        debug_assert!((pos - cand.pos).abs() < 1e-12);
+
+        // Merge the smaller adjacency into the larger (keep = larger).
+        let (keep, gone) = if adj[a].len() >= adj[b].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        alive[gone] = false;
+        version[keep] += 1;
+        let moved_members = std::mem::take(&mut members[gone]);
+        members[keep].extend(moved_members);
+        let gone_adj = std::mem::take(&mut adj[gone]);
+        adj[keep].remove(&(gone as u32));
+        for (nb, (p2, n2)) in gone_adj {
+            if nb as usize == keep {
+                continue;
+            }
+            let merged = {
+                let entry = adj[keep].entry(nb).or_insert((0.0, 0.0));
+                entry.0 += p2;
+                entry.1 = entry.1.min(n2);
+                *entry
+            };
+            // Fix the neighbor's back-pointers.
+            let nb_adj = &mut adj[nb as usize];
+            nb_adj.remove(&(gone as u32));
+            nb_adj.insert(keep as u32, merged);
+        }
+        // Other neighbors of `keep` also need their back-pointers
+        // version-refreshed via new heap entries.
+        for (&nb, &(p2, n2)) in &adj[keep] {
+            if p2 > 0.0 && n2 >= cfg.tau {
+                heap.push(MergeCandidate {
+                    pos: p2,
+                    a: (keep as u32).min(nb),
+                    b: (keep as u32).max(nb),
+                    ver_a: version[(keep).min(nb as usize)],
+                    ver_b: version[(keep).max(nb as usize)],
+                });
+            }
+        }
+    }
+
+    let mut groups: Vec<Vec<u32>> = (0..n)
+        .filter(|&v| alive[v])
+        .map(|v| {
+            let mut g = std::mem::take(&mut members[v]);
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    groups.sort_by_key(|g| g[0]);
+    Partitioning { groups }
+}
+
+/// Divide-and-conquer variant (paper Appendix F): split into
+/// positively-connected components, partition each independently in
+/// parallel. Produces the same partitioning as [`greedy_partition`]
+/// because merges never cross positive components.
+pub fn partition_by_components(
+    graph: &CompatGraph,
+    cfg: &SynthesisConfig,
+    mr: &MapReduce,
+) -> Partitioning {
+    // Components over positive edges only.
+    let pos_edges: Vec<(u32, u32)> = graph
+        .edges
+        .iter()
+        .filter(|(_, _, w)| w.pos > 0.0)
+        .map(|&(a, b, _)| (a, b))
+        .collect();
+    let components = connected_components_union_find(graph.n, &pos_edges);
+
+    // Build a subgraph per non-trivial component.
+    let mut comp_of: Vec<u32> = vec![0; graph.n];
+    for (ci, comp) in components.iter().enumerate() {
+        for &v in comp {
+            comp_of[v] = ci as u32;
+        }
+    }
+    let mut comp_edges: Vec<Vec<(u32, u32, crate::graph::EdgeWeights)>> =
+        vec![Vec::new(); components.len()];
+    for &(a, b, w) in &graph.edges {
+        if comp_of[a as usize] == comp_of[b as usize] {
+            comp_edges[comp_of[a as usize] as usize].push((a, b, w));
+        }
+        // Negative edges across components can never merge anyway.
+    }
+
+    let jobs: Vec<(usize, &Vec<usize>)> = components.iter().enumerate().collect();
+    let results: Vec<Vec<Vec<u32>>> = mr.par_map(&jobs, |&(ci, comp)| {
+        if comp.len() == 1 {
+            return vec![vec![comp[0] as u32]];
+        }
+        // Local reindex.
+        let mut local_of: HashMap<u32, u32> = HashMap::new();
+        for (li, &v) in comp.iter().enumerate() {
+            local_of.insert(v as u32, li as u32);
+        }
+        let edges: Vec<(u32, u32, crate::graph::EdgeWeights)> = comp_edges[ci]
+            .iter()
+            .map(|&(a, b, w)| (local_of[&a], local_of[&b], w))
+            .collect();
+        let sub = CompatGraph {
+            n: comp.len(),
+            edges,
+            blocking: Default::default(),
+        };
+        let part = greedy_partition(&sub, cfg);
+        part.groups
+            .into_iter()
+            .map(|g| g.into_iter().map(|v| comp[v as usize] as u32).collect())
+            .collect()
+    });
+
+    let mut groups: Vec<Vec<u32>> = results.into_iter().flatten().collect();
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups.sort_by_key(|g| g[0]);
+    Partitioning { groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeWeights;
+
+    fn graph(n: usize, edges: Vec<(u32, u32, f64, f64)>) -> CompatGraph {
+        CompatGraph {
+            n,
+            edges: edges
+                .into_iter()
+                .map(|(a, b, p, ng)| (a, b, EdgeWeights { pos: p, neg: ng }))
+                .collect(),
+            blocking: Default::default(),
+        }
+    }
+
+    fn cfg() -> SynthesisConfig {
+        SynthesisConfig {
+            theta_edge: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// Paper Figure 3 / Example 16: vertices 1,2 (ISO) and 3,4,5 (IOC)
+    /// — 0-indexed here as 0,1 and 2,3,4.
+    #[test]
+    fn paper_example_16_figure_3() {
+        let g = graph(
+            5,
+            vec![
+                (0, 1, 0.5, 0.0),    // B1-B2
+                (1, 2, 0.67, -0.7),  // B2-B3: positive but hard conflict
+                (2, 4, 0.8, 0.0),    // B3-B5 (merged first)
+                (3, 4, 0.7, 0.0),    // B4-B5
+                (2, 3, 0.6, 0.0),    // B3-B4
+                (0, 3, 0.33, -0.33), // B1-B4: weak positive, hard conflict
+            ],
+        );
+        let p = greedy_partition(&g, &cfg());
+        assert_eq!(p.groups, vec![vec![0, 1], vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn respects_hard_constraints() {
+        // Triangle: 0-1 strong positive, 1-2 positive, 0-2 hard
+        // negative → 2 cannot join the 0-1 partition.
+        let g = graph(
+            3,
+            vec![(0, 1, 0.9, 0.0), (1, 2, 0.8, 0.0), (0, 2, 0.0, -0.9)],
+        );
+        let p = greedy_partition(&g, &cfg());
+        assert!(!p.violates_constraints(&g, cfg().tau));
+        // 0 and 1 merge first (0.9); then {0,1}-2 inherits min neg
+        // −0.9 → blocked. 2 stays alone.
+        assert_eq!(p.groups, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn merge_order_affects_outcome_greedily() {
+        // If 1-2 merged first (0.8 < 0.9 so it doesn't), 0 would be
+        // blocked. Verify greedy picks the highest edge first.
+        let g = graph(
+            3,
+            vec![(0, 1, 0.7, 0.0), (1, 2, 0.9, 0.0), (0, 2, 0.0, -0.9)],
+        );
+        let p = greedy_partition(&g, &cfg());
+        assert_eq!(p.groups, vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn positive_weights_sum_on_merge() {
+        // 0-1 (0.6), 0-2 (0.3), 1-2 (0.3). After merging 0-1, edge to
+        // 2 sums to 0.6 and the merge proceeds → all one partition.
+        let g = graph(
+            3,
+            vec![(0, 1, 0.6, 0.0), (0, 2, 0.3, 0.0), (1, 2, 0.3, 0.0)],
+        );
+        let p = greedy_partition(&g, &cfg());
+        assert_eq!(p.groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn negative_min_propagates_through_merges() {
+        // 2 conflicts with 1 only; after 0-1 merge, {0,1} must inherit
+        // the conflict (min) and refuse 2 despite positive weight to 0.
+        let g = graph(
+            3,
+            vec![(0, 1, 0.9, 0.0), (0, 2, 0.8, 0.0), (1, 2, 0.5, -0.9)],
+        );
+        let p = greedy_partition(&g, &cfg());
+        assert_eq!(p.groups, vec![vec![0, 1], vec![2]]);
+        assert!(!p.violates_constraints(&g, cfg().tau));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = graph(0, vec![]);
+        assert!(greedy_partition(&g, &cfg()).groups.is_empty());
+        let g = graph(3, vec![]);
+        let p = greedy_partition(&g, &cfg());
+        assert_eq!(p.groups, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn components_variant_matches_global() {
+        // Two independent clusters plus a constraint inside one.
+        let g = graph(
+            7,
+            vec![
+                (0, 1, 0.9, 0.0),
+                (1, 2, 0.8, 0.0),
+                (0, 2, 0.0, -0.9),
+                (3, 4, 0.7, 0.0),
+                (4, 5, 0.6, 0.0),
+                (3, 5, 0.5, 0.0),
+            ],
+        );
+        let a = greedy_partition(&g, &cfg());
+        let b = partition_by_components(&g, &cfg(), &MapReduce::new(4));
+        assert_eq!(a, b);
+        // vertex 6 isolated
+        assert!(a.groups.contains(&vec![6]));
+    }
+
+    #[test]
+    fn objective_counts_intra_partition_weight() {
+        let g = graph(
+            4,
+            vec![
+                (0, 1, 0.5, 0.0),
+                (2, 3, 0.4, 0.0),
+                (1, 2, 0.9, -0.9), // blocked
+            ],
+        );
+        let p = greedy_partition(&g, &cfg());
+        assert_eq!(p.groups, vec![vec![0, 1], vec![2, 3]]);
+        assert!((p.objective(&g) - 0.9).abs() < 1e-9);
+    }
+}

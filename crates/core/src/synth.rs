@@ -1,0 +1,154 @@
+//! Synthesized mapping relationships: the union of a partition.
+
+use crate::values::{NormBinary, ValueSpace};
+use std::collections::HashSet;
+
+/// A synthesized mapping relationship: the deduplicated union of all
+/// value pairs of the tables in one partition, with provenance
+/// statistics for curation (paper §4.3).
+#[derive(Clone, Debug)]
+pub struct SynthesizedMapping {
+    /// Normalized `(left, right)` pairs, sorted and deduplicated.
+    pub pairs: Vec<(String, String)>,
+    /// Indices (into the run's `NormBinary` slice) of member tables.
+    pub member_tables: Vec<u32>,
+    /// Number of distinct provenance domains contributing tables —
+    /// the paper's primary popularity/curation signal.
+    pub domains: usize,
+    /// Number of distinct source tables.
+    pub source_tables: usize,
+    /// Number of tables removed by conflict resolution.
+    pub tables_removed: usize,
+}
+
+impl SynthesizedMapping {
+    /// Union the pairs of `group` (indices into `tables`) into a
+    /// mapping. No conflict resolution — see [`crate::conflict`].
+    pub fn union_of(space: &ValueSpace, tables: &[NormBinary], group: &[u32]) -> Self {
+        let mut pair_set: HashSet<(&str, &str)> = HashSet::new();
+        let mut domains = HashSet::new();
+        let mut sources = HashSet::new();
+        for &ti in group {
+            let t = &tables[ti as usize];
+            domains.insert(t.domain);
+            sources.insert(t.source);
+            for &(l, r) in &t.pairs {
+                pair_set.insert((space.string(l), space.string(r)));
+            }
+        }
+        let mut pairs: Vec<(String, String)> = pair_set
+            .into_iter()
+            .map(|(l, r)| (l.to_string(), r.to_string()))
+            .collect();
+        pairs.sort();
+        Self {
+            pairs,
+            member_tables: group.to_vec(),
+            domains: domains.len(),
+            source_tables: sources.len(),
+            tables_removed: 0,
+        }
+    }
+
+    /// Number of value pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Distinct left values.
+    pub fn distinct_lefts(&self) -> usize {
+        let lefts: HashSet<&str> = self.pairs.iter().map(|(l, _)| l.as_str()).collect();
+        lefts.len()
+    }
+
+    /// Left values mapping to more than one right value (residual
+    /// conflicts; zero after conflict resolution unless synonyms remain
+    /// unresolved).
+    pub fn conflicting_lefts(&self) -> usize {
+        let mut count = 0;
+        let mut i = 0;
+        while i < self.pairs.len() {
+            let mut j = i + 1;
+            while j < self.pairs.len() && self.pairs[j].0 == self.pairs[i].0 {
+                j += 1;
+            }
+            if j - i > 1 {
+                count += 1;
+            }
+            i = j;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::build_value_space;
+    use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_text::SynonymDict;
+
+    fn setup(tables: Vec<(usize, Vec<(&str, &str)>)>) -> (ValueSpace, Vec<NormBinary>) {
+        let mut corpus = Corpus::new();
+        let domains: Vec<_> = (0..4).map(|i| corpus.domain(&format!("d{i}"))).collect();
+        let cands: Vec<BinaryTable> = tables
+            .into_iter()
+            .enumerate()
+            .map(|(i, (dom, rows))| {
+                let syms = rows
+                    .iter()
+                    .map(|(l, r)| (corpus.interner.intern(l), corpus.interner.intern(r)))
+                    .collect();
+                BinaryTable::new(
+                    BinaryId(i as u32),
+                    TableId(i as u32),
+                    domains[dom],
+                    0,
+                    1,
+                    syms,
+                )
+            })
+            .collect();
+        build_value_space(&corpus, &cands, &SynonymDict::new())
+    }
+
+    #[test]
+    fn union_dedups_and_counts_domains() {
+        let (space, t) = setup(vec![
+            (0, vec![("a", "1"), ("b", "2")]),
+            (1, vec![("b", "2"), ("c", "3")]),
+            (0, vec![("a", "1"), ("c", "3")]),
+        ]);
+        let m = SynthesizedMapping::union_of(&space, &t, &[0, 1, 2]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.domains, 2);
+        assert_eq!(m.source_tables, 3);
+        assert_eq!(m.distinct_lefts(), 3);
+        assert_eq!(m.conflicting_lefts(), 0);
+    }
+
+    #[test]
+    fn conflicting_lefts_detected() {
+        let (space, t) = setup(vec![
+            (0, vec![("a", "1"), ("b", "2")]),
+            (1, vec![("a", "9"), ("b", "2")]),
+        ]);
+        let m = SynthesizedMapping::union_of(&space, &t, &[0, 1]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.conflicting_lefts(), 1);
+    }
+
+    #[test]
+    fn pairs_sorted() {
+        let (space, t) = setup(vec![(0, vec![("z", "9"), ("a", "1"), ("m", "5")])]);
+        let m = SynthesizedMapping::union_of(&space, &t, &[0]);
+        let mut sorted = m.pairs.clone();
+        sorted.sort();
+        assert_eq!(m.pairs, sorted);
+    }
+}

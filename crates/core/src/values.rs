@@ -1,0 +1,264 @@
+//! Normalized value space.
+//!
+//! Candidate tables arrive with corpus-interned raw cell symbols. The
+//! synthesis step reasons about *values*: normalized strings
+//! ([`mapsynth_text::normalize()`]) folded by the optional synonym feed.
+//! This module builds:
+//!
+//! * a [`ValueSpace`]: dense [`NormId`]s for every distinct normalized
+//!   string appearing in any candidate, plus a class id per value
+//!   (synonym classes collapse to one class);
+//! * a [`NormBinary`] per candidate: its deduplicated `(left, right)`
+//!   class pairs plus the original strings for approximate matching.
+
+use mapsynth_corpus::{BinaryTable, Corpus, Sym};
+use mapsynth_text::{normalize, SynonymDict};
+use std::collections::HashMap;
+
+/// Dense id of a distinct normalized string.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NormId(pub u32);
+
+/// The normalized value universe of one synthesis run.
+pub struct ValueSpace {
+    /// NormId → normalized string.
+    strings: Vec<String>,
+    /// NormId → whitespace-stripped normalized string, precomputed for
+    /// the hot approximate-matching loop (paper Example 8 compares with
+    /// separators ignored).
+    compact: Vec<String>,
+    /// NormId → class id. Values in the same synonym class share a
+    /// class id; values outside any class have a unique one.
+    class: Vec<u32>,
+}
+
+impl ValueSpace {
+    /// The normalized string for a value.
+    pub fn string(&self, id: NormId) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    /// The whitespace-stripped normalized string (for edit-distance
+    /// comparison).
+    pub fn compact(&self, id: NormId) -> &str {
+        &self.compact[id.0 as usize]
+    }
+
+    /// The match class for a value (normalized-equality ∪ synonymy).
+    #[inline]
+    pub fn class(&self, id: NormId) -> u32 {
+        self.class[id.0 as usize]
+    }
+
+    /// Number of distinct normalized values.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// A candidate table projected into the normalized value space.
+#[derive(Clone, Debug)]
+pub struct NormBinary {
+    /// Index of the originating [`BinaryTable`] in the candidate list.
+    pub idx: u32,
+    /// Provenance domain (for curation statistics).
+    pub domain: mapsynth_corpus::DomainId,
+    /// Source table id.
+    pub source: mapsynth_corpus::TableId,
+    /// Deduplicated `(left, right)` value pairs sorted by `(left class,
+    /// right class)`.
+    pub pairs: Vec<(NormId, NormId)>,
+}
+
+impl NormBinary {
+    /// Number of distinct pairs `|B|`.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Build the value space and normalized candidates.
+///
+/// Pairs whose left or right normalizes to the empty string are
+/// dropped; candidates left with fewer than two pairs are dropped
+/// entirely (their `NormBinary` is omitted — callers use `idx` to map
+/// back to the original candidate list).
+pub fn build_value_space(
+    corpus: &Corpus,
+    candidates: &[BinaryTable],
+    synonyms: &SynonymDict,
+) -> (ValueSpace, Vec<NormBinary>) {
+    let mut norm_of_sym: HashMap<Sym, Option<NormId>> = HashMap::new();
+    let mut id_of_string: HashMap<String, NormId> = HashMap::new();
+    let mut strings: Vec<String> = Vec::new();
+
+    let mut resolve = |sym: Sym| -> Option<NormId> {
+        if let Some(&cached) = norm_of_sym.get(&sym) {
+            return cached;
+        }
+        let n = normalize(corpus.str_of(sym));
+        let id = if n.is_empty() {
+            None
+        } else {
+            Some(*id_of_string.entry(n.clone()).or_insert_with(|| {
+                strings.push(n);
+                NormId((strings.len() - 1) as u32)
+            }))
+        };
+        norm_of_sym.insert(sym, id);
+        id
+    };
+
+    type PendingTable = (
+        u32,
+        mapsynth_corpus::DomainId,
+        mapsynth_corpus::TableId,
+        Vec<(NormId, NormId)>,
+    );
+    let mut norm_tables: Vec<PendingTable> = Vec::with_capacity(candidates.len());
+    for (i, cand) in candidates.iter().enumerate() {
+        let mut pairs: Vec<(NormId, NormId)> = cand
+            .pairs
+            .iter()
+            .filter_map(|&(l, r)| Some((resolve(l)?, resolve(r)?)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        if pairs.len() >= 2 {
+            norm_tables.push((i as u32, cand.domain, cand.source, pairs));
+        }
+    }
+
+    // Fold synonym classes: class id = representative NormId, except
+    // synonym-class members share the smallest member's id.
+    let mut class: Vec<u32> = (0..strings.len() as u32).collect();
+    if !synonyms.is_empty() {
+        // Map external synonym class → smallest NormId seen.
+        let mut rep_of_class: HashMap<usize, u32> = HashMap::new();
+        for (i, s) in strings.iter().enumerate() {
+            if let Some(c) = synonyms.class_of(s) {
+                let rep = rep_of_class.entry(c).or_insert(i as u32);
+                class[i] = *rep;
+            }
+        }
+    }
+
+    let compact = strings
+        .iter()
+        .map(|s| s.chars().filter(|c| !c.is_whitespace()).collect())
+        .collect();
+    let space = ValueSpace {
+        strings,
+        compact,
+        class,
+    };
+    let tables = norm_tables
+        .into_iter()
+        .map(|(idx, domain, source, mut pairs)| {
+            // Sort by class pair for the hash-join in compat scoring.
+            pairs.sort_by_key(|&(l, r)| (space.class(l), space.class(r)));
+            NormBinary {
+                idx,
+                domain,
+                source,
+                pairs,
+            }
+        })
+        .collect();
+    (space, tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapsynth_corpus::{BinaryId, Corpus, DomainId, TableId};
+
+    fn mk_candidates(rows: Vec<Vec<(&str, &str)>>) -> (Corpus, Vec<BinaryTable>) {
+        let mut corpus = Corpus::new();
+        let d = corpus.domain("x");
+        let mut out = Vec::new();
+        for (i, pairs) in rows.into_iter().enumerate() {
+            let syms: Vec<(Sym, Sym)> = pairs
+                .iter()
+                .map(|(l, r)| (corpus.interner.intern(l), corpus.interner.intern(r)))
+                .collect();
+            out.push(BinaryTable::new(
+                BinaryId(i as u32),
+                TableId(i as u32),
+                d,
+                0,
+                1,
+                syms,
+            ));
+        }
+        let _ = DomainId(0);
+        (corpus, out)
+    }
+
+    #[test]
+    fn normalization_folds_case_and_footnotes() {
+        let (corpus, cands) = mk_candidates(vec![vec![
+            ("United States", "USA"),
+            ("UNITED STATES[1]", "usa"),
+            ("Canada", "CAN"),
+        ]]);
+        let (space, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+        assert_eq!(tables.len(), 1);
+        // "United States" and "UNITED STATES[1]" fold to one value;
+        // ("united states","usa") dedups to one pair.
+        assert_eq!(tables[0].len(), 2);
+        let strs: Vec<&str> = tables[0]
+            .pairs
+            .iter()
+            .map(|&(l, _)| space.string(l))
+            .collect();
+        assert!(strs.contains(&"united states"));
+        assert!(strs.contains(&"canada"));
+    }
+
+    #[test]
+    fn empty_values_dropped_and_small_tables_omitted() {
+        let (corpus, cands) = mk_candidates(vec![
+            vec![("***", "x"), ("a", "1")], // one usable pair → dropped
+            vec![("a", "1"), ("b", "2")],
+        ]);
+        let (_, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].idx, 1);
+    }
+
+    #[test]
+    fn synonym_classes_fold() {
+        let (corpus, cands) = mk_candidates(vec![
+            vec![("US Virgin Islands", "ISV"), ("Canada", "CAN")],
+            vec![("United States Virgin Islands", "ISV"), ("Canada", "CAN")],
+        ]);
+        let mut dict = SynonymDict::new();
+        dict.declare("US Virgin Islands", "United States Virgin Islands");
+        let (space, tables) = build_value_space(&corpus, &cands, &dict);
+        let l0 = tables[0]
+            .pairs
+            .iter()
+            .find(|&&(l, _)| space.string(l).contains("virgin"))
+            .unwrap()
+            .0;
+        let l1 = tables[1]
+            .pairs
+            .iter()
+            .find(|&&(l, _)| space.string(l).contains("virgin"))
+            .unwrap()
+            .0;
+        assert_ne!(l0, l1, "different strings, different values");
+        assert_eq!(space.class(l0), space.class(l1), "same synonym class");
+    }
+}

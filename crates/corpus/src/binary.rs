@@ -1,0 +1,153 @@
+//! Candidate two-column ("binary") tables.
+//!
+//! The unit of synthesis (paper §3): an *ordered* pair of columns
+//! `(left, right)` drawn from one source table, stored as a
+//! deduplicated set of `(l, r)` value pairs. Extraction produces these;
+//! the synthesis graph's vertices are these.
+
+use crate::intern::Sym;
+use crate::table::{DomainId, TableId};
+
+/// Identifier of a binary candidate table within one extraction run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BinaryId(pub u32);
+
+/// A candidate two-column table `B = {(l_i, r_i)}`.
+#[derive(Clone, Debug)]
+pub struct BinaryTable {
+    /// Identifier within the candidate set.
+    pub id: BinaryId,
+    /// Source table.
+    pub source: TableId,
+    /// Provenance domain of the source table (for curation stats).
+    pub domain: DomainId,
+    /// Index of the left column in the source table.
+    pub left_col: u16,
+    /// Index of the right column in the source table.
+    pub right_col: u16,
+    /// Header of the left column, if present (used by name-based
+    /// baselines like UnionDomain, not by synthesis itself).
+    pub left_header: Option<Sym>,
+    /// Header of the right column, if present.
+    pub right_header: Option<Sym>,
+    /// Deduplicated `(left, right)` value pairs, sorted for fast
+    /// set operations.
+    pub pairs: Vec<(Sym, Sym)>,
+}
+
+impl BinaryTable {
+    /// Build a binary table from (possibly duplicated, unsorted) row
+    /// pairs; deduplicates and sorts.
+    pub fn new(
+        id: BinaryId,
+        source: TableId,
+        domain: DomainId,
+        left_col: u16,
+        right_col: u16,
+        mut pairs: Vec<(Sym, Sym)>,
+    ) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        Self {
+            id,
+            source,
+            domain,
+            left_col,
+            right_col,
+            left_header: None,
+            right_header: None,
+            pairs,
+        }
+    }
+
+    /// Attach column headers.
+    pub fn with_headers(mut self, left: Option<Sym>, right: Option<Sym>) -> Self {
+        self.left_header = left;
+        self.right_header = right;
+        self
+    }
+
+    /// Number of distinct value pairs `|B|`.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the table has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterate left values (with duplicates if a left value maps to
+    /// several rights).
+    pub fn lefts(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.pairs.iter().map(|&(l, _)| l)
+    }
+
+    /// Iterate right values.
+    pub fn rights(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.pairs.iter().map(|&(_, r)| r)
+    }
+
+    /// Exact set intersection size `|B ∩ B'|` on interned pairs.
+    /// (The synthesis layer refines this with normalization and
+    /// approximate matching; this raw version is used in tests and as a
+    /// fast path.)
+    pub fn exact_overlap(&self, other: &BinaryTable) -> usize {
+        let (a, b) = (&self.pairs, &other.pairs);
+        let mut i = 0;
+        let mut j = 0;
+        let mut n = 0;
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bt(id: u32, pairs: Vec<(u32, u32)>) -> BinaryTable {
+        BinaryTable::new(
+            BinaryId(id),
+            TableId(0),
+            DomainId(0),
+            0,
+            1,
+            pairs.into_iter().map(|(a, b)| (Sym(a), Sym(b))).collect(),
+        )
+    }
+
+    #[test]
+    fn dedup_and_sort() {
+        let b = bt(0, vec![(3, 4), (1, 2), (3, 4), (1, 2)]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.pairs, vec![(Sym(1), Sym(2)), (Sym(3), Sym(4))]);
+    }
+
+    #[test]
+    fn exact_overlap_symmetric() {
+        let a = bt(0, vec![(1, 2), (3, 4), (5, 6)]);
+        let b = bt(1, vec![(3, 4), (5, 6), (7, 8)]);
+        assert_eq!(a.exact_overlap(&b), 2);
+        assert_eq!(b.exact_overlap(&a), 2);
+        assert_eq!(a.exact_overlap(&a), 3);
+    }
+
+    #[test]
+    fn empty_table() {
+        let e = bt(0, vec![]);
+        let a = bt(1, vec![(1, 2)]);
+        assert!(e.is_empty());
+        assert_eq!(e.exact_overlap(&a), 0);
+    }
+}

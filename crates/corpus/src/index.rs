@@ -1,0 +1,145 @@
+//! Inverted index from values to the corpus columns containing them.
+//!
+//! This is the `C(u)` of paper §3.1: the set of columns that contain
+//! value `u`. Column sets are stored as sorted vectors of
+//! [`GlobalColId`], so co-occurrence counts `|C(u) ∩ C(v)|` reduce to a
+//! linear sorted-set intersection.
+
+use crate::intern::Sym;
+use crate::table::Corpus;
+use std::collections::HashSet;
+
+/// Global identifier of a column: dense index over all columns in the
+/// corpus in `(table, column)` order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GlobalColId(pub u32);
+
+/// Inverted index: value symbol → sorted list of columns containing it.
+///
+/// A value is counted at most once per column (set semantics), matching
+/// the paper's definition of `C(u)`.
+pub struct ValueIndex {
+    /// postings[sym.index()] = sorted column ids containing that value.
+    postings: Vec<Vec<GlobalColId>>,
+    total_columns: usize,
+}
+
+impl ValueIndex {
+    /// Build the index over an entire corpus.
+    pub fn build(corpus: &Corpus) -> Self {
+        let mut postings: Vec<Vec<GlobalColId>> = vec![Vec::new(); corpus.interner.len()];
+        let mut col_id = 0u32;
+        for table in &corpus.tables {
+            for column in &table.columns {
+                let gid = GlobalColId(col_id);
+                col_id += 1;
+                let mut seen: HashSet<Sym> = HashSet::with_capacity(column.values.len());
+                for &v in &column.values {
+                    if seen.insert(v) {
+                        postings[v.index()].push(gid);
+                    }
+                }
+            }
+        }
+        // Postings are produced in ascending column order already, but
+        // sort defensively so intersection invariants cannot silently
+        // break if construction order changes.
+        for p in &mut postings {
+            debug_assert!(p.windows(2).all(|w| w[0] < w[1]));
+            p.sort_unstable();
+        }
+        Self {
+            postings,
+            total_columns: col_id as usize,
+        }
+    }
+
+    /// `|C(u)|`: the number of columns containing `u`. Zero for symbols
+    /// that only appear as headers.
+    #[inline]
+    pub fn column_count(&self, u: Sym) -> usize {
+        self.postings.get(u.index()).map_or(0, Vec::len)
+    }
+
+    /// The sorted postings list for `u`.
+    pub fn columns(&self, u: Sym) -> &[GlobalColId] {
+        self.postings.get(u.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// `|C(u) ∩ C(v)|`: number of columns containing both values.
+    pub fn cooccurrence(&self, u: Sym, v: Sym) -> usize {
+        intersection_len(self.columns(u), self.columns(v))
+    }
+
+    /// Total number of columns in the corpus (the `N` of Equation 1).
+    pub fn total_columns(&self) -> usize {
+        self.total_columns
+    }
+}
+
+/// Length of the intersection of two sorted, duplicate-free slices.
+fn intersection_len(a: &[GlobalColId], b: &[GlobalColId]) -> usize {
+    // Galloping helps when one list is much shorter; the plain merge is
+    // fine at our scale and simpler to verify.
+    let mut i = 0;
+    let mut j = 0;
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Corpus;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        let d = c.domain("t.org");
+        // col0: {USA, Canada}, col1: {1,2}
+        c.push_table(
+            d,
+            vec![(None, vec!["USA", "Canada"]), (None, vec!["1", "2"])],
+        );
+        // col2: {USA, Mexico}
+        c.push_table(d, vec![(None, vec!["USA", "Mexico", "USA"])]);
+        // col3: {Canada}
+        c.push_table(d, vec![(None, vec!["Canada"])]);
+        c
+    }
+
+    #[test]
+    fn counts_and_cooccurrence() {
+        let c = corpus();
+        let idx = ValueIndex::build(&c);
+        let usa = c.interner.get("USA").unwrap();
+        let can = c.interner.get("Canada").unwrap();
+        let mex = c.interner.get("Mexico").unwrap();
+        assert_eq!(idx.total_columns(), 4);
+        assert_eq!(idx.column_count(usa), 2); // col0, col2 (dup inside col2 counted once)
+        assert_eq!(idx.column_count(can), 2); // col0, col3
+        assert_eq!(idx.column_count(mex), 1);
+        assert_eq!(idx.cooccurrence(usa, can), 1); // only col0
+        assert_eq!(idx.cooccurrence(usa, mex), 1); // col2
+        assert_eq!(idx.cooccurrence(can, mex), 0);
+    }
+
+    #[test]
+    fn intersection_len_basics() {
+        let a: Vec<GlobalColId> = [1u32, 3, 5, 7].iter().map(|&x| GlobalColId(x)).collect();
+        let b: Vec<GlobalColId> = [2u32, 3, 7, 9].iter().map(|&x| GlobalColId(x)).collect();
+        assert_eq!(intersection_len(&a, &b), 2);
+        assert_eq!(intersection_len(&a, &[]), 0);
+        assert_eq!(intersection_len(&a, &a), 4);
+    }
+}

@@ -1,0 +1,236 @@
+//! Loading real table corpora from disk.
+//!
+//! The paper's corpora are crawled HTML tables and enterprise
+//! spreadsheets; the portable interchange for both is CSV. This module
+//! loads a directory tree of CSV files into a [`Corpus`]:
+//!
+//! ```text
+//! corpus-root/
+//!   en.wikipedia.org/        <- one directory per provenance domain
+//!     country_codes.csv      <- one CSV file per table (header row = column names)
+//!     airports.csv
+//!   data.gov/
+//!     iata_registry.csv
+//! ```
+//!
+//! The parser is a minimal RFC-4180 reader (quoted fields, embedded
+//! commas/newlines/escaped quotes) — enough for spreadsheet exports
+//! without pulling in a dependency.
+
+use crate::table::{Corpus, DomainId, TableId};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Parse one CSV document into rows of fields.
+///
+/// Handles RFC-4180 quoting: fields may be wrapped in `"`, embedded
+/// quotes are doubled, quoted fields may contain commas and newlines.
+/// CRLF and LF line endings both work. A trailing newline does not
+/// produce an empty row.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false; // saw content since last row flush
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                any = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                any = true;
+            }
+            '\r' => {} // swallow; LF follows in CRLF
+            '\n' => {
+                if any || !field.is_empty() || !row.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                    any = false;
+                }
+            }
+            _ => {
+                field.push(c);
+                any = true;
+            }
+        }
+    }
+    if any || !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Load one CSV table into the corpus under the given domain.
+///
+/// The first row is treated as the header when `has_header` is true.
+/// Short rows are padded with empty cells; overlong rows are truncated
+/// to the header width (spreadsheet exports are ragged in practice).
+/// Returns `None` for tables with no data rows or fewer than two
+/// columns.
+pub fn load_csv_table(
+    corpus: &mut Corpus,
+    domain: DomainId,
+    text: &str,
+    has_header: bool,
+) -> Option<TableId> {
+    let mut rows = parse_csv(text);
+    if rows.is_empty() {
+        return None;
+    }
+    let header: Option<Vec<String>> = if has_header {
+        Some(rows.remove(0))
+    } else {
+        None
+    };
+    if rows.is_empty() {
+        return None;
+    }
+    let width = header
+        .as_ref()
+        .map(Vec::len)
+        .unwrap_or_else(|| rows.iter().map(Vec::len).max().unwrap_or(0));
+    if width < 2 {
+        return None;
+    }
+    // Column-major with padding/truncation.
+    let mut columns: Vec<(Option<&str>, Vec<&str>)> = Vec::with_capacity(width);
+    static EMPTY: &str = "";
+    for ci in 0..width {
+        let h = header.as_ref().and_then(|h| h.get(ci)).map(String::as_str);
+        let values: Vec<&str> = rows
+            .iter()
+            .map(|r| r.get(ci).map(String::as_str).unwrap_or(EMPTY))
+            .collect();
+        columns.push((h, values));
+    }
+    Some(corpus.push_table(domain, columns))
+}
+
+/// Load a corpus from a directory tree: one subdirectory per domain,
+/// one CSV file per table. Files and directories are visited in sorted
+/// order so corpus construction is deterministic.
+pub fn load_csv_dir(root: &Path) -> io::Result<Corpus> {
+    let mut corpus = Corpus::new();
+    let mut domains: Vec<_> = fs::read_dir(root)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .filter(|e| e.path().is_dir())
+        .collect();
+    domains.sort_by_key(|e| e.file_name());
+    for dir in domains {
+        let domain_name = dir.file_name().to_string_lossy().to_string();
+        let domain = corpus.domain(&domain_name);
+        let mut files: Vec<_> = fs::read_dir(dir.path())?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .filter(|e| {
+                e.path()
+                    .extension()
+                    .is_some_and(|x| x.eq_ignore_ascii_case("csv"))
+            })
+            .collect();
+        files.sort_by_key(|e| e.file_name());
+        for file in files {
+            let text = fs::read_to_string(file.path())?;
+            load_csv_table(&mut corpus, domain, &text, true);
+        }
+    }
+    Ok(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_csv() {
+        let rows = parse_csv("a,b,c\n1,2,3\n");
+        assert_eq!(rows, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        let rows = parse_csv("name,note\n\"Korea, Republic of\",\"says \"\"hi\"\"\"\n");
+        assert_eq!(rows[1][0], "Korea, Republic of");
+        assert_eq!(rows[1][1], "says \"hi\"");
+    }
+
+    #[test]
+    fn parse_quoted_newline_and_crlf() {
+        let rows = parse_csv("a,b\r\n\"line1\nline2\",x\r\n");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][0], "line1\nline2");
+    }
+
+    #[test]
+    fn parse_empty_fields() {
+        let rows = parse_csv("a,,c\n,,\n");
+        assert_eq!(rows[0], vec!["a", "", "c"]);
+        assert_eq!(rows[1], vec!["", "", ""]);
+    }
+
+    #[test]
+    fn load_table_pads_ragged_rows() {
+        let mut c = Corpus::new();
+        let d = c.domain("x");
+        let id = load_csv_table(&mut c, d, "a,b,c\n1,2,3\n4,5\n", true).unwrap();
+        let t = c.table(id);
+        assert_eq!(t.width(), 3);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(c.str_of(t.columns[2].values[1]), "");
+        assert_eq!(c.str_of(t.columns[0].header.unwrap()), "a");
+    }
+
+    #[test]
+    fn load_rejects_narrow_or_empty() {
+        let mut c = Corpus::new();
+        let d = c.domain("x");
+        assert!(load_csv_table(&mut c, d, "", true).is_none());
+        assert!(load_csv_table(&mut c, d, "only\nrow\n", true).is_none());
+        assert!(
+            load_csv_table(&mut c, d, "a,b\n", true).is_none(),
+            "header only"
+        );
+    }
+
+    #[test]
+    fn load_dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mapsynth-io-test-{}", std::process::id()));
+        let site = dir.join("site-a.example.org");
+        std::fs::create_dir_all(&site).unwrap();
+        std::fs::write(
+            site.join("codes.csv"),
+            "country,code\nUnited States,USA\nCanada,CAN\n",
+        )
+        .unwrap();
+        std::fs::write(site.join("ignored.txt"), "not a table").unwrap();
+        let corpus = load_csv_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.domain_names, vec!["site-a.example.org"]);
+        let t = &corpus.tables[0];
+        assert_eq!(t.rows(), 2);
+        assert_eq!(corpus.str_of(t.columns[1].values[0]), "USA");
+    }
+}

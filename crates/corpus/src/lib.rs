@@ -1,0 +1,35 @@
+//! # mapsynth-corpus
+//!
+//! The table-corpus substrate for the `mapsynth` workspace: an in-memory
+//! model of a heterogeneous corpus of relational tables (web tables or
+//! enterprise spreadsheets), together with the statistics the synthesis
+//! pipeline needs:
+//!
+//! * a [`Interner`] mapping cell strings to compact [`Sym`] ids,
+//! * [`Table`]/[`Column`]/[`Corpus`] containers with provenance
+//!   (originating web domain),
+//! * a [`ValueIndex`] inverted index from values to the columns that
+//!   contain them,
+//! * PMI / NPMI co-occurrence statistics and column coherence scores
+//!   (paper §3.1, Equations 1–2),
+//! * the [`BinaryTable`] candidate type produced by extraction and
+//!   consumed by synthesis.
+//!
+//! The corpus is the *only* input to the synthesis problem (paper
+//! Definition 3): `T = {T}` where each table is a set of columns.
+
+pub mod binary;
+pub mod index;
+pub mod intern;
+pub mod io;
+pub mod stats;
+pub mod table;
+
+pub use binary::{BinaryId, BinaryTable};
+pub use index::{GlobalColId, ValueIndex};
+pub use intern::{Interner, Sym};
+pub use io::{load_csv_dir, load_csv_table, parse_csv};
+pub use stats::{
+    column_coherence, column_coherence_excluding, npmi, pmi, CoherenceConfig, CooccurrenceStats,
+};
+pub use table::{Column, Corpus, DomainId, Table, TableId};

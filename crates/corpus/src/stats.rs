@@ -1,0 +1,321 @@
+//! Co-occurrence statistics: PMI, NPMI and column coherence.
+//!
+//! Paper §3.1. The coherence of a column is the average pairwise
+//! Normalized Pointwise Mutual Information (NPMI) of its values, where
+//! co-occurrence is measured over all columns of the corpus:
+//!
+//! * `PMI(u,v) = log( p(u,v) / (p(u)·p(v)) )`           (Equation 1)
+//! * `NPMI(u,v) = PMI(u,v) / (−log p(u,v))` in `[-1, 1]`
+//! * `S(C) = mean of s(v_i, v_j) over value pairs`       (Equation 2)
+//!
+//! Columns whose values never co-occur elsewhere ("Location" in the
+//! paper's Table 7: mixed addresses, zip codes, free text) score low and
+//! are pruned before candidate extraction.
+
+use crate::index::{GlobalColId, ValueIndex};
+use crate::intern::Sym;
+
+/// Pre-resolved co-occurrence counts for a pair of values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CooccurrenceStats {
+    /// `|C(u)|`
+    pub count_u: usize,
+    /// `|C(v)|`
+    pub count_v: usize,
+    /// `|C(u) ∩ C(v)|`
+    pub count_uv: usize,
+    /// Total columns `N`.
+    pub total: usize,
+}
+
+impl CooccurrenceStats {
+    /// Gather counts from the inverted index.
+    pub fn gather(index: &ValueIndex, u: Sym, v: Sym) -> Self {
+        Self {
+            count_u: index.column_count(u),
+            count_v: index.column_count(v),
+            count_uv: index.cooccurrence(u, v),
+            total: index.total_columns(),
+        }
+    }
+
+    /// Gather counts while excluding one column from the statistics.
+    ///
+    /// When scoring the coherence of column `g` itself, `g` must not
+    /// contribute evidence: otherwise any column trivially co-occurs
+    /// with itself and junk columns of corpus-unique values would score
+    /// +1 instead of −1.
+    pub fn gather_excluding(index: &ValueIndex, u: Sym, v: Sym, exclude: GlobalColId) -> Self {
+        let in_u = index.columns(u).binary_search(&exclude).is_ok();
+        let in_v = index.columns(v).binary_search(&exclude).is_ok();
+        Self {
+            count_u: index.column_count(u) - usize::from(in_u),
+            count_v: index.column_count(v) - usize::from(in_v),
+            count_uv: index.cooccurrence(u, v) - usize::from(in_u && in_v),
+            total: index.total_columns().saturating_sub(1),
+        }
+    }
+}
+
+/// Pointwise mutual information (paper Equation 1).
+///
+/// Returns `None` when any probability is zero (a value never observed
+/// in a column, or the pair never co-occurring), where PMI is
+/// undefined / −∞.
+pub fn pmi(s: CooccurrenceStats) -> Option<f64> {
+    if s.count_u == 0 || s.count_v == 0 || s.count_uv == 0 || s.total == 0 {
+        return None;
+    }
+    let n = s.total as f64;
+    let p_u = s.count_u as f64 / n;
+    let p_v = s.count_v as f64 / n;
+    let p_uv = s.count_uv as f64 / n;
+    Some((p_uv / (p_u * p_v)).ln())
+}
+
+/// Normalized PMI in `[-1, 1]`; the coherence `s(u, v)` of §3.1.
+///
+/// Pairs that never co-occur get the minimum score −1 (the limit of
+/// NPMI as `p(u,v) → 0`), so incoherent columns are penalized rather
+/// than skipped. A pair that always co-occurs (`p(u,v) = p(u) = p(v)`)
+/// scores +1. When `p(u,v) = 1` (both values in every column) the
+/// normalizer is 0; such degenerate pairs score +1 by convention.
+pub fn npmi(s: CooccurrenceStats) -> f64 {
+    if s.count_uv == 0 || s.total == 0 {
+        return -1.0;
+    }
+    if s.count_uv == s.total {
+        return 1.0;
+    }
+    let p_uv = s.count_uv as f64 / s.total as f64;
+    match pmi(s) {
+        Some(p) => (p / -p_uv.ln()).clamp(-1.0, 1.0),
+        None => -1.0,
+    }
+}
+
+/// Configuration for column coherence scoring.
+#[derive(Clone, Copy, Debug)]
+pub struct CoherenceConfig {
+    /// Maximum number of distinct values sampled from a column before
+    /// computing pairwise scores. Equation 2 is O(|C|²); sampling keeps
+    /// wide columns affordable with negligible effect on the mean
+    /// (the paper computes the same statistic on Map-Reduce).
+    pub max_sample: usize,
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> Self {
+        Self { max_sample: 40 }
+    }
+}
+
+/// Column coherence `S(C)` (paper Equation 2): average pairwise NPMI of
+/// the column's distinct values.
+///
+/// Sampling is deterministic (evenly strided over first-occurrence
+/// order) so results are reproducible. Columns with fewer than two
+/// distinct values get coherence 1.0: a constant column is trivially
+/// coherent (and will be rejected later by FD filtering if useless).
+pub fn column_coherence(index: &ValueIndex, distinct_values: &[Sym], cfg: CoherenceConfig) -> f64 {
+    coherence_inner(index, distinct_values, cfg, None)
+}
+
+/// Column coherence of the column with global id `exclude`, with that
+/// column removed from the co-occurrence evidence. This is the form
+/// used by extraction: a column must be coherent *according to the rest
+/// of the corpus*, not according to itself.
+pub fn column_coherence_excluding(
+    index: &ValueIndex,
+    distinct_values: &[Sym],
+    cfg: CoherenceConfig,
+    exclude: GlobalColId,
+) -> f64 {
+    coherence_inner(index, distinct_values, cfg, Some(exclude))
+}
+
+fn coherence_inner(
+    index: &ValueIndex,
+    distinct_values: &[Sym],
+    cfg: CoherenceConfig,
+    exclude: Option<GlobalColId>,
+) -> f64 {
+    let vals: Vec<Sym> = if distinct_values.len() > cfg.max_sample {
+        // Even stride keeps head and tail representation without RNG.
+        let stride = distinct_values.len() as f64 / cfg.max_sample as f64;
+        (0..cfg.max_sample)
+            .map(|i| distinct_values[(i as f64 * stride) as usize])
+            .collect()
+    } else {
+        distinct_values.to_vec()
+    };
+    if vals.len() < 2 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..vals.len() {
+        for j in (i + 1)..vals.len() {
+            let stats = match exclude {
+                Some(g) => CooccurrenceStats::gather_excluding(index, vals[i], vals[j], g),
+                None => CooccurrenceStats::gather(index, vals[i], vals[j]),
+            };
+            sum += npmi(stats);
+            pairs += 1;
+        }
+    }
+    sum / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Corpus;
+
+    #[test]
+    fn pmi_example_from_paper() {
+        // Paper Example 4: N = 100M, |C(u)|=1000, |C(v)|=500,
+        // |C(u)∩C(v)|=300 → PMI = 4.78 (natural log in our
+        // implementation gives ln(60000) ≈ 11.0; the paper's 4.78 is
+        // log base 10: 10^4.78 ≈ 60256). Check the ratio itself.
+        let s = CooccurrenceStats {
+            count_u: 1000,
+            count_v: 500,
+            count_uv: 300,
+            total: 100_000_000,
+        };
+        let p = pmi(s).unwrap();
+        // ratio = (300/1e8) / ((1000/1e8)*(500/1e8)) = 60000
+        assert!((p - 60000f64.ln()).abs() < 1e-9);
+        // log10 form matches the paper's 4.78
+        assert!(((p / 10f64.ln()) - 4.778).abs() < 1e-3);
+        let n = npmi(s);
+        assert!(n > 0.0 && n <= 1.0, "paper: strong coherence, got {n}");
+    }
+
+    #[test]
+    fn npmi_bounds() {
+        // never co-occur
+        let s = CooccurrenceStats {
+            count_u: 10,
+            count_v: 10,
+            count_uv: 0,
+            total: 100,
+        };
+        assert_eq!(npmi(s), -1.0);
+        // perfectly correlated
+        let s = CooccurrenceStats {
+            count_u: 5,
+            count_v: 5,
+            count_uv: 5,
+            total: 100,
+        };
+        assert!((npmi(s) - 1.0).abs() < 1e-12);
+        // degenerate: everything everywhere
+        let s = CooccurrenceStats {
+            count_u: 100,
+            count_v: 100,
+            count_uv: 100,
+            total: 100,
+        };
+        assert_eq!(npmi(s), 1.0);
+    }
+
+    #[test]
+    fn npmi_negative_for_anticorrelated() {
+        // u and v each frequent, rarely together → below 0.
+        let s = CooccurrenceStats {
+            count_u: 5000,
+            count_v: 5000,
+            count_uv: 1,
+            total: 10_000,
+        };
+        assert!(npmi(s) < 0.0);
+    }
+
+    #[test]
+    fn coherent_vs_incoherent_column() {
+        let mut c = Corpus::new();
+        let d = c.domain("x");
+        // Countries co-occur in many columns.
+        for _ in 0..20 {
+            c.push_table(d, vec![(None, vec!["USA", "Canada", "Japan"])]);
+        }
+        // Unrelated background tables so no value spans the entire
+        // corpus (PMI is uninformative for ubiquitous values).
+        for i in 0..20 {
+            let a = format!("city-{i}");
+            let b = format!("city-{}", (i + 1) % 20);
+            c.push_table(d, vec![(None, vec![&a, &b])]);
+        }
+        // A messy column whose values appear nowhere else.
+        c.push_table(
+            d,
+            vec![(None, vec!["USA", "blob-1", "blob-2", "blob-3", "blob-4"])],
+        );
+        let idx = ValueIndex::build(&c);
+        let cfg = CoherenceConfig::default();
+        let coherent = &c.tables[0].columns[0];
+        let messy = &c.tables[40].columns[0];
+        // Column global ids: one column per table here, in order.
+        let s_good = column_coherence_excluding(&idx, &coherent.distinct(), cfg, GlobalColId(0));
+        let s_bad = column_coherence_excluding(&idx, &messy.distinct(), cfg, GlobalColId(40));
+        assert!(
+            s_good > 0.5 && s_bad < 0.0,
+            "coherent={s_good:.3} messy={s_bad:.3}"
+        );
+    }
+
+    #[test]
+    fn self_column_excluded_from_evidence() {
+        // A column of corpus-unique values must not look coherent by
+        // co-occurring with itself.
+        let mut c = Corpus::new();
+        let d = c.domain("x");
+        c.push_table(d, vec![(None, vec!["uniq-a", "uniq-b", "uniq-c"])]);
+        c.push_table(d, vec![(None, vec!["other-1", "other-2"])]);
+        let idx = ValueIndex::build(&c);
+        let col = &c.tables[0].columns[0];
+        let with_self = column_coherence(&idx, &col.distinct(), CoherenceConfig::default());
+        let without = column_coherence_excluding(
+            &idx,
+            &col.distinct(),
+            CoherenceConfig::default(),
+            GlobalColId(0),
+        );
+        assert!(with_self > 0.9, "self-evidence inflates: {with_self}");
+        assert_eq!(without, -1.0);
+    }
+
+    #[test]
+    fn coherence_sampling_is_deterministic_and_bounded() {
+        let mut c = Corpus::new();
+        let d = c.domain("x");
+        let many: Vec<String> = (0..200).map(|i| format!("v{i}")).collect();
+        let refs: Vec<&str> = many.iter().map(String::as_str).collect();
+        c.push_table(d, vec![(None, refs.clone())]);
+        c.push_table(d, vec![(None, refs)]);
+        let idx = ValueIndex::build(&c);
+        let col = &c.tables[0].columns[0];
+        let cfg = CoherenceConfig { max_sample: 10 };
+        let a = column_coherence(&idx, &col.distinct(), cfg);
+        let b = column_coherence(&idx, &col.distinct(), cfg);
+        assert_eq!(a, b);
+        assert!((-1.0..=1.0).contains(&a));
+        // Values always co-occur → high coherence.
+        assert!(a > 0.9);
+    }
+
+    #[test]
+    fn single_value_column_is_trivially_coherent() {
+        let mut c = Corpus::new();
+        let d = c.domain("x");
+        c.push_table(d, vec![(None, vec!["only", "only"])]);
+        let idx = ValueIndex::build(&c);
+        let col = &c.tables[0].columns[0];
+        assert_eq!(
+            column_coherence(&idx, &col.distinct(), CoherenceConfig::default()),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Tables, columns and the corpus container.
+//!
+//! A [`Corpus`] is the paper's only input (Definition 3): a set of
+//! relational tables, each a list of columns. Tables carry provenance —
+//! the web domain (or spreadsheet share) they were extracted from —
+//! because the curation step (paper §4.3) ranks synthesized mappings by
+//! the number of *independent* domains that contributed to them.
+
+use crate::intern::{Interner, Sym};
+use std::fmt;
+
+/// Identifier of a table within its corpus.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TableId(pub u32);
+
+/// Identifier of a provenance domain (web site / spreadsheet share).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DomainId(pub u32);
+
+/// A single table column: an optional header plus the cell values in
+/// row order. Values are interned [`Sym`]s.
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// Column header, if the source table had one. Headers on the web
+    /// are frequently undescriptive ("name", "code") — the paper's
+    /// motivation for value-based rather than name-based synthesis.
+    pub header: Option<Sym>,
+    /// Cell values in row order.
+    pub values: Vec<Sym>,
+}
+
+impl Column {
+    /// Build a column from a header and values.
+    pub fn new(header: Option<Sym>, values: Vec<Sym>) -> Self {
+        Self { header, values }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Distinct values, in first-occurrence order.
+    pub fn distinct(&self) -> Vec<Sym> {
+        let mut seen = std::collections::HashSet::with_capacity(self.values.len());
+        let mut out = Vec::new();
+        for &v in &self.values {
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// A relational table: columns of equal length, plus provenance.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Identifier within the corpus.
+    pub id: TableId,
+    /// The web domain / share this table came from.
+    pub domain: DomainId,
+    /// Columns. All columns have the same number of rows.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Number of rows (0 for a table with no columns).
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A corpus of tables plus the interner that owns their cell strings.
+pub struct Corpus {
+    /// String interner for every cell and header in the corpus.
+    pub interner: Interner,
+    /// All tables.
+    pub tables: Vec<Table>,
+    /// Human-readable names of provenance domains, indexed by
+    /// [`DomainId`].
+    pub domain_names: Vec<String>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self {
+            interner: Interner::new(),
+            tables: Vec::new(),
+            domain_names: Vec::new(),
+        }
+    }
+
+    /// Register (or look up) a provenance domain by name.
+    pub fn domain(&mut self, name: &str) -> DomainId {
+        if let Some(pos) = self.domain_names.iter().position(|d| d == name) {
+            return DomainId(pos as u32);
+        }
+        self.domain_names.push(name.to_string());
+        DomainId((self.domain_names.len() - 1) as u32)
+    }
+
+    /// Append a table built from string cells. Columns must be the same
+    /// length.
+    ///
+    /// # Panics
+    /// Panics if columns have unequal lengths.
+    pub fn push_table(
+        &mut self,
+        domain: DomainId,
+        columns: Vec<(Option<&str>, Vec<&str>)>,
+    ) -> TableId {
+        let rows = columns.first().map_or(0, |(_, v)| v.len());
+        assert!(
+            columns.iter().all(|(_, v)| v.len() == rows),
+            "all columns in a table must have equal length"
+        );
+        let cols = columns
+            .into_iter()
+            .map(|(h, vals)| {
+                let header = h.map(|h| self.interner.intern(h));
+                let values = vals.iter().map(|v| self.interner.intern(v)).collect();
+                Column::new(header, values)
+            })
+            .collect();
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(Table {
+            id,
+            domain,
+            columns: cols,
+        });
+        id
+    }
+
+    /// Append a pre-interned table. Used by generators that intern
+    /// strings themselves for efficiency.
+    pub fn push_interned_table(&mut self, domain: DomainId, columns: Vec<Column>) -> TableId {
+        let rows = columns.first().map_or(0, Column::len);
+        assert!(
+            columns.iter().all(|c| c.len() == rows),
+            "all columns in a table must have equal length"
+        );
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(Table {
+            id,
+            domain,
+            columns,
+        });
+        id
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the corpus holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of columns across all tables (the `N` of the PMI
+    /// probabilities in paper Equation 1).
+    pub fn total_columns(&self) -> usize {
+        self.tables.iter().map(Table::width).sum()
+    }
+
+    /// Look up a table.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Resolve a symbol to its string.
+    pub fn str_of(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+}
+
+impl Default for Corpus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Corpus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Corpus")
+            .field("tables", &self.tables.len())
+            .field("domains", &self.domain_names.len())
+            .field("distinct_strings", &self.interner.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Corpus {
+        let mut c = Corpus::new();
+        let d = c.domain("example.org");
+        c.push_table(
+            d,
+            vec![
+                (Some("Country"), vec!["United States", "Canada", "Japan"]),
+                (Some("Code"), vec!["USA", "CAN", "JPN"]),
+            ],
+        );
+        c
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let c = sample();
+        assert_eq!(c.len(), 1);
+        let t = c.table(TableId(0));
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.width(), 2);
+        assert_eq!(c.str_of(t.columns[0].values[1]), "Canada");
+        assert_eq!(c.str_of(t.columns[1].header.unwrap()), "Code");
+    }
+
+    #[test]
+    fn domain_dedup() {
+        let mut c = Corpus::new();
+        let a = c.domain("a.com");
+        let b = c.domain("b.com");
+        let a2 = c.domain("a.com");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(c.domain_names.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_table_rejected() {
+        let mut c = Corpus::new();
+        let d = c.domain("x");
+        c.push_table(d, vec![(None, vec!["a", "b"]), (None, vec!["c"])]);
+    }
+
+    #[test]
+    fn distinct_preserves_order() {
+        let mut c = Corpus::new();
+        let d = c.domain("x");
+        c.push_table(d, vec![(None, vec!["b", "a", "b", "c", "a"])]);
+        let col = &c.table(TableId(0)).columns[0];
+        let names: Vec<&str> = col.distinct().iter().map(|&s| c.str_of(s)).collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn total_columns_counts_all_tables() {
+        let mut c = sample();
+        let d = c.domain("second.org");
+        c.push_table(
+            d,
+            vec![(None, vec!["x"]), (None, vec!["y"]), (None, vec!["z"])],
+        );
+        assert_eq!(c.total_columns(), 5);
+    }
+}

@@ -1,0 +1,72 @@
+//! Experiment drivers — one per table/figure of the paper.
+//!
+//! | Driver | Regenerates |
+//! |---|---|
+//! | [`comparison`] | Figure 7 (avg quality), Figure 8 (runtime), Figure 14 (per-case F) |
+//! | [`scalability`] | Figure 9 (runtime vs input fraction) |
+//! | [`enterprise`] | Figure 10 (enterprise quality), Figure 11 (example mappings) |
+//! | [`conflict`] | Figure 15 + §5.6 (conflict resolution, majority voting) |
+//! | [`sensitivity`] | §5.4 (θ, τ, θ_overlap, θ_edge) |
+//! | [`curation`] | §4.3, Appendix J, Figure 12, Figure 13, Table 6 |
+//! | [`expansion`] | Appendix I (table expansion) |
+
+pub mod comparison;
+pub mod conflict;
+pub mod curation;
+pub mod enterprise;
+pub mod expansion;
+pub mod scalability;
+pub mod sensitivity;
+
+use std::path::PathBuf;
+
+/// Shared experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Web corpus size (relation-backed tables).
+    pub tables: usize,
+    /// Enterprise corpus size.
+    pub ent_tables: usize,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Synonym-feed coverage fraction (paper §4.1 synonyms).
+    pub synonym_fraction: f64,
+    /// Worker threads (0 = auto).
+    pub workers: usize,
+    /// Output directory for reports.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            tables: 4000,
+            ent_tables: 2000,
+            seed: 42,
+            synonym_fraction: 0.5,
+            workers: 0,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Web generator config derived from this experiment config.
+    pub fn web_config(&self) -> mapsynth_gen::WebConfig {
+        mapsynth_gen::WebConfig {
+            tables: self.tables,
+            seed: self.seed,
+            domains: (self.tables / 20).clamp(50, 500),
+            ..Default::default()
+        }
+    }
+
+    /// Enterprise generator config.
+    pub fn enterprise_config(&self) -> mapsynth_gen::EnterpriseConfig {
+        mapsynth_gen::EnterpriseConfig {
+            tables: self.ent_tables,
+            seed: self.seed.wrapping_add(1),
+            ..Default::default()
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Quality metrics (paper §5.1 "Metrics").
+//!
+//! For a ground truth `B*` and a produced relation `B`:
+//! precision `|B∩B*|/|B|`, recall `|B∩B*|/|B*|`, and the harmonic
+//! F-score. Each benchmark case is scored by *the best relation* the
+//! method produced — "a human who wishes to pick the best relationship
+//! ... would effectively pick the same tables", favourable to every
+//! method equally.
+
+use mapsynth_baselines::RelationResult;
+use std::collections::{HashMap, HashSet};
+
+/// Precision / recall / F for one (relation, ground truth) pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Score {
+    /// F-score.
+    pub f: f64,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+}
+
+impl Score {
+    fn from_counts(hits: usize, result_len: usize, gt_len: usize) -> Self {
+        if hits == 0 || result_len == 0 || gt_len == 0 {
+            return Self::default();
+        }
+        let p = hits as f64 / result_len as f64;
+        let r = hits as f64 / gt_len as f64;
+        Self {
+            f: 2.0 * p * r / (p + r),
+            precision: p,
+            recall: r,
+        }
+    }
+}
+
+/// Score one explicit pair set against a ground truth.
+pub fn score_sets(result: &[(String, String)], gt: &HashSet<(String, String)>) -> Score {
+    let hits = result.iter().filter(|p| gt.contains(*p)).count();
+    Score::from_counts(hits, result.len(), gt.len())
+}
+
+/// Inverted index over a method's results for fast
+/// best-relation-per-case scoring.
+pub struct ResultScorer {
+    /// pair → result ids containing it.
+    index: HashMap<(String, String), Vec<u32>>,
+    sizes: Vec<usize>,
+}
+
+impl ResultScorer {
+    /// Build the scorer from a method's results.
+    pub fn new(results: &[RelationResult]) -> Self {
+        let mut index: HashMap<(String, String), Vec<u32>> = HashMap::new();
+        let mut sizes = Vec::with_capacity(results.len());
+        for (ri, r) in results.iter().enumerate() {
+            sizes.push(r.pairs.len());
+            for p in &r.pairs {
+                let posting = index.entry(p.clone()).or_default();
+                // results have deduplicated pairs → no repeat push
+                posting.push(ri as u32);
+            }
+        }
+        Self { index, sizes }
+    }
+
+    /// Best F-score (with its precision/recall) over all results for
+    /// one ground-truth case, plus the winning result id.
+    pub fn best_for(&self, gt: &HashSet<(String, String)>) -> (Score, Option<u32>) {
+        let mut hits: HashMap<u32, usize> = HashMap::new();
+        for p in gt {
+            if let Some(posting) = self.index.get(p) {
+                for &ri in posting {
+                    *hits.entry(ri).or_default() += 1;
+                }
+            }
+        }
+        let mut best = (Score::default(), None);
+        let mut candidates: Vec<(u32, usize)> = hits.into_iter().collect();
+        candidates.sort_unstable(); // deterministic tie-breaking by id
+        for (ri, h) in candidates {
+            let s = Score::from_counts(h, self.sizes[ri as usize], gt.len());
+            if s.f > best.0.f {
+                best = (s, Some(ri));
+            }
+        }
+        best
+    }
+}
+
+/// Mean of scores (component-wise).
+pub fn mean_score(scores: &[Score]) -> Score {
+    if scores.is_empty() {
+        return Score::default();
+    }
+    let n = scores.len() as f64;
+    Score {
+        f: scores.iter().map(|s| s.f).sum::<f64>() / n,
+        precision: scores.iter().map(|s| s.precision).sum::<f64>() / n,
+        recall: scores.iter().map(|s| s.recall).sum::<f64>() / n,
+    }
+}
+
+/// Mean precision over cases with nonzero hits only — the paper's
+/// footnote 5 treatment ("we exclude cases whose precision is close to
+/// 0 from the average-precision computation", applied to single-table
+/// and KB methods that miss relationships entirely).
+pub fn mean_precision_nonzero(scores: &[Score]) -> f64 {
+    let nonzero: Vec<f64> = scores
+        .iter()
+        .filter(|s| s.precision > 1e-9)
+        .map(|s| s.precision)
+        .collect();
+    if nonzero.is_empty() {
+        return 0.0;
+    }
+    nonzero.iter().sum::<f64>() / nonzero.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(pairs: &[(&str, &str)]) -> HashSet<(String, String)> {
+        pairs
+            .iter()
+            .map(|(l, r)| (l.to_string(), r.to_string()))
+            .collect()
+    }
+
+    fn rel(pairs: &[(&str, &str)]) -> RelationResult {
+        RelationResult::new(
+            pairs
+                .iter()
+                .map(|(l, r)| (l.to_string(), r.to_string()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn exact_match_scores_one() {
+        let g = gt(&[("a", "1"), ("b", "2")]);
+        let s = score_sets(&rel(&[("a", "1"), ("b", "2")]).pairs, &g);
+        assert_eq!(
+            s,
+            Score {
+                f: 1.0,
+                precision: 1.0,
+                recall: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let g = gt(&[("a", "1"), ("b", "2"), ("c", "3"), ("d", "4")]);
+        // 2 hits, 1 wrong → P=2/3, R=1/2.
+        let s = score_sets(&rel(&[("a", "1"), ("b", "2"), ("x", "9")]).pairs, &g);
+        assert!((s.precision - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.recall - 0.5).abs() < 1e-9);
+        let f = 2.0 * s.precision * s.recall / (s.precision + s.recall);
+        assert!((s.f - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scorer_picks_best_relation() {
+        let results = vec![
+            rel(&[("a", "1")]),                         // P=1, R=1/3
+            rel(&[("a", "1"), ("b", "2"), ("x", "9")]), // P=2/3, R=2/3
+            rel(&[("q", "7")]),                         // no hits
+        ];
+        let scorer = ResultScorer::new(&results);
+        let g = gt(&[("a", "1"), ("b", "2"), ("c", "3")]);
+        let (s, winner) = scorer.best_for(&g);
+        assert_eq!(winner, Some(1));
+        assert!((s.f - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_overlap_scores_zero() {
+        let scorer = ResultScorer::new(&[rel(&[("q", "7")])]);
+        let (s, winner) = scorer.best_for(&gt(&[("a", "1")]));
+        assert_eq!(winner, None);
+        assert_eq!(s, Score::default());
+    }
+
+    #[test]
+    fn mean_precision_nonzero_skips_misses() {
+        let scores = vec![
+            Score {
+                f: 0.5,
+                precision: 1.0,
+                recall: 0.3,
+            },
+            Score::default(),
+        ];
+        assert_eq!(mean_precision_nonzero(&scores), 1.0);
+        assert_eq!(mean_score(&scores).precision, 0.5);
+    }
+}

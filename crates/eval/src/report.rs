@@ -1,0 +1,129 @@
+//! Report output: aligned text tables and CSV files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple text/CSV table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Write a report section: print to stdout and persist `.txt` + `.csv`
+/// under `out_dir`.
+pub fn emit(out_dir: &Path, name: &str, title: &str, table: &Table) {
+    let text = format!("== {title} ==\n{}", table.to_text());
+    println!("{text}");
+    fs::create_dir_all(out_dir).expect("create results dir");
+    fs::write(out_dir.join(format!("{name}.txt")), &text).expect("write txt");
+    fs::write(out_dir.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
+}
+
+/// Append free-form text to the run log and stdout.
+pub fn note(out_dir: &Path, name: &str, text: &str) {
+    println!("{text}");
+    fs::create_dir_all(out_dir).expect("create results dir");
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out_dir.join(format!("{name}.txt")))
+        .expect("open note file");
+    writeln!(f, "{text}").expect("write note");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_alignment_and_csv() {
+        let mut t = Table::new(&["method", "f", "note"]);
+        t.row(vec!["Synthesis".into(), "0.90".into(), "a,b".into()]);
+        t.row(vec!["X".into(), "0.1".into(), "plain".into()]);
+        let text = t.to_text();
+        assert!(text.contains("Synthesis"));
+        assert!(text.lines().count() >= 4);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

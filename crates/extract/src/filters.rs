@@ -1,0 +1,250 @@
+//! Column and column-pair filters.
+
+use mapsynth_corpus::{Column, Corpus, Sym};
+use mapsynth_text::normalize;
+use std::collections::HashMap;
+
+/// Result of an approximate-FD check on one ordered column pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FdCheck {
+    /// Fraction of rows in the largest FD-consistent subset
+    /// (the `θ` of Definition 2 this pair achieves).
+    pub support: f64,
+    /// Number of distinct left values.
+    pub distinct_left: usize,
+    /// Total rows considered (after dropping empty cells).
+    pub rows: usize,
+}
+
+/// Approximate functional dependency check (paper Definition 2 applied
+/// locally, §3.2): `left →θ right` holds if keeping, for every left
+/// value, only its majority right value retains at least `θ` of rows.
+///
+/// Values are compared on their normalized forms so that cosmetic
+/// variation ("CA" vs "ca") does not manufacture violations.
+pub fn approx_fd_holds(
+    corpus: &Corpus,
+    left: &Column,
+    right: &Column,
+    theta: f64,
+) -> (bool, FdCheck) {
+    debug_assert_eq!(left.len(), right.len());
+    // norm cache: Sym → normalized string (shared across both columns).
+    let mut norm_cache: HashMap<Sym, String> = HashMap::new();
+    let mut norm = |s: Sym, corpus: &Corpus| -> String {
+        norm_cache
+            .entry(s)
+            .or_insert_with(|| normalize(corpus.str_of(s)))
+            .clone()
+    };
+
+    // group: left → (right → count)
+    let mut groups: HashMap<String, HashMap<String, usize>> = HashMap::new();
+    let mut rows = 0usize;
+    for (&l, &r) in left.values.iter().zip(&right.values) {
+        let ln = norm(l, corpus);
+        let rn = norm(r, corpus);
+        if ln.is_empty() || rn.is_empty() {
+            continue;
+        }
+        rows += 1;
+        *groups.entry(ln).or_default().entry(rn).or_default() += 1;
+    }
+    if rows == 0 {
+        return (
+            false,
+            FdCheck {
+                support: 0.0,
+                distinct_left: 0,
+                rows: 0,
+            },
+        );
+    }
+    let kept: usize = groups
+        .values()
+        .map(|rights| rights.values().copied().max().unwrap_or(0))
+        .sum();
+    let support = kept as f64 / rows as f64;
+    let check = FdCheck {
+        support,
+        distinct_left: groups.len(),
+        rows,
+    };
+    (support >= theta, check)
+}
+
+/// Fraction of values in a column that are short numerics. Used for
+/// the paper's "additional filtering ... to further prune out numeric
+/// and temporal relationships" (§4.3).
+pub fn numeric_fraction(corpus: &Corpus, col: &Column) -> f64 {
+    if col.is_empty() {
+        return 0.0;
+    }
+    let numeric = col
+        .values
+        .iter()
+        .filter(|&&v| {
+            let s = corpus.str_of(v).trim();
+            !s.is_empty() && s.len() <= 9 && s.chars().all(|c| c.is_ascii_digit())
+        })
+        .count();
+    numeric as f64 / col.len() as f64
+}
+
+/// Structural sanity checks for a candidate column: enough distinct
+/// values, not dominated by one value, values not overly long.
+pub fn column_passes(
+    corpus: &Corpus,
+    col: &Column,
+    min_distinct: usize,
+    max_avg_len: usize,
+) -> bool {
+    let distinct = col.distinct();
+    if distinct.len() < min_distinct {
+        return false;
+    }
+    let total_len: usize = col.values.iter().map(|&v| corpus.str_of(v).len()).sum();
+    if total_len / col.len().max(1) > max_avg_len {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapsynth_corpus::TableId;
+
+    fn corpus_with(cols: Vec<(Option<&str>, Vec<&str>)>) -> Corpus {
+        let mut c = Corpus::new();
+        let d = c.domain("t");
+        c.push_table(d, cols);
+        c
+    }
+
+    #[test]
+    fn exact_fd_holds() {
+        let c = corpus_with(vec![
+            (None, vec!["a", "b", "c", "a"]),
+            (None, vec!["1", "2", "3", "1"]),
+        ]);
+        let t = c.table(TableId(0));
+        let (ok, chk) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 0.95);
+        assert!(ok);
+        assert_eq!(chk.support, 1.0);
+        assert_eq!(chk.distinct_left, 3);
+    }
+
+    #[test]
+    fn violation_fails_strictly_but_passes_approximately() {
+        // 19 consistent rows + 1 violation → support 0.95.
+        let mut lefts = vec!["x"; 19];
+        lefts.push("a");
+        let mut rights = vec!["1"; 19];
+        rights.push("2");
+        // make 'a' map consistently, violation via duplicate 'x'.
+        let mut lefts2 = lefts.clone();
+        lefts2[0] = "x";
+        let mut rights2 = rights.clone();
+        rights2[0] = "9"; // x → 9 once, x → 1 eighteen times
+        let c = corpus_with(vec![(None, lefts2), (None, rights2)]);
+        let t = c.table(TableId(0));
+        let (ok95, chk) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 0.95);
+        assert!(ok95, "support {}", chk.support);
+        let (ok99, _) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 0.99);
+        assert!(!ok99);
+    }
+
+    #[test]
+    fn portland_ambiguity_tolerated() {
+        // city→state with one ambiguous duplicate out of 20 rows.
+        let mut cities = vec![
+            "Chicago", "Houston", "Seattle", "Denver", "Boston", "Miami", "Austin", "Dallas",
+            "Phoenix", "Atlanta", "Detroit", "Memphis", "Tucson", "Omaha", "Tampa", "Raleigh",
+            "Spokane", "Boise", "Portland",
+        ];
+        let mut states = vec![
+            "Illinois",
+            "Texas",
+            "Washington",
+            "Colorado",
+            "Massachusetts",
+            "Florida",
+            "Texas",
+            "Texas",
+            "Arizona",
+            "Georgia",
+            "Michigan",
+            "Tennessee",
+            "Arizona",
+            "Nebraska",
+            "Florida",
+            "North Carolina",
+            "Washington",
+            "Idaho",
+            "Oregon",
+        ];
+        cities.push("Portland");
+        states.push("Maine");
+        let c = corpus_with(vec![(None, cities), (None, states)]);
+        let t = c.table(TableId(0));
+        let (ok, chk) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 0.95);
+        assert!(ok, "support {}", chk.support);
+    }
+
+    #[test]
+    fn normalization_prevents_fake_violations() {
+        let c = corpus_with(vec![
+            (None, vec!["California", "CALIFORNIA", "california"]),
+            (None, vec!["CA", "ca", "CA"]),
+        ]);
+        let t = c.table(TableId(0));
+        let (ok, chk) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 1.0);
+        assert!(ok);
+        assert_eq!(chk.distinct_left, 1);
+    }
+
+    #[test]
+    fn non_functional_pair_rejected() {
+        // home team → date: many-to-many.
+        let c = corpus_with(vec![
+            (None, vec!["Bears", "Bears", "Lions", "Lions"]),
+            (None, vec!["10-12", "10-19", "10-12", "10-26"]),
+        ]);
+        let t = c.table(TableId(0));
+        let (ok, chk) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 0.95);
+        assert!(!ok);
+        assert!(chk.support < 0.8);
+    }
+
+    #[test]
+    fn numeric_fraction_detects_rank_columns() {
+        let c = corpus_with(vec![
+            (None, vec!["1", "2", "3", "4"]),
+            (None, vec!["alpha", "beta", "gamma", "delta"]),
+        ]);
+        let t = c.table(TableId(0));
+        assert_eq!(numeric_fraction(&c, &t.columns[0]), 1.0);
+        assert_eq!(numeric_fraction(&c, &t.columns[1]), 0.0);
+    }
+
+    #[test]
+    fn column_passes_rejects_constant_and_long() {
+        let c = corpus_with(vec![
+            (None, vec!["same", "same", "same"]),
+            (
+                None,
+                vec![
+                    "this is a very long free text cell that goes on and on and on and on and on",
+                    "another very long blob of mixed prose that is not a value at all, really",
+                    "yet another excessively long sentence标 that should be rejected by length",
+                ],
+            ),
+            (None, vec!["a", "b", "c"]),
+        ]);
+        let t = c.table(TableId(0));
+        assert!(!column_passes(&c, &t.columns[0], 3, 50));
+        assert!(!column_passes(&c, &t.columns[1], 3, 50));
+        assert!(column_passes(&c, &t.columns[2], 3, 50));
+    }
+}

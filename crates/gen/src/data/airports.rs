@@ -1,0 +1,625 @@
+//! Airports with IATA and ICAO codes (paper Table 1d, Figure 6).
+//!
+//! IATA and ICAO are distinct coding systems over the same left
+//! entities — like ISO vs IOC for countries, they produce high positive
+//! overlap on names with conflicting codes, exercising the
+//! negative-evidence machinery. Airports also drive the
+//! table-expansion experiment (Appendix I): the relation is large and
+//! tail airports rarely appear in web tables.
+
+/// One airport record.
+pub struct AirportRec {
+    pub name: &'static str,
+    pub iata: &'static str,
+    pub icao: &'static str,
+    pub city: &'static str,
+    pub synonyms: &'static [&'static str],
+}
+
+macro_rules! a {
+    ($n:literal, $i:literal, $c:literal, $city:literal, [$($syn:literal),*]) => {
+        AirportRec { name: $n, iata: $i, icao: $c, city: $city, synonyms: &[$($syn),*] }
+    };
+}
+
+/// The airport table.
+pub const AIRPORTS: &[AirportRec] = &[
+    a!(
+        "Los Angeles International Airport",
+        "LAX",
+        "KLAX",
+        "Los Angeles",
+        ["LA International", "Los Angeles Intl"]
+    ),
+    a!(
+        "San Francisco International Airport",
+        "SFO",
+        "KSFO",
+        "San Francisco",
+        ["San Francisco Intl"]
+    ),
+    a!(
+        "John F. Kennedy International Airport",
+        "JFK",
+        "KJFK",
+        "New York",
+        ["JFK Airport", "New York JFK", "Kennedy International"]
+    ),
+    a!(
+        "LaGuardia Airport",
+        "LGA",
+        "KLGA",
+        "New York",
+        ["La Guardia"]
+    ),
+    a!(
+        "Newark Liberty International Airport",
+        "EWR",
+        "KEWR",
+        "Newark",
+        ["Newark International"]
+    ),
+    a!(
+        "O'Hare International Airport",
+        "ORD",
+        "KORD",
+        "Chicago",
+        ["Chicago O'Hare", "Chicago O'Hare International"]
+    ),
+    a!(
+        "Midway International Airport",
+        "MDW",
+        "KMDW",
+        "Chicago",
+        ["Chicago Midway"]
+    ),
+    a!(
+        "Hartsfield-Jackson Atlanta International Airport",
+        "ATL",
+        "KATL",
+        "Atlanta",
+        ["Atlanta International", "Hartsfield Jackson"]
+    ),
+    a!(
+        "Dallas/Fort Worth International Airport",
+        "DFW",
+        "KDFW",
+        "Dallas",
+        ["DFW International", "Dallas Fort Worth"]
+    ),
+    a!("Denver International Airport", "DEN", "KDEN", "Denver", []),
+    a!(
+        "Seattle-Tacoma International Airport",
+        "SEA",
+        "KSEA",
+        "Seattle",
+        ["SeaTac", "Seattle Tacoma"]
+    ),
+    a!("Miami International Airport", "MIA", "KMIA", "Miami", []),
+    a!(
+        "Orlando International Airport",
+        "MCO",
+        "KMCO",
+        "Orlando",
+        []
+    ),
+    a!(
+        "Logan International Airport",
+        "BOS",
+        "KBOS",
+        "Boston",
+        ["Boston Logan"]
+    ),
+    a!(
+        "Phoenix Sky Harbor International Airport",
+        "PHX",
+        "KPHX",
+        "Phoenix",
+        ["Sky Harbor"]
+    ),
+    a!(
+        "George Bush Intercontinental Airport",
+        "IAH",
+        "KIAH",
+        "Houston",
+        ["Houston Intercontinental"]
+    ),
+    a!(
+        "William P. Hobby Airport",
+        "HOU",
+        "KHOU",
+        "Houston",
+        ["Houston Hobby"]
+    ),
+    a!(
+        "Minneapolis-Saint Paul International Airport",
+        "MSP",
+        "KMSP",
+        "Minneapolis",
+        ["MSP International"]
+    ),
+    a!(
+        "Detroit Metropolitan Airport",
+        "DTW",
+        "KDTW",
+        "Detroit",
+        ["Detroit Metro"]
+    ),
+    a!(
+        "Philadelphia International Airport",
+        "PHL",
+        "KPHL",
+        "Philadelphia",
+        []
+    ),
+    a!(
+        "Charlotte Douglas International Airport",
+        "CLT",
+        "KCLT",
+        "Charlotte",
+        []
+    ),
+    a!(
+        "McCarran International Airport",
+        "LAS",
+        "KLAS",
+        "Las Vegas",
+        [
+            "Las Vegas International",
+            "Harry Reid International Airport"
+        ]
+    ),
+    a!(
+        "Salt Lake City International Airport",
+        "SLC",
+        "KSLC",
+        "Salt Lake City",
+        []
+    ),
+    a!(
+        "San Diego International Airport",
+        "SAN",
+        "KSAN",
+        "San Diego",
+        ["Lindbergh Field"]
+    ),
+    a!("Tampa International Airport", "TPA", "KTPA", "Tampa", []),
+    a!(
+        "Portland International Airport",
+        "PDX",
+        "KPDX",
+        "Portland",
+        []
+    ),
+    a!(
+        "Washington Dulles International Airport",
+        "IAD",
+        "KIAD",
+        "Washington",
+        ["Dulles International"]
+    ),
+    a!(
+        "Ronald Reagan Washington National Airport",
+        "DCA",
+        "KDCA",
+        "Washington",
+        ["Reagan National", "Washington National"]
+    ),
+    a!(
+        "Baltimore/Washington International Airport",
+        "BWI",
+        "KBWI",
+        "Baltimore",
+        ["BWI Marshall"]
+    ),
+    a!(
+        "Lambert-St. Louis International Airport",
+        "STL",
+        "KSTL",
+        "St. Louis",
+        ["St Louis Lambert"]
+    ),
+    a!(
+        "London Heathrow Airport",
+        "LHR",
+        "EGLL",
+        "London",
+        ["Heathrow", "Heathrow Airport"]
+    ),
+    a!(
+        "London Gatwick Airport",
+        "LGW",
+        "EGKK",
+        "London",
+        ["Gatwick"]
+    ),
+    a!(
+        "London Stansted Airport",
+        "STN",
+        "EGSS",
+        "London",
+        ["Stansted"]
+    ),
+    a!(
+        "Paris Charles de Gaulle Airport",
+        "CDG",
+        "LFPG",
+        "Paris",
+        ["Charles de Gaulle", "Roissy Airport", "Paris CDG"]
+    ),
+    a!("Paris Orly Airport", "ORY", "LFPO", "Paris", ["Orly"]),
+    a!(
+        "Frankfurt Airport",
+        "FRA",
+        "EDDF",
+        "Frankfurt",
+        ["Frankfurt am Main Airport", "Frankfurt International"]
+    ),
+    a!(
+        "Munich Airport",
+        "MUC",
+        "EDDM",
+        "Munich",
+        ["Franz Josef Strauss Airport"]
+    ),
+    a!(
+        "Amsterdam Airport Schiphol",
+        "AMS",
+        "EHAM",
+        "Amsterdam",
+        ["Schiphol", "Schiphol Airport"]
+    ),
+    a!(
+        "Madrid-Barajas Airport",
+        "MAD",
+        "LEMD",
+        "Madrid",
+        ["Barajas", "Adolfo Suarez Madrid-Barajas"]
+    ),
+    a!(
+        "Barcelona-El Prat Airport",
+        "BCN",
+        "LEBL",
+        "Barcelona",
+        ["El Prat"]
+    ),
+    a!(
+        "Leonardo da Vinci International Airport",
+        "FCO",
+        "LIRF",
+        "Rome",
+        ["Rome Fiumicino", "Fiumicino Airport"]
+    ),
+    a!(
+        "Zurich Airport",
+        "ZRH",
+        "LSZH",
+        "Zurich",
+        ["Kloten Airport"]
+    ),
+    a!(
+        "Vienna International Airport",
+        "VIE",
+        "LOWW",
+        "Vienna",
+        ["Schwechat"]
+    ),
+    a!(
+        "Copenhagen Airport",
+        "CPH",
+        "EKCH",
+        "Copenhagen",
+        ["Kastrup"]
+    ),
+    a!("Oslo Airport", "OSL", "ENGM", "Oslo", ["Gardermoen"]),
+    a!(
+        "Stockholm Arlanda Airport",
+        "ARN",
+        "ESSA",
+        "Stockholm",
+        ["Arlanda"]
+    ),
+    a!(
+        "Helsinki-Vantaa Airport",
+        "HEL",
+        "EFHK",
+        "Helsinki",
+        ["Vantaa"]
+    ),
+    a!("Dublin Airport", "DUB", "EIDW", "Dublin", []),
+    a!(
+        "Lisbon Airport",
+        "LIS",
+        "LPPT",
+        "Lisbon",
+        ["Humberto Delgado Airport", "Portela Airport"]
+    ),
+    a!(
+        "Athens International Airport",
+        "ATH",
+        "LGAV",
+        "Athens",
+        ["Eleftherios Venizelos"]
+    ),
+    a!("Istanbul Airport", "IST", "LTFM", "Istanbul", []),
+    a!(
+        "Sheremetyevo International Airport",
+        "SVO",
+        "UUEE",
+        "Moscow",
+        ["Moscow Sheremetyevo"]
+    ),
+    a!(
+        "Domodedovo International Airport",
+        "DME",
+        "UUDD",
+        "Moscow",
+        ["Moscow Domodedovo"]
+    ),
+    a!(
+        "Tokyo International Airport",
+        "HND",
+        "RJTT",
+        "Tokyo",
+        ["Haneda", "Haneda Airport", "Tokyo Haneda"]
+    ),
+    a!(
+        "Narita International Airport",
+        "NRT",
+        "RJAA",
+        "Tokyo",
+        ["Narita", "Tokyo Narita"]
+    ),
+    a!(
+        "Kansai International Airport",
+        "KIX",
+        "RJBB",
+        "Osaka",
+        ["Osaka Kansai"]
+    ),
+    a!(
+        "Incheon International Airport",
+        "ICN",
+        "RKSI",
+        "Seoul",
+        ["Seoul Incheon"]
+    ),
+    a!(
+        "Gimpo International Airport",
+        "GMP",
+        "RKSS",
+        "Seoul",
+        ["Seoul Gimpo"]
+    ),
+    a!(
+        "Beijing Capital International Airport",
+        "PEK",
+        "ZBAA",
+        "Beijing",
+        ["Beijing Capital"]
+    ),
+    a!(
+        "Beijing Daxing International Airport",
+        "PKX",
+        "ZBAD",
+        "Beijing",
+        ["Daxing"]
+    ),
+    a!(
+        "Shanghai Pudong International Airport",
+        "PVG",
+        "ZSPD",
+        "Shanghai",
+        ["Pudong"]
+    ),
+    a!(
+        "Shanghai Hongqiao International Airport",
+        "SHA",
+        "ZSSS",
+        "Shanghai",
+        ["Hongqiao"]
+    ),
+    a!(
+        "Hong Kong International Airport",
+        "HKG",
+        "VHHH",
+        "Hong Kong",
+        ["Chek Lap Kok"]
+    ),
+    a!(
+        "Taiwan Taoyuan International Airport",
+        "TPE",
+        "RCTP",
+        "Taipei",
+        ["Taoyuan"]
+    ),
+    a!(
+        "Singapore Changi Airport",
+        "SIN",
+        "WSSS",
+        "Singapore",
+        ["Changi", "Changi Airport"]
+    ),
+    a!(
+        "Suvarnabhumi Airport",
+        "BKK",
+        "VTBS",
+        "Bangkok",
+        ["Bangkok Suvarnabhumi"]
+    ),
+    a!(
+        "Kuala Lumpur International Airport",
+        "KUL",
+        "WMKK",
+        "Kuala Lumpur",
+        ["KLIA"]
+    ),
+    a!(
+        "Soekarno-Hatta International Airport",
+        "CGK",
+        "WIII",
+        "Jakarta",
+        ["Jakarta Soekarno Hatta"]
+    ),
+    a!(
+        "Indira Gandhi International Airport",
+        "DEL",
+        "VIDP",
+        "Delhi",
+        ["Delhi International"]
+    ),
+    a!(
+        "Chhatrapati Shivaji International Airport",
+        "BOM",
+        "VABB",
+        "Mumbai",
+        ["Mumbai International"]
+    ),
+    a!("Dubai International Airport", "DXB", "OMDB", "Dubai", []),
+    a!(
+        "Hamad International Airport",
+        "DOH",
+        "OTHH",
+        "Doha",
+        ["Doha Hamad"]
+    ),
+    a!(
+        "King Abdulaziz International Airport",
+        "JED",
+        "OEJN",
+        "Jeddah",
+        ["Jeddah International"]
+    ),
+    a!(
+        "Ben Gurion Airport",
+        "TLV",
+        "LLBG",
+        "Tel Aviv",
+        ["Tel Aviv Ben Gurion"]
+    ),
+    a!("Cairo International Airport", "CAI", "HECA", "Cairo", []),
+    a!(
+        "O. R. Tambo International Airport",
+        "JNB",
+        "FAOR",
+        "Johannesburg",
+        ["Johannesburg International", "Jan Smuts Airport"]
+    ),
+    a!(
+        "Cape Town International Airport",
+        "CPT",
+        "FACT",
+        "Cape Town",
+        []
+    ),
+    a!(
+        "Jomo Kenyatta International Airport",
+        "NBO",
+        "HKJK",
+        "Nairobi",
+        ["Nairobi International"]
+    ),
+    a!(
+        "Murtala Muhammed International Airport",
+        "LOS",
+        "DNMM",
+        "Lagos",
+        ["Lagos International"]
+    ),
+    a!(
+        "Toronto Pearson International Airport",
+        "YYZ",
+        "CYYZ",
+        "Toronto",
+        ["Pearson", "Toronto Pearson"]
+    ),
+    a!(
+        "Vancouver International Airport",
+        "YVR",
+        "CYVR",
+        "Vancouver",
+        []
+    ),
+    a!(
+        "Montreal-Trudeau International Airport",
+        "YUL",
+        "CYUL",
+        "Montreal",
+        ["Pierre Elliott Trudeau", "Montreal Trudeau"]
+    ),
+    a!(
+        "Mexico City International Airport",
+        "MEX",
+        "MMMX",
+        "Mexico City",
+        ["Benito Juarez International"]
+    ),
+    a!(
+        "Sao Paulo-Guarulhos International Airport",
+        "GRU",
+        "SBGR",
+        "Sao Paulo",
+        ["Guarulhos"]
+    ),
+    a!(
+        "El Dorado International Airport",
+        "BOG",
+        "SKBO",
+        "Bogota",
+        ["Bogota El Dorado"]
+    ),
+    a!(
+        "Jorge Chavez International Airport",
+        "LIM",
+        "SPJC",
+        "Lima",
+        ["Lima International"]
+    ),
+    a!(
+        "Ministro Pistarini International Airport",
+        "EZE",
+        "SAEZ",
+        "Buenos Aires",
+        ["Ezeiza", "Buenos Aires Ezeiza"]
+    ),
+    a!(
+        "Comodoro Arturo Merino Benitez International Airport",
+        "SCL",
+        "SCEL",
+        "Santiago",
+        ["Santiago International"]
+    ),
+    a!(
+        "Sydney Kingsford Smith Airport",
+        "SYD",
+        "YSSY",
+        "Sydney",
+        ["Kingsford Smith", "Sydney Airport"]
+    ),
+    a!(
+        "Melbourne Airport",
+        "MEL",
+        "YMML",
+        "Melbourne",
+        ["Tullamarine"]
+    ),
+    a!("Auckland Airport", "AKL", "NZAA", "Auckland", []),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_unique_and_shaped() {
+        let mut iata = std::collections::HashSet::new();
+        let mut icao = std::collections::HashSet::new();
+        for a in AIRPORTS {
+            assert_eq!(a.iata.len(), 3, "{}", a.name);
+            assert_eq!(a.icao.len(), 4, "{}", a.name);
+            assert!(iata.insert(a.iata), "dup IATA {}", a.iata);
+            assert!(icao.insert(a.icao), "dup ICAO {}", a.icao);
+        }
+        assert!(AIRPORTS.len() >= 80);
+    }
+}

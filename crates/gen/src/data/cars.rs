@@ -1,0 +1,117 @@
+//! Car models, makes and body types (paper Table 2a and Figure 12's
+//! `(automobile → type)`). Model → make is a many-to-one mapping.
+
+/// One car record.
+pub struct CarRec {
+    pub model: &'static str,
+    pub make: &'static str,
+    pub body: &'static str,
+}
+
+macro_rules! car {
+    ($m:literal, $k:literal, $b:literal) => {
+        CarRec {
+            model: $m,
+            make: $k,
+            body: $b,
+        }
+    };
+}
+
+/// The car table.
+pub const CARS: &[CarRec] = &[
+    car!("F-150", "Ford", "Truck"),
+    car!("Mustang", "Ford", "Coupe"),
+    car!("Explorer", "Ford", "SUV"),
+    car!("Escape", "Ford", "SUV"),
+    car!("Focus", "Ford", "Sedan"),
+    car!("Fusion", "Ford", "Sedan"),
+    car!("Ranger", "Ford", "Truck"),
+    car!("Bronco", "Ford", "SUV"),
+    car!("Accord", "Honda", "Sedan"),
+    car!("Civic", "Honda", "Sedan"),
+    car!("CR-V", "Honda", "SUV"),
+    car!("Pilot", "Honda", "SUV"),
+    car!("Odyssey", "Honda", "Minivan"),
+    car!("Ridgeline", "Honda", "Truck"),
+    car!("Camry", "Toyota", "Sedan"),
+    car!("Corolla", "Toyota", "Sedan"),
+    car!("RAV4", "Toyota", "SUV"),
+    car!("Highlander", "Toyota", "SUV"),
+    car!("Tacoma", "Toyota", "Truck"),
+    car!("Tundra", "Toyota", "Truck"),
+    car!("Prius", "Toyota", "Hatchback"),
+    car!("Sienna", "Toyota", "Minivan"),
+    car!("4Runner", "Toyota", "SUV"),
+    car!("Charger", "Dodge", "Sedan"),
+    car!("Challenger", "Dodge", "Coupe"),
+    car!("Durango", "Dodge", "SUV"),
+    car!("Grand Caravan", "Dodge", "Minivan"),
+    car!("Silverado", "Chevrolet", "Truck"),
+    car!("Malibu", "Chevrolet", "Sedan"),
+    car!("Equinox", "Chevrolet", "SUV"),
+    car!("Tahoe", "Chevrolet", "SUV"),
+    car!("Suburban", "Chevrolet", "SUV"),
+    car!("Corvette", "Chevrolet", "Coupe"),
+    car!("Camaro", "Chevrolet", "Coupe"),
+    car!("Colorado", "Chevrolet", "Truck"),
+    car!("Altima", "Nissan", "Sedan"),
+    car!("Sentra", "Nissan", "Sedan"),
+    car!("Rogue", "Nissan", "SUV"),
+    car!("Pathfinder", "Nissan", "SUV"),
+    car!("Frontier", "Nissan", "Truck"),
+    car!("Leaf", "Nissan", "Hatchback"),
+    car!("Maxima", "Nissan", "Sedan"),
+    car!("Elantra", "Hyundai", "Sedan"),
+    car!("Sonata", "Hyundai", "Sedan"),
+    car!("Tucson", "Hyundai", "SUV"),
+    car!("Santa Fe", "Hyundai", "SUV"),
+    car!("Palisade", "Hyundai", "SUV"),
+    car!("Sorento", "Kia", "SUV"),
+    car!("Sportage", "Kia", "SUV"),
+    car!("Telluride", "Kia", "SUV"),
+    car!("Optima", "Kia", "Sedan"),
+    car!("Soul", "Kia", "Hatchback"),
+    car!("Outback", "Subaru", "Wagon"),
+    car!("Forester", "Subaru", "SUV"),
+    car!("Impreza", "Subaru", "Sedan"),
+    car!("Crosstrek", "Subaru", "SUV"),
+    car!("3 Series", "BMW", "Sedan"),
+    car!("5 Series", "BMW", "Sedan"),
+    car!("X3", "BMW", "SUV"),
+    car!("X5", "BMW", "SUV"),
+    car!("C-Class", "Mercedes-Benz", "Sedan"),
+    car!("E-Class", "Mercedes-Benz", "Sedan"),
+    car!("GLE", "Mercedes-Benz", "SUV"),
+    car!("A4", "Audi", "Sedan"),
+    car!("Q5", "Audi", "SUV"),
+    car!("Golf", "Volkswagen", "Hatchback"),
+    car!("Jetta", "Volkswagen", "Sedan"),
+    car!("Tiguan", "Volkswagen", "SUV"),
+    car!("Passat", "Volkswagen", "Sedan"),
+    car!("Model S", "Tesla", "Sedan"),
+    car!("Model 3", "Tesla", "Sedan"),
+    car!("Model X", "Tesla", "SUV"),
+    car!("Model Y", "Tesla", "SUV"),
+    car!("Wrangler", "Jeep", "SUV"),
+    car!("Grand Cherokee", "Jeep", "SUV"),
+    car!("Cherokee", "Jeep", "SUV"),
+    car!("Gladiator", "Jeep", "Truck"),
+    car!("CX-5", "Mazda", "SUV"),
+    car!("Mazda3", "Mazda", "Sedan"),
+    car!("MX-5 Miata", "Mazda", "Convertible"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_unique_and_many_to_one() {
+        let models: std::collections::HashSet<&str> = CARS.iter().map(|c| c.model).collect();
+        assert_eq!(models.len(), CARS.len());
+        let makes: std::collections::HashSet<&str> = CARS.iter().map(|c| c.make).collect();
+        assert!(makes.len() < CARS.len(), "must be N:1");
+        assert!(CARS.len() >= 70);
+    }
+}

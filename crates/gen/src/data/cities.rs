@@ -1,0 +1,182 @@
+//! US cities → states (paper Table 2b).
+//!
+//! Deliberately *excludes* duplicate city names across states
+//! (Portland OR/ME, Springfield IL/MA/MO are represented by their
+//! largest-population state only) so the relation itself is a clean
+//! mapping; the generator's `ambiguous_city_tables` option injects the
+//! ambiguous duplicates into corpus tables, exercising the paper's
+//! θ-approximate FD (Definition 2).
+
+/// One city record.
+pub struct CityRec {
+    pub city: &'static str,
+    pub state: &'static str,
+    pub state_abbr: &'static str,
+}
+
+/// Ambiguous city names with their *other* state (injected as noise,
+/// not part of ground truth).
+pub struct AmbiguousCity {
+    pub city: &'static str,
+    pub other_state: &'static str,
+}
+
+macro_rules! ct {
+    ($c:literal, $s:literal, $a:literal) => {
+        CityRec {
+            city: $c,
+            state: $s,
+            state_abbr: $a,
+        }
+    };
+}
+
+/// The city table.
+pub const CITIES: &[CityRec] = &[
+    ct!("New York City", "New York", "NY"),
+    ct!("Los Angeles", "California", "CA"),
+    ct!("Chicago", "Illinois", "IL"),
+    ct!("Houston", "Texas", "TX"),
+    ct!("Phoenix", "Arizona", "AZ"),
+    ct!("Philadelphia", "Pennsylvania", "PA"),
+    ct!("San Antonio", "Texas", "TX"),
+    ct!("San Diego", "California", "CA"),
+    ct!("Dallas", "Texas", "TX"),
+    ct!("San Jose", "California", "CA"),
+    ct!("Austin", "Texas", "TX"),
+    ct!("Jacksonville", "Florida", "FL"),
+    ct!("Fort Worth", "Texas", "TX"),
+    ct!("Columbus", "Ohio", "OH"),
+    ct!("Charlotte", "North Carolina", "NC"),
+    ct!("San Francisco", "California", "CA"),
+    ct!("Indianapolis", "Indiana", "IN"),
+    ct!("Seattle", "Washington", "WA"),
+    ct!("Denver", "Colorado", "CO"),
+    ct!("Boston", "Massachusetts", "MA"),
+    ct!("El Paso", "Texas", "TX"),
+    ct!("Nashville", "Tennessee", "TN"),
+    ct!("Detroit", "Michigan", "MI"),
+    ct!("Oklahoma City", "Oklahoma", "OK"),
+    ct!("Portland", "Oregon", "OR"),
+    ct!("Las Vegas", "Nevada", "NV"),
+    ct!("Memphis", "Tennessee", "TN"),
+    ct!("Louisville", "Kentucky", "KY"),
+    ct!("Baltimore", "Maryland", "MD"),
+    ct!("Milwaukee", "Wisconsin", "WI"),
+    ct!("Albuquerque", "New Mexico", "NM"),
+    ct!("Tucson", "Arizona", "AZ"),
+    ct!("Fresno", "California", "CA"),
+    ct!("Sacramento", "California", "CA"),
+    ct!("Kansas City", "Missouri", "MO"),
+    ct!("Mesa", "Arizona", "AZ"),
+    ct!("Atlanta", "Georgia", "GA"),
+    ct!("Omaha", "Nebraska", "NE"),
+    ct!("Colorado Springs", "Colorado", "CO"),
+    ct!("Raleigh", "North Carolina", "NC"),
+    ct!("Miami", "Florida", "FL"),
+    ct!("Virginia Beach", "Virginia", "VA"),
+    ct!("Oakland", "California", "CA"),
+    ct!("Minneapolis", "Minnesota", "MN"),
+    ct!("Tulsa", "Oklahoma", "OK"),
+    ct!("Tampa", "Florida", "FL"),
+    ct!("Arlington", "Texas", "TX"),
+    ct!("New Orleans", "Louisiana", "LA"),
+    ct!("Wichita", "Kansas", "KS"),
+    ct!("Cleveland", "Ohio", "OH"),
+    ct!("Bakersfield", "California", "CA"),
+    ct!("Aurora", "Colorado", "CO"),
+    ct!("Anaheim", "California", "CA"),
+    ct!("Honolulu", "Hawaii", "HI"),
+    ct!("Santa Ana", "California", "CA"),
+    ct!("Riverside", "California", "CA"),
+    ct!("Corpus Christi", "Texas", "TX"),
+    ct!("Lexington", "Kentucky", "KY"),
+    ct!("Stockton", "California", "CA"),
+    ct!("Henderson", "Nevada", "NV"),
+    ct!("Saint Paul", "Minnesota", "MN"),
+    ct!("St. Louis", "Missouri", "MO"),
+    ct!("Cincinnati", "Ohio", "OH"),
+    ct!("Pittsburgh", "Pennsylvania", "PA"),
+    ct!("Greensboro", "North Carolina", "NC"),
+    ct!("Anchorage", "Alaska", "AK"),
+    ct!("Plano", "Texas", "TX"),
+    ct!("Lincoln", "Nebraska", "NE"),
+    ct!("Orlando", "Florida", "FL"),
+    ct!("Irvine", "California", "CA"),
+    ct!("Newark", "New Jersey", "NJ"),
+    ct!("Toledo", "Ohio", "OH"),
+    ct!("Durham", "North Carolina", "NC"),
+    ct!("Chula Vista", "California", "CA"),
+    ct!("Fort Wayne", "Indiana", "IN"),
+    ct!("Jersey City", "New Jersey", "NJ"),
+    ct!("Buffalo", "New York", "NY"),
+    ct!("Madison", "Wisconsin", "WI"),
+    ct!("Chandler", "Arizona", "AZ"),
+    ct!("Laredo", "Texas", "TX"),
+    ct!("Spokane", "Washington", "WA"),
+    ct!("Boise", "Idaho", "ID"),
+    ct!("Richmond", "Virginia", "VA"),
+    ct!("Des Moines", "Iowa", "IA"),
+    ct!("Tacoma", "Washington", "WA"),
+    ct!("Fontana", "California", "CA"),
+    ct!("Salt Lake City", "Utah", "UT"),
+    ct!("Springfield", "Illinois", "IL"),
+    ct!("Birmingham", "Alabama", "AL"),
+    ct!("Rochester", "New York", "NY"),
+];
+
+/// Ambiguous duplicates (injected by the noise model only).
+pub const AMBIGUOUS: &[AmbiguousCity] = &[
+    AmbiguousCity {
+        city: "Portland",
+        other_state: "Maine",
+    },
+    AmbiguousCity {
+        city: "Springfield",
+        other_state: "Massachusetts",
+    },
+    AmbiguousCity {
+        city: "Springfield",
+        other_state: "Missouri",
+    },
+    AmbiguousCity {
+        city: "Columbus",
+        other_state: "Georgia",
+    },
+    AmbiguousCity {
+        city: "Aurora",
+        other_state: "Illinois",
+    },
+    AmbiguousCity {
+        city: "Arlington",
+        other_state: "Virginia",
+    },
+    AmbiguousCity {
+        city: "Richmond",
+        other_state: "California",
+    },
+    AmbiguousCity {
+        city: "Rochester",
+        other_state: "Minnesota",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cities_unique_in_ground_truth() {
+        let names: std::collections::HashSet<&str> = CITIES.iter().map(|c| c.city).collect();
+        assert_eq!(names.len(), CITIES.len(), "ground truth must be a mapping");
+        assert!(CITIES.len() >= 80);
+    }
+
+    #[test]
+    fn ambiguous_conflict_with_ground_truth() {
+        for a in AMBIGUOUS {
+            let gt = CITIES.iter().find(|c| c.city == a.city).unwrap();
+            assert_ne!(gt.state, a.other_state, "{}", a.city);
+        }
+    }
+}

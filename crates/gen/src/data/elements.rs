@@ -1,0 +1,141 @@
+//! Chemical elements (paper Figure 4: the dirty element→symbol table
+//! whose wrong symbols motivate conflict resolution).
+
+/// One element record.
+pub struct ElementRec {
+    pub name: &'static str,
+    pub symbol: &'static str,
+    pub number: &'static str,
+}
+
+macro_rules! e {
+    ($n:literal, $s:literal, $z:literal) => {
+        ElementRec {
+            name: $n,
+            symbol: $s,
+            number: $z,
+        }
+    };
+}
+
+/// The periodic table (1–103).
+pub const ELEMENTS: &[ElementRec] = &[
+    e!("Hydrogen", "H", "1"),
+    e!("Helium", "He", "2"),
+    e!("Lithium", "Li", "3"),
+    e!("Beryllium", "Be", "4"),
+    e!("Boron", "B", "5"),
+    e!("Carbon", "C", "6"),
+    e!("Nitrogen", "N", "7"),
+    e!("Oxygen", "O", "8"),
+    e!("Fluorine", "F", "9"),
+    e!("Neon", "Ne", "10"),
+    e!("Sodium", "Na", "11"),
+    e!("Magnesium", "Mg", "12"),
+    e!("Aluminium", "Al", "13"),
+    e!("Silicon", "Si", "14"),
+    e!("Phosphorus", "P", "15"),
+    e!("Sulfur", "S", "16"),
+    e!("Chlorine", "Cl", "17"),
+    e!("Argon", "Ar", "18"),
+    e!("Potassium", "K", "19"),
+    e!("Calcium", "Ca", "20"),
+    e!("Scandium", "Sc", "21"),
+    e!("Titanium", "Ti", "22"),
+    e!("Vanadium", "V", "23"),
+    e!("Chromium", "Cr", "24"),
+    e!("Manganese", "Mn", "25"),
+    e!("Iron", "Fe", "26"),
+    e!("Cobalt", "Co", "27"),
+    e!("Nickel", "Ni", "28"),
+    e!("Copper", "Cu", "29"),
+    e!("Zinc", "Zn", "30"),
+    e!("Gallium", "Ga", "31"),
+    e!("Germanium", "Ge", "32"),
+    e!("Arsenic", "As", "33"),
+    e!("Selenium", "Se", "34"),
+    e!("Bromine", "Br", "35"),
+    e!("Krypton", "Kr", "36"),
+    e!("Rubidium", "Rb", "37"),
+    e!("Strontium", "Sr", "38"),
+    e!("Yttrium", "Y", "39"),
+    e!("Zirconium", "Zr", "40"),
+    e!("Niobium", "Nb", "41"),
+    e!("Molybdenum", "Mo", "42"),
+    e!("Technetium", "Tc", "43"),
+    e!("Ruthenium", "Ru", "44"),
+    e!("Rhodium", "Rh", "45"),
+    e!("Palladium", "Pd", "46"),
+    e!("Silver", "Ag", "47"),
+    e!("Cadmium", "Cd", "48"),
+    e!("Indium", "In", "49"),
+    e!("Tin", "Sn", "50"),
+    e!("Antimony", "Sb", "51"),
+    e!("Tellurium", "Te", "52"),
+    e!("Iodine", "I", "53"),
+    e!("Xenon", "Xe", "54"),
+    e!("Caesium", "Cs", "55"),
+    e!("Barium", "Ba", "56"),
+    e!("Lanthanum", "La", "57"),
+    e!("Cerium", "Ce", "58"),
+    e!("Praseodymium", "Pr", "59"),
+    e!("Neodymium", "Nd", "60"),
+    e!("Promethium", "Pm", "61"),
+    e!("Samarium", "Sm", "62"),
+    e!("Europium", "Eu", "63"),
+    e!("Gadolinium", "Gd", "64"),
+    e!("Terbium", "Tb", "65"),
+    e!("Dysprosium", "Dy", "66"),
+    e!("Holmium", "Ho", "67"),
+    e!("Erbium", "Er", "68"),
+    e!("Thulium", "Tm", "69"),
+    e!("Ytterbium", "Yb", "70"),
+    e!("Lutetium", "Lu", "71"),
+    e!("Hafnium", "Hf", "72"),
+    e!("Tantalum", "Ta", "73"),
+    e!("Tungsten", "W", "74"),
+    e!("Rhenium", "Re", "75"),
+    e!("Osmium", "Os", "76"),
+    e!("Iridium", "Ir", "77"),
+    e!("Platinum", "Pt", "78"),
+    e!("Gold", "Au", "79"),
+    e!("Mercury", "Hg", "80"),
+    e!("Thallium", "Tl", "81"),
+    e!("Lead", "Pb", "82"),
+    e!("Bismuth", "Bi", "83"),
+    e!("Polonium", "Po", "84"),
+    e!("Astatine", "At", "85"),
+    e!("Radon", "Rn", "86"),
+    e!("Francium", "Fr", "87"),
+    e!("Radium", "Ra", "88"),
+    e!("Actinium", "Ac", "89"),
+    e!("Thorium", "Th", "90"),
+    e!("Protactinium", "Pa", "91"),
+    e!("Uranium", "U", "92"),
+    e!("Neptunium", "Np", "93"),
+    e!("Plutonium", "Pu", "94"),
+    e!("Americium", "Am", "95"),
+    e!("Curium", "Cm", "96"),
+    e!("Berkelium", "Bk", "97"),
+    e!("Californium", "Cf", "98"),
+    e!("Einsteinium", "Es", "99"),
+    e!("Fermium", "Fm", "100"),
+    e!("Mendelevium", "Md", "101"),
+    e!("Nobelium", "No", "102"),
+    e!("Lawrencium", "Lr", "103"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_unique_and_numbers_sequential() {
+        let syms: std::collections::HashSet<&str> = ELEMENTS.iter().map(|e| e.symbol).collect();
+        assert_eq!(syms.len(), ELEMENTS.len());
+        for (i, e) in ELEMENTS.iter().enumerate() {
+            assert_eq!(e.number, (i + 1).to_string());
+        }
+        assert!(ELEMENTS.len() >= 100);
+    }
+}

@@ -1,0 +1,405 @@
+//! Miscellaneous "list of A and B" relations (paper Figures 5 and 12):
+//! months, currencies, Beaufort scale, ASCII control codes, Greek
+//! letters, NATO phonetic alphabet, planets, zodiac, Roman numerals,
+//! HTTP status codes, weekdays, family-member gender.
+
+use crate::registry::{Entry, Relation, RelationKind};
+
+fn rel(
+    name: &str,
+    labels: (&str, &str),
+    generic: (&str, &str),
+    pop: f64,
+    pairs: &[(&str, &str)],
+) -> Relation {
+    Relation {
+        name: name.to_string(),
+        left_label: labels.0.to_string(),
+        right_label: labels.1.to_string(),
+        generic_left: generic.0.to_string(),
+        generic_right: generic.1.to_string(),
+        kind: RelationKind::Static,
+        benchmark: true,
+        popularity: pop,
+        entries: pairs.iter().map(|(l, r)| Entry::simple(l, r)).collect(),
+    }
+}
+
+/// Build all miscellaneous relations.
+#[allow(clippy::vec_init_then_push)]
+pub fn misc_relations() -> Vec<Relation> {
+    let mut out = Vec::new();
+
+    out.push(rel(
+        "month->number",
+        ("Month", "Number"),
+        ("month", "num"),
+        5.0,
+        &[
+            ("January", "1"),
+            ("February", "2"),
+            ("March", "3"),
+            ("April", "4"),
+            ("May", "5"),
+            ("June", "6"),
+            ("July", "7"),
+            ("August", "8"),
+            ("September", "9"),
+            ("October", "10"),
+            ("November", "11"),
+            ("December", "12"),
+        ],
+    ));
+
+    out.push(rel(
+        "month->abbr",
+        ("Month", "Abbreviation"),
+        ("month", "abbr"),
+        4.0,
+        &[
+            ("January", "Jan"),
+            ("February", "Feb"),
+            ("March", "Mar"),
+            ("April", "Apr"),
+            ("May", "May"),
+            ("June", "Jun"),
+            ("July", "Jul"),
+            ("August", "Aug"),
+            ("September", "Sep"),
+            ("October", "Oct"),
+            ("November", "Nov"),
+            ("December", "Dec"),
+        ],
+    ));
+
+    out.push(rel(
+        "weekday->number",
+        ("Weekday", "Number"),
+        ("day", "num"),
+        3.0,
+        &[
+            ("Monday", "1"),
+            ("Tuesday", "2"),
+            ("Wednesday", "3"),
+            ("Thursday", "4"),
+            ("Friday", "5"),
+            ("Saturday", "6"),
+            ("Sunday", "7"),
+        ],
+    ));
+
+    // ISO 4217: currency code → numeric (paper Figure 12).
+    out.push(rel(
+        "currency-code->num",
+        ("ISO 4217 Code", "Numeric"),
+        ("code", "num"),
+        2.0,
+        &[
+            ("USD", "840"),
+            ("EUR", "978"),
+            ("GBP", "826"),
+            ("JPY", "392"),
+            ("CHF", "756"),
+            ("CAD", "124"),
+            ("AUD", "036"),
+            ("NZD", "554"),
+            ("CNY", "156"),
+            ("INR", "356"),
+            ("BRL", "986"),
+            ("MXN", "484"),
+            ("KRW", "410"),
+            ("SGD", "702"),
+            ("HKD", "344"),
+            ("SEK", "752"),
+            ("NOK", "578"),
+            ("DKK", "208"),
+            ("PLN", "985"),
+            ("CZK", "203"),
+            ("HUF", "348"),
+            ("RUB", "643"),
+            ("TRY", "949"),
+            ("ZAR", "710"),
+            ("ILS", "376"),
+            ("AED", "784"),
+            ("SAR", "682"),
+            ("THB", "764"),
+            ("MYR", "458"),
+            ("IDR", "360"),
+            ("PHP", "608"),
+            ("VND", "704"),
+        ],
+    ));
+
+    // Beaufort scale (paper Figure 12).
+    out.push(rel(
+        "wind->beaufort",
+        ("Wind Description", "Beaufort Scale"),
+        ("wind", "scale"),
+        1.5,
+        &[
+            ("calm", "0"),
+            ("light air", "1"),
+            ("light breeze", "2"),
+            ("gentle breeze", "3"),
+            ("moderate breeze", "4"),
+            ("fresh breeze", "5"),
+            ("strong breeze", "6"),
+            ("near gale", "7"),
+            ("gale", "8"),
+            ("strong gale", "9"),
+            ("storm", "10"),
+            ("violent storm", "11"),
+            ("hurricane", "12"),
+        ],
+    ));
+
+    // ASCII control code abbreviations (paper Figure 12).
+    out.push(rel(
+        "ascii-abbr->code",
+        ("ASCII Abbr.", "Code"),
+        ("abbr", "code"),
+        1.5,
+        &[
+            ("NUL", "0"),
+            ("SOH", "1"),
+            ("STX", "2"),
+            ("ETX", "3"),
+            ("EOT", "4"),
+            ("ENQ", "5"),
+            ("ACK", "6"),
+            ("BEL", "7"),
+            ("BS", "8"),
+            ("HT", "9"),
+            ("LF", "10"),
+            ("VT", "11"),
+            ("FF", "12"),
+            ("CR", "13"),
+            ("SO", "14"),
+            ("SI", "15"),
+            ("DLE", "16"),
+            ("DC1", "17"),
+            ("DC2", "18"),
+            ("DC3", "19"),
+            ("DC4", "20"),
+            ("NAK", "21"),
+            ("SYN", "22"),
+            ("ETB", "23"),
+            ("CAN", "24"),
+            ("EM", "25"),
+            ("SUB", "26"),
+            ("ESC", "27"),
+            ("FS", "28"),
+            ("GS", "29"),
+            ("RS", "30"),
+            ("US", "31"),
+            ("DEL", "127"),
+        ],
+    ));
+
+    out.push(rel(
+        "family-member->gender",
+        ("Family Member", "Gender"),
+        ("member", "gender"),
+        1.0,
+        &[
+            ("Mother", "F"),
+            ("Father", "M"),
+            ("Brother", "M"),
+            ("Sister", "F"),
+            ("Son", "M"),
+            ("Daughter", "F"),
+            ("Grandmother", "F"),
+            ("Grandfather", "M"),
+            ("Uncle", "M"),
+            ("Aunt", "F"),
+            ("Nephew", "M"),
+            ("Niece", "F"),
+            ("Husband", "M"),
+            ("Wife", "F"),
+        ],
+    ));
+
+    out.push(rel(
+        "greek-letter->symbol",
+        ("Greek Letter", "Symbol"),
+        ("letter", "symbol"),
+        2.0,
+        &[
+            ("Alpha", "α"),
+            ("Beta", "β"),
+            ("Gamma", "γ"),
+            ("Delta", "δ"),
+            ("Epsilon", "ε"),
+            ("Zeta", "ζ"),
+            ("Eta", "η"),
+            ("Theta", "θ"),
+            ("Iota", "ι"),
+            ("Kappa", "κ"),
+            ("Lambda", "λ"),
+            ("Mu", "μ"),
+            ("Nu", "ν"),
+            ("Xi", "ξ"),
+            ("Omicron", "ο"),
+            ("Pi", "π"),
+            ("Rho", "ρ"),
+            ("Sigma", "σ"),
+            ("Tau", "τ"),
+            ("Upsilon", "υ"),
+            ("Phi", "φ"),
+            ("Chi", "χ"),
+            ("Psi", "ψ"),
+            ("Omega", "ω"),
+        ],
+    ));
+
+    out.push(rel(
+        "nato->letter",
+        ("NATO Phonetic", "Letter"),
+        ("word", "letter"),
+        2.0,
+        &[
+            ("Alfa", "A"),
+            ("Bravo", "B"),
+            ("Charlie", "C"),
+            ("Delta", "D"),
+            ("Echo", "E"),
+            ("Foxtrot", "F"),
+            ("Golf", "G"),
+            ("Hotel", "H"),
+            ("India", "I"),
+            ("Juliett", "J"),
+            ("Kilo", "K"),
+            ("Lima", "L"),
+            ("Mike", "M"),
+            ("November", "N"),
+            ("Oscar", "O"),
+            ("Papa", "P"),
+            ("Quebec", "Q"),
+            ("Romeo", "R"),
+            ("Sierra", "S"),
+            ("Tango", "T"),
+            ("Uniform", "U"),
+            ("Victor", "V"),
+            ("Whiskey", "W"),
+            ("Xray", "X"),
+            ("Yankee", "Y"),
+            ("Zulu", "Z"),
+        ],
+    ));
+
+    out.push(rel(
+        "planet->order",
+        ("Planet", "Order from Sun"),
+        ("planet", "order"),
+        2.0,
+        &[
+            ("Mercury", "1"),
+            ("Venus", "2"),
+            ("Earth", "3"),
+            ("Mars", "4"),
+            ("Jupiter", "5"),
+            ("Saturn", "6"),
+            ("Uranus", "7"),
+            ("Neptune", "8"),
+        ],
+    ));
+
+    out.push(rel(
+        "zodiac->element",
+        ("Zodiac Sign", "Element"),
+        ("sign", "element"),
+        1.2,
+        &[
+            ("Aries", "Fire"),
+            ("Taurus", "Earth"),
+            ("Gemini", "Air"),
+            ("Cancer", "Water"),
+            ("Leo", "Fire"),
+            ("Virgo", "Earth"),
+            ("Libra", "Air"),
+            ("Scorpio", "Water"),
+            ("Sagittarius", "Fire"),
+            ("Capricorn", "Earth"),
+            ("Aquarius", "Air"),
+            ("Pisces", "Water"),
+        ],
+    ));
+
+    out.push(rel(
+        "roman->arabic",
+        ("Roman Numeral", "Arabic"),
+        ("roman", "number"),
+        1.5,
+        &[
+            ("I", "1"),
+            ("II", "2"),
+            ("III", "3"),
+            ("IV", "4"),
+            ("V", "5"),
+            ("VI", "6"),
+            ("VII", "7"),
+            ("VIII", "8"),
+            ("IX", "9"),
+            ("X", "10"),
+            ("XX", "20"),
+            ("XXX", "30"),
+            ("XL", "40"),
+            ("L", "50"),
+            ("XC", "90"),
+            ("C", "100"),
+            ("D", "500"),
+            ("M", "1000"),
+        ],
+    ));
+
+    out.push(rel(
+        "http-status->reason",
+        ("HTTP Status", "Reason Phrase"),
+        ("status", "reason"),
+        2.5,
+        &[
+            ("100", "Continue"),
+            ("200", "OK"),
+            ("201", "Created"),
+            ("204", "No Content"),
+            ("301", "Moved Permanently"),
+            ("302", "Found"),
+            ("304", "Not Modified"),
+            ("400", "Bad Request"),
+            ("401", "Unauthorized"),
+            ("403", "Forbidden"),
+            ("404", "Not Found"),
+            ("405", "Method Not Allowed"),
+            ("408", "Request Timeout"),
+            ("409", "Conflict"),
+            ("410", "Gone"),
+            ("418", "I'm a teapot"),
+            ("429", "Too Many Requests"),
+            ("500", "Internal Server Error"),
+            ("501", "Not Implemented"),
+            ("502", "Bad Gateway"),
+            ("503", "Service Unavailable"),
+            ("504", "Gateway Timeout"),
+        ],
+    ));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_misc_are_valid_mappings() {
+        for r in misc_relations() {
+            assert!(r.fd_violations().is_empty(), "{}", r.name);
+            assert!(r.len() >= 7, "{} too small", r.name);
+        }
+    }
+
+    #[test]
+    fn count() {
+        assert!(misc_relations().len() >= 12);
+    }
+}

@@ -1,0 +1,355 @@
+//! Embedded real-world data seeding the ground-truth registry.
+//!
+//! Each module exposes static records; [`build_real_relations`] turns
+//! them into [`Relation`]s — the 14 geocoding systems of the paper's
+//! Figure 6 plus the "list of A and B" style cases of Figure 5.
+
+pub mod airports;
+pub mod cars;
+pub mod cities;
+pub mod countries;
+pub mod elements;
+pub mod misc;
+pub mod stocks;
+pub mod us_states;
+
+use crate::registry::{name_variants, Entry, Relation, RelationKind};
+
+fn relation(
+    name: &str,
+    labels: (&str, &str),
+    generic: (&str, &str),
+    popularity: f64,
+    entries: Vec<Entry>,
+) -> Relation {
+    Relation {
+        name: name.to_string(),
+        left_label: labels.0.to_string(),
+        right_label: labels.1.to_string(),
+        generic_left: generic.0.to_string(),
+        generic_right: generic.1.to_string(),
+        kind: RelationKind::Static,
+        benchmark: true,
+        popularity,
+        entries,
+    }
+}
+
+/// All relations derived from the embedded real data.
+pub fn build_real_relations() -> Vec<Relation> {
+    let mut out = Vec::new();
+
+    // --- Country geocoding systems (paper Figure 6) ---
+    let country_forms: Vec<Vec<String>> = countries::COUNTRIES
+        .iter()
+        .map(|c| {
+            let mut forms = name_variants(c.name);
+            for s in c.synonyms {
+                forms.push((*s).to_string());
+            }
+            forms
+        })
+        .collect();
+    let country_rel =
+        |name: &str, right_label: &str, pop: f64, f: &dyn Fn(&countries::CountryRec) -> &str| {
+            let entries = countries::COUNTRIES
+                .iter()
+                .zip(&country_forms)
+                .filter(|(c, _)| !f(c).is_empty())
+                .map(|(c, forms)| Entry::with_left_synonyms(forms.clone(), f(c)))
+                .collect();
+            relation(
+                name,
+                ("Country", right_label),
+                ("name", "code"),
+                pop,
+                entries,
+            )
+        };
+    out.push(country_rel(
+        "country->iso3",
+        "ISO 3166-1 Alpha-3",
+        10.0,
+        &|c| c.iso3,
+    ));
+    out.push(country_rel(
+        "country->iso2",
+        "ISO 3166-1 Alpha-2",
+        9.0,
+        &|c| c.iso2,
+    ));
+    out.push(country_rel("country->ioc", "IOC Country Code", 6.0, &|c| {
+        c.ioc
+    }));
+    out.push(country_rel(
+        "country->fifa",
+        "FIFA Country Code",
+        6.0,
+        &|c| c.fifa,
+    ));
+    out.push(country_rel(
+        "country->numeric",
+        "ISO 3166-1 Numeric",
+        4.0,
+        &|c| c.num,
+    ));
+    out.push(country_rel(
+        "country->calling",
+        "ITU-T Calling Code",
+        5.0,
+        &|c| c.calling,
+    ));
+    out.push(country_rel("country->fips", "FIPS 10-4", 2.0, &|c| c.fips));
+    out.push(country_rel("country->capital", "Capital", 8.0, &|c| {
+        c.capital
+    }));
+    out.push(country_rel("country->currency", "Currency", 4.0, &|c| {
+        c.currency
+    }));
+    out.push(country_rel(
+        "country->currency-code",
+        "Currency Code",
+        4.0,
+        &|c| c.cur_code,
+    ));
+
+    // Code-to-code mappings (paper Figure 12: ISO3 → ISO2).
+    out.push(relation(
+        "iso3->iso2",
+        ("ISO 3166-1 Alpha-3", "ISO 3166-1 Alpha-2"),
+        ("alpha3", "alpha2"),
+        3.0,
+        countries::COUNTRIES
+            .iter()
+            .map(|c| Entry::simple(c.iso3, c.iso2))
+            .collect(),
+    ));
+
+    // --- US states (FIPS 5-2 family) ---
+    let state_forms: Vec<Vec<String>> = us_states::STATES
+        .iter()
+        .map(|s| name_variants(s.name))
+        .collect();
+    let state_rel =
+        |name: &str, right_label: &str, pop: f64, f: &dyn Fn(&us_states::StateRec) -> &str| {
+            let entries = us_states::STATES
+                .iter()
+                .zip(&state_forms)
+                .map(|(s, forms)| Entry::with_left_synonyms(forms.clone(), f(s)))
+                .collect();
+            relation(
+                name,
+                ("State", right_label),
+                ("state", "value"),
+                pop,
+                entries,
+            )
+        };
+    out.push(state_rel("state->abbr", "Abbreviation", 9.0, &|s| s.abbr));
+    out.push(state_rel("state->fips", "FIPS 5-2", 2.0, &|s| s.fips));
+    out.push(state_rel("state->capital", "Capital", 6.0, &|s| s.capital));
+    out.push(state_rel(
+        "state->largest-city",
+        "Largest City",
+        3.0,
+        &|s| s.largest_city,
+    ));
+
+    // --- Airports (IATA / ICAO, Figure 6) ---
+    out.push(relation(
+        "airport->iata",
+        ("Airport Name", "IATA"),
+        ("airport", "code"),
+        5.0,
+        airports::AIRPORTS
+            .iter()
+            .map(|a| {
+                let mut forms = vec![a.name.to_string()];
+                for s in a.synonyms {
+                    forms.push((*s).to_string());
+                }
+                Entry::with_left_synonyms(forms, a.iata)
+            })
+            .collect(),
+    ));
+    out.push(relation(
+        "airport->icao",
+        ("Airport Name", "ICAO"),
+        ("airport", "code"),
+        3.0,
+        airports::AIRPORTS
+            .iter()
+            .map(|a| {
+                let mut forms = vec![a.name.to_string()];
+                for s in a.synonyms {
+                    forms.push((*s).to_string());
+                }
+                Entry::with_left_synonyms(forms, a.icao)
+            })
+            .collect(),
+    ));
+    out.push(relation(
+        "iata->city",
+        ("IATA", "City"),
+        ("code", "city"),
+        2.0,
+        airports::AIRPORTS
+            .iter()
+            .map(|a| Entry::simple(a.iata, a.city))
+            .collect(),
+    ));
+
+    // --- Stock tickers (paper Table 1b) ---
+    out.push(relation(
+        "company->ticker",
+        ("Company", "Ticker"),
+        ("company", "symbol"),
+        7.0,
+        stocks::COMPANIES
+            .iter()
+            .map(|s| {
+                let mut forms = vec![s.name.to_string()];
+                for syn in s.synonyms {
+                    forms.push((*syn).to_string());
+                }
+                Entry::with_left_synonyms(forms, s.ticker)
+            })
+            .collect(),
+    ));
+
+    // --- Chemical elements (paper Figure 4 / §K) ---
+    out.push(relation(
+        "element->symbol",
+        ("Element", "Symbol"),
+        ("name", "symbol"),
+        6.0,
+        elements::ELEMENTS
+            .iter()
+            .map(|e| Entry::simple(e.name, e.symbol))
+            .collect(),
+    ));
+    out.push(relation(
+        "element->atomic-number",
+        ("Element", "Atomic Number"),
+        ("name", "number"),
+        4.0,
+        elements::ELEMENTS
+            .iter()
+            .map(|e| Entry::simple(e.name, e.number))
+            .collect(),
+    ));
+    out.push(relation(
+        "symbol->atomic-number",
+        ("Symbol", "Atomic Number"),
+        ("symbol", "number"),
+        2.0,
+        elements::ELEMENTS
+            .iter()
+            .map(|e| Entry::simple(e.symbol, e.number))
+            .collect(),
+    ));
+
+    // --- Cars (paper Table 2a, Figure 5) ---
+    out.push(relation(
+        "car-model->make",
+        ("Model", "Make"),
+        ("model", "make"),
+        5.0,
+        cars::CARS
+            .iter()
+            .map(|c| Entry::simple(c.model, c.make))
+            .collect(),
+    ));
+    out.push(relation(
+        "car-model->type",
+        ("Model", "Type"),
+        ("model", "type"),
+        2.0,
+        cars::CARS
+            .iter()
+            .map(|c| Entry::simple(c.model, c.body))
+            .collect(),
+    ));
+
+    // --- US cities (paper Table 2b; includes ambiguous Portland/Springfield) ---
+    out.push(relation(
+        "city->state",
+        ("City", "State"),
+        ("city", "state"),
+        8.0,
+        cities::CITIES
+            .iter()
+            .map(|c| Entry::simple(c.city, c.state))
+            .collect(),
+    ));
+    out.push(relation(
+        "city->state-abbr",
+        ("City", "State Abbr."),
+        ("city", "state"),
+        4.0,
+        cities::CITIES
+            .iter()
+            .map(|c| Entry::simple(c.city, c.state_abbr))
+            .collect(),
+    ));
+
+    // --- Misc "list of A and B" relations (paper Figure 5 / 12) ---
+    out.extend(misc::misc_relations());
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_relations_build_and_are_mappings() {
+        let rels = build_real_relations();
+        assert!(rels.len() >= 25, "got {}", rels.len());
+        for r in &rels {
+            assert!(!r.is_empty(), "{} empty", r.name);
+            let bad = r.fd_violations();
+            assert!(
+                bad.is_empty(),
+                "{} violates FD on lefts {:?}",
+                r.name,
+                &bad[..bad.len().min(5)]
+            );
+        }
+    }
+
+    #[test]
+    fn country_codes_conflict_across_standards() {
+        // The ISO/IOC/FIFA standards must disagree on some countries —
+        // the premise of the paper's negative-evidence design (Fig. 2).
+        let rels = build_real_relations();
+        let iso = rels.iter().find(|r| r.name == "country->iso3").unwrap();
+        let ioc = rels.iter().find(|r| r.name == "country->ioc").unwrap();
+        let iso_gt = iso.ground_truth_pairs();
+        let ioc_gt = ioc.ground_truth_pairs();
+        let iso_map: std::collections::HashMap<_, _> =
+            iso_gt.iter().map(|(l, r)| (l.clone(), r.clone())).collect();
+        let mut agree = 0;
+        let mut disagree = 0;
+        for (l, r) in &ioc_gt {
+            if let Some(r2) = iso_map.get(l) {
+                if r == r2 {
+                    agree += 1;
+                } else {
+                    disagree += 1;
+                }
+            }
+        }
+        assert!(agree > 20, "agree={agree}");
+        assert!(disagree > 10, "disagree={disagree}");
+    }
+
+    #[test]
+    fn synonyms_present_for_countries() {
+        let rels = build_real_relations();
+        let iso = rels.iter().find(|r| r.name == "country->iso3").unwrap();
+        let multi = iso.entries.iter().filter(|e| e.left.len() > 1).count();
+        assert!(multi > 30, "only {multi} entries have synonyms");
+    }
+}

@@ -1,0 +1,206 @@
+//! Companies and stock tickers (paper Table 1b, Table 5).
+//!
+//! Company names have heavy synonym variation on the web ("Microsoft",
+//! "Microsoft Corp", "Microsoft Corporation", "MSFT Corp") which
+//! single-table baselines cannot cover.
+
+/// One company record.
+pub struct CompanyRec {
+    pub name: &'static str,
+    pub ticker: &'static str,
+    pub synonyms: &'static [&'static str],
+}
+
+macro_rules! k {
+    ($n:literal, $t:literal, [$($syn:literal),*]) => {
+        CompanyRec { name: $n, ticker: $t, synonyms: &[$($syn),*] }
+    };
+}
+
+/// The company table.
+pub const COMPANIES: &[CompanyRec] = &[
+    k!(
+        "Microsoft Corporation",
+        "MSFT",
+        ["Microsoft", "Microsoft Corp", "Microsoft Corp."]
+    ),
+    k!(
+        "Apple Inc",
+        "AAPL",
+        ["Apple", "Apple Computer", "Apple Incorporated"]
+    ),
+    k!(
+        "Alphabet Inc",
+        "GOOGL",
+        ["Alphabet", "Google", "Google LLC"]
+    ),
+    k!("Amazon.com Inc", "AMZN", ["Amazon", "Amazon.com"]),
+    k!(
+        "Meta Platforms Inc",
+        "META",
+        ["Meta", "Facebook", "Meta Platforms"]
+    ),
+    k!("Oracle Corporation", "ORCL", ["Oracle", "Oracle Corp"]),
+    k!("Intel Corporation", "INTC", ["Intel", "Intel Corp"]),
+    k!(
+        "International Business Machines",
+        "IBM",
+        ["IBM", "IBM Corp", "I.B.M."]
+    ),
+    k!(
+        "General Electric",
+        "GE",
+        ["GE", "General Electric Company", "General Electric Co"]
+    ),
+    k!(
+        "United Parcel Service",
+        "UPS",
+        ["UPS", "United Parcel Services"]
+    ),
+    k!(
+        "Walmart Inc",
+        "WMT",
+        ["Walmart", "Wal-Mart", "Wal-Mart Stores"]
+    ),
+    k!(
+        "The Coca-Cola Company",
+        "KO",
+        ["Coca-Cola", "Coca Cola", "Coke"]
+    ),
+    k!("PepsiCo Inc", "PEP", ["Pepsi", "PepsiCo"]),
+    k!("Johnson & Johnson", "JNJ", ["Johnson and Johnson", "J&J"]),
+    k!("Procter & Gamble", "PG", ["Procter and Gamble", "P&G"]),
+    k!(
+        "JPMorgan Chase",
+        "JPM",
+        ["JP Morgan", "JPMorgan", "JPMorgan Chase & Co"]
+    ),
+    k!("Bank of America", "BAC", ["BofA", "Bank of America Corp"]),
+    k!(
+        "Wells Fargo",
+        "WFC",
+        ["Wells Fargo & Company", "Wells Fargo Bank"]
+    ),
+    k!(
+        "Goldman Sachs",
+        "GS",
+        ["The Goldman Sachs Group", "Goldman"]
+    ),
+    k!("Morgan Stanley", "MS", []),
+    k!("Citigroup Inc", "C", ["Citigroup", "Citi", "Citibank"]),
+    k!(
+        "American Express",
+        "AXP",
+        ["Amex", "American Express Company"]
+    ),
+    k!("Visa Inc", "V", ["Visa"]),
+    k!(
+        "Mastercard Inc",
+        "MA",
+        ["Mastercard", "MasterCard Incorporated"]
+    ),
+    k!(
+        "AT&T Inc",
+        "T",
+        ["AT&T", "ATT", "American Telephone and Telegraph"]
+    ),
+    k!("Verizon Communications", "VZ", ["Verizon"]),
+    k!("Comcast Corporation", "CMCSA", ["Comcast", "Comcast Corp"]),
+    k!(
+        "The Walt Disney Company",
+        "DIS",
+        ["Disney", "Walt Disney", "Walt Disney Co"]
+    ),
+    k!("Netflix Inc", "NFLX", ["Netflix"]),
+    k!("NVIDIA Corporation", "NVDA", ["NVIDIA", "Nvidia Corp"]),
+    k!("Advanced Micro Devices", "AMD", ["AMD"]),
+    k!("Qualcomm Inc", "QCOM", ["Qualcomm"]),
+    k!("Cisco Systems", "CSCO", ["Cisco", "Cisco Systems Inc"]),
+    k!("Adobe Inc", "ADBE", ["Adobe", "Adobe Systems"]),
+    k!("Salesforce Inc", "CRM", ["Salesforce", "Salesforce.com"]),
+    k!("Tesla Inc", "TSLA", ["Tesla", "Tesla Motors"]),
+    k!(
+        "Ford Motor Company",
+        "F",
+        ["Ford", "Ford Motor", "Ford Motor Co"]
+    ),
+    k!("General Motors", "GM", ["GM", "General Motors Company"]),
+    k!("The Boeing Company", "BA", ["Boeing", "Boeing Co"]),
+    k!(
+        "Lockheed Martin",
+        "LMT",
+        ["Lockheed", "Lockheed Martin Corp"]
+    ),
+    k!("Caterpillar Inc", "CAT", ["Caterpillar", "CAT Inc"]),
+    k!(
+        "3M Company",
+        "MMM",
+        ["3M", "Minnesota Mining and Manufacturing"]
+    ),
+    k!("Honeywell International", "HON", ["Honeywell"]),
+    k!(
+        "ExxonMobil Corporation",
+        "XOM",
+        ["Exxon", "Exxon Mobil", "ExxonMobil"]
+    ),
+    k!("Chevron Corporation", "CVX", ["Chevron", "Chevron Corp"]),
+    k!("ConocoPhillips", "COP", ["Conoco Phillips"]),
+    k!("Pfizer Inc", "PFE", ["Pfizer"]),
+    k!("Merck & Co", "MRK", ["Merck", "Merck and Co"]),
+    k!("Eli Lilly and Company", "LLY", ["Eli Lilly", "Lilly"]),
+    k!("AbbVie Inc", "ABBV", ["AbbVie"]),
+    k!(
+        "UnitedHealth Group",
+        "UNH",
+        ["UnitedHealth", "United Health"]
+    ),
+    k!("CVS Health", "CVS", ["CVS", "CVS Pharmacy"]),
+    k!(
+        "McDonald's Corporation",
+        "MCD",
+        ["McDonalds", "McDonald's", "McDonald's Corp"]
+    ),
+    k!(
+        "Starbucks Corporation",
+        "SBUX",
+        ["Starbucks", "Starbucks Coffee"]
+    ),
+    k!("Nike Inc", "NKE", ["Nike"]),
+    k!("The Home Depot", "HD", ["Home Depot", "Home Depot Inc"]),
+    k!("Target Corporation", "TGT", ["Target", "Target Corp"]),
+    k!("Costco Wholesale", "COST", ["Costco"]),
+    k!("FedEx Corporation", "FDX", ["FedEx", "Federal Express"]),
+    k!("Delta Air Lines", "DAL", ["Delta", "Delta Airlines"]),
+    k!(
+        "United Airlines Holdings",
+        "UAL",
+        ["United Airlines", "United"]
+    ),
+    k!("American Airlines Group", "AAL", ["American Airlines"]),
+    k!("Southwest Airlines", "LUV", ["Southwest"]),
+    k!("Marriott International", "MAR", ["Marriott"]),
+    k!("Hilton Worldwide", "HLT", ["Hilton", "Hilton Hotels"]),
+    k!("PayPal Holdings", "PYPL", ["PayPal"]),
+    k!("Uber Technologies", "UBER", ["Uber"]),
+    k!("Airbnb Inc", "ABNB", ["Airbnb"]),
+    k!("Intuit Inc", "INTU", ["Intuit"]),
+    k!("ServiceNow Inc", "NOW", ["ServiceNow"]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickers_unique() {
+        let t: std::collections::HashSet<&str> = COMPANIES.iter().map(|c| c.ticker).collect();
+        assert_eq!(t.len(), COMPANIES.len());
+        assert!(COMPANIES.len() >= 60);
+    }
+
+    #[test]
+    fn synonym_coverage_rich() {
+        let with_syn = COMPANIES.iter().filter(|c| !c.synonyms.is_empty()).count();
+        assert!(with_syn as f64 / COMPANIES.len() as f64 > 0.8);
+    }
+}

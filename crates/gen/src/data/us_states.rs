@@ -1,0 +1,103 @@
+//! US states: postal abbreviation, FIPS 5-2 code, capital, largest
+//! city. Capitals vs largest cities intentionally disagree for many
+//! states (Washington: Olympia vs Seattle) — the confusion pair the
+//! paper's §5.6 uses to motivate conflict resolution.
+
+/// One state record.
+pub struct StateRec {
+    pub name: &'static str,
+    pub abbr: &'static str,
+    pub fips: &'static str,
+    pub capital: &'static str,
+    pub largest_city: &'static str,
+}
+
+macro_rules! s {
+    ($n:literal, $a:literal, $f:literal, $c:literal, $l:literal) => {
+        StateRec {
+            name: $n,
+            abbr: $a,
+            fips: $f,
+            capital: $c,
+            largest_city: $l,
+        }
+    };
+}
+
+/// The 50 states.
+pub const STATES: &[StateRec] = &[
+    s!("Alabama", "AL", "01", "Montgomery", "Huntsville"),
+    s!("Alaska", "AK", "02", "Juneau", "Anchorage"),
+    s!("Arizona", "AZ", "04", "Phoenix", "Phoenix"),
+    s!("Arkansas", "AR", "05", "Little Rock", "Little Rock"),
+    s!("California", "CA", "06", "Sacramento", "Los Angeles"),
+    s!("Colorado", "CO", "08", "Denver", "Denver"),
+    s!("Connecticut", "CT", "09", "Hartford", "Bridgeport"),
+    s!("Delaware", "DE", "10", "Dover", "Wilmington"),
+    s!("Florida", "FL", "12", "Tallahassee", "Jacksonville"),
+    s!("Georgia", "GA", "13", "Atlanta", "Atlanta"),
+    s!("Hawaii", "HI", "15", "Honolulu", "Honolulu"),
+    s!("Idaho", "ID", "16", "Boise", "Boise"),
+    s!("Illinois", "IL", "17", "Springfield", "Chicago"),
+    s!("Indiana", "IN", "18", "Indianapolis", "Indianapolis"),
+    s!("Iowa", "IA", "19", "Des Moines", "Des Moines"),
+    s!("Kansas", "KS", "20", "Topeka", "Wichita"),
+    s!("Kentucky", "KY", "21", "Frankfort", "Louisville"),
+    s!("Louisiana", "LA", "22", "Baton Rouge", "New Orleans"),
+    s!("Maine", "ME", "23", "Augusta", "Portland"),
+    s!("Maryland", "MD", "24", "Annapolis", "Baltimore"),
+    s!("Massachusetts", "MA", "25", "Boston", "Boston"),
+    s!("Michigan", "MI", "26", "Lansing", "Detroit"),
+    s!("Minnesota", "MN", "27", "Saint Paul", "Minneapolis"),
+    s!("Mississippi", "MS", "28", "Jackson", "Jackson"),
+    s!("Missouri", "MO", "29", "Jefferson City", "Kansas City"),
+    s!("Montana", "MT", "30", "Helena", "Billings"),
+    s!("Nebraska", "NE", "31", "Lincoln", "Omaha"),
+    s!("Nevada", "NV", "32", "Carson City", "Las Vegas"),
+    s!("New Hampshire", "NH", "33", "Concord", "Manchester"),
+    s!("New Jersey", "NJ", "34", "Trenton", "Newark"),
+    s!("New Mexico", "NM", "35", "Santa Fe", "Albuquerque"),
+    s!("New York", "NY", "36", "Albany", "New York City"),
+    s!("North Carolina", "NC", "37", "Raleigh", "Charlotte"),
+    s!("North Dakota", "ND", "38", "Bismarck", "Fargo"),
+    s!("Ohio", "OH", "39", "Columbus", "Columbus"),
+    s!("Oklahoma", "OK", "40", "Oklahoma City", "Oklahoma City"),
+    s!("Oregon", "OR", "41", "Salem", "Portland"),
+    s!("Pennsylvania", "PA", "42", "Harrisburg", "Philadelphia"),
+    s!("Rhode Island", "RI", "44", "Providence", "Providence"),
+    s!("South Carolina", "SC", "45", "Columbia", "Charleston"),
+    s!("South Dakota", "SD", "46", "Pierre", "Sioux Falls"),
+    s!("Tennessee", "TN", "47", "Nashville", "Nashville"),
+    s!("Texas", "TX", "48", "Austin", "Houston"),
+    s!("Utah", "UT", "49", "Salt Lake City", "Salt Lake City"),
+    s!("Vermont", "VT", "50", "Montpelier", "Burlington"),
+    s!("Virginia", "VA", "51", "Richmond", "Virginia Beach"),
+    s!("Washington", "WA", "53", "Olympia", "Seattle"),
+    s!("West Virginia", "WV", "54", "Charleston", "Charleston"),
+    s!("Wisconsin", "WI", "55", "Madison", "Milwaukee"),
+    s!("Wyoming", "WY", "56", "Cheyenne", "Cheyenne"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_states_unique() {
+        assert_eq!(STATES.len(), 50);
+        let abbrs: std::collections::HashSet<&str> = STATES.iter().map(|s| s.abbr).collect();
+        assert_eq!(abbrs.len(), 50);
+    }
+
+    #[test]
+    fn capital_vs_largest_disagree_somewhere() {
+        let diff = STATES
+            .iter()
+            .filter(|s| s.capital != s.largest_city)
+            .count();
+        assert!(diff >= 25, "only {diff} states differ");
+        let wa = STATES.iter().find(|s| s.name == "Washington").unwrap();
+        assert_eq!(wa.capital, "Olympia");
+        assert_eq!(wa.largest_city, "Seattle");
+    }
+}

@@ -1,0 +1,293 @@
+//! Enterprise spreadsheet corpus generator (paper §5.5).
+//!
+//! Enterprise-specific relations — cost centers, profit centers,
+//! product families, data centers — that no public knowledge base
+//! covers (the paper's point about KB coverage). Noise skews toward
+//! spreadsheet pathologies: pivot-table mis-extraction that leaks
+//! header strings into value columns, the issue §5.5 reports.
+
+use crate::noise::{corrupt_cell, NoiseConfig};
+use crate::registry::{Entry, Registry, Relation, RelationKind};
+use crate::words::ENTERPRISE_TOKENS;
+use mapsynth_corpus::{Column, Corpus};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Enterprise corpus parameters.
+#[derive(Clone, Debug)]
+pub struct EnterpriseConfig {
+    /// Number of tables.
+    pub tables: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of spreadsheet shares (provenance domains).
+    pub shares: usize,
+    /// Cell noise.
+    pub noise: NoiseConfig,
+    /// Number of relation families to synthesize.
+    pub families: usize,
+    /// Probability a table suffers pivot mis-extraction (header tokens
+    /// leak into value rows).
+    pub pivot_noise_prob: f64,
+    /// Row range.
+    pub min_rows: usize,
+    /// Maximum rows.
+    pub max_rows: usize,
+    /// Probability a table is a master-data export covering the whole
+    /// relation (canonical cost-center sheets exist in every company).
+    pub master_prob: f64,
+}
+
+impl Default for EnterpriseConfig {
+    fn default() -> Self {
+        Self {
+            tables: 2000,
+            seed: 7,
+            shares: 60,
+            noise: NoiseConfig::default(),
+            families: 40,
+            pivot_noise_prob: 0.06,
+            min_rows: 5,
+            max_rows: 22,
+            master_prob: 0.05,
+        }
+    }
+}
+
+/// Generated enterprise corpus + registry (30 benchmark cases).
+pub struct EnterpriseCorpus {
+    /// The corpus.
+    pub corpus: Corpus,
+    /// Ground-truth registry.
+    pub registry: Registry,
+    /// Per-table relation label.
+    pub table_relation: Vec<Option<String>>,
+}
+
+/// Templates for enterprise relation families.
+const TEMPLATES: &[(&str, &str, &str)] = &[
+    // (family name, left label, right label)
+    ("cost-center", "Cost Center", "Code"),
+    ("profit-center", "Profit Center", "Code"),
+    ("product-family", "Product Family", "Code"),
+    ("data-center", "Data Center", "Region"),
+    ("atu", "ATU", "Country"),
+    ("industry", "Industry", "Vertical"),
+    ("org", "Organization", "Org Code"),
+    ("ledger-account", "Ledger Account", "Account Number"),
+    ("building", "Building", "Campus"),
+    ("sku", "SKU", "Product Line"),
+];
+
+const REGIONS: &[&str] = &["APAC", "EMEA", "AMER", "LATAM", "ANZ"];
+
+/// Generate the enterprise corpus.
+pub fn generate_enterprise(cfg: &EnterpriseConfig) -> EnterpriseCorpus {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut relations: Vec<Relation> = Vec::new();
+    let mut used_names: HashSet<String> = HashSet::new();
+
+    for fam in 0..cfg.families {
+        let (family, left_label, right_label) = TEMPLATES[fam % TEMPLATES.len()];
+        let n = rng.gen_range(30..=150);
+        let mut entries = Vec::with_capacity(n);
+        let mut used_codes = HashSet::new();
+        let regional = right_label == "Region";
+        for _ in 0..n {
+            // Entity names like "Cloud Analytics 03".
+            let name = loop {
+                let a = ENTERPRISE_TOKENS[rng.gen_range(0..ENTERPRISE_TOKENS.len())];
+                let b = ENTERPRISE_TOKENS[rng.gen_range(0..ENTERPRISE_TOKENS.len())];
+                let candidate = format!("{a} {b} {:02}", rng.gen_range(0..100));
+                if used_names.insert(candidate.clone()) {
+                    break candidate;
+                }
+            };
+            let code = if regional {
+                REGIONS[rng.gen_range(0..REGIONS.len())].to_string()
+            } else {
+                loop {
+                    let c = format!(
+                        "{}{:04}",
+                        (b'A' + rng.gen_range(0..26u8)) as char,
+                        rng.gen_range(0..10_000)
+                    );
+                    if used_codes.insert(c.clone()) {
+                        break c;
+                    }
+                }
+            };
+            entries.push(Entry::simple(&name, &code));
+        }
+        relations.push(Relation {
+            name: format!("ent-{fam:02}-{family}"),
+            left_label: left_label.to_string(),
+            right_label: right_label.to_string(),
+            generic_left: "name".to_string(),
+            generic_right: "code".to_string(),
+            kind: RelationKind::Static,
+            // First 30 families are the paper's 30 best-effort cases.
+            benchmark: fam < 30,
+            popularity: 0.5 + rng.gen::<f64>() * 2.0,
+            entries,
+        });
+    }
+
+    let registry = Registry {
+        relations: relations.clone(),
+    };
+    let mut corpus = Corpus::new();
+    let share_ids: Vec<_> = (0..cfg.shares)
+        .map(|i| corpus.domain(&format!("share-{i:03}")))
+        .collect();
+    let mut table_relation = Vec::new();
+
+    let weights: Vec<f64> = relations.iter().map(|r| r.popularity).collect();
+    let total_w: f64 = weights.iter().sum();
+
+    for _ in 0..cfg.tables {
+        let mut pick = rng.gen::<f64>() * total_w;
+        let mut rel_idx = 0;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                rel_idx = i;
+                break;
+            }
+            pick -= w;
+        }
+        let rel = &relations[rel_idx];
+        let share = share_ids[rng.gen_range(0..share_ids.len())];
+        // Master exports are broad but stale: they cover 60-90% of the
+        // live relation, so no single sheet matches the full ground
+        // truth — stitching the master with fresh fragments does.
+        let rows = if rng.gen_bool(cfg.master_prob) {
+            (rel.len() as f64 * rng.gen_range(0.6..0.9)) as usize
+        } else {
+            rng.gen_range(cfg.min_rows..=cfg.max_rows).min(rel.len())
+        };
+        // Spreadsheets are head-biased like web tables: the popular
+        // cost centers recur in most sheets, giving fragments the
+        // overlap that lets synthesis chain them.
+        let mut idxs: Vec<usize> = match rng.gen_range(0..10u8) {
+            0..=3 => (0..rows).collect(),
+            4..=6 => {
+                let start = rng.gen_range(0..=(rel.len() - rows));
+                (start..start + rows).collect()
+            }
+            _ => {
+                let mut v: Vec<usize> = (0..rel.len()).collect();
+                v.shuffle(&mut rng);
+                v.truncate(rows);
+                v
+            }
+        };
+        idxs.sort_unstable();
+
+        let mut left: Vec<String> = Vec::with_capacity(rows);
+        let mut right: Vec<String> = Vec::with_capacity(rows);
+        for &ei in &idxs {
+            let e = &rel.entries[ei];
+            left.push(corrupt_cell(&mut rng, &cfg.noise, &e.left[0]));
+            right.push(corrupt_cell(&mut rng, &cfg.noise, &e.right[0]));
+        }
+
+        // Pivot mis-extraction: header tokens leak into the values.
+        if rng.gen_bool(cfg.pivot_noise_prob) {
+            let leak_at = rng.gen_range(0..left.len());
+            left[leak_at] = rel.left_label.clone();
+            right[leak_at] = rel.right_label.clone();
+        }
+
+        let cols = vec![
+            (Some(rel.left_label.clone()), left),
+            (Some(rel.right_label.clone()), right),
+        ];
+        let cols: Vec<Column> = cols
+            .into_iter()
+            .map(|(h, vals)| {
+                let header = h.map(|h| corpus.interner.intern(&h));
+                let values = vals.iter().map(|v| corpus.interner.intern(v)).collect();
+                Column::new(header, values)
+            })
+            .collect();
+        corpus.push_interned_table(share, cols);
+        table_relation.push(Some(rel.name.clone()));
+    }
+
+    EnterpriseCorpus {
+        corpus,
+        registry,
+        table_relation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EnterpriseConfig {
+        EnterpriseConfig {
+            tables: 150,
+            families: 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn builds_thirty_benchmark_cases_by_default() {
+        let ec = generate_enterprise(&EnterpriseConfig {
+            tables: 50,
+            ..Default::default()
+        });
+        assert_eq!(ec.registry.benchmark_cases().count(), 30);
+    }
+
+    #[test]
+    fn relations_are_mappings() {
+        let ec = generate_enterprise(&small());
+        for r in &ec.registry.relations {
+            assert!(r.fd_violations().is_empty(), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_enterprise(&small());
+        let b = generate_enterprise(&small());
+        assert_eq!(a.corpus.len(), b.corpus.len());
+        let ta = &a.corpus.tables[7];
+        let tb = &b.corpus.tables[7];
+        let va: Vec<&str> = ta.columns[0]
+            .values
+            .iter()
+            .map(|&s| a.corpus.str_of(s))
+            .collect();
+        let vb: Vec<&str> = tb.columns[0]
+            .values
+            .iter()
+            .map(|&s| b.corpus.str_of(s))
+            .collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn pivot_noise_leaks_headers() {
+        let ec = generate_enterprise(&EnterpriseConfig {
+            tables: 300,
+            pivot_noise_prob: 0.5,
+            ..small()
+        });
+        // Some table must contain its own header label as a value.
+        let mut found = false;
+        for t in &ec.corpus.tables {
+            let header = t.columns[0].header.unwrap();
+            if t.columns[0].values.contains(&header) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found);
+    }
+}

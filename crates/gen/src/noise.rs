@@ -1,0 +1,198 @@
+//! The cell/table noise model.
+//!
+//! Web tables are dirty in specific, structured ways the pipeline must
+//! survive (paper §3.1 quality issues, Figure 4 value errors):
+//!
+//! * typos — single-character edits;
+//! * footnote marks — `\[1\]`, `*` appended to cells (Figure 2);
+//! * case variation — ALL CAPS / lowercase renderings;
+//! * wrong values — a cell replaced with another entity's right value
+//!   (Figure 4's swapped chemical symbols);
+//! * incoherent columns — mixed free-text cells that PMI filtering
+//!   must remove (Table 7's "Location" column).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-cell and per-table noise probabilities.
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseConfig {
+    /// Probability a cell gets a single-character typo.
+    pub typo: f64,
+    /// Probability a cell gets a footnote mark appended.
+    pub footnote: f64,
+    /// Probability a cell is re-cased (upper/lower).
+    pub recase: f64,
+    /// Probability a right-hand cell is replaced with a *wrong* value
+    /// from the same relation (creates true conflicts).
+    pub wrong_value: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self {
+            typo: 0.004,
+            footnote: 0.012,
+            recase: 0.05,
+            wrong_value: 0.004,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A noiseless configuration (for tests and clean baselines).
+    pub fn clean() -> Self {
+        Self {
+            typo: 0.0,
+            footnote: 0.0,
+            recase: 0.0,
+            wrong_value: 0.0,
+        }
+    }
+}
+
+/// Apply cosmetic noise (typo / footnote / recase) to a cell value.
+/// Wrong-value substitution is handled by the table generators because
+/// it needs relation context.
+pub fn corrupt_cell(rng: &mut StdRng, cfg: &NoiseConfig, value: &str) -> String {
+    let mut v = value.to_string();
+    if cfg.typo > 0.0 && rng.gen_bool(cfg.typo) && v.chars().count() >= 5 {
+        v = apply_typo(rng, &v);
+    }
+    if cfg.recase > 0.0 && rng.gen_bool(cfg.recase) {
+        v = if rng.gen_bool(0.5) {
+            v.to_uppercase()
+        } else {
+            v.to_lowercase()
+        };
+    }
+    if cfg.footnote > 0.0 && rng.gen_bool(cfg.footnote) {
+        let mark = match rng.gen_range(0..3u8) {
+            0 => format!("[{}]", rng.gen_range(1..9)),
+            1 => "*".to_string(),
+            _ => "[a]".to_string(),
+        };
+        v.push_str(&mark);
+    }
+    v
+}
+
+/// One random single-character edit: substitute, delete, insert or
+/// transpose. Operates on char boundaries.
+fn apply_typo(rng: &mut StdRng, v: &str) -> String {
+    let chars: Vec<char> = v.chars().collect();
+    let mut out = chars.clone();
+    let i = rng.gen_range(0..chars.len());
+    match rng.gen_range(0..4u8) {
+        0 => out[i] = random_letter(rng), // substitute
+        1 => {
+            out.remove(i); // delete
+        }
+        2 => out.insert(i, random_letter(rng)), // insert
+        _ => {
+            if i + 1 < out.len() {
+                out.swap(i, i + 1); // transpose
+            } else {
+                out[i] = random_letter(rng);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn random_letter(rng: &mut StdRng) -> char {
+    (b'a' + rng.gen_range(0..26u8)) as char
+}
+
+/// Generate an incoherent "mixed content" cell for distractor columns
+/// (addresses, timestamps, free text — Table 7's Location column).
+pub fn incoherent_cell(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..4u8) {
+        0 => format!(
+            "{} {} St, Suite {}",
+            rng.gen_range(1..9999),
+            ["Main", "Oak", "First", "Lake", "Hill"][rng.gen_range(0..5)],
+            rng.gen_range(1..500)
+        ),
+        1 => format!(
+            "{:02}-{:02} {:02}:{:02}",
+            rng.gen_range(1..13),
+            rng.gen_range(1..29),
+            rng.gen_range(0..24),
+            rng.gen_range(0..60)
+        ),
+        2 => format!("note {}", rng.gen::<u32>()),
+        _ => format!("{:.2}%", rng.gen::<f64>() * 100.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_config_never_alters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = NoiseConfig::clean();
+        for _ in 0..100 {
+            assert_eq!(corrupt_cell(&mut rng, &cfg, "South Korea"), "South Korea");
+        }
+    }
+
+    #[test]
+    fn typo_changes_string_but_stays_close() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let t = apply_typo(&mut rng, "california");
+            assert_ne!(t, "");
+            let d = mapsynth_text::edit_distance_full("california", &t);
+            assert!(d <= 2, "typo moved too far: {t}");
+        }
+    }
+
+    #[test]
+    fn noisy_config_eventually_alters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = NoiseConfig {
+            typo: 0.5,
+            footnote: 0.5,
+            recase: 0.5,
+            wrong_value: 0.0,
+        };
+        let altered = (0..100)
+            .filter(|_| corrupt_cell(&mut rng, &cfg, "South Korea") != "South Korea")
+            .count();
+        assert!(altered > 50);
+    }
+
+    #[test]
+    fn incoherent_cells_vary() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cells: std::collections::HashSet<String> =
+            (0..50).map(|_| incoherent_cell(&mut rng)).collect();
+        assert!(cells.len() > 40, "not enough variety: {}", cells.len());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// Cosmetic noise never erases a value, and with the default
+        /// (low-probability) config the output stays within a small
+        /// edit distance of the input — close enough for approximate
+        /// matching to absorb (the design contract of the noise model).
+        #[test]
+        fn prop_corrupt_cell_stays_close(seed in 0u64..500, s in "[A-Za-z ]{5,24}") {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = corrupt_cell(&mut rng, &NoiseConfig::default(), &s);
+            prop_assert!(!out.is_empty());
+            let d = mapsynth_text::edit_distance_full(&s.to_lowercase(), &out.to_lowercase());
+            prop_assert!(d <= 5, "drifted too far: {s:?} -> {out:?}");
+        }
+    }
+}

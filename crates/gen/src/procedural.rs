@@ -1,0 +1,350 @@
+//! Procedurally generated relation families.
+//!
+//! The embedded real data provides ~30 relations; the paper's web
+//! benchmark has 80 cases and its corpus has orders of magnitude more
+//! relations than that. Procedural families fill the gap with
+//! controllable structure:
+//!
+//! * *base families* — entity names built from word lists, mapped to
+//!   synthetic codes (letter or numeric), with synonym variants;
+//! * *sibling standards* — a second code assignment over the same left
+//!   entities agreeing on a configurable fraction of entities, exactly
+//!   the ISO-vs-IOC structure (paper Figure 2) that forces
+//!   negative-evidence reasoning;
+//! * *temporal families* — several "seasons" of the same relation with
+//!   drifting right values (paper Figure 13: team → points).
+
+use crate::registry::{name_variants, Entry, Relation, RelationKind};
+use crate::words::{ADJECTIVES, NOUNS};
+use rand::rngs::StdRng;
+
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration for procedural generation.
+#[derive(Clone, Debug)]
+pub struct ProceduralConfig {
+    /// Number of base families.
+    pub families: usize,
+    /// Probability that a family also gets a sibling code standard.
+    pub sibling_prob: f64,
+    /// Fraction of entities on which a sibling standard agrees with the
+    /// base standard (ISO vs IOC agree on most countries).
+    pub sibling_agreement: f64,
+    /// Entity count range per family.
+    pub min_entities: usize,
+    /// Maximum entities per family.
+    pub max_entities: usize,
+    /// Per-entity probability of an extra curated-style left synonym.
+    pub synonym_prob: f64,
+    /// Fraction of base families flagged as benchmark cases.
+    pub benchmark_fraction: f64,
+    /// Number of temporal families (each produces several seasons).
+    pub temporal_families: usize,
+    /// Seasons per temporal family.
+    pub seasons: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProceduralConfig {
+    fn default() -> Self {
+        Self {
+            families: 48,
+            sibling_prob: 0.5,
+            sibling_agreement: 0.72,
+            min_entities: 15,
+            max_entities: 120,
+            synonym_prob: 0.35,
+            benchmark_fraction: 0.9,
+            temporal_families: 4,
+            seasons: 3,
+            seed: 17,
+        }
+    }
+}
+
+/// Kinds of synthetic right-hand codes.
+#[derive(Clone, Copy)]
+enum CodeStyle {
+    /// Uppercase letters derived from the name plus a disambiguator.
+    Letters(usize),
+    /// Zero-padded numeric codes.
+    Numeric(usize),
+    /// Short category labels (many-to-one).
+    Category,
+}
+
+/// Generate all procedural relations.
+pub fn procedural_relations(cfg: &ProceduralConfig) -> Vec<Relation> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::new();
+    let mut used_names: HashSet<String> = HashSet::new();
+
+    for fam in 0..cfg.families {
+        let n = rng.gen_range(cfg.min_entities..=cfg.max_entities);
+        let domain_noun = NOUNS[rng.gen_range(0..NOUNS.len())];
+        let style = match rng.gen_range(0..4u8) {
+            0 => CodeStyle::Letters(3),
+            1 => CodeStyle::Letters(4),
+            2 => CodeStyle::Numeric(rng.gen_range(3..=5)),
+            _ => CodeStyle::Category,
+        };
+        let entities = make_entities(&mut rng, n, &mut used_names, cfg.synonym_prob);
+        let codes = make_codes(&mut rng, &entities, style);
+        let benchmark = rng.gen_bool(cfg.benchmark_fraction);
+        let popularity = 0.3 + rng.gen::<f64>() * 3.0;
+        let base_name = format!("proc-{fam:02}-{domain_noun}->code");
+        out.push(Relation {
+            name: base_name.clone(),
+            left_label: format!("{} name", title_case(domain_noun)),
+            right_label: "Code".to_string(),
+            generic_left: "name".to_string(),
+            generic_right: "code".to_string(),
+            kind: RelationKind::Static,
+            benchmark,
+            popularity,
+            entries: entities
+                .iter()
+                .zip(&codes)
+                .map(|(forms, code)| Entry::with_left_synonyms(forms.clone(), code))
+                .collect(),
+        });
+
+        // Sibling standards over the same left entities — the paper's
+        // parallel geocoding systems (a country has ISO, IOC, FIFA,
+        // FIPS … codes). Agreement is jittered per standard: some pairs
+        // differ on few entities (IOC vs FIFA), some on many (ISO vs
+        // IOC). Sibling standards are benchmark cases too.
+        if rng.gen_bool(cfg.sibling_prob) {
+            let n_siblings = if rng.gen_bool(0.4) { 2 } else { 1 };
+            for s in 0..n_siblings {
+                let agreement =
+                    (cfg.sibling_agreement + rng.gen_range(-0.12..0.18)).clamp(0.5, 0.95);
+                let sibling_codes = make_sibling_codes(&mut rng, &codes, agreement, style);
+                let suffix = if s == 0 { "alt-code" } else { "alt2-code" };
+                out.push(Relation {
+                    name: format!("proc-{fam:02}-{domain_noun}->{suffix}"),
+                    left_label: format!("{} name", title_case(domain_noun)),
+                    right_label: format!("Alt Code {}", s + 1),
+                    generic_left: "name".to_string(),
+                    generic_right: "code".to_string(),
+                    kind: RelationKind::Static,
+                    benchmark,
+                    popularity: popularity * 0.6,
+                    entries: entities
+                        .iter()
+                        .zip(&sibling_codes)
+                        .map(|(forms, code)| Entry::with_left_synonyms(forms.clone(), code))
+                        .collect(),
+                });
+            }
+        }
+    }
+
+    // Temporal families: the same left entities with per-season values.
+    for fam in 0..cfg.temporal_families {
+        let n = rng.gen_range(12..=40);
+        let entities = make_entities(&mut rng, n, &mut used_names, 0.0);
+        for season in 0..cfg.seasons {
+            let entries = entities
+                .iter()
+                .map(|forms| {
+                    let points = rng.gen_range(0..100u32).to_string();
+                    Entry::with_left_synonyms(forms.clone(), &points)
+                })
+                .collect();
+            out.push(Relation {
+                name: format!("temporal-{fam:02}-season-{season}"),
+                left_label: "Team".to_string(),
+                right_label: "Points".to_string(),
+                generic_left: "team".to_string(),
+                generic_right: "points".to_string(),
+                kind: RelationKind::Temporal,
+                benchmark: false,
+                popularity: 0.8,
+                entries,
+            });
+        }
+    }
+
+    out
+}
+
+fn title_case(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Build `n` unique entity names, each with its synonym forms.
+fn make_entities(
+    rng: &mut StdRng,
+    n: usize,
+    used: &mut HashSet<String>,
+    synonym_prob: f64,
+) -> Vec<Vec<String>> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let adj = ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())];
+        let noun = NOUNS[rng.gen_range(0..NOUNS.len())];
+        let name = format!("{} {}", title_case(adj), title_case(noun));
+        if !used.insert(name.clone()) {
+            continue;
+        }
+        let mut forms = name_variants(&name);
+        if rng.gen_bool(synonym_prob) {
+            forms.push(format!("The {name}"));
+        }
+        if rng.gen_bool(synonym_prob / 2.0) {
+            forms.push(format!("{name} District"));
+        }
+        out.push(forms);
+    }
+    out
+}
+
+/// Assign unique codes to entities.
+fn make_codes(rng: &mut StdRng, entities: &[Vec<String>], style: CodeStyle) -> Vec<String> {
+    let mut used = HashSet::new();
+    let mut out = Vec::with_capacity(entities.len());
+    for forms in entities {
+        let code = unique_code(rng, &forms[0], style, &mut used);
+        out.push(code);
+    }
+    out
+}
+
+fn unique_code(
+    rng: &mut StdRng,
+    name: &str,
+    style: CodeStyle,
+    used: &mut HashSet<String>,
+) -> String {
+    const CATEGORIES: &[&str] = &["North", "South", "East", "West", "Central"];
+    for attempt in 0..1000 {
+        let candidate = match style {
+            CodeStyle::Letters(len) => {
+                // Derive from name letters first, randomize on collision.
+                let letters: Vec<char> = name
+                    .chars()
+                    .filter(|c| c.is_ascii_alphabetic())
+                    .map(|c| c.to_ascii_uppercase())
+                    .collect();
+                if attempt == 0 && letters.len() >= len {
+                    letters[..len].iter().collect()
+                } else {
+                    (0..len)
+                        .map(|_| (b'A' + rng.gen_range(0..26u8)) as char)
+                        .collect()
+                }
+            }
+            CodeStyle::Numeric(len) => {
+                let max = 10usize.pow(len as u32);
+                format!("{:0width$}", rng.gen_range(0..max), width = len)
+            }
+            CodeStyle::Category => {
+                // Many-to-one is fine; no uniqueness needed.
+                return CATEGORIES[rng.gen_range(0..CATEGORIES.len())].to_string();
+            }
+        };
+        if used.insert(candidate.clone()) {
+            return candidate;
+        }
+    }
+    unreachable!("code space exhausted");
+}
+
+/// Sibling codes: equal to the base code with probability `agreement`,
+/// otherwise a fresh unique code in the same style.
+fn make_sibling_codes(
+    rng: &mut StdRng,
+    base: &[String],
+    agreement: f64,
+    style: CodeStyle,
+) -> Vec<String> {
+    let mut used: HashSet<String> = base.iter().cloned().collect();
+    base.iter()
+        .map(|code| {
+            if rng.gen_bool(agreement) {
+                code.clone()
+            } else {
+                match style {
+                    CodeStyle::Category => {
+                        // Re-draw a category; may coincide, that's fine.
+                        let cats = ["North", "South", "East", "West", "Central"];
+                        cats[rng.gen_range(0..cats.len())].to_string()
+                    }
+                    _ => unique_code(rng, "", style, &mut used),
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ProceduralConfig::default();
+        let a = procedural_relations(&cfg);
+        let b = procedural_relations(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.len(), y.len());
+        }
+    }
+
+    #[test]
+    fn all_relations_are_mappings() {
+        let rels = procedural_relations(&ProceduralConfig::default());
+        assert!(rels.len() >= 45);
+        for r in &rels {
+            assert!(r.fd_violations().is_empty(), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn siblings_share_lefts_and_conflict_on_some() {
+        let rels = procedural_relations(&ProceduralConfig {
+            families: 30,
+            sibling_prob: 1.0,
+            seed: 3,
+            ..Default::default()
+        });
+        let base: Vec<&Relation> = rels.iter().filter(|r| r.name.ends_with("->code")).collect();
+        let mut found_conflicting_pair = false;
+        for b in &base {
+            let alt_name = b.name.replace("->code", "->alt-code");
+            if let Some(a) = rels.iter().find(|r| r.name == alt_name) {
+                assert_eq!(a.len(), b.len());
+                let disagreements = a
+                    .entries
+                    .iter()
+                    .zip(&b.entries)
+                    .filter(|(x, y)| x.right != y.right)
+                    .count();
+                if disagreements > 0 && disagreements < a.len() {
+                    found_conflicting_pair = true;
+                }
+            }
+        }
+        assert!(found_conflicting_pair);
+    }
+
+    #[test]
+    fn temporal_families_have_seasons() {
+        let rels = procedural_relations(&ProceduralConfig::default());
+        let temporal: Vec<&Relation> = rels
+            .iter()
+            .filter(|r| r.kind == RelationKind::Temporal)
+            .collect();
+        assert_eq!(temporal.len(), 4 * 3);
+        assert!(temporal.iter().all(|r| !r.benchmark));
+    }
+}

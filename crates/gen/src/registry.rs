@@ -1,0 +1,252 @@
+//! Ground-truth mapping relationship registry.
+//!
+//! The registry is the generator's source of truth *and* the evaluation
+//! benchmark: each [`Relation`] holds the complete set of entity
+//! entries, every entity carrying all of its synonymous surface forms.
+//! Web/enterprise tables are sampled fragments of these relations, and
+//! the benchmark ground truth for a case is the full synonym
+//! cross-product (mirroring the paper's benchmark, which merges
+//! high-quality web tables with Freebase/YAGO instances so that
+//! "the resulting mapping relationships have rich synonyms ... as well
+//! as more comprehensive coverage", §5.1).
+
+use mapsynth_text::normalize;
+use std::collections::HashSet;
+
+/// Category of a relationship, matching the curation analysis of
+/// Appendix J (static / temporal / meaningless).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum RelationKind {
+    /// A meaningful static mapping (country → code).
+    Static,
+    /// Meaningful but time-varying (team → league points); valid only
+    /// for a point in time, produces many parallel versions.
+    Temporal,
+    /// A formatting artifact (month → month six apart) that repeats on
+    /// the web without conceptual meaning.
+    Formatting,
+    /// A locally-functional but conceptually meaningless pair
+    /// (departure airport → arrival airport in one flight list).
+    Spurious,
+}
+
+/// One entity of a relation: all left surface forms and all right
+/// surface forms. Any left form maps to any right form.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Synonymous surface forms of the left value. First is canonical.
+    pub left: Vec<String>,
+    /// Synonymous surface forms of the right value. First is canonical.
+    pub right: Vec<String>,
+}
+
+impl Entry {
+    /// Entry with a single form on each side.
+    pub fn simple(left: &str, right: &str) -> Self {
+        Self {
+            left: vec![left.to_string()],
+            right: vec![right.to_string()],
+        }
+    }
+
+    /// Entry with multiple left forms, single right.
+    pub fn with_left_synonyms(left: Vec<String>, right: &str) -> Self {
+        Self {
+            left,
+            right: vec![right.to_string()],
+        }
+    }
+}
+
+/// A complete ground-truth mapping relationship.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    /// Stable identifier, e.g. `"country->iso3"`.
+    pub name: String,
+    /// Descriptive left header (used by a minority of tables).
+    pub left_label: String,
+    /// Descriptive right header.
+    pub right_label: String,
+    /// Undescriptive generic headers most web tables use instead
+    /// ("name", "code") — the reason name-based stitching over-groups.
+    pub generic_left: String,
+    /// Generic right header.
+    pub generic_right: String,
+    /// Category.
+    pub kind: RelationKind,
+    /// Whether the relation is one of the evaluation benchmark cases.
+    pub benchmark: bool,
+    /// Relative sampling weight in corpus generation (web popularity).
+    pub popularity: f64,
+    /// The complete entity list.
+    pub entries: Vec<Entry>,
+}
+
+impl Relation {
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the relation has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The benchmark ground truth `B*`: every (left form, right form)
+    /// combination, normalized.
+    pub fn ground_truth_pairs(&self) -> HashSet<(String, String)> {
+        let mut out = HashSet::new();
+        for e in &self.entries {
+            for l in &e.left {
+                for r in &e.right {
+                    out.insert((normalize(l), normalize(r)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Check internal consistency: after normalization, no left form
+    /// maps to two different canonical rights (the relation must itself
+    /// be a mapping). Returns conflicting left forms if any.
+    pub fn fd_violations(&self) -> Vec<String> {
+        use std::collections::HashMap;
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        let mut bad = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            for l in &e.left {
+                let key = normalize(l);
+                if key.is_empty() {
+                    continue;
+                }
+                match seen.get(&key) {
+                    Some(&j) if j != i => bad.push(key.clone()),
+                    _ => {
+                        seen.insert(key, i);
+                    }
+                }
+            }
+        }
+        bad
+    }
+}
+
+/// The full registry of relations used for generation and evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    /// All relations, benchmark and otherwise.
+    pub relations: Vec<Relation>,
+}
+
+impl Registry {
+    /// Relations flagged as benchmark cases.
+    pub fn benchmark_cases(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.iter().filter(|r| r.benchmark)
+    }
+
+    /// Find a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.iter().find(|r| r.name == name)
+    }
+
+    /// Total number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+impl Registry {
+    /// Build a partial external synonym feed (paper §4.1 "Synonyms",
+    /// e.g. Bing's synonym assets \[10\]): each entity's synonym group is
+    /// included with probability `fraction`. Real feeds are never
+    /// complete, so the pipeline must work with partial coverage.
+    pub fn partial_synonym_feed(&self, fraction: f64, seed: u64) -> mapsynth_text::SynonymDict {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dict = mapsynth_text::SynonymDict::new();
+        for rel in &self.relations {
+            for e in &rel.entries {
+                if e.left.len() > 1 && rng.gen_bool(fraction) {
+                    dict.declare_group(e.left.iter().map(String::as_str));
+                }
+                if e.right.len() > 1 && rng.gen_bool(fraction) {
+                    dict.declare_group(e.right.iter().map(String::as_str));
+                }
+            }
+        }
+        dict
+    }
+}
+
+/// Generate plausible name synonyms for a multi-word entity name:
+/// comma inversion ("South Korea" → "Korea, South") and "the"-prefix
+/// stripping. These survive normalization (word order differs), which
+/// is what makes synonym coverage a real synthesis problem.
+pub fn name_variants(name: &str) -> Vec<String> {
+    let mut out = vec![name.to_string()];
+    let words: Vec<&str> = name.split_whitespace().collect();
+    if words.len() == 2 {
+        out.push(format!("{}, {}", words[1], words[0]));
+    }
+    if words.len() >= 3 && words[0].eq_ignore_ascii_case("the") {
+        out.push(words[1..].join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_cross_product() {
+        let r = Relation {
+            name: "t".into(),
+            left_label: "L".into(),
+            right_label: "R".into(),
+            generic_left: "name".into(),
+            generic_right: "code".into(),
+            kind: RelationKind::Static,
+            benchmark: true,
+            popularity: 1.0,
+            entries: vec![Entry {
+                left: vec!["South Korea".into(), "Korea, South".into()],
+                right: vec!["KOR".into()],
+            }],
+        };
+        let gt = r.ground_truth_pairs();
+        assert_eq!(gt.len(), 2);
+        assert!(gt.contains(&("south korea".into(), "kor".into())));
+        assert!(gt.contains(&("korea south".into(), "kor".into())));
+    }
+
+    #[test]
+    fn fd_violation_detection() {
+        let r = Relation {
+            name: "t".into(),
+            left_label: "L".into(),
+            right_label: "R".into(),
+            generic_left: "name".into(),
+            generic_right: "code".into(),
+            kind: RelationKind::Static,
+            benchmark: false,
+            popularity: 1.0,
+            entries: vec![Entry::simple("A", "1"), Entry::simple("a", "2")],
+        };
+        assert_eq!(r.fd_violations(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn name_variants_two_words() {
+        let v = name_variants("South Korea");
+        assert!(v.contains(&"South Korea".to_string()));
+        assert!(v.contains(&"Korea, South".to_string()));
+    }
+}

@@ -1,0 +1,483 @@
+//! Web-table corpus generator.
+//!
+//! Produces a heterogeneous corpus with the statistical shape of the
+//! paper's web crawl: short tables for human consumption, each covering
+//! a fragment of one relation with one synonym style; undescriptive
+//! column headers; distractor columns (ranks, numbers, incoherent
+//! free text); spurious-FD tables; formatting tables; temporal
+//! relations; and dirty cells per [`NoiseConfig`].
+
+use crate::data::{airports, cities, misc};
+use crate::noise::{corrupt_cell, incoherent_cell, NoiseConfig};
+use crate::procedural::{procedural_relations, ProceduralConfig};
+use crate::registry::Registry;
+use mapsynth_corpus::{Column, Corpus};
+use mapsynth_text::normalize;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Web corpus generation parameters.
+#[derive(Clone, Debug)]
+pub struct WebConfig {
+    /// Number of relation-backed tables to generate (spurious and
+    /// formatting tables are added on top as fractions of this count).
+    pub tables: usize,
+    /// RNG seed; generation is deterministic given the config.
+    pub seed: u64,
+    /// Number of distinct provenance web domains.
+    pub domains: usize,
+    /// Cell noise model.
+    pub noise: NoiseConfig,
+    /// Procedural relation families.
+    pub procedural: ProceduralConfig,
+    /// Row-count range for generated tables.
+    pub min_rows: usize,
+    /// Maximum rows per table.
+    pub max_rows: usize,
+    /// Probability of adding a numeric distractor column.
+    pub numeric_col_prob: f64,
+    /// Probability of adding a rank distractor column.
+    pub rank_col_prob: f64,
+    /// Probability of adding an incoherent free-text column (the
+    /// paper's Table 7 "Location" column) that PMI filtering must cut.
+    pub incoherent_col_prob: f64,
+    /// Probability a table carries a second related right column
+    /// (country | iso3 | capital), yielding several candidate pairs.
+    pub multi_rel_prob: f64,
+    /// Fraction (of `tables`) of spurious-FD tables
+    /// (departure → arrival airports).
+    pub spurious_frac: f64,
+    /// Fraction (of `tables`) of formatting tables (month → month).
+    pub formatting_frac: f64,
+    /// Probability headers are descriptive rather than generic.
+    pub descriptive_header_prob: f64,
+    /// Probability a city→state table includes an ambiguous duplicate
+    /// city (Portland, Maine) — exercising θ-approximate FD.
+    pub ambiguous_city_prob: f64,
+    /// Probability a table is a *comprehensive* reference list covering
+    /// the entire relation (Wikipedia-style complete code tables).
+    /// These act as containment hubs: fragments score w⁺ ≈ 1 against
+    /// them, which is how the paper's max-of-containment metric is
+    /// designed to connect partial tables.
+    pub comprehensive_prob: f64,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        Self {
+            tables: 8000,
+            seed: 42,
+            domains: 400,
+            noise: NoiseConfig::default(),
+            procedural: ProceduralConfig::default(),
+            min_rows: 5,
+            max_rows: 40,
+            numeric_col_prob: 0.3,
+            rank_col_prob: 0.15,
+            incoherent_col_prob: 0.12,
+            multi_rel_prob: 0.2,
+            spurious_frac: 0.02,
+            formatting_frac: 0.01,
+            descriptive_header_prob: 0.25,
+            ambiguous_city_prob: 0.15,
+            comprehensive_prob: 0.08,
+        }
+    }
+}
+
+/// A generated corpus plus the registry it was drawn from and a
+/// per-table provenance label (which relation produced each table;
+/// `None` for spurious/formatting tables).
+pub struct WebCorpus {
+    /// The table corpus.
+    pub corpus: Corpus,
+    /// Ground-truth registry (benchmark cases included).
+    pub registry: Registry,
+    /// `table_relation[table_id] = Some(relation name)` for
+    /// relation-backed tables.
+    pub table_relation: Vec<Option<String>>,
+    /// Every normalized ground-truth-consistent `(left, right)` pair
+    /// that some generated table actually asserts. The paper's
+    /// benchmark ground truth is built from *observed* web tables (plus
+    /// KB instances); restricting gt to this set mirrors that
+    /// construction.
+    pub emitted_pairs: std::collections::HashSet<(String, String)>,
+}
+
+/// Generate the web corpus.
+pub fn generate_web(cfg: &WebConfig) -> WebCorpus {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut relations = crate::data::build_real_relations();
+    relations.extend(procedural_relations(&cfg.procedural));
+    let registry = Registry {
+        relations: relations.clone(),
+    };
+
+    let mut corpus = Corpus::new();
+    // Dedicated reference domain: comprehensive tables often live on a
+    // Wikipedia-like site. The WikiTable baseline selects on this.
+    let wiki_domain = corpus.domain("wikipedia.example.org");
+    let domain_ids: Vec<_> = (0..cfg.domains)
+        .map(|i| corpus.domain(&format!("site-{i:04}.example.com")))
+        .collect();
+    let mut table_relation: Vec<Option<String>> = Vec::new();
+    let mut emitted_pairs: std::collections::HashSet<(String, String)> =
+        std::collections::HashSet::new();
+
+    // Cumulative popularity distribution over relations.
+    let weights: Vec<f64> = relations.iter().map(|r| r.popularity).collect();
+    let total_w: f64 = weights.iter().sum();
+
+    // Group map for multi-relation tables: canonical left → entry idx.
+    let left_index: Vec<HashMap<String, usize>> = relations
+        .iter()
+        .map(|r| {
+            r.entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (normalize(&e.left[0]), i))
+                .collect()
+        })
+        .collect();
+    // Relations grouped by shared left-entity family (same prefix).
+    let family_of = |name: &str| -> Option<&str> {
+        ["country->", "state->", "airport->"]
+            .into_iter()
+            .find(|&prefix| name.starts_with(prefix))
+            .map(|v| v as _)
+    };
+
+    for _ in 0..cfg.tables {
+        // Pick a relation by popularity.
+        let mut pick = rng.gen::<f64>() * total_w;
+        let mut rel_idx = 0;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                rel_idx = i;
+                break;
+            }
+            pick -= w;
+        }
+        let rel = &relations[rel_idx];
+        let comprehensive = rng.gen_bool(cfg.comprehensive_prob);
+        let domain = if comprehensive && rng.gen_bool(0.5) {
+            wiki_domain
+        } else {
+            domain_ids[zipf_index(&mut rng, domain_ids.len())]
+        };
+        let rows = if comprehensive {
+            rel.len()
+        } else {
+            rng.gen_range(cfg.min_rows..=cfg.max_rows)
+                .min(rel.len().max(2))
+        };
+
+        // Choose entity subset.
+        let entry_idxs = sample_entries(&mut rng, rel.len(), rows);
+
+        // Per-table synonym style. Comprehensive reference lists use
+        // canonical names; other tables mostly do too, with a minority
+        // style preference (real tables: common name dominates, formal
+        // variants appear in a minority of sources).
+        let style = if comprehensive || rng.gen_bool(0.6) {
+            0
+        } else {
+            rng.gen_range(1..8usize)
+        };
+
+        let mut left_cells: Vec<String> = Vec::with_capacity(rows);
+        let mut right_cells: Vec<String> = Vec::with_capacity(rows);
+        for &ei in &entry_idxs {
+            let e = &rel.entries[ei];
+            let lform = pick_form(&mut rng, &e.left, style);
+            let rform = pick_form(&mut rng, &e.right, style);
+            let mut right = rform.to_string();
+            // Wrong-value substitution (paper Figure 4).
+            if cfg.noise.wrong_value > 0.0 && rng.gen_bool(cfg.noise.wrong_value) && rel.len() > 1 {
+                let other = rng.gen_range(0..rel.len());
+                right = rel.entries[other].right[0].clone();
+            }
+            let lcell = corrupt_cell(&mut rng, &cfg.noise, lform);
+            let rcell = corrupt_cell(&mut rng, &cfg.noise, &right);
+            emitted_pairs.insert((normalize(&lcell), normalize(&rcell)));
+            left_cells.push(lcell);
+            right_cells.push(rcell);
+        }
+
+        // Ambiguous city injection for city→state style relations.
+        if rel.name.starts_with("city->") && rng.gen_bool(cfg.ambiguous_city_prob) {
+            let amb = &cities::AMBIGUOUS[rng.gen_range(0..cities::AMBIGUOUS.len())];
+            left_cells.push(amb.city.to_string());
+            right_cells.push(amb.other_state.to_string());
+        }
+
+        let n_rows = left_cells.len();
+        // Header choice: descriptive, the relation's usual generic, or
+        // a shared generic from a small pool ("name"/"code" everywhere
+        // is the paper's point about undescriptive headers, but real
+        // sites also write "title", "id", "abbr", …).
+        const GENERIC_LEFT: &[&str] = &["name", "title", "entity", "item"];
+        const GENERIC_RIGHT: &[&str] = &["code", "id", "value", "abbr"];
+        let (lh, rh) = if rng.gen_bool(cfg.descriptive_header_prob) {
+            (rel.left_label.clone(), rel.right_label.clone())
+        } else if rng.gen_bool(0.75) {
+            (rel.generic_left.clone(), rel.generic_right.clone())
+        } else {
+            (
+                GENERIC_LEFT[rng.gen_range(0..GENERIC_LEFT.len())].to_string(),
+                GENERIC_RIGHT[rng.gen_range(0..GENERIC_RIGHT.len())].to_string(),
+            )
+        };
+
+        let mut columns: Vec<(Option<String>, Vec<String>)> =
+            vec![(Some(lh), left_cells), (Some(rh), right_cells)];
+
+        // Second related right column (same left entities).
+        if rng.gen_bool(cfg.multi_rel_prob) {
+            if let Some(fam) = family_of(&rel.name) {
+                let others: Vec<usize> = relations
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, r)| *i != rel_idx && r.name.starts_with(fam))
+                    .map(|(i, _)| i)
+                    .collect();
+                if let Some(&oi) = others.choose(&mut rng) {
+                    let other = &relations[oi];
+                    let mut extra: Vec<String> = Vec::with_capacity(n_rows);
+                    let mut complete = true;
+                    for &ei in &entry_idxs {
+                        let canon = normalize(&rel.entries[ei].left[0]);
+                        match left_index[oi].get(&canon) {
+                            Some(&oe) => {
+                                extra.push(other.entries[oe].right[0].clone());
+                            }
+                            None => {
+                                complete = false;
+                                break;
+                            }
+                        }
+                    }
+                    if complete && extra.len() == n_rows {
+                        for (&ei, val) in entry_idxs.iter().zip(&extra) {
+                            emitted_pairs
+                                .insert((normalize(&rel.entries[ei].left[0]), normalize(val)));
+                        }
+                        columns.push((Some(other.generic_right.clone()), extra));
+                    }
+                }
+            }
+        }
+
+        // Distractor columns.
+        if rng.gen_bool(cfg.rank_col_prob) {
+            let rank: Vec<String> = (1..=n_rows).map(|i| i.to_string()).collect();
+            columns.push((Some("rank".to_string()), rank));
+        }
+        if rng.gen_bool(cfg.numeric_col_prob) {
+            let nums: Vec<String> = (0..n_rows)
+                .map(|_| format!("{}", rng.gen_range(1000..10_000_000)))
+                .collect();
+            columns.push((Some("value".to_string()), nums));
+        }
+        if rng.gen_bool(cfg.incoherent_col_prob) {
+            let mixed: Vec<String> = (0..n_rows).map(|_| incoherent_cell(&mut rng)).collect();
+            columns.push((Some("location".to_string()), mixed));
+        }
+
+        // Column order shuffle (value pairs get extracted both ways).
+        if rng.gen_bool(0.3) {
+            columns.swap(0, 1);
+        }
+
+        push_string_table(&mut corpus, domain, columns);
+        table_relation.push(Some(rel.name.clone()));
+    }
+
+    // Spurious-FD tables: departure → arrival airports. Locally
+    // functional, globally meaningless (paper §1 "Spurious mappings").
+    let n_spurious = (cfg.tables as f64 * cfg.spurious_frac) as usize;
+    for _ in 0..n_spurious {
+        let domain = domain_ids[zipf_index(&mut rng, domain_ids.len())];
+        let rows = rng.gen_range(4..12);
+        let mut dep = Vec::with_capacity(rows);
+        let mut arr = Vec::with_capacity(rows);
+        let mut used = std::collections::HashSet::new();
+        for _ in 0..rows {
+            let d = &airports::AIRPORTS[rng.gen_range(0..airports::AIRPORTS.len())];
+            if !used.insert(d.iata) {
+                continue;
+            }
+            let a = &airports::AIRPORTS[rng.gen_range(0..airports::AIRPORTS.len())];
+            dep.push(d.name.to_string());
+            arr.push(a.name.to_string());
+        }
+        push_string_table(
+            &mut corpus,
+            domain,
+            vec![
+                (Some("departure".to_string()), dep),
+                (Some("arrival".to_string()), arr),
+            ],
+        );
+        table_relation.push(None);
+    }
+
+    // Formatting tables: two-column month calendars (paper Figure 13's
+    // month→month).
+    let misc_rels = misc::misc_relations();
+    let months: Vec<String> = misc_rels[0]
+        .entries
+        .iter()
+        .map(|e| e.left[0].clone())
+        .collect();
+    let n_fmt = (cfg.tables as f64 * cfg.formatting_frac) as usize;
+    for _ in 0..n_fmt {
+        let domain = domain_ids[zipf_index(&mut rng, domain_ids.len())];
+        let first: Vec<String> = months[..6].iter().map(|m| m.to_string()).collect();
+        let second: Vec<String> = months[6..12].iter().map(|m| m.to_string()).collect();
+        push_string_table(&mut corpus, domain, vec![(None, first), (None, second)]);
+        table_relation.push(None);
+    }
+
+    WebCorpus {
+        corpus,
+        registry,
+        table_relation,
+        emitted_pairs,
+    }
+}
+
+/// Zipf-ish index sampler: favours low indices, long tail.
+fn zipf_index(rng: &mut StdRng, n: usize) -> usize {
+    let u: f64 = rng.gen::<f64>();
+    // Inverse CDF of a truncated power law with exponent ~1.
+    let x = ((n as f64).powf(u) - 1.0).max(0.0);
+    (x as usize).min(n - 1)
+}
+
+/// Sample a subset of entry indices for a table: a mix of popular-head,
+/// alphabetical window, and random subsets — matching how web tables
+/// fragment relations.
+fn sample_entries(rng: &mut StdRng, total: usize, rows: usize) -> Vec<usize> {
+    let rows = rows.min(total);
+    match rng.gen_range(0..10u8) {
+        // Popular head: first-k entities (web tables list the popular
+        // entities far more often than the tail).
+        0..=3 => (0..rows).collect(),
+        // Contiguous window.
+        4..=6 => {
+            let start = rng.gen_range(0..=(total - rows));
+            (start..start + rows).collect()
+        }
+        // Random subset.
+        _ => {
+            let mut idxs: Vec<usize> = (0..total).collect();
+            idxs.shuffle(rng);
+            idxs.truncate(rows);
+            idxs.sort_unstable();
+            idxs
+        }
+    }
+}
+
+/// Pick a surface form with per-table style consistency: mostly the
+/// table's style, with a canonical-leaning per-row deviation.
+fn pick_form<'a>(rng: &mut StdRng, forms: &'a [String], style: usize) -> &'a str {
+    if forms.len() > 1 && rng.gen_bool(0.12) {
+        // Per-row deviation: canonical half the time, any form else.
+        if rng.gen_bool(0.5) {
+            &forms[0]
+        } else {
+            &forms[rng.gen_range(0..forms.len())]
+        }
+    } else {
+        &forms[style % forms.len()]
+    }
+}
+
+fn push_string_table(
+    corpus: &mut Corpus,
+    domain: mapsynth_corpus::DomainId,
+    columns: Vec<(Option<String>, Vec<String>)>,
+) {
+    let cols: Vec<Column> = columns
+        .into_iter()
+        .map(|(h, vals)| {
+            let header = h.map(|h| corpus.interner.intern(&h));
+            let values = vals.iter().map(|v| corpus.interner.intern(v)).collect();
+            Column::new(header, values)
+        })
+        .collect();
+    corpus.push_interned_table(domain, cols);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> WebConfig {
+        WebConfig {
+            tables: 300,
+            domains: 40,
+            procedural: ProceduralConfig {
+                families: 10,
+                temporal_families: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_scale() {
+        let wc = generate_web(&small_cfg());
+        assert!(wc.corpus.len() >= 300);
+        assert_eq!(wc.corpus.len(), wc.table_relation.len());
+        assert!(wc.registry.len() >= 35);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_web(&small_cfg());
+        let b = generate_web(&small_cfg());
+        assert_eq!(a.corpus.len(), b.corpus.len());
+        for (ta, tb) in a.corpus.tables.iter().zip(&b.corpus.tables) {
+            assert_eq!(ta.width(), tb.width());
+            assert_eq!(ta.rows(), tb.rows());
+            for (ca, cb) in ta.columns.iter().zip(&tb.columns) {
+                let va: Vec<&str> = ca.values.iter().map(|&s| a.corpus.str_of(s)).collect();
+                let vb: Vec<&str> = cb.values.iter().map(|&s| b.corpus.str_of(s)).collect();
+                assert_eq!(va, vb);
+            }
+        }
+    }
+
+    #[test]
+    fn popular_relations_span_more_tables() {
+        let wc = generate_web(&small_cfg());
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for r in wc.table_relation.iter().flatten() {
+            *counts.entry(r.as_str()).or_default() += 1;
+        }
+        let iso3 = counts.get("country->iso3").copied().unwrap_or(0);
+        assert!(iso3 >= 5, "country->iso3 only in {iso3} tables");
+    }
+
+    #[test]
+    fn spurious_tables_present() {
+        let wc = generate_web(&small_cfg());
+        let unlabeled = wc.table_relation.iter().filter(|r| r.is_none()).count();
+        assert!(unlabeled >= 5, "{unlabeled}");
+    }
+
+    #[test]
+    fn tables_have_reasonable_shape() {
+        let wc = generate_web(&small_cfg());
+        for t in &wc.corpus.tables {
+            assert!(t.width() >= 2);
+            assert!(t.rows() >= 2, "table with {} rows", t.rows());
+        }
+    }
+}

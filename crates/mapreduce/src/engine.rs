@@ -1,0 +1,311 @@
+//! A miniature in-process Map-Reduce engine.
+//!
+//! Mirrors the structure of the paper's jobs: a *map* phase emits
+//! `(key, value)` pairs from input records in parallel, a *shuffle*
+//! groups pairs by key into hash partitions, and a *reduce* phase folds
+//! each key group in parallel. Results are returned sorted by key so
+//! runs are deterministic regardless of worker interleaving.
+//!
+//! The engine is intentionally synchronous and in-memory: the paper's
+//! scalability argument (blocking keeps `|E| ≪ N²`; near-linear scaling
+//! in corpus size, Figure 9) is about how much work the jobs do, not
+//! about cluster mechanics, so an in-process engine preserves the
+//! measurable shape.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// The Map-Reduce engine. Holds only the worker count; each job is a
+/// self-contained call.
+#[derive(Clone, Copy, Debug)]
+pub struct MapReduce {
+    workers: usize,
+}
+
+impl Default for MapReduce {
+    fn default() -> Self {
+        Self::new(default_workers())
+    }
+}
+
+/// Number of workers used by [`MapReduce::default`]: available
+/// parallelism, capped to keep shuffle overhead sane.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+impl MapReduce {
+    /// Create an engine with an explicit worker count (min 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run a full map → shuffle → reduce job.
+    ///
+    /// * `inputs` — the input records;
+    /// * `mapper` — emits any number of `(K, V)` pairs per record;
+    /// * `reducer` — folds one key's values (in mapper-emission order
+    ///   per partition, then concatenated in input order) to an output.
+    ///
+    /// Returns `(key, output)` pairs sorted by key.
+    pub fn run<I, K, V, O, M, R>(&self, inputs: &[I], mapper: M, reducer: R) -> Vec<(K, O)>
+    where
+        I: Sync,
+        K: Send + Hash + Eq + Ord + Clone,
+        V: Send,
+        O: Send,
+        M: Fn(&I) -> Vec<(K, V)> + Sync,
+        R: Fn(&K, Vec<V>) -> O + Sync,
+    {
+        let grouped = self.map_and_shuffle(inputs, &mapper);
+        // Reduce each partition in parallel.
+        let mut results: Vec<Vec<(K, O)>> = Vec::new();
+        thread::scope(|s| {
+            let handles: Vec<_> = grouped
+                .into_iter()
+                .map(|part| {
+                    let reducer = &reducer;
+                    s.spawn(move |_| {
+                        let mut out: Vec<(K, O)> = part
+                            .into_iter()
+                            .map(|(k, vs)| {
+                                let o = reducer(&k, vs);
+                                (k, o)
+                            })
+                            .collect();
+                        out.sort_by(|a, b| a.0.cmp(&b.0));
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("reduce worker panicked"));
+            }
+        })
+        .expect("mapreduce scope failed");
+        let mut flat: Vec<(K, O)> = results.into_iter().flatten().collect();
+        flat.sort_by(|a, b| a.0.cmp(&b.0));
+        flat
+    }
+
+    /// Map-only phase with shuffle: returns one partition per worker,
+    /// each a map from key to the values emitted for it. Within one
+    /// key, values preserve (input-order, emission-order).
+    fn map_and_shuffle<I, K, V, M>(&self, inputs: &[I], mapper: &M) -> Vec<HashMap<K, Vec<V>>>
+    where
+        I: Sync,
+        K: Send + Hash + Eq + Clone,
+        V: Send,
+        M: Fn(&I) -> Vec<(K, V)> + Sync,
+    {
+        // One bucket per (mapper worker, destination partition).
+        type Buckets<K, V> = Vec<Vec<(K, V)>>;
+        let p = self.workers;
+        // Each mapper worker produces p outgoing buckets.
+        let chunk = inputs.len().div_ceil(p).max(1);
+        let all_buckets: Mutex<Vec<Buckets<K, V>>> = Mutex::new(Vec::new());
+        thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (ci, chunk_inputs) in inputs.chunks(chunk).enumerate() {
+                handles.push(s.spawn(move |_| {
+                    let mut buckets: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
+                    for rec in chunk_inputs {
+                        for (k, v) in mapper(rec) {
+                            let b = partition_of(&k, p);
+                            buckets[b].push((k, v));
+                        }
+                    }
+                    (ci, buckets)
+                }));
+            }
+            let mut collected: Vec<(usize, Buckets<K, V>)> = handles
+                .into_iter()
+                .map(|h| h.join().expect("map worker panicked"))
+                .collect();
+            // Preserve input chunk order for deterministic value order.
+            collected.sort_by_key(|(ci, _)| *ci);
+            let mut guard = all_buckets.lock();
+            *guard = collected.into_iter().map(|(_, b)| b).collect();
+        })
+        .expect("mapreduce scope failed");
+
+        let all_buckets = all_buckets.into_inner();
+        // Transpose: partition i receives bucket i from each mapper.
+        let mut partitions: Vec<HashMap<K, Vec<V>>> = (0..p).map(|_| HashMap::new()).collect();
+        for mapper_buckets in all_buckets {
+            for (pi, bucket) in mapper_buckets.into_iter().enumerate() {
+                let part = &mut partitions[pi];
+                for (k, v) in bucket {
+                    part.entry(k).or_default().push(v);
+                }
+            }
+        }
+        partitions
+    }
+
+    /// Convenience: parallel map over inputs, preserving input order.
+    pub fn par_map<I, O, F>(&self, inputs: &[I], f: F) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(&I) -> O + Sync,
+    {
+        let chunk = inputs.len().div_ceil(self.workers).max(1);
+        let mut results: Vec<(usize, Vec<O>)> = Vec::new();
+        thread::scope(|s| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, ch)| {
+                    let f = &f;
+                    s.spawn(move |_| (ci, ch.iter().map(f).collect::<Vec<O>>()))
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("map worker panicked"));
+            }
+        })
+        .expect("mapreduce scope failed");
+        results.sort_by_key(|(ci, _)| *ci);
+        results.into_iter().flat_map(|(_, v)| v).collect()
+    }
+}
+
+/// Stable partitioning function (FNV-1a over the key's hash) so runs
+/// are reproducible across processes.
+fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut hasher = FnvHasher::default();
+    key.hash(&mut hasher);
+    (hasher.finish() % partitions as u64) as usize
+}
+
+/// Minimal FNV-1a hasher: deterministic across runs (unlike the std
+/// `RandomState`), which keeps shuffle partitioning stable.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count() {
+        let docs = vec![
+            "the quick brown fox".to_string(),
+            "the lazy dog".to_string(),
+            "the quick dog".to_string(),
+        ];
+        let mr = MapReduce::new(3);
+        let counts = mr.run(
+            &docs,
+            |doc: &String| {
+                doc.split_whitespace()
+                    .map(|w| (w.to_string(), 1u32))
+                    .collect()
+            },
+            |_k, vs| vs.iter().sum::<u32>(),
+        );
+        let map: std::collections::HashMap<_, _> = counts.into_iter().collect();
+        assert_eq!(map["the"], 3);
+        assert_eq!(map["quick"], 2);
+        assert_eq!(map["dog"], 2);
+        assert_eq!(map["fox"], 1);
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let inputs: Vec<u32> = (0..500).collect();
+        let mr = MapReduce::new(7);
+        let run = |mr: &MapReduce| {
+            mr.run(
+                &inputs,
+                |&x| vec![(x % 13, x)],
+                |_k, vs| vs.iter().sum::<u32>(),
+            )
+        };
+        let a = run(&mr);
+        let b = run(&mr);
+        assert_eq!(a, b);
+        let keys: Vec<u32> = a.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn single_worker_equals_many_workers() {
+        let inputs: Vec<u32> = (0..200).collect();
+        let job = |mr: MapReduce| {
+            mr.run(
+                &inputs,
+                |&x| vec![(x % 7, x as u64)],
+                |_k, vs| vs.iter().sum::<u64>(),
+            )
+        };
+        assert_eq!(job(MapReduce::new(1)), job(MapReduce::new(8)));
+    }
+
+    #[test]
+    fn empty_input() {
+        let mr = MapReduce::new(4);
+        let out: Vec<(u32, u32)> = mr.run(&Vec::<u32>::new(), |&x| vec![(x, x)], |_k, vs| vs[0]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mapper_emitting_multiple_keys() {
+        let mr = MapReduce::new(4);
+        let out = mr.run(
+            &[10u32, 20, 30],
+            |&x| vec![(0u8, x), (1u8, x * 2)],
+            |_k, vs| vs.iter().sum::<u32>(),
+        );
+        assert_eq!(out, vec![(0u8, 60), (1u8, 120)]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let inputs: Vec<u32> = (0..100).collect();
+        let mr = MapReduce::new(5);
+        let out = mr.par_map(&inputs, |&x| x * x);
+        assert_eq!(out, inputs.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn value_order_within_key_is_input_order() {
+        let inputs: Vec<u32> = (0..50).collect();
+        let mr = MapReduce::new(4);
+        let out = mr.run(&inputs, |&x| vec![(0u8, x)], |_k, vs| vs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, inputs);
+    }
+}

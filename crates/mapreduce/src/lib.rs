@@ -1,0 +1,25 @@
+//! # mapsynth-mapreduce
+//!
+//! The execution substrate standing in for the paper's production
+//! Map-Reduce cluster (§2.2, §5.1 "Computing Environment"). The
+//! synthesis pipeline was designed as Map-Reduce jobs — inverted-index
+//! re-grouping for blocking, Hash-to-Min for connected components
+//! (Appendix F) — and this crate provides the same programming model
+//! in-process:
+//!
+//! * [`engine::MapReduce`] — a deterministic parallel map → shuffle →
+//!   reduce over in-memory collections, built on crossbeam scoped
+//!   threads;
+//! * [`cc`] — connected components via Hash-to-Min rounds
+//!   (Chitnis et al., paper reference \[13\]) and via union-find;
+//! * [`unionfind::UnionFind`] — disjoint sets with union by rank and
+//!   path compression (Hopcroft-Ullman, paper reference \[25\]), used by
+//!   the iterative partitioner.
+
+pub mod cc;
+pub mod engine;
+pub mod unionfind;
+
+pub use cc::{connected_components_hash_to_min, connected_components_union_find};
+pub use engine::MapReduce;
+pub use unionfind::UnionFind;

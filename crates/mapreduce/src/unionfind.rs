@@ -1,0 +1,178 @@
+//! Disjoint-set (union-find) with union by rank and path compression.
+//!
+//! Appendix F: "we use a disjoint-set data structure to speed up the
+//! process \[25\]" — set union and set lookup are the hot operations of
+//! the iterative partitioner (Algorithm 3) and of connected-components
+//! post-processing.
+
+/// Union-find over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set, with path compression.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Compress.
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Representative without mutation (no compression); useful when
+    /// only a shared reference is available.
+    pub fn find_immutable(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`. Returns `true` if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.sets -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Group element indices by representative. Groups and members are
+    /// sorted, so output is deterministic.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        for g in &mut out {
+            g.sort_unstable();
+        }
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.same_set(0, 1));
+        assert!(!uf.same_set(1, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same_set(0, 2));
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn groups_are_sorted_partition() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 2);
+        uf.union(2, 0);
+        uf.union(5, 1);
+        let gs = uf.groups();
+        assert_eq!(gs, vec![vec![0, 2, 4], vec![1, 5], vec![3]]);
+    }
+
+    #[test]
+    fn find_immutable_matches_find() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        for i in 0..10 {
+            let f = uf.find_immutable(i);
+            assert_eq!(f, uf.find(i));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_find_equivalence(unions in proptest::collection::vec((0usize..20, 0usize..20), 0..40)) {
+            let mut uf = UnionFind::new(20);
+            // Reference: naive set-of-sets.
+            let mut sets: Vec<std::collections::BTreeSet<usize>> =
+                (0..20).map(|i| std::iter::once(i).collect()).collect();
+            for &(a, b) in &unions {
+                uf.union(a, b);
+                let ia = sets.iter().position(|s| s.contains(&a)).unwrap();
+                let ib = sets.iter().position(|s| s.contains(&b)).unwrap();
+                if ia != ib {
+                    let moved = sets.remove(ib.max(ia));
+                    sets[ia.min(ib)].extend(moved);
+                }
+            }
+            prop_assert_eq!(uf.set_count(), sets.len());
+            for a in 0..20 {
+                for b in 0..20 {
+                    let same_ref = sets.iter().any(|s| s.contains(&a) && s.contains(&b));
+                    prop_assert_eq!(uf.same_set(a, b), same_ref);
+                }
+            }
+        }
+    }
+}

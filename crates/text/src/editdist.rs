@@ -1,0 +1,246 @@
+//! Banded edit distance — the paper's Algorithm 2.
+//!
+//! Computing full `O(|v1|·|v2|)` Levenshtein matrices for hundreds of
+//! millions of value comparisons is infeasible; the required threshold
+//! `θ_ed` is small, so (following Ukkonen) only a band of width
+//! `2·θ_ed + 1` around the diagonal is filled:
+//! `O(θ_ed · min{|v1|, |v2|})` per comparison.
+//!
+//! Thresholds are *fractional* (paper §4.1): an absolute threshold ≥ 1
+//! would incorrectly match short codes like "USA" and "RSA", so the
+//! allowed distance scales with string length and is capped at `k_ed`.
+
+/// Parameters of approximate matching.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatchParams {
+    /// Fractional edit-distance budget per character (paper `f_ed`,
+    /// default 0.2).
+    pub f_ed: f64,
+    /// Absolute cap on the threshold (paper `k_ed = 10`).
+    pub k_ed: u32,
+}
+
+impl Default for MatchParams {
+    fn default() -> Self {
+        Self {
+            f_ed: 0.2,
+            k_ed: 10,
+        }
+    }
+}
+
+/// The dynamic threshold
+/// `θ_ed(v1,v2) = min{⌊|v1|·f_ed⌋, ⌊|v2|·f_ed⌋, k_ed}`
+/// measured in characters.
+pub fn fractional_threshold(v1: &str, v2: &str, params: MatchParams) -> u32 {
+    let l1 = v1.chars().count() as f64;
+    let l2 = v2.chars().count() as f64;
+    let t = (l1 * params.f_ed).floor().min((l2 * params.f_ed).floor());
+    (t as u32).min(params.k_ed)
+}
+
+/// Banded edit distance: returns `Some(d)` with `d ≤ bound` if the
+/// Levenshtein distance between `v1` and `v2` is at most `bound`,
+/// otherwise `None`.
+///
+/// Operates on Unicode scalar values (one edit = one `char`).
+pub fn edit_distance_within(v1: &str, v2: &str, bound: u32) -> Option<u32> {
+    let a: Vec<char> = v1.chars().collect();
+    let b: Vec<char> = v2.chars().collect();
+    // Ensure |a| <= |b| (Algorithm 2 line 1-2).
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let (n, m) = (a.len(), b.len());
+    // Length difference alone exceeds the bound → early reject.
+    if (m - n) as u32 > bound {
+        return None;
+    }
+    if n == 0 {
+        return Some(m as u32);
+    }
+    let band = bound as usize;
+    const INF: u32 = u32::MAX / 2;
+    // prev[j] = dist[i-1][j], cur[j] = dist[i][j]; band-limited columns
+    // hold INF outside the band.
+    let mut prev: Vec<u32> = (0..=m as u32).collect(); // row 0: dist(ε, b[..j]) = j
+    let mut cur: Vec<u32> = vec![INF; m + 1];
+    for i in 1..=n {
+        let lower = i.saturating_sub(band).max(1);
+        let upper = (i + band).min(m);
+        cur[lower - 1] = INF;
+        if lower == 1 {
+            cur[0] = i as u32; // dist(a[..i], ε) = i
+        }
+        for j in lower..=upper {
+            let sub_cost = u32::from(a[i - 1] != b[j - 1]);
+            let mut d = prev[j - 1].saturating_add(sub_cost); // substitute / match
+            d = d.min(prev[j].saturating_add(1)); // delete from a
+            d = d.min(cur[j - 1].saturating_add(1)); // insert into a
+            cur[j] = d;
+        }
+        if upper < m {
+            cur[upper + 1] = INF;
+        }
+        // Early exit: entire band exceeded the bound.
+        if cur[lower..=upper].iter().all(|&d| d > bound) {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[m];
+    (d <= bound).then_some(d)
+}
+
+/// Full-matrix Levenshtein distance. Reference implementation used for
+/// testing and as the baseline in the `edit_distance` ablation bench.
+pub fn edit_distance_full(v1: &str, v2: &str) -> u32 {
+    let a: Vec<char> = v1.chars().collect();
+    let b: Vec<char> = v2.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    let mut prev: Vec<u32> = (0..=m as u32).collect();
+    let mut cur: Vec<u32> = vec![0; m + 1];
+    for i in 1..=n {
+        cur[0] = i as u32;
+        for j in 1..=m {
+            let sub = prev[j - 1] + u32::from(a[i - 1] != b[j - 1]);
+            cur[j] = sub.min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Approximate match predicate (paper §4.1): true when the edit
+/// distance is within the fractional threshold. Equal strings always
+/// match.
+pub fn approx_match(v1: &str, v2: &str, params: MatchParams) -> bool {
+    if v1 == v2 {
+        return true;
+    }
+    let bound = fractional_threshold(v1, v2, params);
+    if bound == 0 {
+        return false;
+    }
+    edit_distance_within(v1, v2, bound).is_some()
+}
+
+/// Approximate match with whitespace removed first — the paper's
+/// Example 8 arithmetic ("ignoring punctuations", distance 2 between
+/// "American Samoa" and "American Samoa (US)") treats separators as
+/// free, so "americansamoa" vs "americansamoaus" is the comparison
+/// actually made.
+pub fn approx_match_compact(v1: &str, v2: &str, params: MatchParams) -> bool {
+    if v1 == v2 {
+        return true;
+    }
+    let a: String = v1.chars().filter(|c| !c.is_whitespace()).collect();
+    let b: String = v2.chars().filter(|c| !c.is_whitespace()).collect();
+    approx_match(&a, &b, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn threshold_from_paper_example_8() {
+        // "American Samoa" (14 ch) vs "American Samoa (US)" — the paper
+        // normalizes away punctuation first; with f_ed = 0.2 and
+        // lengths 13/15 it computes θ_ed = min{⌊13·0.2⌋, ⌊15·0.2⌋, 10} = 2.
+        let p = MatchParams::default();
+        let a = "americansamoa"; // 13
+        let b = "americansamoaus"; // 15
+        assert_eq!(fractional_threshold(a, b, p), 2);
+        assert_eq!(edit_distance_within(a, b, 2), Some(2));
+        assert!(approx_match(a, b, p));
+    }
+
+    #[test]
+    fn short_codes_require_exact_match() {
+        let p = MatchParams::default();
+        // ⌊3·0.2⌋ = 0 → no edits allowed
+        assert_eq!(fractional_threshold("usa", "rsa", p), 0);
+        assert!(!approx_match("usa", "rsa", p));
+        assert!(approx_match("usa", "usa", p));
+    }
+
+    #[test]
+    fn k_ed_caps_long_strings() {
+        let p = MatchParams {
+            f_ed: 0.5,
+            k_ed: 10,
+        };
+        let long_a = "a".repeat(100);
+        let long_b = "b".repeat(100);
+        assert_eq!(fractional_threshold(&long_a, &long_b, p), 10);
+        assert!(!approx_match(&long_a, &long_b, p));
+    }
+
+    #[test]
+    fn banded_matches_full_within_bound() {
+        let cases = [
+            ("kitten", "sitting"),
+            ("korea republic of", "korea republic"),
+            ("", "abc"),
+            ("abc", ""),
+            ("same", "same"),
+            ("a", "ab"),
+            ("flaw", "lawn"),
+        ];
+        for (a, b) in cases {
+            let full = edit_distance_full(a, b);
+            for bound in 0..=8u32 {
+                let banded = edit_distance_within(a, b, bound);
+                if full <= bound {
+                    assert_eq!(banded, Some(full), "{a:?} vs {b:?} bound {bound}");
+                } else {
+                    assert_eq!(banded, None, "{a:?} vs {b:?} bound {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_chars_count_as_single_edits() {
+        assert_eq!(edit_distance_full("café", "cafe"), 1);
+        assert_eq!(edit_distance_within("café", "cafe", 1), Some(1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_banded_agrees_with_full(a in "[a-d]{0,12}", b in "[a-d]{0,12}", bound in 0u32..6) {
+            let full = edit_distance_full(&a, &b);
+            let banded = edit_distance_within(&a, &b, bound);
+            if full <= bound {
+                prop_assert_eq!(banded, Some(full));
+            } else {
+                prop_assert_eq!(banded, None);
+            }
+        }
+
+        #[test]
+        fn prop_distance_is_metric_like(a in "[a-c]{0,10}", b in "[a-c]{0,10}") {
+            let d = edit_distance_full(&a, &b);
+            prop_assert_eq!(d, edit_distance_full(&b, &a)); // symmetric
+            prop_assert_eq!(edit_distance_full(&a, &a), 0); // identity
+            let la = a.chars().count() as i64;
+            let lb = b.chars().count() as i64;
+            prop_assert!(d as i64 >= (la - lb).abs()); // length lower bound
+            prop_assert!(d as i64 <= la.max(lb)); // upper bound
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in "[a-b]{0,8}", b in "[a-b]{0,8}", c in "[a-b]{0,8}") {
+            let ab = edit_distance_full(&a, &b);
+            let bc = edit_distance_full(&b, &c);
+            let ac = edit_distance_full(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn prop_approx_match_symmetric(a in "[a-e ]{0,16}", b in "[a-e ]{0,16}") {
+            let p = MatchParams::default();
+            prop_assert_eq!(approx_match(&a, &b, p), approx_match(&b, &a, p));
+        }
+    }
+}

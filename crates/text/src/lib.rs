@@ -1,0 +1,25 @@
+//! # mapsynth-text
+//!
+//! String handling for table synthesis (paper §4.1, "Approximate String
+//! Matching" and "Synonyms"):
+//!
+//! * [`normalize()`] — canonicalizes cell values (case folding, footnote
+//!   marks, punctuation, whitespace) so that cosmetic variation does
+//!   not depress compatibility between tables;
+//! * [`editdist`] — a banded (Ukkonen-style) edit-distance check, the
+//!   paper's Algorithm 2, with the fractional threshold
+//!   `θ_ed(v1,v2) = min{⌊|v1|·f_ed⌋, ⌊|v2|·f_ed⌋, k_ed}`;
+//! * [`synonyms`] — an external synonym feed (paper: "e.g., using
+//!   existing synonym feeds \[10\]") that can boost positive
+//!   compatibility and suppress false conflicts.
+
+pub mod editdist;
+pub mod normalize;
+pub mod synonyms;
+
+pub use editdist::{
+    approx_match, approx_match_compact, edit_distance_full, edit_distance_within,
+    fractional_threshold, MatchParams,
+};
+pub use normalize::normalize;
+pub use synonyms::SynonymDict;

@@ -1,0 +1,171 @@
+//! Cell value normalization.
+//!
+//! Real web-table cells carry extraneous decoration — footnote marks
+//! like `\[1\]` (paper Figure 2, fourth row), trailing asterisks/daggers,
+//! inconsistent case and punctuation. Normalization removes the
+//! decoration so that "American Samoa (US)\[1\]" and "american samoa
+//! (us)" compare close, while keeping enough signal that "USA" and
+//! "RSA" stay distinct.
+//!
+//! Rules, applied in order:
+//! 1. strip trailing footnote markers: any run of `[digits]`,
+//!    `[letter]`, `*`, `†`, `‡` at the end of the string;
+//! 2. Unicode-aware lowercase;
+//! 3. map punctuation (anything non-alphanumeric) to a single space;
+//! 4. collapse whitespace runs and trim.
+
+/// Normalize a cell value. Returns an owned canonical string.
+pub fn normalize(raw: &str) -> String {
+    let stripped = strip_footnotes(raw);
+    let mut out = String::with_capacity(stripped.len());
+    let mut pending_space = false;
+    for ch in stripped.chars() {
+        if ch.is_alphanumeric() {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+        } else {
+            // punctuation & whitespace collapse to one separator
+            pending_space = true;
+        }
+    }
+    out
+}
+
+/// Strip trailing footnote markers: `[..]` groups and reference
+/// symbols at the end of a value.
+fn strip_footnotes(s: &str) -> &str {
+    let mut end = s.trim_end().len();
+    loop {
+        let prefix = s[..end].trim_end();
+        end = prefix.len();
+        if end == 0 {
+            return "";
+        }
+        // trailing reference symbols
+        if let Some(last) = prefix.chars().last() {
+            if matches!(last, '*' | '†' | '‡') {
+                end -= last.len_utf8();
+                continue;
+            }
+        }
+        // trailing [..] group with short alnum content (footnote, not data)
+        if prefix.ends_with(']') {
+            if let Some(open) = prefix.rfind('[') {
+                let inner = &prefix[open + 1..end - 1];
+                if !inner.is_empty()
+                    && inner.len() <= 3
+                    && inner.chars().all(|c| c.is_ascii_alphanumeric())
+                {
+                    end = open;
+                    continue;
+                }
+            }
+        }
+        return prefix;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_case_and_punct() {
+        assert_eq!(normalize("Korea, Republic of"), "korea republic of");
+        assert_eq!(normalize("KOREA REPUBLIC OF"), "korea republic of");
+        assert_eq!(normalize("  South   Korea  "), "south korea");
+    }
+
+    #[test]
+    fn footnotes_removed() {
+        assert_eq!(normalize("United States[1]"), "united states");
+        assert_eq!(normalize("United States[12]*"), "united states");
+        assert_eq!(normalize("France†"), "france");
+        assert_eq!(normalize("Spain [a]"), "spain");
+    }
+
+    #[test]
+    fn bracketed_data_kept() {
+        // long bracketed content is data, not a footnote
+        assert_eq!(
+            normalize("Congo [Democratic Republic]"),
+            "congo democratic republic"
+        );
+    }
+
+    #[test]
+    fn parenthesized_synonyms_flatten() {
+        assert_eq!(normalize("American Samoa (US)"), "american samoa us");
+        assert_eq!(
+            normalize("Korea, Republic of (South Korea)"),
+            "korea republic of south korea"
+        );
+    }
+
+    #[test]
+    fn short_codes_stay_distinct() {
+        assert_eq!(normalize("USA"), "usa");
+        assert_eq!(normalize("RSA"), "rsa");
+        assert_ne!(normalize("USA"), normalize("RSA"));
+    }
+
+    #[test]
+    fn numeric_and_mixed() {
+        assert_eq!(normalize("F-150"), "f 150");
+        assert_eq!(normalize("840"), "840");
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("  --- "), "");
+        assert_eq!(normalize("***"), "");
+    }
+
+    #[test]
+    fn unicode_lowercase() {
+        assert_eq!(normalize("Österreich"), "österreich");
+        assert_eq!(normalize("ÖSTERREICH"), "österreich");
+    }
+
+    #[test]
+    fn idempotent() {
+        for s in ["Korea, Republic of", "United States[1]", "F-150", "  x  "] {
+            let once = normalize(s);
+            assert_eq!(normalize(&once), once);
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_normalize_idempotent(s in "\\PC{0,40}") {
+            let once = normalize(&s);
+            prop_assert_eq!(normalize(&once), once.clone());
+        }
+
+        #[test]
+        fn prop_normalize_canonical_shape(s in "\\PC{0,40}") {
+            let n = normalize(&s);
+            // No leading/trailing/double spaces; no uppercase ASCII.
+            prop_assert_eq!(n.trim(), n.as_str());
+            prop_assert!(!n.contains("  "));
+            prop_assert!(!n.chars().any(|c| c.is_ascii_uppercase()));
+        }
+
+        #[test]
+        fn prop_normalize_never_panics_on_unicode(s in proptest::string::string_regex(".{0,24}").unwrap()) {
+            let _ = normalize(&s);
+        }
+    }
+}

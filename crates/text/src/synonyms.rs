@@ -1,0 +1,152 @@
+//! External synonym feed.
+//!
+//! Paper §4.1 ("Synonyms"): when an external source declares values as
+//! synonymous — e.g. "US Virgin Islands" ↔ "United States Virgin
+//! Islands" — positive compatibility between tables is boosted, and the
+//! conflict-resolution step does not treat `(l, r)` vs `(l, r')` as a
+//! conflict when `(r, r')` are known synonyms.
+//!
+//! Implemented as a union-find over normalized strings: synonymy is an
+//! equivalence relation, so transitive declarations collapse into one
+//! class.
+
+use crate::normalize::normalize;
+use std::collections::HashMap;
+
+/// A dictionary of synonym classes over normalized strings.
+#[derive(Default, Debug)]
+pub struct SynonymDict {
+    ids: HashMap<String, usize>,
+    parent: Vec<usize>,
+}
+
+impl SynonymDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn id_of(&mut self, s: &str) -> usize {
+        let key = normalize(s);
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.ids.insert(key, id);
+        id
+    }
+
+    fn find(&self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn find_compress(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Declare `a` and `b` synonymous (normalization applied).
+    pub fn declare(&mut self, a: &str, b: &str) {
+        let ia = self.id_of(a);
+        let ib = self.id_of(b);
+        let ra = self.find_compress(ia);
+        let rb = self.find_compress(ib);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Declare a whole group synonymous.
+    pub fn declare_group<'a>(&mut self, group: impl IntoIterator<Item = &'a str>) {
+        let mut iter = group.into_iter();
+        if let Some(first) = iter.next() {
+            for other in iter {
+                self.declare(first, other);
+            }
+        }
+    }
+
+    /// Whether `a` and `b` are known synonyms (normalization applied;
+    /// equal normalized strings are trivially synonymous).
+    pub fn are_synonyms(&self, a: &str, b: &str) -> bool {
+        let ka = normalize(a);
+        let kb = normalize(b);
+        if ka == kb {
+            return true;
+        }
+        match (self.ids.get(&ka), self.ids.get(&kb)) {
+            (Some(&ia), Some(&ib)) => self.find(ia) == self.find(ib),
+            _ => false,
+        }
+    }
+
+    /// Canonical class id of a normalized string, if declared.
+    pub fn class_of(&self, s: &str) -> Option<usize> {
+        self.ids.get(&normalize(s)).map(|&id| self.find(id))
+    }
+
+    /// Number of declared strings.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_declare_and_query() {
+        let mut d = SynonymDict::new();
+        d.declare("US Virgin Islands", "United States Virgin Islands");
+        assert!(d.are_synonyms("us virgin islands", "United States Virgin Islands"));
+        assert!(!d.are_synonyms("US Virgin Islands", "Puerto Rico"));
+    }
+
+    #[test]
+    fn transitivity() {
+        let mut d = SynonymDict::new();
+        d.declare("South Korea", "Korea, Republic of");
+        d.declare("Korea, Republic of", "Republic of Korea");
+        assert!(d.are_synonyms("South Korea", "Republic of Korea"));
+    }
+
+    #[test]
+    fn group_declaration() {
+        let mut d = SynonymDict::new();
+        d.declare_group(["Congo (Democratic Rep.)", "DR Congo", "Congo-Kinshasa"]);
+        assert!(d.are_synonyms("DR Congo", "Congo-Kinshasa"));
+        assert!(d.are_synonyms("Congo (Democratic Rep.)", "DR Congo"));
+    }
+
+    #[test]
+    fn normalized_equality_is_trivial_synonymy() {
+        let d = SynonymDict::new();
+        assert!(d.are_synonyms("KOREA, SOUTH", "korea south"));
+        assert!(!d.are_synonyms("a", "b"));
+    }
+
+    #[test]
+    fn unknown_strings_have_no_class() {
+        let mut d = SynonymDict::new();
+        assert_eq!(d.class_of("x"), None);
+        d.declare("x", "y");
+        assert!(d.class_of("x").is_some());
+        assert_eq!(d.class_of("x"), d.class_of("Y"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Workspace integration test: generator → extraction → synthesis →
+//! applications, end to end.
+
+use mapsynth::pipeline::{Pipeline, PipelineConfig};
+use mapsynth_apps::{autocorrect, autofill, autojoin, MappingIndex};
+use mapsynth_gen::procedural::ProceduralConfig;
+use mapsynth_gen::{generate_web, WebConfig};
+
+fn corpus() -> mapsynth_gen::webgen::WebCorpus {
+    generate_web(&WebConfig {
+        tables: 1200,
+        domains: 100,
+        procedural: ProceduralConfig {
+            families: 10,
+            temporal_families: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+#[test]
+fn pipeline_to_applications_round_trip() {
+    let wc = corpus();
+    let output = Pipeline::new(PipelineConfig::default()).run(&wc.corpus);
+    assert!(output.mappings.len() > 50);
+    assert!(
+        output.negative_edges > 0,
+        "conflicting standards must produce negatives"
+    );
+
+    let index = MappingIndex::build(&output.mappings);
+
+    // Auto-correct (paper Table 3): mixed state names/abbreviations.
+    let column = ["California", "Washington", "Oregon", "Texas", "CA", "WA"];
+    let fixes = autocorrect(&index, &column, 2).expect("mixed column detected");
+    assert!(fixes.iter().any(|f| f.from == "CA" && f.to == "california"));
+    assert!(fixes.iter().any(|f| f.from == "WA" && f.to == "washington"));
+
+    // Auto-fill (paper Table 4): one example state, fill the rest.
+    let cities = ["San Francisco", "Seattle", "Houston", "Denver"];
+    let target = [Some("California"), None, None, None];
+    let fill = autofill(&index, &cities, &target, 1).expect("intent discovered");
+    let filled: std::collections::HashMap<usize, String> = fill.filled.into_iter().collect();
+    assert_eq!(filled[&1], "washington");
+    assert_eq!(filled[&2], "texas");
+    assert_eq!(filled[&3], "colorado");
+
+    // Auto-join (paper Table 5): tickers to company names.
+    let left = ["MSFT", "AAPL", "GE", "ORCL"];
+    let right = [
+        "Microsoft Corporation",
+        "Apple Inc",
+        "General Electric",
+        "Oracle Corporation",
+    ];
+    let join = autojoin(&index, &left, &right, 0.5).expect("bridge mapping found");
+    assert!(join.rows.len() >= 3, "joined {} rows", join.rows.len());
+    assert!(join.rows.contains(&(0, 0)), "MSFT must join Microsoft");
+}
+
+#[test]
+fn synthesis_beats_no_synthesis_on_recall() {
+    // The core claim of the paper's §5.2: synthesized mappings have far
+    // better recall than the best single table, at comparable
+    // precision.
+    use mapsynth_eval::{web_benchmark_attested, PreparedWeb, ResultScorer};
+
+    let wc = corpus();
+    let prepared = PreparedWeb::prepare(wc, 0.5, 0);
+    let cases = web_benchmark_attested(&prepared.registry, &prepared.emitted_pairs, 80);
+
+    let synth = prepared.run_synthesis(
+        &mapsynth::SynthesisConfig {
+            theta_edge: 0.5,
+            ..Default::default()
+        },
+        mapsynth::Resolver::Algorithm4,
+    );
+    let single = mapsynth_baselines::single_table::single_tables(&prepared.space, &prepared.tables);
+
+    let mean = |results: &[mapsynth_baselines::RelationResult]| {
+        let scorer = ResultScorer::new(results);
+        let scores: Vec<_> = cases.iter().map(|c| scorer.best_for(&c.gt).0).collect();
+        (
+            scores.iter().map(|s| s.f).sum::<f64>() / scores.len() as f64,
+            scores.iter().map(|s| s.recall).sum::<f64>() / scores.len() as f64,
+        )
+    };
+    let (f_synth, r_synth) = mean(&synth);
+    let (f_single, r_single) = mean(&single);
+    assert!(
+        r_synth > r_single + 0.05,
+        "synthesis recall {r_synth:.3} vs single-table {r_single:.3}"
+    );
+    assert!(
+        f_synth > f_single,
+        "synthesis F {f_synth:.3} vs single-table {f_single:.3}"
+    );
+}
+
+#[test]
+fn deterministic_outputs_across_runs() {
+    let wc1 = corpus();
+    let wc2 = corpus();
+    let out1 = Pipeline::new(PipelineConfig::default()).run(&wc1.corpus);
+    let out2 = Pipeline::new(PipelineConfig::default()).run(&wc2.corpus);
+    assert_eq!(out1.mappings.len(), out2.mappings.len());
+    for (a, b) in out1.mappings.iter().zip(&out2.mappings).take(50) {
+        assert_eq!(a.pairs, b.pairs);
+    }
+}
