@@ -31,15 +31,27 @@ fn main() {
             }
             "--min-domains" => {
                 i += 1;
-                min_domains = args.get(i).expect("--min-domains needs a value").parse().unwrap();
+                min_domains = args
+                    .get(i)
+                    .expect("--min-domains needs a value")
+                    .parse()
+                    .unwrap();
             }
             "--min-pairs" => {
                 i += 1;
-                min_pairs = args.get(i).expect("--min-pairs needs a value").parse().unwrap();
+                min_pairs = args
+                    .get(i)
+                    .expect("--min-pairs needs a value")
+                    .parse()
+                    .unwrap();
             }
             "--workers" => {
                 i += 1;
-                workers = args.get(i).expect("--workers needs a value").parse().unwrap();
+                workers = args
+                    .get(i)
+                    .expect("--workers needs a value")
+                    .parse()
+                    .unwrap();
             }
             other if !other.starts_with("--") && corpus_dir.is_none() => {
                 corpus_dir = Some(PathBuf::from(other));
@@ -90,18 +102,18 @@ fn main() {
     writeln!(index, "id\tpairs\ttables\tdomains").unwrap();
     let mut written = 0usize;
     for (mi, m) in output.mappings.iter().enumerate() {
-        if m.domains < min_domains || m.pairs.len() < min_pairs {
+        if m.domains < min_domains || m.len() < min_pairs {
             continue;
         }
         let name = format!("mapping-{mi:04}.tsv");
         let mut f = std::fs::File::create(out_dir.join(&name)).expect("create mapping file");
-        for (l, r) in &m.pairs {
+        for (l, r) in m.pair_strs() {
             writeln!(f, "{l}\t{r}").unwrap();
         }
         writeln!(
             index,
             "{mi}\t{}\t{}\t{}",
-            m.pairs.len(),
+            m.len(),
             m.source_tables,
             m.domains
         )

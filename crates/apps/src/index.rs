@@ -12,9 +12,6 @@ use mapsynth::SynthesizedMapping;
 use mapsynth_text::normalize;
 use std::collections::{HashMap, HashSet};
 
-/// A raw mapping input: optional name plus its value pairs.
-type NamedPairSet = (Option<String>, Vec<(String, String)>);
-
 /// One materialized mapping table.
 pub struct MappingHandle {
     /// Optional human label.
@@ -32,17 +29,28 @@ pub struct MappingHandle {
 }
 
 impl MappingHandle {
-    fn build(name: Option<String>, pairs: &[(String, String)]) -> Self {
+    /// Materialize a handle from borrowed normalized pairs — the one
+    /// place synthesized mappings turn into owned index strings.
+    fn build<'a, I: IntoIterator<Item = (&'a str, &'a str)>>(
+        name: Option<String>,
+        pairs: I,
+    ) -> Self {
+        let pairs: Vec<(&str, &str)> = pairs.into_iter().collect();
         let mut forward = HashMap::new();
         let mut reverse: HashMap<String, Vec<String>> = HashMap::new();
         let mut lefts = HashSet::new();
         let mut rights = HashSet::new();
         let mut bloom = BloomFilter::new(pairs.len() * 2, 0.01);
         for (l, r) in pairs {
-            forward.entry(l.clone()).or_insert_with(|| r.clone());
-            reverse.entry(r.clone()).or_default().push(l.clone());
-            lefts.insert(l.clone());
-            rights.insert(r.clone());
+            forward
+                .entry(l.to_string())
+                .or_insert_with(|| r.to_string());
+            reverse
+                .entry(r.to_string())
+                .or_default()
+                .push(l.to_string());
+            lefts.insert(l.to_string());
+            rights.insert(r.to_string());
             bloom.insert(l);
             bloom.insert(r);
         }
@@ -101,44 +109,47 @@ pub struct MappingIndex {
 }
 
 impl MappingIndex {
-    /// Build from synthesized mappings (already normalized pairs).
+    /// Build from synthesized mappings: pairs stay interned in the
+    /// run's value space until this boundary — the handles read
+    /// `(&str, &str)` straight through the mappings' space handles,
+    /// with no intermediate `Vec<(String, String)>` clone per mapping.
     pub fn build(mappings: &[SynthesizedMapping]) -> Self {
-        Self::from_pair_sets(
+        Self::from_handles(
             mappings
                 .iter()
-                .map(|m| (None, m.pairs.clone()))
-                .collect::<Vec<_>>(),
+                .map(|m| MappingHandle::build(None, m.pair_strs()))
+                .collect(),
         )
     }
 
     /// Build from named raw pair sets (normalization applied).
     pub fn from_named_raw(sets: Vec<(String, Vec<(String, String)>)>) -> Self {
-        Self::from_pair_sets(
+        Self::from_handles(
             sets.into_iter()
                 .map(|(name, pairs)| {
-                    let pairs = pairs
+                    let pairs: Vec<(String, String)> = pairs
                         .into_iter()
                         .map(|(l, r)| (normalize(&l), normalize(&r)))
                         .filter(|(l, r)| !l.is_empty() && !r.is_empty())
                         .collect();
-                    (Some(name), pairs)
+                    MappingHandle::build(
+                        Some(name),
+                        pairs.iter().map(|(l, r)| (l.as_str(), r.as_str())),
+                    )
                 })
                 .collect(),
         )
     }
 
-    fn from_pair_sets(sets: Vec<NamedPairSet>) -> Self {
-        let mut handles = Vec::with_capacity(sets.len());
+    fn from_handles(handles: Vec<MappingHandle>) -> Self {
         let mut postings: HashMap<String, Vec<u32>> = HashMap::new();
-        for (mi, (name, pairs)) in sets.into_iter().enumerate() {
-            let handle = MappingHandle::build(name, &pairs);
+        for (mi, handle) in handles.iter().enumerate() {
             for v in handle.lefts.iter().chain(handle.rights.iter()) {
                 let posting = postings.entry(v.clone()).or_default();
                 if posting.last() != Some(&(mi as u32)) {
                     posting.push(mi as u32);
                 }
             }
-            handles.push(handle);
         }
         Self {
             mappings: handles,

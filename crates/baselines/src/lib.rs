@@ -44,7 +44,7 @@ pub fn score_candidate_pairs(
     mr: &MapReduce,
 ) -> ScoredPairs {
     let cfg = SynthesisConfig::default();
-    let (pairs, _) = candidate_pairs(space, tables, &cfg);
+    let (pairs, _) = candidate_pairs(space, tables, &cfg, mr);
     mr.par_map(&pairs, |&(a, b)| {
         let w = score_pair(space, &tables[a as usize], &tables[b as usize], &cfg);
         (a, b, w)

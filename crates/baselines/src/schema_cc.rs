@@ -79,7 +79,7 @@ mod tests {
     use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
     use mapsynth_text::SynonymDict;
 
-    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (ValueSpace, Vec<NormBinary>) {
+    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (std::sync::Arc<ValueSpace>, Vec<NormBinary>) {
         let mut corpus = Corpus::new();
         let d = corpus.domain("x");
         let cands: Vec<BinaryTable> = tables
@@ -93,7 +93,12 @@ mod tests {
                 BinaryTable::new(BinaryId(i as u32), TableId(i as u32), d, 0, 1, syms)
             })
             .collect();
-        build_value_space(&corpus, &cands, &SynonymDict::new())
+        build_value_space(
+            &corpus,
+            &cands,
+            &SynonymDict::new(),
+            &mapsynth_mapreduce::MapReduce::new(2),
+        )
     }
 
     /// ISO and IOC tables with a bridge table that overlaps both: CC

@@ -65,7 +65,12 @@ mod tests {
     #[test]
     fn webtable_offers_everything() {
         let (corpus, cands) = setup();
-        let (space, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+        let (space, tables) = build_value_space(
+            &corpus,
+            &cands,
+            &SynonymDict::new(),
+            &mapsynth_mapreduce::MapReduce::new(2),
+        );
         let out = single_tables(&space, &tables);
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|r| r.len() == 2));
@@ -74,7 +79,12 @@ mod tests {
     #[test]
     fn wikitable_filters_by_domain() {
         let (corpus, cands) = setup();
-        let (space, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+        let (space, tables) = build_value_space(
+            &corpus,
+            &cands,
+            &SynonymDict::new(),
+            &mapsynth_mapreduce::MapReduce::new(2),
+        );
         let out = single_tables_from_domains(&corpus, &cands, &space, &tables, |d| {
             d.starts_with("wiki.")
         });

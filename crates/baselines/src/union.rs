@@ -117,7 +117,12 @@ mod tests {
     #[test]
     fn union_domain_groups_within_domain_only() {
         let (corpus, cands) = setup();
-        let (space, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+        let (space, tables) = build_value_space(
+            &corpus,
+            &cands,
+            &SynonymDict::new(),
+            &mapsynth_mapreduce::MapReduce::new(2),
+        );
         let out = union_tables(&corpus, &cands, &space, &tables, UnionScope::Domain);
         // d0's two country tables union; d1's element table separate.
         assert_eq!(out.len(), 2);
@@ -128,7 +133,12 @@ mod tests {
     #[test]
     fn union_web_overgroups_generic_names() {
         let (corpus, cands) = setup();
-        let (space, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+        let (space, tables) = build_value_space(
+            &corpus,
+            &cands,
+            &SynonymDict::new(),
+            &mapsynth_mapreduce::MapReduce::new(2),
+        );
         let out = union_tables(&corpus, &cands, &space, &tables, UnionScope::Web);
         // All three tables share "name/code" headers → one mixed blob
         // (countries + elements): the over-grouping the paper reports.
@@ -145,7 +155,12 @@ mod tests {
             (corpus.interner.intern("y"), corpus.interner.intern("2")),
         ];
         cands.push(BinaryTable::new(BinaryId(3), TableId(3), d, 0, 1, syms));
-        let (space, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+        let (space, tables) = build_value_space(
+            &corpus,
+            &cands,
+            &SynonymDict::new(),
+            &mapsynth_mapreduce::MapReduce::new(2),
+        );
         let out = union_tables(&corpus, &cands, &space, &tables, UnionScope::Web);
         assert_eq!(out.len(), 2);
     }

@@ -223,7 +223,12 @@ mod tests {
                 vec![("Hydrogen", "H"), ("Helium", "He")],
             ),
         ];
-        let (space, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+        let (space, tables) = build_value_space(
+            &corpus,
+            &cands,
+            &SynonymDict::new(),
+            &mapsynth_mapreduce::MapReduce::new(2),
+        );
         let out = wise_integrator(&corpus, &cands, &space, &tables, &WiseConfig::default());
         // Tables 0,1 group (country/code headers, alpha/alpha types);
         // table 2 has numeric right → separate; table 3 separate headers.

@@ -32,9 +32,9 @@ fn fig7(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("method", "SchemaCC"), |b| {
         b.iter(|| {
             schema_cc_from_scores(
-                &prepared.space,
-                &prepared.tables,
-                &prepared.scored,
+                prepared.space(),
+                prepared.tables(),
+                prepared.scored(),
                 &SchemaCcConfig::default(),
             )
         })
@@ -42,9 +42,9 @@ fn fig7(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("method", "Correlation"), |b| {
         b.iter(|| {
             correlation_from_scores(
-                &prepared.space,
-                &prepared.tables,
-                &prepared.scored,
+                prepared.space(),
+                prepared.tables(),
+                prepared.scored(),
                 &CorrelationConfig::default(),
             )
         })
@@ -53,9 +53,9 @@ fn fig7(c: &mut Criterion) {
         b.iter(|| {
             union_tables(
                 &prepared.corpus,
-                &prepared.candidates,
-                &prepared.space,
-                &prepared.tables,
+                prepared.candidates(),
+                prepared.space(),
+                prepared.tables(),
                 UnionScope::Web,
             )
         })

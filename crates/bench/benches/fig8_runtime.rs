@@ -1,9 +1,10 @@
 //! Figure 8 workload: end-to-end pipeline runtime (extraction through
 //! conflict resolution) — the Synthesis bar of the paper's runtime
-//! comparison.
+//! comparison — plus the staged-engine split: the cost of a full run
+//! vs. the cost of one more variant off cached stage artifacts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mapsynth::pipeline::{Pipeline, PipelineConfig};
+use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
 use mapsynth_bench::bench_corpus;
 
 fn fig8(c: &mut Criterion) {
@@ -11,8 +12,19 @@ fn fig8(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_pipeline");
     g.sample_size(10);
     g.bench_function("end_to_end", |b| {
-        let pipeline = Pipeline::new(PipelineConfig::default());
-        b.iter(|| pipeline.run(&wc.corpus))
+        b.iter(|| SynthesisSession::new(PipelineConfig::default()).run(&wc.corpus))
+    });
+    g.finish();
+
+    // The staged split: stages 1–3 once, then each additional variant
+    // reuses the artifacts (the reuse the eval harness leans on).
+    let mut session = SynthesisSession::new(PipelineConfig::default());
+    session.prepare(&wc.corpus);
+    let base = session.config().synthesis;
+    let mut g = c.benchmark_group("fig8_staged");
+    g.sample_size(10);
+    g.bench_function("variant_from_artifacts", |b| {
+        b.iter(|| session.synthesize(&base, Resolver::Algorithm4))
     });
     g.finish();
 }

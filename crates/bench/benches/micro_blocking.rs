@@ -16,13 +16,13 @@ fn blocking(c: &mut Criterion) {
     let mr = MapReduce::default();
     let (cands, _) = extract_candidates(&wc.corpus, &ExtractionConfig::default(), &mr);
     let feed = wc.registry.partial_synonym_feed(0.5, 11);
-    let (space, tables) = build_value_space(&wc.corpus, &cands, &feed);
+    let (space, tables) = build_value_space(&wc.corpus, &cands, &feed, &mr);
     let cfg = SynthesisConfig::default();
 
     let mut g = c.benchmark_group("blocking");
     g.sample_size(10);
     g.bench_function("blocked_pairs", |b| {
-        b.iter(|| candidate_pairs(&space, &tables, &cfg))
+        b.iter(|| candidate_pairs(&space, &tables, &cfg, &mr))
     });
     // All-pairs scoring on a small subset to keep the bench bounded;
     // the quadratic shape is the point.
@@ -38,7 +38,7 @@ fn blocking(c: &mut Criterion) {
             total
         })
     });
-    let (pairs, _) = candidate_pairs(&space, &tables, &cfg);
+    let (pairs, _) = candidate_pairs(&space, &tables, &cfg, &mr);
     g.bench_function("blocked_scoring_all", |b| {
         b.iter(|| {
             pairs

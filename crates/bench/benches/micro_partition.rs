@@ -2,22 +2,20 @@
 //! divide-and-conquer by connected components (Appendix F).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mapsynth::graph::graph_from_scores;
 use mapsynth::partition::{greedy_partition, partition_by_components};
 use mapsynth::SynthesisConfig;
-use mapsynth_baselines::score_candidate_pairs;
 use mapsynth_bench::bench_corpus;
 use mapsynth_eval::PreparedWeb;
 use mapsynth_mapreduce::MapReduce;
 
 fn partition(c: &mut Criterion) {
     let prepared = PreparedWeb::prepare(bench_corpus(600), 0.5, 0);
-    let scored = score_candidate_pairs(&prepared.space, &prepared.tables, &prepared.mr);
     let cfg = SynthesisConfig {
         theta_edge: 0.5,
         ..Default::default()
     };
-    let graph = graph_from_scores(prepared.tables.len(), &scored, &cfg);
+    // The session's cached score artifact feeds the variant graph.
+    let graph = prepared.session.graph(&cfg);
     let mr = MapReduce::default();
 
     let mut g = c.benchmark_group("partition");

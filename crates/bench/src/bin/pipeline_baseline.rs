@@ -1,0 +1,48 @@
+//! Records a stage-timing baseline for the synthesis pipeline on a
+//! deterministic generated corpus, as JSON on stdout or into a file.
+//!
+//! ```text
+//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- BENCH_pipeline.json
+//! ```
+
+use mapsynth::pipeline::{PipelineConfig, SynthesisSession};
+use mapsynth_bench::bench_corpus;
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let tables: usize = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600);
+
+    let wc = bench_corpus(tables);
+    let cfg = PipelineConfig::default();
+    let mut session = SynthesisSession::new(cfg);
+    let output = session.run(&wc.corpus);
+    let t = output.timings;
+
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let json = format!(
+        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"workers\": {}\n}}\n",
+        tables,
+        output.candidates,
+        output.edges,
+        output.partitions,
+        output.mappings.len(),
+        ms(t.extraction),
+        ms(t.value_space),
+        ms(t.graph),
+        ms(t.partition),
+        ms(t.conflict),
+        ms(t.total),
+        session.workers(),
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write baseline file");
+            eprintln!("wrote {path}");
+            print!("{json}");
+        }
+        None => print!("{json}"),
+    }
+}

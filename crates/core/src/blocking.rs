@@ -13,7 +13,7 @@
 
 use crate::config::SynthesisConfig;
 use crate::values::{NormBinary, ValueSpace};
-use std::collections::HashMap;
+use mapsynth_mapreduce::MapReduce;
 
 /// Statistics from blocking, used by the scalability experiments.
 #[derive(Clone, Copy, Debug, Default)]
@@ -28,50 +28,72 @@ pub struct BlockingStats {
     pub pairs: usize,
 }
 
+/// Blocking keys: positive keys are `(left class, right class)` value
+/// pairs, negative keys are left classes alone.
+const KIND_POS: u8 = 0;
+/// Negative-key marker.
+const KIND_NEG: u8 = 1;
+
 /// Compute candidate table pairs `(i, j)` with `i < j` (indices into
 /// the `tables` slice). A pair qualifies if it shares ≥ `θ_overlap`
 /// value-pair keys, or (when negative evidence is enabled) ≥
 /// `θ_overlap` left-value keys.
+///
+/// Runs as two Map-Reduce jobs mirroring the paper's cluster
+/// formulation (§4.1 "Efficiency" / Appendix F):
+///
+/// 1. **Inverted index**: map each table to its blocking keys, reduce
+///    each key to its (ascending, deduplicated) posting list;
+/// 2. **Pair counting**: map each posting list to the table pairs it
+///    witnesses, reduce by summing, filter at `θ_overlap`.
+///
+/// Both jobs return key-sorted output, so results are identical for
+/// any worker count.
 pub fn candidate_pairs(
     space: &ValueSpace,
     tables: &[NormBinary],
     cfg: &SynthesisConfig,
+    mr: &MapReduce,
 ) -> (Vec<(u32, u32)>, BlockingStats) {
     let mut stats = BlockingStats::default();
 
-    // Inverted index: key → table indices (ascending, deduped).
-    let mut pos_index: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
-    let mut neg_index: HashMap<u32, Vec<u32>> = HashMap::new();
-    for (ti, t) in tables.iter().enumerate() {
-        let ti = ti as u32;
-        let mut last_pos = None;
-        let mut last_neg = None;
-        for &(l, r) in &t.pairs {
-            let key = (space.class(l), space.class(r));
-            if last_pos != Some(key) {
-                let v = pos_index.entry(key).or_default();
-                if v.last() != Some(&ti) {
-                    v.push(ti);
+    // Job 1 — inverted index: (kind, key) → posting list.
+    let indexed: Vec<(u32, &NormBinary)> = tables
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| (ti as u32, t))
+        .collect();
+    let postings: Vec<((u8, u32, u32), Vec<u32>)> = mr.run(
+        &indexed,
+        |&(ti, t)| {
+            let mut out: Vec<((u8, u32, u32), u32)> = Vec::with_capacity(t.pairs.len());
+            // Pairs are sorted by (left class, right class), so
+            // distinct keys are distinct consecutive runs.
+            let mut last_pos = None;
+            let mut last_neg = None;
+            for &(l, r) in &t.pairs {
+                let key = (space.class(l), space.class(r));
+                if last_pos != Some(key) {
+                    out.push(((KIND_POS, key.0, key.1), ti));
+                    last_pos = Some(key);
                 }
-                last_pos = Some(key);
-            }
-            if cfg.use_negative && last_neg != Some(key.0) {
-                let v = neg_index.entry(key.0).or_default();
-                if v.last() != Some(&ti) {
-                    v.push(ti);
+                if cfg.use_negative && last_neg != Some(key.0) {
+                    out.push(((KIND_NEG, key.0, 0), ti));
+                    last_neg = Some(key.0);
                 }
-                last_neg = Some(key.0);
             }
-        }
-    }
-    stats.pos_keys = pos_index.len();
-    stats.neg_keys = neg_index.len();
+            out
+        },
+        // Values arrive in input order (ascending table index); a table
+        // emits each key at most once, so the list is already deduped.
+        |_key, tis| tis,
+    );
+    stats.pos_keys = postings
+        .iter()
+        .filter(|((k, _, _), _)| *k == KIND_POS)
+        .count();
+    stats.neg_keys = postings.len() - stats.pos_keys;
 
-    // Count shared keys per table pair — positive and negative keys
-    // counted separately: a pair qualifies by sharing θ_overlap value
-    // pairs (w⁺ candidates) or θ_overlap left values (w⁻ candidates),
-    // not a mixture.
-    //
     // Hot keys (shared by more than `max_key_fanout` tables) cannot
     // afford all-pairs emission, but skipping them entirely would erase
     // exactly the edges that matter most: popular relations' hub tables
@@ -84,44 +106,49 @@ pub fn candidate_pairs(
     // stay connected.
     const HUB_SAMPLE: usize = 12;
     let sizes: Vec<u32> = tables.iter().map(|t| t.len() as u32).collect();
-    let count_from =
-        |shared: &mut HashMap<(u32, u32), u32>, postings: &[u32], capped: &mut usize| {
+    stats.capped_keys = postings
+        .iter()
+        .filter(|(_, tis)| tis.len() > cfg.max_key_fanout)
+        .count();
+
+    // Job 2 — pair counting: (a, b, kind) → shared-key count. The
+    // per-worker combiner pre-sums counts during the map phase, so
+    // shuffle size is bounded by distinct pairs (× workers), not by
+    // total key co-occurrences.
+    let sizes_ref = &sizes;
+    let counted: Vec<((u32, u32, u8), u32)> = mr.run_combining(
+        &postings,
+        |((kind, _, _), tis)| {
             let mut hubs: Vec<u32>;
-            let postings = if postings.len() > cfg.max_key_fanout {
-                *capped += 1;
-                hubs = postings.to_vec();
-                hubs.sort_by(|&a, &b| sizes[b as usize].cmp(&sizes[a as usize]).then(a.cmp(&b)));
+            let tis = if tis.len() > cfg.max_key_fanout {
+                hubs = tis.clone();
+                hubs.sort_by(|&a, &b| {
+                    sizes_ref[b as usize]
+                        .cmp(&sizes_ref[a as usize])
+                        .then(a.cmp(&b))
+                });
                 hubs.truncate(HUB_SAMPLE);
                 hubs.sort_unstable();
                 &hubs[..]
             } else {
-                postings
+                &tis[..]
             };
-            for (i, &a) in postings.iter().enumerate() {
-                for &b in &postings[i + 1..] {
-                    *shared.entry((a, b)).or_default() += 1;
+            let mut out = Vec::with_capacity(tis.len() * (tis.len().saturating_sub(1)) / 2);
+            for (i, &a) in tis.iter().enumerate() {
+                for &b in &tis[i + 1..] {
+                    out.push(((a, b, *kind), 1u32));
                 }
             }
-        };
-    let mut shared_pos: HashMap<(u32, u32), u32> = HashMap::new();
-    for postings in pos_index.values() {
-        count_from(&mut shared_pos, postings, &mut stats.capped_keys);
-    }
-    let mut shared_neg: HashMap<(u32, u32), u32> = HashMap::new();
-    for postings in neg_index.values() {
-        count_from(&mut shared_neg, postings, &mut stats.capped_keys);
-    }
+            out
+        },
+        |acc, v| *acc += v,
+        |_pair, counts| counts.iter().sum::<u32>(),
+    );
 
-    let mut pairs: Vec<(u32, u32)> = shared_pos
+    let mut pairs: Vec<(u32, u32)> = counted
         .into_iter()
         .filter(|&(_, c)| c as usize >= cfg.theta_overlap)
-        .map(|(p, _)| p)
-        .chain(
-            shared_neg
-                .into_iter()
-                .filter(|&(_, c)| c as usize >= cfg.theta_overlap)
-                .map(|(p, _)| p),
-        )
+        .map(|((a, b, _), _)| (a, b))
         .collect();
     pairs.sort_unstable();
     pairs.dedup();
@@ -134,9 +161,10 @@ mod tests {
     use super::*;
     use crate::values::build_value_space;
     use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_mapreduce::MapReduce;
     use mapsynth_text::SynonymDict;
 
-    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (ValueSpace, Vec<NormBinary>) {
+    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (std::sync::Arc<ValueSpace>, Vec<NormBinary>) {
         let mut corpus = Corpus::new();
         let d = corpus.domain("x");
         let cands: Vec<BinaryTable> = tables
@@ -150,7 +178,7 @@ mod tests {
                 BinaryTable::new(BinaryId(i as u32), TableId(i as u32), d, 0, 1, syms)
             })
             .collect();
-        build_value_space(&corpus, &cands, &SynonymDict::new())
+        build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2))
     }
 
     #[test]
@@ -160,7 +188,8 @@ mod tests {
             vec![("a", "1"), ("b", "2"), ("d", "4")],
             vec![("x", "9"), ("y", "8"), ("z", "7")],
         ]);
-        let (pairs, stats) = candidate_pairs(&space, &t, &SynthesisConfig::default());
+        let (pairs, stats) =
+            candidate_pairs(&space, &t, &SynthesisConfig::default(), &MapReduce::new(2));
         assert_eq!(pairs, vec![(0, 1)]);
         assert!(stats.pos_keys >= 7);
     }
@@ -174,10 +203,10 @@ mod tests {
             vec![("a", "9"), ("b", "8"), ("c", "7")],
         ]);
         let cfg = SynthesisConfig::default();
-        let (pairs, _) = candidate_pairs(&space, &t, &cfg);
+        let (pairs, _) = candidate_pairs(&space, &t, &cfg, &MapReduce::new(2));
         assert_eq!(pairs, vec![(0, 1)]);
         // Without negative evidence the pair is not needed.
-        let (pairs, _) = candidate_pairs(&space, &t, &cfg.without_negative());
+        let (pairs, _) = candidate_pairs(&space, &t, &cfg.without_negative(), &MapReduce::new(2));
         assert!(pairs.is_empty());
     }
 
@@ -188,13 +217,14 @@ mod tests {
             vec![("a", "1"), ("y", "8"), ("z", "7")],
         ]);
         // shares exactly one pair and one left < θ_overlap = 2
-        let (pairs, _) = candidate_pairs(&space, &t, &SynthesisConfig::default());
+        let (pairs, _) =
+            candidate_pairs(&space, &t, &SynthesisConfig::default(), &MapReduce::new(2));
         assert!(pairs.is_empty());
         let cfg = SynthesisConfig {
             theta_overlap: 1,
             ..Default::default()
         };
-        let (pairs, _) = candidate_pairs(&space, &t, &cfg);
+        let (pairs, _) = candidate_pairs(&space, &t, &cfg, &MapReduce::new(2));
         assert_eq!(pairs, vec![(0, 1)]);
     }
 
@@ -219,7 +249,7 @@ mod tests {
             max_key_fanout: 4,
             ..Default::default()
         };
-        let (pairs, stats) = candidate_pairs(&space, &t, &cfg);
+        let (pairs, stats) = candidate_pairs(&space, &t, &cfg, &MapReduce::new(2));
         assert!(stats.capped_keys >= 2);
         // The two hubs (indices 20, 21) must be paired.
         assert!(pairs.contains(&(20, 21)), "hub pair missing: {pairs:?}");
@@ -231,7 +261,8 @@ mod tests {
     fn pairs_sorted_and_unique() {
         let rows = vec![("a", "1"), ("b", "2"), ("c", "3")];
         let (space, t) = setup((0..5).map(|_| rows.clone()).collect());
-        let (pairs, _) = candidate_pairs(&space, &t, &SynthesisConfig::default());
+        let (pairs, _) =
+            candidate_pairs(&space, &t, &SynthesisConfig::default(), &MapReduce::new(2));
         assert_eq!(pairs.len(), 10); // C(5,2)
         let mut sorted = pairs.clone();
         sorted.sort_unstable();

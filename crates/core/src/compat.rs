@@ -186,9 +186,10 @@ mod tests {
     use super::*;
     use crate::values::build_value_space;
     use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_mapreduce::MapReduce;
     use mapsynth_text::SynonymDict;
 
-    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (ValueSpace, Vec<NormBinary>) {
+    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (std::sync::Arc<ValueSpace>, Vec<NormBinary>) {
         let mut corpus = Corpus::new();
         let d = corpus.domain("x");
         let cands: Vec<BinaryTable> = tables
@@ -202,12 +203,12 @@ mod tests {
                 BinaryTable::new(BinaryId(i as u32), TableId(i as u32), d, 0, 1, syms)
             })
             .collect();
-        build_value_space(&corpus, &cands, &SynonymDict::new())
+        build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2))
     }
 
     /// Paper Table 8 / Examples 7–9: B1 (IOC), B2 (IOC with synonyms),
     /// B3 (ISO).
-    fn paper_tables() -> (ValueSpace, Vec<NormBinary>) {
+    fn paper_tables() -> (std::sync::Arc<ValueSpace>, Vec<NormBinary>) {
         setup(vec![
             vec![
                 ("Afghanistan", "AFG"),
@@ -356,12 +357,16 @@ mod prop_tests {
     use super::*;
     use crate::values::build_value_space;
     use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_mapreduce::MapReduce;
     use mapsynth_text::SynonymDict;
     use proptest::prelude::*;
 
+    /// Two strict-mapping tables as (left, right) entity-id rows.
+    type TablePair = (Vec<(u8, u8)>, Vec<(u8, u8)>);
+
     /// Build two strict-mapping tables (unique lefts) over a small
     /// entity universe so they overlap and conflict randomly.
-    fn strategy() -> impl Strategy<Value = (Vec<(u8, u8)>, Vec<(u8, u8)>)> {
+    fn strategy() -> impl Strategy<Value = TablePair> {
         let table = proptest::collection::btree_map(0u8..12, 0u8..6, 2..10)
             .prop_map(|m| m.into_iter().collect::<Vec<_>>());
         (table.clone(), table)
@@ -390,7 +395,7 @@ mod prop_tests {
                 BinaryTable::new(BinaryId(i), TableId(i), d, 0, 1, syms)
             };
             let cands = vec![mk(&mut corpus, 0, &a), mk(&mut corpus, 1, &b)];
-            let (space, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+            let (space, tables) = build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2));
             prop_assume!(tables.len() == 2);
             let cfg = SynthesisConfig::default();
             let w = score_pair(&space, &tables[0], &tables[1], &cfg);

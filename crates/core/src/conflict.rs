@@ -126,12 +126,13 @@ fn conflicting_lefts(space: &ValueSpace, tables: &[NormBinary], group: &[u32]) -
 
 /// Majority-voting alternative (§5.6 comparison): per left class, keep
 /// only pairs whose right class has the highest multiplicity across
-/// member tables. Returns the retained normalized string pairs.
+/// member tables. Returns the retained interned pairs (sorted by id;
+/// [`crate::SynthesizedMapping::set_pairs`] re-sorts by string).
 pub fn resolve_majority_vote(
     space: &ValueSpace,
     tables: &[NormBinary],
     group: &[u32],
-) -> Vec<(String, String)> {
+) -> Vec<(crate::values::NormId, crate::values::NormId)> {
     // votes[left class][right class] = number of member tables with it.
     let mut votes: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
     for &ti in group {
@@ -155,16 +156,16 @@ pub fn resolve_majority_vote(
             (l, best)
         })
         .collect();
-    let mut out: HashSet<(String, String)> = HashSet::new();
+    let mut out: HashSet<(crate::values::NormId, crate::values::NormId)> = HashSet::new();
     for &ti in group {
         for &(l, r) in &tables[ti as usize].pairs {
             if winner.get(&space.class(l)) == Some(&space.class(r)) {
-                out.insert((space.string(l).to_string(), space.string(r).to_string()));
+                out.insert((l, r));
             }
         }
     }
-    let mut pairs: Vec<(String, String)> = out.into_iter().collect();
-    pairs.sort();
+    let mut pairs: Vec<_> = out.into_iter().collect();
+    pairs.sort_unstable();
     pairs
 }
 
@@ -173,12 +174,13 @@ mod tests {
     use super::*;
     use crate::values::build_value_space;
     use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_mapreduce::MapReduce;
     use mapsynth_text::SynonymDict;
 
     fn setup_dict(
         tables: Vec<Vec<(&str, &str)>>,
         dict: SynonymDict,
-    ) -> (ValueSpace, Vec<NormBinary>) {
+    ) -> (std::sync::Arc<ValueSpace>, Vec<NormBinary>) {
         let mut corpus = Corpus::new();
         let d = corpus.domain("x");
         let cands: Vec<BinaryTable> = tables
@@ -192,10 +194,10 @@ mod tests {
                 BinaryTable::new(BinaryId(i as u32), TableId(i as u32), d, 0, 1, syms)
             })
             .collect();
-        build_value_space(&corpus, &cands, &dict)
+        build_value_space(&corpus, &cands, &dict, &MapReduce::new(2))
     }
 
-    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (ValueSpace, Vec<NormBinary>) {
+    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (std::sync::Arc<ValueSpace>, Vec<NormBinary>) {
         setup_dict(tables, SynonymDict::new())
     }
 
@@ -286,9 +288,13 @@ mod tests {
             vec![("a", "9"), ("b", "2")],
         ]);
         let pairs = resolve_majority_vote(&space, &t, &[0, 1, 2]);
-        assert!(pairs.contains(&("a".to_string(), "1".to_string())));
-        assert!(!pairs.iter().any(|(l, r)| l == "a" && r == "9"));
-        assert!(pairs.contains(&("b".to_string(), "2".to_string())));
+        let strs: Vec<(&str, &str)> = pairs
+            .iter()
+            .map(|&(l, r)| (space.string(l), space.string(r)))
+            .collect();
+        assert!(strs.contains(&("a", "1")));
+        assert!(!strs.iter().any(|&(l, r)| l == "a" && r == "9"));
+        assert!(strs.contains(&("b", "2")));
     }
 
     #[test]
@@ -305,7 +311,8 @@ mod tests {
         assert_eq!(kept, vec![0, 1], "algorithm 4 drops the whole table");
         let mv = resolve_majority_vote(&space, &t, &[0, 1, 2]);
         assert!(
-            mv.contains(&("unique".to_string(), "7".to_string())),
+            mv.iter()
+                .any(|&(l, r)| space.string(l) == "unique" && space.string(r) == "7"),
             "majority voting keeps the unique pair"
         );
     }

@@ -17,8 +17,8 @@ pub fn curation_rank(mappings: &mut [SynthesizedMapping]) {
         b.domains
             .cmp(&a.domains)
             .then(b.source_tables.cmp(&a.source_tables))
-            .then(b.pairs.len().cmp(&a.pairs.len()))
-            .then(a.pairs.cmp(&b.pairs))
+            .then(b.len().cmp(&a.len()))
+            .then(a.cmp_pairs(b))
     });
 }
 
@@ -67,15 +67,19 @@ mod tests {
     use super::*;
 
     fn mapping(domains: usize, tables: usize, pairs: usize) -> SynthesizedMapping {
-        SynthesizedMapping {
-            pairs: (0..pairs)
-                .map(|i| (format!("l{i}"), format!("r{i}")))
-                .collect(),
-            member_tables: (0..tables as u32).collect(),
+        use crate::values::{NormId, ValueSpace};
+        let space =
+            ValueSpace::from_strings((0..pairs).flat_map(|i| [format!("l{i}"), format!("r{i}")]));
+        let pair_ids = (0..pairs as u32)
+            .map(|i| (NormId(2 * i), NormId(2 * i + 1)))
+            .collect();
+        SynthesizedMapping::from_parts(
+            space,
+            pair_ids,
+            (0..tables as u32).collect(),
             domains,
-            source_tables: tables,
-            tables_removed: 0,
-        }
+            tables,
+        )
     }
 
     #[test]

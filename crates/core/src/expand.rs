@@ -6,8 +6,14 @@
 //! expanded from comprehensive trusted sources (data.gov dumps,
 //! spreadsheet files): if a trusted table agrees with the core and
 //! conflicts with almost none of it, their union is adopted.
+//!
+//! Trusted sources carry arbitrary external strings, so expansion is
+//! an **application-boundary** operation: it works on materialized
+//! `(String, String)` pairs (see
+//! [`crate::SynthesizedMapping::materialize_pairs`]), not on interned
+//! ids — the value space of a synthesis run is closed and cannot
+//! absorb out-of-corpus values.
 
-use crate::synth::SynthesizedMapping;
 use mapsynth_text::normalize;
 use std::collections::{HashMap, HashSet};
 
@@ -45,15 +51,15 @@ pub enum ExpansionOutcome {
     Conflicting,
 }
 
-/// Attempt to expand `mapping` with a trusted source (raw string
-/// pairs; they are normalized here). On success the mapping's pairs
-/// grow in place.
+/// Attempt to expand a materialized mapping core with a trusted source
+/// (raw string pairs; they are normalized here). On success the core's
+/// pairs grow in place and stay sorted.
 pub fn expand_mapping(
-    mapping: &mut SynthesizedMapping,
+    core_pairs: &mut Vec<(String, String)>,
     trusted: &[(String, String)],
     cfg: &ExpansionConfig,
 ) -> ExpansionOutcome {
-    if mapping.is_empty() {
+    if core_pairs.is_empty() {
         return ExpansionOutcome::NotContained;
     }
     let trusted_norm: Vec<(String, String)> = trusted
@@ -75,7 +81,7 @@ pub fn expand_mapping(
 
     let mut contained = 0usize;
     let mut conflicting_lefts: HashSet<&str> = HashSet::new();
-    for (l, r) in &mapping.pairs {
+    for (l, r) in core_pairs.iter() {
         if trusted_pairs.contains(&(l.as_str(), r.as_str())) {
             contained += 1;
         } else if let Some(rs) = trusted_rights.get(l.as_str()) {
@@ -84,7 +90,7 @@ pub fn expand_mapping(
             }
         }
     }
-    let core = mapping.pairs.len() as f64;
+    let core = core_pairs.len() as f64;
     if (contained as f64) < cfg.min_core_containment * core {
         return ExpansionOutcome::NotContained;
     }
@@ -92,36 +98,23 @@ pub fn expand_mapping(
         return ExpansionOutcome::Conflicting;
     }
 
-    let before = mapping.pairs.len();
-    let existing: HashSet<(String, String)> = mapping.pairs.drain(..).collect();
+    let before = core_pairs.len();
+    let existing: HashSet<(String, String)> = core_pairs.drain(..).collect();
     let mut merged = existing;
     for p in trusted_norm {
         merged.insert(p);
     }
     let mut pairs: Vec<(String, String)> = merged.into_iter().collect();
     pairs.sort();
-    mapping.pairs = pairs;
+    *core_pairs = pairs;
     ExpansionOutcome::Expanded {
-        added: mapping.pairs.len() - before,
+        added: core_pairs.len() - before,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn mapping(pairs: &[(&str, &str)]) -> SynthesizedMapping {
-        SynthesizedMapping {
-            pairs: pairs
-                .iter()
-                .map(|(l, r)| (l.to_string(), r.to_string()))
-                .collect(),
-            member_tables: vec![0],
-            domains: 3,
-            source_tables: 3,
-            tables_removed: 0,
-        }
-    }
 
     fn pairs(raw: &[(&str, &str)]) -> Vec<(String, String)> {
         raw.iter()
@@ -131,7 +124,7 @@ mod tests {
 
     #[test]
     fn expands_agreeing_superset() {
-        let mut m = mapping(&[("lax airport", "lax"), ("sfo airport", "sfo")]);
+        let mut m = pairs(&[("lax airport", "lax"), ("sfo airport", "sfo")]);
         let trusted = pairs(&[
             ("LAX Airport", "LAX"),
             ("SFO Airport", "SFO"),
@@ -145,7 +138,7 @@ mod tests {
 
     #[test]
     fn rejects_unrelated_source() {
-        let mut m = mapping(&[("a", "1"), ("b", "2")]);
+        let mut m = pairs(&[("a", "1"), ("b", "2")]);
         let trusted = pairs(&[("x", "9"), ("y", "8")]);
         assert_eq!(
             expand_mapping(&mut m, &trusted, &ExpansionConfig::default()),
@@ -158,7 +151,7 @@ mod tests {
     fn rejects_conflicting_source() {
         // Source covers the core but flips many rights (a different
         // code standard).
-        let mut m = mapping(&[("a", "1"), ("b", "2"), ("c", "3"), ("d", "4")]);
+        let mut m = pairs(&[("a", "1"), ("b", "2"), ("c", "3"), ("d", "4")]);
         let trusted = pairs(&[("a", "1"), ("b", "2"), ("c", "9"), ("d", "8")]);
         assert_eq!(
             expand_mapping(&mut m, &trusted, &ExpansionConfig::default()),
@@ -168,7 +161,7 @@ mod tests {
 
     #[test]
     fn small_conflict_tolerated_with_loose_config() {
-        let mut m = mapping(&[("a", "1"), ("b", "2"), ("c", "3"), ("d", "4")]);
+        let mut m = pairs(&[("a", "1"), ("b", "2"), ("c", "3"), ("d", "4")]);
         let trusted = pairs(&[("a", "1"), ("b", "2"), ("c", "3"), ("d", "9"), ("e", "5")]);
         let cfg = ExpansionConfig {
             min_core_containment: 0.5,
@@ -178,6 +171,6 @@ mod tests {
             ExpansionOutcome::Expanded { .. } => {}
             other => panic!("expected expansion, got {other:?}"),
         }
-        assert!(m.pairs.iter().any(|(l, _)| l == "e"));
+        assert!(m.iter().any(|(l, _)| l == "e"));
     }
 }

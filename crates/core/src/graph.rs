@@ -52,7 +52,7 @@ pub fn build_graph(
     cfg: &SynthesisConfig,
     mr: &MapReduce,
 ) -> CompatGraph {
-    let (pairs, blocking) = candidate_pairs(space, tables, cfg);
+    let (pairs, blocking) = candidate_pairs(space, tables, cfg, mr);
     let scored = mr.par_map(&pairs, |&(a, b)| {
         let w = score_pair(space, &tables[a as usize], &tables[b as usize], cfg);
         (a, b, w)
@@ -94,9 +94,10 @@ mod tests {
     use super::*;
     use crate::values::build_value_space;
     use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_mapreduce::MapReduce;
     use mapsynth_text::SynonymDict;
 
-    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (ValueSpace, Vec<NormBinary>) {
+    fn setup(tables: Vec<Vec<(&str, &str)>>) -> (std::sync::Arc<ValueSpace>, Vec<NormBinary>) {
         let mut corpus = Corpus::new();
         let d = corpus.domain("x");
         let cands: Vec<BinaryTable> = tables
@@ -110,7 +111,7 @@ mod tests {
                 BinaryTable::new(BinaryId(i as u32), TableId(i as u32), d, 0, 1, syms)
             })
             .collect();
-        build_value_space(&corpus, &cands, &SynonymDict::new())
+        build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2))
     }
 
     #[test]

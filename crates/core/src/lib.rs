@@ -20,10 +20,26 @@
 //! 3. **Conflict resolution** ([`conflict`], Algorithm 4) — remove the
 //!    fewest tables so the unioned mapping has no internal conflicts.
 //!
-//! The end-to-end driver is [`pipeline::Pipeline`]:
+//! # The staged engine
+//!
+//! The synthesis engine is **staged**: a [`session::SynthesisSession`]
+//! holds each stage's output — extracted candidates, the interned
+//! [`values::ValueSpace`] with its [`values::NormBinary`] projections,
+//! scored candidate pairs, and per-variant [`graph::CompatGraph`] /
+//! [`partition::Partitioning`] — as a first-class, reusable artifact
+//! with its own wall-clock timing. Sweeping a threshold or comparing
+//! conflict [`pipeline::Resolver`]s re-runs only the cheap tail, not
+//! extraction or scoring. [`pipeline::Pipeline`] is the one-shot
+//! facade over a session.
+//!
+//! Synthesized mappings carry **interned** `(NormId, NormId)` pairs
+//! plus a shared handle to the value space
+//! ([`synth::SynthesizedMapping`]); strings are materialized only at
+//! application boundaries.
 //!
 //! ```
-//! use mapsynth::pipeline::{Pipeline, PipelineConfig};
+//! use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
+//! use mapsynth::SynthesisConfig;
 //! use mapsynth_corpus::Corpus;
 //!
 //! let mut corpus = Corpus::new();
@@ -34,11 +50,28 @@
 //!         (Some("code"), vec!["USA", "CAN", "JPN", "DEU", "FRA"]),
 //!     ]);
 //! }
+//!
+//! // Stages 1–3 (extraction, value space, blocking + scoring) run once.
+//! let mut session = SynthesisSession::new(PipelineConfig::default());
+//! session.prepare(&corpus);
+//! let base = session.config().synthesis;
+//!
+//! // Many variants reuse those artifacts: here, two resolvers and a
+//! // θ_edge sweep, all without re-extracting or re-scoring.
+//! let strict = session.synthesize(&base, Resolver::Algorithm4);
+//! let raw = session.synthesize(&base, Resolver::None);
+//! let loose = session.synthesize(&SynthesisConfig { theta_edge: 0.5, ..base }, Resolver::Algorithm4);
+//! assert!(loose.edges >= strict.edges);
+//! assert_eq!(strict.mappings.len(), raw.mappings.len());
+//!
+//! // Both orientations are synthesized (name→code and code→name);
+//! // pairs materialize to strings only at this boundary.
+//! assert!(strict.mappings.iter().any(|m| m.contains_pair("united states", "usa")));
+//!
+//! // The one-shot facade is equivalent to session.run(&corpus):
+//! use mapsynth::pipeline::Pipeline;
 //! let output = Pipeline::new(PipelineConfig::default()).run(&corpus);
-//! // Both orientations are synthesized (name→code and code→name).
-//! assert!(output.mappings.iter().any(|m| {
-//!     m.pairs.iter().any(|(l, r)| l == "united states" && r == "usa")
-//! }));
+//! assert_eq!(output.mappings.len(), strict.mappings.len());
 //! ```
 
 pub mod blocking;
@@ -51,6 +84,7 @@ pub mod expand;
 pub mod graph;
 pub mod partition;
 pub mod pipeline;
+pub mod session;
 pub mod synth;
 pub mod values;
 
@@ -62,5 +96,6 @@ pub use pipeline::{
     synthesize_from, synthesize_graph, Pipeline, PipelineConfig, PipelineOutput, Resolver,
     StageTimings,
 };
+pub use session::{ExtractionArtifact, ScoreArtifact, SessionRun, SynthesisSession, ValueArtifact};
 pub use synth::SynthesizedMapping;
 pub use values::{NormBinary, NormId, ValueSpace};

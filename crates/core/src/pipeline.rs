@@ -4,19 +4,28 @@
 //! → greedy partitioning → conflict resolution → synthesized mappings`
 //! with per-stage wall-clock timings (the measurements behind the
 //! paper's Figures 8 and 9).
+//!
+//! [`Pipeline`] is the one-shot facade; the staged, re-entrant engine
+//! underneath is [`crate::session::SynthesisSession`] (re-exported
+//! here), which callers running many configurations should use
+//! directly to share stage artifacts.
+
+pub use crate::session::{
+    ExtractionArtifact, ScoreArtifact, SessionRun, SynthesisSession, ValueArtifact,
+};
 
 use crate::config::SynthesisConfig;
-use crate::conflict::resolve_conflicts;
-use crate::curate;
 use crate::graph::build_graph;
 use crate::partition::partition_by_components;
+use crate::session::resolve_and_union;
 use crate::synth::SynthesizedMapping;
-use crate::values::build_value_space;
+use crate::values::ValueSpace;
 use mapsynth_corpus::Corpus;
-use mapsynth_extract::{extract_candidates, ExtractionConfig, ExtractionStats};
+use mapsynth_extract::{ExtractionConfig, ExtractionStats};
 use mapsynth_mapreduce::MapReduce;
 use mapsynth_text::SynonymDict;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Pipeline configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -79,7 +88,7 @@ pub enum Resolver {
 /// Run partitioning + conflict resolution + union + curation ranking
 /// on a pre-built compatibility graph.
 pub fn synthesize_graph(
-    space: &crate::values::ValueSpace,
+    space: &Arc<ValueSpace>,
     tables: &[crate::values::NormBinary],
     graph: &crate::graph::CompatGraph,
     cfg: &SynthesisConfig,
@@ -87,24 +96,7 @@ pub fn synthesize_graph(
     mr: &MapReduce,
 ) -> Vec<SynthesizedMapping> {
     let partitioning = partition_by_components(graph, cfg, mr);
-    let mut mappings: Vec<SynthesizedMapping> =
-        mr.par_map(&partitioning.groups, |group| match resolver {
-            Resolver::Algorithm4 if group.len() > 1 => {
-                let (kept, stats) = resolve_conflicts(space, tables, group);
-                let mut m = SynthesizedMapping::union_of(space, tables, &kept);
-                m.tables_removed = stats.tables_removed;
-                m
-            }
-            Resolver::MajorityVote => {
-                let pairs = crate::conflict::resolve_majority_vote(space, tables, group);
-                let mut m = SynthesizedMapping::union_of(space, tables, group);
-                m.pairs = pairs;
-                m
-            }
-            _ => SynthesizedMapping::union_of(space, tables, group),
-        });
-    curate::curation_rank(&mut mappings);
-    mappings
+    resolve_and_union(space, tables, partitioning, resolver, mr)
 }
 
 /// Run steps 2–3 (graph, partitioning, conflict resolution, union,
@@ -112,7 +104,7 @@ pub fn synthesize_graph(
 /// calls this; evaluation harnesses that share one extraction across
 /// many methods call it directly.
 pub fn synthesize_from(
-    space: &crate::values::ValueSpace,
+    space: &Arc<ValueSpace>,
     tables: &[crate::values::NormBinary],
     cfg: &SynthesisConfig,
     mr: &MapReduce,
@@ -154,68 +146,14 @@ impl Pipeline {
     }
 
     /// Run all three steps on a corpus.
+    ///
+    /// Equivalent to creating a [`SynthesisSession`] and calling
+    /// [`SynthesisSession::run`]; use a session directly to reuse the
+    /// stage artifacts across configurations.
     pub fn run(&self, corpus: &Corpus) -> PipelineOutput {
-        let mr = if self.cfg.workers == 0 {
-            MapReduce::default()
-        } else {
-            MapReduce::new(self.cfg.workers)
-        };
-        let t_total = Instant::now();
-
-        // Step 1: candidate extraction.
-        let t = Instant::now();
-        let (candidates, extraction) = extract_candidates(corpus, &self.cfg.extraction, &mr);
-        let extraction_time = t.elapsed();
-
-        // Normalized value space.
-        let t = Instant::now();
-        let (space, tables) = build_value_space(corpus, &candidates, &self.synonyms);
-        let value_space_time = t.elapsed();
-
-        // Step 2: compatibility graph + partitioning.
-        let t = Instant::now();
-        let graph = build_graph(&space, &tables, &self.cfg.synthesis, &mr);
-        let graph_time = t.elapsed();
-        let negative_edges = graph.negative_edges();
-        let edges = graph.edges.len();
-
-        let t = Instant::now();
-        let partitioning = partition_by_components(&graph, &self.cfg.synthesis, &mr);
-        let partition_time = t.elapsed();
-        let partitions = partitioning.groups.len();
-
-        // Step 3: conflict resolution + union.
-        let t = Instant::now();
-        let groups: Vec<Vec<u32>> = partitioning.groups;
-        let mut mappings: Vec<SynthesizedMapping> = mr.par_map(&groups, |group| {
-            let (kept, stats) = if self.cfg.synthesis.resolve_conflicts && group.len() > 1 {
-                resolve_conflicts(&space, &tables, group)
-            } else {
-                (group.clone(), Default::default())
-            };
-            let mut m = SynthesizedMapping::union_of(&space, &tables, &kept);
-            m.tables_removed = stats.tables_removed;
-            m
-        });
-        curate::curation_rank(&mut mappings);
-        let conflict_time = t.elapsed();
-
-        PipelineOutput {
-            mappings,
-            extraction,
-            candidates: tables.len(),
-            edges,
-            negative_edges,
-            partitions,
-            timings: StageTimings {
-                extraction: extraction_time,
-                value_space: value_space_time,
-                graph: graph_time,
-                partition: partition_time,
-                conflict: conflict_time,
-                total: t_total.elapsed(),
-            },
-        }
+        SynthesisSession::new(self.cfg)
+            .with_synonyms(self.synonyms.clone())
+            .run(corpus)
     }
 }
 
@@ -265,23 +203,22 @@ mod tests {
         let deu: Vec<&SynthesizedMapping> = out
             .mappings
             .iter()
-            .filter(|m| m.pairs.iter().any(|(l, _)| l == "germany"))
+            .filter(|m| m.pair_strs().any(|(l, _)| l == "germany"))
             .collect();
         assert!(deu.len() >= 2, "ISO and IOC must stay separate");
         let codes: std::collections::HashSet<&str> = deu
             .iter()
-            .flat_map(|m| m.pairs.iter())
-            .filter(|(l, _)| l == "germany")
-            .map(|(_, r)| r.as_str())
+            .flat_map(|m| m.pair_strs())
+            .filter(|(l, _)| *l == "germany")
+            .map(|(_, r)| r)
             .collect();
         assert!(codes.contains("deu") && codes.contains("ger"));
         // But no single mapping may contain both.
         for m in &deu {
             let rights: Vec<&str> = m
-                .pairs
-                .iter()
-                .filter(|(l, _)| l == "germany")
-                .map(|(_, r)| r.as_str())
+                .pair_strs()
+                .filter(|(l, _)| *l == "germany")
+                .map(|(_, r)| r)
                 .collect();
             assert_eq!(
                 rights.len(),
@@ -308,7 +245,7 @@ mod tests {
         let germany_mappings: Vec<&SynthesizedMapping> = out
             .mappings
             .iter()
-            .filter(|m| m.pairs.iter().any(|(l, _)| l == "germany"))
+            .filter(|m| m.pair_strs().any(|(l, _)| l == "germany"))
             .collect();
         assert_eq!(
             germany_mappings.len(),
@@ -393,6 +330,6 @@ mod edge_tests {
         assert!(out
             .mappings
             .iter()
-            .all(|m| m.pairs.iter().all(|(l, r)| l == r)));
+            .all(|m| m.pair_strs().all(|(l, r)| l == r)));
     }
 }

@@ -1,0 +1,508 @@
+//! The staged synthesis engine — one [`SynthesisSession`] per corpus.
+//!
+//! [`crate::pipeline::Pipeline::run`] is a convenience facade over
+//! this module. The session splits the monolithic run into explicit,
+//! reusable **stage artifacts**:
+//!
+//! | Stage | Artifact | Reusable across |
+//! |---|---|---|
+//! | 1. Extraction | [`ExtractionArtifact`] (candidates + stats) | everything |
+//! | 2. Value space | [`ValueArtifact`] (`Arc<ValueSpace>` + `Vec<NormBinary>`) | everything |
+//! | 3. Blocking + scoring | [`ScoreArtifact`] (scored candidate pairs) | `θ_edge` / `τ` / resolver variants |
+//! | 4. Graph + partition + resolve | [`SessionRun`] | — (cheap, per variant) |
+//!
+//! Evaluation harnesses and baselines run **many** configurations —
+//! sweeping `θ_edge`, comparing `Algorithm4` vs `MajorityVote` vs no
+//! resolution — and stages 1–3 dominate the wall-clock. A session runs
+//! them once ([`SynthesisSession::prepare`]) and then derives each
+//! variant with [`SynthesisSession::synthesize`], which reuses the
+//! scored pairs and re-runs only the cheap filter → partition →
+//! resolve tail. Per-stage wall-clock timings (the paper's Figure 8/9
+//! measurements) are kept on every artifact and on every run.
+//!
+//! **Scope of reuse:** scored pairs are blocked with the session's
+//! base config, so variants may differ in `theta_edge`, `tau`,
+//! `use_negative` (graph-filter parameters) and in the resolver.
+//! Variants that change blocking or matching parameters
+//! (`theta_overlap`, `max_key_fanout`, `approx_matching`,
+//! `match_params`) need their own session.
+
+use crate::config::SynthesisConfig;
+use crate::conflict::{resolve_conflicts, resolve_majority_vote};
+use crate::curate;
+use crate::graph::{graph_from_scores, CompatGraph};
+use crate::partition::{partition_by_components, Partitioning};
+use crate::pipeline::{PipelineConfig, PipelineOutput, Resolver, StageTimings};
+use crate::synth::SynthesizedMapping;
+use crate::values::{build_value_space, NormBinary, ValueSpace};
+use mapsynth_corpus::Corpus;
+use mapsynth_extract::{extract_candidates, ExtractionStats};
+use mapsynth_mapreduce::MapReduce;
+use mapsynth_text::SynonymDict;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Stage-1 artifact: extracted candidate tables.
+pub struct ExtractionArtifact {
+    /// Ordered binary column pairs surviving extraction.
+    pub candidates: Vec<mapsynth_corpus::BinaryTable>,
+    /// Extraction counters.
+    pub stats: ExtractionStats,
+    /// Stage wall-clock.
+    pub elapsed: Duration,
+}
+
+/// Stage-2 artifact: the normalized value space.
+pub struct ValueArtifact {
+    /// Shared value space handle.
+    pub space: Arc<ValueSpace>,
+    /// Candidates projected into the space.
+    pub tables: Vec<NormBinary>,
+    /// Stage wall-clock.
+    pub elapsed: Duration,
+}
+
+/// Stage-3 artifact: blocked and scored candidate pairs.
+pub struct ScoreArtifact {
+    /// `(a, b, weights)` for every blocked pair, sorted by `(a, b)`.
+    pub scored: Vec<(u32, u32, crate::compat::PairWeights)>,
+    /// Blocking statistics.
+    pub blocking: crate::blocking::BlockingStats,
+    /// Stage wall-clock (blocking + pairwise scoring).
+    pub elapsed: Duration,
+}
+
+/// One synthesis variant derived from a prepared session.
+pub struct SessionRun {
+    /// Synthesized mappings, curation-ranked.
+    pub mappings: Vec<SynthesizedMapping>,
+    /// Edges kept in this variant's graph.
+    pub edges: usize,
+    /// Hard negative edges kept.
+    pub negative_edges: usize,
+    /// Partitions (including singletons).
+    pub partitions: usize,
+    /// Per-stage timings. Shared prepare-stage costs (extraction,
+    /// value space, scoring) are reported as incurred **once**; graph
+    /// covers shared scoring plus this variant's filter.
+    pub timings: StageTimings,
+}
+
+/// A staged, re-entrant synthesis engine over one corpus.
+///
+/// ```
+/// use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
+/// use mapsynth_corpus::Corpus;
+///
+/// let mut corpus = Corpus::new();
+/// let d = corpus.domain("example.com");
+/// for _ in 0..4 {
+///     corpus.push_table(d, vec![
+///         (Some("name"), vec!["United States", "Canada", "Japan", "Germany", "France"]),
+///         (Some("code"), vec!["USA", "CAN", "JPN", "DEU", "FRA"]),
+///     ]);
+/// }
+/// let mut session = SynthesisSession::new(PipelineConfig::default());
+/// session.prepare(&corpus);
+/// // Two resolver variants off one extraction + value space + scoring:
+/// let a = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
+/// let b = session.synthesize(&session.config().synthesis.clone(), Resolver::None);
+/// assert_eq!(a.mappings.len(), b.mappings.len());
+/// ```
+pub struct SynthesisSession {
+    cfg: PipelineConfig,
+    synonyms: SynonymDict,
+    mr: MapReduce,
+    /// Identity of the corpus the cached artifacts came from:
+    /// `(tables, total columns)`. Guards against silently serving one
+    /// corpus's artifacts for another.
+    corpus_fingerprint: Option<(usize, u64)>,
+    extraction: Option<ExtractionArtifact>,
+    values: Option<ValueArtifact>,
+    scores: Option<ScoreArtifact>,
+}
+
+impl SynthesisSession {
+    /// Create a session; `cfg.synthesis` is the **base config** used
+    /// for blocking and pairwise matching.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        let mr = if cfg.workers == 0 {
+            MapReduce::default()
+        } else {
+            MapReduce::new(cfg.workers)
+        };
+        Self {
+            cfg,
+            synonyms: SynonymDict::new(),
+            mr,
+            corpus_fingerprint: None,
+            extraction: None,
+            values: None,
+            scores: None,
+        }
+    }
+
+    /// Attach an external synonym feed (paper §4.1 "Synonyms"). Must
+    /// be called before [`prepare`](Self::prepare).
+    pub fn with_synonyms(mut self, synonyms: SynonymDict) -> Self {
+        assert!(
+            self.values.is_none(),
+            "synonym feed must be attached before prepare()"
+        );
+        self.synonyms = synonyms;
+        self
+    }
+
+    /// Configuration access.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Worker threads in use.
+    pub fn workers(&self) -> usize {
+        self.mr.workers()
+    }
+
+    /// The session's Map-Reduce engine.
+    pub fn engine(&self) -> &MapReduce {
+        &self.mr
+    }
+
+    /// Run stages 1–3 (extraction, value space, blocking + scoring) on
+    /// `corpus`, caching each artifact. Idempotent: repeated calls
+    /// return the cached artifacts without touching the corpus again.
+    pub fn prepare(
+        &mut self,
+        corpus: &Corpus,
+    ) -> (&ExtractionArtifact, &ValueArtifact, &ScoreArtifact) {
+        let fingerprint = (corpus.len(), corpus.total_columns() as u64);
+        match self.corpus_fingerprint {
+            None => self.corpus_fingerprint = Some(fingerprint),
+            Some(prior) => assert_eq!(
+                prior, fingerprint,
+                "SynthesisSession artifacts were prepared from a different corpus; \
+                 use one session per corpus"
+            ),
+        }
+        if self.extraction.is_none() {
+            let t = Instant::now();
+            let (candidates, stats) = extract_candidates(corpus, &self.cfg.extraction, &self.mr);
+            self.extraction = Some(ExtractionArtifact {
+                candidates,
+                stats,
+                elapsed: t.elapsed(),
+            });
+        }
+        if self.values.is_none() {
+            let t = Instant::now();
+            let candidates = &self.extraction.as_ref().unwrap().candidates;
+            let (space, tables) = build_value_space(corpus, candidates, &self.synonyms, &self.mr);
+            self.values = Some(ValueArtifact {
+                space,
+                tables,
+                elapsed: t.elapsed(),
+            });
+        }
+        if self.scores.is_none() {
+            let t = Instant::now();
+            let values = self.values.as_ref().unwrap();
+            let (pairs, blocking) = crate::blocking::candidate_pairs(
+                &values.space,
+                &values.tables,
+                &self.cfg.synthesis,
+                &self.mr,
+            );
+            let space = &values.space;
+            let tables = &values.tables;
+            let cfg = &self.cfg.synthesis;
+            let scored = self.mr.par_map(&pairs, |&(a, b)| {
+                let w =
+                    crate::compat::score_pair(space, &tables[a as usize], &tables[b as usize], cfg);
+                (a, b, w)
+            });
+            self.scores = Some(ScoreArtifact {
+                scored,
+                blocking,
+                elapsed: t.elapsed(),
+            });
+        }
+        (
+            self.extraction.as_ref().unwrap(),
+            self.values.as_ref().unwrap(),
+            self.scores.as_ref().unwrap(),
+        )
+    }
+
+    /// The stage-1 artifact, if [`prepare`](Self::prepare) has run.
+    pub fn extraction(&self) -> Option<&ExtractionArtifact> {
+        self.extraction.as_ref()
+    }
+
+    /// The stage-2 artifact, if [`prepare`](Self::prepare) has run.
+    pub fn values(&self) -> Option<&ValueArtifact> {
+        self.values.as_ref()
+    }
+
+    /// The stage-3 artifact, if [`prepare`](Self::prepare) has run.
+    pub fn scores(&self) -> Option<&ScoreArtifact> {
+        self.scores.as_ref()
+    }
+
+    /// Derive a compatibility graph for a config variant from the
+    /// cached scores (cheap: a filter pass, no re-scoring).
+    ///
+    /// Panics if [`prepare`](Self::prepare) has not run.
+    pub fn graph(&self, cfg: &SynthesisConfig) -> CompatGraph {
+        let values = self.values.as_ref().expect("prepare() before graph()");
+        let scores = self.scores.as_ref().expect("prepare() before graph()");
+        let mut g = graph_from_scores(values.tables.len(), &scores.scored, cfg);
+        g.blocking = scores.blocking;
+        g
+    }
+
+    /// Partition a variant graph (Algorithm 3 over positive
+    /// components).
+    pub fn partition(&self, graph: &CompatGraph, cfg: &SynthesisConfig) -> Partitioning {
+        partition_by_components(graph, cfg, &self.mr)
+    }
+
+    /// Run the full variant tail — graph filter, partitioning,
+    /// conflict resolution, union, curation ranking — off the cached
+    /// stage artifacts.
+    ///
+    /// Panics if [`prepare`](Self::prepare) has not run.
+    pub fn synthesize(&self, cfg: &SynthesisConfig, resolver: Resolver) -> SessionRun {
+        let values = self.values.as_ref().expect("prepare() before synthesize()");
+        let scores = self.scores.as_ref().expect("prepare() before synthesize()");
+
+        let t = Instant::now();
+        let graph = self.graph(cfg);
+        let graph_time = scores.elapsed + t.elapsed();
+        let edges = graph.edges.len();
+        let negative_edges = graph.negative_edges();
+
+        let t = Instant::now();
+        let partitioning = self.partition(&graph, cfg);
+        let partition_time = t.elapsed();
+        let partitions = partitioning.groups.len();
+
+        let t = Instant::now();
+        let mappings = resolve_and_union(
+            &values.space,
+            &values.tables,
+            partitioning,
+            resolver,
+            &self.mr,
+        );
+        let conflict_time = t.elapsed();
+
+        let extraction_time = self
+            .extraction
+            .as_ref()
+            .map_or(Duration::ZERO, |e| e.elapsed);
+        let value_space_time = values.elapsed;
+        SessionRun {
+            mappings,
+            edges,
+            negative_edges,
+            partitions,
+            timings: StageTimings {
+                extraction: extraction_time,
+                value_space: value_space_time,
+                graph: graph_time,
+                partition: partition_time,
+                conflict: conflict_time,
+                total: extraction_time
+                    + value_space_time
+                    + graph_time
+                    + partition_time
+                    + conflict_time,
+            },
+        }
+    }
+
+    /// Full pipeline semantics: prepare (or reuse) stages 1–3, then
+    /// synthesize with the base config and its implied resolver.
+    pub fn run(&mut self, corpus: &Corpus) -> PipelineOutput {
+        let t_total = Instant::now();
+        let fresh = self.extraction.is_none();
+        self.prepare(corpus);
+        let resolver = if self.cfg.synthesis.resolve_conflicts {
+            Resolver::Algorithm4
+        } else {
+            Resolver::None
+        };
+        let run = self.synthesize(&self.cfg.synthesis, resolver);
+        let extraction = self.extraction.as_ref().unwrap();
+        let values = self.values.as_ref().unwrap();
+        let mut timings = run.timings;
+        // On a fresh run the end-to-end wall-clock is observable;
+        // reuse runs report the sum of stage costs actually incurred.
+        if fresh {
+            timings.total = t_total.elapsed();
+        }
+        PipelineOutput {
+            mappings: run.mappings,
+            extraction: extraction.stats,
+            candidates: values.tables.len(),
+            edges: run.edges,
+            negative_edges: run.negative_edges,
+            partitions: run.partitions,
+            timings,
+        }
+    }
+}
+
+/// Shared variant tail: conflict-resolve each partition group, union,
+/// curation-rank. Used by the session and by
+/// [`crate::pipeline::synthesize_graph`].
+pub(crate) fn resolve_and_union(
+    space: &Arc<ValueSpace>,
+    tables: &[NormBinary],
+    partitioning: Partitioning,
+    resolver: Resolver,
+    mr: &MapReduce,
+) -> Vec<SynthesizedMapping> {
+    let mut mappings: Vec<SynthesizedMapping> =
+        mr.par_map(&partitioning.groups, |group| match resolver {
+            Resolver::Algorithm4 if group.len() > 1 => {
+                let (kept, stats) = resolve_conflicts(space, tables, group);
+                let mut m = SynthesizedMapping::union_of(space, tables, &kept);
+                m.tables_removed = stats.tables_removed;
+                m
+            }
+            Resolver::MajorityVote => {
+                let pairs = resolve_majority_vote(space, tables, group);
+                let mut m = SynthesizedMapping::union_of(space, tables, group);
+                m.set_pairs(pairs);
+                m
+            }
+            _ => SynthesizedMapping::union_of(space, tables, group),
+        });
+    curate::curation_rank(&mut mappings);
+    mappings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut corpus = Corpus::new();
+        let iso: Vec<(&str, &str)> = vec![
+            ("Afghanistan", "AFG"),
+            ("Albania", "ALB"),
+            ("Algeria", "DZA"),
+            ("Germany", "DEU"),
+            ("Netherlands", "NLD"),
+            ("Greece", "GRC"),
+        ];
+        let ioc: Vec<(&str, &str)> = vec![
+            ("Afghanistan", "AFG"),
+            ("Albania", "ALB"),
+            ("Algeria", "ALG"),
+            ("Germany", "GER"),
+            ("Netherlands", "NED"),
+            ("Greece", "GRE"),
+        ];
+        for (prefix, rows) in [("iso", &iso), ("ioc", &ioc)] {
+            for i in 0..6 {
+                let d = corpus.domain(&format!("{prefix}-{i}.org"));
+                let (l, r): (Vec<&str>, Vec<&str>) = rows.iter().cloned().unzip();
+                corpus.push_table(d, vec![(Some("country"), l), (Some("code"), r)]);
+            }
+        }
+        corpus
+    }
+
+    #[test]
+    #[should_panic(expected = "different corpus")]
+    fn rejects_a_second_corpus() {
+        let mut s = SynthesisSession::new(PipelineConfig::default());
+        s.prepare(&corpus());
+        let mut other = Corpus::new();
+        let d = other.domain("x");
+        other.push_table(
+            d,
+            vec![(Some("a"), vec!["1", "2"]), (Some("b"), vec!["3", "4"])],
+        );
+        s.prepare(&other);
+    }
+
+    #[test]
+    fn prepare_is_idempotent() {
+        let corpus = corpus();
+        let mut s = SynthesisSession::new(PipelineConfig::default());
+        s.prepare(&corpus);
+        let n1 = s.values().unwrap().tables.len();
+        let p1: *const _ = s.values().unwrap().tables.as_ptr();
+        s.prepare(&corpus);
+        assert_eq!(s.values().unwrap().tables.len(), n1);
+        assert_eq!(s.values().unwrap().tables.as_ptr(), p1, "no recompute");
+    }
+
+    #[test]
+    fn variants_share_artifacts_and_match_fresh_runs() {
+        let corpus = corpus();
+        let mut shared = SynthesisSession::new(PipelineConfig::default());
+        shared.prepare(&corpus);
+
+        for resolver in [Resolver::Algorithm4, Resolver::MajorityVote, Resolver::None] {
+            let from_shared = shared.synthesize(&shared.cfg.synthesis.clone(), resolver);
+            // Fresh session for the same variant.
+            let mut fresh = SynthesisSession::new(PipelineConfig::default());
+            fresh.prepare(&corpus);
+            let from_fresh = fresh.synthesize(&fresh.cfg.synthesis.clone(), resolver);
+            assert_eq!(from_shared.mappings.len(), from_fresh.mappings.len());
+            for (a, b) in from_shared.mappings.iter().zip(&from_fresh.mappings) {
+                assert_eq!(
+                    a.materialize_pairs(),
+                    b.materialize_pairs(),
+                    "{resolver:?} differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theta_edge_sweep_reuses_scoring() {
+        let corpus = corpus();
+        let mut s = SynthesisSession::new(PipelineConfig::default());
+        s.prepare(&corpus);
+        let scored_ptr = s.scores().unwrap().scored.as_ptr();
+        for theta_edge in [0.3, 0.6, 0.85] {
+            let cfg = SynthesisConfig {
+                theta_edge,
+                ..s.cfg.synthesis
+            };
+            let run = s.synthesize(&cfg, Resolver::Algorithm4);
+            assert!(run.timings.partition >= Duration::ZERO);
+            assert_eq!(s.scores().unwrap().scored.as_ptr(), scored_ptr);
+        }
+        // Lower θ_edge keeps at least as many edges.
+        let loose = s.graph(&SynthesisConfig {
+            theta_edge: 0.3,
+            ..s.cfg.synthesis
+        });
+        let tight = s.graph(&SynthesisConfig {
+            theta_edge: 0.85,
+            ..s.cfg.synthesis
+        });
+        assert!(loose.edges.len() >= tight.edges.len());
+    }
+
+    #[test]
+    fn session_run_matches_monolithic_pipeline() {
+        let corpus = corpus();
+        let mut s = SynthesisSession::new(PipelineConfig::default());
+        let out = s.run(&corpus);
+        let out2 = crate::pipeline::Pipeline::new(PipelineConfig::default()).run(&corpus);
+        assert_eq!(out.mappings.len(), out2.mappings.len());
+        for (a, b) in out.mappings.iter().zip(&out2.mappings) {
+            assert_eq!(a.materialize_pairs(), b.materialize_pairs());
+        }
+        assert_eq!(out.edges, out2.edges);
+        assert_eq!(out.negative_edges, out2.negative_edges);
+        assert_eq!(out.partitions, out2.partitions);
+    }
+}

@@ -1,15 +1,27 @@
 //! Synthesized mapping relationships: the union of a partition.
 
-use crate::values::{NormBinary, ValueSpace};
+use crate::values::{NormBinary, NormId, ValueSpace};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A synthesized mapping relationship: the deduplicated union of all
 /// value pairs of the tables in one partition, with provenance
 /// statistics for curation (paper §4.3).
+///
+/// Pairs are stored **interned** — `(NormId, NormId)` into the run's
+/// shared [`ValueSpace`], which the mapping holds a handle to. Strings
+/// are materialized only at application boundaries (display, CSV
+/// export, index keys) via [`pair_strs`](Self::pair_strs) or
+/// [`materialize_pairs`](Self::materialize_pairs); everything upstream
+/// moves 8-byte id pairs instead of cloning `Vec<(String, String)>`
+/// per mapping.
 #[derive(Clone, Debug)]
 pub struct SynthesizedMapping {
-    /// Normalized `(left, right)` pairs, sorted and deduplicated.
-    pub pairs: Vec<(String, String)>,
+    /// Handle to the value space the ids resolve in.
+    space: Arc<ValueSpace>,
+    /// Interned `(left, right)` pairs, sorted by their normalized
+    /// strings and deduplicated.
+    pub pair_ids: Vec<(NormId, NormId)>,
     /// Indices (into the run's `NormBinary` slice) of member tables.
     pub member_tables: Vec<u32>,
     /// Number of distinct provenance domains contributing tables —
@@ -24,25 +36,20 @@ pub struct SynthesizedMapping {
 impl SynthesizedMapping {
     /// Union the pairs of `group` (indices into `tables`) into a
     /// mapping. No conflict resolution — see [`crate::conflict`].
-    pub fn union_of(space: &ValueSpace, tables: &[NormBinary], group: &[u32]) -> Self {
-        let mut pair_set: HashSet<(&str, &str)> = HashSet::new();
+    pub fn union_of(space: &Arc<ValueSpace>, tables: &[NormBinary], group: &[u32]) -> Self {
+        let mut pair_set: HashSet<(NormId, NormId)> = HashSet::new();
         let mut domains = HashSet::new();
         let mut sources = HashSet::new();
         for &ti in group {
             let t = &tables[ti as usize];
             domains.insert(t.domain);
             sources.insert(t.source);
-            for &(l, r) in &t.pairs {
-                pair_set.insert((space.string(l), space.string(r)));
-            }
+            pair_set.extend(t.pairs.iter().copied());
         }
-        let mut pairs: Vec<(String, String)> = pair_set
-            .into_iter()
-            .map(|(l, r)| (l.to_string(), r.to_string()))
-            .collect();
-        pairs.sort();
+        let pair_ids = sort_by_strings(space, pair_set.into_iter().collect());
         Self {
-            pairs,
+            space: Arc::clone(space),
+            pair_ids,
             member_tables: group.to_vec(),
             domains: domains.len(),
             source_tables: sources.len(),
@@ -50,19 +57,75 @@ impl SynthesizedMapping {
         }
     }
 
+    /// Assemble a mapping from parts (tests, external loaders). Pairs
+    /// are re-sorted by their strings.
+    pub fn from_parts(
+        space: Arc<ValueSpace>,
+        pair_ids: Vec<(NormId, NormId)>,
+        member_tables: Vec<u32>,
+        domains: usize,
+        source_tables: usize,
+    ) -> Self {
+        let pair_ids = sort_by_strings(&space, pair_ids);
+        Self {
+            space,
+            pair_ids,
+            member_tables,
+            domains,
+            source_tables,
+            tables_removed: 0,
+        }
+    }
+
+    /// Replace the pair set (conflict-resolution variants). Pairs are
+    /// re-sorted by their strings.
+    pub fn set_pairs(&mut self, pair_ids: Vec<(NormId, NormId)>) {
+        self.pair_ids = sort_by_strings(&self.space, pair_ids);
+    }
+
+    /// The value space the pair ids resolve in.
+    pub fn space(&self) -> &ValueSpace {
+        &self.space
+    }
+
+    /// Handle to the value space (shared, cheap to clone).
+    pub fn space_handle(&self) -> &Arc<ValueSpace> {
+        &self.space
+    }
+
     /// Number of value pairs.
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.pair_ids.len()
     }
 
     /// Whether the mapping is empty.
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.pair_ids.is_empty()
+    }
+
+    /// The normalized string pairs, in sorted order, without
+    /// allocating. This is the read path for application boundaries.
+    pub fn pair_strs(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.pair_ids
+            .iter()
+            .map(|&(l, r)| (self.space.string(l), self.space.string(r)))
+    }
+
+    /// Materialize owned string pairs (export boundary only).
+    pub fn materialize_pairs(&self) -> Vec<(String, String)> {
+        self.pair_strs()
+            .map(|(l, r)| (l.to_string(), r.to_string()))
+            .collect()
+    }
+
+    /// Whether the mapping asserts the given normalized pair.
+    pub fn contains_pair(&self, left: &str, right: &str) -> bool {
+        self.pair_strs().any(|(l, r)| l == left && r == right)
     }
 
     /// Distinct left values.
     pub fn distinct_lefts(&self) -> usize {
-        let lefts: HashSet<&str> = self.pairs.iter().map(|(l, _)| l.as_str()).collect();
+        let lefts: HashSet<&str> = self.pair_strs().map(|(l, _)| l).collect();
         lefts.len()
     }
 
@@ -72,9 +135,10 @@ impl SynthesizedMapping {
     pub fn conflicting_lefts(&self) -> usize {
         let mut count = 0;
         let mut i = 0;
-        while i < self.pairs.len() {
+        while i < self.pair_ids.len() {
+            let left = self.space.string(self.pair_ids[i].0);
             let mut j = i + 1;
-            while j < self.pairs.len() && self.pairs[j].0 == self.pairs[i].0 {
+            while j < self.pair_ids.len() && self.space.string(self.pair_ids[j].0) == left {
                 j += 1;
             }
             if j - i > 1 {
@@ -84,6 +148,24 @@ impl SynthesizedMapping {
         }
         count
     }
+
+    /// Lexicographic comparison of the materialized pair lists
+    /// (deterministic curation tie-break).
+    pub fn cmp_pairs(&self, other: &Self) -> std::cmp::Ordering {
+        self.pair_strs().cmp(other.pair_strs())
+    }
+}
+
+/// Sort interned pairs by their normalized strings and dedup.
+fn sort_by_strings(
+    space: &ValueSpace,
+    mut pair_ids: Vec<(NormId, NormId)>,
+) -> Vec<(NormId, NormId)> {
+    pair_ids.sort_by(|&(al, ar), &(bl, br)| {
+        (space.string(al), space.string(ar)).cmp(&(space.string(bl), space.string(br)))
+    });
+    pair_ids.dedup();
+    pair_ids
 }
 
 #[cfg(test)]
@@ -91,9 +173,10 @@ mod tests {
     use super::*;
     use crate::values::build_value_space;
     use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_mapreduce::MapReduce;
     use mapsynth_text::SynonymDict;
 
-    fn setup(tables: Vec<(usize, Vec<(&str, &str)>)>) -> (ValueSpace, Vec<NormBinary>) {
+    fn setup(tables: Vec<(usize, Vec<(&str, &str)>)>) -> (Arc<ValueSpace>, Vec<NormBinary>) {
         let mut corpus = Corpus::new();
         let domains: Vec<_> = (0..4).map(|i| corpus.domain(&format!("d{i}"))).collect();
         let cands: Vec<BinaryTable> = tables
@@ -114,7 +197,7 @@ mod tests {
                 )
             })
             .collect();
-        build_value_space(&corpus, &cands, &SynonymDict::new())
+        build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2))
     }
 
     #[test]
@@ -144,11 +227,22 @@ mod tests {
     }
 
     #[test]
-    fn pairs_sorted() {
+    fn pairs_sorted_by_strings() {
         let (space, t) = setup(vec![(0, vec![("z", "9"), ("a", "1"), ("m", "5")])]);
         let m = SynthesizedMapping::union_of(&space, &t, &[0]);
-        let mut sorted = m.pairs.clone();
+        let pairs = m.materialize_pairs();
+        let mut sorted = pairs.clone();
         sorted.sort();
-        assert_eq!(m.pairs, sorted);
+        assert_eq!(pairs, sorted);
+    }
+
+    #[test]
+    fn materialization_is_boundary_only() {
+        let (space, t) = setup(vec![(0, vec![("a", "1"), ("b", "2")])]);
+        let m = SynthesizedMapping::union_of(&space, &t, &[0]);
+        // Borrowed reads resolve through the shared handle.
+        assert!(m.contains_pair("a", "1"));
+        assert_eq!(m.pair_strs().count(), 2);
+        assert!(std::sync::Arc::ptr_eq(m.space_handle(), &space));
     }
 }

@@ -12,14 +12,17 @@
 //!   class pairs plus the original strings for approximate matching.
 
 use mapsynth_corpus::{BinaryTable, Corpus, Sym};
+use mapsynth_mapreduce::MapReduce;
 use mapsynth_text::{normalize, SynonymDict};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Dense id of a distinct normalized string.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct NormId(pub u32);
 
 /// The normalized value universe of one synthesis run.
+#[derive(Debug)]
 pub struct ValueSpace {
     /// NormId → normalized string.
     strings: Vec<String>,
@@ -59,6 +62,24 @@ impl ValueSpace {
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()
     }
+
+    /// Build a space directly from already-normalized strings, each in
+    /// its own class. Mainly for tests and for materializing externally
+    /// produced mappings; the synthesis path uses
+    /// [`build_value_space`].
+    pub fn from_strings<I: IntoIterator<Item = String>>(strings: I) -> Arc<Self> {
+        let strings: Vec<String> = strings.into_iter().collect();
+        let compact = strings
+            .iter()
+            .map(|s| s.chars().filter(|c| !c.is_whitespace()).collect())
+            .collect();
+        let class = (0..strings.len() as u32).collect();
+        Arc::new(Self {
+            strings,
+            compact,
+            class,
+        })
+    }
 }
 
 /// A candidate table projected into the normalized value space.
@@ -93,20 +114,46 @@ impl NormBinary {
 /// dropped; candidates left with fewer than two pairs are dropped
 /// entirely (their `NormBinary` is omitted — callers use `idx` to map
 /// back to the original candidate list).
+///
+/// The hot work — normalizing every distinct cell symbol and
+/// projecting each candidate into the space — runs through the
+/// Map-Reduce engine; id assignment stays sequential in
+/// first-occurrence order, so the result is byte-identical regardless
+/// of worker count.
+///
+/// The space is returned behind an [`Arc`] so downstream artifacts
+/// ([`crate::SynthesizedMapping`] in particular) can hold a handle to
+/// it instead of cloning strings out of it.
 pub fn build_value_space(
     corpus: &Corpus,
     candidates: &[BinaryTable],
     synonyms: &SynonymDict,
-) -> (ValueSpace, Vec<NormBinary>) {
-    let mut norm_of_sym: HashMap<Sym, Option<NormId>> = HashMap::new();
+    mr: &MapReduce,
+) -> (Arc<ValueSpace>, Vec<NormBinary>) {
+    // Distinct cell symbols in first-occurrence order (the order the
+    // sequential implementation assigned NormIds in).
+    let mut seen: HashSet<Sym> = HashSet::new();
+    let mut distinct: Vec<Sym> = Vec::new();
+    for cand in candidates {
+        for &(l, r) in &cand.pairs {
+            if seen.insert(l) {
+                distinct.push(l);
+            }
+            if seen.insert(r) {
+                distinct.push(r);
+            }
+        }
+    }
+
+    // Parallel normalization of the distinct symbols (the dominant
+    // cost: unicode folding and footnote stripping per string).
+    let normalized: Vec<String> = mr.par_map(&distinct, |&sym| normalize(corpus.str_of(sym)));
+
+    // Sequential interning in first-occurrence order.
+    let mut norm_of_sym: HashMap<Sym, Option<NormId>> = HashMap::with_capacity(distinct.len());
     let mut id_of_string: HashMap<String, NormId> = HashMap::new();
     let mut strings: Vec<String> = Vec::new();
-
-    let mut resolve = |sym: Sym| -> Option<NormId> {
-        if let Some(&cached) = norm_of_sym.get(&sym) {
-            return cached;
-        }
-        let n = normalize(corpus.str_of(sym));
+    for (&sym, n) in distinct.iter().zip(normalized) {
         let id = if n.is_empty() {
             None
         } else {
@@ -116,27 +163,6 @@ pub fn build_value_space(
             }))
         };
         norm_of_sym.insert(sym, id);
-        id
-    };
-
-    type PendingTable = (
-        u32,
-        mapsynth_corpus::DomainId,
-        mapsynth_corpus::TableId,
-        Vec<(NormId, NormId)>,
-    );
-    let mut norm_tables: Vec<PendingTable> = Vec::with_capacity(candidates.len());
-    for (i, cand) in candidates.iter().enumerate() {
-        let mut pairs: Vec<(NormId, NormId)> = cand
-            .pairs
-            .iter()
-            .filter_map(|&(l, r)| Some((resolve(l)?, resolve(r)?)))
-            .collect();
-        pairs.sort_unstable();
-        pairs.dedup();
-        if pairs.len() >= 2 {
-            norm_tables.push((i as u32, cand.domain, cand.source, pairs));
-        }
     }
 
     // Fold synonym classes: class id = representative NormId, except
@@ -153,27 +179,43 @@ pub fn build_value_space(
         }
     }
 
-    let compact = strings
-        .iter()
-        .map(|s| s.chars().filter(|c| !c.is_whitespace()).collect())
-        .collect();
-    let space = ValueSpace {
+    let compact = mr.par_map(&strings, |s| {
+        s.chars().filter(|c| !c.is_whitespace()).collect()
+    });
+    let space = Arc::new(ValueSpace {
         strings,
         compact,
         class,
-    };
-    let tables = norm_tables
-        .into_iter()
-        .map(|(idx, domain, source, mut pairs)| {
+    });
+
+    // Parallel projection of each candidate into the space.
+    let indexed: Vec<(u32, &BinaryTable)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i as u32, c))
+        .collect();
+    let space_ref = &space;
+    let norm_ref = &norm_of_sym;
+    let tables: Vec<NormBinary> = mr
+        .par_map(&indexed, |&(idx, cand)| {
+            let mut pairs: Vec<(NormId, NormId)> = cand
+                .pairs
+                .iter()
+                .filter_map(|&(l, r)| Some(((*norm_ref.get(&l)?)?, (*norm_ref.get(&r)?)?)))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
             // Sort by class pair for the hash-join in compat scoring.
-            pairs.sort_by_key(|&(l, r)| (space.class(l), space.class(r)));
-            NormBinary {
+            pairs.sort_by_key(|&(l, r)| (space_ref.class(l), space_ref.class(r)));
+            (pairs.len() >= 2).then_some(NormBinary {
                 idx,
-                domain,
-                source,
+                domain: cand.domain,
+                source: cand.source,
                 pairs,
-            }
+            })
         })
+        .into_iter()
+        .flatten()
         .collect();
     (space, tables)
 }
@@ -182,6 +224,7 @@ pub fn build_value_space(
 mod tests {
     use super::*;
     use mapsynth_corpus::{BinaryId, Corpus, DomainId, TableId};
+    use mapsynth_mapreduce::MapReduce;
 
     fn mk_candidates(rows: Vec<Vec<(&str, &str)>>) -> (Corpus, Vec<BinaryTable>) {
         let mut corpus = Corpus::new();
@@ -212,7 +255,8 @@ mod tests {
             ("UNITED STATES[1]", "usa"),
             ("Canada", "CAN"),
         ]]);
-        let (space, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+        let (space, tables) =
+            build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2));
         assert_eq!(tables.len(), 1);
         // "United States" and "UNITED STATES[1]" fold to one value;
         // ("united states","usa") dedups to one pair.
@@ -232,7 +276,8 @@ mod tests {
             vec![("***", "x"), ("a", "1")], // one usable pair → dropped
             vec![("a", "1"), ("b", "2")],
         ]);
-        let (_, tables) = build_value_space(&corpus, &cands, &SynonymDict::new());
+        let (_, tables) =
+            build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2));
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].idx, 1);
     }
@@ -245,7 +290,7 @@ mod tests {
         ]);
         let mut dict = SynonymDict::new();
         dict.declare("US Virgin Islands", "United States Virgin Islands");
-        let (space, tables) = build_value_space(&corpus, &cands, &dict);
+        let (space, tables) = build_value_space(&corpus, &cands, &dict, &MapReduce::new(2));
         let l0 = tables[0]
             .pairs
             .iter()

@@ -35,12 +35,11 @@ fn inspect_capital_clusters() {
     let mut matches: Vec<(usize, usize, usize, usize)> = Vec::new(); // (hits, size, tables, domains)
     for m in &out.mappings {
         let hits = m
-            .pairs
-            .iter()
-            .filter(|(l, r)| gt.contains(&(l.clone(), r.clone())))
+            .pair_strs()
+            .filter(|&(l, r)| gt.contains(&(l.to_string(), r.to_string())))
             .count();
         if hits >= 3 {
-            matches.push((hits, m.pairs.len(), m.source_tables, m.domains));
+            matches.push((hits, m.len(), m.source_tables, m.domains));
         }
     }
     matches.sort_by_key(|m| std::cmp::Reverse(m.0));

@@ -12,14 +12,13 @@ fn best_f(mappings: &[mapsynth::SynthesizedMapping], gt: &HashSet<(String, Strin
     let mut best = 0.0f64;
     for m in mappings {
         let hits = m
-            .pairs
-            .iter()
-            .filter(|(l, r)| gt.contains(&(l.clone(), r.clone())))
+            .pair_strs()
+            .filter(|&(l, r)| gt.contains(&(l.to_string(), r.to_string())))
             .count();
         if hits == 0 {
             continue;
         }
-        let p = hits as f64 / m.pairs.len() as f64;
+        let p = hits as f64 / m.len() as f64;
         let r = hits as f64 / gt.len() as f64;
         best = best.max(2.0 * p * r / (p + r));
     }

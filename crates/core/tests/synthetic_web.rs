@@ -26,18 +26,17 @@ fn best_f(
 ) -> (f64, f64, f64) {
     let mut best = (0.0, 0.0, 0.0);
     for m in mappings {
-        if m.pairs.is_empty() {
+        if m.is_empty() {
             continue;
         }
         let hits = m
-            .pairs
-            .iter()
-            .filter(|(l, r)| gt.contains(&(l.clone(), r.clone())))
+            .pair_strs()
+            .filter(|&(l, r)| gt.contains(&(l.to_string(), r.to_string())))
             .count();
         if hits == 0 {
             continue;
         }
-        let p = hits as f64 / m.pairs.len() as f64;
+        let p = hits as f64 / m.len() as f64;
         let r = hits as f64 / gt.len() as f64;
         let f = 2.0 * p * r / (p + r);
         if f > best.0 {

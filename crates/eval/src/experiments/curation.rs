@@ -38,9 +38,10 @@ pub enum ClusterClass {
 /// Classify a mapping by majority overlap with labeled ground truths.
 pub fn classify(mapping: &SynthesizedMapping, gts: &[LabeledGt]) -> (ClusterClass, Option<String>) {
     let mut best: Option<(f64, RelationKind, &str)> = None;
+    let pairs = mapping.materialize_pairs();
     for (kind, name, gt) in gts {
-        let hits = mapping.pairs.iter().filter(|p| gt.contains(*p)).count();
-        let frac = hits as f64 / mapping.pairs.len().max(1) as f64;
+        let hits = pairs.iter().filter(|p| gt.contains(*p)).count();
+        let frac = hits as f64 / pairs.len().max(1) as f64;
         if frac > 0.5 && best.is_none_or(|(b, _, _)| frac > b) {
             best = Some((frac, *kind, name));
         }
@@ -57,12 +58,11 @@ pub fn classify(mapping: &SynthesizedMapping, gts: &[LabeledGt]) -> (ClusterClas
             let months = [
                 "january", "february", "march", "april", "may", "june", "july",
             ];
-            let month_pairs = mapping
-                .pairs
+            let month_pairs = pairs
                 .iter()
                 .filter(|(l, _)| months.contains(&l.as_str()))
                 .count();
-            if month_pairs * 2 >= mapping.pairs.len().max(1) {
+            if month_pairs * 2 >= pairs.len().max(1) {
                 return (ClusterClass::Formatting, None);
             }
             (ClusterClass::Meaningless, None)
@@ -126,8 +126,7 @@ pub fn run(cfg: &ExpConfig) {
         let ex = examples.entry(class).or_default();
         if ex.len() < 10 {
             let sample: Vec<String> = m
-                .pairs
-                .iter()
+                .pair_strs()
                 .take(2)
                 .map(|(l, r)| format!("({l}, {r})"))
                 .collect();
@@ -195,7 +194,7 @@ pub fn run(cfg: &ExpConfig) {
         let rr: Vec<mapsynth_baselines::RelationResult> = mappings
             .iter()
             .map(|m| mapsynth_baselines::RelationResult {
-                pairs: m.pairs.clone(),
+                pairs: m.materialize_pairs(),
             })
             .collect();
         let scorer = crate::metrics::ResultScorer::new(&rr);
@@ -203,7 +202,7 @@ pub fn run(cfg: &ExpConfig) {
             let m = &mappings[best as usize];
             // Group by right value; list codes with the most synonyms.
             let mut by_code: HashMap<&str, Vec<&str>> = HashMap::new();
-            for (l, r) in &m.pairs {
+            for (l, r) in m.pair_strs() {
                 by_code.entry(r).or_default().push(l);
             }
             let mut rich: Vec<(&str, Vec<&str>)> = by_code

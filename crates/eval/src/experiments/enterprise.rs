@@ -9,16 +9,11 @@ use super::ExpConfig;
 use crate::benchmark::enterprise_benchmark;
 use crate::metrics::{mean_score, ResultScorer, Score};
 use crate::report::{emit, Table};
-use mapsynth::graph::graph_from_scores;
-use mapsynth::pipeline::{synthesize_graph, Resolver};
-use mapsynth::values::build_value_space;
+use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
 use mapsynth::{SynthesisConfig, SynthesizedMapping};
 use mapsynth_baselines::single_table::single_tables;
-use mapsynth_baselines::{score_candidate_pairs, RelationResult};
-use mapsynth_extract::{extract_candidates, ExtractionConfig};
+use mapsynth_baselines::RelationResult;
 use mapsynth_gen::generate_enterprise;
-use mapsynth_mapreduce::MapReduce;
-use mapsynth_text::SynonymDict;
 
 /// Outcome: mean scores for Synthesis and EntTable, plus the top
 /// synthesized mappings for Figure 11.
@@ -35,34 +30,27 @@ pub struct EnterpriseOutcome {
 pub fn run(cfg: &ExpConfig) -> EnterpriseOutcome {
     let ec = generate_enterprise(&cfg.enterprise_config());
     let cases = enterprise_benchmark(&ec.registry);
-    let mr = if cfg.workers == 0 {
-        MapReduce::default()
-    } else {
-        MapReduce::new(cfg.workers)
-    };
-    let (candidates, _) = extract_candidates(&ec.corpus, &ExtractionConfig::default(), &mr);
     // No synonym feed: enterprise values are internal codes with no
-    // public synonym source (the paper's KB-coverage point).
-    let (space, tables) = build_value_space(&ec.corpus, &candidates, &SynonymDict::new());
-    let scored = score_candidate_pairs(&space, &tables, &mr);
+    // public synonym source (the paper's KB-coverage point). The
+    // session runs extraction + value space + scoring once; both the
+    // Synthesis run and the EntTable baseline read its artifacts.
+    let mut session = SynthesisSession::new(PipelineConfig {
+        workers: cfg.workers,
+        ..Default::default()
+    });
+    session.prepare(&ec.corpus);
 
-    let synth_cfg = SynthesisConfig::default();
-    let graph = graph_from_scores(tables.len(), &scored, &synth_cfg);
-    let mappings = synthesize_graph(
-        &space,
-        &tables,
-        &graph,
-        &synth_cfg,
-        Resolver::Algorithm4,
-        &mr,
-    );
+    let mappings = session
+        .synthesize(&SynthesisConfig::default(), Resolver::Algorithm4)
+        .mappings;
     let synth_results: Vec<RelationResult> = mappings
         .iter()
         .map(|m| RelationResult {
-            pairs: m.pairs.clone(),
+            pairs: m.materialize_pairs(),
         })
         .collect();
-    let ent_results = single_tables(&space, &tables);
+    let values = session.values().expect("prepared");
+    let ent_results = single_tables(&values.space, &values.tables);
 
     let score = |results: &[RelationResult]| {
         let scorer = ResultScorer::new(results);
@@ -97,8 +85,7 @@ pub fn run(cfg: &ExpConfig) -> EnterpriseOutcome {
         .enumerate()
     {
         let examples: Vec<String> = m
-            .pairs
-            .iter()
+            .pair_strs()
             .take(2)
             .map(|(l, r)| format!("({l}, {r})"))
             .collect();
@@ -106,7 +93,7 @@ pub fn run(cfg: &ExpConfig) -> EnterpriseOutcome {
             (i + 1).to_string(),
             m.source_tables.to_string(),
             m.domains.to_string(),
-            m.pairs.len().to_string(),
+            m.len().to_string(),
             examples.join(" "),
         ]);
     }

@@ -45,7 +45,7 @@ pub fn run(cfg: &ExpConfig) {
     let rr: Vec<mapsynth_baselines::RelationResult> = mappings
         .iter()
         .map(|m| mapsynth_baselines::RelationResult {
-            pairs: m.pairs.clone(),
+            pairs: m.materialize_pairs(),
         })
         .collect();
     let scorer = ResultScorer::new(&rr);
@@ -54,11 +54,13 @@ pub fn run(cfg: &ExpConfig) {
     for case in &cases {
         let (before, winner) = scorer.best_for(&case.gt);
         let Some(winner) = winner else { continue };
-        let mut mapping = mappings[winner as usize].clone();
+        // Expansion merges out-of-corpus strings, so it operates on
+        // the materialized pair set (the app boundary).
+        let mut core = mappings[winner as usize].materialize_pairs();
         // Try every trusted source; first successful expansion wins.
         let mut outcome = "no trusted match".to_string();
         for (name, pairs) in &trusted {
-            match expand_mapping(&mut mapping, pairs, &ExpansionConfig::default()) {
+            match expand_mapping(&mut core, pairs, &ExpansionConfig::default()) {
                 ExpansionOutcome::Expanded { added } => {
                     outcome = format!("expanded +{added} from {name}");
                     break;
@@ -69,7 +71,7 @@ pub fn run(cfg: &ExpConfig) {
                 ExpansionOutcome::NotContained => {}
             }
         }
-        let after = score_sets(&mapping.pairs, &case.gt);
+        let after = score_sets(&core, &case.gt);
         // Only report cases where expansion did something or could
         // matter (large ground truths).
         if (after.f - before.f).abs() > 1e-6 || case.gt.len() >= 150 {

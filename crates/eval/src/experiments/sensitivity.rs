@@ -54,7 +54,8 @@ pub fn run(cfg: &ExpConfig) {
         let feed = prepared
             .registry
             .partial_synonym_feed(cfg.synonym_fraction, 11);
-        let (space, tables) = mapsynth::values::build_value_space(&corpus_for_theta, &cands, &feed);
+        let (space, tables) =
+            mapsynth::values::build_value_space(&corpus_for_theta, &cands, &feed, &mr);
         let mappings = mapsynth::synthesize_from(&space, &tables, &SynthesisConfig::default(), &mr);
         t.row(vec![
             format!("{theta:.2}"),
@@ -101,7 +102,7 @@ pub fn run(cfg: &ExpConfig) {
             theta_overlap: overlap,
             ..Default::default()
         };
-        let (pairs, _) = candidate_pairs(&prepared.space, &prepared.tables, &scfg);
+        let (pairs, _) = candidate_pairs(prepared.space(), prepared.tables(), &scfg, prepared.mr());
         // Quality still evaluated with shared scored pairs only when
         // overlap=2 matches; otherwise re-run synthesis from scratch on
         // the blocked pairs via the full path.
@@ -110,23 +111,25 @@ pub fn run(cfg: &ExpConfig) {
         } else {
             let results = {
                 let graph = mapsynth::graph::build_graph(
-                    &prepared.space,
-                    &prepared.tables,
+                    prepared.space(),
+                    prepared.tables(),
                     &scfg,
-                    &prepared.mr,
+                    prepared.mr(),
                 );
                 mapsynth::synthesize_graph(
-                    &prepared.space,
-                    &prepared.tables,
+                    prepared.space(),
+                    prepared.tables(),
                     &graph,
                     &scfg,
                     Resolver::Algorithm4,
-                    &prepared.mr,
+                    prepared.mr(),
                 )
             };
             let rr: Vec<mapsynth_baselines::RelationResult> = results
                 .into_iter()
-                .map(|m| mapsynth_baselines::RelationResult { pairs: m.pairs })
+                .map(|m| mapsynth_baselines::RelationResult {
+                    pairs: m.materialize_pairs(),
+                })
                 .collect();
             let scorer = ResultScorer::new(&rr);
             let per: Vec<Score> = cases.iter().map(|c| scorer.best_for(&c.gt).0).collect();

@@ -7,9 +7,8 @@
 //! threshold (`SchemaCC`, `SchemaPosCC`, `Correlation`) return one run
 //! per setting; experiments keep the best, as the paper does.
 
-use mapsynth::graph::graph_from_scores;
-use mapsynth::pipeline::{synthesize_graph, Resolver};
-use mapsynth::values::{build_value_space, NormBinary, ValueSpace};
+use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
+use mapsynth::values::{NormBinary, ValueSpace};
 use mapsynth::{SynthesisConfig, SynthesizedMapping};
 use mapsynth_baselines::correlation::{correlation_from_scores, CorrelationConfig};
 use mapsynth_baselines::kb::{kb_relations, KbStyle};
@@ -17,12 +16,12 @@ use mapsynth_baselines::schema_cc::{schema_cc_from_scores, SchemaCcConfig};
 use mapsynth_baselines::single_table::{single_tables, single_tables_from_domains};
 use mapsynth_baselines::union::{union_tables, UnionScope};
 use mapsynth_baselines::wise::{wise_integrator, WiseConfig};
-use mapsynth_baselines::{score_candidate_pairs, RelationResult, ScoredPairs};
+use mapsynth_baselines::{RelationResult, ScoredPairs};
 use mapsynth_corpus::{BinaryTable, Corpus};
-use mapsynth_extract::{extract_candidates, ExtractionConfig};
 use mapsynth_gen::webgen::WebCorpus;
 use mapsynth_gen::Registry;
 use mapsynth_mapreduce::MapReduce;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The twelve methods of Figure 7 (plus `EntTable` which reuses
@@ -103,72 +102,89 @@ pub struct MethodRun {
     pub runtime: Duration,
 }
 
-/// Shared preprocessing for all table-based methods.
+/// Shared preprocessing for all table-based methods, backed by a
+/// [`SynthesisSession`]: extraction, the normalized value space, and
+/// the scored pair set live in the session's stage artifacts, so all
+/// twelve methods — and every parameter setting of each — run over
+/// identical inputs without recomputing stages 1–3.
 pub struct PreparedWeb {
     /// The corpus.
     pub corpus: Corpus,
     /// Ground-truth registry.
     pub registry: Registry,
-    /// Raw extracted candidates.
-    pub candidates: Vec<BinaryTable>,
-    /// Normalized value space (with partial synonym feed).
-    pub space: ValueSpace,
-    /// Normalized candidates.
-    pub tables: Vec<NormBinary>,
-    /// Scored candidate pairs (Synthesis signals).
-    pub scored: ScoredPairs,
-    /// Extraction wall-clock.
-    pub extraction_time: Duration,
-    /// Pair-scoring wall-clock.
-    pub scoring_time: Duration,
     /// Normalized pairs asserted by some corpus table (for the
     /// attested-ground-truth benchmark).
     pub emitted_pairs: std::collections::HashSet<(String, String)>,
-    /// Map-Reduce engine.
-    pub mr: MapReduce,
+    /// The staged engine holding extraction / value-space / scoring
+    /// artifacts.
+    pub session: SynthesisSession,
 }
 
 impl PreparedWeb {
     /// Prepare a generated web corpus: extract, normalize (with a
-    /// partial synonym feed — paper §4.1), and score candidate pairs.
+    /// partial synonym feed — paper §4.1), and score candidate pairs,
+    /// all cached as session stage artifacts.
     pub fn prepare(wc: WebCorpus, synonym_fraction: f64, workers: usize) -> Self {
-        let mr = if workers == 0 {
-            MapReduce::default()
-        } else {
-            MapReduce::new(workers)
-        };
         let WebCorpus {
             corpus,
             registry,
             emitted_pairs,
             ..
         } = wc;
-        let t = Instant::now();
-        let (candidates, _) = extract_candidates(&corpus, &ExtractionConfig::default(), &mr);
-        let extraction_time = t.elapsed();
         let feed = registry.partial_synonym_feed(synonym_fraction, 11);
-        let (space, tables) = build_value_space(&corpus, &candidates, &feed);
-        let t = Instant::now();
-        let scored = score_candidate_pairs(&space, &tables, &mr);
-        let scoring_time = t.elapsed();
+        let mut session = SynthesisSession::new(PipelineConfig {
+            workers,
+            ..Default::default()
+        })
+        .with_synonyms(feed);
+        session.prepare(&corpus);
         Self {
             corpus,
             registry,
-            candidates,
-            space,
-            tables,
-            scored,
-            extraction_time,
-            scoring_time,
             emitted_pairs,
-            mr,
+            session,
         }
+    }
+
+    /// Raw extracted candidates (stage-1 artifact).
+    pub fn candidates(&self) -> &[BinaryTable] {
+        &self.session.extraction().expect("prepared").candidates
+    }
+
+    /// Normalized value space (stage-2 artifact).
+    pub fn space(&self) -> &Arc<ValueSpace> {
+        &self.session.values().expect("prepared").space
+    }
+
+    /// Normalized candidates (stage-2 artifact).
+    pub fn tables(&self) -> &[NormBinary] {
+        &self.session.values().expect("prepared").tables
+    }
+
+    /// Scored candidate pairs (stage-3 artifact; Synthesis signals).
+    pub fn scored(&self) -> &ScoredPairs {
+        &self.session.scores().expect("prepared").scored
+    }
+
+    /// Extraction wall-clock.
+    pub fn extraction_time(&self) -> Duration {
+        self.session.extraction().expect("prepared").elapsed
+    }
+
+    /// Blocking + pair-scoring wall-clock.
+    pub fn scoring_time(&self) -> Duration {
+        self.session.scores().expect("prepared").elapsed
+    }
+
+    /// The shared Map-Reduce engine.
+    pub fn mr(&self) -> &MapReduce {
+        self.session.engine()
     }
 
     /// Run a method, returning one `MethodRun` per parameter setting.
     pub fn run_method(&self, method: Method) -> Vec<MethodRun> {
-        let base = self.extraction_time;
-        let with_scores = self.extraction_time + self.scoring_time;
+        let base = self.extraction_time();
+        let with_scores = self.extraction_time() + self.scoring_time();
         match method {
             Method::Synthesis | Method::SynthesisPos => {
                 // θ_edge is swept like the baselines' thresholds — the
@@ -202,9 +218,9 @@ impl PreparedWeb {
                 let t = Instant::now();
                 let results = union_tables(
                     &self.corpus,
-                    &self.candidates,
-                    &self.space,
-                    &self.tables,
+                    self.candidates(),
+                    self.space(),
+                    self.tables(),
                     scope,
                 );
                 vec![MethodRun {
@@ -220,9 +236,9 @@ impl PreparedWeb {
                     .map(|&threshold| {
                         let t = Instant::now();
                         let results = schema_cc_from_scores(
-                            &self.space,
-                            &self.tables,
-                            &self.scored,
+                            self.space(),
+                            self.tables(),
+                            self.scored(),
                             &SchemaCcConfig {
                                 threshold,
                                 use_negative,
@@ -241,9 +257,9 @@ impl PreparedWeb {
                 .map(|&threshold| {
                     let t = Instant::now();
                     let results = correlation_from_scores(
-                        &self.space,
-                        &self.tables,
-                        &self.scored,
+                        self.space(),
+                        self.tables(),
+                        self.scored(),
                         &CorrelationConfig {
                             threshold,
                             ..Default::default()
@@ -262,9 +278,9 @@ impl PreparedWeb {
                     let t = Instant::now();
                     let results = wise_integrator(
                         &self.corpus,
-                        &self.candidates,
-                        &self.space,
-                        &self.tables,
+                        self.candidates(),
+                        self.space(),
+                        self.tables(),
                         &WiseConfig { min_header_sim },
                     );
                     MethodRun {
@@ -278,9 +294,9 @@ impl PreparedWeb {
                 let t = Instant::now();
                 let results = single_tables_from_domains(
                     &self.corpus,
-                    &self.candidates,
-                    &self.space,
-                    &self.tables,
+                    self.candidates(),
+                    self.space(),
+                    self.tables(),
                     |d| d.starts_with("wikipedia."),
                 );
                 vec![MethodRun {
@@ -291,7 +307,7 @@ impl PreparedWeb {
             }
             Method::WebTable => {
                 let t = Instant::now();
-                let results = single_tables(&self.space, &self.tables);
+                let results = single_tables(self.space(), self.tables());
                 vec![MethodRun {
                     label: String::new(),
                     results,
@@ -316,18 +332,21 @@ impl PreparedWeb {
     }
 
     /// Run the Synthesis algorithm (steps 2–3) with a given config and
-    /// resolver, returning results as `RelationResult`s.
+    /// resolver, returning results as `RelationResult`s (the string
+    /// materialization boundary for scoring).
     pub fn run_synthesis(&self, cfg: &SynthesisConfig, resolver: Resolver) -> Vec<RelationResult> {
         self.synthesize(cfg, resolver)
             .into_iter()
-            .map(|m| RelationResult { pairs: m.pairs })
+            .map(|m| RelationResult {
+                pairs: m.materialize_pairs(),
+            })
             .collect()
     }
 
     /// Run Synthesis and keep the full mapping metadata (for curation
-    /// experiments).
+    /// experiments). Reuses the session's cached extraction, value
+    /// space, and scored pairs.
     pub fn synthesize(&self, cfg: &SynthesisConfig, resolver: Resolver) -> Vec<SynthesizedMapping> {
-        let graph = graph_from_scores(self.tables.len(), &self.scored, cfg);
-        synthesize_graph(&self.space, &self.tables, &graph, cfg, resolver, &self.mr)
+        self.session.synthesize(cfg, resolver).mappings
     }
 }

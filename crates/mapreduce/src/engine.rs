@@ -6,16 +6,19 @@
 //! each key group in parallel. Results are returned sorted by key so
 //! runs are deterministic regardless of worker interleaving.
 //!
+//! Workers are std scoped threads (`std::thread::scope`), so jobs can
+//! borrow their inputs without any `'static` bound or external
+//! runtime.
+//!
 //! The engine is intentionally synchronous and in-memory: the paper's
 //! scalability argument (blocking keeps `|E| ≪ N²`; near-linear scaling
 //! in corpus size, Figure 9) is about how much work the jobs do, not
 //! about cluster mechanics, so an in-process engine preserves the
 //! measurable shape.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::thread;
 
 /// The Map-Reduce engine. Holds only the worker count; each job is a
 /// self-contained call.
@@ -71,13 +74,12 @@ impl MapReduce {
     {
         let grouped = self.map_and_shuffle(inputs, &mapper);
         // Reduce each partition in parallel.
-        let mut results: Vec<Vec<(K, O)>> = Vec::new();
-        thread::scope(|s| {
+        let results: Vec<Vec<(K, O)>> = thread::scope(|s| {
             let handles: Vec<_> = grouped
                 .into_iter()
                 .map(|part| {
                     let reducer = &reducer;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut out: Vec<(K, O)> = part
                             .into_iter()
                             .map(|(k, vs)| {
@@ -90,11 +92,113 @@ impl MapReduce {
                     })
                 })
                 .collect();
-            for h in handles {
-                results.push(h.join().expect("reduce worker panicked"));
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reduce worker panicked"))
+                .collect()
+        });
+        let mut flat: Vec<(K, O)> = results.into_iter().flatten().collect();
+        flat.sort_by(|a, b| a.0.cmp(&b.0));
+        flat
+    }
+
+    /// Like [`run`](Self::run), but with a per-worker **combiner**
+    /// applied during the map phase: values a single mapper worker
+    /// emits for the same key are folded together before the shuffle,
+    /// bounding shuffle size by `workers × distinct keys` instead of
+    /// total emissions — the classic Map-Reduce combiner optimization
+    /// for aggregation jobs.
+    ///
+    /// `combine` must be commutative and associative (it is applied in
+    /// chunk-local emission order); the reducer sees one pre-combined
+    /// value per (mapper worker, key), in worker order.
+    pub fn run_combining<I, K, V, O, M, C, R>(
+        &self,
+        inputs: &[I],
+        mapper: M,
+        combine: C,
+        reducer: R,
+    ) -> Vec<(K, O)>
+    where
+        I: Sync,
+        K: Send + Hash + Eq + Ord + Clone,
+        V: Send,
+        O: Send,
+        M: Fn(&I) -> Vec<(K, V)> + Sync,
+        C: Fn(&mut V, V) + Sync,
+        R: Fn(&K, Vec<V>) -> O + Sync,
+    {
+        let p = self.workers;
+        let chunk = inputs.len().div_ceil(p).max(1);
+        // Map with in-flight combining: one HashMap<K, V> per
+        // (mapper worker, destination partition).
+        let mut collected: Vec<(usize, Vec<HashMap<K, V>>)> = thread::scope(|s| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, chunk_inputs)| {
+                    let mapper = &mapper;
+                    let combine = &combine;
+                    s.spawn(move || {
+                        let mut buckets: Vec<HashMap<K, V>> =
+                            (0..p).map(|_| HashMap::new()).collect();
+                        for rec in chunk_inputs {
+                            for (k, v) in mapper(rec) {
+                                let b = partition_of(&k, p);
+                                match buckets[b].entry(k) {
+                                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                                        combine(e.get_mut(), v);
+                                    }
+                                    std::collections::hash_map::Entry::Vacant(e) => {
+                                        e.insert(v);
+                                    }
+                                }
+                            }
+                        }
+                        (ci, buckets)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("map worker panicked"))
+                .collect()
+        });
+        collected.sort_by_key(|(ci, _)| *ci);
+        // Transpose into partitions, preserving worker order per key.
+        let mut partitions: Vec<HashMap<K, Vec<V>>> = (0..p).map(|_| HashMap::new()).collect();
+        for (_, worker_buckets) in collected {
+            for (pi, bucket) in worker_buckets.into_iter().enumerate() {
+                let part = &mut partitions[pi];
+                for (k, v) in bucket {
+                    part.entry(k).or_default().push(v);
+                }
             }
-        })
-        .expect("mapreduce scope failed");
+        }
+        // Reduce each partition in parallel (as in `run`).
+        let results: Vec<Vec<(K, O)>> = thread::scope(|s| {
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .map(|part| {
+                    let reducer = &reducer;
+                    s.spawn(move || {
+                        let mut out: Vec<(K, O)> = part
+                            .into_iter()
+                            .map(|(k, vs)| {
+                                let o = reducer(&k, vs);
+                                (k, o)
+                            })
+                            .collect();
+                        out.sort_by(|a, b| a.0.cmp(&b.0));
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reduce worker panicked"))
+                .collect()
+        });
         let mut flat: Vec<(K, O)> = results.into_iter().flatten().collect();
         flat.sort_by(|a, b| a.0.cmp(&b.0));
         flat
@@ -115,33 +219,31 @@ impl MapReduce {
         let p = self.workers;
         // Each mapper worker produces p outgoing buckets.
         let chunk = inputs.len().div_ceil(p).max(1);
-        let all_buckets: Mutex<Vec<Buckets<K, V>>> = Mutex::new(Vec::new());
-        thread::scope(|s| {
-            let mut handles = Vec::new();
-            for (ci, chunk_inputs) in inputs.chunks(chunk).enumerate() {
-                handles.push(s.spawn(move |_| {
-                    let mut buckets: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
-                    for rec in chunk_inputs {
-                        for (k, v) in mapper(rec) {
-                            let b = partition_of(&k, p);
-                            buckets[b].push((k, v));
+        let mut collected: Vec<(usize, Buckets<K, V>)> = thread::scope(|s| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, chunk_inputs)| {
+                    s.spawn(move || {
+                        let mut buckets: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
+                        for rec in chunk_inputs {
+                            for (k, v) in mapper(rec) {
+                                let b = partition_of(&k, p);
+                                buckets[b].push((k, v));
+                            }
                         }
-                    }
-                    (ci, buckets)
-                }));
-            }
-            let mut collected: Vec<(usize, Buckets<K, V>)> = handles
+                        (ci, buckets)
+                    })
+                })
+                .collect();
+            handles
                 .into_iter()
                 .map(|h| h.join().expect("map worker panicked"))
-                .collect();
-            // Preserve input chunk order for deterministic value order.
-            collected.sort_by_key(|(ci, _)| *ci);
-            let mut guard = all_buckets.lock();
-            *guard = collected.into_iter().map(|(_, b)| b).collect();
-        })
-        .expect("mapreduce scope failed");
-
-        let all_buckets = all_buckets.into_inner();
+                .collect()
+        });
+        // Preserve input chunk order for deterministic value order.
+        collected.sort_by_key(|(ci, _)| *ci);
+        let all_buckets: Vec<Buckets<K, V>> = collected.into_iter().map(|(_, b)| b).collect();
         // Transpose: partition i receives bucket i from each mapper.
         let mut partitions: Vec<HashMap<K, Vec<V>>> = (0..p).map(|_| HashMap::new()).collect();
         for mapper_buckets in all_buckets {
@@ -163,21 +265,20 @@ impl MapReduce {
         F: Fn(&I) -> O + Sync,
     {
         let chunk = inputs.len().div_ceil(self.workers).max(1);
-        let mut results: Vec<(usize, Vec<O>)> = Vec::new();
-        thread::scope(|s| {
+        let mut results: Vec<(usize, Vec<O>)> = thread::scope(|s| {
             let handles: Vec<_> = inputs
                 .chunks(chunk)
                 .enumerate()
                 .map(|(ci, ch)| {
                     let f = &f;
-                    s.spawn(move |_| (ci, ch.iter().map(f).collect::<Vec<O>>()))
+                    s.spawn(move || (ci, ch.iter().map(f).collect::<Vec<O>>()))
                 })
                 .collect();
-            for h in handles {
-                results.push(h.join().expect("map worker panicked"));
-            }
-        })
-        .expect("mapreduce scope failed");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("map worker panicked"))
+                .collect()
+        });
         results.sort_by_key(|(ci, _)| *ci);
         results.into_iter().flat_map(|(_, v)| v).collect()
     }
@@ -290,6 +391,44 @@ mod tests {
             |_k, vs| vs.iter().sum::<u32>(),
         );
         assert_eq!(out, vec![(0u8, 60), (1u8, 120)]);
+    }
+
+    #[test]
+    fn combining_matches_plain_run() {
+        let inputs: Vec<u32> = (0..500).collect();
+        for workers in [1, 3, 8] {
+            let mr = MapReduce::new(workers);
+            let plain = mr.run(
+                &inputs,
+                |&x| vec![(x % 13, 1u32), (x % 7, 2u32)],
+                |_k, vs| vs.iter().sum::<u32>(),
+            );
+            let combined = mr.run_combining(
+                &inputs,
+                |&x| vec![(x % 13, 1u32), (x % 7, 2u32)],
+                |acc, v| *acc += v,
+                |_k, vs| vs.iter().sum::<u32>(),
+            );
+            assert_eq!(plain, combined, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn combining_shrinks_shuffle_to_one_value_per_worker() {
+        // 100 records all emitting the same key: the reducer must see
+        // at most `workers` pre-combined values, not 100.
+        let inputs: Vec<u32> = (0..100).collect();
+        let mr = MapReduce::new(4);
+        let out = mr.run_combining(
+            &inputs,
+            |&x| vec![(0u8, x as u64)],
+            |acc, v| *acc += v,
+            |_k, vs| {
+                assert!(vs.len() <= 4, "combiner must pre-aggregate: {}", vs.len());
+                vs.iter().sum::<u64>()
+            },
+        );
+        assert_eq!(out, vec![(0u8, (0..100u64).sum())]);
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! in-process:
 //!
 //! * [`engine::MapReduce`] — a deterministic parallel map → shuffle →
-//!   reduce over in-memory collections, built on crossbeam scoped
-//!   threads;
+//!   reduce over in-memory collections, built on std scoped threads;
 //! * [`cc`] — connected components via Hash-to-Min rounds
 //!   (Chitnis et al., paper reference \[13\]) and via union-find;
 //! * [`unionfind::UnionFind`] — disjoint sets with union by rank and

@@ -14,7 +14,7 @@ use crate::normalize::normalize;
 use std::collections::HashMap;
 
 /// A dictionary of synonym classes over normalized strings.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct SynonymDict {
     ids: HashMap<String, usize>,
     parent: Vec<usize>,

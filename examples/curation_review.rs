@@ -29,11 +29,11 @@ fn main() {
 
     println!("curation queue (top 8 by popularity):");
     for (i, m) in output.mappings.iter().take(8).enumerate() {
-        let (l, r) = &m.pairs[0];
+        let (l, r) = m.pair_strs().next().expect("non-empty mapping");
         println!(
             "  #{:<3} {:>4} pairs  {:>3} tables  {:>3} domains   e.g. ({l} -> {r})",
             i + 1,
-            m.pairs.len(),
+            m.len(),
             m.source_tables,
             m.domains,
         );
@@ -47,13 +47,14 @@ fn main() {
         .get("country->iso3")
         .expect("registry case")
         .ground_truth_pairs();
-    let best = output
-        .mappings
-        .iter()
-        .max_by_key(|m| m.pairs.iter().filter(|p| gt.contains(*p)).count());
+    let best = output.mappings.iter().max_by_key(|m| {
+        m.pair_strs()
+            .filter(|&(l, r)| gt.contains(&(l.to_string(), r.to_string())))
+            .count()
+    });
     if let Some(m) = best {
         let mut by_right: HashMap<&str, Vec<&str>> = HashMap::new();
-        for (l, r) in &m.pairs {
+        for (l, r) in m.pair_strs() {
             by_right.entry(r).or_default().push(l);
         }
         let mut rich: Vec<(&str, Vec<&str>)> =

@@ -129,11 +129,11 @@ fn main() {
     for (i, m) in output.mappings.iter().take(6).enumerate() {
         println!(
             "mapping #{i}: {} pairs from {} tables across {} domains",
-            m.pairs.len(),
+            m.len(),
             m.source_tables,
             m.domains
         );
-        for (l, r) in m.pairs.iter().take(12) {
+        for (l, r) in m.pair_strs().take(12) {
             println!("    {l:<22} -> {r}");
         }
         println!();

@@ -1,0 +1,2 @@
+//! Anchor target for the workspace-level `tests/` and `examples/`.
+//! All real code lives in `crates/`.

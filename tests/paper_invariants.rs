@@ -38,7 +38,7 @@ fn conflicting_standards_never_share_a_mapping() {
         }
         let mut by_left: std::collections::HashMap<&str, Vec<&str>> =
             std::collections::HashMap::new();
-        for (l, r) in &m.pairs {
+        for (l, r) in m.pair_strs() {
             by_left.entry(l).or_default().push(r);
         }
         for (l, rights) in by_left {

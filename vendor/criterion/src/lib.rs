@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the slice of criterion its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical
+//! analysis it takes a small fixed number of timed samples and prints
+//! one line per benchmark:
+//!
+//! ```text
+//! bench <group>/<id>  min <t>  mean <t>  (<samples> samples)
+//! ```
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("method", "Synthesis")` → `method/Synthesis`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of `&str` / `BenchmarkId` into an id, as upstream.
+pub trait IntoBenchmarkId {
+    /// The display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (accepted, echoed in the report line).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing harness handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, one sample per call, `samples` times (after one
+    /// untimed warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std_black_box(f());
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std_black_box(f());
+            self.results.push(t.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set samples per benchmark (criterion's statistical sample count;
+    /// here: timed invocations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            results: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id.into_id(), &b.results);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id.into_id(), &b.results);
+        self
+    }
+
+    /// End the group (upstream finalizes reports here; a no-op).
+    pub fn finish(&mut self) {}
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.min(self.criterion.max_samples)
+    }
+
+    fn report(&self, id: &str, results: &[Duration]) {
+        if results.is_empty() {
+            return;
+        }
+        let min = results.iter().min().unwrap();
+        let mean = results.iter().sum::<Duration>() / results.len() as u32;
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  ({n} elems/iter)"),
+            Some(Throughput::Bytes(n)) => format!("  ({n} bytes/iter)"),
+            None => String::new(),
+        };
+        println!(
+            "bench {}/{id}  min {min:?}  mean {mean:?}  ({} samples){tp}",
+            self.name,
+            results.len(),
+        );
+    }
+}
+
+/// Entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_MAX_SAMPLES caps work per bench (CI smoke runs).
+        let max_samples = std::env::var("CRITERION_MAX_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Self { max_samples }
+    }
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Define a bench group runner: `criterion_group!(benches, f, g);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench `main`: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` and filter args; this port
+            // runs everything.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        // 3 samples + 1 warm-up.
+        assert_eq!(runs, 4);
+        g.throughput(Throughput::Elements(7));
+        g.bench_with_input(BenchmarkId::new("param", 42), &5u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the slice of proptest it uses: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, the [`Strategy`]
+//! trait with `prop_map`, range and string-pattern strategies, and the
+//! [`collection`] combinators. Differences from upstream: cases are
+//! generated from a deterministic per-test seed (reproducible runs,
+//! no `PROPTEST_*` env handling) and failing inputs are **not
+//! shrunk** — the failing value is printed as-is.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_map` subset).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Create a strategy generating vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.below_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>` with size drawn
+    /// from `size` (post-dedup size may be smaller, as upstream).
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Create a strategy generating maps of `key`/`value` pairs.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.below_range(self.size.clone());
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod string {
+    //! String-pattern strategies.
+
+    use crate::strategy::{PatternStrategy, Strategy};
+
+    /// Error type mirroring upstream's regex-parse error.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    /// Strategy generating strings matching a (subset) regex pattern.
+    #[derive(Clone, Debug)]
+    pub struct RegexGeneratorStrategy(PatternStrategy);
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> String {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Build a string strategy from a pattern. Supports the subset
+    /// used in this workspace: char classes `[a-z]`, `.`, `\PC`, each
+    /// with optional `{m,n}` / `{n}` repetition.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        Ok(RegexGeneratorStrategy(PatternStrategy::parse(pattern)))
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Run property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)
+     $($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __name = concat!(module_path!(), "::", stringify!($name));
+                let mut __accepted: u32 = 0;
+                let mut __attempt: u32 = 0;
+                while __accepted < __cfg.cases {
+                    __attempt += 1;
+                    assert!(
+                        __attempt <= __cfg.cases.saturating_mul(20) + 100,
+                        "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                        __name, __accepted, __cfg.cases,
+                    );
+                    let mut __rng =
+                        $crate::test_runner::TestRng::deterministic(__name, __attempt);
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __result: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __result {
+                        ::core::result::Result::Ok(()) => __accepted += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => continue,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!("proptest {} (case {}): {}", __name, __attempt, msg),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a proptest body; failure reports the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,297 @@
+//! The [`Strategy`] trait and the primitive strategies used by this
+//! workspace: integer/float ranges, string patterns, tuples, `Just`,
+//! and `prop_map`.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test values. Upstream separates strategies from
+/// value trees (for shrinking); this port generates values directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$i:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+}
+
+/// `&str` literals are string-pattern strategies, as upstream.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        PatternStrategy::parse(self).generate(rng)
+    }
+}
+
+/// One repeatable unit of a pattern.
+#[derive(Clone, Debug)]
+enum Atom {
+    /// Explicit characters (from a `[...]` class or a literal).
+    Class(Vec<char>),
+    /// `.` / `\PC`: any printable character, including non-ASCII.
+    AnyPrintable,
+}
+
+/// A parsed string pattern: atoms with repetition counts.
+#[derive(Clone, Debug)]
+pub struct PatternStrategy {
+    parts: Vec<(Atom, u32, u32)>,
+}
+
+/// Sampling pool for `.`/`\PC`: ASCII printables plus a few multi-byte
+/// code points so unicode handling gets exercised.
+const UNICODE_EXTRAS: &[char] = &['é', 'ß', 'Ω', '中', '🙂', 'ñ', '\u{0301}', 'Ж'];
+
+impl PatternStrategy {
+    /// Parse the pattern subset: `[class]`, `.`, `\PC`, literals, each
+    /// optionally followed by `{n}` or `{m,n}`.
+    pub fn parse(pattern: &str) -> Self {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut parts = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                            set.extend((lo..=hi).filter_map(char::from_u32));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Atom::Class(set)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::AnyPrintable
+                }
+                '\\' => {
+                    // Only `\PC` ("not a control char") is supported.
+                    assert!(
+                        chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                        "unsupported escape in pattern {pattern:?}",
+                    );
+                    i += 3;
+                    Atom::AnyPrintable
+                }
+                c => {
+                    i += 1;
+                    Atom::Class(vec![c])
+                }
+            };
+            // Optional {n} / {m,n} repetition.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad repetition"),
+                        n.trim().parse().expect("bad repetition"),
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().expect("bad repetition");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            parts.push((atom, min, max));
+        }
+        Self { parts }
+    }
+
+    /// Generate one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in &self.parts {
+            let n = *min + rng.below(u64::from(max - min) + 1) as u32;
+            for _ in 0..n {
+                match atom {
+                    Atom::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Atom::AnyPrintable => {
+                        // Mostly ASCII printable, sometimes wider unicode.
+                        if rng.below(8) == 0 {
+                            let extra =
+                                UNICODE_EXTRAS[rng.below(UNICODE_EXTRAS.len() as u64) as usize];
+                            out.push(extra);
+                        } else {
+                            out.push((0x20u8 + rng.below(0x5f) as u8) as char);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy::tests", 1)
+    }
+
+    #[test]
+    fn class_pattern_respects_alphabet_and_length() {
+        let s = "[a-d]{0,12}";
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut r);
+            assert!(v.chars().count() <= 12);
+            assert!(v.chars().all(|c| ('a'..='d').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_class_with_space() {
+        let s = "[A-Za-z ]{5,24}";
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut r);
+            let n = v.chars().count();
+            assert!((5..=24).contains(&n), "{v:?}");
+            assert!(v.chars().all(|c| c.is_ascii_alphabetic() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn printable_patterns_have_no_controls() {
+        let mut r = rng();
+        for pat in ["\\PC{0,40}", ".{0,24}"] {
+            for _ in 0..100 {
+                let v = Strategy::generate(&pat, &mut r);
+                assert!(v.chars().all(|c| !c.is_control() || c == '\u{0301}'));
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_and_collections() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = Strategy::generate(&(0u32..24, 0u32..24), &mut r);
+            assert!(v.0 < 24 && v.1 < 24);
+            let xs = Strategy::generate(&crate::collection::vec(0usize..20, 0..40), &mut r);
+            assert!(xs.len() < 40 && xs.iter().all(|&x| x < 20));
+            let m = Strategy::generate(
+                &crate::collection::btree_map(0u8..12, 0u8..6, 2..10),
+                &mut r,
+            );
+            assert!(m.len() < 10);
+            let f = Strategy::generate(&(0.0f64..1.0), &mut r);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut r = rng();
+        let s = (0u8..5).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+}
