@@ -5,7 +5,7 @@
 //! right values both appear in the column; the minority side is
 //! corrected to the majority side through the mapping.
 
-use crate::index::MappingIndex;
+use mapsynth_serve::MappingStore;
 use mapsynth_text::normalize;
 
 /// One suggested correction.
@@ -22,18 +22,18 @@ pub struct Correction {
 /// Detect mixed representations in `column` and suggest corrections.
 ///
 /// Returns `None` when no indexed mapping exhibits a meaningful mix
-/// (at least `min_side` values on each side).
-pub fn autocorrect(
-    index: &MappingIndex,
+/// (at least `min_side` values on each side). Works against any
+/// [`MappingStore`] — the local `MappingIndex` or a served snapshot.
+pub fn autocorrect<S: MappingStore + ?Sized>(
+    store: &S,
     column: &[&str],
     min_side: usize,
 ) -> Option<Vec<Correction>> {
     let normalized: Vec<String> = column.iter().map(|v| normalize(v)).collect();
     // Candidate mappings by containment.
-    let ranked = index.rank_by_containment(column);
+    let ranked = store.rank_by_containment(column);
     for (mi, _count) in ranked {
-        let m = &index.mappings[mi as usize];
-        let (l, r, _none) = m.coverage(&normalized);
+        let (l, r, _none) = store.coverage(mi, &normalized);
         if l < min_side || r < min_side {
             continue; // not mixed under this mapping
         }
@@ -43,21 +43,21 @@ pub fn autocorrect(
         for (row, v) in normalized.iter().enumerate() {
             if to_left {
                 // minority values are rights → replace with their left.
-                if !m.lefts.contains(v) {
-                    if let Some(lefts) = m.reverse.get(v) {
+                if !store.contains_left(mi, v) {
+                    if let Some(left) = store.reverse(mi, v).first() {
                         out.push(Correction {
                             row,
                             from: column[row].to_string(),
-                            to: lefts[0].clone(),
+                            to: left.clone(),
                         });
                     }
                 }
-            } else if !m.rights.contains(v) {
-                if let Some(right) = m.forward.get(v) {
+            } else if !store.contains_right(mi, v) {
+                if let Some(right) = store.forward(mi, v) {
                     out.push(Correction {
                         row,
                         from: column[row].to_string(),
-                        to: right.clone(),
+                        to: right.to_string(),
                     });
                 }
             }
@@ -72,6 +72,7 @@ pub fn autocorrect(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::MappingIndex;
 
     fn index() -> MappingIndex {
         MappingIndex::from_named_raw(vec![(

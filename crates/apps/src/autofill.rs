@@ -4,7 +4,7 @@
 //! target column; the system finds a mapping consistent with the
 //! examples and fills the rest.
 
-use crate::index::MappingIndex;
+use mapsynth_serve::MappingStore;
 use mapsynth_text::normalize;
 
 /// Result of an auto-fill request.
@@ -23,9 +23,10 @@ pub struct FillResult {
 /// A mapping qualifies when every given example agrees with it
 /// (`key → example` in its forward map) and it covers at least
 /// `min_examples` of the examples. Among qualifying mappings the one
-/// covering the most keys wins.
-pub fn autofill(
-    index: &MappingIndex,
+/// covering the most keys wins. Works against any [`MappingStore`] —
+/// the local `MappingIndex` or a served snapshot.
+pub fn autofill<S: MappingStore + ?Sized>(
+    store: &S,
     keys: &[&str],
     target: &[Option<&str>],
     min_examples: usize,
@@ -41,20 +42,19 @@ pub fn autofill(
         return None;
     }
 
-    let ranked = index.rank_by_containment(keys);
+    let ranked = store.rank_by_containment(keys);
     let mut best: Option<(u32, usize)> = None; // (mapping, keys covered)
     for (mi, covered) in ranked {
-        let m = &index.mappings[mi as usize];
         // All examples must be consistent with the mapping.
         let consistent = examples
             .iter()
-            .all(|(row, ex)| m.forward.get(&norm_keys[*row]) == Some(ex));
+            .all(|(row, ex)| store.forward(mi, &norm_keys[*row]) == Some(ex.as_str()));
         if !consistent {
             continue;
         }
         let hits = examples
             .iter()
-            .filter(|(row, _)| m.forward.contains_key(&norm_keys[*row]))
+            .filter(|(row, _)| store.forward(mi, &norm_keys[*row]).is_some())
             .count();
         if hits < min_examples {
             continue;
@@ -64,12 +64,15 @@ pub fn autofill(
         }
     }
     let (mi, _) = best?;
-    let m = &index.mappings[mi as usize];
     let filled: Vec<(usize, String)> = target
         .iter()
         .enumerate()
         .filter(|(_, v)| v.is_none())
-        .filter_map(|(row, _)| m.forward.get(&norm_keys[row]).map(|v| (row, v.clone())))
+        .filter_map(|(row, _)| {
+            store
+                .forward(mi, &norm_keys[row])
+                .map(|v| (row, v.to_string()))
+        })
         .collect();
     Some(FillResult {
         mapping: mi,
@@ -80,6 +83,7 @@ pub fn autofill(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::MappingIndex;
 
     fn index() -> MappingIndex {
         MappingIndex::from_named_raw(vec![

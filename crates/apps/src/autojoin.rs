@@ -5,7 +5,7 @@
 //! a bridge mapping in a three-way join, without the user supplying the
 //! correspondence.
 
-use crate::index::MappingIndex;
+use mapsynth_serve::MappingStore;
 use mapsynth_text::normalize;
 
 /// Result of an auto-join.
@@ -24,9 +24,10 @@ pub struct JoinResult {
 ///
 /// A bridge qualifies when at least `min_coverage` (fraction) of each
 /// side's keys appear on opposite sides of the mapping. Returns the
-/// join with the most matched rows.
-pub fn autojoin(
-    index: &MappingIndex,
+/// join with the most matched rows. Works against any
+/// [`MappingStore`] — the local `MappingIndex` or a served snapshot.
+pub fn autojoin<S: MappingStore + ?Sized>(
+    store: &S,
     left_keys: &[&str],
     right_keys: &[&str],
     min_coverage: f64,
@@ -34,7 +35,7 @@ pub fn autojoin(
     let ln: Vec<String> = left_keys.iter().map(|k| normalize(k)).collect();
     let rn: Vec<String> = right_keys.iter().map(|k| normalize(k)).collect();
 
-    let mut candidates: Vec<u32> = index
+    let mut candidates: Vec<u32> = store
         .rank_by_containment(left_keys)
         .into_iter()
         .map(|(mi, _)| mi)
@@ -43,19 +44,18 @@ pub fn autojoin(
 
     let mut best: Option<JoinResult> = None;
     for mi in candidates {
-        let m = &index.mappings[mi as usize];
         for orientation in [true, false] {
             // orientation=true: left table keys ↔ mapping lefts,
             // right table keys ↔ mapping rights.
             let (l_cov, r_cov) = if orientation {
                 (
-                    ln.iter().filter(|k| m.lefts.contains(*k)).count(),
-                    rn.iter().filter(|k| m.rights.contains(*k)).count(),
+                    ln.iter().filter(|k| store.contains_left(mi, k)).count(),
+                    rn.iter().filter(|k| store.contains_right(mi, k)).count(),
                 )
             } else {
                 (
-                    ln.iter().filter(|k| m.rights.contains(*k)).count(),
-                    rn.iter().filter(|k| m.lefts.contains(*k)).count(),
+                    ln.iter().filter(|k| store.contains_right(mi, k)).count(),
+                    rn.iter().filter(|k| store.contains_left(mi, k)).count(),
                 )
             };
             if (l_cov as f64) < min_coverage * ln.len() as f64
@@ -70,23 +70,21 @@ pub fn autojoin(
                 right_rows.entry(k.as_str()).or_default().push(i);
             }
             let mut rows = Vec::new();
+            let join_to = |li: usize, t: &str, rows: &mut Vec<(usize, usize)>| {
+                if let Some(ris) = right_rows.get(t) {
+                    for &ri in ris {
+                        rows.push((li, ri));
+                    }
+                }
+            };
             for (li, lk) in ln.iter().enumerate() {
-                let translated: Vec<&str> = if orientation {
-                    m.forward
-                        .get(lk)
-                        .map(|r| vec![r.as_str()])
-                        .unwrap_or_default()
+                if orientation {
+                    if let Some(t) = store.forward(mi, lk) {
+                        join_to(li, t, &mut rows);
+                    }
                 } else {
-                    m.reverse
-                        .get(lk)
-                        .map(|ls| ls.iter().map(String::as_str).collect())
-                        .unwrap_or_default()
-                };
-                for t in translated {
-                    if let Some(ris) = right_rows.get(t) {
-                        for &ri in ris {
-                            rows.push((li, ri));
-                        }
+                    for t in store.reverse(mi, lk) {
+                        join_to(li, t, &mut rows);
                     }
                 }
             }
@@ -108,6 +106,7 @@ pub fn autojoin(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::MappingIndex;
 
     fn index() -> MappingIndex {
         MappingIndex::from_named_raw(vec![(

@@ -7,8 +7,8 @@
 //! the simple, scalable lookup structure the paper argues for in §1
 //! ("why pre-compute mappings").
 
-use crate::bloom::BloomFilter;
 use mapsynth::SynthesizedMapping;
+use mapsynth_serve::{BloomFilter, MappingStore};
 use mapsynth_text::normalize;
 use std::collections::{HashMap, HashSet};
 
@@ -186,6 +186,45 @@ impl MappingIndex {
         let mut ranked: Vec<(u32, usize)> = counts.into_iter().collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked
+    }
+}
+
+/// The build-once index answers the same query surface as a served
+/// snapshot, so the applications run unchanged against either.
+impl MappingStore for MappingIndex {
+    fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    fn rank_by_containment(&self, values: &[&str]) -> Vec<(u32, usize)> {
+        MappingIndex::rank_by_containment(self, values)
+    }
+
+    fn coverage(&self, mapping: u32, normalized: &[String]) -> (usize, usize, usize) {
+        self.mappings[mapping as usize].coverage(normalized)
+    }
+
+    fn contains_left(&self, mapping: u32, norm: &str) -> bool {
+        self.mappings[mapping as usize].lefts.contains(norm)
+    }
+
+    fn contains_right(&self, mapping: u32, norm: &str) -> bool {
+        self.mappings[mapping as usize].rights.contains(norm)
+    }
+
+    fn forward(&self, mapping: u32, norm: &str) -> Option<&str> {
+        self.mappings[mapping as usize]
+            .forward
+            .get(norm)
+            .map(String::as_str)
+    }
+
+    fn reverse(&self, mapping: u32, norm: &str) -> &[String] {
+        self.mappings[mapping as usize]
+            .reverse
+            .get(norm)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 }
 

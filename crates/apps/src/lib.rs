@@ -13,15 +13,23 @@
 //!   Table 4);
 //! * [`autojoin`](mod@autojoin) — join two tables whose key columns use different
 //!   representations through a bridge mapping (paper Table 5).
+//!
+//! The applications are generic over
+//! [`mapsynth_serve::MappingStore`], so the same code serves requests
+//! from a local [`index::MappingIndex`] **or** from a versioned
+//! snapshot handle obtained from a
+//! [`mapsynth_serve::MappingService`] — the concurrent serving path
+//! for heavy traffic.
 
 pub mod autocorrect;
 pub mod autofill;
 pub mod autojoin;
-pub mod bloom;
 pub mod index;
 
 pub use autocorrect::{autocorrect, Correction};
 pub use autofill::{autofill, FillResult};
 pub use autojoin::{autojoin, JoinResult};
-pub use bloom::BloomFilter;
 pub use index::{MappingHandle, MappingIndex};
+// The Bloom filter moved to the serving crate; re-exported here for
+// source compatibility with pre-serve callers.
+pub use mapsynth_serve::{bloom, BloomFilter, MappingStore};

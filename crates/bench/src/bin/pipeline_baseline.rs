@@ -1,12 +1,121 @@
-//! Records a stage-timing baseline for the synthesis pipeline on a
+//! Records a stage-timing baseline for the synthesis pipeline — plus a
+//! serving-throughput stage over the synthesized mappings — on a
 //! deterministic generated corpus, as JSON on stdout or into a file.
 //!
 //! ```text
 //! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- BENCH_pipeline.json
 //! ```
+//!
+//! See `crates/bench/README.md` for the output schema.
 
 use mapsynth::pipeline::{PipelineConfig, SynthesisSession};
 use mapsynth_bench::bench_corpus;
+use mapsynth_serve::{MappingService, SnapshotBuilder};
+use std::time::Instant;
+
+/// Lookups issued per throughput measurement (single- and multi-thread).
+const SERVING_LOOKUPS: usize = 200_000;
+/// Batch size fed to `lookup_many` (amortizes shard dispatch).
+const SERVING_BATCH: usize = 256;
+/// Probe keys sampled from the served mappings (half the probe set;
+/// the other half are guaranteed misses, a 50% target hit rate).
+const SERVING_KEYS: usize = 2000;
+
+struct ServingReport {
+    shards: usize,
+    values: usize,
+    mappings: usize,
+    build_ms: f64,
+    probe_keys: usize,
+    single_thread_qps: f64,
+    threads: usize,
+    multi_thread_qps: f64,
+    hit_rate: f64,
+}
+
+/// Drive `SERVING_LOOKUPS` batched lookups over `keys`, returning QPS.
+fn drive_lookups(snapshot: &mapsynth_serve::IndexSnapshot, keys: &[&str]) -> f64 {
+    let mut done = 0usize;
+    let t = Instant::now();
+    while done < SERVING_LOOKUPS {
+        for chunk in keys.chunks(SERVING_BATCH) {
+            snapshot.lookup_many(chunk);
+            done += chunk.len();
+            if done >= SERVING_LOOKUPS {
+                break;
+            }
+        }
+    }
+    done as f64 / t.elapsed().as_secs_f64()
+}
+
+/// Serving stage: publish the run's mappings into a `MappingService`
+/// and measure lookup throughput against the served snapshot.
+fn serving_stage(mappings: &[mapsynth::SynthesizedMapping], threads: usize) -> ServingReport {
+    let service = MappingService::new();
+    let t = Instant::now();
+    let snapshot = SnapshotBuilder::from_synthesized(mappings).build();
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    service.publish(snapshot);
+    let snap = service.snapshot();
+
+    // Probe set: every k-th left value of the served mappings (hits),
+    // interleaved with as many absent keys (misses).
+    let mut keys: Vec<String> = Vec::with_capacity(2 * SERVING_KEYS);
+    'outer: for m in mappings {
+        for (l, _) in m.pair_strs() {
+            keys.push(l.to_string());
+            if keys.len() >= SERVING_KEYS {
+                break 'outer;
+            }
+        }
+    }
+    let hits = keys.len();
+    for i in 0..hits {
+        keys.push(format!("absent probe {i}"));
+    }
+    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+
+    let single_thread_qps = drive_lookups(&snap, &key_refs);
+
+    // Multi-thread: each worker holds its own snapshot handle (the
+    // realistic serving shape — one `snapshot()` call, many lookups).
+    let per_thread = SERVING_LOOKUPS.div_ceil(threads);
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let service = &service;
+            let key_refs = &key_refs;
+            s.spawn(move || {
+                let snap = service.snapshot();
+                let mut done = 0usize;
+                while done < per_thread {
+                    for chunk in key_refs.chunks(SERVING_BATCH) {
+                        snap.lookup_many(chunk);
+                        done += chunk.len();
+                        if done >= per_thread {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let multi_thread_qps = (per_thread * threads) as f64 / t.elapsed().as_secs_f64();
+
+    let stats = snap.stats();
+    ServingReport {
+        shards: snap.shard_count(),
+        values: snap.value_count(),
+        mappings: snap.mapping_count(),
+        build_ms,
+        probe_keys: key_refs.len(),
+        single_thread_qps,
+        threads,
+        multi_thread_qps,
+        hit_rate: stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64,
+    }
+}
 
 fn main() {
     let out_path = std::env::args().nth(1);
@@ -21,9 +130,14 @@ fn main() {
     let output = session.run(&wc.corpus);
     let t = output.timings;
 
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let serving = serving_stage(&output.mappings, threads);
+
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let json = format!(
-        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"workers\": {}\n}}\n",
+        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"workers\": {},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }}\n}}\n",
         tables,
         output.candidates,
         output.edges,
@@ -36,6 +150,16 @@ fn main() {
         ms(t.conflict),
         ms(t.total),
         session.workers(),
+        serving.shards,
+        serving.values,
+        serving.mappings,
+        serving.build_ms,
+        serving.probe_keys,
+        SERVING_LOOKUPS,
+        serving.single_thread_qps,
+        serving.threads,
+        serving.multi_thread_qps,
+        serving.hit_rate,
     );
     match out_path {
         Some(path) => {

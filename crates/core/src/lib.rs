@@ -35,7 +35,12 @@
 //! Synthesized mappings carry **interned** `(NormId, NormId)` pairs
 //! plus a shared handle to the value space
 //! ([`synth::SynthesizedMapping`]); strings are materialized only at
-//! application boundaries.
+//! application boundaries. One such boundary is the **serving
+//! handoff**: `mapsynth-serve`'s `SnapshotBuilder::from_synthesized`
+//! reads a run's mappings through
+//! [`synth::SynthesizedMapping::pair_strs`] (pairs are already
+//! normalized, so snapshot construction skips re-normalization) and
+//! publishes them as an immutable, versioned lookup snapshot.
 //!
 //! ```
 //! use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};

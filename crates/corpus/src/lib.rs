@@ -17,6 +17,22 @@
 //!
 //! The corpus is the *only* input to the synthesis problem (paper
 //! Definition 3): `T = {T}` where each table is a set of columns.
+//!
+//! ```
+//! use mapsynth_corpus::Corpus;
+//!
+//! let mut corpus = Corpus::new();
+//! let d = corpus.domain("example.org");
+//! let t = corpus.push_table(d, vec![
+//!     (Some("country"), vec!["United States", "Canada"]),
+//!     (Some("code"), vec!["USA", "CAN"]),
+//! ]);
+//! assert_eq!(corpus.len(), 1);
+//! assert_eq!(corpus.total_columns(), 2);
+//! // Cells are interned: the table stores compact `Sym` ids.
+//! let sym = corpus.table(t).columns[1].values[0];
+//! assert_eq!(corpus.str_of(sym), "USA");
+//! ```
 
 pub mod binary;
 pub mod index;

@@ -17,6 +17,12 @@
 //!
 //! Run everything with the `experiments` binary:
 //! `cargo run --release -p mapsynth-eval --bin experiments -- all`
+//!
+//! This crate measures synthesis *quality*; synthesis *and serving*
+//! performance baselines (stage timings, lookup QPS through
+//! `mapsynth-serve`) are recorded by `mapsynth-bench`'s
+//! `pipeline_baseline` binary into `BENCH_pipeline.json` — schema in
+//! `crates/bench/README.md`.
 
 pub mod benchmark;
 pub mod experiments;

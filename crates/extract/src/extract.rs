@@ -80,7 +80,7 @@ impl ExtractionStats {
     }
 
     /// Fraction of *all possible* ordered column pairs pruned by the
-    /// combined column + FD filters — the paper's "around 78% [of]
+    /// combined column + FD filters — the paper's "around 78% \[of\]
     /// candidates can be filtered out with these methods".
     pub fn total_prune_rate(&self) -> f64 {
         if self.pairs_possible == 0 {

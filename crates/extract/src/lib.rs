@@ -17,6 +17,25 @@
 //! The paper reports ~78% of candidates pruned at this stage; the
 //! [`ExtractionStats`] returned alongside the candidates exposes the
 //! same measurement.
+//!
+//! ```
+//! use mapsynth_corpus::Corpus;
+//! use mapsynth_extract::{extract_candidates, ExtractionConfig};
+//! use mapsynth_mapreduce::MapReduce;
+//!
+//! let mut corpus = Corpus::new();
+//! for i in 0..4 {
+//!     let d = corpus.domain(&format!("site-{i}.org"));
+//!     corpus.push_table(d, vec![
+//!         (Some("country"), vec!["United States", "Canada", "Japan", "Germany", "France"]),
+//!         (Some("code"), vec!["USA", "CAN", "JPN", "DEU", "FRA"]),
+//!     ]);
+//! }
+//! let (candidates, stats) =
+//!     extract_candidates(&corpus, &ExtractionConfig::default(), &MapReduce::new(2));
+//! assert_eq!(stats.tables, 4);
+//! assert!(!candidates.is_empty());
+//! ```
 
 pub mod extract;
 pub mod filters;

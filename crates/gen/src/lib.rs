@@ -19,7 +19,23 @@
 //!   formatting tables (paper Figures 12–13);
 //! * [`entgen`] — the enterprise-flavoured corpus of §5.5.
 //!
-//! Generation is fully deterministic given a seed.
+//! Generation is fully deterministic given a seed:
+//!
+//! ```
+//! use mapsynth_gen::procedural::ProceduralConfig;
+//! use mapsynth_gen::{generate_web, WebConfig};
+//!
+//! let cfg = WebConfig {
+//!     tables: 6,
+//!     domains: 3,
+//!     procedural: ProceduralConfig { families: 2, temporal_families: 0, ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let (a, b) = (generate_web(&cfg), generate_web(&cfg));
+//! assert!(a.corpus.len() >= 6);
+//! assert_eq!(a.corpus.len(), b.corpus.len());
+//! assert_eq!(a.emitted_pairs, b.emitted_pairs);
+//! ```
 
 pub mod data;
 pub mod entgen;

@@ -14,6 +14,27 @@
 //! * [`unionfind::UnionFind`] — disjoint sets with union by rank and
 //!   path compression (Hopcroft-Ullman, paper reference \[25\]), used by
 //!   the iterative partitioner.
+//!
+//! The engine is deterministic for any worker count — the shuffle
+//! orders reducer inputs by mapper emission order, not thread arrival:
+//!
+//! ```
+//! use mapsynth_mapreduce::MapReduce;
+//!
+//! let mr = MapReduce::new(2);
+//! let docs = ["to be or not to be", "be that as it may"];
+//! let counts = mr.run(
+//!     &docs,
+//!     |doc| doc.split_whitespace().map(|w| (w, 1u32)).collect(),
+//!     |_word, ones| ones.len() as u32,
+//! );
+//! assert!(counts.contains(&("be", 3)));
+//! assert_eq!(counts, MapReduce::new(7).run(
+//!     &docs,
+//!     |doc| doc.split_whitespace().map(|w| (w, 1u32)).collect(),
+//!     |_word, ones| ones.len() as u32,
+//! ));
+//! ```
 
 pub mod cc;
 pub mod engine;

@@ -1,0 +1,61 @@
+//! # mapsynth-serve
+//!
+//! The concurrent, versioned **serving layer** over synthesized
+//! mappings. The paper's pitch for pre-computing mappings (§1) is that
+//! applications can then *look them up fast*; this crate is that
+//! lookup path scaled past the build-once, single-threaded
+//! `mapsynth-apps::MappingIndex`:
+//!
+//! * [`snapshot::IndexSnapshot`] — an immutable index over a set of
+//!   mappings, **sharded by hash of the normalized lookup key** so a
+//!   lookup touches exactly one shard's Bloom filter + hash map, with
+//!   per-shard hit/miss counters and batch APIs
+//!   ([`lookup_many`](snapshot::IndexSnapshot::lookup_many),
+//!   [`translate_column`](snapshot::IndexSnapshot::translate_column))
+//!   that amortize normalization and shard dispatch;
+//! * [`service::MappingService`] — the atomic snapshot-swap handle:
+//!   readers clone an `Arc` (no lock held across a lookup) while a
+//!   background publisher installs new versions with monotonically
+//!   increasing ids, and a bounded history supports rollback to the
+//!   previously served version;
+//! * [`store::MappingStore`] — the query trait the auto-correct /
+//!   auto-fill / auto-join applications program against, implemented
+//!   both here and by `mapsynth-apps`'s `MappingIndex`;
+//! * [`bloom::BloomFilter`] — the containment prefilter (moved here
+//!   from `mapsynth-apps`, which re-exports it).
+//!
+//! New synthesis sessions swap into the serving path without a
+//! stop-the-world rebuild — in the spirit of answering queries under
+//! updates (Berkholz et al.): build a snapshot off to the side, then
+//! publish it in one atomic pointer swap.
+//!
+//! ```
+//! use mapsynth_serve::{MappingService, SnapshotBuilder};
+//!
+//! let service = MappingService::new();
+//! let mut builder = SnapshotBuilder::with_shards(4);
+//! builder.add_raw(
+//!     Some("state->abbr".into()),
+//!     &[("California".into(), "CA".into()), ("Oregon".into(), "OR".into())],
+//! );
+//! let version = service.publish(builder.build());
+//! assert_eq!(version, 1);
+//!
+//! // Readers hold a private snapshot handle; no lock across lookups.
+//! let snap = service.snapshot();
+//! let hit = snap.lookup("California").expect("served");
+//! assert_eq!(hit.forward(0), Some("ca"));
+//! ```
+
+pub mod bloom;
+pub mod service;
+pub mod snapshot;
+pub mod store;
+
+pub use bloom::BloomFilter;
+pub use service::{MappingService, HISTORY_DEPTH};
+pub use snapshot::{
+    ColumnTranslation, IndexSnapshot, MappingMeta, SnapshotBuilder, SnapshotStats, ValueHit,
+    DEFAULT_SHARDS,
+};
+pub use store::MappingStore;

@@ -1,0 +1,179 @@
+//! The atomic snapshot-swap handle: publish, rollback, versioning.
+//!
+//! [`MappingService`] is the long-lived object applications hold. It
+//! owns the *current* [`IndexSnapshot`] behind an
+//! `RwLock<Arc<IndexSnapshot>>`; readers take the read lock only long
+//! enough to clone the `Arc` — never across a lookup — so a lookup
+//! storm proceeds on a private handle while a background publisher
+//! installs the next version under the write lock. Version ids are
+//! assigned monotonically at publish time; a bounded history of
+//! superseded snapshots supports [`rollback`](MappingService::rollback)
+//! to the previously served version without a rebuild.
+//!
+//! ```text
+//!  synthesis session ──► SnapshotBuilder ──► IndexSnapshot (v=N)
+//!                                                  │ publish()
+//!            readers ──► snapshot() ──► Arc ◄── RwLock<Arc<..>>
+//!            (lock held only to clone)             │ rollback()
+//!                                          history: [v=N-1, N-2, …]
+//! ```
+
+use crate::snapshot::IndexSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Superseded snapshots retained for rollback.
+pub const HISTORY_DEPTH: usize = 4;
+
+/// A concurrent, versioned serving handle over mapping snapshots.
+///
+/// Cheap to share (`Arc<MappingService>`); all methods take `&self`.
+pub struct MappingService {
+    current: RwLock<Arc<IndexSnapshot>>,
+    /// Most-recent-last stack of superseded snapshots.
+    history: Mutex<Vec<Arc<IndexSnapshot>>>,
+    /// Next version id to assign (published ids start at 1).
+    next_version: AtomicU64,
+}
+
+impl Default for MappingService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MappingService {
+    /// A service with an empty version-0 snapshot installed.
+    pub fn new() -> Self {
+        Self {
+            current: RwLock::new(Arc::new(IndexSnapshot::empty())),
+            history: Mutex::new(Vec::new()),
+            next_version: AtomicU64::new(1),
+        }
+    }
+
+    /// The currently served snapshot. The internal read lock is held
+    /// only for the `Arc` clone — callers then run any number of
+    /// lookups against the returned handle without blocking (or being
+    /// blocked by) publishers. A handle stays fully valid even after
+    /// its version is superseded.
+    pub fn snapshot(&self) -> Arc<IndexSnapshot> {
+        Arc::clone(&self.current.read().expect("service lock poisoned"))
+    }
+
+    /// Version id of the currently served snapshot.
+    pub fn version(&self) -> u64 {
+        self.snapshot().version()
+    }
+
+    /// Atomically install `snapshot` as the served version, stamping
+    /// it with the next monotonically increasing version id (returned).
+    /// The superseded snapshot is retained for [`rollback`](Self::rollback)
+    /// (up to [`HISTORY_DEPTH`] deep); in-flight readers on old handles
+    /// are unaffected.
+    pub fn publish(&self, mut snapshot: IndexSnapshot) -> u64 {
+        // Take the history lock before assigning the version and hold
+        // it across the swap: concurrent publishers serialize on it,
+        // so install order always matches version order and readers
+        // never see the served version move backwards.
+        let mut history = self.history.lock().expect("service lock poisoned");
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        snapshot.version = version;
+        let next = Arc::new(snapshot);
+        {
+            let mut current = self.current.write().expect("service lock poisoned");
+            history.push(std::mem::replace(&mut *current, next));
+        }
+        if history.len() > HISTORY_DEPTH {
+            history.remove(0);
+        }
+        version
+    }
+
+    /// Re-install the previously served snapshot (keeping its original
+    /// version id), dropping the current one. Returns the reinstated
+    /// version, or `None` when no history remains.
+    pub fn rollback(&self) -> Option<u64> {
+        let mut history = self.history.lock().expect("service lock poisoned");
+        let prev = history.pop()?;
+        let version = prev.version();
+        let mut current = self.current.write().expect("service lock poisoned");
+        *current = prev;
+        Some(version)
+    }
+
+    /// Versions currently available to roll back to, oldest first.
+    pub fn rollback_versions(&self) -> Vec<u64> {
+        self.history
+            .lock()
+            .expect("service lock poisoned")
+            .iter()
+            .map(|s| s.version())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotBuilder;
+
+    fn one_pair_snapshot(left: &str, right: &str) -> IndexSnapshot {
+        let mut b = SnapshotBuilder::with_shards(2);
+        b.add_raw(None, &[(left.to_string(), right.to_string())]);
+        b.build()
+    }
+
+    #[test]
+    fn starts_empty_at_version_zero() {
+        let svc = MappingService::new();
+        assert_eq!(svc.version(), 0);
+        assert!(svc.snapshot().is_empty());
+        assert!(svc.rollback().is_none());
+    }
+
+    #[test]
+    fn publish_assigns_monotonic_versions() {
+        let svc = MappingService::new();
+        assert_eq!(svc.publish(one_pair_snapshot("a", "1")), 1);
+        assert_eq!(svc.publish(one_pair_snapshot("b", "2")), 2);
+        assert_eq!(svc.version(), 2);
+        assert_eq!(svc.snapshot().lookup("b").unwrap().forward(0), Some("2"));
+    }
+
+    #[test]
+    fn old_handles_survive_publish() {
+        let svc = MappingService::new();
+        svc.publish(one_pair_snapshot("a", "1"));
+        let old = svc.snapshot();
+        svc.publish(one_pair_snapshot("b", "2"));
+        // The superseded handle still answers from its own version.
+        assert_eq!(old.version(), 1);
+        assert_eq!(old.lookup("a").unwrap().forward(0), Some("1"));
+        assert!(old.lookup("b").is_none());
+    }
+
+    #[test]
+    fn rollback_restores_previous_version() {
+        let svc = MappingService::new();
+        svc.publish(one_pair_snapshot("a", "1"));
+        svc.publish(one_pair_snapshot("b", "2"));
+        assert_eq!(svc.rollback_versions(), vec![0, 1]);
+        assert_eq!(svc.rollback(), Some(1));
+        assert_eq!(svc.version(), 1);
+        assert!(svc.snapshot().lookup("a").is_some());
+        // A fresh publish after rollback still gets a higher id than
+        // anything ever published.
+        assert_eq!(svc.publish(one_pair_snapshot("c", "3")), 3);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let svc = MappingService::new();
+        for i in 0..10 {
+            svc.publish(one_pair_snapshot(&format!("k{i}"), "v"));
+        }
+        assert_eq!(svc.rollback_versions().len(), HISTORY_DEPTH);
+        assert_eq!(svc.rollback_versions(), vec![6, 7, 8, 9]);
+    }
+}

@@ -1,0 +1,119 @@
+//! The [`MappingStore`] abstraction the applications program against.
+//!
+//! `mapsynth-apps`'s auto-correct/fill/join algorithms only need a
+//! handful of queries over a set of mappings — containment ranking,
+//! side membership, forward/reverse translation. This trait captures
+//! them so the same application code runs against the build-once
+//! `MappingIndex` and against a served [`IndexSnapshot`] handle taken
+//! from a [`crate::service::MappingService`].
+//!
+//! All value arguments are **normalized** strings except
+//! [`rank_by_containment`](MappingStore::rank_by_containment), which
+//! (matching the historical `MappingIndex` contract) takes raw values
+//! and normalizes internally.
+
+use crate::snapshot::IndexSnapshot;
+
+/// Read-only queries over an indexed set of mappings.
+pub trait MappingStore {
+    /// Number of mappings in the store.
+    fn mapping_count(&self) -> usize;
+
+    /// Rank mappings by how many of `values` (raw; normalized
+    /// internally) they contain: `(mapping id, covered count)`,
+    /// descending count, ties by ascending id.
+    fn rank_by_containment(&self, values: &[&str]) -> Vec<(u32, usize)>;
+
+    /// How `normalized` values are covered by `mapping`:
+    /// `(as lefts, as rights, uncovered)`. Values on both sides count
+    /// as lefts.
+    fn coverage(&self, mapping: u32, normalized: &[String]) -> (usize, usize, usize);
+
+    /// Whether `norm` is a left value of `mapping`.
+    fn contains_left(&self, mapping: u32, norm: &str) -> bool;
+
+    /// Whether `norm` is a right value of `mapping`.
+    fn contains_right(&self, mapping: u32, norm: &str) -> bool;
+
+    /// `norm`'s right image under `mapping`, if it is a left there.
+    /// Borrowed from the store — the hot paths stay allocation-free.
+    fn forward(&self, mapping: u32, norm: &str) -> Option<&str>;
+
+    /// `norm`'s left preimages under `mapping` (empty if it is not a
+    /// right there). Borrowed from the store.
+    fn reverse(&self, mapping: u32, norm: &str) -> &[String];
+}
+
+impl MappingStore for IndexSnapshot {
+    fn mapping_count(&self) -> usize {
+        IndexSnapshot::mapping_count(self)
+    }
+
+    fn rank_by_containment(&self, values: &[&str]) -> Vec<(u32, usize)> {
+        IndexSnapshot::rank_by_containment(self, values)
+    }
+
+    fn coverage(&self, mapping: u32, normalized: &[String]) -> (usize, usize, usize) {
+        let (mut l, mut r, mut none) = (0, 0, 0);
+        for hit in self.lookup_many_norm(normalized) {
+            match hit {
+                Some(h) if h.is_left(mapping) => l += 1,
+                Some(h) if h.is_right(mapping) => r += 1,
+                _ => none += 1,
+            }
+        }
+        (l, r, none)
+    }
+
+    fn contains_left(&self, mapping: u32, norm: &str) -> bool {
+        self.lookup_norm(norm).is_some_and(|h| h.is_left(mapping))
+    }
+
+    fn contains_right(&self, mapping: u32, norm: &str) -> bool {
+        self.lookup_norm(norm).is_some_and(|h| h.is_right(mapping))
+    }
+
+    fn forward(&self, mapping: u32, norm: &str) -> Option<&str> {
+        self.lookup_norm(norm).and_then(|h| h.forward(mapping))
+    }
+
+    fn reverse(&self, mapping: u32, norm: &str) -> &[String] {
+        self.lookup_norm(norm)
+            .and_then(|h| h.reverse(mapping))
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotBuilder;
+
+    fn snapshot() -> IndexSnapshot {
+        let mut b = SnapshotBuilder::with_shards(4);
+        b.add_raw(
+            None,
+            &[
+                ("California".into(), "CA".into()),
+                ("Washington".into(), "WA".into()),
+            ],
+        );
+        b.build()
+    }
+
+    #[test]
+    fn trait_queries_match_snapshot_contents() {
+        let s = snapshot();
+        assert_eq!(MappingStore::mapping_count(&s), 1);
+        assert!(s.contains_left(0, "california"));
+        assert!(!s.contains_right(0, "california"));
+        assert_eq!(s.forward(0, "washington"), Some("wa"));
+        assert_eq!(s.reverse(0, "wa"), &["washington".to_string()][..]);
+        assert!(s.reverse(0, "california").is_empty());
+        let norms: Vec<String> = ["california", "wa", "nonsense"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(s.coverage(0, &norms), (1, 1, 1));
+    }
+}

@@ -1,0 +1,163 @@
+//! Stress test for the publish/lookup path: reader threads hammer the
+//! service while a writer publishes a stream of snapshot versions.
+//! Readers must only ever observe *complete* versions — every key a
+//! version claims to serve answers, with that version's value — and
+//! the served version id must never move backwards.
+
+use mapsynth_serve::{IndexSnapshot, MappingService, SnapshotBuilder};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Keys per version-unit; version `n` serves `n * KEYS_PER_UNIT` keys.
+const KEYS_PER_UNIT: usize = 40;
+/// Versions the writer publishes.
+const VERSIONS: u64 = 25;
+/// Reader threads.
+const READERS: usize = 4;
+
+/// Version `n`'s payload: a marker pair recording `n`, plus
+/// `n * KEYS_PER_UNIT` keys whose value embeds `n`. A torn or
+/// partially built snapshot would break the count or the embedded
+/// version.
+fn make_snapshot(n: u64) -> IndexSnapshot {
+    let mut pairs: Vec<(String, String)> = vec![("marker".into(), format!("gen {n}"))];
+    for i in 0..(n as usize * KEYS_PER_UNIT) {
+        pairs.push((format!("key {i}"), format!("val {i} gen {n}")));
+    }
+    let mut b = SnapshotBuilder::with_shards(8);
+    b.add_raw(Some(format!("gen-{n}")), &pairs);
+    b.build()
+}
+
+/// Assert `snap` is a complete, internally consistent version.
+/// Returns the generation it serves (0 = the initial empty snapshot).
+fn check_complete(snap: &IndexSnapshot) -> u64 {
+    let Some(marker) = snap.lookup("marker") else {
+        assert!(snap.is_empty(), "non-empty snapshot lost its marker");
+        return 0;
+    };
+    let gen: u64 = marker
+        .forward(0)
+        .expect("marker is a left value")
+        .strip_prefix("gen ")
+        .expect("marker format")
+        .parse()
+        .expect("marker generation");
+    // The generation recorded in the data matches the published
+    // version id (the writer is the only publisher).
+    assert_eq!(gen, snap.version(), "data generation vs version id");
+    let keys = gen as usize * KEYS_PER_UNIT;
+    // marker + keys lefts + distinct right values (all rights are
+    // distinct strings, and no right collides with a left).
+    assert_eq!(
+        snap.value_count(),
+        1 + 1 + 2 * keys,
+        "gen {gen} snapshot incomplete"
+    );
+    // Spot-check every 7th key through the batch path, all through
+    // the scalar path on small generations.
+    let probe: Vec<String> = (0..keys).step_by(7).map(|i| format!("key {i}")).collect();
+    let hits = snap.lookup_many_norm(&probe);
+    for (j, hit) in hits.iter().enumerate() {
+        let i = j * 7;
+        let expect = format!("val {i} gen {gen}");
+        let hit = hit.unwrap_or_else(|| panic!("gen {gen}: key {i} missing"));
+        assert_eq!(hit.forward(0), Some(expect.as_str()), "gen {gen} key {i}");
+    }
+    gen
+}
+
+#[test]
+fn readers_only_observe_complete_versions() {
+    let service = Arc::new(MappingService::new());
+    let done = Arc::new(AtomicBool::new(false));
+    let observations = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            let service = Arc::clone(&service);
+            let done = Arc::clone(&done);
+            let observations = Arc::clone(&observations);
+            s.spawn(move || {
+                let mut last_gen = 0u64;
+                let mut seen = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let snap = service.snapshot();
+                    let gen = check_complete(&snap);
+                    assert!(
+                        gen >= last_gen,
+                        "served version went backwards: {last_gen} -> {gen}"
+                    );
+                    last_gen = gen;
+                    seen += 1;
+                }
+                // One more read after the writer finished: must be the
+                // final version. Counted too, so a reader that spawned
+                // after the writer finished still observes ≥ 1.
+                let final_gen = check_complete(&service.snapshot());
+                assert_eq!(final_gen, VERSIONS, "final version served");
+                seen += 1;
+                observations.fetch_add(seen, Ordering::Relaxed);
+            });
+        }
+
+        // Writer: build each version off to the side, publish, repeat.
+        for n in 1..=VERSIONS {
+            let assigned = service.publish(make_snapshot(n));
+            assert_eq!(assigned, n, "publish ids are sequential");
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    assert_eq!(service.version(), VERSIONS);
+    assert!(
+        observations.load(Ordering::Relaxed) >= READERS as u64,
+        "every reader observed at least one snapshot"
+    );
+}
+
+/// Concurrent publishers must serialize so installs happen in version
+/// order — readers never see the served version move backwards even
+/// with several writers racing.
+#[test]
+fn concurrent_publishers_install_in_version_order() {
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 8;
+    let service = Arc::new(MappingService::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let service = Arc::clone(&service);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut last = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let v = service.snapshot().version();
+                    assert!(v >= last, "served version went backwards: {last} -> {v}");
+                    last = v;
+                }
+            });
+        }
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let service = Arc::clone(&service);
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        let mut b = SnapshotBuilder::with_shards(2);
+                        b.add_raw(None, &[(format!("w{w} i{i}"), "x".into())]);
+                        service.publish(b.build());
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    // All version ids were assigned; the final served snapshot is the
+    // last-installed, which serialization forces to be the highest.
+    assert_eq!(service.version(), WRITERS * PER_WRITER);
+}

@@ -2,8 +2,9 @@
 //!
 //! The build environment has no registry access, so the workspace
 //! vendors the slice of proptest it uses: the [`proptest!`] macro,
-//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, the [`Strategy`]
-//! trait with `prop_map`, range and string-pattern strategies, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, range and
+//! string-pattern strategies, and the
 //! [`collection`] combinators. Differences from upstream: cases are
 //! generated from a deterministic per-test seed (reproducible runs,
 //! no `PROPTEST_*` env handling) and failing inputs are **not
