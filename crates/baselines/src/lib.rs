@@ -28,7 +28,7 @@ pub mod union;
 pub mod wise;
 
 use mapsynth::blocking::candidate_pairs;
-use mapsynth::compat::{score_pair, PairWeights};
+use mapsynth::compat::{PairWeights, ScoringContext};
 use mapsynth::values::{NormBinary, ValueSpace};
 use mapsynth::SynthesisConfig;
 use mapsynth_mapreduce::MapReduce;
@@ -38,6 +38,9 @@ use mapsynth_mapreduce::MapReduce;
 pub type ScoredPairs = Vec<(u32, u32, PairWeights)>;
 
 /// Block and score all candidate pairs with the Synthesis signals.
+/// One shared [`ScoringContext`] (sorted table views + the global
+/// approximate-match memo) serves every pair, so edit distance runs
+/// once per value pair — not once per table pair.
 pub fn score_candidate_pairs(
     space: &ValueSpace,
     tables: &[NormBinary],
@@ -45,10 +48,8 @@ pub fn score_candidate_pairs(
 ) -> ScoredPairs {
     let cfg = SynthesisConfig::default();
     let (pairs, _) = candidate_pairs(space, tables, &cfg, mr);
-    mr.par_map(&pairs, |&(a, b)| {
-        let w = score_pair(space, &tables[a as usize], &tables[b as usize], &cfg);
-        (a, b, w)
-    })
+    let ctx = ScoringContext::build(space, tables, &cfg, mr);
+    mr.par_map(&pairs, |&(a, b)| (a, b, ctx.score_pair(space, a, b)))
 }
 
 /// A candidate relation produced by a baseline: normalized pairs.

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mapsynth::blocking::candidate_pairs;
-use mapsynth::compat::score_pair;
+use mapsynth::compat::ScoringContext;
 use mapsynth::values::build_value_space;
 use mapsynth::SynthesisConfig;
 use mapsynth_bench::bench_corpus;
@@ -19,20 +19,23 @@ fn blocking(c: &mut Criterion) {
     let (space, tables) = build_value_space(&wc.corpus, &cands, &feed, &mr);
     let cfg = SynthesisConfig::default();
 
+    let ctx = ScoringContext::build(&space, &tables, &cfg, &mr);
+
     let mut g = c.benchmark_group("blocking");
     g.sample_size(10);
     g.bench_function("blocked_pairs", |b| {
         b.iter(|| candidate_pairs(&space, &tables, &cfg, &mr))
     });
     // All-pairs scoring on a small subset to keep the bench bounded;
-    // the quadratic shape is the point.
+    // the quadratic shape is the point (both paths share the context,
+    // so the gap measured is pair count, not per-pair setup).
     let k = tables.len().min(150);
     g.bench_function("all_pairs_scoring_150", |b| {
         b.iter(|| {
             let mut total = 0.0;
-            for i in 0..k {
-                for j in (i + 1)..k {
-                    total += score_pair(&space, &tables[i], &tables[j], &cfg).pos;
+            for i in 0..k as u32 {
+                for j in (i + 1)..k as u32 {
+                    total += ctx.score_pair(&space, i, j).pos;
                 }
             }
             total
@@ -43,9 +46,7 @@ fn blocking(c: &mut Criterion) {
         b.iter(|| {
             pairs
                 .iter()
-                .map(|&(a, b2)| {
-                    score_pair(&space, &tables[a as usize], &tables[b2 as usize], &cfg).pos
-                })
+                .map(|&(a, b2)| ctx.score_pair(&space, a, b2).pos)
                 .sum::<f64>()
         })
     });

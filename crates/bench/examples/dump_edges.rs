@@ -1,0 +1,34 @@
+//! Golden-output dump: the full edge list (weights at 17 significant
+//! digits) of the bench-corpus compatibility graph, for byte-identity
+//! verification across scoring refactors:
+//!
+//! ```text
+//! git stash / checkout old rev
+//! cargo run --release -p mapsynth-bench --example dump_edges /tmp/before.txt
+//! git checkout new rev
+//! cargo run --release -p mapsynth-bench --example dump_edges /tmp/after.txt
+//! cmp /tmp/before.txt /tmp/after.txt
+//! ```
+
+use mapsynth::pipeline::{PipelineConfig, SynthesisSession};
+use std::fmt::Write as _;
+
+fn main() {
+    let tables: usize = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600);
+    let wc = mapsynth_bench::bench_corpus(tables);
+    let mut session = SynthesisSession::new(PipelineConfig::default());
+    session.prepare(&wc.corpus);
+    let graph = session.graph(&session.config().synthesis);
+    let mut out = String::new();
+    for &(a, b, w) in &graph.edges {
+        writeln!(out, "{a} {b} {:.17e} {:.17e}", w.pos, w.neg).unwrap();
+    }
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "edges.txt".into());
+    std::fs::write(&path, &out).unwrap();
+    eprintln!("wrote {} edges to {path}", graph.edges.len());
+}

@@ -4,9 +4,15 @@
 //!
 //! ```text
 //! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- BENCH_pipeline.json
+//! # verify counts against a committed baseline (CI drift gate):
+//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --check BENCH_pipeline.json
 //! ```
 //!
-//! See `crates/bench/README.md` for the output schema.
+//! See `crates/bench/README.md` for the output schema. In `--check`
+//! mode the corpus size is read from the committed file, the pipeline
+//! re-runs, and the process exits non-zero if any deterministic count
+//! (candidates, edges, partitions, mappings) drifted — timings are
+//! machine-dependent and informational only.
 
 use mapsynth::pipeline::{PipelineConfig, SynthesisSession};
 use mapsynth_bench::bench_corpus;
@@ -117,18 +123,78 @@ fn serving_stage(mappings: &[mapsynth::SynthesizedMapping], threads: usize) -> S
     }
 }
 
+/// Pull an integer field out of a (flat-keyed) baseline JSON file.
+/// The baseline is written by this binary with unique key names, so a
+/// plain text scan is sufficient — no JSON dependency needed.
+fn json_int(json: &str, key: &str) -> Option<i64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `--check` mode: rerun the pipeline at the committed corpus size and
+/// fail on any deterministic-count drift.
+fn check_against(path: &str) -> ! {
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let tables = json_int(&committed, "corpus_tables").expect("corpus_tables in baseline") as usize;
+
+    let wc = bench_corpus(tables);
+    let mut session = SynthesisSession::new(PipelineConfig::default());
+    let output = session.run(&wc.corpus);
+
+    let expectations = [
+        ("candidates", output.candidates as i64),
+        ("edges", output.edges as i64),
+        ("partitions", output.partitions as i64),
+        ("mappings", output.mappings.len() as i64),
+    ];
+    let mut drifted = false;
+    for (key, actual) in expectations {
+        match json_int(&committed, key) {
+            Some(expected) if expected == actual => {
+                eprintln!("check {key}: {actual} (ok)");
+            }
+            Some(expected) => {
+                eprintln!("check {key}: expected {expected}, got {actual} (DRIFT)");
+                drifted = true;
+            }
+            None => {
+                eprintln!("check {key}: missing from baseline (DRIFT)");
+                drifted = true;
+            }
+        }
+    }
+    if drifted {
+        eprintln!("pipeline counts drifted from {path}; regenerate the baseline if intended");
+        std::process::exit(1);
+    }
+    eprintln!("pipeline counts match {path}");
+    std::process::exit(0);
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1);
-    let tables: usize = std::env::args()
-        .nth(2)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(600);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_pipeline.json");
+        check_against(path);
+    }
+    let out_path = args.first().cloned();
+    let tables: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(600);
 
     let wc = bench_corpus(tables);
     let cfg = PipelineConfig::default();
     let mut session = SynthesisSession::new(cfg);
     let output = session.run(&wc.corpus);
     let t = output.timings;
+    let detail = session.scores().expect("prepared").detail;
 
     let threads = std::thread::available_parallelism()
         .map(usize::from)
@@ -137,7 +203,7 @@ fn main() {
 
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let json = format!(
-        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"workers\": {},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"workers\": {},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }}\n}}\n",
         tables,
         output.candidates,
         output.edges,
@@ -149,6 +215,14 @@ fn main() {
         ms(t.partition),
         ms(t.conflict),
         ms(t.total),
+        ms(detail.blocking),
+        ms(detail.index_build),
+        ms(detail.approx_memo),
+        ms(detail.merge_join),
+        detail.memo.values,
+        detail.memo.candidate_pairs,
+        detail.memo.dp_calls,
+        detail.memo.matched_pairs,
         session.workers(),
         serving.shards,
         serving.values,

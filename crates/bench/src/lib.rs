@@ -11,6 +11,7 @@
 //! | `micro_edit_distance` | Algorithm 2 ablation: banded vs full DP |
 //! | `micro_blocking` | §4.1 ablation: blocked vs all-pairs scoring |
 //! | `micro_partition` | Algorithm 3: lazy-heap greedy merge |
+//! | `micro_scoring` | §4.1 hot path: shared `ScoringContext` vs throwaway per-pair scoring |
 //! | `apps_lookup` | §1 mapping-index containment lookup (Bloom) |
 
 use mapsynth_gen::procedural::ProceduralConfig;

@@ -9,21 +9,66 @@
 //!   the FD-conflict set.
 //!
 //! Value matching layers (fast → slow): class equality (normalized
-//! string equality ∪ synonym feed) via hash join, then banded
-//! edit-distance matching (paper Algorithm 2) for residual values.
+//! string equality ∪ synonym feed), then banded edit-distance matching
+//! (paper Algorithm 2) for residual values.
+//!
+//! # The scoring hot path
+//!
+//! Scoring used to rebuild a per-pair hash index of table `b` and
+//! re-run edit distance from scratch for every scored pair. The fast
+//! path instead shares a [`ScoringContext`] across all pairs of a run:
+//!
+//! * per table, a sorted interned `(left_class, right_class, right_id,
+//!   left_id)` view with precomputed left-class runs, so
+//!   [`ScoringContext::counts`] is a merge-join over two sorted slices
+//!   (class-equality matches resolve by binary search inside a run);
+//! * a global [`ApproxMemo`]: every cross-class approximate value match
+//!   is resolved once per *value pair* (length-bucketed, one banded DP
+//!   each) instead of once per *table pair*, and queried as an `O(log)`
+//!   adjacency lookup behind an `O(1)` union-find component filter;
+//! * [`MatchCounts`] carries both exact and approximate-inclusive
+//!   counts, so weights for matching-parameter variants derive
+//!   arithmetically — no re-scoring.
+//!
+//! The fast path is bit-identical to the naive per-pair loop (kept
+//! under `#[cfg(test)]` as the property-test oracle).
 
+use crate::approx::{ApproxMemo, ApproxMemoStats, ROLE_LEFT, ROLE_RIGHT};
 use crate::config::SynthesisConfig;
 use crate::values::{NormBinary, NormId, ValueSpace};
-use mapsynth_text::{approx_match, fractional_threshold};
-use std::collections::{HashMap, HashSet};
+use mapsynth_mapreduce::MapReduce;
+use mapsynth_text::MatchParams;
+use std::time::{Duration, Instant};
 
-/// Raw match counts between two candidate tables.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+/// Raw match counts between two candidate tables, in two variants:
+/// `exact_*` uses class equality only (normalized equality ∪ synonyms),
+/// the unprefixed fields additionally count approximate (edit-distance)
+/// matches when the scoring run had them enabled. Keeping both lets
+/// parameter sweeps toggle approximate matching arithmetically.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MatchCounts {
-    /// `|B ∩ B′|`: matching value pairs.
-    pub overlap: usize,
-    /// `|F(B,B′)|`: left values matched with conflicting rights.
-    pub conflicts: usize,
+    /// `|B ∩ B′|`: matching value pairs (approximate-inclusive).
+    pub overlap: u32,
+    /// `|F(B,B′)|`: left classes matched with conflicting rights
+    /// (approximate-inclusive).
+    pub conflicts: u32,
+    /// Overlap under class equality alone.
+    pub exact_overlap: u32,
+    /// Conflicts under class equality alone.
+    pub exact_conflicts: u32,
+}
+
+impl MatchCounts {
+    /// Derive edge weights (Equations 3 and 4) from the stored counts —
+    /// `approx` picks the approximate-inclusive or exact variant.
+    pub fn weights(&self, len_a: usize, len_b: usize, approx: bool) -> PairWeights {
+        let (o, f) = if approx {
+            (self.overlap, self.conflicts)
+        } else {
+            (self.exact_overlap, self.exact_conflicts)
+        };
+        weights_from(o, f, len_a, len_b)
+    }
 }
 
 /// Compatibility weights for a table pair.
@@ -35,126 +80,430 @@ pub struct PairWeights {
     pub neg: f64,
 }
 
-/// Count pair matches and left conflicts between two tables.
+fn weights_from(overlap: u32, conflicts: u32, len_a: usize, len_b: usize) -> PairWeights {
+    let la = len_a.max(1) as f64;
+    let lb = len_b.max(1) as f64;
+    let o = overlap as f64;
+    let f = conflicts as f64;
+    PairWeights {
+        pos: (o / la).max(o / lb).min(1.0),
+        neg: -((f / la).max(f / lb)).min(1.0),
+    }
+}
+
+/// Turn match counts into edge weights (Equations 3 and 4), using the
+/// approximate-inclusive counts.
+pub fn pair_weights(counts: MatchCounts, len_a: usize, len_b: usize) -> PairWeights {
+    weights_from(counts.overlap, counts.conflicts, len_a, len_b)
+}
+
+/// One table's scoring view: its pairs projected to interned classes,
+/// sorted, with the structures the merge-join needs precomputed.
+#[derive(Clone, Debug)]
+struct TableView {
+    /// `(left class, right class, right id, left id)` in the table's
+    /// (class-sorted) pair order.
+    trips: Vec<(u32, u32, NormId, NormId)>,
+    /// Consecutive left-class runs: `(left class, start, end)`.
+    runs: Vec<(u32, u32, u32)>,
+    /// Distinct left values sorted by id: `(left id, left class)`.
+    lefts: Vec<(NormId, u32)>,
+}
+
+fn view_of(space: &ValueSpace, t: &NormBinary) -> TableView {
+    let trips: Vec<(u32, u32, NormId, NormId)> = t
+        .pairs
+        .iter()
+        .map(|&(l, r)| (space.class(l), space.class(r), r, l))
+        .collect();
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=trips.len() {
+        if i == trips.len() || trips[i].0 != trips[start].0 {
+            runs.push((trips[start].0, start as u32, i as u32));
+            start = i;
+        }
+    }
+    let mut lefts: Vec<(NormId, u32)> = trips.iter().map(|&(lc, _, _, l)| (l, lc)).collect();
+    lefts.sort_unstable();
+    lefts.dedup();
+    TableView { trips, runs, lefts }
+}
+
+/// Build-time cost breakdown of a [`ScoringContext`] (surfaced as
+/// `graph_detail` by the pipeline baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScoringBuildStats {
+    /// Wall-clock to build the per-table sorted views.
+    pub index_build: Duration,
+    /// Wall-clock of the one-shot approximate-match memo pass.
+    pub approx_memo: Duration,
+    /// Memo counters (values, DP calls, cached pairs, components).
+    pub memo: ApproxMemoStats,
+}
+
+/// Shared scoring state for one candidate set: per-table sorted views
+/// plus the global approximate-match memo. Built once per session;
+/// every scored pair reuses it.
+#[derive(Debug)]
+pub struct ScoringContext {
+    views: Vec<TableView>,
+    memo: Option<ApproxMemo>,
+    params: MatchParams,
+    approx_matching: bool,
+    max_approx_cross: usize,
+    /// Build cost breakdown.
+    pub build_stats: ScoringBuildStats,
+}
+
+impl ScoringContext {
+    /// Build the context: per-table views (parallel) and, when the
+    /// config enables approximate matching, the one-shot [`ApproxMemo`]
+    /// over every value that appears in a table.
+    pub fn build(
+        space: &ValueSpace,
+        tables: &[NormBinary],
+        cfg: &SynthesisConfig,
+        mr: &MapReduce,
+    ) -> Self {
+        let t = Instant::now();
+        let views: Vec<TableView> = mr.par_map(tables, |tb| view_of(space, tb));
+        let index_build = t.elapsed();
+
+        let mut build_stats = ScoringBuildStats {
+            index_build,
+            ..Default::default()
+        };
+        let memo = if cfg.approx_matching {
+            let t = Instant::now();
+            let mut roles = vec![0u8; space.len()];
+            for tb in tables {
+                for &(l, r) in &tb.pairs {
+                    roles[l.0 as usize] |= ROLE_LEFT;
+                    roles[r.0 as usize] |= ROLE_RIGHT;
+                }
+            }
+            let memo = ApproxMemo::build(space, &roles, cfg.match_params, mr);
+            build_stats.approx_memo = t.elapsed();
+            build_stats.memo = memo.stats;
+            Some(memo)
+        } else {
+            None
+        };
+
+        Self {
+            views,
+            memo,
+            params: cfg.match_params,
+            approx_matching: cfg.approx_matching,
+            max_approx_cross: cfg.max_approx_cross,
+            build_stats,
+        }
+    }
+
+    /// Number of tables in the context.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the context holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The approximate-match memo, when the base config enabled
+    /// approximate matching.
+    pub fn memo(&self) -> Option<&ApproxMemo> {
+        self.memo.as_ref()
+    }
+
+    /// The matching parameters the context was built with.
+    pub fn params(&self) -> MatchParams {
+        self.params
+    }
+
+    /// Whether match counts for `cfg`'s matching settings are derivable
+    /// from this context without re-running edit distance: always, if
+    /// `cfg` disables approximate matching; otherwise the memo must
+    /// exist and cover (be at least as wide as) `cfg.match_params`.
+    pub fn covers(&self, cfg: &SynthesisConfig) -> bool {
+        !cfg.approx_matching
+            || self
+                .memo
+                .as_ref()
+                .is_some_and(|m| m.covers(cfg.match_params))
+    }
+
+    /// Match counts for the table pair `(a, b)` under the context's
+    /// base matching settings, in canonical orientation (results are
+    /// symmetric: `counts(a, b) == counts(b, a)`).
+    pub fn counts(&self, space: &ValueSpace, a: u32, b: u32) -> MatchCounts {
+        self.counts_with(
+            space,
+            a,
+            b,
+            self.params,
+            self.approx_matching,
+            self.max_approx_cross,
+        )
+    }
+
+    /// Match counts under alternative matching settings — a merge-join
+    /// over the cached views and memo, with **zero** edit-distance
+    /// work. The memo is guard-independent, so any `max_approx_cross`
+    /// is answerable. Panics if `approx` is requested but unanswerable
+    /// (no memo or wider-than-build `params`); check with
+    /// [`covers`](Self::covers).
+    pub fn counts_with(
+        &self,
+        space: &ValueSpace,
+        a: u32,
+        b: u32,
+        params: MatchParams,
+        approx: bool,
+        max_approx_cross: usize,
+    ) -> MatchCounts {
+        let memo = if approx {
+            let m = self
+                .memo
+                .as_ref()
+                .expect("approximate counts need a context built with approx_matching");
+            assert!(
+                m.covers(params),
+                "match params {:?} wider than memoized {:?}; build a new context",
+                params,
+                m.params()
+            );
+            Some(m)
+        } else {
+            None
+        };
+        let (x, y) = if view_le(&self.views[a as usize], &self.views[b as usize]) {
+            (&self.views[a as usize], &self.views[b as usize])
+        } else {
+            (&self.views[b as usize], &self.views[a as usize])
+        };
+        merge_join_counts(space, memo, x, y, params, max_approx_cross)
+    }
+
+    /// Score a table pair end to end from the cached state (canonical
+    /// orientation, Equations 3–4).
+    pub fn score_pair(&self, space: &ValueSpace, a: u32, b: u32) -> PairWeights {
+        let counts = self.counts(space, a, b);
+        counts.weights(
+            self.views[a as usize].trips.len(),
+            self.views[b as usize].trips.len(),
+            self.approx_matching,
+        )
+    }
+}
+
+/// Canonical orientation: replicate `(a.len(), &a.pairs) <= (b.len(),
+/// &b.pairs)` on the views (trips store `(l, r)` in pair order).
+fn view_le(a: &TableView, b: &TableView) -> bool {
+    match a.trips.len().cmp(&b.trips.len()) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => {
+            for (x, y) in a.trips.iter().zip(&b.trips) {
+                match (x.3, x.2).cmp(&(y.3, y.2)) {
+                    std::cmp::Ordering::Less => return true,
+                    std::cmp::Ordering::Greater => return false,
+                    std::cmp::Ordering::Equal => {}
+                }
+            }
+            true
+        }
+    }
+}
+
+/// The allocation-light merge-join core: walk `a`'s and `b`'s
+/// left-class runs in lockstep; resolve class-equal rights by binary
+/// search within the matched run; resolve residual (class-unmatched)
+/// lefts by intersecting the memo's neighbor lists with `b`'s key set.
+/// Exactly reproduces the naive per-pair loop's counts.
+fn merge_join_counts(
+    space: &ValueSpace,
+    memo: Option<&ApproxMemo>,
+    a: &TableView,
+    b: &TableView,
+    params: MatchParams,
+    max_approx_cross: usize,
+) -> MatchCounts {
+    let mut overlap = 0u32;
+    let mut exact_overlap = 0u32;
+    let mut exact_conflicts = 0u32;
+    let mut last_exact_conflict: Option<u32> = None;
+    // Conflict classes can repeat (and the residual pass can emit
+    // classes the class-matched pass also saw), so distinct-count at
+    // the end. Typically a handful of entries.
+    let mut conflicts: Vec<u32> = Vec::new();
+    let mut residual_pairs = 0usize;
+
+    let (mut ai, mut bi) = (0usize, 0usize);
+    while ai < a.runs.len() && bi < b.runs.len() {
+        let (alc, astart, aend) = a.runs[ai];
+        let (blc, bstart, bend) = b.runs[bi];
+        if alc < blc {
+            residual_pairs += (aend - astart) as usize;
+            ai += 1;
+            continue;
+        }
+        if alc > blc {
+            bi += 1;
+            continue;
+        }
+        let brun = &b.trips[bstart as usize..bend as usize];
+        for &(_, rc, ar, _) in &a.trips[astart as usize..aend as usize] {
+            // Equal range of `rc` among the run's (sorted) right classes.
+            let lo = brun.partition_point(|t| t.1 < rc);
+            let hi = brun.partition_point(|t| t.1 <= rc);
+            let exact_m = lo < hi;
+            let exact_mm = brun.len() > hi - lo;
+            if exact_m {
+                exact_overlap += 1;
+            }
+            if exact_mm && last_exact_conflict != Some(alc) {
+                exact_conflicts += 1;
+                last_exact_conflict = Some(alc);
+            }
+            match memo {
+                Some(m) if exact_mm => {
+                    let mut matched = exact_m;
+                    let mut mismatched = false;
+                    for &(_, _, br, _) in brun[..lo].iter().chain(&brun[hi..]) {
+                        if matched && mismatched {
+                            break;
+                        }
+                        if m.matches(space, ar, br, params) {
+                            matched = true;
+                        } else {
+                            mismatched = true;
+                        }
+                    }
+                    if matched {
+                        overlap += 1;
+                    }
+                    if mismatched {
+                        conflicts.push(alc);
+                    }
+                }
+                _ => {
+                    if exact_m {
+                        overlap += 1;
+                    }
+                    if exact_mm {
+                        conflicts.push(alc);
+                    }
+                }
+            }
+        }
+        ai += 1;
+        bi += 1;
+    }
+    while ai < a.runs.len() {
+        residual_pairs += (a.runs[ai].2 - a.runs[ai].1) as usize;
+        ai += 1;
+    }
+
+    // Approximate matching for lefts with no class match, bounded by
+    // the cross-product guard exactly like the naive loop (the guard is
+    // part of the scoring semantics, even though the memo makes the
+    // work far cheaper than a cross product).
+    if let Some(m) = memo {
+        if residual_pairs > 0 && residual_pairs * b.trips.len() <= max_approx_cross {
+            let (mut ai, mut bi) = (0usize, 0usize);
+            while ai < a.runs.len() {
+                let (alc, astart, aend) = a.runs[ai];
+                while bi < b.runs.len() && b.runs[bi].0 < alc {
+                    bi += 1;
+                }
+                if bi < b.runs.len() && b.runs[bi].0 == alc {
+                    ai += 1;
+                    continue; // class-matched run, handled above
+                }
+                for &(_, rc, ar, al) in &a.trips[astart as usize..aend as usize] {
+                    let mut matched = false;
+                    // The naive loop keeps the *last* mismatching b-left
+                    // class in first-occurrence order; pairs are sorted
+                    // by class, so that is the maximum such class.
+                    let mut mismatched_class: Option<u32> = None;
+                    for &(bl_raw, d) in m.neighbors(al) {
+                        let bl = NormId(bl_raw);
+                        let Ok(pos) = b.lefts.binary_search_by_key(&bl, |&(l, _)| l) else {
+                            continue;
+                        };
+                        if !crate::approx::residual_match(space, al, bl, d, params) {
+                            continue; // residual keys need a non-zero threshold
+                        }
+                        // Left values match approximately; compare the
+                        // rights of this exact b-left.
+                        let blc = b.lefts[pos].1;
+                        let ri = b.runs.partition_point(|&(lc, _, _)| lc < blc);
+                        let (_, bstart, bend) = b.runs[ri];
+                        for &(_, rc2, br, l2) in &b.trips[bstart as usize..bend as usize] {
+                            if l2 != bl {
+                                continue;
+                            }
+                            if rc2 == rc || m.matches(space, ar, br, params) {
+                                matched = true;
+                            } else {
+                                mismatched_class =
+                                    Some(mismatched_class.map_or(blc, |p| p.max(blc)));
+                            }
+                        }
+                    }
+                    if matched {
+                        overlap += 1;
+                    } else if let Some(blc) = mismatched_class {
+                        conflicts.push(blc);
+                    }
+                }
+                ai += 1;
+            }
+        }
+    }
+
+    conflicts.sort_unstable();
+    conflicts.dedup();
+    MatchCounts {
+        overlap,
+        conflicts: conflicts.len() as u32,
+        exact_overlap,
+        exact_conflicts,
+    }
+}
+
+/// Count pair matches and left conflicts between two tables
+/// (direction-sensitive, like the historical implementation — callers
+/// wanting symmetric results use [`score_pair`] or a
+/// [`ScoringContext`]). Builds a throwaway two-table context; scoring
+/// loops should build one shared [`ScoringContext`] instead.
 pub fn match_counts(
     space: &ValueSpace,
     a: &NormBinary,
     b: &NormBinary,
     cfg: &SynthesisConfig,
 ) -> MatchCounts {
-    // Index b by left class.
-    let mut b_index: HashMap<u32, Vec<(u32, NormId)>> = HashMap::with_capacity(b.len());
-    for &(l, r) in &b.pairs {
-        b_index
-            .entry(space.class(l))
-            .or_default()
-            .push((space.class(r), r));
-    }
-
-    let mut overlap = 0usize;
-    let mut conflict_lefts: HashSet<u32> = HashSet::new();
-    let mut unmatched_a: Vec<(NormId, NormId)> = Vec::new();
-
-    for &(l, r) in &a.pairs {
-        let lc = space.class(l);
-        match b_index.get(&lc) {
-            Some(rights) => {
-                let rc = space.class(r);
-                let mut matched = false;
-                let mut mismatched = false;
-                for &(brc, br) in rights {
-                    if brc == rc || right_approx(space, r, br, cfg) {
-                        matched = true;
-                    } else {
-                        mismatched = true;
-                    }
-                }
-                if matched {
-                    overlap += 1;
-                }
-                if mismatched {
-                    conflict_lefts.insert(lc);
-                }
-            }
-            None => unmatched_a.push((l, r)),
-        }
-    }
-
-    // Approximate matching for lefts with no class match, bounded by
-    // the cross-product guard (cost control; paper banded DP makes each
-    // comparison cheap but pair count still matters).
-    if cfg.approx_matching
-        && !unmatched_a.is_empty()
-        && unmatched_a.len() * b.len() <= cfg.max_approx_cross
-    {
-        // Distinct b lefts (class-representative) with strings.
-        let mut b_lefts: Vec<(NormId, u32)> = Vec::new();
-        let mut seen = HashSet::new();
-        for &(l, _) in &b.pairs {
-            if seen.insert(l) {
-                b_lefts.push((l, space.class(l)));
+    let (va, vb) = (view_of(space, a), view_of(space, b));
+    let memo = cfg.approx_matching.then(|| {
+        let mut roles = vec![0u8; space.len()];
+        for t in [a, b] {
+            for &(l, r) in &t.pairs {
+                roles[l.0 as usize] |= ROLE_LEFT;
+                roles[r.0 as usize] |= ROLE_RIGHT;
             }
         }
-        for &(al, ar) in &unmatched_a {
-            let a_str = space.compact(al);
-            let a_len = a_str.chars().count();
-            let mut matched = false;
-            let mut mismatched_left: Option<u32> = None;
-            for &(bl, blc) in &b_lefts {
-                let b_str = space.compact(bl);
-                // Cheap length prefilter before the banded DP.
-                let max_band = (a_len.max(b_str.len()) as f64 * cfg.match_params.f_ed) as usize + 1;
-                if a_len.abs_diff(b_str.chars().count()) > max_band {
-                    continue;
-                }
-                if fractional_threshold(a_str, b_str, cfg.match_params) == 0 {
-                    continue; // short values require exact match; classes already differ
-                }
-                if !approx_match(a_str, b_str, cfg.match_params) {
-                    continue;
-                }
-                // Left values match approximately; compare rights.
-                let rc = space.class(ar);
-                for &(l2, r2) in &b.pairs {
-                    if l2 != bl {
-                        continue;
-                    }
-                    if space.class(r2) == rc || right_approx(space, ar, r2, cfg) {
-                        matched = true;
-                    } else {
-                        mismatched_left = Some(blc);
-                    }
-                }
-            }
-            if matched {
-                overlap += 1;
-            } else if let Some(blc) = mismatched_left {
-                conflict_lefts.insert(blc);
-            }
-        }
-    }
-
-    MatchCounts {
-        overlap,
-        conflicts: conflict_lefts.len(),
-    }
-}
-
-#[inline]
-fn right_approx(space: &ValueSpace, a: NormId, b: NormId, cfg: &SynthesisConfig) -> bool {
-    cfg.approx_matching && approx_match(space.compact(a), space.compact(b), cfg.match_params)
-}
-
-/// Turn match counts into edge weights (Equations 3 and 4).
-pub fn pair_weights(counts: MatchCounts, len_a: usize, len_b: usize) -> PairWeights {
-    let la = len_a.max(1) as f64;
-    let lb = len_b.max(1) as f64;
-    let o = counts.overlap as f64;
-    let f = counts.conflicts as f64;
-    PairWeights {
-        pos: (o / la).max(o / lb).min(1.0),
-        neg: -((f / la).max(f / lb)).min(1.0),
-    }
+        ApproxMemo::build(space, &roles, cfg.match_params, &MapReduce::new(1))
+    });
+    merge_join_counts(
+        space,
+        memo.as_ref(),
+        &va,
+        &vb,
+        cfg.match_params,
+        cfg.max_approx_cross,
+    )
 }
 
 /// Convenience: score a table pair end to end.
@@ -178,7 +527,137 @@ pub fn score_pair(
         (b, a)
     };
     let counts = match_counts(space, x, y, cfg);
-    pair_weights(counts, x.len(), y.len())
+    counts.weights(x.len(), y.len(), cfg.approx_matching)
+}
+
+/// The naive per-pair scoring loop, kept verbatim as the oracle for
+/// property tests: rebuilds a hash index of `b` and re-runs banded
+/// edit distance for every comparison. The production merge-join +
+/// memo path must be bit-identical to this.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+    use mapsynth_text::{approx_match, fractional_threshold};
+    use std::collections::{HashMap, HashSet};
+
+    pub fn match_counts_naive(
+        space: &ValueSpace,
+        a: &NormBinary,
+        b: &NormBinary,
+        cfg: &SynthesisConfig,
+    ) -> (u32, u32) {
+        // Index b by left class.
+        let mut b_index: HashMap<u32, Vec<(u32, NormId)>> = HashMap::with_capacity(b.len());
+        for &(l, r) in &b.pairs {
+            b_index
+                .entry(space.class(l))
+                .or_default()
+                .push((space.class(r), r));
+        }
+
+        let mut overlap = 0u32;
+        let mut conflict_lefts: HashSet<u32> = HashSet::new();
+        let mut unmatched_a: Vec<(NormId, NormId)> = Vec::new();
+
+        for &(l, r) in &a.pairs {
+            let lc = space.class(l);
+            match b_index.get(&lc) {
+                Some(rights) => {
+                    let rc = space.class(r);
+                    let mut matched = false;
+                    let mut mismatched = false;
+                    for &(brc, br) in rights {
+                        if brc == rc || right_approx(space, r, br, cfg) {
+                            matched = true;
+                        } else {
+                            mismatched = true;
+                        }
+                    }
+                    if matched {
+                        overlap += 1;
+                    }
+                    if mismatched {
+                        conflict_lefts.insert(lc);
+                    }
+                }
+                None => unmatched_a.push((l, r)),
+            }
+        }
+
+        if cfg.approx_matching
+            && !unmatched_a.is_empty()
+            && unmatched_a.len() * b.len() <= cfg.max_approx_cross
+        {
+            let mut b_lefts: Vec<(NormId, u32)> = Vec::new();
+            let mut seen = HashSet::new();
+            for &(l, _) in &b.pairs {
+                if seen.insert(l) {
+                    b_lefts.push((l, space.class(l)));
+                }
+            }
+            for &(al, ar) in &unmatched_a {
+                let a_str = space.compact(al);
+                let a_len = a_str.chars().count();
+                let mut matched = false;
+                let mut mismatched_left: Option<u32> = None;
+                for &(bl, blc) in &b_lefts {
+                    let b_str = space.compact(bl);
+                    // The historical prefilter mixed bytes into the
+                    // band; reproduced here (it is conservative — wider
+                    // than needed — so it never changes results).
+                    let max_band =
+                        (a_len.max(b_str.len()) as f64 * cfg.match_params.f_ed) as usize + 1;
+                    if a_len.abs_diff(b_str.chars().count()) > max_band {
+                        continue;
+                    }
+                    if fractional_threshold(a_str, b_str, cfg.match_params) == 0 {
+                        continue;
+                    }
+                    if !approx_match(a_str, b_str, cfg.match_params) {
+                        continue;
+                    }
+                    let rc = space.class(ar);
+                    for &(l2, r2) in &b.pairs {
+                        if l2 != bl {
+                            continue;
+                        }
+                        if space.class(r2) == rc || right_approx(space, ar, r2, cfg) {
+                            matched = true;
+                        } else {
+                            mismatched_left = Some(blc);
+                        }
+                    }
+                }
+                if matched {
+                    overlap += 1;
+                } else if let Some(blc) = mismatched_left {
+                    conflict_lefts.insert(blc);
+                }
+            }
+        }
+
+        (overlap, conflict_lefts.len() as u32)
+    }
+
+    fn right_approx(space: &ValueSpace, a: NormId, b: NormId, cfg: &SynthesisConfig) -> bool {
+        cfg.approx_matching && approx_match(space.compact(a), space.compact(b), cfg.match_params)
+    }
+
+    /// Oracle `score_pair`: naive counts + canonical orientation.
+    pub fn score_pair_naive(
+        space: &ValueSpace,
+        a: &NormBinary,
+        b: &NormBinary,
+        cfg: &SynthesisConfig,
+    ) -> PairWeights {
+        let (x, y) = if (a.len(), &a.pairs) <= (b.len(), &b.pairs) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let (overlap, conflicts) = match_counts_naive(space, x, y, cfg);
+        weights_from(overlap, conflicts, x.len(), y.len())
+    }
 }
 
 #[cfg(test)]
@@ -279,12 +758,17 @@ mod tests {
     fn symmetry() {
         let (space, t) = paper_tables();
         let cfg = SynthesisConfig::default();
+        let ctx = ScoringContext::build(&space, &t, &cfg, &MapReduce::new(2));
         for i in 0..t.len() {
             for j in 0..t.len() {
                 let wij = score_pair(&space, &t[i], &t[j], &cfg);
                 let wji = score_pair(&space, &t[j], &t[i], &cfg);
                 assert!((wij.pos - wji.pos).abs() < 1e-9, "pos asym {i},{j}");
                 assert!((wij.neg - wji.neg).abs() < 1e-9, "neg asym {i},{j}");
+                // Context path must agree and be symmetric too.
+                let cij = ctx.score_pair(&space, i as u32, j as u32);
+                assert_eq!(cij, ctx.score_pair(&space, j as u32, i as u32));
+                assert_eq!(cij, wij);
             }
         }
     }
@@ -346,9 +830,73 @@ mod tests {
         let counts = MatchCounts {
             overlap: 100,
             conflicts: 100,
+            ..Default::default()
         };
         let w = pair_weights(counts, 10, 10);
         assert!(w.pos <= 1.0 && w.neg >= -1.0);
+    }
+
+    #[test]
+    fn exact_counts_match_approx_disabled_run() {
+        // One merge-join carries both variants: the exact side must
+        // equal a full scoring run with approximate matching off.
+        let (space, t) = paper_tables();
+        let cfg = SynthesisConfig::default();
+        let no_approx = SynthesisConfig {
+            approx_matching: false,
+            ..cfg
+        };
+        let ctx = ScoringContext::build(&space, &t, &cfg, &MapReduce::new(2));
+        for i in 0..t.len() as u32 {
+            for j in 0..t.len() as u32 {
+                let both = ctx.counts(&space, i, j);
+                let exact_only =
+                    ctx.counts_with(&space, i, j, cfg.match_params, false, cfg.max_approx_cross);
+                assert_eq!(both.exact_overlap, exact_only.overlap);
+                assert_eq!(both.exact_conflicts, exact_only.conflicts);
+                let w = score_pair(&space, &t[i as usize], &t[j as usize], &no_approx);
+                assert_eq!(
+                    both.weights(t[i as usize].len(), t[j as usize].len(), false),
+                    w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn covers_reflects_memo_width() {
+        let (space, t) = paper_tables();
+        let cfg = SynthesisConfig::default();
+        let ctx = ScoringContext::build(&space, &t, &cfg, &MapReduce::new(1));
+        assert!(ctx.covers(&cfg));
+        let tighter = SynthesisConfig {
+            match_params: MatchParams { f_ed: 0.1, k_ed: 5 },
+            ..cfg
+        };
+        assert!(ctx.covers(&tighter));
+        let wider = SynthesisConfig {
+            match_params: MatchParams {
+                f_ed: 0.5,
+                k_ed: 10,
+            },
+            ..cfg
+        };
+        assert!(!ctx.covers(&wider));
+        // Approx off is always derivable, even from a no-memo context.
+        let no_approx_ctx = ScoringContext::build(
+            &space,
+            &t,
+            &SynthesisConfig {
+                approx_matching: false,
+                ..cfg
+            },
+            &MapReduce::new(1),
+        );
+        assert!(no_approx_ctx.covers(&SynthesisConfig {
+            approx_matching: false,
+            ..cfg
+        }));
+        assert!(!no_approx_ctx.covers(&cfg));
     }
 }
 
@@ -407,6 +955,141 @@ mod prop_tests {
             let w2 = score_pair(&space, &tables[1], &tables[0], &cfg);
             prop_assert!((w.pos - w2.pos).abs() < 1e-9);
             prop_assert!((w.neg - w2.neg).abs() < 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod oracle_tests {
+    //! The merge-join + memo fast path property-checked against the
+    //! naive reference implementation on generated corpora that
+    //! exercise every matching layer: class equality, synonym folding,
+    //! approximate left/right matches, residual keys, and conflicts.
+
+    use super::reference::{match_counts_naive, score_pair_naive};
+    use super::*;
+    use crate::values::build_value_space;
+    use mapsynth_corpus::{BinaryId, BinaryTable, Corpus, TableId};
+    use mapsynth_mapreduce::MapReduce;
+    use mapsynth_text::SynonymDict;
+    use proptest::prelude::*;
+
+    /// A generated table: rows of (entity id, variant, code id, code
+    /// variant). Variants introduce typo'd spellings so approximate
+    /// matching fires for both lefts and rights.
+    type GenTable = Vec<(u8, u8, u8, u8)>;
+
+    fn left_str(entity: u8, variant: u8) -> String {
+        // ≥ 5 chars after compaction so the fractional threshold is
+        // non-zero and typos land inside it.
+        let base = format!("entity number {entity} of the corpus");
+        match variant % 4 {
+            0 => base,
+            1 => base.replace("number", "numbr"),  // deletion
+            2 => base.replace("corpus", "korpus"), // substitution
+            _ => format!("{base}x"),               // insertion
+        }
+    }
+
+    fn right_str(code: u8, variant: u8) -> String {
+        let base = format!("mapping code {code}");
+        match variant % 3 {
+            0 => base,
+            1 => base.replace("code", "cod"),
+            _ => format!("{base}s"),
+        }
+    }
+
+    fn tables_strategy() -> impl Strategy<Value = (Vec<GenTable>, bool, bool)> {
+        let row = (0u8..10, 0u8..4, 0u8..5, 0u8..3);
+        let table = proptest::collection::vec(row, 2..9);
+        (
+            proptest::collection::vec(table, 2..6),
+            0u8..2, // attach a synonym feed
+            0u8..2, // approximate matching on/off
+        )
+            .prop_map(|(t, s, a)| (t, s == 1, a == 1))
+    }
+
+    fn build(gen: &[GenTable], synonyms: bool) -> (std::sync::Arc<ValueSpace>, Vec<NormBinary>) {
+        let mut corpus = Corpus::new();
+        let d = corpus.domain("x");
+        let cands: Vec<BinaryTable> = gen
+            .iter()
+            .enumerate()
+            .map(|(i, rows)| {
+                let syms = rows
+                    .iter()
+                    .map(|&(e, ev, c, cv)| {
+                        (
+                            corpus.interner.intern(&left_str(e, ev)),
+                            corpus.interner.intern(&right_str(c, cv)),
+                        )
+                    })
+                    .collect();
+                BinaryTable::new(BinaryId(i as u32), TableId(i as u32), d, 0, 1, syms)
+            })
+            .collect();
+        let mut dict = SynonymDict::new();
+        if synonyms {
+            // Fold a typo variant into its base spelling for one entity
+            // and one code (distinct values collapse into one class, so
+            // class equality fires across different strings).
+            dict.declare(&left_str(1, 0), &left_str(1, 1));
+            dict.declare(&right_str(1, 0), &right_str(1, 1));
+        }
+        build_value_space(&corpus, &cands, &dict, &MapReduce::new(2))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The tentpole invariant: merge-join + memo counts are
+        /// bit-identical to the naive loop for every table pair, every
+        /// orientation, with and without approximate matching.
+        #[test]
+        fn prop_fast_path_matches_naive((gen, synonyms, approx) in tables_strategy()) {
+            let (space, tables) = build(&gen, synonyms);
+            prop_assume!(tables.len() >= 2);
+            let cfg = SynthesisConfig {
+                approx_matching: approx,
+                ..Default::default()
+            };
+            let ctx = ScoringContext::build(&space, &tables, &cfg, &MapReduce::new(2));
+            for i in 0..tables.len() {
+                for j in 0..tables.len() {
+                    let naive = match_counts_naive(&space, &tables[i], &tables[j], &cfg);
+                    let fast = match_counts(&space, &tables[i], &tables[j], &cfg);
+                    prop_assert_eq!(
+                        (fast.overlap, fast.conflicts),
+                        naive,
+                        "direction-sensitive counts differ for ({}, {})", i, j
+                    );
+                    // Context path (canonical orientation) vs oracle
+                    // score_pair.
+                    let w_ctx = ctx.score_pair(&space, i as u32, j as u32);
+                    let w_naive = score_pair_naive(&space, &tables[i], &tables[j], &cfg);
+                    prop_assert_eq!(w_ctx, w_naive, "weights differ for ({}, {})", i, j);
+                }
+            }
+        }
+
+        /// Tiny cross-product guard: forcing the guard low must disable
+        /// residual matching identically on both paths.
+        #[test]
+        fn prop_guard_respected((gen, synonyms, _) in tables_strategy(), guard in 0usize..64) {
+            let (space, tables) = build(&gen, synonyms);
+            prop_assume!(tables.len() >= 2);
+            let cfg = SynthesisConfig {
+                max_approx_cross: guard,
+                ..Default::default()
+            };
+            for i in 0..tables.len() {
+                for j in 0..tables.len() {
+                    let naive = match_counts_naive(&space, &tables[i], &tables[j], &cfg);
+                    let fast = match_counts(&space, &tables[i], &tables[j], &cfg);
+                    prop_assert_eq!((fast.overlap, fast.conflicts), naive);
+                }
+            }
         }
     }
 }

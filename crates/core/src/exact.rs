@@ -277,14 +277,14 @@ mod tests {
     use proptest::prelude::*;
 
     fn graph(n: usize, edges: Vec<(u32, u32, f64, f64)>) -> CompatGraph {
-        CompatGraph {
+        CompatGraph::new(
             n,
-            edges: edges
+            edges
                 .into_iter()
                 .map(|(a, b, p, ng)| (a, b, EdgeWeights { pos: p, neg: ng }))
                 .collect(),
-            blocking: Default::default(),
-        }
+            Default::default(),
+        )
     }
 
     fn cfg() -> SynthesisConfig {

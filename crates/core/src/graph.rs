@@ -6,7 +6,7 @@
 //! its negative weight breaches the hard-constraint threshold `τ`.
 
 use crate::blocking::{candidate_pairs, BlockingStats};
-use crate::compat::score_pair;
+use crate::compat::ScoringContext;
 use crate::config::SynthesisConfig;
 use crate::values::{NormBinary, ValueSpace};
 use mapsynth_mapreduce::MapReduce;
@@ -27,25 +27,46 @@ pub struct EdgeWeights {
 pub struct CompatGraph {
     /// Vertex count.
     pub n: usize,
-    /// Edges `(a, b, weights)` with `a < b`, sorted.
+    /// Edges `(a, b, weights)` with `a < b`, sorted. Fixed at
+    /// construction — the sign counts below are computed once from
+    /// them, not re-scanned per query.
     pub edges: Vec<(u32, u32, EdgeWeights)>,
     /// Blocking statistics (for the scalability experiments).
     pub blocking: BlockingStats,
+    /// Edges with `neg < 0`, counted at construction.
+    negative_edge_count: usize,
+    /// Edges with `pos > 0`, counted at construction.
+    positive_edge_count: usize,
 }
 
 impl CompatGraph {
+    /// Build a graph from an edge list, counting edge signs once.
+    pub fn new(n: usize, edges: Vec<(u32, u32, EdgeWeights)>, blocking: BlockingStats) -> Self {
+        let negative_edge_count = edges.iter().filter(|(_, _, w)| w.neg < 0.0).count();
+        let positive_edge_count = edges.iter().filter(|(_, _, w)| w.pos > 0.0).count();
+        Self {
+            n,
+            edges,
+            blocking,
+            negative_edge_count,
+            positive_edge_count,
+        }
+    }
+
     /// Number of edges with a hard negative constraint.
     pub fn negative_edges(&self) -> usize {
-        self.edges.iter().filter(|(_, _, w)| w.neg < 0.0).count()
+        self.negative_edge_count
     }
 
     /// Number of edges with positive weight.
     pub fn positive_edges(&self) -> usize {
-        self.edges.iter().filter(|(_, _, w)| w.pos > 0.0).count()
+        self.positive_edge_count
     }
 }
 
-/// Build the compatibility graph: block, score in parallel, filter.
+/// Build the compatibility graph: block, build the shared
+/// [`ScoringContext`] (table views + approximate-match memo) once,
+/// score all blocked pairs in parallel off it, filter.
 pub fn build_graph(
     space: &ValueSpace,
     tables: &[NormBinary],
@@ -53,10 +74,8 @@ pub fn build_graph(
     mr: &MapReduce,
 ) -> CompatGraph {
     let (pairs, blocking) = candidate_pairs(space, tables, cfg, mr);
-    let scored = mr.par_map(&pairs, |&(a, b)| {
-        let w = score_pair(space, &tables[a as usize], &tables[b as usize], cfg);
-        (a, b, w)
-    });
+    let ctx = ScoringContext::build(space, tables, cfg, mr);
+    let scored = mr.par_map(&pairs, |&(a, b)| (a, b, ctx.score_pair(space, a, b)));
     let mut g = graph_from_scores(tables.len(), &scored, cfg);
     g.blocking = blocking;
     g
@@ -82,11 +101,7 @@ pub fn graph_from_scores(
             (pos > 0.0 || neg < 0.0).then_some((a, b, EdgeWeights { pos, neg }))
         })
         .collect();
-    CompatGraph {
-        n,
-        edges,
-        blocking: Default::default(),
-    }
+    CompatGraph::new(n, edges, Default::default())
 }
 
 #[cfg(test)]

@@ -79,6 +79,7 @@
 //! assert_eq!(output.mappings.len(), strict.mappings.len());
 //! ```
 
+pub mod approx;
 pub mod blocking;
 pub mod compat;
 pub mod config;
@@ -93,6 +94,8 @@ pub mod session;
 pub mod synth;
 pub mod values;
 
+pub use approx::{ApproxMemo, ApproxMemoStats};
+pub use compat::{MatchCounts, PairWeights, ScoringContext};
 pub use config::SynthesisConfig;
 pub use conflict::{resolve_conflicts, resolve_majority_vote, ConflictStats};
 pub use graph::{CompatGraph, EdgeWeights};
@@ -101,6 +104,8 @@ pub use pipeline::{
     synthesize_from, synthesize_graph, Pipeline, PipelineConfig, PipelineOutput, Resolver,
     StageTimings,
 };
-pub use session::{ExtractionArtifact, ScoreArtifact, SessionRun, SynthesisSession, ValueArtifact};
+pub use session::{
+    ExtractionArtifact, ScoreArtifact, ScoringDetail, SessionRun, SynthesisSession, ValueArtifact,
+};
 pub use synth::SynthesizedMapping;
 pub use values::{NormBinary, NormId, ValueSpace};

@@ -242,11 +242,7 @@ pub fn partition_by_components(
             .iter()
             .map(|&(a, b, w)| (local_of[&a], local_of[&b], w))
             .collect();
-        let sub = CompatGraph {
-            n: comp.len(),
-            edges,
-            blocking: Default::default(),
-        };
+        let sub = CompatGraph::new(comp.len(), edges, Default::default());
         let part = greedy_partition(&sub, cfg);
         part.groups
             .into_iter()
@@ -268,14 +264,14 @@ mod tests {
     use crate::graph::EdgeWeights;
 
     fn graph(n: usize, edges: Vec<(u32, u32, f64, f64)>) -> CompatGraph {
-        CompatGraph {
+        CompatGraph::new(
             n,
-            edges: edges
+            edges
                 .into_iter()
                 .map(|(a, b, p, ng)| (a, b, EdgeWeights { pos: p, neg: ng }))
                 .collect(),
-            blocking: Default::default(),
-        }
+            Default::default(),
+        )
     }
 
     fn cfg() -> SynthesisConfig {

@@ -8,7 +8,7 @@
 //! |---|---|---|
 //! | 1. Extraction | [`ExtractionArtifact`] (candidates + stats) | everything |
 //! | 2. Value space | [`ValueArtifact`] (`Arc<ValueSpace>` + `Vec<NormBinary>`) | everything |
-//! | 3. Blocking + scoring | [`ScoreArtifact`] (scored candidate pairs) | `θ_edge` / `τ` / resolver variants |
+//! | 3. Blocking + scoring | [`ScoreArtifact`] (match counts + scored pairs + [`ScoringContext`]) | `θ_edge` / `τ` / resolver / matching-parameter variants |
 //! | 4. Graph + partition + resolve | [`SessionRun`] | — (cheap, per variant) |
 //!
 //! Evaluation harnesses and baselines run **many** configurations —
@@ -23,10 +23,19 @@
 //! **Scope of reuse:** scored pairs are blocked with the session's
 //! base config, so variants may differ in `theta_edge`, `tau`,
 //! `use_negative` (graph-filter parameters) and in the resolver.
-//! Variants that change blocking or matching parameters
-//! (`theta_overlap`, `max_key_fanout`, `approx_matching`,
-//! `match_params`) need their own session.
+//! Because [`ScoreArtifact`] stores raw [`MatchCounts`] (exact and
+//! approximate-inclusive) plus the [`ScoringContext`] with its
+//! edit-distance memo, variants may **also** differ in matching
+//! parameters: toggling `approx_matching` off derives weights
+//! arithmetically from the stored counts, and tightening
+//! `match_params` (`f_ed' ≤ f_ed`, `k_ed' ≤ k_ed`) or changing the
+//! `max_approx_cross` guard re-runs only the merge-join against
+//! memoized distances — zero edit-distance DP either way. Variants
+//! that change blocking (`theta_overlap`, `max_key_fanout`) or *widen*
+//! `match_params` need their own session.
 
+use crate::approx::ApproxMemoStats;
+use crate::compat::{MatchCounts, PairWeights, ScoringContext};
 use crate::config::SynthesisConfig;
 use crate::conflict::{resolve_conflicts, resolve_majority_vote};
 use crate::curate;
@@ -62,14 +71,43 @@ pub struct ValueArtifact {
     pub elapsed: Duration,
 }
 
+/// Sub-stage cost breakdown of the scoring stage (the
+/// `graph_detail` block of `BENCH_pipeline.json`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScoringDetail {
+    /// Candidate-pair blocking (two Map-Reduce jobs).
+    pub blocking: Duration,
+    /// Per-table sorted-view construction.
+    pub index_build: Duration,
+    /// One-shot approximate-match memo pass (all edit distances).
+    pub approx_memo: Duration,
+    /// Merge-join match counting over all blocked pairs.
+    pub merge_join: Duration,
+    /// Approximate-memo counters (values, DP calls, cached pairs).
+    pub memo: ApproxMemoStats,
+}
+
 /// Stage-3 artifact: blocked and scored candidate pairs.
+///
+/// Stores **raw match counts**, not just derived weights: weights for
+/// matching-parameter variants (approximate matching off, tighter
+/// `f_ed`/`k_ed`) derive from these without re-running edit distance —
+/// see [`SynthesisSession::weights_for`].
 pub struct ScoreArtifact {
-    /// `(a, b, weights)` for every blocked pair, sorted by `(a, b)`.
-    pub scored: Vec<(u32, u32, crate::compat::PairWeights)>,
+    /// `(a, b, weights)` for every blocked pair under the base config,
+    /// sorted by `(a, b)`.
+    pub scored: Vec<(u32, u32, PairWeights)>,
+    /// `(a, b, raw match counts)` for every blocked pair, same order.
+    pub counts: Vec<(u32, u32, MatchCounts)>,
+    /// The shared scoring state (table views + edit-distance memo) the
+    /// counts were computed from; kept for matching-parameter variants.
+    pub context: ScoringContext,
     /// Blocking statistics.
     pub blocking: crate::blocking::BlockingStats,
-    /// Stage wall-clock (blocking + pairwise scoring).
+    /// Stage wall-clock (blocking + context build + pairwise counting).
     pub elapsed: Duration,
+    /// Sub-stage cost breakdown.
+    pub detail: ScoringDetail,
 }
 
 /// One synthesis variant derived from a prepared session.
@@ -206,24 +244,49 @@ impl SynthesisSession {
         if self.scores.is_none() {
             let t = Instant::now();
             let values = self.values.as_ref().unwrap();
-            let (pairs, blocking) = crate::blocking::candidate_pairs(
-                &values.space,
-                &values.tables,
-                &self.cfg.synthesis,
-                &self.mr,
-            );
             let space = &values.space;
             let tables = &values.tables;
             let cfg = &self.cfg.synthesis;
-            let scored = self.mr.par_map(&pairs, |&(a, b)| {
-                let w =
-                    crate::compat::score_pair(space, &tables[a as usize], &tables[b as usize], cfg);
-                (a, b, w)
-            });
+            let (pairs, blocking) = crate::blocking::candidate_pairs(space, tables, cfg, &self.mr);
+            let blocking_time = t.elapsed();
+
+            // Shared scoring state: per-table sorted views + the
+            // one-shot approximate-match memo.
+            let context = ScoringContext::build(space, tables, cfg, &self.mr);
+
+            // Allocation-light merge-join per blocked pair; raw counts
+            // are the stored artifact, weights derive arithmetically.
+            let t_join = Instant::now();
+            let counts: Vec<(u32, u32, MatchCounts)> = self
+                .mr
+                .par_map(&pairs, |&(a, b)| (a, b, context.counts(space, a, b)));
+            let merge_join = t_join.elapsed();
+            let scored: Vec<(u32, u32, PairWeights)> = counts
+                .iter()
+                .map(|&(a, b, c)| {
+                    let w = c.weights(
+                        tables[a as usize].len(),
+                        tables[b as usize].len(),
+                        cfg.approx_matching,
+                    );
+                    (a, b, w)
+                })
+                .collect();
+
+            let detail = ScoringDetail {
+                blocking: blocking_time,
+                index_build: context.build_stats.index_build,
+                approx_memo: context.build_stats.approx_memo,
+                merge_join,
+                memo: context.build_stats.memo,
+            };
             self.scores = Some(ScoreArtifact {
                 scored,
+                counts,
+                context,
                 blocking,
                 elapsed: t.elapsed(),
+                detail,
             });
         }
         (
@@ -248,14 +311,86 @@ impl SynthesisSession {
         self.scores.as_ref()
     }
 
+    /// Whether `cfg`'s matching settings equal the base config's (in
+    /// which case the precomputed weights apply verbatim). With
+    /// approximate matching on, the cross-product guard
+    /// `max_approx_cross` changes counts too, so it is part of the
+    /// identity check.
+    fn base_matching(&self, cfg: &SynthesisConfig) -> bool {
+        let base = &self.cfg.synthesis;
+        cfg.approx_matching == base.approx_matching
+            && (!cfg.approx_matching
+                || (cfg.match_params == base.match_params
+                    && cfg.max_approx_cross == base.max_approx_cross))
+    }
+
+    /// Per-pair weights for a config variant, derived from the stored
+    /// match counts with **zero** edit-distance work:
+    ///
+    /// * same matching settings as the base config → the precomputed
+    ///   weights;
+    /// * `approx_matching` off → arithmetic derivation from the exact
+    ///   counts;
+    /// * tighter `match_params` and/or a different `max_approx_cross`
+    ///   guard → the merge-join re-runs against the context's memoized
+    ///   distances (no DP).
+    ///
+    /// Panics if [`prepare`](Self::prepare) has not run, or if the
+    /// variant *widens* `match_params` beyond the memo (those need
+    /// their own session).
+    pub fn weights_for(&self, cfg: &SynthesisConfig) -> Vec<(u32, u32, PairWeights)> {
+        let values = self
+            .values
+            .as_ref()
+            .expect("prepare() before weights_for()");
+        let scores = self
+            .scores
+            .as_ref()
+            .expect("prepare() before weights_for()");
+        if self.base_matching(cfg) {
+            return scores.scored.clone();
+        }
+        assert!(
+            scores.context.covers(cfg),
+            "variant match params {:?} are wider than the session's memo; \
+             use a separate session",
+            cfg.match_params
+        );
+        let tables = &values.tables;
+        if !cfg.approx_matching {
+            scores
+                .counts
+                .iter()
+                .map(|&(a, b, c)| {
+                    let w = c.weights(tables[a as usize].len(), tables[b as usize].len(), false);
+                    (a, b, w)
+                })
+                .collect()
+        } else {
+            let space = &values.space;
+            let ctx = &scores.context;
+            self.mr.par_map(&scores.counts, |&(a, b, _)| {
+                let c = ctx.counts_with(space, a, b, cfg.match_params, true, cfg.max_approx_cross);
+                let w = c.weights(tables[a as usize].len(), tables[b as usize].len(), true);
+                (a, b, w)
+            })
+        }
+    }
+
     /// Derive a compatibility graph for a config variant from the
-    /// cached scores (cheap: a filter pass, no re-scoring).
+    /// cached scores (cheap: a filter pass — plus, for matching
+    /// variants, an arithmetic or memo-backed re-derivation of the
+    /// weights; never any edit distance).
     ///
     /// Panics if [`prepare`](Self::prepare) has not run.
     pub fn graph(&self, cfg: &SynthesisConfig) -> CompatGraph {
         let values = self.values.as_ref().expect("prepare() before graph()");
         let scores = self.scores.as_ref().expect("prepare() before graph()");
-        let mut g = graph_from_scores(values.tables.len(), &scores.scored, cfg);
+        let mut g = if self.base_matching(cfg) {
+            graph_from_scores(values.tables.len(), &scores.scored, cfg)
+        } else {
+            graph_from_scores(values.tables.len(), &self.weights_for(cfg), cfg)
+        };
         g.blocking = scores.blocking;
         g
     }
@@ -489,6 +624,82 @@ mod tests {
             ..s.cfg.synthesis
         });
         assert!(loose.edges.len() >= tight.edges.len());
+    }
+
+    #[test]
+    fn matching_variants_reuse_counts_without_rescoring() {
+        // Corpus with typo'd spellings so approximate matching has
+        // real work to memoize.
+        let mut corpus = corpus();
+        for i in 0..4 {
+            let d = corpus.domain(&format!("typo-{i}.org"));
+            let rows: Vec<(&str, &str)> = vec![
+                ("Afghanistan", "AFG"),
+                ("Albania xy", "ALB"),
+                ("Algeria", "DZA"),
+                ("Germany z", "DEU"),
+                ("Netherland", "NLD"),
+                ("Greece", "GRC"),
+            ];
+            let (l, r): (Vec<&str>, Vec<&str>) = rows.iter().cloned().unzip();
+            corpus.push_table(d, vec![(Some("country"), l), (Some("code"), r)]);
+        }
+
+        let mut shared = SynthesisSession::new(PipelineConfig::default());
+        shared.prepare(&corpus);
+        let base = shared.cfg.synthesis;
+
+        // Variant 1: approximate matching off — derived arithmetically
+        // from stored exact counts; must equal a fresh session.
+        // Variant 2: tighter match params — merge-join over the memo;
+        // must equal a fresh session scored at those params.
+        // Variant 3: a tiny cross-product guard — disables the
+        // residual pass for most pairs; the guard is part of matching
+        // identity, so this must re-derive, not reuse base weights.
+        let variants = [
+            SynthesisConfig {
+                approx_matching: false,
+                ..base
+            },
+            SynthesisConfig {
+                match_params: mapsynth_text::MatchParams { f_ed: 0.1, k_ed: 5 },
+                ..base
+            },
+            SynthesisConfig {
+                max_approx_cross: 4,
+                ..base
+            },
+        ];
+        for cfg in variants {
+            let derived = shared.graph(&cfg);
+            let mut fresh = SynthesisSession::new(PipelineConfig {
+                synthesis: cfg,
+                ..Default::default()
+            });
+            fresh.prepare(&corpus);
+            let scratch = fresh.graph(&cfg);
+            assert_eq!(
+                derived.edges, scratch.edges,
+                "derived variant graph must be byte-identical (approx={}, f_ed={})",
+                cfg.approx_matching, cfg.match_params.f_ed
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the session's memo")]
+    fn widening_match_params_is_rejected() {
+        let corpus = corpus();
+        let mut s = SynthesisSession::new(PipelineConfig::default());
+        s.prepare(&corpus);
+        let wide = SynthesisConfig {
+            match_params: mapsynth_text::MatchParams {
+                f_ed: 0.5,
+                k_ed: 10,
+            },
+            ..s.cfg.synthesis
+        };
+        let _ = s.weights_for(&wide);
     }
 
     #[test]

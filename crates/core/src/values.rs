@@ -33,6 +33,11 @@ pub struct ValueSpace {
     /// NormId → class id. Values in the same synonym class share a
     /// class id; values outside any class have a unique one.
     class: Vec<u32>,
+    /// NormId → `char` count of the compact string, precomputed so the
+    /// approximate-matching hot path never re-walks UTF-8 (and never
+    /// confuses byte lengths with character lengths — edit-distance
+    /// thresholds are measured in characters).
+    char_len: Vec<u32>,
 }
 
 impl ValueSpace {
@@ -53,6 +58,13 @@ impl ValueSpace {
         self.class[id.0 as usize]
     }
 
+    /// Cached `char` count of the compact string (the length used by
+    /// fractional edit-distance thresholds).
+    #[inline]
+    pub fn compact_chars(&self, id: NormId) -> u32 {
+        self.char_len[id.0 as usize]
+    }
+
     /// Number of distinct normalized values.
     pub fn len(&self) -> usize {
         self.strings.len()
@@ -69,15 +81,17 @@ impl ValueSpace {
     /// [`build_value_space`].
     pub fn from_strings<I: IntoIterator<Item = String>>(strings: I) -> Arc<Self> {
         let strings: Vec<String> = strings.into_iter().collect();
-        let compact = strings
+        let compact: Vec<String> = strings
             .iter()
             .map(|s| s.chars().filter(|c| !c.is_whitespace()).collect())
             .collect();
         let class = (0..strings.len() as u32).collect();
+        let char_len = compact.iter().map(|s| s.chars().count() as u32).collect();
         Arc::new(Self {
             strings,
             compact,
             class,
+            char_len,
         })
     }
 }
@@ -179,13 +193,15 @@ pub fn build_value_space(
         }
     }
 
-    let compact = mr.par_map(&strings, |s| {
+    let compact: Vec<String> = mr.par_map(&strings, |s| {
         s.chars().filter(|c| !c.is_whitespace()).collect()
     });
+    let char_len = compact.iter().map(|s| s.chars().count() as u32).collect();
     let space = Arc::new(ValueSpace {
         strings,
         compact,
         class,
+        char_len,
     });
 
     // Parallel projection of each candidate into the space.
@@ -280,6 +296,35 @@ mod tests {
             build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2));
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].idx, 1);
+    }
+
+    #[test]
+    fn char_lengths_count_chars_not_bytes() {
+        let (corpus, cands) = mk_candidates(vec![vec![
+            ("Côte d'Ivoire", "CIV"),
+            ("São Tomé", "STP"),
+            ("Curaçao", "CUW"),
+        ]]);
+        let (space, tables) =
+            build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2));
+        for &(l, r) in &tables[0].pairs {
+            for id in [l, r] {
+                assert_eq!(
+                    space.compact_chars(id) as usize,
+                    space.compact(id).chars().count(),
+                    "cached char length must match {:?}",
+                    space.compact(id)
+                );
+            }
+        }
+        // Multi-byte values must not report byte lengths.
+        let cote = tables[0]
+            .pairs
+            .iter()
+            .find(|&&(l, _)| space.string(l).contains("ivoire"))
+            .unwrap()
+            .0;
+        assert!(space.compact(cote).len() > space.compact_chars(cote) as usize);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! §5.4 sensitivity analysis: θ (approximate-FD), τ (hard-conflict),
-//! θ_overlap (blocking), θ_edge (positive-edge filter).
+//! θ_overlap (blocking), θ_edge (positive-edge filter), and the
+//! matching thresholds `f_ed` / approximate-matching toggle (served
+//! from the session's stored match counts — no edit distance re-runs).
 //!
 //! Paper findings to reproduce in shape: mapping counts barely move for
 //! θ ∈ [0.93, 0.97]; quality is insensitive to small τ with a peak near
@@ -145,6 +147,40 @@ pub fn run(cfg: &ExpConfig) {
         &cfg.out_dir,
         "sensitivity_theta_overlap",
         "Sensitivity (§5.4): blocking threshold θ_overlap",
+        &t,
+    );
+
+    // --- matching-threshold sweep (f_ed + approx toggle) ---
+    // Weights derive from the session's cached match counts; the sweep
+    // re-runs zero edit-distance DP (tighter f_ed resolves against the
+    // memoized distances, "exact" drops to the class-equality counts).
+    let mut t = Table::new(&["matching", "avg_fscore", "avg_precision", "avg_recall"]);
+    let mut settings: Vec<SynthesisConfig> = [0.05, 0.1, 0.2]
+        .iter()
+        .map(|&f_ed| SynthesisConfig {
+            match_params: mapsynth_text::MatchParams { f_ed, k_ed: 10 },
+            ..Default::default()
+        })
+        .collect();
+    settings.push(SynthesisConfig {
+        approx_matching: false,
+        ..Default::default()
+    });
+    for run in prepared.sweep_matching(&settings, Resolver::Algorithm4) {
+        let scorer = ResultScorer::new(&run.results);
+        let per: Vec<Score> = cases.iter().map(|c| scorer.best_for(&c.gt).0).collect();
+        let s = mean_score(&per);
+        t.row(vec![
+            run.label,
+            format!("{:.3}", s.f),
+            format!("{:.3}", s.precision),
+            format!("{:.3}", s.recall),
+        ]);
+    }
+    emit(
+        &cfg.out_dir,
+        "sensitivity_matching",
+        "Sensitivity (§5.4): approximate-matching thresholds (reused match counts)",
         &t,
     );
 

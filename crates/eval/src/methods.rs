@@ -166,6 +166,49 @@ impl PreparedWeb {
         &self.session.scores().expect("prepared").scored
     }
 
+    /// Raw per-pair match counts (stage-3 artifact). Matching-parameter
+    /// sweeps derive weights from these — see
+    /// [`sweep_matching`](Self::sweep_matching).
+    pub fn match_counts(&self) -> &[(u32, u32, mapsynth::MatchCounts)] {
+        &self.session.scores().expect("prepared").counts
+    }
+
+    /// Sweep Synthesis over matching-parameter settings (the paper's
+    /// `f_ed`/`k_ed` and the approximate-matching toggle), one
+    /// `MethodRun` per setting.
+    ///
+    /// Each setting's pair weights derive from the session's **stored
+    /// match counts** — arithmetically for the approx toggle, via the
+    /// merge-join over memoized distances for tighter `f_ed`/`k_ed` —
+    /// so no edit-distance DP is re-run anywhere in the sweep.
+    /// Settings must not widen the session's base `match_params`.
+    pub fn sweep_matching(
+        &self,
+        settings: &[SynthesisConfig],
+        resolver: Resolver,
+    ) -> Vec<MethodRun> {
+        let with_scores = self.extraction_time() + self.scoring_time();
+        settings
+            .iter()
+            .map(|cfg| {
+                let t = Instant::now();
+                let results = self.run_synthesis(cfg, resolver);
+                MethodRun {
+                    label: if cfg.approx_matching {
+                        format!(
+                            "f_ed={},k_ed={}",
+                            cfg.match_params.f_ed, cfg.match_params.k_ed
+                        )
+                    } else {
+                        "exact".to_string()
+                    },
+                    results,
+                    runtime: with_scores + t.elapsed(),
+                }
+            })
+            .collect()
+    }
+
     /// Extraction wall-clock.
     pub fn extraction_time(&self) -> Duration {
         self.session.extraction().expect("prepared").elapsed

@@ -33,9 +33,17 @@ impl Default for MatchParams {
 /// `θ_ed(v1,v2) = min{⌊|v1|·f_ed⌋, ⌊|v2|·f_ed⌋, k_ed}`
 /// measured in characters.
 pub fn fractional_threshold(v1: &str, v2: &str, params: MatchParams) -> u32 {
-    let l1 = v1.chars().count() as f64;
-    let l2 = v2.chars().count() as f64;
-    let t = (l1 * params.f_ed).floor().min((l2 * params.f_ed).floor());
+    fractional_threshold_for_lens(v1.chars().count(), v2.chars().count(), params)
+}
+
+/// [`fractional_threshold`] from already-known `char` counts, for
+/// callers that cache value lengths (the scoring hot path). Uses the
+/// exact same float arithmetic so results are bit-identical.
+#[inline]
+pub fn fractional_threshold_for_lens(l1: usize, l2: usize, params: MatchParams) -> u32 {
+    let t = (l1 as f64 * params.f_ed)
+        .floor()
+        .min((l2 as f64 * params.f_ed).floor());
     (t as u32).min(params.k_ed)
 }
 
@@ -204,6 +212,26 @@ mod tests {
     fn unicode_chars_count_as_single_edits() {
         assert_eq!(edit_distance_full("café", "cafe"), 1);
         assert_eq!(edit_distance_within("café", "cafe", 1), Some(1));
+    }
+
+    #[test]
+    fn threshold_for_lens_matches_string_form() {
+        for f_ed in [0.0, 0.1, 0.2, 0.3, 0.5] {
+            for k_ed in [0u32, 1, 5, 10] {
+                let p = MatchParams { f_ed, k_ed };
+                for la in 0usize..40 {
+                    for lb in 0usize..40 {
+                        let a = "x".repeat(la);
+                        let b = "y".repeat(lb);
+                        assert_eq!(
+                            fractional_threshold(&a, &b, p),
+                            fractional_threshold_for_lens(la, lb, p),
+                            "lens {la},{lb} params {p:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     proptest! {

@@ -19,7 +19,7 @@ pub mod synonyms;
 
 pub use editdist::{
     approx_match, approx_match_compact, edit_distance_full, edit_distance_within,
-    fractional_threshold, MatchParams,
+    fractional_threshold, fractional_threshold_for_lens, MatchParams,
 };
 pub use normalize::normalize;
 pub use synonyms::SynonymDict;

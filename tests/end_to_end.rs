@@ -113,6 +113,38 @@ fn deterministic_outputs_across_runs() {
 }
 
 #[test]
+fn scoring_deterministic_across_worker_counts() {
+    // The scoring rewrite (shared views + approximate-match memo) must
+    // keep the engine's determinism contract: identical compatibility
+    // graphs — edge sets *and* weights — for any worker count.
+    use mapsynth::pipeline::SynthesisSession;
+
+    let wc = corpus();
+    let mut graphs = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let mut session = SynthesisSession::new(PipelineConfig {
+            workers,
+            ..Default::default()
+        });
+        session.prepare(&wc.corpus);
+        graphs.push((workers, session.graph(&session.config().synthesis)));
+    }
+    let (_, reference) = &graphs[0];
+    for (workers, g) in &graphs[1..] {
+        assert_eq!(
+            g.edges.len(),
+            reference.edges.len(),
+            "{workers} workers: edge count"
+        );
+        for (a, b) in g.edges.iter().zip(&reference.edges) {
+            assert_eq!(a, b, "{workers} workers: edge mismatch");
+        }
+        assert_eq!(g.negative_edges(), reference.negative_edges());
+        assert_eq!(g.positive_edges(), reference.positive_edges());
+    }
+}
+
+#[test]
 fn stage_artifacts_reused_across_resolvers() {
     // The staged-engine contract: prepare stages 1–3 once, then derive
     // every resolver variant from the same extraction + value space +
