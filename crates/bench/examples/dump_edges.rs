@@ -9,26 +9,40 @@
 //! cargo run --release -p mapsynth-bench --example dump_edges /tmp/after.txt
 //! cmp /tmp/before.txt /tmp/after.txt
 //! ```
+//!
+//! With a trailing `--delta` argument the dump is taken **after**
+//! applying the standard 5% incremental delta
+//! (`mapsynth_bench::bench_delta`) through `session.apply_delta` —
+//! the committed golden file `crates/bench/golden/delta_edges_200.txt`
+//! is this mode at 200 tables, regenerated via:
+//!
+//! ```text
+//! cargo run --release -p mapsynth-bench --example dump_edges -- \
+//!     crates/bench/golden/delta_edges_200.txt 200 --delta
+//! ```
 
 use mapsynth::pipeline::{PipelineConfig, SynthesisSession};
-use std::fmt::Write as _;
+use mapsynth_bench::{bench_delta, format_edges};
 
 fn main() {
-    let tables: usize = std::env::args()
-        .nth(2)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(600);
-    let wc = mapsynth_bench::bench_corpus(tables);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tables: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(600);
+    let delta_mode = args.iter().any(|a| a == "--delta");
+
+    let mut wc = mapsynth_bench::bench_corpus(tables);
     let mut session = SynthesisSession::new(PipelineConfig::default());
     session.prepare(&wc.corpus);
-    let graph = session.graph(&session.config().synthesis);
-    let mut out = String::new();
-    for &(a, b, w) in &graph.edges {
-        writeln!(out, "{a} {b} {:.17e} {:.17e}", w.pos, w.neg).unwrap();
+    if delta_mode {
+        let delta = bench_delta(&mut wc.corpus, tables);
+        session.apply_delta(&wc.corpus, &delta);
     }
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "edges.txt".into());
+    let graph = session.graph(&session.config().synthesis);
+    let out = format_edges(&graph);
+    let path = args.first().cloned().unwrap_or_else(|| "edges.txt".into());
     std::fs::write(&path, &out).unwrap();
-    eprintln!("wrote {} edges to {path}", graph.edges.len());
+    eprintln!(
+        "wrote {} edges to {path}{}",
+        graph.edges.len(),
+        if delta_mode { " (post-delta)" } else { "" }
+    );
 }

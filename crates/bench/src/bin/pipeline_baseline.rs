@@ -14,9 +14,9 @@
 //! (candidates, edges, partitions, mappings) drifted — timings are
 //! machine-dependent and informational only.
 
-use mapsynth::pipeline::{PipelineConfig, SynthesisSession};
-use mapsynth_bench::bench_corpus;
-use mapsynth_serve::{MappingService, SnapshotBuilder};
+use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
+use mapsynth_bench::{bench_corpus, bench_delta};
+use mapsynth_serve::{DeltaPublishStats, MappingService, SnapshotBuilder};
 use std::time::Instant;
 
 /// Lookups issued per throughput measurement (single- and multi-thread).
@@ -123,6 +123,81 @@ fn serving_stage(mappings: &[mapsynth::SynthesizedMapping], threads: usize) -> S
     }
 }
 
+/// Outcome of the incremental stage: counts + timings of the standard
+/// 5% bench delta, against a fresh full rebuild on the same corpus.
+struct DeltaBenchReport {
+    report: mapsynth::delta::DeltaReport,
+    /// Post-delta deterministic counts.
+    candidates: usize,
+    edges: usize,
+    partitions: usize,
+    mappings: usize,
+    /// Variant-tail wall-clock after the delta.
+    synth_ms: f64,
+    /// Fresh prepare + synthesize on the post-delta corpus.
+    rebuild_ms: f64,
+    /// Incremental snapshot publish of the post-delta mappings.
+    serve: DeltaPublishStats,
+    publish_delta_ms: f64,
+}
+
+/// The incremental stage: apply the standard 5% delta through
+/// `session.apply_delta`, re-derive the synthesis variant, publish the
+/// post-delta mappings incrementally, and time a full rebuild on the
+/// post-delta corpus as the reference — asserting along the way that
+/// the incremental output is identical to the rebuild's.
+fn delta_stage(
+    session: &mut SynthesisSession,
+    corpus: &mut mapsynth_corpus::Corpus,
+    tables: usize,
+    base_mappings: &[mapsynth::SynthesizedMapping],
+) -> DeltaBenchReport {
+    let delta = bench_delta(corpus, tables);
+    let report = session.apply_delta(corpus, &delta);
+
+    let t = Instant::now();
+    let run = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
+    let synth_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Incremental snapshot publish on top of the base mappings.
+    let service = MappingService::new();
+    service.publish(SnapshotBuilder::from_synthesized(base_mappings).build());
+    let t = Instant::now();
+    let (_, serve) = service.publish_delta(&run.mappings);
+    let publish_delta_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Reference: a batch session on the post-delta corpus.
+    let live = session.live_corpus(corpus);
+    let t = Instant::now();
+    let mut fresh = SynthesisSession::new(PipelineConfig::default());
+    let fresh_out = fresh.run(&live);
+    let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        run.mappings.len(),
+        fresh_out.mappings.len(),
+        "incremental delta diverged from the fresh rebuild"
+    );
+    for (a, b) in run.mappings.iter().zip(&fresh_out.mappings) {
+        assert_eq!(
+            a.materialize_pairs(),
+            b.materialize_pairs(),
+            "incremental delta diverged from the fresh rebuild"
+        );
+    }
+
+    DeltaBenchReport {
+        candidates: session.live_tables(),
+        edges: run.edges,
+        partitions: run.partitions,
+        mappings: run.mappings.len(),
+        synth_ms,
+        rebuild_ms,
+        serve,
+        publish_delta_ms,
+        report,
+    }
+}
+
 /// Pull an integer field out of a (flat-keyed) baseline JSON file.
 /// The baseline is written by this binary with unique key names, so a
 /// plain text scan is sufficient — no JSON dependency needed.
@@ -136,22 +211,40 @@ fn json_int(json: &str, key: &str) -> Option<i64> {
     rest[..end].parse().ok()
 }
 
-/// `--check` mode: rerun the pipeline at the committed corpus size and
-/// fail on any deterministic-count drift.
+/// Corpus size of the committed post-delta golden edge dump.
+const GOLDEN_TABLES: usize = 200;
+/// Committed golden dump of the post-delta compatibility-graph edges
+/// (repo-relative; `--check` runs from the workspace root in CI).
+const GOLDEN_PATH: &str = "crates/bench/golden/delta_edges_200.txt";
+
+/// `--check` mode: rerun the pipeline (batch *and* incremental stages)
+/// at the committed corpus size and fail on any deterministic-count
+/// drift — plus a byte-level compare of the post-delta edge dump
+/// against the committed golden file.
 fn check_against(path: &str) -> ! {
     let committed = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
     let tables = json_int(&committed, "corpus_tables").expect("corpus_tables in baseline") as usize;
 
-    let wc = bench_corpus(tables);
+    let mut wc = bench_corpus(tables);
     let mut session = SynthesisSession::new(PipelineConfig::default());
     let output = session.run(&wc.corpus);
+
+    // Incremental stage re-run (counts only; the full bench also times
+    // a rebuild).
+    let delta = bench_delta(&mut wc.corpus, tables);
+    session.apply_delta(&wc.corpus, &delta);
+    let run = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
 
     let expectations = [
         ("candidates", output.candidates as i64),
         ("edges", output.edges as i64),
         ("partitions", output.partitions as i64),
         ("mappings", output.mappings.len() as i64),
+        ("delta_candidates", session.live_tables() as i64),
+        ("delta_edges", run.edges as i64),
+        ("delta_partitions", run.partitions as i64),
+        ("delta_mappings", run.mappings.len() as i64),
     ];
     let mut drifted = false;
     for (key, actual) in expectations {
@@ -169,6 +262,28 @@ fn check_against(path: &str) -> ! {
             }
         }
     }
+
+    // Golden post-delta edge dump: byte-identical or drift.
+    match std::fs::read_to_string(GOLDEN_PATH) {
+        Ok(golden) => {
+            let fresh = mapsynth_bench::post_delta_edge_dump(GOLDEN_TABLES);
+            if golden == fresh {
+                eprintln!("check golden delta edges: {} bytes (ok)", golden.len());
+            } else {
+                eprintln!(
+                    "check golden delta edges: dump differs from {GOLDEN_PATH} (DRIFT); \
+                     regenerate via `cargo run --release -p mapsynth-bench --example dump_edges -- \
+                     {GOLDEN_PATH} {GOLDEN_TABLES} --delta` if intended"
+                );
+                drifted = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("check golden delta edges: cannot read {GOLDEN_PATH}: {e} (DRIFT)");
+            drifted = true;
+        }
+    }
+
     if drifted {
         eprintln!("pipeline counts drifted from {path}; regenerate the baseline if intended");
         std::process::exit(1);
@@ -189,7 +304,7 @@ fn main() {
     let out_path = args.first().cloned();
     let tables: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(600);
 
-    let wc = bench_corpus(tables);
+    let mut wc = bench_corpus(tables);
     let cfg = PipelineConfig::default();
     let mut session = SynthesisSession::new(cfg);
     let output = session.run(&wc.corpus);
@@ -201,9 +316,12 @@ fn main() {
         .unwrap_or(1);
     let serving = serving_stage(&output.mappings, threads);
 
+    let delta = delta_stage(&mut session, &mut wc.corpus, tables, &output.mappings);
+
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let delta_apply_ms = ms(delta.report.timings.total);
     let json = format!(
-        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"workers\": {},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"workers\": {},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }}\n}}\n",
         tables,
         output.candidates,
         output.edges,
@@ -234,6 +352,32 @@ fn main() {
         serving.threads,
         serving.multi_thread_qps,
         serving.hit_rate,
+        delta.report.tables_removed,
+        delta.report.tables_added,
+        usize::from(delta.report.reordered),
+        delta.report.coherence_flips,
+        delta.candidates,
+        delta.edges,
+        delta.partitions,
+        delta.mappings,
+        delta.report.pairs_kept,
+        delta.report.pairs_added,
+        delta.report.pairs_removed,
+        delta.report.memo_dp_calls,
+        ms(delta.report.timings.extraction),
+        ms(delta.report.timings.values),
+        ms(delta.report.timings.blocking),
+        ms(delta.report.timings.scoring),
+        delta_apply_ms,
+        delta.synth_ms,
+        delta.rebuild_ms,
+        delta.rebuild_ms / (delta_apply_ms + delta.synth_ms),
+        delta.serve.added,
+        delta.serve.removed,
+        delta.serve.unchanged,
+        delta.serve.rebuilt_shards,
+        delta.serve.total_shards,
+        delta.publish_delta_ms,
     );
     match out_path {
         Some(path) => {

@@ -14,6 +14,8 @@
 //! | `micro_scoring` | §4.1 hot path: shared `ScoringContext` vs throwaway per-pair scoring |
 //! | `apps_lookup` | §1 mapping-index containment lookup (Bloom) |
 
+use mapsynth::delta::CorpusDelta;
+use mapsynth_corpus::{Corpus, TableId};
 use mapsynth_gen::procedural::ProceduralConfig;
 use mapsynth_gen::webgen::WebCorpus;
 use mapsynth_gen::{generate_web, WebConfig};
@@ -30,4 +32,79 @@ pub fn bench_corpus(tables: usize) -> WebCorpus {
         },
         ..Default::default()
     })
+}
+
+/// Append one table of `src` to `dst`, re-interning its strings (the
+/// two corpora own separate interners).
+pub fn append_table(dst: &mut Corpus, src: &Corpus, ti: usize) -> TableId {
+    let t = &src.tables[ti];
+    let name = &src.domain_names[t.domain.0 as usize];
+    let d = dst.domain(name);
+    let cols: Vec<(Option<&str>, Vec<&str>)> = t
+        .columns
+        .iter()
+        .map(|c| {
+            (
+                c.header.map(|h| src.str_of(h)),
+                c.values.iter().map(|&v| src.str_of(v)).collect(),
+            )
+        })
+        .collect();
+    dst.push_table(d, cols)
+}
+
+/// Format a compatibility graph's edge list (weights at 17 significant
+/// digits) for byte-identity golden comparisons.
+pub fn format_edges(graph: &mapsynth::CompatGraph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for &(a, b, w) in &graph.edges {
+        writeln!(out, "{a} {b} {:.17e} {:.17e}", w.pos, w.neg).unwrap();
+    }
+    out
+}
+
+/// The post-delta golden dump: prepare a [`bench_corpus`] of `tables`
+/// tables, apply the standard [`bench_delta`], and format the
+/// resulting compatibility-graph edges. Committed under
+/// `crates/bench/golden/` and byte-compared by
+/// `pipeline_baseline --check` so any drift in the incremental path —
+/// blocking, memo growth, count reuse — fails CI.
+pub fn post_delta_edge_dump(tables: usize) -> String {
+    use mapsynth::pipeline::{PipelineConfig, SynthesisSession};
+    let mut wc = bench_corpus(tables);
+    let mut session = SynthesisSession::new(PipelineConfig::default());
+    session.prepare(&wc.corpus);
+    let delta = bench_delta(&mut wc.corpus, tables);
+    session.apply_delta(&wc.corpus, &delta);
+    format_edges(&session.graph(&session.config().synthesis))
+}
+
+/// The standard incremental-update workload over a [`bench_corpus`] of
+/// `tables` tables: remove `tables/40` spread tables and append the
+/// same number of freshly generated ones (a "new crawl" of unseen
+/// sites) — a ~5% churn. Deterministic; mutates `corpus` by appending
+/// the new tables and returns the delta to apply.
+pub fn bench_delta(corpus: &mut Corpus, tables: usize) -> CorpusDelta {
+    let n = (tables / 40).max(1);
+    let mut seen = std::collections::HashSet::new();
+    let removed: Vec<TableId> = (0u32..)
+        .map(|k| TableId((k * 53) % tables as u32))
+        .filter(|t| seen.insert(*t))
+        .take(n)
+        .collect();
+    let fresh = generate_web(&WebConfig {
+        tables: n,
+        domains: (n / 3).max(2),
+        procedural: ProceduralConfig {
+            families: 4,
+            temporal_families: 0,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let added: Vec<TableId> = (0..fresh.corpus.len())
+        .map(|ti| append_table(corpus, &fresh.corpus, ti))
+        .collect();
+    CorpusDelta { added, removed }
 }

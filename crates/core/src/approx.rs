@@ -172,6 +172,156 @@ impl ApproxMemo {
         stats.matched_pairs = pairs.len();
 
         // Mirror into CSR adjacency + union approximate equivalents.
+        Self::from_pairs(n, params, pairs, stats)
+    }
+
+    /// Parameters the memo was built with.
+    pub fn params(&self) -> MatchParams {
+        self.params
+    }
+
+    /// Grow the memo for a corpus delta: `new_roles` covers the grown
+    /// value space (old values may have *gained* role bits from added
+    /// tables; removed tables' values keep theirs — stale bits only
+    /// ever cache extra pairs that no surviving query can reach, which
+    /// is harmless because any pair actually queried joins two values
+    /// carrying the role in live tables).
+    ///
+    /// Banded DP runs **only** for pairs that became queryable — one
+    /// side new or role-grown — against partners inside the length
+    /// window; everything already cached is carried over verbatim.
+    /// Deterministic for any worker count.
+    pub fn extend(
+        &self,
+        space: &ValueSpace,
+        old_roles: &[u8],
+        new_roles: &[u8],
+        mr: &MapReduce,
+    ) -> Self {
+        let n = space.len();
+        debug_assert_eq!(new_roles.len(), n);
+        let params = self.params;
+        let mut stats = self.stats;
+
+        // A pair needs evaluation iff it is compatible now but was not
+        // at build time (both-old compatible pairs were already
+        // decided). "Dirty" values — new or role-grown — are the only
+        // ones that can create such pairs.
+        let old_role = |i: usize| old_roles.get(i).copied().unwrap_or(0);
+        let dirty: Vec<bool> = (0..n).map(|i| new_roles[i] & !old_role(i) != 0).collect();
+        let fresh_pair = |x: u32, y: u32| {
+            new_roles[x as usize] & new_roles[y as usize] != 0
+                && old_role(x as usize) & old_role(y as usize) == 0
+        };
+
+        // Recover the cached pairs once (each mirrored entry with the
+        // larger partner id owns the pair).
+        let mut pairs: Vec<(u32, u32, u32)> = Vec::with_capacity(self.entries.len() / 2);
+        for x in 0..old_roles.len() as u32 {
+            for &(y, d) in self.neighbors(NormId(x)) {
+                if y > x {
+                    pairs.push((x, y, d));
+                }
+            }
+        }
+
+        let mut by_len: Vec<u32> = (0..n as u32)
+            .filter(|&i| new_roles[i as usize] != 0)
+            .collect();
+        stats.values = by_len.len();
+        by_len.sort_unstable_by_key(|&i| (space.compact_chars(NormId(i)), i));
+        let lens: Vec<u32> = by_len
+            .iter()
+            .map(|&i| space.compact_chars(NormId(i)))
+            .collect();
+
+        // Pass 1 — equal-compact groups among fresh pairs.
+        let mut by_compact: HashMap<&str, Vec<u32>> = HashMap::new();
+        for &i in &by_len {
+            by_compact
+                .entry(space.compact(NormId(i)))
+                .or_default()
+                .push(i);
+        }
+        let mut new_pairs: Vec<(u32, u32, u32)> = Vec::new();
+        for group in by_compact.values() {
+            for (gi, &x) in group.iter().enumerate() {
+                for &y in &group[gi + 1..] {
+                    if fresh_pair(x, y) && space.class(NormId(x)) != space.class(NormId(y)) {
+                        new_pairs.push((x.min(y), x.max(y), 0));
+                    }
+                }
+            }
+        }
+        stats.candidate_pairs += new_pairs.len();
+
+        // Pass 2 — banded DP over the length windows, parallel per
+        // value, owner = earlier in (length, id) order exactly as the
+        // full build's pass so thresholds agree bit-for-bit. Windows
+        // around non-dirty values are scanned only to find dirty
+        // partners (cheap comparisons, no DP).
+        type FoundPairs = (Vec<(u32, u32, u32)>, usize);
+        let positions: Vec<u32> = (0..by_len.len() as u32).collect();
+        let by_len_ref = &by_len;
+        let lens_ref = &lens;
+        let dirty_ref = &dirty;
+        let found: Vec<FoundPairs> = mr.par_map(&positions, |&p| {
+            let p = p as usize;
+            let x = by_len_ref[p];
+            let la = lens_ref[p];
+            let bound = fractional_threshold_for_lens(la as usize, la as usize, params);
+            let mut out = Vec::new();
+            let mut dps = 0usize;
+            if bound == 0 {
+                return (out, dps);
+            }
+            let max_len = la + bound;
+            let x_str = space.compact(NormId(x));
+            let x_class = space.class(NormId(x));
+            let x_dirty = dirty_ref[x as usize];
+            for q in p + 1..by_len_ref.len() {
+                let lb = lens_ref[q];
+                if lb > max_len {
+                    break;
+                }
+                let y = by_len_ref[q];
+                if !x_dirty && !dirty_ref[y as usize] {
+                    continue;
+                }
+                if !fresh_pair(x, y) || space.class(NormId(y)) == x_class {
+                    continue;
+                }
+                let y_str = space.compact(NormId(y));
+                if x_str == y_str {
+                    continue; // cached at distance 0 by pass 1
+                }
+                dps += 1;
+                if let Some(d) = edit_distance_within(x_str, y_str, bound) {
+                    out.push((x.min(y), x.max(y), d));
+                }
+            }
+            (out, dps)
+        });
+        for (found_pairs, dps) in found {
+            stats.candidate_pairs += dps;
+            stats.dp_calls += dps;
+            new_pairs.extend(found_pairs);
+        }
+        pairs.extend(new_pairs);
+        stats.matched_pairs = pairs.len();
+
+        Self::from_pairs(n, params, pairs, stats)
+    }
+
+    /// Assemble the CSR adjacency + union-find from an explicit pair
+    /// list (shared by [`build`](Self::build) and
+    /// [`extend`](Self::extend)).
+    fn from_pairs(
+        n: usize,
+        params: MatchParams,
+        pairs: Vec<(u32, u32, u32)>,
+        mut stats: ApproxMemoStats,
+    ) -> Self {
         let mut degree = vec![0u32; n];
         let mut uf = UnionFind::new(n);
         for &(x, y, _) in &pairs {
@@ -200,7 +350,6 @@ impl ApproxMemo {
             .map(|&(x, _, _)| component[x as usize])
             .collect::<std::collections::HashSet<_>>()
             .len();
-
         Self {
             params,
             offsets,
@@ -208,11 +357,6 @@ impl ApproxMemo {
             component,
             stats,
         }
-    }
-
-    /// Parameters the memo was built with.
-    pub fn params(&self) -> MatchParams {
-        self.params
     }
 
     /// Whether queries at `params` are answerable from this memo

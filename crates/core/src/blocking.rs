@@ -14,6 +14,7 @@
 use crate::config::SynthesisConfig;
 use crate::values::{NormBinary, ValueSpace};
 use mapsynth_mapreduce::MapReduce;
+use std::collections::HashMap;
 
 /// Statistics from blocking, used by the scalability experiments.
 #[derive(Clone, Copy, Debug, Default)]
@@ -34,126 +35,367 @@ const KIND_POS: u8 = 0;
 /// Negative-key marker.
 const KIND_NEG: u8 = 1;
 
+/// Hot keys (shared by more than `max_key_fanout` tables) cannot
+/// afford all-pairs emission, but skipping them entirely would erase
+/// exactly the edges that matter most: popular relations' hub tables
+/// (comprehensive reference lists) appear in *every* posting list of
+/// their relation, so every one of their keys is hot. For hot keys we
+/// emit pairs among the `HUB_SAMPLE` *largest* tables: deterministic,
+/// bounded, and it guarantees cluster representatives stay connected.
+const HUB_SAMPLE: usize = 12;
+
 /// Compute candidate table pairs `(i, j)` with `i < j` (indices into
 /// the `tables` slice). A pair qualifies if it shares ≥ `θ_overlap`
 /// value-pair keys, or (when negative evidence is enabled) ≥
 /// `θ_overlap` left-value keys.
 ///
-/// Runs as two Map-Reduce jobs mirroring the paper's cluster
-/// formulation (§4.1 "Efficiency" / Appendix F):
-///
-/// 1. **Inverted index**: map each table to its blocking keys, reduce
-///    each key to its (ascending, deduplicated) posting list;
-/// 2. **Pair counting**: map each posting list to the table pairs it
-///    witnesses, reduce by summing, filter at `θ_overlap`.
-///
-/// Both jobs return key-sorted output, so results are identical for
-/// any worker count.
+/// Thin wrapper over [`BlockingIndex::build`] that discards the
+/// reusable index state.
 pub fn candidate_pairs(
     space: &ValueSpace,
     tables: &[NormBinary],
     cfg: &SynthesisConfig,
     mr: &MapReduce,
 ) -> (Vec<(u32, u32)>, BlockingStats) {
-    let mut stats = BlockingStats::default();
-
-    // Job 1 — inverted index: (kind, key) → posting list.
-    let indexed: Vec<(u32, &NormBinary)> = tables
-        .iter()
-        .enumerate()
-        .map(|(ti, t)| (ti as u32, t))
-        .collect();
-    let postings: Vec<((u8, u32, u32), Vec<u32>)> = mr.run(
-        &indexed,
-        |&(ti, t)| {
-            let mut out: Vec<((u8, u32, u32), u32)> = Vec::with_capacity(t.pairs.len());
-            // Pairs are sorted by (left class, right class), so
-            // distinct keys are distinct consecutive runs.
-            let mut last_pos = None;
-            let mut last_neg = None;
-            for &(l, r) in &t.pairs {
-                let key = (space.class(l), space.class(r));
-                if last_pos != Some(key) {
-                    out.push(((KIND_POS, key.0, key.1), ti));
-                    last_pos = Some(key);
-                }
-                if cfg.use_negative && last_neg != Some(key.0) {
-                    out.push(((KIND_NEG, key.0, 0), ti));
-                    last_neg = Some(key.0);
-                }
-            }
-            out
-        },
-        // Values arrive in input order (ascending table index); a table
-        // emits each key at most once, so the list is already deduped.
-        |_key, tis| tis,
-    );
-    stats.pos_keys = postings
-        .iter()
-        .filter(|((k, _, _), _)| *k == KIND_POS)
-        .count();
-    stats.neg_keys = postings.len() - stats.pos_keys;
-
-    // Hot keys (shared by more than `max_key_fanout` tables) cannot
-    // afford all-pairs emission, but skipping them entirely would erase
-    // exactly the edges that matter most: popular relations' hub tables
-    // (comprehensive reference lists) appear in *every* posting list of
-    // their relation, so every one of their keys is hot. Without
-    // hub-to-hub edges, the partition-level negative constraints the
-    // paper relies on (ISO-hub vs IOC-hub) never materialize. So for
-    // hot keys we emit pairs among the `HUB_SAMPLE` *largest* tables:
-    // deterministic, bounded, and it guarantees cluster representatives
-    // stay connected.
-    const HUB_SAMPLE: usize = 12;
-    let sizes: Vec<u32> = tables.iter().map(|t| t.len() as u32).collect();
-    stats.capped_keys = postings
-        .iter()
-        .filter(|(_, tis)| tis.len() > cfg.max_key_fanout)
-        .count();
-
-    // Job 2 — pair counting: (a, b, kind) → shared-key count. The
-    // per-worker combiner pre-sums counts during the map phase, so
-    // shuffle size is bounded by distinct pairs (× workers), not by
-    // total key co-occurrences.
-    let sizes_ref = &sizes;
-    let counted: Vec<((u32, u32, u8), u32)> = mr.run_combining(
-        &postings,
-        |((kind, _, _), tis)| {
-            let mut hubs: Vec<u32>;
-            let tis = if tis.len() > cfg.max_key_fanout {
-                hubs = tis.clone();
-                hubs.sort_by(|&a, &b| {
-                    sizes_ref[b as usize]
-                        .cmp(&sizes_ref[a as usize])
-                        .then(a.cmp(&b))
-                });
-                hubs.truncate(HUB_SAMPLE);
-                hubs.sort_unstable();
-                &hubs[..]
-            } else {
-                &tis[..]
-            };
-            let mut out = Vec::with_capacity(tis.len() * (tis.len().saturating_sub(1)) / 2);
-            for (i, &a) in tis.iter().enumerate() {
-                for &b in &tis[i + 1..] {
-                    out.push(((a, b, *kind), 1u32));
-                }
-            }
-            out
-        },
-        |acc, v| *acc += v,
-        |_pair, counts| counts.iter().sum::<u32>(),
-    );
-
-    let mut pairs: Vec<(u32, u32)> = counted
-        .into_iter()
-        .filter(|&(_, c)| c as usize >= cfg.theta_overlap)
-        .map(|((a, b, _), _)| (a, b))
-        .collect();
-    pairs.sort_unstable();
-    pairs.dedup();
-    stats.pairs = pairs.len();
+    let (_, pairs, stats) = BlockingIndex::build(space, tables, cfg, mr);
     (pairs, stats)
+}
+
+/// The blocking keys one table contributes, deduplicated (pairs are
+/// sorted by class, so distinct keys are consecutive runs). The single
+/// source of key truth for the batch build *and* the delta path.
+fn table_keys(space: &ValueSpace, t: &NormBinary, cfg: &SynthesisConfig) -> Vec<(u8, u32, u32)> {
+    let mut out = Vec::with_capacity(t.pairs.len());
+    let mut last_pos = None;
+    let mut last_neg = None;
+    for &(l, r) in &t.pairs {
+        let key = (space.class(l), space.class(r));
+        if last_pos != Some(key) {
+            out.push((KIND_POS, key.0, key.1));
+            last_pos = Some(key);
+        }
+        if cfg.use_negative && last_neg != Some(key.0) {
+            out.push((KIND_NEG, key.0, 0));
+            last_neg = Some(key.0);
+        }
+    }
+    out
+}
+
+/// The table pairs one posting list witnesses, after hub sampling.
+fn contribution(
+    tis: &[u32],
+    kind: u8,
+    sizes: &[u32],
+    max_key_fanout: usize,
+    out: &mut Vec<(u32, u32, u8)>,
+) {
+    let mut hubs: Vec<u32>;
+    let tis = if tis.len() > max_key_fanout {
+        hubs = tis.to_vec();
+        hubs.sort_by(|&a, &b| sizes[b as usize].cmp(&sizes[a as usize]).then(a.cmp(&b)));
+        hubs.truncate(HUB_SAMPLE);
+        hubs.sort_unstable();
+        &hubs[..]
+    } else {
+        tis
+    };
+    out.reserve(tis.len() * (tis.len().saturating_sub(1)) / 2);
+    for (i, &a) in tis.iter().enumerate() {
+        for &b in &tis[i + 1..] {
+            out.push((a, b, kind));
+        }
+    }
+}
+
+/// The maintained blocking state: the inverted index (key → posting
+/// list over live table indices) plus per-pair shared-key counts —
+/// everything needed to re-derive the qualifying candidate-pair set
+/// after a corpus delta *without* re-scanning unchanged tables.
+///
+/// A delta touches only the keys of the added/removed tables: their
+/// posting lists are patched in place and the pair counts adjusted by
+/// the difference between each touched list's old and new
+/// contributions (hub sampling included — a hot key's sampled hub set
+/// can shift, which may create or destroy pairs between two *old*
+/// tables; contribution diffing handles that case for free).
+pub struct BlockingIndex {
+    /// `(kind, key) → ascending live table indices`; empty lists are
+    /// removed.
+    postings: HashMap<(u8, u32, u32), Vec<u32>>,
+    /// `(a, b, kind) → shared-key count`; zero entries are removed.
+    pair_counts: HashMap<(u32, u32, u8), u32>,
+    /// Table sizes (`|B|`), index-aligned with the tables slice, for
+    /// hub sampling.
+    sizes: Vec<u32>,
+}
+
+impl BlockingIndex {
+    /// Run blocking as two Map-Reduce jobs mirroring the paper's
+    /// cluster formulation (§4.1 "Efficiency" / Appendix F):
+    ///
+    /// 1. **Inverted index**: map each table to its blocking keys,
+    ///    reduce each key to its (ascending, deduplicated) posting
+    ///    list;
+    /// 2. **Pair counting**: map each posting list to the table pairs
+    ///    it witnesses, reduce by summing, filter at `θ_overlap`.
+    ///
+    /// Both jobs return key-sorted output, so results are identical
+    /// for any worker count. Returns the index state alongside the
+    /// qualifying pairs and stats.
+    pub fn build(
+        space: &ValueSpace,
+        tables: &[NormBinary],
+        cfg: &SynthesisConfig,
+        mr: &MapReduce,
+    ) -> (Self, Vec<(u32, u32)>, BlockingStats) {
+        // Job 1 — inverted index: (kind, key) → posting list.
+        let indexed: Vec<(u32, &NormBinary)> = tables
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| (ti as u32, t))
+            .collect();
+        let postings: Vec<((u8, u32, u32), Vec<u32>)> = mr.run(
+            &indexed,
+            |&(ti, t)| {
+                table_keys(space, t, cfg)
+                    .into_iter()
+                    .map(|k| (k, ti))
+                    .collect()
+            },
+            // Values arrive in input order (ascending table index); a
+            // table emits each key at most once, so the list is
+            // already deduped.
+            |_key, tis| tis,
+        );
+
+        let sizes: Vec<u32> = tables.iter().map(|t| t.len() as u32).collect();
+
+        // Job 2 — pair counting: (a, b, kind) → shared-key count. The
+        // per-worker combiner pre-sums counts during the map phase, so
+        // shuffle size is bounded by distinct pairs (× workers), not
+        // by total key co-occurrences.
+        let sizes_ref = &sizes;
+        let counted: Vec<((u32, u32, u8), u32)> = mr.run_combining(
+            &postings,
+            |((kind, _, _), tis)| {
+                let mut out = Vec::new();
+                contribution(tis, *kind, sizes_ref, cfg.max_key_fanout, &mut out);
+                out.into_iter().map(|p| (p, 1u32)).collect()
+            },
+            |acc, v| *acc += v,
+            |_pair, counts| counts.iter().sum::<u32>(),
+        );
+
+        let index = Self {
+            postings: postings.into_iter().collect(),
+            pair_counts: counted.into_iter().collect(),
+            sizes,
+        };
+        let (pairs, stats) = index.qualifying_pairs(cfg);
+        (index, pairs, stats)
+    }
+
+    /// Patch the index for a delta: `removed` and `added` are indices
+    /// into `tables` (removed tables' `NormBinary` content must still
+    /// be present — their keys are needed to unregister them; added
+    /// indices must be larger than any live index). Returns the
+    /// post-delta qualifying pairs and stats, identical to a fresh
+    /// [`build`](Self::build) over the live tables.
+    pub fn apply_delta(
+        &mut self,
+        space: &ValueSpace,
+        tables: &[NormBinary],
+        added: &[u32],
+        removed: &[u32],
+        cfg: &SynthesisConfig,
+    ) -> (Vec<(u32, u32)>, BlockingStats) {
+        self.remove_tables(space, tables, removed, cfg);
+        self.add_tables(space, tables, added, cfg);
+        self.qualifying_pairs(cfg)
+    }
+
+    /// Adjust pair counts for a set of touched keys around `mutate`:
+    /// capture the touched keys' contributions, run the mutation,
+    /// capture again, apply the difference.
+    fn diff_contributions(
+        &mut self,
+        changed: &[(u8, u32, u32)],
+        cfg: &SynthesisConfig,
+        mutate: impl FnOnce(&mut Self),
+    ) {
+        let mut old_contrib: Vec<(u32, u32, u8)> = Vec::new();
+        for key in changed {
+            if let Some(tis) = self.postings.get(key) {
+                contribution(
+                    tis,
+                    key.0,
+                    &self.sizes,
+                    cfg.max_key_fanout,
+                    &mut old_contrib,
+                );
+            }
+        }
+        mutate(self);
+        let mut new_contrib: Vec<(u32, u32, u8)> = Vec::new();
+        for key in changed {
+            if let Some(tis) = self.postings.get(key) {
+                contribution(
+                    tis,
+                    key.0,
+                    &self.sizes,
+                    cfg.max_key_fanout,
+                    &mut new_contrib,
+                );
+            }
+        }
+        for p in old_contrib {
+            match self.pair_counts.get_mut(&p) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    self.pair_counts.remove(&p);
+                }
+                None => unreachable!("old contribution had no count"),
+            }
+        }
+        for p in new_contrib {
+            *self.pair_counts.entry(p).or_insert(0) += 1;
+        }
+    }
+
+    /// Unregister tables (indices into `tables`, whose content must
+    /// still be present) from the index, adjusting pair counts.
+    pub fn remove_tables(
+        &mut self,
+        space: &ValueSpace,
+        tables: &[NormBinary],
+        removed: &[u32],
+        cfg: &SynthesisConfig,
+    ) {
+        if removed.is_empty() {
+            return;
+        }
+        let mut changed: Vec<(u8, u32, u32)> = Vec::new();
+        for &ti in removed {
+            changed.extend(table_keys(space, &tables[ti as usize], cfg));
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        self.diff_contributions(&changed, cfg, |index| {
+            for &ti in removed {
+                for key in table_keys(space, &tables[ti as usize], cfg) {
+                    let tis = index
+                        .postings
+                        .get_mut(&key)
+                        .expect("removed table's key has a posting list");
+                    let at = tis
+                        .binary_search(&ti)
+                        .expect("removed table is in its posting lists");
+                    tis.remove(at);
+                    if tis.is_empty() {
+                        index.postings.remove(&key);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Register tables into the index (sorted insertion — positions
+    /// need not be larger than existing ones), adjusting pair counts.
+    pub fn add_tables(
+        &mut self,
+        space: &ValueSpace,
+        tables: &[NormBinary],
+        added: &[u32],
+        cfg: &SynthesisConfig,
+    ) {
+        if added.is_empty() {
+            return;
+        }
+        self.sizes.resize(self.sizes.len().max(tables.len()), 0);
+        for &ti in added {
+            self.sizes[ti as usize] = tables[ti as usize].len() as u32;
+        }
+        let mut changed: Vec<(u8, u32, u32)> = Vec::new();
+        for &ti in added {
+            changed.extend(table_keys(space, &tables[ti as usize], cfg));
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        self.diff_contributions(&changed, cfg, |index| {
+            for &ti in added {
+                for key in table_keys(space, &tables[ti as usize], cfg) {
+                    let tis = index.postings.entry(key).or_default();
+                    match tis.binary_search(&ti) {
+                        Ok(_) => unreachable!("table added twice to a posting list"),
+                        Err(at) => tis.insert(at, ti),
+                    }
+                }
+            }
+        });
+    }
+
+    /// Renumber the index's table coordinates through a **monotone**
+    /// survivor map (`old_to_new[old] = Some(new)`, ascending over the
+    /// survivors; tables mapped to `None` must already be
+    /// unregistered). Because the map is monotone, hub-sampling
+    /// tie-breaks — the only place blocking looks at index *values* —
+    /// pick the same tables before and after, so every maintained
+    /// count stays exactly what a fresh build in the new coordinates
+    /// would produce.
+    pub fn remap(&mut self, old_to_new: &[Option<u32>], new_sizes: Vec<u32>) {
+        for tis in self.postings.values_mut() {
+            for ti in tis.iter_mut() {
+                *ti = old_to_new[*ti as usize].expect("remapped table is live");
+            }
+            debug_assert!(tis.windows(2).all(|w| w[0] < w[1]), "monotone remap");
+        }
+        self.pair_counts = self
+            .pair_counts
+            .drain()
+            .map(|((a, b, k), c)| {
+                let a2 = old_to_new[a as usize].expect("remapped table is live");
+                let b2 = old_to_new[b as usize].expect("remapped table is live");
+                debug_assert!(a2 < b2, "monotone remap");
+                ((a2, b2, k), c)
+            })
+            .collect();
+        self.sizes = new_sizes;
+    }
+
+    /// The θ-filtered pair set + stats from the maintained state —
+    /// what [`apply_delta`](Self::apply_delta) returns; public so the
+    /// renumber path can re-derive after composing
+    /// `remove_tables`/`remap`/`add_tables` manually.
+    pub fn pairs(&self, cfg: &SynthesisConfig) -> (Vec<(u32, u32)>, BlockingStats) {
+        self.qualifying_pairs(cfg)
+    }
+
+    /// The θ-filtered pair set + stats from the maintained state.
+    fn qualifying_pairs(&self, cfg: &SynthesisConfig) -> (Vec<(u32, u32)>, BlockingStats) {
+        let mut stats = BlockingStats::default();
+        stats.pos_keys = self
+            .postings
+            .keys()
+            .filter(|(k, _, _)| *k == KIND_POS)
+            .count();
+        stats.neg_keys = self.postings.len() - stats.pos_keys;
+        stats.capped_keys = self
+            .postings
+            .values()
+            .filter(|tis| tis.len() > cfg.max_key_fanout)
+            .count();
+        let mut pairs: Vec<(u32, u32)> = self
+            .pair_counts
+            .iter()
+            .filter(|&(_, &c)| c as usize >= cfg.theta_overlap)
+            .map(|(&(a, b, _), _)| (a, b))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        stats.pairs = pairs.len();
+        (pairs, stats)
+    }
 }
 
 #[cfg(test)]

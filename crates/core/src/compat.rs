@@ -108,6 +108,9 @@ struct TableView {
     runs: Vec<(u32, u32, u32)>,
     /// Distinct left values sorted by id: `(left id, left class)`.
     lefts: Vec<(NormId, u32)>,
+    /// Renumbering-invariant content key (see [`content_key`]), the
+    /// canonical-orientation sort key.
+    key: (usize, u64),
 }
 
 fn view_of(space: &ValueSpace, t: &NormBinary) -> TableView {
@@ -127,7 +130,72 @@ fn view_of(space: &ValueSpace, t: &NormBinary) -> TableView {
     let mut lefts: Vec<(NormId, u32)> = trips.iter().map(|&(lc, _, _, l)| (l, lc)).collect();
     lefts.sort_unstable();
     lefts.dedup();
-    TableView { trips, runs, lefts }
+    let key = content_key(space, t);
+    TableView {
+        trips,
+        runs,
+        lefts,
+        key,
+    }
+}
+
+/// Renumbering-invariant content key of a table: `(pair count,
+/// order-independent hash of the normalized pair strings)`.
+///
+/// Canonical orientation used to tie-break on interned ids, which made
+/// scoring depend on the *numbering* of the value space. Incremental
+/// sessions ([`crate::delta`]) intern append-only while a fresh session
+/// on the same corpus renumbers from scratch, so every scoring
+/// tie-break must be a function of table *content* alone — otherwise
+/// delta-derived and fresh outputs could diverge on equal-length
+/// tables.
+pub(crate) fn content_key(space: &ValueSpace, t: &NormBinary) -> (usize, u64) {
+    let hash = t
+        .pairs
+        .iter()
+        .map(|&(l, r)| pair_content_hash(space.string(l), space.string(r)))
+        .fold(0u64, u64::wrapping_add);
+    (t.pairs.len(), hash)
+}
+
+/// FNV-1a over `left NUL right` (NUL cannot appear inside a normalized
+/// string, so the pair encoding is unambiguous).
+fn pair_content_hash(left: &str, right: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(left.as_bytes());
+    eat(&[0]);
+    eat(right.as_bytes());
+    h
+}
+
+/// Canonical orientation over raw tables: content key, with a full
+/// pair-content comparison as the (collision-only) tie-break. Shared by
+/// [`score_pair`], the naive reference oracle, and the
+/// [`ScoringContext`] view path so all three orient identically.
+pub(crate) fn canonical_le(space: &ValueSpace, a: &NormBinary, b: &NormBinary) -> bool {
+    let (ka, kb) = (content_key(space, a), content_key(space, b));
+    match ka.cmp(&kb) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => {
+            let strs = |t: &NormBinary| {
+                let mut v: Vec<(&str, &str)> = t
+                    .pairs
+                    .iter()
+                    .map(|&(l, r)| (space.string(l), space.string(r)))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            strs(a) <= strs(b)
+        }
+    }
 }
 
 /// Build-time cost breakdown of a [`ScoringContext`] (surfaced as
@@ -144,11 +212,15 @@ pub struct ScoringBuildStats {
 
 /// Shared scoring state for one candidate set: per-table sorted views
 /// plus the global approximate-match memo. Built once per session;
-/// every scored pair reuses it.
+/// every scored pair reuses it. Corpus deltas grow it in place with
+/// [`extend`](Self::extend).
 #[derive(Debug)]
 pub struct ScoringContext {
     views: Vec<TableView>,
     memo: Option<ApproxMemo>,
+    /// Role bits per value (kept so a delta can tell which old values
+    /// *gained* a role and need fresh memo pairs).
+    roles: Vec<u8>,
     params: MatchParams,
     approx_matching: bool,
     max_approx_cross: usize,
@@ -170,19 +242,20 @@ impl ScoringContext {
         let views: Vec<TableView> = mr.par_map(tables, |tb| view_of(space, tb));
         let index_build = t.elapsed();
 
+        let mut roles = vec![0u8; space.len()];
+        for tb in tables {
+            for &(l, r) in &tb.pairs {
+                roles[l.0 as usize] |= ROLE_LEFT;
+                roles[r.0 as usize] |= ROLE_RIGHT;
+            }
+        }
+
         let mut build_stats = ScoringBuildStats {
             index_build,
             ..Default::default()
         };
         let memo = if cfg.approx_matching {
             let t = Instant::now();
-            let mut roles = vec![0u8; space.len()];
-            for tb in tables {
-                for &(l, r) in &tb.pairs {
-                    roles[l.0 as usize] |= ROLE_LEFT;
-                    roles[r.0 as usize] |= ROLE_RIGHT;
-                }
-            }
             let memo = ApproxMemo::build(space, &roles, cfg.match_params, mr);
             build_stats.approx_memo = t.elapsed();
             build_stats.memo = memo.stats;
@@ -194,11 +267,117 @@ impl ScoringContext {
         Self {
             views,
             memo,
+            roles,
             params: cfg.match_params,
             approx_matching: cfg.approx_matching,
             max_approx_cross: cfg.max_approx_cross,
             build_stats,
         }
+    }
+
+    /// Rebuild the context over a *renumbered* table list while
+    /// reusing `prev`'s approximate-match memo. Value ids are
+    /// append-only stable across deltas even when candidate tables are
+    /// renumbered, so the memoized distances — the expensive part —
+    /// survive; only value pairs that became queryable (one side new
+    /// or newly role-carrying) run banded DP. Views are rebuilt (they
+    /// are position-indexed and cheap).
+    ///
+    /// `space` must be append-only over the space `prev` was built
+    /// with, and `cfg`'s matching settings must equal `prev`'s.
+    pub fn rebuild_reusing(
+        prev: &ScoringContext,
+        space: &ValueSpace,
+        tables: &[NormBinary],
+        cfg: &SynthesisConfig,
+        mr: &MapReduce,
+    ) -> Self {
+        assert_eq!(cfg.match_params, prev.params, "matching identity");
+        assert_eq!(
+            cfg.approx_matching, prev.approx_matching,
+            "matching identity"
+        );
+        let t = Instant::now();
+        let views: Vec<TableView> = mr.par_map(tables, |tb| view_of(space, tb));
+        let index_build = t.elapsed();
+
+        let mut roles = vec![0u8; space.len()];
+        for tb in tables {
+            for &(l, r) in &tb.pairs {
+                roles[l.0 as usize] |= ROLE_LEFT;
+                roles[r.0 as usize] |= ROLE_RIGHT;
+            }
+        }
+
+        let mut build_stats = ScoringBuildStats {
+            index_build,
+            ..prev.build_stats
+        };
+        let memo = match &prev.memo {
+            Some(m) => {
+                let t = Instant::now();
+                let grown = m.extend(space, &prev.roles, &roles, mr);
+                build_stats.approx_memo = prev.build_stats.approx_memo + t.elapsed();
+                build_stats.memo = grown.stats;
+                Some(grown)
+            }
+            None => None,
+        };
+
+        Self {
+            views,
+            memo,
+            roles,
+            params: cfg.match_params,
+            approx_matching: cfg.approx_matching,
+            max_approx_cross: cfg.max_approx_cross,
+            build_stats,
+        }
+    }
+
+    /// Grow the context for a corpus delta: append views for the
+    /// tables at positions `new_positions` (the tables slice must
+    /// cover them; tombstoned tables' stale views are simply never
+    /// queried again) and extend the memo with the pairs that became
+    /// queryable — new values, or old values that gained a role.
+    ///
+    /// `space` is the *grown* value space (append-only over the one
+    /// the context was built with).
+    pub fn extend(
+        &mut self,
+        space: &ValueSpace,
+        tables: &[NormBinary],
+        new_positions: &[u32],
+        mr: &MapReduce,
+    ) {
+        let t = Instant::now();
+        let new_views: Vec<TableView> =
+            mr.par_map(new_positions, |&ti| view_of(space, &tables[ti as usize]));
+        debug_assert_eq!(
+            new_positions.first().map(|&p| p as usize),
+            (!new_positions.is_empty()).then_some(self.views.len()),
+            "new views must append contiguously"
+        );
+        self.views.extend(new_views);
+        self.build_stats.index_build += t.elapsed();
+
+        let old_roles = std::mem::take(&mut self.roles);
+        let mut roles = old_roles.clone();
+        roles.resize(space.len(), 0);
+        for &ti in new_positions {
+            for &(l, r) in &tables[ti as usize].pairs {
+                roles[l.0 as usize] |= ROLE_LEFT;
+                roles[r.0 as usize] |= ROLE_RIGHT;
+            }
+        }
+        if let Some(memo) = &self.memo {
+            let t = Instant::now();
+            let grown = memo.extend(space, &old_roles, &roles, mr);
+            self.build_stats.approx_memo += t.elapsed();
+            self.build_stats.memo = grown.stats;
+            self.memo = Some(grown);
+        }
+        self.roles = roles;
     }
 
     /// Number of tables in the context.
@@ -278,7 +457,7 @@ impl ScoringContext {
         } else {
             None
         };
-        let (x, y) = if view_le(&self.views[a as usize], &self.views[b as usize]) {
+        let (x, y) = if view_le(space, &self.views[a as usize], &self.views[b as usize]) {
             (&self.views[a as usize], &self.views[b as usize])
         } else {
             (&self.views[b as usize], &self.views[a as usize])
@@ -298,21 +477,24 @@ impl ScoringContext {
     }
 }
 
-/// Canonical orientation: replicate `(a.len(), &a.pairs) <= (b.len(),
-/// &b.pairs)` on the views (trips store `(l, r)` in pair order).
-fn view_le(a: &TableView, b: &TableView) -> bool {
-    match a.trips.len().cmp(&b.trips.len()) {
+/// Canonical orientation on views: the precomputed content key, with a
+/// string comparison for (hash-collision-only) ties — identical to
+/// [`canonical_le`] by construction.
+fn view_le(space: &ValueSpace, a: &TableView, b: &TableView) -> bool {
+    match a.key.cmp(&b.key) {
         std::cmp::Ordering::Less => true,
         std::cmp::Ordering::Greater => false,
         std::cmp::Ordering::Equal => {
-            for (x, y) in a.trips.iter().zip(&b.trips) {
-                match (x.3, x.2).cmp(&(y.3, y.2)) {
-                    std::cmp::Ordering::Less => return true,
-                    std::cmp::Ordering::Greater => return false,
-                    std::cmp::Ordering::Equal => {}
-                }
-            }
-            true
+            let strs = |v: &TableView| {
+                let mut out: Vec<(&str, &str)> = v
+                    .trips
+                    .iter()
+                    .map(|&(_, _, r, l)| (space.string(l), space.string(r)))
+                    .collect();
+                out.sort_unstable();
+                out
+            };
+            strs(a) <= strs(b)
         }
     }
 }
@@ -424,10 +606,13 @@ fn merge_join_counts(
                 }
                 for &(_, rc, ar, al) in &a.trips[astart as usize..aend as usize] {
                     let mut matched = false;
-                    // The naive loop keeps the *last* mismatching b-left
-                    // class in first-occurrence order; pairs are sorted
-                    // by class, so that is the maximum such class.
-                    let mut mismatched_class: Option<u32> = None;
+                    // Every mismatching b-left class counts (distinct
+                    // classes are deduplicated at the end). Recording a
+                    // single "winning" class would have to pick it by
+                    // class id — a value-space *numbering* choice that
+                    // incremental (append-only interned) and fresh
+                    // sessions make differently.
+                    let mut mismatched_classes: Vec<u32> = Vec::new();
                     for &(bl_raw, d) in m.neighbors(al) {
                         let bl = NormId(bl_raw);
                         let Ok(pos) = b.lefts.binary_search_by_key(&bl, |&(l, _)| l) else {
@@ -448,15 +633,14 @@ fn merge_join_counts(
                             if rc2 == rc || m.matches(space, ar, br, params) {
                                 matched = true;
                             } else {
-                                mismatched_class =
-                                    Some(mismatched_class.map_or(blc, |p| p.max(blc)));
+                                mismatched_classes.push(blc);
                             }
                         }
                     }
                     if matched {
                         overlap += 1;
-                    } else if let Some(blc) = mismatched_class {
-                        conflicts.push(blc);
+                    } else {
+                        conflicts.extend(mismatched_classes);
                     }
                 }
                 ai += 1;
@@ -513,15 +697,16 @@ pub fn match_counts(
 /// the other's, which makes raw counts direction-dependent in corner
 /// cases (an a-left can approximately hit a b-left that was already
 /// exactly matched from b's perspective). A canonical orientation —
-/// smaller table first, ties broken by pair content — restores
-/// `score_pair(a, b) == score_pair(b, a)` exactly.
+/// smaller table first, ties broken by a content hash (`content_key`:
+/// it must not depend on value-space numbering) —
+/// restores `score_pair(a, b) == score_pair(b, a)` exactly.
 pub fn score_pair(
     space: &ValueSpace,
     a: &NormBinary,
     b: &NormBinary,
     cfg: &SynthesisConfig,
 ) -> PairWeights {
-    let (x, y) = if (a.len(), &a.pairs) <= (b.len(), &b.pairs) {
+    let (x, y) = if canonical_le(space, a, b) {
         (a, b)
     } else {
         (b, a)
@@ -599,7 +784,10 @@ pub(crate) mod reference {
                 let a_str = space.compact(al);
                 let a_len = a_str.chars().count();
                 let mut matched = false;
-                let mut mismatched_left: Option<u32> = None;
+                // All mismatching b-left classes count (mirrors the
+                // production merge-join's renumbering-invariant
+                // semantics).
+                let mut mismatched_lefts: Vec<u32> = Vec::new();
                 for &(bl, blc) in &b_lefts {
                     let b_str = space.compact(bl);
                     // The historical prefilter mixed bytes into the
@@ -624,14 +812,14 @@ pub(crate) mod reference {
                         if space.class(r2) == rc || right_approx(space, ar, r2, cfg) {
                             matched = true;
                         } else {
-                            mismatched_left = Some(blc);
+                            mismatched_lefts.push(blc);
                         }
                     }
                 }
                 if matched {
                     overlap += 1;
-                } else if let Some(blc) = mismatched_left {
-                    conflict_lefts.insert(blc);
+                } else {
+                    conflict_lefts.extend(mismatched_lefts);
                 }
             }
         }
@@ -650,7 +838,7 @@ pub(crate) mod reference {
         b: &NormBinary,
         cfg: &SynthesisConfig,
     ) -> PairWeights {
-        let (x, y) = if (a.len(), &a.pairs) <= (b.len(), &b.pairs) {
+        let (x, y) = if canonical_le(space, a, b) {
             (a, b)
         } else {
             (b, a)

@@ -133,24 +133,32 @@ pub fn resolve_majority_vote(
     tables: &[NormBinary],
     group: &[u32],
 ) -> Vec<(crate::values::NormId, crate::values::NormId)> {
-    // votes[left class][right class] = number of member tables with it.
-    let mut votes: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
+    // votes[left class][right class] = (number of member tables with
+    // it, lexicographically smallest member string observed for the
+    // class). The string is the deterministic tie-break: class *ids*
+    // are value-space numbering, which incremental sessions
+    // (append-only interning, [`crate::delta`]) and fresh sessions
+    // assign differently for the same corpus.
+    let mut votes: HashMap<u32, HashMap<u32, (usize, &str)>> = HashMap::new();
     for &ti in group {
         for &(l, r) in &tables[ti as usize].pairs {
-            *votes
+            let entry = votes
                 .entry(space.class(l))
                 .or_default()
                 .entry(space.class(r))
-                .or_default() += 1;
+                .or_insert((0, space.string(r)));
+            entry.0 += 1;
+            entry.1 = entry.1.min(space.string(r));
         }
     }
-    // winner per left class: max votes, tie-broken by smaller class id.
+    // winner per left class: max votes, tie-broken by smaller class
+    // representative string.
     let winner: HashMap<u32, u32> = votes
         .into_iter()
         .map(|(l, rs)| {
             let best = rs
                 .into_iter()
-                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .max_by(|a, b| a.1 .0.cmp(&b.1 .0).then(b.1 .1.cmp(a.1 .1)))
                 .map(|(rc, _)| rc)
                 .expect("non-empty votes");
             (l, best)

@@ -1,0 +1,901 @@
+//! Incremental corpus deltas — re-enter the staged pipeline at
+//! blocking instead of re-running the world.
+//!
+//! A [`SynthesisSession`] caches three expensive stage artifacts;
+//! [`SynthesisSession::apply_delta`] advances all of them under a
+//! [`CorpusDelta`] (tables appended to the corpus + live tables
+//! removed) so that every variant derived afterwards —
+//! [`SynthesisSession::synthesize`], `graph`, `weights_for` — is
+//! **bit-identical** to what a fresh session on the post-delta corpus
+//! would produce, at a fraction of the cost:
+//!
+//! | Stage | Delta work |
+//! |---|---|
+//! | 1. Extraction | old columns re-scored *arithmetically* from cached co-occurrence counts ([`mapsynth_extract::ExtractionCache`]); FD/structural filters never re-run for unchanged tables |
+//! | 2. Value space | interning extended **append-only** ([`crate::values::extend_value_space`]); removed tables tombstoned, never renumbered |
+//! | 3a. Blocking | posting lists + pair counts patched for touched keys only ([`crate::blocking::BlockingIndex`]) |
+//! | 3b. Approx memo | banded DP only for new-value × (new ∪ old) length-window pairs ([`crate::approx::ApproxMemo::extend`]) |
+//! | 3c. Match counts | merge-join recomputed only for pairs whose support changed; surviving pairs keep their cached [`MatchCounts`] verbatim |
+//! | 4. Variant tail | unchanged — runs over the patched artifacts |
+//!
+//! # Why bit-identity holds
+//!
+//! The incremental path keeps old [`crate::values::NormId`]s and table
+//! positions (tombstones, not renumbering) while a fresh session
+//! renumbers everything, so equality is only possible because nothing
+//! in scoring depends on the *numbering*: canonical pair orientation
+//! ties break on a content hash, residual conflicts record class
+//! *sets*, majority-vote ties break on strings, and every downstream
+//! tie-break (hub sampling, partition heap) depends only on the
+//! *relative* order of live tables — which tombstoning preserves.
+//! The one operation that genuinely reorders tables relative to a
+//! fresh run — an *old* table gaining a candidate because a borderline
+//! column crossed the coherence threshold (routine for additive
+//! deltas: growing the corpus shifts every NPMI via `N`) — is detected
+//! by the extraction cache and answered with the **renumber path**
+//! (`reordered` in the report): candidate ids and table positions are
+//! rebuilt in fresh order, but the value space, the approximate-match
+//! memo and every surviving pair's match counts are still carried
+//! over, so even that path skips all edit-distance DP and most of the
+//! merge-join.
+//!
+//! ```
+//! use mapsynth::delta::CorpusDelta;
+//! use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
+//! use mapsynth_corpus::Corpus;
+//!
+//! let mut corpus = Corpus::new();
+//! let d = corpus.domain("example.com");
+//! for _ in 0..4 {
+//!     corpus.push_table(d, vec![
+//!         (Some("name"), vec!["United States", "Canada", "Japan", "Germany", "France"]),
+//!         (Some("code"), vec!["USA", "CAN", "JPN", "DEU", "FRA"]),
+//!     ]);
+//! }
+//! let mut session = SynthesisSession::new(PipelineConfig::default());
+//! session.prepare(&corpus);
+//!
+//! // Corpus evolves: one table retired, one appended.
+//! let removed = vec![corpus.tables[1].id];
+//! let added = vec![corpus.push_table(d, vec![
+//!     (Some("name"), vec!["United States", "Canada", "Japan", "Germany", "France"]),
+//!     (Some("code"), vec!["USA", "CAN", "JPN", "DEU", "FRA"]),
+//! ])];
+//! let delta = CorpusDelta { added, removed };
+//! let report = session.apply_delta(&corpus, &delta);
+//! assert_eq!(report.tables_added, 1);
+//!
+//! // Derived variants now reflect the post-delta corpus.
+//! let run = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
+//! assert!(!run.mappings.is_empty());
+//! ```
+
+use crate::blocking::BlockingIndex;
+use crate::compat::{MatchCounts, PairWeights};
+use crate::session::SynthesisSession;
+use crate::values::{extend_value_space, ValueInterning};
+use mapsynth_corpus::{Corpus, TableId};
+use mapsynth_extract::ExtractionCache;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// One batch of corpus evolution: tables appended to the corpus since
+/// the session last saw it, plus live tables to retire.
+///
+/// The corpus itself is append-only — callers push the new tables into
+/// the *same* [`Corpus`] the session was prepared on and name them
+/// here; removal is logical (the session tombstones every trace of the
+/// table). [`CorpusDelta::post_corpus`] materializes the reference
+/// semantics for oracles and benchmarks.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusDelta {
+    /// Ids of tables appended to the corpus, in push order. Must be
+    /// exactly the tables past the session's last-seen corpus length.
+    pub added: Vec<TableId>,
+    /// Ids of live tables to remove.
+    pub removed: Vec<TableId>,
+}
+
+impl CorpusDelta {
+    /// A fresh corpus equal to `corpus` with this delta's removed
+    /// tables gone (added tables are assumed already pushed): the
+    /// corpus a batch run would see. Tables are re-interned and
+    /// renumbered densely — see [`Corpus::subset`].
+    pub fn post_corpus(&self, corpus: &Corpus) -> Corpus {
+        let removed: HashSet<TableId> = self.removed.iter().copied().collect();
+        corpus.subset(|tid| !removed.contains(&tid))
+    }
+}
+
+/// Wall-clock breakdown of one [`SynthesisSession::apply_delta`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeltaTimings {
+    /// Incremental extraction: index patch + coherence re-scores +
+    /// added-table extraction (plus candidate renumbering when
+    /// `reordered`).
+    pub extraction: Duration,
+    /// Value-space extension + tombstoning.
+    pub values: Duration,
+    /// Blocking index patch + pair re-derivation.
+    pub blocking: Duration,
+    /// Context/memo growth + merge-join over changed pairs.
+    pub scoring: Duration,
+    /// End-to-end.
+    pub total: Duration,
+}
+
+/// What one delta did to the session's artifacts.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaReport {
+    /// The delta hit the coherence-gain case (an old table gained a
+    /// candidate) and was answered with the renumber path: candidate
+    /// ids and table positions were rebuilt in fresh order, reusing
+    /// the value space, the approximate-match memo and surviving match
+    /// counts. Output is exactly the post-delta result either way; on
+    /// this path `candidates_added`/`candidates_tombstoned` describe
+    /// the renumbered universe rather than a patch.
+    pub reordered: bool,
+    /// Tables added / removed by the delta.
+    pub tables_added: usize,
+    /// Tables removed by the delta.
+    pub tables_removed: usize,
+    /// Candidate binary tables appended.
+    pub candidates_added: usize,
+    /// Candidate binary tables tombstoned.
+    pub candidates_tombstoned: usize,
+    /// Values newly interned into the space.
+    pub new_values: usize,
+    /// Old columns whose coherence verdict flipped.
+    pub coherence_flips: usize,
+    /// Blocked pairs surviving with their cached counts.
+    pub pairs_kept: usize,
+    /// Blocked pairs scored fresh (new tables, or old pairs surfaced
+    /// by a hub-sample shift).
+    pub pairs_added: usize,
+    /// Blocked pairs dropped.
+    pub pairs_removed: usize,
+    /// Banded-DP calls spent growing the approximate-match memo.
+    pub memo_dp_calls: usize,
+    /// Cost breakdown.
+    pub timings: DeltaTimings,
+}
+
+/// Everything [`SynthesisSession::apply_delta`] needs beyond the stage
+/// artifacts themselves. Built during `prepare`, advanced per delta.
+pub(crate) struct IncrementalState {
+    pub(crate) extraction_cache: ExtractionCache,
+    pub(crate) interning: ValueInterning,
+    pub(crate) blocking: BlockingIndex,
+    /// Candidate index → position in the stage-2 tables slice (`None`:
+    /// dropped below two usable pairs, or tombstoned).
+    pub(crate) pos_of_candidate: Vec<Option<u32>>,
+    /// Tombstone mask over the stage-2 tables slice.
+    pub(crate) dead: Vec<bool>,
+    /// Live mask over corpus table ids.
+    pub(crate) alive_tables: Vec<bool>,
+}
+
+impl SynthesisSession {
+    /// The post-delta reference corpus for this session: `corpus`
+    /// restricted to the tables still live after every delta applied
+    /// so far. A fresh session prepared on this corpus is the oracle
+    /// the incremental path is tested against.
+    pub fn live_corpus(&self, corpus: &Corpus) -> Corpus {
+        match &self.incr {
+            Some(incr) => corpus.subset(|tid| incr.alive_tables[tid.0 as usize]),
+            None => corpus.subset(|_| true),
+        }
+    }
+
+    /// Advance the prepared session by one [`CorpusDelta`], re-entering
+    /// the staged pipeline at blocking. Afterwards every derived
+    /// variant is bit-identical to a fresh session on
+    /// [`live_corpus`](Self::live_corpus) (see the module docs for the
+    /// invariance argument). Deterministic for any worker count.
+    ///
+    /// # Panics
+    /// If the session is not prepared, if `delta.added` is not exactly
+    /// the tables appended to `corpus` since the session last saw it,
+    /// or if `delta.removed` names unknown or already-removed tables.
+    pub fn apply_delta(&mut self, corpus: &Corpus, delta: &CorpusDelta) -> DeltaReport {
+        let t_total = Instant::now();
+        assert!(
+            self.scores.is_some() && self.incr.is_some(),
+            "prepare() before apply_delta()"
+        );
+        let mut report = DeltaReport {
+            tables_added: delta.added.len(),
+            tables_removed: delta.removed.len(),
+            ..Default::default()
+        };
+
+        // Validate against the last-seen corpus shape.
+        {
+            let incr = self.incr.as_ref().unwrap();
+            let old_len = incr.alive_tables.len();
+            let mut seen = HashSet::new();
+            for &tid in &delta.removed {
+                assert!(
+                    (tid.0 as usize) < old_len,
+                    "removed table {tid:?} unknown to this session"
+                );
+                assert!(
+                    incr.alive_tables[tid.0 as usize],
+                    "removed table {tid:?} is not live"
+                );
+                assert!(seen.insert(tid), "table {tid:?} removed twice in one delta");
+            }
+            assert_eq!(
+                corpus.len(),
+                old_len + delta.added.len(),
+                "corpus must hold exactly the delta's added tables appended to the prepared corpus"
+            );
+            for (k, &tid) in delta.added.iter().enumerate() {
+                assert_eq!(
+                    tid.0 as usize,
+                    old_len + k,
+                    "added ids must name the appended tables in push order"
+                );
+            }
+        }
+        {
+            let incr = self.incr.as_mut().unwrap();
+            incr.alive_tables.resize(corpus.len(), true);
+            for &tid in &delta.removed {
+                incr.alive_tables[tid.0 as usize] = false;
+            }
+        }
+
+        // Stage 1 — incremental extraction.
+        let t = Instant::now();
+        let ex = {
+            let incr = self.incr.as_mut().unwrap();
+            incr.extraction_cache.apply_delta(
+                corpus,
+                &delta.added,
+                &delta.removed,
+                &self.cfg.extraction,
+                &self.mr,
+            )
+        };
+        report.timings.extraction = t.elapsed();
+        report.coherence_flips = ex.coherence_flips;
+
+        if ex.reordered {
+            self.apply_delta_reordered(corpus, &mut report);
+            self.corpus_fingerprint = Some((corpus.len(), corpus.total_columns() as u64));
+            report.timings.total = t_total.elapsed();
+            return report;
+        }
+        report.candidates_added = ex.added.len();
+        report.candidates_tombstoned = ex.tombstoned.len();
+
+        // Stage 2 — append-only value-space extension + tombstoning.
+        let t = Instant::now();
+        let idx_base = self.extraction.as_ref().unwrap().candidates.len() as u32;
+        let (grown_space, new_norms) = {
+            let incr = self.incr.as_mut().unwrap();
+            let values = self.values.as_ref().unwrap();
+            extend_value_space(
+                &values.space,
+                &mut incr.interning,
+                corpus,
+                &ex.added,
+                &self.synonyms,
+                idx_base,
+                &self.mr,
+            )
+        };
+        let (removed_positions, added_positions) = {
+            let incr = self.incr.as_mut().unwrap();
+            let values = self.values.as_mut().unwrap();
+            report.new_values = grown_space.len() - values.space.len();
+            values.space = grown_space;
+            let mut removed_positions = Vec::new();
+            for &cand in &ex.tombstoned {
+                if let Some(pos) = incr.pos_of_candidate[cand as usize].take() {
+                    incr.dead[pos as usize] = true;
+                    removed_positions.push(pos);
+                }
+            }
+            incr.pos_of_candidate
+                .resize(idx_base as usize + ex.added.len(), None);
+            let mut added_positions = Vec::new();
+            for nb in new_norms {
+                let pos = values.tables.len() as u32;
+                incr.pos_of_candidate[nb.idx as usize] = Some(pos);
+                values.tables.push(nb);
+                incr.dead.push(false);
+                added_positions.push(pos);
+            }
+            (removed_positions, added_positions)
+        };
+        report.timings.values = t.elapsed();
+        self.values.as_mut().unwrap().elapsed += report.timings.values;
+
+        // Stage 3a — blocking index patch.
+        let t = Instant::now();
+        let (pairs, blocking_stats) = {
+            let incr = self.incr.as_mut().unwrap();
+            let values = self.values.as_ref().unwrap();
+            incr.blocking.apply_delta(
+                &values.space,
+                &values.tables,
+                &added_positions,
+                &removed_positions,
+                &self.cfg.synthesis,
+            )
+        };
+        report.timings.blocking = t.elapsed();
+
+        // Stage 3b + 3c — grow the scoring context, then recompute
+        // match counts only for pairs whose support changed. Surviving
+        // pairs keep their cached counts verbatim: two live tables'
+        // counts depend only on their contents, the class partition
+        // restricted to their values, and memoized distances — all of
+        // which the delta leaves untouched.
+        let t = Instant::now();
+        let values = self.values.as_ref().unwrap();
+        let scores = self.scores.as_mut().unwrap();
+        let dp_before = scores.context.build_stats.memo.dp_calls;
+        scores
+            .context
+            .extend(&values.space, &values.tables, &added_positions, &self.mr);
+        report.memo_dp_calls = scores.context.build_stats.memo.dp_calls - dp_before;
+
+        let old_counts = std::mem::take(&mut scores.counts);
+        let mut kept: Vec<(u32, u32, MatchCounts)> = Vec::with_capacity(pairs.len());
+        let mut fresh_pairs: Vec<(u32, u32)> = Vec::new();
+        {
+            let mut oi = 0usize;
+            for &(a, b) in &pairs {
+                while oi < old_counts.len() && (old_counts[oi].0, old_counts[oi].1) < (a, b) {
+                    oi += 1;
+                }
+                if oi < old_counts.len() && (old_counts[oi].0, old_counts[oi].1) == (a, b) {
+                    kept.push(old_counts[oi]);
+                    oi += 1;
+                } else {
+                    fresh_pairs.push((a, b));
+                }
+            }
+        }
+        report.pairs_kept = kept.len();
+        report.pairs_added = fresh_pairs.len();
+        report.pairs_removed = old_counts.len() - kept.len();
+
+        let ctx = &scores.context;
+        let space = &values.space;
+        let computed: Vec<(u32, u32, MatchCounts)> = self
+            .mr
+            .par_map(&fresh_pairs, |&(a, b)| (a, b, ctx.counts(space, a, b)));
+
+        // Sorted merge back into (a, b) order.
+        let mut counts: Vec<(u32, u32, MatchCounts)> = Vec::with_capacity(pairs.len());
+        {
+            let (mut ki, mut ci) = (0usize, 0usize);
+            while ki < kept.len() || ci < computed.len() {
+                let take_kept = match (kept.get(ki), computed.get(ci)) {
+                    (Some(k), Some(c)) => (k.0, k.1) < (c.0, c.1),
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                if take_kept {
+                    counts.push(kept[ki]);
+                    ki += 1;
+                } else {
+                    counts.push(computed[ci]);
+                    ci += 1;
+                }
+            }
+        }
+        let cfg = &self.cfg.synthesis;
+        let scored: Vec<(u32, u32, PairWeights)> = counts
+            .iter()
+            .map(|&(a, b, c)| {
+                let w = c.weights(
+                    values.tables[a as usize].len(),
+                    values.tables[b as usize].len(),
+                    cfg.approx_matching,
+                );
+                (a, b, w)
+            })
+            .collect();
+        scores.counts = counts;
+        scores.scored = scored;
+        scores.blocking = blocking_stats;
+        report.timings.scoring = t.elapsed();
+        scores.elapsed += report.timings.blocking + report.timings.scoring;
+
+        // Stage 1 artifact bookkeeping (after the value stage borrowed
+        // the old candidate list length).
+        let extraction = self.extraction.as_mut().unwrap();
+        extraction.candidates.extend(ex.added);
+        extraction.stats = ex.stats;
+        extraction.elapsed += report.timings.extraction;
+
+        self.corpus_fingerprint = Some((corpus.len(), corpus.total_columns() as u64));
+        report.timings.total = t_total.elapsed();
+        report
+    }
+
+    /// The renumber path: an old table gained a candidate (a
+    /// borderline column crossed the coherence threshold — routine for
+    /// additive deltas, since growing the corpus shifts every NPMI via
+    /// `N`), so the candidate list must be rebuilt in fresh order. The
+    /// expensive artifacts still carry over: the value space extends
+    /// append-only, the approximate-match memo is reused (DP only for
+    /// newly queryable value pairs), and surviving pairs' match counts
+    /// are *remapped* to the new numbering instead of re-joined —
+    /// only blocking and the per-table views rebuild outright.
+    fn apply_delta_reordered(&mut self, corpus: &Corpus, report: &mut DeltaReport) {
+        report.reordered = true;
+        let t = Instant::now();
+        let incr = self.incr.as_mut().expect("incremental state");
+        let (candidates, ex_stats, id_map) = incr.extraction_cache.rebuild_candidates(corpus);
+        report.timings.extraction += t.elapsed();
+
+        // Value space: extend append-only with the full (renumbered)
+        // candidate list — already-interned values resolve through the
+        // retained state, so only genuinely new strings normalize.
+        let t = Instant::now();
+        let old_values = self.values.take().expect("prepared");
+        let (space, tables) = extend_value_space(
+            &old_values.space,
+            &mut incr.interning,
+            corpus,
+            &candidates,
+            &self.synonyms,
+            0,
+            &self.mr,
+        );
+        report.new_values = space.len() - old_values.space.len();
+        let mut pos_of_candidate: Vec<Option<u32>> = vec![None; candidates.len()];
+        for (pos, t) in tables.iter().enumerate() {
+            pos_of_candidate[t.idx as usize] = Some(pos as u32);
+        }
+        report.timings.values = t.elapsed();
+
+        // Old stage-2 position → new stage-2 position, for surviving
+        // candidates (monotone: survivors keep their relative order).
+        let old_scores = self.scores.take().expect("prepared");
+        let old_pos_to_new: Vec<Option<u32>> = {
+            let mut idx_to_new: Vec<Option<u32>> = vec![None; incr.pos_of_candidate.len().max(1)];
+            for &(old_idx, new_idx) in &id_map {
+                if (old_idx as usize) < idx_to_new.len() {
+                    idx_to_new[old_idx as usize] = Some(new_idx);
+                }
+            }
+            old_values
+                .tables
+                .iter()
+                .map(|t| idx_to_new[t.idx as usize].and_then(|ni| pos_of_candidate[ni as usize]))
+                .collect()
+        };
+
+        // Blocking: unregister vanished tables (old coordinates),
+        // renumber the index through the monotone survivor map, then
+        // register gained/added tables at their new positions — pair
+        // counts carry over for every untouched key.
+        let t = Instant::now();
+        let cfg = &self.cfg.synthesis;
+        let removed_old: Vec<u32> = (0..old_values.tables.len() as u32)
+            .filter(|&p| !incr.dead[p as usize] && old_pos_to_new[p as usize].is_none())
+            .collect();
+        incr.blocking
+            .remove_tables(&space, &old_values.tables, &removed_old, cfg);
+        let new_sizes: Vec<u32> = tables.iter().map(|t| t.len() as u32).collect();
+        incr.blocking.remap(&old_pos_to_new, new_sizes);
+        let is_survivor: std::collections::HashSet<u32> =
+            old_pos_to_new.iter().flatten().copied().collect();
+        let added_new: Vec<u32> = (0..tables.len() as u32)
+            .filter(|p| !is_survivor.contains(p))
+            .collect();
+        incr.blocking.add_tables(&space, &tables, &added_new, cfg);
+        let (pairs, blocking_stats) = incr.blocking.pairs(cfg);
+        report.timings.blocking = t.elapsed();
+
+        // Scoring: views rebuilt, memo reused, surviving counts
+        // remapped, only genuinely new pairs merge-joined.
+        let t = Instant::now();
+        let dp_before = old_scores.context.build_stats.memo.dp_calls;
+        let context = crate::compat::ScoringContext::rebuild_reusing(
+            &old_scores.context,
+            &space,
+            &tables,
+            cfg,
+            &self.mr,
+        );
+        report.memo_dp_calls = context.build_stats.memo.dp_calls - dp_before;
+
+        let remapped: Vec<(u32, u32, MatchCounts)> = old_scores
+            .counts
+            .iter()
+            .filter_map(|&(a, b, c)| {
+                let (a2, b2) = (old_pos_to_new[a as usize]?, old_pos_to_new[b as usize]?);
+                debug_assert!(a2 < b2, "monotone renumbering preserves pair order");
+                Some((a2, b2, c))
+            })
+            .collect();
+        let mut kept: Vec<(u32, u32, MatchCounts)> = Vec::with_capacity(pairs.len());
+        let mut fresh_pairs: Vec<(u32, u32)> = Vec::new();
+        {
+            let mut oi = 0usize;
+            for &(a, b) in &pairs {
+                while oi < remapped.len() && (remapped[oi].0, remapped[oi].1) < (a, b) {
+                    oi += 1;
+                }
+                if oi < remapped.len() && (remapped[oi].0, remapped[oi].1) == (a, b) {
+                    kept.push(remapped[oi]);
+                    oi += 1;
+                } else {
+                    fresh_pairs.push((a, b));
+                }
+            }
+        }
+        report.pairs_kept = kept.len();
+        report.pairs_added = fresh_pairs.len();
+        report.pairs_removed = old_scores.counts.len() - kept.len();
+        let ctx_ref = &context;
+        let space_ref = &space;
+        let computed: Vec<(u32, u32, MatchCounts)> = self.mr.par_map(&fresh_pairs, |&(a, b)| {
+            (a, b, ctx_ref.counts(space_ref, a, b))
+        });
+        let mut counts: Vec<(u32, u32, MatchCounts)> = Vec::with_capacity(pairs.len());
+        {
+            let (mut ki, mut ci) = (0usize, 0usize);
+            while ki < kept.len() || ci < computed.len() {
+                let take_kept = match (kept.get(ki), computed.get(ci)) {
+                    (Some(k), Some(c)) => (k.0, k.1) < (c.0, c.1),
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                if take_kept {
+                    counts.push(kept[ki]);
+                    ki += 1;
+                } else {
+                    counts.push(computed[ci]);
+                    ci += 1;
+                }
+            }
+        }
+        let scored: Vec<(u32, u32, PairWeights)> = counts
+            .iter()
+            .map(|&(a, b, c)| {
+                let w = c.weights(
+                    tables[a as usize].len(),
+                    tables[b as usize].len(),
+                    cfg.approx_matching,
+                );
+                (a, b, w)
+            })
+            .collect();
+        report.timings.scoring = t.elapsed();
+        report.candidates_added = candidates.len();
+        report.candidates_tombstoned = old_values.tables.len();
+
+        // Install the renumbered artifacts.
+        let extraction = self.extraction.as_mut().expect("prepared");
+        extraction.candidates = candidates;
+        extraction.stats = ex_stats;
+        extraction.elapsed += report.timings.extraction;
+        incr.dead = vec![false; tables.len()];
+        incr.pos_of_candidate = pos_of_candidate;
+        self.values = Some(crate::session::ValueArtifact {
+            space,
+            tables,
+            elapsed: old_values.elapsed + report.timings.values,
+        });
+        self.scores = Some(crate::session::ScoreArtifact {
+            scored,
+            counts,
+            context,
+            blocking: blocking_stats,
+            elapsed: old_scores.elapsed + report.timings.blocking + report.timings.scoring,
+            detail: old_scores.detail,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{PipelineConfig, Resolver};
+
+    /// A corpus of two conflicting standards (ISO vs IOC codes) spread
+    /// over several domains, with typo'd spellings so approximate
+    /// matching has real work.
+    fn base_corpus() -> Corpus {
+        let mut corpus = Corpus::new();
+        let iso: Vec<(&str, &str)> = vec![
+            ("Afghanistan", "AFG"),
+            ("Albania", "ALB"),
+            ("Algeria", "DZA"),
+            ("Germany", "DEU"),
+            ("Netherlands", "NLD"),
+            ("Greece", "GRC"),
+        ];
+        let ioc: Vec<(&str, &str)> = vec![
+            ("Afghanistan", "AFG"),
+            ("Albania", "ALB"),
+            ("Algeria", "ALG"),
+            ("Germany", "GER"),
+            ("Netherlands", "NED"),
+            ("Greece", "GRE"),
+        ];
+        let typo: Vec<(&str, &str)> = vec![
+            ("Afghanistan", "AFG"),
+            ("Albania xy", "ALB"),
+            ("Algeria", "DZA"),
+            ("Germany z", "DEU"),
+            ("Netherland", "NLD"),
+            ("Greece", "GRC"),
+        ];
+        for (prefix, rows) in [("iso", &iso), ("ioc", &ioc), ("typo", &typo)] {
+            for i in 0..5 {
+                let d = corpus.domain(&format!("{prefix}-{i}.org"));
+                let (l, r): (Vec<&str>, Vec<&str>) = rows.iter().cloned().unzip();
+                corpus.push_table(d, vec![(Some("country"), l), (Some("code"), r)]);
+            }
+        }
+        corpus
+    }
+
+    fn push_rows(corpus: &mut Corpus, domain: &str, rows: &[(&str, &str)]) -> TableId {
+        let d = corpus.domain(domain);
+        let (l, r): (Vec<&str>, Vec<&str>) = rows.iter().cloned().unzip();
+        corpus.push_table(d, vec![(Some("country"), l), (Some("code"), r)])
+    }
+
+    /// Assert the delta session's derived output is bit-identical to a
+    /// fresh session prepared on the live corpus, for every resolver.
+    fn assert_matches_fresh(session: &SynthesisSession, corpus: &Corpus) {
+        let fresh_corpus = session.live_corpus(corpus);
+        let mut fresh = SynthesisSession::new(*session.config());
+        fresh.prepare(&fresh_corpus);
+        let base = session.config().synthesis;
+        for resolver in [Resolver::Algorithm4, Resolver::MajorityVote, Resolver::None] {
+            let a = session.synthesize(&base, resolver);
+            let b = fresh.synthesize(&base, resolver);
+            assert_eq!(a.edges, b.edges, "{resolver:?}: edge count");
+            assert_eq!(a.partitions, b.partitions, "{resolver:?}: partitions");
+            assert_eq!(a.mappings.len(), b.mappings.len(), "{resolver:?}: mappings");
+            for (x, y) in a.mappings.iter().zip(&b.mappings) {
+                assert_eq!(
+                    x.materialize_pairs(),
+                    y.materialize_pairs(),
+                    "{resolver:?}: pair content"
+                );
+                assert_eq!(x.domains, y.domains, "{resolver:?}: domains");
+                assert_eq!(x.source_tables, y.source_tables, "{resolver:?}: sources");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_equals_fresh_session() {
+        let mut corpus = base_corpus();
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+
+        let removed = vec![TableId(1), TableId(7)];
+        let added = vec![
+            push_rows(
+                &mut corpus,
+                "new-0.org",
+                &[
+                    ("Afghanistan", "AFG"),
+                    ("Albania", "ALB"),
+                    ("Algeria", "DZA"),
+                    ("Germany", "DEU"),
+                    ("Netherlands", "NLD"),
+                    ("Greece", "GRC"),
+                ],
+            ),
+            push_rows(
+                &mut corpus,
+                "new-1.org",
+                &[
+                    ("Afghanistan", "AFG"),
+                    ("Albania q", "ALB"),
+                    ("Algeria", "ALG"),
+                    ("Germany", "GER"),
+                    ("Netherlandsx", "NED"),
+                    ("Greece", "GRE"),
+                ],
+            ),
+        ];
+        let report = session.apply_delta(&corpus, &CorpusDelta { added, removed });
+        assert_eq!(report.tables_added, 2);
+        assert_eq!(report.tables_removed, 2);
+        assert_matches_fresh(&session, &corpus);
+    }
+
+    #[test]
+    fn delta_sequence_with_reinsert_equals_fresh() {
+        let mut corpus = base_corpus();
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+
+        // Delta 1: remove two ISO tables.
+        let r1 = CorpusDelta {
+            added: vec![],
+            removed: vec![TableId(0), TableId(2)],
+        };
+        session.apply_delta(&corpus, &r1);
+        assert_matches_fresh(&session, &corpus);
+
+        // Delta 2: re-insert the same content under a new id, remove an
+        // IOC table.
+        let rows: Vec<(&str, &str)> = vec![
+            ("Afghanistan", "AFG"),
+            ("Albania", "ALB"),
+            ("Algeria", "DZA"),
+            ("Germany", "DEU"),
+            ("Netherlands", "NLD"),
+            ("Greece", "GRC"),
+        ];
+        let added = vec![push_rows(&mut corpus, "iso-0.org", &rows)];
+        let r2 = CorpusDelta {
+            added,
+            removed: vec![TableId(6)],
+        };
+        let report = session.apply_delta(&corpus, &r2);
+        // Re-inserted values resurrect their old NormIds.
+        assert_eq!(report.new_values, 0, "re-inserted content interns nothing");
+        assert_matches_fresh(&session, &corpus);
+
+        // Delta 3: remove the re-inserted table again.
+        let last = TableId(corpus.len() as u32 - 1);
+        session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added: vec![],
+                removed: vec![last],
+            },
+        );
+        assert_matches_fresh(&session, &corpus);
+    }
+
+    #[test]
+    fn removing_every_table_of_a_relation_drops_its_mappings() {
+        let corpus = base_corpus();
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+        let base = session.config().synthesis;
+        let before = session.synthesize(&base, Resolver::Algorithm4);
+        assert!(before
+            .mappings
+            .iter()
+            .any(|m| m.contains_pair("germany", "ger")));
+
+        // Remove all five IOC tables (ids 5..10): every mapping
+        // supported only by them must vanish.
+        let delta = CorpusDelta {
+            added: vec![],
+            removed: (5..10).map(TableId).collect(),
+        };
+        session.apply_delta(&corpus, &delta);
+        let after = session.synthesize(&base, Resolver::Algorithm4);
+        assert!(
+            !after
+                .mappings
+                .iter()
+                .any(|m| m.contains_pair("germany", "ger")),
+            "IOC-only mapping must be gone once its last supporting tables are removed"
+        );
+        assert!(after
+            .mappings
+            .iter()
+            .any(|m| m.contains_pair("germany", "deu")));
+        assert_matches_fresh(&session, &corpus);
+    }
+
+    #[test]
+    fn reorder_path_is_transparent() {
+        // Force the coherence-gain renumber with a tiny corpus where
+        // one column sits just under the threshold until a near-clone
+        // arrives. Even if a particular generator change stops
+        // triggering it, the assertion chain stays valid: output must
+        // match fresh either way.
+        let mut corpus = base_corpus();
+        // A weakly coherent table: values shared with nothing.
+        let weak: Vec<(&str, &str)> = vec![
+            ("zulu one", "q1"),
+            ("zulu two", "q2"),
+            ("zulu three", "q3"),
+            ("zulu four", "q4"),
+        ];
+        push_rows(&mut corpus, "weak.org", &weak);
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+
+        // Adding a clone of the weak table gives its values
+        // co-occurrence evidence — its columns flip coherent.
+        let added = vec![push_rows(&mut corpus, "weak-2.org", &weak)];
+        let report = session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added,
+                removed: vec![],
+            },
+        );
+        assert!(report.reordered, "weak-table clone must flip coherence");
+        assert_matches_fresh(&session, &corpus);
+
+        // The renumbered session keeps taking deltas.
+        let added = vec![push_rows(
+            &mut corpus,
+            "new-after-fallback.org",
+            &[
+                ("Afghanistan", "AFG"),
+                ("Albania", "ALB"),
+                ("Algeria", "DZA"),
+                ("Germany", "DEU"),
+                ("Netherlands", "NLD"),
+                ("Greece", "GRC"),
+            ],
+        )];
+        session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added,
+                removed: vec![TableId(3)],
+            },
+        );
+        assert_matches_fresh(&session, &corpus);
+    }
+
+    #[test]
+    fn delta_path_deterministic_across_worker_counts() {
+        let outputs: Vec<Vec<Vec<(String, String)>>> = [1usize, 2, 8]
+            .iter()
+            .map(|&workers| {
+                let mut corpus = base_corpus();
+                let mut session = SynthesisSession::new(PipelineConfig {
+                    workers,
+                    ..Default::default()
+                });
+                session.prepare(&corpus);
+                let added = vec![push_rows(
+                    &mut corpus,
+                    "w.org",
+                    &[
+                        ("Afghanistan", "AFG"),
+                        ("Albania w", "ALB"),
+                        ("Algeria", "ALG"),
+                        ("Germany", "GER"),
+                        ("Netherlands", "NED"),
+                        ("Greece", "GRE"),
+                    ],
+                )];
+                session.apply_delta(
+                    &corpus,
+                    &CorpusDelta {
+                        added,
+                        removed: vec![TableId(4), TableId(9)],
+                    },
+                );
+                let run =
+                    session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
+                run.mappings.iter().map(|m| m.materialize_pairs()).collect()
+            })
+            .collect();
+        assert_eq!(outputs[0], outputs[1], "1 vs 2 workers");
+        assert_eq!(outputs[0], outputs[2], "1 vs 8 workers");
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn double_removal_rejected() {
+        let corpus = base_corpus();
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+        let d = CorpusDelta {
+            added: vec![],
+            removed: vec![TableId(0)],
+        };
+        session.apply_delta(&corpus, &d);
+        session.apply_delta(&corpus, &d);
+    }
+}

@@ -30,7 +30,11 @@
 //! with its own wall-clock timing. Sweeping a threshold or comparing
 //! conflict [`pipeline::Resolver`]s re-runs only the cheap tail, not
 //! extraction or scoring. [`pipeline::Pipeline`] is the one-shot
-//! facade over a session.
+//! facade over a session. Corpora evolve without re-preparing: a
+//! [`delta::CorpusDelta`] (tables appended + tables retired) re-enters
+//! the pipeline at blocking via
+//! [`session::SynthesisSession::apply_delta`], bit-identical to a
+//! fresh session on the post-delta corpus.
 //!
 //! Synthesized mappings carry **interned** `(NormId, NormId)` pairs
 //! plus a shared handle to the value space
@@ -85,6 +89,7 @@ pub mod compat;
 pub mod config;
 pub mod conflict;
 pub mod curate;
+pub mod delta;
 pub mod exact;
 pub mod expand;
 pub mod graph;
@@ -98,6 +103,7 @@ pub use approx::{ApproxMemo, ApproxMemoStats};
 pub use compat::{MatchCounts, PairWeights, ScoringContext};
 pub use config::SynthesisConfig;
 pub use conflict::{resolve_conflicts, resolve_majority_vote, ConflictStats};
+pub use delta::{CorpusDelta, DeltaReport, DeltaTimings};
 pub use graph::{CompatGraph, EdgeWeights};
 pub use partition::{greedy_partition, Partitioning};
 pub use pipeline::{

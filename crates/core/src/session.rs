@@ -35,17 +35,19 @@
 //! `match_params` need their own session.
 
 use crate::approx::ApproxMemoStats;
+use crate::blocking::BlockingIndex;
 use crate::compat::{MatchCounts, PairWeights, ScoringContext};
 use crate::config::SynthesisConfig;
 use crate::conflict::{resolve_conflicts, resolve_majority_vote};
 use crate::curate;
+use crate::delta::IncrementalState;
 use crate::graph::{graph_from_scores, CompatGraph};
 use crate::partition::{partition_by_components, Partitioning};
 use crate::pipeline::{PipelineConfig, PipelineOutput, Resolver, StageTimings};
 use crate::synth::SynthesizedMapping;
-use crate::values::{build_value_space, NormBinary, ValueSpace};
+use crate::values::{build_value_space_stateful, NormBinary, ValueSpace};
 use mapsynth_corpus::Corpus;
-use mapsynth_extract::{extract_candidates, ExtractionStats};
+use mapsynth_extract::{extract_candidates_masked, ExtractionStats};
 use mapsynth_mapreduce::MapReduce;
 use mapsynth_text::SynonymDict;
 use std::sync::Arc;
@@ -148,16 +150,21 @@ pub struct SessionRun {
 /// assert_eq!(a.mappings.len(), b.mappings.len());
 /// ```
 pub struct SynthesisSession {
-    cfg: PipelineConfig,
-    synonyms: SynonymDict,
-    mr: MapReduce,
+    pub(crate) cfg: PipelineConfig,
+    pub(crate) synonyms: SynonymDict,
+    pub(crate) mr: MapReduce,
     /// Identity of the corpus the cached artifacts came from:
     /// `(tables, total columns)`. Guards against silently serving one
-    /// corpus's artifacts for another.
-    corpus_fingerprint: Option<(usize, u64)>,
-    extraction: Option<ExtractionArtifact>,
-    values: Option<ValueArtifact>,
-    scores: Option<ScoreArtifact>,
+    /// corpus's artifacts for another. Advanced by
+    /// [`apply_delta`](Self::apply_delta).
+    pub(crate) corpus_fingerprint: Option<(usize, u64)>,
+    pub(crate) extraction: Option<ExtractionArtifact>,
+    pub(crate) values: Option<ValueArtifact>,
+    pub(crate) scores: Option<ScoreArtifact>,
+    /// The incremental-update state behind
+    /// [`apply_delta`](Self::apply_delta): extraction cache, interning
+    /// state, blocking index, tombstone masks.
+    pub(crate) incr: Option<IncrementalState>,
 }
 
 impl SynthesisSession {
@@ -177,6 +184,7 @@ impl SynthesisSession {
             extraction: None,
             values: None,
             scores: None,
+            incr: None,
         }
     }
 
@@ -219,81 +227,104 @@ impl SynthesisSession {
             Some(prior) => assert_eq!(
                 prior, fingerprint,
                 "SynthesisSession artifacts were prepared from a different corpus; \
-                 use one session per corpus"
+                 use one session per corpus (corpus deltas go through apply_delta)"
             ),
         }
         if self.extraction.is_none() {
-            let t = Instant::now();
-            let (candidates, stats) = extract_candidates(corpus, &self.cfg.extraction, &self.mr);
-            self.extraction = Some(ExtractionArtifact {
-                candidates,
-                stats,
-                elapsed: t.elapsed(),
-            });
-        }
-        if self.values.is_none() {
-            let t = Instant::now();
-            let candidates = &self.extraction.as_ref().unwrap().candidates;
-            let (space, tables) = build_value_space(corpus, candidates, &self.synonyms, &self.mr);
-            self.values = Some(ValueArtifact {
-                space,
-                tables,
-                elapsed: t.elapsed(),
-            });
-        }
-        if self.scores.is_none() {
-            let t = Instant::now();
-            let values = self.values.as_ref().unwrap();
-            let space = &values.space;
-            let tables = &values.tables;
-            let cfg = &self.cfg.synthesis;
-            let (pairs, blocking) = crate::blocking::candidate_pairs(space, tables, cfg, &self.mr);
-            let blocking_time = t.elapsed();
-
-            // Shared scoring state: per-table sorted views + the
-            // one-shot approximate-match memo.
-            let context = ScoringContext::build(space, tables, cfg, &self.mr);
-
-            // Allocation-light merge-join per blocked pair; raw counts
-            // are the stored artifact, weights derive arithmetically.
-            let t_join = Instant::now();
-            let counts: Vec<(u32, u32, MatchCounts)> = self
-                .mr
-                .par_map(&pairs, |&(a, b)| (a, b, context.counts(space, a, b)));
-            let merge_join = t_join.elapsed();
-            let scored: Vec<(u32, u32, PairWeights)> = counts
-                .iter()
-                .map(|&(a, b, c)| {
-                    let w = c.weights(
-                        tables[a as usize].len(),
-                        tables[b as usize].len(),
-                        cfg.approx_matching,
-                    );
-                    (a, b, w)
-                })
-                .collect();
-
-            let detail = ScoringDetail {
-                blocking: blocking_time,
-                index_build: context.build_stats.index_build,
-                approx_memo: context.build_stats.approx_memo,
-                merge_join,
-                memo: context.build_stats.memo,
-            };
-            self.scores = Some(ScoreArtifact {
-                scored,
-                counts,
-                context,
-                blocking,
-                elapsed: t.elapsed(),
-                detail,
-            });
+            let alive = vec![true; corpus.len()];
+            self.prepare_stages(corpus, alive);
         }
         (
             self.extraction.as_ref().unwrap(),
             self.values.as_ref().unwrap(),
             self.scores.as_ref().unwrap(),
         )
+    }
+
+    /// Build all three stage artifacts (plus the incremental-update
+    /// state) over the tables `alive` marks. `alive` is all-true for a
+    /// plain [`prepare`](Self::prepare); the tombstone-aware mask is
+    /// used by [`apply_delta`](Self::apply_delta)'s full-rebuild
+    /// fallback, which must keep the caller's table numbering.
+    pub(crate) fn prepare_stages(&mut self, corpus: &Corpus, alive: Vec<bool>) {
+        let t = Instant::now();
+        let (candidates, stats, extraction_cache) =
+            extract_candidates_masked(corpus, &alive, &self.cfg.extraction, &self.mr);
+        self.extraction = Some(ExtractionArtifact {
+            candidates,
+            stats,
+            elapsed: t.elapsed(),
+        });
+
+        let t = Instant::now();
+        let candidates = &self.extraction.as_ref().unwrap().candidates;
+        let (space, tables, interning) =
+            build_value_space_stateful(corpus, candidates, &self.synonyms, &self.mr);
+        let mut pos_of_candidate: Vec<Option<u32>> = vec![None; candidates.len()];
+        for (pos, t) in tables.iter().enumerate() {
+            pos_of_candidate[t.idx as usize] = Some(pos as u32);
+        }
+        let dead = vec![false; tables.len()];
+        self.values = Some(ValueArtifact {
+            space,
+            tables,
+            elapsed: t.elapsed(),
+        });
+
+        let t = Instant::now();
+        let values = self.values.as_ref().unwrap();
+        let space = &values.space;
+        let tables = &values.tables;
+        let cfg = &self.cfg.synthesis;
+        let (blocking_index, pairs, blocking) = BlockingIndex::build(space, tables, cfg, &self.mr);
+        let blocking_time = t.elapsed();
+
+        // Shared scoring state: per-table sorted views + the
+        // one-shot approximate-match memo.
+        let context = ScoringContext::build(space, tables, cfg, &self.mr);
+
+        // Allocation-light merge-join per blocked pair; raw counts
+        // are the stored artifact, weights derive arithmetically.
+        let t_join = Instant::now();
+        let counts: Vec<(u32, u32, MatchCounts)> = self
+            .mr
+            .par_map(&pairs, |&(a, b)| (a, b, context.counts(space, a, b)));
+        let merge_join = t_join.elapsed();
+        let scored: Vec<(u32, u32, PairWeights)> = counts
+            .iter()
+            .map(|&(a, b, c)| {
+                let w = c.weights(
+                    tables[a as usize].len(),
+                    tables[b as usize].len(),
+                    cfg.approx_matching,
+                );
+                (a, b, w)
+            })
+            .collect();
+
+        let detail = ScoringDetail {
+            blocking: blocking_time,
+            index_build: context.build_stats.index_build,
+            approx_memo: context.build_stats.approx_memo,
+            merge_join,
+            memo: context.build_stats.memo,
+        };
+        self.scores = Some(ScoreArtifact {
+            scored,
+            counts,
+            context,
+            blocking,
+            elapsed: t.elapsed(),
+            detail,
+        });
+        self.incr = Some(IncrementalState {
+            extraction_cache,
+            interning,
+            blocking: blocking_index,
+            pos_of_candidate,
+            dead,
+            alive_tables: alive,
+        });
     }
 
     /// The stage-1 artifact, if [`prepare`](Self::prepare) has run.
@@ -401,6 +432,22 @@ impl SynthesisSession {
         partition_by_components(graph, cfg, &self.mr)
     }
 
+    /// Whether the table at `idx` (into the stage-2 slice) is live.
+    /// Tables only die by tombstoning through
+    /// [`apply_delta`](Self::apply_delta).
+    pub fn is_live(&self, idx: u32) -> bool {
+        self.incr.as_ref().is_none_or(|s| !s.dead[idx as usize])
+    }
+
+    /// Number of live candidate tables.
+    pub fn live_tables(&self) -> usize {
+        let n = self.values.as_ref().map_or(0, |v| v.tables.len());
+        match &self.incr {
+            Some(s) => n - s.dead.iter().filter(|&&d| d).count(),
+            None => n,
+        }
+    }
+
     /// Run the full variant tail — graph filter, partitioning,
     /// conflict resolution, union, curation ranking — off the cached
     /// stage artifacts.
@@ -417,7 +464,17 @@ impl SynthesisSession {
         let negative_edges = graph.negative_edges();
 
         let t = Instant::now();
-        let partitioning = self.partition(&graph, cfg);
+        let mut partitioning = self.partition(&graph, cfg);
+        // Tombstoned tables have no blocked pairs, so they can only
+        // surface as singleton components — drop them before the
+        // resolve/union tail (a fresh post-delta session never sees
+        // them at all).
+        if let Some(incr) = &self.incr {
+            partitioning
+                .groups
+                .retain(|g| g.iter().any(|&v| !incr.dead[v as usize]));
+        }
+        let partitioning = partitioning;
         let partition_time = t.elapsed();
         let partitions = partitioning.groups.len();
 
@@ -469,17 +526,17 @@ impl SynthesisSession {
         };
         let run = self.synthesize(&self.cfg.synthesis, resolver);
         let extraction = self.extraction.as_ref().unwrap();
-        let values = self.values.as_ref().unwrap();
         let mut timings = run.timings;
         // On a fresh run the end-to-end wall-clock is observable;
         // reuse runs report the sum of stage costs actually incurred.
         if fresh {
             timings.total = t_total.elapsed();
         }
+        let candidates = self.live_tables();
         PipelineOutput {
             mappings: run.mappings,
             extraction: extraction.stats,
-            candidates: values.tables.len(),
+            candidates,
             edges: run.edges,
             negative_edges: run.negative_edges,
             partitions: run.partitions,

@@ -122,6 +122,25 @@ impl NormBinary {
     }
 }
 
+/// The sequential interning state behind a [`ValueSpace`], retained by
+/// incremental sessions so a corpus delta can extend the space
+/// **append-only**: values of removed tables keep their [`NormId`]s
+/// (they are simply never referenced again), new values get fresh ids
+/// after the existing ones. Nothing downstream may depend on the
+/// numbering itself — only on identity and on the class *partition* —
+/// which is exactly what lets an extended space serve artifacts that
+/// must stay bit-identical to a fresh renumbered run.
+#[derive(Debug, Default)]
+pub struct ValueInterning {
+    /// Corpus symbol → interned value (None: normalizes to empty).
+    norm_of_sym: HashMap<Sym, Option<NormId>>,
+    /// Normalized string → value id.
+    id_of_string: HashMap<String, NormId>,
+    /// External synonym class → representative value id (first member
+    /// interned).
+    rep_of_class: HashMap<usize, u32>,
+}
+
 /// Build the value space and normalized candidates.
 ///
 /// Pairs whose left or right normalizes to the empty string are
@@ -144,54 +163,30 @@ pub fn build_value_space(
     synonyms: &SynonymDict,
     mr: &MapReduce,
 ) -> (Arc<ValueSpace>, Vec<NormBinary>) {
-    // Distinct cell symbols in first-occurrence order (the order the
-    // sequential implementation assigned NormIds in).
-    let mut seen: HashSet<Sym> = HashSet::new();
-    let mut distinct: Vec<Sym> = Vec::new();
-    for cand in candidates {
-        for &(l, r) in &cand.pairs {
-            if seen.insert(l) {
-                distinct.push(l);
-            }
-            if seen.insert(r) {
-                distinct.push(r);
-            }
-        }
-    }
+    let (space, tables, _) = build_value_space_stateful(corpus, candidates, synonyms, mr);
+    (space, tables)
+}
 
-    // Parallel normalization of the distinct symbols (the dominant
-    // cost: unicode folding and footnote stripping per string).
-    let normalized: Vec<String> = mr.par_map(&distinct, |&sym| normalize(corpus.str_of(sym)));
-
-    // Sequential interning in first-occurrence order.
-    let mut norm_of_sym: HashMap<Sym, Option<NormId>> = HashMap::with_capacity(distinct.len());
-    let mut id_of_string: HashMap<String, NormId> = HashMap::new();
+/// [`build_value_space`] plus the [`ValueInterning`] state that
+/// [`extend_value_space`] needs to grow the space under corpus deltas.
+pub fn build_value_space_stateful(
+    corpus: &Corpus,
+    candidates: &[BinaryTable],
+    synonyms: &SynonymDict,
+    mr: &MapReduce,
+) -> (Arc<ValueSpace>, Vec<NormBinary>, ValueInterning) {
+    let mut interning = ValueInterning::default();
     let mut strings: Vec<String> = Vec::new();
-    for (&sym, n) in distinct.iter().zip(normalized) {
-        let id = if n.is_empty() {
-            None
-        } else {
-            Some(*id_of_string.entry(n.clone()).or_insert_with(|| {
-                strings.push(n);
-                NormId((strings.len() - 1) as u32)
-            }))
-        };
-        norm_of_sym.insert(sym, id);
-    }
-
-    // Fold synonym classes: class id = representative NormId, except
-    // synonym-class members share the smallest member's id.
-    let mut class: Vec<u32> = (0..strings.len() as u32).collect();
-    if !synonyms.is_empty() {
-        // Map external synonym class → smallest NormId seen.
-        let mut rep_of_class: HashMap<usize, u32> = HashMap::new();
-        for (i, s) in strings.iter().enumerate() {
-            if let Some(c) = synonyms.class_of(s) {
-                let rep = rep_of_class.entry(c).or_insert(i as u32);
-                class[i] = *rep;
-            }
-        }
-    }
+    let mut class: Vec<u32> = Vec::new();
+    intern_candidates(
+        corpus,
+        candidates,
+        synonyms,
+        mr,
+        &mut interning,
+        &mut strings,
+        &mut class,
+    );
 
     let compact: Vec<String> = mr.par_map(&strings, |s| {
         s.chars().filter(|c| !c.is_whitespace()).collect()
@@ -204,36 +199,152 @@ pub fn build_value_space(
         char_len,
     });
 
-    // Parallel projection of each candidate into the space.
+    let tables = project_candidates(&space, &interning, candidates, 0, mr);
+    (space, tables, interning)
+}
+
+/// Extend an existing space with the values of freshly extracted
+/// candidates, append-only: existing ids are untouched, new distinct
+/// normalized strings get ids after [`ValueSpace::len`]. Returns the
+/// grown space (a **new** `Arc` — prior mappings keep their old
+/// handle, whose ids remain valid in both) and the projections of the
+/// new candidates, with `idx` starting at `idx_base`.
+pub fn extend_value_space(
+    space: &ValueSpace,
+    interning: &mut ValueInterning,
+    corpus: &Corpus,
+    new_candidates: &[BinaryTable],
+    synonyms: &SynonymDict,
+    idx_base: u32,
+    mr: &MapReduce,
+) -> (Arc<ValueSpace>, Vec<NormBinary>) {
+    let mut strings = space.strings.clone();
+    let mut class = space.class.clone();
+    let old_len = strings.len();
+    intern_candidates(
+        corpus,
+        new_candidates,
+        synonyms,
+        mr,
+        interning,
+        &mut strings,
+        &mut class,
+    );
+
+    let new_strings = &strings[old_len..];
+    let new_compact: Vec<String> = mr.par_map(
+        &new_strings.iter().collect::<Vec<_>>(),
+        |s: &&String| -> String { s.chars().filter(|c| !c.is_whitespace()).collect() },
+    );
+    let mut compact = space.compact.clone();
+    let mut char_len = space.char_len.clone();
+    char_len.extend(new_compact.iter().map(|s| s.chars().count() as u32));
+    compact.extend(new_compact);
+
+    let grown = Arc::new(ValueSpace {
+        strings,
+        compact,
+        class,
+        char_len,
+    });
+    let tables = project_candidates(&grown, interning, new_candidates, idx_base, mr);
+    (grown, tables)
+}
+
+/// Shared interning pass: normalize (parallel) the distinct unseen
+/// symbols of `candidates` in first-occurrence order, intern
+/// sequentially, fold synonym classes. Appends to `strings`/`class`.
+fn intern_candidates(
+    corpus: &Corpus,
+    candidates: &[BinaryTable],
+    synonyms: &SynonymDict,
+    mr: &MapReduce,
+    interning: &mut ValueInterning,
+    strings: &mut Vec<String>,
+    class: &mut Vec<u32>,
+) {
+    // Distinct unseen cell symbols in first-occurrence order (the
+    // order the sequential implementation assigned NormIds in).
+    let mut seen: HashSet<Sym> = HashSet::new();
+    let mut distinct: Vec<Sym> = Vec::new();
+    for cand in candidates {
+        for &(l, r) in &cand.pairs {
+            if !interning.norm_of_sym.contains_key(&l) && seen.insert(l) {
+                distinct.push(l);
+            }
+            if !interning.norm_of_sym.contains_key(&r) && seen.insert(r) {
+                distinct.push(r);
+            }
+        }
+    }
+
+    // Parallel normalization of the distinct symbols (the dominant
+    // cost: unicode folding and footnote stripping per string).
+    let normalized: Vec<String> = mr.par_map(&distinct, |&sym| normalize(corpus.str_of(sym)));
+
+    // Sequential interning in first-occurrence order, with synonym
+    // classes folded as strings arrive (class id = representative
+    // NormId: the class's first-interned member).
+    for (&sym, n) in distinct.iter().zip(normalized) {
+        let id = if n.is_empty() {
+            None
+        } else {
+            match interning.id_of_string.get(&n) {
+                Some(&id) => Some(id),
+                None => {
+                    let id = NormId(strings.len() as u32);
+                    let c = match synonyms.class_of(&n) {
+                        Some(sc) => *interning.rep_of_class.entry(sc).or_insert(id.0),
+                        None => id.0,
+                    };
+                    interning.id_of_string.insert(n.clone(), id);
+                    strings.push(n);
+                    class.push(c);
+                    Some(id)
+                }
+            }
+        };
+        interning.norm_of_sym.insert(sym, id);
+    }
+}
+
+/// Shared projection pass: each candidate's pairs mapped into the
+/// space, deduplicated, class-sorted; candidates below two usable
+/// pairs dropped.
+fn project_candidates(
+    space: &Arc<ValueSpace>,
+    interning: &ValueInterning,
+    candidates: &[BinaryTable],
+    idx_base: u32,
+    mr: &MapReduce,
+) -> Vec<NormBinary> {
     let indexed: Vec<(u32, &BinaryTable)> = candidates
         .iter()
         .enumerate()
-        .map(|(i, c)| (i as u32, c))
+        .map(|(i, c)| (idx_base + i as u32, c))
         .collect();
     let space_ref = &space;
-    let norm_ref = &norm_of_sym;
-    let tables: Vec<NormBinary> = mr
-        .par_map(&indexed, |&(idx, cand)| {
-            let mut pairs: Vec<(NormId, NormId)> = cand
-                .pairs
-                .iter()
-                .filter_map(|&(l, r)| Some(((*norm_ref.get(&l)?)?, (*norm_ref.get(&r)?)?)))
-                .collect();
-            pairs.sort_unstable();
-            pairs.dedup();
-            // Sort by class pair for the hash-join in compat scoring.
-            pairs.sort_by_key(|&(l, r)| (space_ref.class(l), space_ref.class(r)));
-            (pairs.len() >= 2).then_some(NormBinary {
-                idx,
-                domain: cand.domain,
-                source: cand.source,
-                pairs,
-            })
+    let norm_ref = &interning.norm_of_sym;
+    mr.par_map(&indexed, |&(idx, cand)| {
+        let mut pairs: Vec<(NormId, NormId)> = cand
+            .pairs
+            .iter()
+            .filter_map(|&(l, r)| Some(((*norm_ref.get(&l)?)?, (*norm_ref.get(&r)?)?)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        // Sort by class pair for the hash-join in compat scoring.
+        pairs.sort_by_key(|&(l, r)| (space_ref.class(l), space_ref.class(r)));
+        (pairs.len() >= 2).then_some(NormBinary {
+            idx,
+            domain: cand.domain,
+            source: cand.source,
+            pairs,
         })
-        .into_iter()
-        .flatten()
-        .collect();
-    (space, tables)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

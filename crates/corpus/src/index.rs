@@ -27,12 +27,28 @@ pub struct ValueIndex {
 impl ValueIndex {
     /// Build the index over an entire corpus.
     pub fn build(corpus: &Corpus) -> Self {
+        Self::build_filtered(corpus, |_| true)
+    }
+
+    /// Build the index over the tables `alive` accepts. Global column
+    /// ids are still assigned across *all* tables (so they line up
+    /// with any caller-side `first_gid` arithmetic), but dead tables
+    /// contribute no postings and do not count toward
+    /// [`total_columns`](Self::total_columns) — the statistics are
+    /// those of the live view.
+    pub fn build_filtered(corpus: &Corpus, alive: impl Fn(crate::table::TableId) -> bool) -> Self {
         let mut postings: Vec<Vec<GlobalColId>> = vec![Vec::new(); corpus.interner.len()];
         let mut col_id = 0u32;
+        let mut total = 0usize;
         for table in &corpus.tables {
+            let live = alive(table.id);
             for column in &table.columns {
                 let gid = GlobalColId(col_id);
                 col_id += 1;
+                if !live {
+                    continue;
+                }
+                total += 1;
                 let mut seen: HashSet<Sym> = HashSet::with_capacity(column.values.len());
                 for &v in &column.values {
                     if seen.insert(v) {
@@ -50,7 +66,7 @@ impl ValueIndex {
         }
         Self {
             postings,
-            total_columns: col_id as usize,
+            total_columns: total,
         }
     }
 
@@ -71,9 +87,49 @@ impl ValueIndex {
         intersection_len(self.columns(u), self.columns(v))
     }
 
-    /// Total number of columns in the corpus (the `N` of Equation 1).
+    /// Total number of columns contributing evidence (the `N` of
+    /// Equation 1). After incremental updates this counts *live*
+    /// columns only — removed columns no longer contribute.
     pub fn total_columns(&self) -> usize {
         self.total_columns
+    }
+
+    /// Grow the posting table to cover symbols up to `interner_len`
+    /// (new tables intern new cell strings; their postings start
+    /// empty).
+    pub fn grow_symbols(&mut self, interner_len: usize) {
+        if self.postings.len() < interner_len {
+            self.postings.resize(interner_len, Vec::new());
+        }
+    }
+
+    /// Register a new column's distinct values under `gid`.
+    ///
+    /// Incremental-update contract: `gid` must be larger than every
+    /// column id currently in the index (fresh columns are appended
+    /// after the corpus' existing ones), which keeps every posting
+    /// list sorted by a plain push.
+    pub fn add_column<I: IntoIterator<Item = Sym>>(&mut self, gid: GlobalColId, distinct: I) {
+        for v in distinct {
+            self.grow_symbols(v.index() + 1);
+            let p = &mut self.postings[v.index()];
+            debug_assert!(p.last().is_none_or(|&last| last < gid));
+            p.push(gid);
+        }
+        self.total_columns += 1;
+    }
+
+    /// Remove a column's evidence. `distinct` must be the same distinct
+    /// value set the column was registered with.
+    pub fn remove_column<I: IntoIterator<Item = Sym>>(&mut self, gid: GlobalColId, distinct: I) {
+        for v in distinct {
+            let p = &mut self.postings[v.index()];
+            let at = p
+                .binary_search(&gid)
+                .expect("remove_column: column was not registered for this value");
+            p.remove(at);
+        }
+        self.total_columns -= 1;
     }
 }
 

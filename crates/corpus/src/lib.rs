@@ -46,6 +46,7 @@ pub use index::{GlobalColId, ValueIndex};
 pub use intern::{Interner, Sym};
 pub use io::{load_csv_dir, load_csv_table, parse_csv};
 pub use stats::{
-    column_coherence, column_coherence_excluding, npmi, pmi, CoherenceConfig, CooccurrenceStats,
+    coherence_from_counts, column_coherence, column_coherence_detailed, column_coherence_excluding,
+    npmi, pmi, CoherenceConfig, CoherenceDetail, CooccurrenceStats,
 };
 pub use table::{Column, Corpus, DomainId, Table, TableId};

@@ -140,31 +140,117 @@ fn coherence_inner(
     cfg: CoherenceConfig,
     exclude: Option<GlobalColId>,
 ) -> f64 {
-    let vals: Vec<Sym> = if distinct_values.len() > cfg.max_sample {
-        // Even stride keeps head and tail representation without RNG.
+    let vals = sample_values(distinct_values, cfg);
+    coherence_sum(vals.len(), |i, j| match exclude {
+        Some(g) => CooccurrenceStats::gather_excluding(index, vals[i], vals[j], g),
+        None => CooccurrenceStats::gather(index, vals[i], vals[j]),
+    })
+}
+
+/// The deterministic sample (evenly strided over first-occurrence
+/// order, no RNG) Equation 2 is evaluated over.
+fn sample_values(distinct_values: &[Sym], cfg: CoherenceConfig) -> Vec<Sym> {
+    if distinct_values.len() > cfg.max_sample {
         let stride = distinct_values.len() as f64 / cfg.max_sample as f64;
         (0..cfg.max_sample)
             .map(|i| distinct_values[(i as f64 * stride) as usize])
             .collect()
     } else {
         distinct_values.to_vec()
-    };
-    if vals.len() < 2 {
+    }
+}
+
+/// The shared Equation 2 summation: mean NPMI over sampled pairs in
+/// `i < j` order. Every coherence entry point funnels through this one
+/// loop, so a score recomputed from cached counts is bit-identical to
+/// one gathered from the index.
+fn coherence_sum(
+    n_vals: usize,
+    mut stats_of: impl FnMut(usize, usize) -> CooccurrenceStats,
+) -> f64 {
+    if n_vals < 2 {
         return 1.0;
     }
     let mut sum = 0.0;
     let mut pairs = 0usize;
-    for i in 0..vals.len() {
-        for j in (i + 1)..vals.len() {
-            let stats = match exclude {
-                Some(g) => CooccurrenceStats::gather_excluding(index, vals[i], vals[j], g),
-                None => CooccurrenceStats::gather(index, vals[i], vals[j]),
-            };
-            sum += npmi(stats);
+    for i in 0..n_vals {
+        for j in (i + 1)..n_vals {
+            sum += npmi(stats_of(i, j));
             pairs += 1;
         }
     }
     sum / pairs as f64
+}
+
+/// Raw co-occurrence evidence behind one column's coherence score,
+/// cached by incremental extraction so a corpus delta can re-score the
+/// column arithmetically instead of re-intersecting posting lists.
+///
+/// Counts are *raw* (they still include the scored column itself); the
+/// self-exclusion of [`column_coherence_excluding`] is pure arithmetic
+/// — every sampled value is by definition in the column, so each count
+/// is reduced by exactly one — and is re-applied by
+/// [`coherence_from_counts`].
+#[derive(Clone, Debug)]
+pub struct CoherenceDetail {
+    /// The sampled values, in sample order.
+    pub samples: Vec<Sym>,
+    /// `|C(u)|` per sampled value (including the scored column).
+    pub value_counts: Vec<u32>,
+    /// `|C(u) ∩ C(v)|` per sampled pair, in `i < j` order (including
+    /// the scored column).
+    pub pair_counts: Vec<u32>,
+}
+
+/// [`column_coherence_excluding`] plus the raw evidence it was computed
+/// from. The score is bit-identical to the plain entry point.
+pub fn column_coherence_detailed(
+    index: &ValueIndex,
+    distinct_values: &[Sym],
+    cfg: CoherenceConfig,
+    exclude: GlobalColId,
+) -> (f64, CoherenceDetail) {
+    let samples = sample_values(distinct_values, cfg);
+    let value_counts: Vec<u32> = samples
+        .iter()
+        .map(|&u| {
+            debug_assert!(index.columns(u).binary_search(&exclude).is_ok());
+            index.column_count(u) as u32
+        })
+        .collect();
+    let mut pair_counts = Vec::with_capacity(samples.len() * samples.len().saturating_sub(1) / 2);
+    for i in 0..samples.len() {
+        for j in (i + 1)..samples.len() {
+            pair_counts.push(index.cooccurrence(samples[i], samples[j]) as u32);
+        }
+    }
+    let score = coherence_from_counts(&value_counts, &pair_counts, index.total_columns());
+    (
+        score,
+        CoherenceDetail {
+            samples,
+            value_counts,
+            pair_counts,
+        },
+    )
+}
+
+/// Re-score a column from cached raw counts (see [`CoherenceDetail`])
+/// against a corpus of `total` live columns. Bit-identical to
+/// [`column_coherence_excluding`] gathered from an index with the same
+/// counts.
+pub fn coherence_from_counts(value_counts: &[u32], pair_counts: &[u32], total: usize) -> f64 {
+    let mut k = 0usize;
+    coherence_sum(value_counts.len(), |i, j| {
+        let count_uv = pair_counts[k] as usize - 1;
+        k += 1;
+        CooccurrenceStats {
+            count_u: value_counts[i] as usize - 1,
+            count_v: value_counts[j] as usize - 1,
+            count_uv,
+            total: total.saturating_sub(1),
+        }
+    })
 }
 
 #[cfg(test)]

@@ -183,6 +183,43 @@ impl Corpus {
         &self.tables[id.0 as usize]
     }
 
+    /// A fresh corpus holding only the tables `keep` accepts, in the
+    /// original order, re-interned from scratch (table ids are
+    /// renumbered densely; domain names are re-registered on first
+    /// use).
+    ///
+    /// This is the *reference* semantics of a table-removal delta: the
+    /// corpus that a batch run would have seen had the removed tables
+    /// never existed. [`crate::Corpus`] itself is append-only — the
+    /// incremental path (`mapsynth::delta`) tombstones instead of
+    /// rebuilding — so this constructor exists for oracles, benchmarks
+    /// and fallback rebuilds that need the post-delta corpus as a
+    /// first-class value.
+    pub fn subset(&self, keep: impl Fn(TableId) -> bool) -> Corpus {
+        let mut out = Corpus::new();
+        for table in &self.tables {
+            if !keep(table.id) {
+                continue;
+            }
+            let domain = out.domain(&self.domain_names[table.domain.0 as usize]);
+            let columns = table
+                .columns
+                .iter()
+                .map(|c| {
+                    Column::new(
+                        c.header.map(|h| out.interner.intern(self.str_of(h))),
+                        c.values
+                            .iter()
+                            .map(|&v| out.interner.intern(self.str_of(v)))
+                            .collect(),
+                    )
+                })
+                .collect();
+            out.push_interned_table(domain, columns);
+        }
+        out
+    }
+
     /// Resolve a symbol to its string.
     pub fn str_of(&self, sym: Sym) -> &str {
         self.interner.resolve(sym)

@@ -392,4 +392,79 @@ impl PreparedWeb {
     pub fn synthesize(&self, cfg: &SynthesisConfig, resolver: Resolver) -> Vec<SynthesizedMapping> {
         self.session.synthesize(cfg, resolver).mappings
     }
+
+    /// Evolve the prepared corpus by an incremental delta: `evolve`
+    /// mutates the owned corpus (pushing any new tables) and returns
+    /// the [`mapsynth::delta::CorpusDelta`] naming them plus the
+    /// removals; the session re-enters the staged pipeline at blocking
+    /// ([`mapsynth::pipeline::SynthesisSession::apply_delta`]). Every
+    /// subsequent [`run_synthesis`](Self::run_synthesis) /
+    /// [`sweep_matching`](Self::sweep_matching) call derives off the
+    /// patched artifacts, bit-identical to re-preparing from scratch
+    /// on the post-delta corpus.
+    ///
+    /// Caveat for baselines: [`tables`](Self::tables) keeps tombstoned
+    /// entries in place (positions are stable across deltas) — filter
+    /// with `session.is_live` when feeding the raw slice to a
+    /// baseline.
+    pub fn apply_delta(
+        &mut self,
+        evolve: impl FnOnce(&mut Corpus) -> mapsynth::delta::CorpusDelta,
+    ) -> mapsynth::delta::DeltaReport {
+        let delta = evolve(&mut self.corpus);
+        self.session.apply_delta(&self.corpus, &delta)
+    }
+}
+
+#[cfg(test)]
+mod delta_tests {
+    use super::*;
+    use mapsynth::delta::CorpusDelta;
+    use mapsynth_gen::procedural::ProceduralConfig;
+    use mapsynth_gen::{generate_web, WebConfig};
+
+    /// The harness contract under corpus evolution: a parameter sweep
+    /// after `apply_delta` equals the same sweep on a freshly prepared
+    /// post-delta corpus.
+    #[test]
+    fn sweeps_reflect_deltas() {
+        let wc = generate_web(&WebConfig {
+            tables: 260,
+            domains: 30,
+            procedural: ProceduralConfig {
+                families: 8,
+                temporal_families: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let mut prepared = PreparedWeb::prepare(wc, 0.5, 0);
+        let report = prepared.apply_delta(|_corpus| CorpusDelta {
+            added: vec![],
+            removed: (0..6).map(|k| mapsynth_corpus::TableId(k * 41)).collect(),
+        });
+        assert_eq!(report.tables_removed, 6);
+
+        let cfg = SynthesisConfig {
+            theta_edge: 0.7,
+            ..Default::default()
+        };
+        let swept = prepared.run_synthesis(&cfg, Resolver::Algorithm4);
+
+        // Fresh harness on the post-delta corpus.
+        let live = prepared.session.live_corpus(&prepared.corpus);
+        let feed = prepared.registry.partial_synonym_feed(0.5, 11);
+        let mut fresh = SynthesisSession::new(PipelineConfig::default()).with_synonyms(feed);
+        fresh.prepare(&live);
+        let fresh_results: Vec<Vec<(String, String)>> = fresh
+            .synthesize(&cfg, Resolver::Algorithm4)
+            .mappings
+            .iter()
+            .map(|m| m.materialize_pairs())
+            .collect();
+        assert_eq!(swept.len(), fresh_results.len());
+        for (a, b) in swept.iter().zip(&fresh_results) {
+            assert_eq!(&a.pairs, b);
+        }
+    }
 }

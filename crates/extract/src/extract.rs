@@ -1,11 +1,27 @@
-//! Candidate extraction (paper Algorithm 1), parallelized over tables.
+//! Candidate extraction (paper Algorithm 1), parallelized over tables
+//! — plus the incremental re-extraction machinery corpus deltas need.
+//!
+//! Column coherence (Equation 2) is a *global* statistic: every NPMI
+//! term depends on the corpus-wide column count `N` and on posting
+//! lists that any table insert/delete perturbs. A delta therefore
+//! cannot simply extract the new tables — it must re-decide every old
+//! column's coherence against the post-delta evidence, or incremental
+//! output would diverge from a fresh run. [`ExtractionCache`] makes
+//! that re-decision cheap: it keeps the [`ValueIndex`] (incrementally
+//! patched) and, per column, the raw co-occurrence counts behind its
+//! coherence score ([`CoherenceDetail`]), so a delta re-scores old
+//! columns arithmetically — posting intersections are recomputed only
+//! for value pairs the delta actually touched. Structural filters, the
+//! numeric-left filter and approximate-FD checks depend on table
+//! content alone and are never re-run for unchanged tables.
 
 use crate::filters::{approx_fd_holds, column_passes, numeric_fraction};
 use mapsynth_corpus::{
-    column_coherence_excluding, BinaryId, BinaryTable, CoherenceConfig, Corpus, GlobalColId,
-    ValueIndex,
+    coherence_from_counts, column_coherence_detailed, BinaryId, BinaryTable, CoherenceConfig,
+    CoherenceDetail, Corpus, GlobalColId, TableId, ValueIndex,
 };
 use mapsynth_mapreduce::MapReduce;
+use std::collections::{HashMap, HashSet};
 
 /// Extraction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -90,6 +106,138 @@ impl ExtractionStats {
     }
 }
 
+/// (left col, right col, raw row pairs) per emitted candidate.
+type CandidateRows = (u16, u16, Vec<(mapsynth_corpus::Sym, mapsynth_corpus::Sym)>);
+
+/// Cached per-column extraction state.
+#[derive(Clone, Debug)]
+struct ColumnCache {
+    /// Passed the structural (distinct count / cell length) filters.
+    /// Content-determined — never re-evaluated.
+    structural: bool,
+    /// Coherence evidence, present iff `structural`.
+    detail: Option<CoherenceDetail>,
+    /// Latest coherence score against the live corpus.
+    coherence: f64,
+    /// `coherence ≥ min_coherence` (the column feeds pair enumeration).
+    kept: bool,
+}
+
+/// Cached per-table extraction state.
+#[derive(Clone, Debug)]
+struct TableCache {
+    /// False once the table was removed by a delta.
+    alive: bool,
+    /// Global id of the table's first column (ids are never reused, so
+    /// a delta-era corpus has gaps where removed tables were — the
+    /// coherence arithmetic only ever uses *counts*, so gaps are
+    /// harmless).
+    first_gid: u32,
+    cols: Vec<ColumnCache>,
+    /// This table's contribution to the aggregate stats.
+    stats: ExtractionStats,
+    /// Emitted candidates: `(left col, right col, candidate index)`.
+    /// Candidate indices address the session-wide candidate list.
+    candidates: Vec<(u16, u16, u32)>,
+}
+
+/// One table's full extraction output (fresh path and delta path share
+/// this single implementation, which is what makes them bit-identical).
+struct TableExtraction {
+    cols: Vec<ColumnCache>,
+    pairs: Vec<CandidateRows>,
+    stats: ExtractionStats,
+}
+
+fn extract_table(
+    corpus: &Corpus,
+    index: &ValueIndex,
+    ti: usize,
+    first_gid: u32,
+    cfg: &ExtractionConfig,
+) -> TableExtraction {
+    let table = &corpus.tables[ti];
+    let width = table.width();
+    let mut stats = ExtractionStats {
+        tables: 1,
+        pairs_possible: width * width.saturating_sub(1),
+        ..Default::default()
+    };
+    // Column filtering (PMI + structural).
+    let mut cols: Vec<ColumnCache> = Vec::with_capacity(width);
+    let mut kept: Vec<usize> = Vec::new();
+    for (ci, col) in table.columns.iter().enumerate() {
+        stats.columns += 1;
+        if !column_passes(corpus, col, cfg.min_distinct, cfg.max_avg_len) {
+            stats.columns_structural += 1;
+            cols.push(ColumnCache {
+                structural: false,
+                detail: None,
+                coherence: 0.0,
+                kept: false,
+            });
+            continue;
+        }
+        let gid = GlobalColId(first_gid + ci as u32);
+        let (coherence, detail) =
+            column_coherence_detailed(index, &col.distinct(), cfg.coherence, gid);
+        let keep = coherence >= cfg.min_coherence;
+        if !keep {
+            stats.columns_incoherent += 1;
+        } else {
+            kept.push(ci);
+        }
+        cols.push(ColumnCache {
+            structural: true,
+            detail: Some(detail),
+            coherence,
+            kept: keep,
+        });
+    }
+    // Ordered pair enumeration + FD filtering.
+    let pairs = enumerate_pairs(corpus, table, &kept, cfg, &mut stats);
+    TableExtraction { cols, pairs, stats }
+}
+
+/// The ordered-pair tail of per-table extraction: numeric-left and
+/// approximate-FD filters over the kept columns.
+fn enumerate_pairs(
+    corpus: &Corpus,
+    table: &mapsynth_corpus::Table,
+    kept: &[usize],
+    cfg: &ExtractionConfig,
+    stats: &mut ExtractionStats,
+) -> Vec<CandidateRows> {
+    let mut pairs = Vec::new();
+    for &i in kept {
+        for &j in kept {
+            if i == j {
+                continue;
+            }
+            stats.pairs_considered += 1;
+            let (left, right) = (&table.columns[i], &table.columns[j]);
+            if numeric_fraction(corpus, left) >= cfg.max_left_numeric {
+                stats.pairs_numeric_left += 1;
+                continue;
+            }
+            let (ok, _) = approx_fd_holds(corpus, left, right, cfg.fd_theta);
+            if !ok {
+                stats.pairs_failed_fd += 1;
+                continue;
+            }
+            let rows: Vec<_> = left
+                .values
+                .iter()
+                .copied()
+                .zip(right.values.iter().copied())
+                .collect();
+            stats.candidates += 1;
+            pairs.push((i as u16, j as u16, rows));
+        }
+    }
+    pairs
+}
+
 /// Run candidate extraction over the corpus (paper Algorithm 1).
 ///
 /// Returns candidates with stable ids (`BinaryId` in table order) and
@@ -100,10 +248,40 @@ pub fn extract_candidates(
     cfg: &ExtractionConfig,
     mr: &MapReduce,
 ) -> (Vec<BinaryTable>, ExtractionStats) {
-    let index = ValueIndex::build(corpus);
+    let (candidates, stats, _) = extract_candidates_cached(corpus, cfg, mr);
+    (candidates, stats)
+}
 
-    // Global column ids are assigned in (table, column) order; track
-    // each table's first column id for coherence exclusion.
+/// [`extract_candidates`] plus the [`ExtractionCache`] that lets
+/// subsequent corpus deltas re-extract incrementally. The candidate
+/// list and stats are identical to the plain entry point (it delegates
+/// here).
+pub fn extract_candidates_cached(
+    corpus: &Corpus,
+    cfg: &ExtractionConfig,
+    mr: &MapReduce,
+) -> (Vec<BinaryTable>, ExtractionStats, ExtractionCache) {
+    extract_candidates_masked(corpus, &vec![true; corpus.tables.len()], cfg, mr)
+}
+
+/// [`extract_candidates_cached`] restricted to the tables `alive`
+/// marks. Dead tables contribute no coherence evidence and emit no
+/// candidates — the output is exactly what [`extract_candidates`]
+/// produces on [`Corpus::subset`] of the live tables (modulo interner
+/// ids), while keeping the *caller's* table numbering so an
+/// incremental session can rebuild in place after tombstoning tables.
+pub fn extract_candidates_masked(
+    corpus: &Corpus,
+    alive: &[bool],
+    cfg: &ExtractionConfig,
+    mr: &MapReduce,
+) -> (Vec<BinaryTable>, ExtractionStats, ExtractionCache) {
+    assert_eq!(alive.len(), corpus.tables.len());
+    let index = ValueIndex::build_filtered(corpus, |tid| alive[tid.0 as usize]);
+
+    // Global column ids are assigned in (table, column) order, across
+    // dead tables too — gaps are harmless (coherence is count
+    // arithmetic) and keep the id assignment delta-stable.
     let mut first_col: Vec<u32> = Vec::with_capacity(corpus.tables.len());
     let mut next = 0u32;
     for t in &corpus.tables {
@@ -111,76 +289,31 @@ pub fn extract_candidates(
         next += t.width() as u32;
     }
 
-    /// (left col, right col, raw row pairs) per emitted candidate.
-    type CandidateRows = (u16, u16, Vec<(mapsynth_corpus::Sym, mapsynth_corpus::Sym)>);
-    struct TableOutput {
-        pairs: Vec<CandidateRows>,
-        stats: ExtractionStats,
-    }
-
-    let inputs: Vec<usize> = (0..corpus.tables.len()).collect();
-    let outputs: Vec<TableOutput> = mr.par_map(&inputs, |&ti| {
-        let table = &corpus.tables[ti];
-        let width = table.width();
-        let mut stats = ExtractionStats {
-            tables: 1,
-            pairs_possible: width * width.saturating_sub(1),
-            ..Default::default()
-        };
-        // Column filtering (PMI + structural).
-        let mut kept: Vec<usize> = Vec::new();
-        for (ci, col) in table.columns.iter().enumerate() {
-            stats.columns += 1;
-            if !column_passes(corpus, col, cfg.min_distinct, cfg.max_avg_len) {
-                stats.columns_structural += 1;
-                continue;
-            }
-            let gid = GlobalColId(first_col[ti] + ci as u32);
-            let coherence = column_coherence_excluding(&index, &col.distinct(), cfg.coherence, gid);
-            if coherence < cfg.min_coherence {
-                stats.columns_incoherent += 1;
-                continue;
-            }
-            kept.push(ci);
-        }
-        // Ordered pair enumeration + FD filtering.
-        let mut pairs = Vec::new();
-        for &i in &kept {
-            for &j in &kept {
-                if i == j {
-                    continue;
-                }
-                stats.pairs_considered += 1;
-                let (left, right) = (&table.columns[i], &table.columns[j]);
-                if numeric_fraction(corpus, left) >= cfg.max_left_numeric {
-                    stats.pairs_numeric_left += 1;
-                    continue;
-                }
-                let (ok, _) = approx_fd_holds(corpus, left, right, cfg.fd_theta);
-                if !ok {
-                    stats.pairs_failed_fd += 1;
-                    continue;
-                }
-                let rows: Vec<_> = left
-                    .values
-                    .iter()
-                    .copied()
-                    .zip(right.values.iter().copied())
-                    .collect();
-                stats.candidates += 1;
-                pairs.push((i as u16, j as u16, rows));
-            }
-        }
-        TableOutput { pairs, stats }
+    let live: Vec<usize> = (0..corpus.tables.len()).filter(|&ti| alive[ti]).collect();
+    let index_ref = &index;
+    let first_ref = &first_col;
+    let outputs: Vec<TableExtraction> = mr.par_map(&live, |&ti| {
+        extract_table(corpus, index_ref, ti, first_ref[ti], cfg)
     });
 
     let mut all = Vec::new();
     let mut stats = ExtractionStats::default();
-    for (ti, out) in outputs.into_iter().enumerate() {
+    let mut tables: Vec<TableCache> = (0..corpus.tables.len())
+        .map(|ti| TableCache {
+            alive: false,
+            first_gid: first_col[ti],
+            cols: Vec::new(),
+            stats: ExtractionStats::default(),
+            candidates: Vec::new(),
+        })
+        .collect();
+    for (&ti, out) in live.iter().zip(outputs) {
         merge_stats(&mut stats, &out.stats);
         let table = &corpus.tables[ti];
+        let mut emitted = Vec::with_capacity(out.pairs.len());
         for (i, j, rows) in out.pairs {
             let id = BinaryId(all.len() as u32);
+            emitted.push((i, j, id.0));
             all.push(
                 BinaryTable::new(id, table.id, table.domain, i, j, rows).with_headers(
                     table.columns[i as usize].header,
@@ -188,8 +321,21 @@ pub fn extract_candidates(
                 ),
             );
         }
+        tables[ti] = TableCache {
+            alive: true,
+            first_gid: first_col[ti],
+            cols: out.cols,
+            stats: out.stats,
+            candidates: emitted,
+        };
     }
-    (all, stats)
+    let cache = ExtractionCache {
+        index,
+        tables,
+        next_gid: next,
+        next_candidate: all.len() as u32,
+    };
+    (all, stats, cache)
 }
 
 fn merge_stats(into: &mut ExtractionStats, from: &ExtractionStats) {
@@ -202,6 +348,391 @@ fn merge_stats(into: &mut ExtractionStats, from: &ExtractionStats) {
     into.pairs_failed_fd += from.pairs_failed_fd;
     into.pairs_numeric_left += from.pairs_numeric_left;
     into.candidates += from.candidates;
+}
+
+/// What a corpus delta did to the candidate set.
+#[derive(Clone, Debug, Default)]
+pub struct ExtractionDelta {
+    /// Freshly extracted candidates of the added tables, with ids
+    /// continuing after the session's existing candidate list.
+    /// Meaningless when `reordered` — use
+    /// [`ExtractionCache::rebuild_candidates`] instead.
+    pub added: Vec<BinaryTable>,
+    /// Candidate indices (into the session-wide list) tombstoned by
+    /// the delta: candidates of removed tables, plus candidates of
+    /// surviving tables whose column lost coherence. Meaningless when
+    /// `reordered`.
+    pub tombstoned: Vec<u32>,
+    /// Aggregate stats over the live post-delta view — bit-identical to
+    /// a fresh extraction of the post-delta corpus.
+    pub stats: ExtractionStats,
+    /// An old table *gained* a candidate under the post-delta
+    /// coherence statistics (a borderline column crossed the
+    /// threshold — any delta that grows the corpus shifts every NPMI
+    /// via `N`, so this is routine for additive deltas). Gained
+    /// candidates cannot be appended without breaking the candidate
+    /// order a fresh run would produce, so tombstone/append patching
+    /// is off the table: the caller must renumber via
+    /// [`ExtractionCache::rebuild_candidates`]. The cache itself is
+    /// fully advanced either way.
+    pub reordered: bool,
+    /// Old columns whose coherence verdict flipped.
+    pub coherence_flips: usize,
+    /// Old tables re-extracted because their kept-column set changed.
+    pub tables_reextracted: usize,
+}
+
+/// Sentinel id of a candidate gained by a coherence flip-up: it has no
+/// position in the old numbering; [`ExtractionCache::rebuild_candidates`]
+/// assigns the real one.
+const GAINED_CANDIDATE: u32 = u32::MAX;
+
+/// Incremental extraction state: the live [`ValueIndex`] plus each
+/// table's cached column verdicts and coherence evidence. Built by
+/// [`extract_candidates_cached`]; advanced by
+/// [`apply_delta`](Self::apply_delta).
+pub struct ExtractionCache {
+    index: ValueIndex,
+    tables: Vec<TableCache>,
+    next_gid: u32,
+    next_candidate: u32,
+}
+
+impl ExtractionCache {
+    /// Live tables.
+    pub fn alive_tables(&self) -> usize {
+        self.tables.iter().filter(|t| t.alive).count()
+    }
+
+    /// Advance the cache by one corpus delta and report the candidate
+    /// changes.
+    ///
+    /// `added` must be the ids of tables appended to `corpus` since the
+    /// cache last saw it (in order); `removed` must be live table ids.
+    /// The cache is fully advanced on return; when the delta flags
+    /// `reordered` the caller must renumber through
+    /// [`rebuild_candidates`](Self::rebuild_candidates) instead of
+    /// using the tombstone/append lists.
+    ///
+    /// # Panics
+    /// On out-of-order `added` ids, unknown or dead `removed` ids.
+    pub fn apply_delta(
+        &mut self,
+        corpus: &Corpus,
+        added: &[TableId],
+        removed: &[TableId],
+        cfg: &ExtractionConfig,
+        mr: &MapReduce,
+    ) -> ExtractionDelta {
+        let mut delta = ExtractionDelta::default();
+
+        // Per-value membership in the delta's columns, as
+        // `(delta column sequence id, ±1)`: the cached co-occurrence
+        // counts are patched by intersecting these *tiny* lists (a
+        // column pair's count changes only by the delta columns that
+        // contain both values) instead of re-intersecting full posting
+        // lists.
+        let mut delta_cols: HashMap<mapsynth_corpus::Sym, Vec<u32>> = HashMap::new();
+        let mut col_sign: Vec<i32> = Vec::new();
+        let register = |delta_cols: &mut HashMap<mapsynth_corpus::Sym, Vec<u32>>,
+                        col_sign: &mut Vec<i32>,
+                        distinct: &[mapsynth_corpus::Sym],
+                        sign: i32| {
+            let seq = col_sign.len() as u32;
+            col_sign.push(sign);
+            for &v in distinct {
+                delta_cols.entry(v).or_default().push(seq);
+            }
+        };
+
+        // 1. Remove evidence of removed tables.
+        for &tid in removed {
+            let tc = self
+                .tables
+                .get_mut(tid.0 as usize)
+                .expect("removed table id unknown to the extraction cache");
+            assert!(tc.alive, "table {tid:?} removed twice");
+            tc.alive = false;
+            let table = corpus.table(tid);
+            for (ci, col) in table.columns.iter().enumerate() {
+                let distinct = col.distinct();
+                register(&mut delta_cols, &mut col_sign, &distinct, -1);
+                self.index
+                    .remove_column(GlobalColId(tc.first_gid + ci as u32), distinct);
+            }
+            delta
+                .tombstoned
+                .extend(tc.candidates.iter().map(|&(_, _, idx)| idx));
+            tc.candidates.clear();
+        }
+
+        // 2. Register added tables' evidence (fresh, never-reused gids).
+        self.index.grow_symbols(corpus.interner.len());
+        for &tid in added {
+            assert_eq!(
+                tid.0 as usize,
+                self.tables.len(),
+                "added table ids must be contiguous after the cached corpus"
+            );
+            let table = corpus.table(tid);
+            let first_gid = self.next_gid;
+            self.next_gid += table.width() as u32;
+            for (ci, col) in table.columns.iter().enumerate() {
+                let distinct = col.distinct();
+                register(&mut delta_cols, &mut col_sign, &distinct, 1);
+                self.index
+                    .add_column(GlobalColId(first_gid + ci as u32), distinct);
+            }
+            self.tables.push(TableCache {
+                alive: true,
+                first_gid,
+                cols: Vec::new(),
+                stats: ExtractionStats::default(),
+                candidates: Vec::new(),
+            });
+        }
+
+        // 3. Re-score every live old column against the post-delta
+        // evidence: counts patched arithmetically from the delta-column
+        // lists, the NPMI mean recomputed from the patched counts
+        // (bit-identical to a fresh gather). The per-value lists are
+        // also flattened into a symbol-indexed lookup so the
+        // O(samples²) pair loop probes in O(1).
+        let mut touched_lists: Vec<Option<&[u32]>> = vec![None; corpus.interner.len()];
+        for (sym, seqs) in &delta_cols {
+            touched_lists[sym.index()] = Some(seqs.as_slice());
+        }
+        // Net column delta per value: Σ signs of its delta columns.
+        let value_delta =
+            |seqs: &[u32]| -> i64 { seqs.iter().map(|&s| col_sign[s as usize] as i64).sum() };
+        // Co-occurrence delta of a value pair: Σ signs over delta
+        // columns containing both (sorted-list intersection, lists are
+        // at most the delta's column count long and usually tiny).
+        let pair_delta = |a: &[u32], b: &[u32]| -> i64 {
+            let (mut i, mut j, mut d) = (0usize, 0usize, 0i64);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        d += col_sign[a[i] as usize] as i64;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            d
+        };
+        let total = self.index.total_columns();
+        let old_live: Vec<u32> = self
+            .tables
+            .iter()
+            .enumerate()
+            .take(self.tables.len() - added.len())
+            .filter(|(_, t)| t.alive)
+            .map(|(ti, _)| ti as u32)
+            .collect();
+        let touched_ref = &touched_lists;
+        let tables_ref = &self.tables;
+        // (table, column, new value_counts, new pair_counts, coherence)
+        type Rescored = Vec<(u32, Vec<u32>, Vec<u32>, f64)>;
+        let rescored: Vec<Rescored> = mr.par_map(&old_live, |&ti| {
+            let tc = &tables_ref[ti as usize];
+            let mut out = Vec::new();
+            let mut lists: Vec<Option<&[u32]>> = Vec::new();
+            for (ci, col) in tc.cols.iter().enumerate() {
+                let Some(detail) = &col.detail else { continue };
+                let mut value_counts = detail.value_counts.clone();
+                lists.clear();
+                let mut any = false;
+                for (k, &u) in detail.samples.iter().enumerate() {
+                    let l = touched_ref[u.index()];
+                    lists.push(l);
+                    if let Some(seqs) = l {
+                        value_counts[k] = (value_counts[k] as i64 + value_delta(seqs)) as u32;
+                        any = true;
+                    }
+                }
+                let mut pair_counts = detail.pair_counts.clone();
+                if any {
+                    let mut k = 0usize;
+                    for i in 0..detail.samples.len() {
+                        for j in (i + 1)..detail.samples.len() {
+                            if let (Some(a), Some(b)) = (lists[i], lists[j]) {
+                                pair_counts[k] = (pair_counts[k] as i64 + pair_delta(a, b)) as u32;
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                let coherence = coherence_from_counts(&value_counts, &pair_counts, total);
+                out.push((ci as u32, value_counts, pair_counts, coherence));
+            }
+            out
+        });
+
+        // 4. Apply the re-scores; re-extract tables whose kept set
+        // flipped, tombstoning lost candidates and flagging `reordered`
+        // on gains.
+        let mut changed_tables: Vec<u32> = Vec::new();
+        for (&ti, cols) in old_live.iter().zip(rescored) {
+            let tc = &mut self.tables[ti as usize];
+            let mut changed = false;
+            for (ci, value_counts, pair_counts, coherence) in cols {
+                let col = &mut tc.cols[ci as usize];
+                let detail = col.detail.as_mut().expect("re-scored column has detail");
+                detail.value_counts = value_counts;
+                detail.pair_counts = pair_counts;
+                col.coherence = coherence;
+                let keep = coherence >= cfg.min_coherence;
+                if keep != col.kept {
+                    delta.coherence_flips += 1;
+                    changed = true;
+                }
+                col.kept = keep;
+            }
+            if changed {
+                changed_tables.push(ti);
+            }
+        }
+        for ti in changed_tables {
+            delta.tables_reextracted += 1;
+            let tc = &mut self.tables[ti as usize];
+            let table = &corpus.tables[ti as usize];
+            let kept: Vec<usize> = tc
+                .cols
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.kept)
+                .map(|(ci, _)| ci)
+                .collect();
+            let mut stats = ExtractionStats {
+                tables: 1,
+                columns: tc.cols.len(),
+                columns_structural: tc.cols.iter().filter(|c| !c.structural).count(),
+                columns_incoherent: tc.cols.iter().filter(|c| c.structural && !c.kept).count(),
+                pairs_possible: tc.cols.len() * tc.cols.len().saturating_sub(1),
+                ..Default::default()
+            };
+            let pairs = enumerate_pairs(corpus, table, &kept, cfg, &mut stats);
+            tc.stats = stats;
+            let old_ids: std::collections::HashMap<(u16, u16), u32> = tc
+                .candidates
+                .iter()
+                .map(|&(i, j, idx)| ((i, j), idx))
+                .collect();
+            let new_set: HashSet<(u16, u16)> = pairs.iter().map(|&(i, j, _)| (i, j)).collect();
+            // Lost candidates tombstone cleanly; a *gained* candidate
+            // has no place in the old numbering (a fresh run emits it
+            // in table order), so it forces renumbering — recorded
+            // with a sentinel id until `rebuild_candidates` assigns
+            // real ones.
+            delta.tombstoned.extend(
+                tc.candidates
+                    .iter()
+                    .filter(|&&(i, j, _)| !new_set.contains(&(i, j)))
+                    .map(|&(_, _, idx)| idx),
+            );
+            tc.candidates = pairs
+                .iter()
+                .map(|&(i, j, _)| {
+                    let idx = old_ids.get(&(i, j)).copied().unwrap_or_else(|| {
+                        delta.reordered = true;
+                        GAINED_CANDIDATE
+                    });
+                    (i, j, idx)
+                })
+                .collect();
+        }
+
+        // 5. Extract the added tables against the post-delta evidence.
+        let added_idx: Vec<u32> = added.iter().map(|t| t.0).collect();
+        let index_ref = &self.index;
+        let tables_ref = &self.tables;
+        let extracted: Vec<TableExtraction> = mr.par_map(&added_idx, |&ti| {
+            extract_table(
+                corpus,
+                index_ref,
+                ti as usize,
+                tables_ref[ti as usize].first_gid,
+                cfg,
+            )
+        });
+        for (&ti, out) in added_idx.iter().zip(extracted) {
+            let table = &corpus.tables[ti as usize];
+            let tc = &mut self.tables[ti as usize];
+            tc.cols = out.cols;
+            tc.stats = out.stats;
+            for (i, j, rows) in out.pairs {
+                let id = BinaryId(self.next_candidate);
+                self.next_candidate += 1;
+                tc.candidates.push((i, j, id.0));
+                delta.added.push(
+                    BinaryTable::new(id, table.id, table.domain, i, j, rows).with_headers(
+                        table.columns[i as usize].header,
+                        table.columns[j as usize].header,
+                    ),
+                );
+            }
+        }
+
+        // 6. Aggregate stats over the live view (what a fresh run on
+        // the post-delta corpus reports).
+        let mut stats = ExtractionStats::default();
+        for tc in self.tables.iter().filter(|t| t.alive) {
+            merge_stats(&mut stats, &tc.stats);
+        }
+        delta.stats = stats;
+        delta.tombstoned.sort_unstable();
+        delta
+    }
+
+    /// Reassemble the full candidate list from the cache in fresh
+    /// `(table, column-pair)` order, renumbering candidate ids densely
+    /// — the renumber step of a `reordered` delta. The list (and its
+    /// stats) is exactly what [`extract_candidates`] produces on the
+    /// live post-delta corpus.
+    ///
+    /// Returns the candidates, aggregate stats, and the old → new id
+    /// mapping of surviving candidates (ascending in both components;
+    /// gained candidates appear only under new ids). The cache's ids
+    /// are rewritten to the new numbering.
+    pub fn rebuild_candidates(
+        &mut self,
+        corpus: &Corpus,
+    ) -> (Vec<BinaryTable>, ExtractionStats, Vec<(u32, u32)>) {
+        let mut all = Vec::new();
+        let mut stats = ExtractionStats::default();
+        let mut id_map = Vec::new();
+        for ti in 0..self.tables.len() {
+            let tc = &mut self.tables[ti];
+            if !tc.alive {
+                continue;
+            }
+            merge_stats(&mut stats, &tc.stats);
+            let table = &corpus.tables[ti];
+            for (i, j, old) in tc.candidates.iter_mut() {
+                let new_id = all.len() as u32;
+                if *old != GAINED_CANDIDATE {
+                    id_map.push((*old, new_id));
+                }
+                *old = new_id;
+                let (left, right) = (&table.columns[*i as usize], &table.columns[*j as usize]);
+                let rows: Vec<_> = left
+                    .values
+                    .iter()
+                    .copied()
+                    .zip(right.values.iter().copied())
+                    .collect();
+                all.push(
+                    BinaryTable::new(BinaryId(new_id), table.id, table.domain, *i, *j, rows)
+                        .with_headers(left.header, right.header),
+                );
+            }
+        }
+        self.next_candidate = all.len() as u32;
+        (all, stats, id_map)
+    }
 }
 
 #[cfg(test)]
@@ -311,5 +842,146 @@ mod tests {
         assert!(cands
             .iter()
             .all(|c| c.source != corpus.tables.last().unwrap().id));
+    }
+
+    /// The incremental contract: after a delta, the cache's view of the
+    /// candidate set (old minus tombstoned plus added) must exactly
+    /// match a fresh extraction of the post-delta corpus — same sources,
+    /// same column pairs, same rows, same aggregate stats.
+    #[test]
+    fn delta_matches_fresh_extraction() {
+        let wc = small_corpus();
+        let mut corpus = wc.corpus;
+        let cfg = ExtractionConfig::default();
+        let mr = MapReduce::new(2);
+        let (base, _, mut cache) = extract_candidates_cached(&corpus, &cfg, &mr);
+
+        // Remove a spread of tables, add clones of two strongly
+        // coherent tables under a new domain (content overlap on
+        // purpose; sources chosen so no borderline column flips —
+        // flips exercise the renumber path, tested separately below).
+        let removed: Vec<TableId> = [3u32, 57, 110, 200].iter().map(|&i| TableId(i)).collect();
+        let nd = corpus.domain("delta.example");
+        let mut added = Vec::new();
+        for &src in &[5u32, 6] {
+            let cols: Vec<mapsynth_corpus::Column> = corpus.tables[src as usize].columns.clone();
+            added.push(corpus.push_interned_table(nd, cols));
+        }
+
+        let delta = cache.apply_delta(&corpus, &added, &removed, &cfg, &mr);
+        assert!(!delta.reordered, "this delta must not force a renumber");
+
+        // Survivors in order + added, from the incremental path.
+        let tomb: std::collections::HashSet<u32> = delta.tombstoned.iter().copied().collect();
+        let mut incremental: Vec<&BinaryTable> =
+            base.iter().filter(|c| !tomb.contains(&c.id.0)).collect();
+        incremental.extend(delta.added.iter());
+
+        // Fresh extraction of the post-delta corpus.
+        let removed_set: std::collections::HashSet<TableId> = removed.into_iter().collect();
+        let fresh_corpus = corpus.subset(|tid| !removed_set.contains(&tid));
+        let (fresh, fresh_stats) = extract_candidates(&fresh_corpus, &cfg, &mr);
+
+        assert_eq!(incremental.len(), fresh.len(), "candidate count");
+        assert_eq!(delta.stats, fresh_stats, "aggregate stats");
+        for (a, b) in incremental.iter().zip(&fresh) {
+            assert_eq!((a.left_col, a.right_col), (b.left_col, b.right_col));
+            // Sym ids (and thus the sym-sorted pair order) differ
+            // across corpora; compare the string pair sets.
+            let strs = |c: &Corpus, t: &BinaryTable| -> Vec<(String, String)> {
+                let mut v: Vec<(String, String)> = t
+                    .pairs
+                    .iter()
+                    .map(|&(l, r)| (c.str_of(l).to_string(), c.str_of(r).to_string()))
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(strs(&corpus, a), strs(&fresh_corpus, b));
+        }
+    }
+
+    /// A delta that pushes a borderline old column *over* the
+    /// coherence threshold makes an old table gain a candidate —
+    /// tombstone/append patching cannot reproduce a fresh run's
+    /// candidate order, so the delta flags `reordered` and
+    /// `rebuild_candidates` renumbers. Cloning a weakly coherent table
+    /// reliably triggers it (the clone co-occurs with every value of
+    /// its source).
+    #[test]
+    fn borderline_gain_renumbers_to_fresh_order() {
+        let wc = small_corpus();
+        let mut corpus = wc.corpus;
+        let cfg = ExtractionConfig::default();
+        let mr = MapReduce::new(2);
+        let (base, _, mut cache) = extract_candidates_cached(&corpus, &cfg, &mr);
+        let nd = corpus.domain("delta.example");
+        let mut added = Vec::new();
+        for &src in &[0u32, 1] {
+            let cols = corpus.tables[src as usize].columns.clone();
+            added.push(corpus.push_interned_table(nd, cols));
+        }
+        let delta = cache.apply_delta(&corpus, &added, &[], &cfg, &mr);
+        assert!(delta.reordered, "borderline flip-up must demand a renumber");
+        assert!(delta.coherence_flips > 0);
+
+        let (rebuilt, stats, id_map) = cache.rebuild_candidates(&corpus);
+        let (fresh, fresh_stats) = extract_candidates(&corpus, &cfg, &mr);
+        assert_eq!(rebuilt.len(), fresh.len(), "candidate count");
+        assert_eq!(stats, fresh_stats, "aggregate stats");
+        for (a, b) in rebuilt.iter().zip(&fresh) {
+            assert_eq!(a.source, b.source);
+            assert_eq!((a.left_col, a.right_col), (b.left_col, b.right_col));
+            assert_eq!(a.pairs, b.pairs);
+        }
+        // The id map is monotone (surviving candidates keep their
+        // relative order) and covers only pre-delta ids.
+        assert!(id_map
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert!(id_map.iter().all(|&(_, n)| (n as usize) < rebuilt.len()));
+        let _ = base;
+    }
+
+    /// Composing deltas: a second delta over the advanced cache still
+    /// matches fresh extraction.
+    #[test]
+    fn deltas_compose() {
+        let wc = small_corpus();
+        let mut corpus = wc.corpus;
+        let cfg = ExtractionConfig::default();
+        let mr = MapReduce::new(2);
+        let (base, _, mut cache) = extract_candidates_cached(&corpus, &cfg, &mr);
+
+        let mut tombstoned: std::collections::HashSet<u32> = Default::default();
+        let mut appended: Vec<BinaryTable> = Vec::new();
+        let mut removed_all: std::collections::HashSet<TableId> = Default::default();
+
+        for step in 0..2 {
+            let removed: Vec<TableId> = vec![TableId(20 + step * 31), TableId(99 + step)];
+            let nd = corpus.domain(&format!("delta-{step}.example"));
+            let src = 5 + step as usize * 7;
+            let cols = corpus.tables[src].columns.clone();
+            let added = vec![corpus.push_interned_table(nd, cols)];
+            let delta = cache.apply_delta(&corpus, &added, &removed, &cfg, &mr);
+            assert!(!delta.reordered);
+            tombstoned.extend(delta.tombstoned.iter().copied());
+            appended.extend(delta.added);
+            removed_all.extend(removed);
+        }
+
+        let mut incremental: Vec<&BinaryTable> = base
+            .iter()
+            .chain(appended.iter())
+            .filter(|c| !tombstoned.contains(&c.id.0))
+            .collect();
+        incremental.sort_by_key(|c| c.id.0);
+
+        let fresh_corpus = corpus.subset(|tid| !removed_all.contains(&tid));
+        let (fresh, _) = extract_candidates(&fresh_corpus, &cfg, &mr);
+        assert_eq!(incremental.len(), fresh.len());
+        for (a, b) in incremental.iter().zip(&fresh) {
+            assert_eq!((a.left_col, a.right_col), (b.left_col, b.right_col));
+        }
     }
 }

@@ -40,5 +40,8 @@
 pub mod extract;
 pub mod filters;
 
-pub use extract::{extract_candidates, ExtractionConfig, ExtractionStats};
+pub use extract::{
+    extract_candidates, extract_candidates_cached, extract_candidates_masked, ExtractionCache,
+    ExtractionConfig, ExtractionDelta, ExtractionStats,
+};
 pub use filters::{approx_fd_holds, column_passes, numeric_fraction, FdCheck};

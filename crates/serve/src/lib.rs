@@ -53,7 +53,7 @@ pub mod snapshot;
 pub mod store;
 
 pub use bloom::BloomFilter;
-pub use service::{MappingService, HISTORY_DEPTH};
+pub use service::{DeltaPublishStats, MappingService, HISTORY_DEPTH};
 pub use snapshot::{
     ColumnTranslation, IndexSnapshot, MappingMeta, SnapshotBuilder, SnapshotStats, ValueHit,
     DEFAULT_SHARDS,

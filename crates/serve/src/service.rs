@@ -18,12 +18,30 @@
 //!                                          history: [v=N-1, N-2, …]
 //! ```
 
-use crate::snapshot::IndexSnapshot;
+use crate::snapshot::{mapping_content_hash, IndexSnapshot};
+use mapsynth::SynthesizedMapping;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Superseded snapshots retained for rollback.
 pub const HISTORY_DEPTH: usize = 4;
+
+/// What an incremental publish
+/// ([`MappingService::publish_delta`]) did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaPublishStats {
+    /// Mappings appended under fresh ids.
+    pub added: usize,
+    /// Mapping ids retired.
+    pub removed: usize,
+    /// Mappings kept verbatim (id, meta and shard entries untouched).
+    pub unchanged: usize,
+    /// Shards rebuilt for this version.
+    pub rebuilt_shards: usize,
+    /// Total shards (rebuilt + shared with the previous version).
+    pub total_shards: usize,
+}
 
 /// A concurrent, versioned serving handle over mapping snapshots.
 ///
@@ -88,6 +106,97 @@ impl MappingService {
             history.remove(0);
         }
         version
+    }
+
+    /// Publish `mappings` as the next version **incrementally**: diff
+    /// against the currently served snapshot by content (normalized
+    /// pairs + provenance stats), retire mappings that disappeared,
+    /// append the new ones, and rebuild only the shards their values
+    /// hash into — untouched shards are shared with the current
+    /// version instead of copying all pairs
+    /// ([`IndexSnapshot::apply_delta`]).
+    ///
+    /// Serialized against concurrent publishers exactly like
+    /// [`publish`](Self::publish): the diff, the delta build and the
+    /// install happen under the same lock, so the base snapshot cannot
+    /// be swapped out from under the delta. Readers still only ever
+    /// observe complete snapshots with monotone versions.
+    ///
+    /// Mapping ids stay stable across delta publishes **until a
+    /// compaction**: retired id slots accumulate, and once they would
+    /// outnumber the live mappings the publish densely rebuilds
+    /// (renumbering ids from 0) instead of patching, keeping a long
+    /// churny publish stream O(live mappings) per publish.
+    pub fn publish_delta(&self, mappings: &[SynthesizedMapping]) -> (u64, DeltaPublishStats) {
+        let mut history = self.history.lock().expect("service lock poisoned");
+        let base = Arc::clone(&self.current.read().expect("service lock poisoned"));
+
+        // Content diff: unchanged mappings keep their ids (and their
+        // shard entries); duplicates are matched by multiplicity.
+        let mut by_hash: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (mi, h) in base.live_hashes() {
+            by_hash.entry(h).or_default().push(mi);
+        }
+        let mut added: Vec<&SynthesizedMapping> = Vec::new();
+        for m in mappings {
+            match by_hash.get_mut(&mapping_content_hash(m)) {
+                Some(ids) if !ids.is_empty() => {
+                    ids.pop();
+                }
+                _ => added.push(m),
+            }
+        }
+        let removed: Vec<u32> = {
+            let mut r: Vec<u32> = by_hash.into_values().flatten().collect();
+            r.sort_unstable();
+            r
+        };
+        let stats = DeltaPublishStats {
+            added: added.len(),
+            removed: removed.len(),
+            unchanged: mappings.len() - added.len(),
+            total_shards: base.shard_count(),
+            rebuilt_shards: 0,
+        };
+
+        // Retired id slots accumulate across delta publishes (ids are
+        // stable, so every snapshot carries every id ever assigned).
+        // Once the dead slots would outnumber the live mappings, a
+        // dense rebuild is both smaller and cheaper than the delta —
+        // compact instead of patching, so a long churny publish stream
+        // stays O(live), not O(everything ever published).
+        let live_after = base.mapping_count() - removed.len() + added.len();
+        let retired_after = base.total_slots() - base.mapping_count() + removed.len();
+        let compact = retired_after > live_after;
+        let mut snapshot = if compact {
+            let mut b = crate::snapshot::SnapshotBuilder::with_shards(base.shard_count());
+            for m in mappings {
+                b.add_synthesized(m);
+            }
+            b.build()
+        } else {
+            base.apply_delta(&added, &removed)
+        };
+        let stats = DeltaPublishStats {
+            rebuilt_shards: if compact {
+                base.shard_count()
+            } else {
+                snapshot.rebuilt_shards(&base)
+            },
+            ..stats
+        };
+
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        snapshot.version = version;
+        let next = Arc::new(snapshot);
+        {
+            let mut current = self.current.write().expect("service lock poisoned");
+            history.push(std::mem::replace(&mut *current, next));
+        }
+        if history.len() > HISTORY_DEPTH {
+            history.remove(0);
+        }
+        (version, stats)
     }
 
     /// Re-install the previously served snapshot (keeping its original

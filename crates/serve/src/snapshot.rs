@@ -11,8 +11,9 @@
 use crate::bloom::BloomFilter;
 use mapsynth::SynthesizedMapping;
 use mapsynth_text::normalize;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Default shard count (power of two so the hash can be masked).
 pub const DEFAULT_SHARDS: usize = 16;
@@ -44,7 +45,11 @@ struct Entry {
 }
 
 /// One shard: a Bloom prefilter plus the exact entry map for the
-/// values hashing into it.
+/// values hashing into it. Shards sit behind an [`Arc`] so an
+/// incremental publish ([`IndexSnapshot::apply_delta`]) can share
+/// untouched shards between versions instead of copying all pairs —
+/// the hit/miss counters of a shared shard therefore accumulate
+/// across the versions sharing it.
 struct Shard {
     bloom: BloomFilter,
     entries: HashMap<String, Entry>,
@@ -136,9 +141,20 @@ pub struct ColumnTranslation {
 /// before the exact hash-map probe.
 pub struct IndexSnapshot {
     pub(crate) version: u64,
-    shards: Vec<Shard>,
+    shards: Vec<Arc<Shard>>,
     shard_mask: usize,
+    /// Per-mapping metadata, *including* retired mappings — mapping
+    /// ids are stable across delta publishes, so retired slots stay.
     metas: Vec<MappingMeta>,
+    /// Whether the mapping id is served by this snapshot.
+    live: Vec<bool>,
+    /// Content hash per mapping (normalized pairs + provenance stats),
+    /// the identity [`crate::service::MappingService::publish_delta`]
+    /// diffs on.
+    hashes: Vec<u64>,
+    /// Shards each mapping's values hash into (sorted) — the touch set
+    /// of a removal.
+    shards_of_mapping: Vec<Vec<u16>>,
     values: usize,
 }
 
@@ -154,14 +170,21 @@ impl IndexSnapshot {
         self.version
     }
 
-    /// Number of mappings served.
+    /// Number of mappings served (retired ids excluded).
     pub fn mapping_count(&self) -> usize {
-        self.metas.len()
+        self.live.iter().filter(|&&l| l).count()
     }
 
     /// Whether the snapshot serves no mappings.
     pub fn is_empty(&self) -> bool {
-        self.metas.is_empty()
+        !self.live.iter().any(|&l| l)
+    }
+
+    /// Whether `mapping` is served by this snapshot. Ids are stable
+    /// across [`apply_delta`](Self::apply_delta) publishes, so a
+    /// retired id stays addressable (its meta remains) but dead.
+    pub fn is_live(&self, mapping: u32) -> bool {
+        self.live.get(mapping as usize).copied().unwrap_or(false)
     }
 
     /// Number of distinct indexed values.
@@ -313,12 +336,219 @@ impl IndexSnapshot {
         SnapshotStats {
             version: self.version,
             values: self.values,
-            mappings: self.metas.len(),
+            mappings: self.mapping_count(),
             shards,
             hits,
             misses,
         }
     }
+
+    /// Number of this snapshot's shards not shared with `base`
+    /// (i.e. rebuilt by the delta that derived it).
+    pub fn rebuilt_shards(&self, base: &IndexSnapshot) -> usize {
+        self.shards
+            .iter()
+            .zip(&base.shards)
+            .filter(|(a, b)| !Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Total mapping id slots, retired ones included (ids are never
+    /// reused across delta publishes; compaction renumbers).
+    pub(crate) fn total_slots(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// `(mapping id, content hash)` of every live mapping.
+    pub(crate) fn live_hashes(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.hashes
+            .iter()
+            .enumerate()
+            .filter(|&(mi, _)| self.live[mi])
+            .map(|(mi, &h)| (mi as u32, h))
+    }
+
+    /// A new snapshot equal to this one with `removed` mapping ids
+    /// retired and `added` mappings appended under fresh ids — the
+    /// **incremental publish** primitive. Only shards touched by a
+    /// removed or added mapping's values are rebuilt; every other
+    /// shard is shared (`Arc`) with this snapshot, so the cost scales
+    /// with the delta, not with the total pair count.
+    ///
+    /// Lookup-observable state is identical to a full
+    /// [`SnapshotBuilder`] rebuild over the same live mappings (only
+    /// mapping *ids* differ: a rebuild renumbers densely, a delta
+    /// keeps ids stable).
+    pub fn apply_delta(&self, added: &[&SynthesizedMapping], removed: &[u32]) -> IndexSnapshot {
+        let removed: HashSet<u32> = removed.iter().copied().collect();
+        for &mi in &removed {
+            assert!(
+                self.is_live(mi),
+                "mapping {mi} is not live in this snapshot"
+            );
+        }
+
+        // Ids, metas, hashes, liveness for the grown mapping set.
+        let mut metas = self.metas.clone();
+        let mut live = self.live.clone();
+        let mut hashes = self.hashes.clone();
+        let mut shards_of_mapping = self.shards_of_mapping.clone();
+        for &mi in &removed {
+            live[mi as usize] = false;
+        }
+        let added_ids: Vec<u32> = (0..added.len() as u32)
+            .map(|k| self.metas.len() as u32 + k)
+            .collect();
+        for m in added {
+            metas.push(MappingMeta {
+                name: None,
+                pairs: m.len(),
+                domains: m.domains,
+                source_tables: m.source_tables,
+            });
+            live.push(true);
+            hashes.push(mapping_content_hash(m));
+        }
+
+        // The touch set: shards of removed mappings' values plus shards
+        // of added mappings' values.
+        let mut touched: HashSet<u16> = HashSet::new();
+        for &mi in &removed {
+            touched.extend(self.shards_of_mapping[mi as usize].iter().copied());
+        }
+        let mut added_shards: Vec<Vec<u16>> = Vec::with_capacity(added.len());
+        for m in added {
+            let mut of: Vec<u16> = m
+                .pair_strs()
+                .flat_map(|(l, r)| {
+                    [
+                        ((fnv1a(l) as usize) & self.shard_mask) as u16,
+                        ((fnv1a(r) as usize) & self.shard_mask) as u16,
+                    ]
+                })
+                .collect();
+            of.sort_unstable();
+            of.dedup();
+            touched.extend(of.iter().copied());
+            added_shards.push(of);
+        }
+        shards_of_mapping.extend(added_shards);
+
+        // Rebuild touched shards; share the rest.
+        let mut values = self.values;
+        let shards: Vec<Arc<Shard>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(si, shard)| {
+                if !touched.contains(&(si as u16)) {
+                    return Arc::clone(shard);
+                }
+                let mut entries = shard.entries.clone();
+                if !removed.is_empty() {
+                    entries.retain(|_, e| {
+                        e.postings.retain(|mi| !removed.contains(mi));
+                        e.forward.retain(|(mi, _)| !removed.contains(mi));
+                        e.reverse.retain(|(mi, _)| !removed.contains(mi));
+                        !e.postings.is_empty()
+                    });
+                }
+                for (m, &mi) in added.iter().zip(&added_ids) {
+                    insert_mapping_pairs(&mut entries, mi, m.pair_strs(), |s| {
+                        ((fnv1a(s) as usize) & self.shard_mask) == si
+                    });
+                }
+                values = values - shard.entries.len() + entries.len();
+                let mut bloom = BloomFilter::new(entries.len().max(1), 0.01);
+                for v in entries.keys() {
+                    bloom.insert(v);
+                }
+                Arc::new(Shard {
+                    bloom,
+                    entries,
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                })
+            })
+            .collect();
+
+        IndexSnapshot {
+            version: 0,
+            shards,
+            shard_mask: self.shard_mask,
+            metas,
+            live,
+            hashes,
+            shards_of_mapping,
+            values,
+        }
+    }
+}
+
+/// Insert one mapping's (already-normalized) pairs into an entry map,
+/// restricted to the values `owns` accepts. The insertion order per
+/// mapping matches [`SnapshotBuilder::build`], so a delta-built shard
+/// is structurally identical to a fresh full build over the same
+/// mappings.
+fn insert_mapping_pairs<'a>(
+    entries: &mut HashMap<String, Entry>,
+    mi: u32,
+    pairs: impl Iterator<Item = (&'a str, &'a str)>,
+    owns: impl Fn(&str) -> bool,
+) {
+    for (l, r) in pairs {
+        if owns(l) {
+            let le = entries.entry(l.to_string()).or_default();
+            push_posting(&mut le.postings, mi);
+            if le.forward.last().map(|(m, _)| *m) != Some(mi) {
+                // first winner per (mapping, left)
+                le.forward.push((mi, r.to_string()));
+            }
+        }
+        if owns(r) {
+            let re = entries.entry(r.to_string()).or_default();
+            push_posting(&mut re.postings, mi);
+            match re.reverse.last_mut() {
+                Some((m, ls)) if *m == mi => ls.push(l.to_string()),
+                _ => re.reverse.push((mi, vec![l.to_string()])),
+            }
+        }
+    }
+}
+
+/// The content identity a delta publish diffs on: normalized pairs in
+/// their sorted order plus the provenance stats the ranking uses.
+/// **The single implementation** — the builder hashes its stored pair
+/// lists and `publish_delta` hashes incoming `SynthesizedMapping`s
+/// through this same function, so the two sides can never drift.
+fn content_hash<'a>(
+    pairs: impl Iterator<Item = (&'a str, &'a str)>,
+    domains: usize,
+    source_tables: usize,
+) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for (l, r) in pairs {
+        eat(l.as_bytes());
+        eat(&[0]);
+        eat(r.as_bytes());
+        eat(&[1]);
+    }
+    eat(&(domains as u64).to_le_bytes());
+    eat(&(source_tables as u64).to_le_bytes());
+    h
+}
+
+/// [`content_hash`] of a synthesized mapping (pairs come pre-sorted
+/// from `pair_strs`, matching the order
+/// [`SnapshotBuilder::add_synthesized`] stores).
+pub(crate) fn mapping_content_hash(m: &SynthesizedMapping) -> u64 {
+    content_hash(m.pair_strs(), m.domains, m.source_tables)
 }
 
 /// Builder accumulating mappings into an [`IndexSnapshot`].
@@ -413,31 +643,38 @@ impl SnapshotBuilder {
         let mut entries: Vec<HashMap<String, Entry>> =
             (0..shard_count).map(|_| HashMap::new()).collect();
         let mut metas = Vec::with_capacity(self.mappings.len());
+        let mut hashes = Vec::with_capacity(self.mappings.len());
+        let mut shards_of_mapping = Vec::with_capacity(self.mappings.len());
         for (mi, (meta, pairs)) in self.mappings.into_iter().enumerate() {
             let mi = mi as u32;
+            let mut of: Vec<u16> = Vec::new();
             for (l, r) in &pairs {
-                let le = entries[(fnv1a(l) as usize) & shard_mask]
-                    .entry(l.clone())
-                    .or_default();
+                let ls = (fnv1a(l) as usize) & shard_mask;
+                let le = entries[ls].entry(l.clone()).or_default();
                 push_posting(&mut le.postings, mi);
                 if le.forward.last().map(|(m, _)| *m) != Some(mi) {
                     // first winner per (mapping, left)
                     le.forward.push((mi, r.clone()));
                 }
-                let re = entries[(fnv1a(r) as usize) & shard_mask]
-                    .entry(r.clone())
-                    .or_default();
+                let rs = (fnv1a(r) as usize) & shard_mask;
+                let re = entries[rs].entry(r.clone()).or_default();
                 push_posting(&mut re.postings, mi);
                 match re.reverse.last_mut() {
                     Some((m, ls)) if *m == mi => ls.push(l.clone()),
                     _ => re.reverse.push((mi, vec![l.clone()])),
                 }
+                of.push(ls as u16);
+                of.push(rs as u16);
             }
+            of.sort_unstable();
+            of.dedup();
+            shards_of_mapping.push(of);
+            hashes.push(pairs_content_hash(&pairs, &meta));
             metas.push(meta);
         }
         // Pass 2: freeze shards, sizing each Bloom filter to its load.
         let mut values = 0;
-        let shards: Vec<Shard> = entries
+        let shards: Vec<Arc<Shard>> = entries
             .into_iter()
             .map(|entries| {
                 values += entries.len();
@@ -445,22 +682,39 @@ impl SnapshotBuilder {
                 for v in entries.keys() {
                     bloom.insert(v);
                 }
-                Shard {
+                Arc::new(Shard {
                     bloom,
                     entries,
                     hits: AtomicU64::new(0),
                     misses: AtomicU64::new(0),
-                }
+                })
             })
             .collect();
+        let live = vec![true; metas.len()];
         IndexSnapshot {
             version: 0,
             shards,
             shard_mask,
             metas,
+            live,
+            hashes,
+            shards_of_mapping,
             values,
         }
     }
+}
+
+/// [`mapping_content_hash`] over a builder's stored (normalized) pair
+/// list — identical to hashing the originating `SynthesizedMapping`
+/// when the pairs came through
+/// [`SnapshotBuilder::add_synthesized`] (whose pair order is the
+/// mapping's sorted `pair_strs` order).
+fn pairs_content_hash(pairs: &[(String, String)], meta: &MappingMeta) -> u64 {
+    content_hash(
+        pairs.iter().map(|(l, r)| (l.as_str(), r.as_str())),
+        meta.domains,
+        meta.source_tables,
+    )
 }
 
 /// Append `mi` to an ascending posting list iff not already last.

@@ -1,0 +1,263 @@
+//! Incremental snapshot publishing: `publish_delta` must serve
+//! exactly what a full rebuild over the same mappings serves, while
+//! actually reusing untouched shards — and stay consistent under
+//! concurrent readers.
+
+use mapsynth::values::ValueSpace;
+use mapsynth::SynthesizedMapping;
+use mapsynth_serve::{MappingService, SnapshotBuilder};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A synthesized-mapping fixture over its own little value space.
+fn mapping(prefix: &str, n_pairs: usize, domains: usize, tables: usize) -> SynthesizedMapping {
+    let strings: Vec<String> = (0..n_pairs)
+        .flat_map(|i| [format!("{prefix} left {i}"), format!("{prefix} right {i}")])
+        .collect();
+    let space = ValueSpace::from_strings(strings);
+    let pair_ids = (0..n_pairs as u32)
+        .map(|i| {
+            (
+                mapsynth::values::NormId(2 * i),
+                mapsynth::values::NormId(2 * i + 1),
+            )
+        })
+        .collect();
+    SynthesizedMapping::from_parts(
+        space,
+        pair_ids,
+        (0..tables as u32).collect(),
+        domains,
+        tables,
+    )
+}
+
+/// Every (left → right) translation a snapshot serves, with the
+/// mapping identified by *content* (its meta + first pair) rather
+/// than by id — delta publishes keep ids stable while full rebuilds
+/// renumber.
+fn observable(
+    snap: &mapsynth_serve::IndexSnapshot,
+    mappings: &[SynthesizedMapping],
+) -> Vec<(String, String, usize, usize)> {
+    let mut out = Vec::new();
+    for m in mappings {
+        for (l, r) in m.pair_strs() {
+            let hit = snap.lookup_norm(l).expect("served left value");
+            let mi = *hit
+                .mappings()
+                .iter()
+                .find(|&&mi| {
+                    snap.meta(mi).pairs == m.len()
+                        && snap.meta(mi).domains == m.domains
+                        && hit.forward(mi) == Some(r)
+                })
+                .expect("a live mapping serves this pair");
+            assert!(snap.is_live(mi));
+            // Reverse direction too.
+            let rhit = snap.lookup_norm(r).expect("served right value");
+            assert!(rhit
+                .reverse(mi)
+                .expect("right side")
+                .contains(&l.to_string()));
+            out.push((l.to_string(), r.to_string(), m.domains, m.source_tables));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn delta_publish_equals_full_rebuild() {
+    let gen0: Vec<SynthesizedMapping> = vec![
+        mapping("alpha", 6, 3, 5),
+        mapping("beta", 4, 2, 2),
+        mapping("gamma", 9, 7, 12),
+        mapping("delta", 3, 1, 1),
+    ];
+    let service = MappingService::new();
+    service.publish(SnapshotBuilder::from_synthesized(&gen0).build());
+
+    // Gen 1: drop beta, keep alpha/gamma/delta, add two new mappings.
+    let gen1: Vec<SynthesizedMapping> = vec![
+        mapping("alpha", 6, 3, 5),
+        mapping("gamma", 9, 7, 12),
+        mapping("delta", 3, 1, 1),
+        mapping("epsilon", 5, 4, 4),
+        mapping("zeta", 2, 2, 2),
+    ];
+    let (version, stats) = service.publish_delta(&gen1);
+    assert_eq!(version, 2);
+    assert_eq!(stats.added, 2);
+    assert_eq!(stats.removed, 1);
+    assert_eq!(stats.unchanged, 3);
+    assert!(
+        stats.rebuilt_shards < stats.total_shards,
+        "untouched shards must be shared, not copied ({}/{} rebuilt)",
+        stats.rebuilt_shards,
+        stats.total_shards
+    );
+
+    let incremental = service.snapshot();
+    assert_eq!(incremental.mapping_count(), 5);
+    // Retired content is gone.
+    assert!(incremental.lookup_norm("beta left 0").is_none());
+
+    let rebuilt = SnapshotBuilder::from_synthesized(&gen1).build();
+    assert_eq!(
+        observable(&incremental, &gen1),
+        observable(&rebuilt, &gen1),
+        "delta-published snapshot must serve exactly what a full rebuild serves"
+    );
+
+    // A second delta composes (epsilon mutates: meta changes identity).
+    let gen2: Vec<SynthesizedMapping> = vec![
+        mapping("alpha", 6, 3, 5),
+        mapping("gamma", 9, 7, 12),
+        mapping("epsilon", 5, 6, 6),
+        mapping("zeta", 2, 2, 2),
+    ];
+    let (version, stats) = service.publish_delta(&gen2);
+    assert_eq!(version, 3);
+    assert_eq!(stats.removed, 2); // delta + old epsilon
+    assert_eq!(stats.added, 1); // new epsilon
+    let incremental = service.snapshot();
+    let rebuilt = SnapshotBuilder::from_synthesized(&gen2).build();
+    assert_eq!(observable(&incremental, &gen2), observable(&rebuilt, &gen2));
+
+    // Rollback still works across delta publishes.
+    assert_eq!(service.rollback(), Some(2));
+    assert_eq!(service.snapshot().mapping_count(), 5);
+}
+
+#[test]
+fn unchanged_set_shares_every_shard() {
+    let gen: Vec<SynthesizedMapping> = vec![mapping("alpha", 6, 3, 5), mapping("beta", 4, 2, 2)];
+    let service = MappingService::new();
+    service.publish(SnapshotBuilder::from_synthesized(&gen).build());
+    let (version, stats) = service.publish_delta(&gen);
+    assert_eq!(version, 2);
+    assert_eq!(
+        (
+            stats.added,
+            stats.removed,
+            stats.unchanged,
+            stats.rebuilt_shards
+        ),
+        (0, 0, 2, 0),
+        "identical mapping set must rebuild nothing"
+    );
+}
+
+/// The serve stress satellite: a writer stream of `publish_delta`
+/// calls interleaved with concurrent readers. Readers must only ever
+/// observe monotone versions and *complete* snapshots — every
+/// generation's sentinel mapping fully answers, and exactly one
+/// generation is served per snapshot.
+#[test]
+fn delta_publishes_stay_consistent_under_concurrent_readers() {
+    const GENERATIONS: u64 = 30;
+    const READERS: usize = 4;
+    /// Stable mappings present in every generation.
+    fn stable() -> Vec<SynthesizedMapping> {
+        vec![mapping("stable-a", 8, 3, 3), mapping("stable-b", 5, 2, 2)]
+    }
+    /// Generation `g`'s churn: a sentinel mapping whose pairs embed `g`.
+    fn churn(g: u64) -> SynthesizedMapping {
+        let strings: Vec<String> = (0..6)
+            .flat_map(|i| [format!("probe {i}"), format!("gen {g} val {i}")])
+            .collect();
+        let space = ValueSpace::from_strings(strings);
+        let pair_ids = (0..6u32)
+            .map(|i| {
+                (
+                    mapsynth::values::NormId(2 * i),
+                    mapsynth::values::NormId(2 * i + 1),
+                )
+            })
+            .collect();
+        SynthesizedMapping::from_parts(space, pair_ids, vec![0], 1, 1)
+    }
+
+    let service = Arc::new(MappingService::new());
+    let mut gen0 = stable();
+    gen0.push(churn(0));
+    service.publish(SnapshotBuilder::from_synthesized(&gen0).build());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let max_seen = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let max_seen = Arc::clone(&max_seen);
+            s.spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = service.snapshot();
+                    let v = snap.version();
+                    assert!(v >= last, "version moved backwards: {last} -> {v}");
+                    last = v;
+                    max_seen.fetch_max(v, Ordering::Relaxed);
+
+                    // Completeness: the stable mappings always answer…
+                    let hit = snap.lookup_norm("stable-a left 0").expect("stable mapping");
+                    let mi = hit.mappings()[0];
+                    assert_eq!(hit.forward(mi), Some("stable-a right 0"));
+                    // …and exactly one churn generation is served, in
+                    // full, across all six probe keys.
+                    let probes: Vec<String> = (0..6).map(|i| format!("probe {i}")).collect();
+                    let hits = snap.lookup_many_norm(&probes);
+                    let mut gens: Vec<String> = hits
+                        .iter()
+                        .enumerate()
+                        .map(|(i, h)| {
+                            let h = h.expect("probe key served");
+                            let m = h.mappings()[0];
+                            let val = h.forward(m).expect("probe forward");
+                            let suffix = format!(" val {i}");
+                            val.strip_suffix(&suffix)
+                                .unwrap_or_else(|| panic!("unexpected probe value {val}"))
+                                .to_string()
+                        })
+                        .collect();
+                    gens.dedup();
+                    assert_eq!(gens.len(), 1, "torn snapshot: mixed generations {gens:?}");
+                }
+            });
+        }
+
+        // Writer: a delta per generation (retire the old sentinel, add
+        // the next one; the stable mappings must never be rebuilt).
+        // After each publish, wait until some reader has observed the
+        // new version before publishing the next — without this the
+        // writer finishes all generations before the readers' first
+        // snapshot (publishes take microseconds in release builds) and
+        // the stream would go unobserved.
+        for g in 1..=GENERATIONS {
+            let mut set = stable();
+            set.push(churn(g));
+            let (version, stats) = service.publish_delta(&set);
+            assert_eq!(stats.unchanged, 2, "stable mappings must be kept verbatim");
+            assert_eq!(stats.added, 1);
+            assert_eq!(stats.removed, 1);
+            while max_seen.load(Ordering::Relaxed) < version {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(
+        max_seen.load(Ordering::Relaxed) >= GENERATIONS,
+        "readers must have observed the publish stream"
+    );
+    // Retired id slots must not accumulate across the churn stream:
+    // compaction bounds the slot table by O(live mappings), so a
+    // long-lived service doesn't pay O(everything ever published) per
+    // delta.
+    let slots = service.snapshot().metas().len();
+    assert!(
+        slots <= 8,
+        "retired slots must be compacted away ({slots} slots after {GENERATIONS} generations)"
+    );
+}

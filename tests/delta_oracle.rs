@@ -1,0 +1,228 @@
+//! The incremental-update oracle: property-test that
+//! `SynthesisSession::apply_delta` is **bit-identical** to a fresh
+//! session on the post-delta corpus, for randomly generated delta
+//! sequences — insertions, deletions, re-insertions of identical
+//! content, overlapping values, typo'd spellings and synonym folding —
+//! and regardless of worker count.
+//!
+//! This mirrors the `compat::oracle_tests` pattern: generate
+//! adversarial inputs, run the production incremental path, and
+//! compare against the reference semantics (a from-scratch batch run
+//! on [`mapsynth::delta::CorpusDelta::post_corpus`]-style live
+//! corpora) pair-for-pair.
+
+use mapsynth::delta::CorpusDelta;
+use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
+use mapsynth_corpus::{Corpus, TableId};
+use mapsynth_text::SynonymDict;
+use proptest::prelude::*;
+
+/// A generated table: a domain selector, the relation (mapping
+/// standard) it asserts, and rows keyed by entity with typo-variant
+/// selectors. Codes derive deterministically from `(relation, entity)`
+/// so each table is functional (survives the FD filter) while
+/// different relations conflict on shared entities — the paper's
+/// ISO-vs-IOC shape. Variants introduce typo'd spellings so
+/// approximate matching fires, and re-inserted tables frequently
+/// collide with previously removed content.
+type GenTable = (u8, u8, Vec<(u8, (u8, u8))>);
+
+/// The ground-truth code of `entity` under `relation`.
+fn code_of(relation: u8, entity: u8) -> u8 {
+    ((entity as u16 * 7 + relation as u16 * 13) % 6) as u8
+}
+
+fn left_str(entity: u8, variant: u8) -> String {
+    // ≥ 5 chars after compaction so the fractional edit-distance
+    // threshold is non-zero and typos land inside it.
+    let base = format!("entity number {entity} of the corpus");
+    match variant % 4 {
+        0 => base,
+        1 => base.replace("number", "numbr"),  // deletion
+        2 => base.replace("corpus", "korpus"), // substitution
+        _ => format!("{base}x"),               // insertion
+    }
+}
+
+fn right_str(code: u8, variant: u8) -> String {
+    let base = format!("mapping code {code}");
+    match variant % 3 {
+        0 => base,
+        1 => base.replace("code", "cod"),
+        _ => format!("{base}s"),
+    }
+}
+
+fn push_gen_table(corpus: &mut Corpus, t: &GenTable) -> TableId {
+    let (domain, relation, rows) = t;
+    let d = corpus.domain(&format!("domain-{}.org", domain % 5));
+    // Weight variant selectors toward the base spelling: corpora where
+    // every occurrence is a distinct typo never cohere (and would make
+    // the property vacuous — see `generated_corpora_exercise_the_pipeline`).
+    let ev_of = |ev: u8| if ev < 9 { 0 } else { ev - 8 };
+    let cv_of = |cv: u8| if cv < 6 { 0 } else { cv - 5 };
+    let lefts: Vec<String> = rows
+        .iter()
+        .map(|&(e, (ev, _))| left_str(e, ev_of(ev)))
+        .collect();
+    let rights: Vec<String> = rows
+        .iter()
+        .map(|&(e, (_, cv))| right_str(code_of(*relation, e), cv_of(cv)))
+        .collect();
+    corpus.push_table(
+        d,
+        vec![
+            (Some("entity"), lefts.iter().map(String::as_str).collect()),
+            (Some("code"), rights.iter().map(String::as_str).collect()),
+        ],
+    )
+}
+
+fn synonyms() -> SynonymDict {
+    // Fold one typo variant into its base spelling for an entity and a
+    // code, so class equality fires across different strings.
+    let mut dict = SynonymDict::new();
+    dict.declare(&left_str(1, 0), &left_str(1, 1));
+    dict.declare(&right_str(1, 0), &right_str(1, 1));
+    dict
+}
+
+/// One delta: removal selectors (resolved against the live table set
+/// at application time) plus tables to append.
+type GenDelta = (Vec<u16>, Vec<GenTable>);
+
+fn table_strategy() -> impl Strategy<Value = GenTable> {
+    // Rows keyed by entity (unique lefts → functional tables); enough
+    // distinct values to clear the structural filter.
+    let rows = proptest::collection::btree_map(0u8..10, (0u8..12, 0u8..9), 5..10)
+        .prop_map(|m| m.into_iter().collect::<Vec<_>>());
+    (0u8..5, 0u8..2, rows)
+}
+
+fn tables_strategy() -> impl Strategy<Value = Vec<GenTable>> {
+    proptest::collection::vec(table_strategy(), 4..9)
+}
+
+fn deltas_strategy() -> impl Strategy<Value = Vec<GenDelta>> {
+    let delta = (
+        proptest::collection::vec(0u16..1000, 0..3),
+        proptest::collection::vec(table_strategy(), 0..3),
+    );
+    proptest::collection::vec(delta, 1..4)
+}
+
+/// The observable output of a synthesis run: curation-ranked
+/// materialized mappings with their provenance stats, plus graph and
+/// partition counts.
+type Observed = (Vec<(Vec<(String, String)>, usize, usize)>, usize, usize);
+
+fn observe(session: &SynthesisSession, resolver: Resolver) -> Observed {
+    let run = session.synthesize(&session.config().synthesis.clone(), resolver);
+    (
+        run.mappings
+            .iter()
+            .map(|m| (m.materialize_pairs(), m.domains, m.source_tables))
+            .collect(),
+        run.edges,
+        run.partitions,
+    )
+}
+
+/// Teeth check for the generator: a representative instance must make
+/// it through extraction and synthesis with real mappings — otherwise
+/// the property below would hold vacuously on empty outputs.
+#[test]
+fn generated_corpora_exercise_the_pipeline() {
+    let mut corpus = Corpus::new();
+    for domain in 0..6u8 {
+        for relation in 0..2u8 {
+            let rows: Vec<(u8, (u8, u8))> =
+                (0..8).map(|e| (e, (e % 4, (e + domain) % 3))).collect();
+            push_gen_table(&mut corpus, &(domain, relation, rows));
+        }
+    }
+    let mut session = SynthesisSession::new(PipelineConfig::default()).with_synonyms(synonyms());
+    session.prepare(&corpus);
+    let (mappings, edges, _) = observe(&session, Resolver::Algorithm4);
+    assert!(
+        !mappings.is_empty(),
+        "generator shape must synthesize mappings"
+    );
+    assert!(edges > 0, "generator shape must produce graph edges");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// The tentpole invariant: after every delta in a random sequence,
+    /// the incremental session's output is bit-identical to a fresh
+    /// batch session on the live corpus — across worker counts (the
+    /// incremental side runs at a sampled worker count, the oracle
+    /// always at 1, so the comparison also proves the delta path's
+    /// parallel determinism).
+    #[test]
+    fn prop_delta_equals_fresh(
+        base in tables_strategy(),
+        deltas in deltas_strategy(),
+        worker_sel in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 8][worker_sel];
+        let mut corpus = Corpus::new();
+        for t in &base {
+            push_gen_table(&mut corpus, t);
+        }
+        let mut session = SynthesisSession::new(PipelineConfig {
+            workers,
+            ..Default::default()
+        })
+        .with_synonyms(synonyms());
+        session.prepare(&corpus);
+        let mut alive: Vec<TableId> = (0..corpus.len() as u32).map(TableId).collect();
+
+        for (removal_sel, additions) in &deltas {
+            // Resolve removal selectors against the live set.
+            let mut removed: Vec<TableId> = Vec::new();
+            for &sel in removal_sel {
+                let live: Vec<TableId> = alive
+                    .iter()
+                    .copied()
+                    .filter(|t| !removed.contains(t))
+                    .collect();
+                if live.is_empty() {
+                    break;
+                }
+                let pick = live[sel as usize % live.len()];
+                removed.push(pick);
+            }
+            let added: Vec<TableId> = additions
+                .iter()
+                .map(|t| push_gen_table(&mut corpus, t))
+                .collect();
+            alive.retain(|t| !removed.contains(t));
+            alive.extend(added.iter().copied());
+
+            let delta = CorpusDelta { added, removed };
+            session.apply_delta(&corpus, &delta);
+
+            // Fresh batch oracle on the live corpus, single worker.
+            let live_corpus = session.live_corpus(&corpus);
+            let mut fresh = SynthesisSession::new(PipelineConfig {
+                workers: 1,
+                ..Default::default()
+            })
+            .with_synonyms(synonyms());
+            fresh.prepare(&live_corpus);
+
+            for resolver in [Resolver::Algorithm4, Resolver::MajorityVote, Resolver::None] {
+                let incremental = observe(&session, resolver);
+                let batch = observe(&fresh, resolver);
+                prop_assert_eq!(
+                    &incremental,
+                    &batch,
+                    "{:?} diverged after a delta (workers = {})",
+                    resolver,
+                    workers
+                );
+            }
+        }
+    }
+}

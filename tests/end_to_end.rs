@@ -204,3 +204,162 @@ fn stage_artifacts_reused_across_resolvers() {
     };
     assert!(conflicts(&raw.mappings) >= conflicts(&resolved.mappings));
 }
+
+#[test]
+fn delta_tombstones_mappings_end_to_end() {
+    // The tombstone edge case, all the way to the serving layer:
+    // deleting the last tables supporting a mapping must drop it from
+    // the next published snapshot — while untouched mappings survive
+    // the incremental publish verbatim.
+    use mapsynth::delta::CorpusDelta;
+    use mapsynth::pipeline::{Resolver, SynthesisSession};
+    use mapsynth_serve::{MappingService, SnapshotBuilder};
+
+    let wc = corpus();
+    let mut corpus = wc.corpus;
+    let mut session = SynthesisSession::new(PipelineConfig::default());
+    session.prepare(&corpus);
+    let base = session.config().synthesis;
+    let run = session.synthesize(&base, Resolver::Algorithm4);
+
+    let service = MappingService::new();
+    service.publish(SnapshotBuilder::from_synthesized(&run.mappings).build());
+
+    // Pick a well-supported mapping and find the source tables backing
+    // it; removing those tables removes its last support.
+    let victim = run
+        .mappings
+        .iter()
+        .find(|m| m.source_tables >= 2 && m.len() >= 4)
+        .expect("a multi-table mapping exists");
+    let victim_pairs: Vec<(String, String)> = victim.materialize_pairs();
+    let tables = &session.values().expect("prepared").tables;
+    let removed: Vec<mapsynth_corpus::TableId> = victim
+        .member_tables
+        .iter()
+        .map(|&ti| tables[ti as usize].source)
+        .collect();
+    let n_removed = removed.len();
+
+    let report = session.apply_delta(
+        &corpus,
+        &CorpusDelta {
+            added: vec![],
+            removed,
+        },
+    );
+    assert_eq!(report.tables_removed, n_removed);
+    let after = session.synthesize(&base, Resolver::Algorithm4);
+    let (_, stats) = service.publish_delta(&after.mappings);
+    assert!(stats.removed > 0, "the victim mapping must be retired");
+    assert!(
+        stats.unchanged > after.mappings.len() / 2,
+        "most mappings must survive the delta publish untouched"
+    );
+
+    // The victim's pairs are no longer served in any one mapping.
+    let snap = service.snapshot();
+    let victim_still_served = after.mappings.iter().any(|m| {
+        let got: Vec<(String, String)> = m.materialize_pairs();
+        got == victim_pairs && m.source_tables == victim.source_tables
+    });
+    assert!(
+        !victim_still_served,
+        "mapping must not survive removal of its last supporting tables"
+    );
+    // And a forward probe for a pair unique to the victim misses or
+    // resolves through a different (still-supported) mapping set.
+    assert_eq!(snap.mapping_count(), after.mappings.len());
+
+    // The incremental session still matches a fresh batch run.
+    let mut fresh = SynthesisSession::new(PipelineConfig::default());
+    fresh.prepare(&session.live_corpus(&corpus));
+    let fresh_run = fresh.synthesize(&base, Resolver::Algorithm4);
+    assert_eq!(after.mappings.len(), fresh_run.mappings.len());
+    for (a, b) in after.mappings.iter().zip(&fresh_run.mappings) {
+        assert_eq!(a.materialize_pairs(), b.materialize_pairs());
+    }
+
+    // Push a replacement crawl re-asserting the victim relation; the
+    // next delta + publish serves it again.
+    let mats: Vec<Vec<(String, String)>> = vec![victim_pairs.clone(); 3];
+    let mut added = Vec::new();
+    for (i, rows) in mats.iter().enumerate() {
+        let d = corpus.domain(&format!("recrawl-{i}.example"));
+        let (l, r): (Vec<&str>, Vec<&str>) =
+            rows.iter().map(|(l, r)| (l.as_str(), r.as_str())).unzip();
+        added.push(corpus.push_table(d, vec![(Some("left"), l), (Some("right"), r)]));
+    }
+    session.apply_delta(
+        &corpus,
+        &CorpusDelta {
+            added,
+            removed: vec![],
+        },
+    );
+    let revived = session.synthesize(&base, Resolver::Algorithm4);
+    service.publish_delta(&revived.mappings);
+    let snap = service.snapshot();
+    let (l0, r0) = &victim_pairs[0];
+    let hit = snap.lookup_norm(l0).expect("revived mapping serves again");
+    assert!(hit.translations().any(|(_, r)| r == r0));
+}
+
+#[test]
+fn delta_path_deterministic_across_worker_counts_at_scale() {
+    // The incremental path must keep the engine's determinism
+    // contract at generator scale: identical post-delta mappings for
+    // 1, 2 and 8 workers.
+    use mapsynth::delta::CorpusDelta;
+    use mapsynth::pipeline::{Resolver, SynthesisSession};
+
+    let outputs: Vec<Vec<Vec<(String, String)>>> = [1usize, 2, 8]
+        .iter()
+        .map(|&workers| {
+            let wc = corpus();
+            let mut corpus = wc.corpus;
+            let mut session = SynthesisSession::new(PipelineConfig {
+                workers,
+                ..Default::default()
+            });
+            session.prepare(&corpus);
+            // Remove a spread of tables and re-add clones of two of
+            // them under new domains (overlapping content on purpose).
+            let removed: Vec<mapsynth_corpus::TableId> =
+                (0..10).map(|k| mapsynth_corpus::TableId(k * 97)).collect();
+            let mut added = Vec::new();
+            for &src in &[7usize, 19] {
+                let cols: Vec<(Option<String>, Vec<String>)> = corpus.tables[src]
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.header.map(|h| corpus.str_of(h).to_string()),
+                            c.values
+                                .iter()
+                                .map(|&v| corpus.str_of(v).to_string())
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                let d = corpus.domain("recrawl.example");
+                let cols_ref: Vec<(Option<&str>, Vec<&str>)> = cols
+                    .iter()
+                    .map(|(h, vs)| {
+                        (
+                            h.as_deref(),
+                            vs.iter().map(String::as_str).collect::<Vec<&str>>(),
+                        )
+                    })
+                    .collect();
+                added.push(corpus.push_table(d, cols_ref));
+            }
+            session.apply_delta(&corpus, &CorpusDelta { added, removed });
+            let run = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
+            run.mappings.iter().map(|m| m.materialize_pairs()).collect()
+        })
+        .collect();
+    assert!(!outputs[0].is_empty());
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 workers");
+    assert_eq!(outputs[0], outputs[2], "1 vs 8 workers");
+}
