@@ -1,9 +1,18 @@
-//! Algorithm 2 ablation: banded edit distance vs full-matrix DP.
-//! The paper's point: with small thresholds, the banded DP makes
-//! approximate matching affordable at corpus scale.
+//! Algorithm 2 ablation: bounded edit-distance kernels.
+//!
+//! Two axes. `edit_distance` is the original banded-vs-full-matrix
+//! comparison (the paper's point: with small thresholds the bounded
+//! check is affordable at corpus scale). `kernel_lengths` compares the
+//! **banded DP** against the **bit-parallel Myers** kernel across
+//! pattern-length buckets — including lengths past one 64-bit block —
+//! at the production bound (`k_ed = 10`); the two return identical
+//! distances, so the only question is wall-clock per length regime.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mapsynth_text::{edit_distance_full, edit_distance_within};
+use mapsynth_text::{
+    edit_distance_full, edit_distance_within, edit_distance_within_banded,
+    edit_distance_within_myers,
+};
 
 fn pairs(n: usize) -> Vec<(String, String)> {
     (0..n)
@@ -16,6 +25,23 @@ fn pairs(n: usize) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Typo'd pairs whose sides are ~`len` chars: a shared stem with a
+/// transposition plus per-pair distinct tails, so the kernels do real
+/// work (no trivial early accept/reject).
+fn bucket_pairs(len: usize, n: usize) -> Vec<(String, String)> {
+    (0..n)
+        .map(|i| {
+            let stem: String = (0..len)
+                .map(|k| char::from(b'a' + ((k + i) % 9) as u8))
+                .collect();
+            let mut swapped: Vec<char> = stem.chars().collect();
+            let mid = len / 2;
+            swapped.swap(mid, mid - 1);
+            (stem, swapped.into_iter().collect())
+        })
+        .collect()
+}
+
 fn edit_distance(c: &mut Criterion) {
     let data = pairs(200);
     let mut g = c.benchmark_group("edit_distance");
@@ -23,7 +49,14 @@ fn edit_distance(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("banded", bound), &bound, |b, &bound| {
             b.iter(|| {
                 data.iter()
-                    .filter(|(x, y)| edit_distance_within(x, y, bound).is_some())
+                    .filter(|(x, y)| edit_distance_within_banded(x, y, bound).is_some())
+                    .count()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("myers", bound), &bound, |b, &bound| {
+            b.iter(|| {
+                data.iter()
+                    .filter(|(x, y)| edit_distance_within_myers(x, y, bound).is_some())
                     .count()
             })
         });
@@ -38,5 +71,37 @@ fn edit_distance(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, edit_distance);
+fn kernel_lengths(c: &mut Criterion) {
+    const BOUND: u32 = 10; // the paper's k_ed cap
+    let mut g = c.benchmark_group("kernel_lengths");
+    // 12/24: the value lengths matching actually sees. 56/64: the
+    // single-word ceiling. 96/192: multi-block Myers territory.
+    for len in [12usize, 24, 56, 64, 96, 192] {
+        let data = bucket_pairs(len, 200);
+        g.bench_with_input(BenchmarkId::new("banded", len), &len, |b, _| {
+            b.iter(|| {
+                data.iter()
+                    .map(|(x, y)| edit_distance_within_banded(x, y, BOUND).unwrap_or(BOUND + 1))
+                    .sum::<u32>()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("myers", len), &len, |b, _| {
+            b.iter(|| {
+                data.iter()
+                    .map(|(x, y)| edit_distance_within_myers(x, y, BOUND).unwrap_or(BOUND + 1))
+                    .sum::<u32>()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dispatch", len), &len, |b, _| {
+            b.iter(|| {
+                data.iter()
+                    .map(|(x, y)| edit_distance_within(x, y, BOUND).unwrap_or(BOUND + 1))
+                    .sum::<u32>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, edit_distance, kernel_lengths);
 criterion_main!(benches);

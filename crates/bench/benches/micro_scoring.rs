@@ -24,6 +24,22 @@ fn scoring(c: &mut Criterion) {
     let (pairs, _) = candidate_pairs(&space, &tables, &cfg, &mr);
     let ctx = ScoringContext::build(&space, &tables, &cfg, &mr);
 
+    // Report the similarity-join filter funnel once: of the candidate
+    // pairs the length window admits, how many each signature stage
+    // rejects before the edit-distance kernel runs at all.
+    let m = ctx.build_stats.memo;
+    let rejected = m.sig_mask_rejects + m.sig_hist_rejects;
+    eprintln!(
+        "memo filter funnel: {} window candidates → mask −{} → histogram −{} → {} kernel calls \
+         ({:.1}% pruned before DP), {} matched",
+        m.candidate_pairs,
+        m.sig_mask_rejects,
+        m.sig_hist_rejects,
+        m.dp_calls,
+        100.0 * rejected as f64 / m.candidate_pairs.max(1) as f64,
+        m.matched_pairs,
+    );
+
     let mut g = c.benchmark_group("scoring");
     g.sample_size(10);
     // One-time cost: per-table views + the length-bucketed memo pass.

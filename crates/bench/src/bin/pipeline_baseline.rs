@@ -6,13 +6,20 @@
 //! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- BENCH_pipeline.json
 //! # verify counts against a committed baseline (CI drift gate):
 //! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --check BENCH_pipeline.json
+//! # corpus scale tier: growth-curve points up to N tables
+//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 3000 BENCH_scale.json
 //! ```
 //!
 //! See `crates/bench/README.md` for the output schema. In `--check`
 //! mode the corpus size is read from the committed file, the pipeline
 //! re-runs, and the process exits non-zero if any deterministic count
-//! (candidates, edges, partitions, mappings) drifted — timings are
-//! machine-dependent and informational only.
+//! (candidates, edges, partitions, mappings) drifted, or if the memo's
+//! filter counters (`memo_candidate_pairs`, `memo_dp_calls`) **exceed**
+//! their committed ceilings (a silent prefilter regression) — timings
+//! are machine-dependent and informational only. In `--tables N` mode
+//! the binary runs the synthesis pipeline at N/4, N/2 and N tables and
+//! writes a `scale_detail` block showing how the candidate-pair and
+//! DP-call curves grow with corpus size.
 
 use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
 use mapsynth_bench::{bench_corpus, bench_delta};
@@ -229,6 +236,10 @@ fn check_against(path: &str) -> ! {
     let mut wc = bench_corpus(tables);
     let mut session = SynthesisSession::new(PipelineConfig::default());
     let output = session.run(&wc.corpus);
+    // Snapshot the memo counters now: the committed ceilings describe
+    // the batch build, so they must be read before the delta stage
+    // grows the memo.
+    let memo = session.scores().expect("prepared session").detail.memo;
 
     // Incremental stage re-run (counts only; the full bench also times
     // a rebuild).
@@ -254,6 +265,30 @@ fn check_against(path: &str) -> ! {
             }
             Some(expected) => {
                 eprintln!("check {key}: expected {expected}, got {actual} (DRIFT)");
+                drifted = true;
+            }
+            None => {
+                eprintln!("check {key}: missing from baseline (DRIFT)");
+                drifted = true;
+            }
+        }
+    }
+
+    // Filter-regression guard: the memo's enumeration and kernel work
+    // may only shrink. Counts above the committed ceilings mean the
+    // length window or the signature prefilters silently regressed —
+    // exactly the failure mode a wall-clock check can't see on CI.
+    let ceilings = [
+        ("memo_candidate_pairs", memo.candidate_pairs as i64),
+        ("memo_dp_calls", memo.dp_calls as i64),
+    ];
+    for (key, actual) in ceilings {
+        match json_int(&committed, key) {
+            Some(ceiling) if actual <= ceiling => {
+                eprintln!("check {key}: {actual} ≤ {ceiling} (ok)");
+            }
+            Some(ceiling) => {
+                eprintln!("check {key}: {actual} exceeds committed ceiling {ceiling} (DRIFT)");
                 drifted = true;
             }
             None => {
@@ -292,6 +327,83 @@ fn check_against(path: &str) -> ! {
     std::process::exit(0);
 }
 
+/// One measured point of the corpus scale tier.
+struct ScalePoint {
+    tables: usize,
+    candidates: usize,
+    edges: usize,
+    mappings: usize,
+    memo: mapsynth::approx::ApproxMemoStats,
+    approx_memo_ms: f64,
+    graph_ms: f64,
+    total_ms: f64,
+}
+
+/// The scale tier: full synthesis runs at `max/4`, `max/2` and `max`
+/// tables (serving/delta stages skipped — this tier is about how the
+/// scoring work *grows*). The interesting columns are
+/// `memo_candidate_pairs` (what the length window alone would hand to
+/// the kernel — grows like a similarity join's candidate set) versus
+/// `memo_dp_calls` (what survives the signature prefilters).
+fn scale_stage(max_tables: usize) -> Vec<ScalePoint> {
+    [max_tables / 4, max_tables / 2, max_tables]
+        .into_iter()
+        .filter(|&t| t > 0)
+        .map(|tables| {
+            let wc = bench_corpus(tables);
+            let mut session = SynthesisSession::new(PipelineConfig::default());
+            let output = session.run(&wc.corpus);
+            let detail = session.scores().expect("prepared").detail;
+            let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+            let point = ScalePoint {
+                tables,
+                candidates: output.candidates,
+                edges: output.edges,
+                mappings: output.mappings.len(),
+                memo: detail.memo,
+                approx_memo_ms: ms(detail.approx_memo),
+                graph_ms: ms(output.timings.graph),
+                total_ms: ms(output.timings.total),
+            };
+            eprintln!(
+                "scale {} tables: {} candidate pairs, {} dp calls, approx_memo {:.1}ms",
+                tables, point.memo.candidate_pairs, point.memo.dp_calls, point.approx_memo_ms
+            );
+            point
+        })
+        .collect()
+}
+
+/// Render the scale points as the `scale_detail` JSON block.
+fn scale_json(max_tables: usize, points: &[ScalePoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{\n        \"tables\": {},\n        \"candidates\": {},\n        \"edges\": {},\n        \"mappings\": {},\n        \"memo_values\": {},\n        \"memo_candidate_pairs\": {},\n        \"memo_sig_mask_rejects\": {},\n        \"memo_sig_hist_rejects\": {},\n        \"memo_dp_calls\": {},\n        \"memo_matched_pairs\": {},\n        \"approx_memo_ms\": {:.3},\n        \"graph_ms\": {:.3},\n        \"total_ms\": {:.3}\n      }}",
+                p.tables,
+                p.candidates,
+                p.edges,
+                p.mappings,
+                p.memo.values,
+                p.memo.candidate_pairs,
+                p.memo.sig_mask_rejects,
+                p.memo.sig_hist_rejects,
+                p.memo.dp_calls,
+                p.memo.matched_pairs,
+                p.approx_memo_ms,
+                p.graph_ms,
+                p.total_ms,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"scale_detail\": {{\n    \"max_tables\": {},\n    \"points\": [\n{}\n    ]\n  }}\n}}\n",
+        max_tables,
+        rows.join(",\n")
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--check") {
@@ -300,6 +412,23 @@ fn main() {
             .map(String::as_str)
             .unwrap_or("BENCH_pipeline.json");
         check_against(path);
+    }
+    if args.first().map(String::as_str) == Some("--tables") {
+        let max_tables: usize = args
+            .get(1)
+            .and_then(|v| v.parse().ok())
+            .expect("--tables needs a corpus size");
+        let points = scale_stage(max_tables);
+        let json = scale_json(max_tables, &points);
+        match args.get(2) {
+            Some(path) => {
+                std::fs::write(path, &json).expect("write scale file");
+                eprintln!("wrote {path}");
+                print!("{json}");
+            }
+            None => print!("{json}"),
+        }
+        return;
     }
     let out_path = args.first().cloned();
     let tables: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(600);
@@ -321,7 +450,7 @@ fn main() {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let delta_apply_ms = ms(delta.report.timings.total);
     let json = format!(
-        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"workers\": {},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }}\n}}\n",
+        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_sig_mask_rejects\": {},\n    \"memo_sig_hist_rejects\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"workers\": {},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }}\n}}\n",
         tables,
         output.candidates,
         output.edges,
@@ -339,6 +468,8 @@ fn main() {
         ms(detail.merge_join),
         detail.memo.values,
         detail.memo.candidate_pairs,
+        detail.memo.sig_mask_rejects,
+        detail.memo.sig_hist_rejects,
         detail.memo.dp_calls,
         detail.memo.matched_pairs,
         session.workers(),

@@ -8,7 +8,7 @@
 //! | `fig7_quality` | Figure 7 — per-method synthesis quality workload |
 //! | `fig8_runtime` | Figure 8 — per-method end-to-end runtime |
 //! | `fig9_scalability` | Figure 9 — pipeline runtime vs corpus fraction |
-//! | `micro_edit_distance` | Algorithm 2 ablation: banded vs full DP |
+//! | `micro_edit_distance` | Algorithm 2 ablation: banded vs bit-parallel Myers vs full DP, across length buckets |
 //! | `micro_blocking` | §4.1 ablation: blocked vs all-pairs scoring |
 //! | `micro_partition` | Algorithm 3: lazy-heap greedy merge |
 //! | `micro_scoring` | §4.1 hot path: shared `ScoringContext` vs throwaway per-pair scoring |

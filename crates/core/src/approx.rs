@@ -1,5 +1,6 @@
 //! Global approximate-match memoization (paper §4.1, Algorithm 2 —
-//! applied once per *value pair* instead of once per *table pair*).
+//! applied once per *value pair* instead of once per *table pair*),
+//! organized as a **string-similarity join**.
 //!
 //! The naive scoring loop re-runs banded edit distance for the same
 //! value pair every time the two values meet inside another scored
@@ -12,11 +13,18 @@
 //! 1. **Equal-compact groups** — values whose whitespace-stripped
 //!    strings coincide (but whose classes differ) match at distance 0
 //!    regardless of the fractional threshold; found by one hash pass.
-//! 2. **Length-bucketed DP** — values sorted by cached `char` length;
-//!    each value is compared only against values within its fractional
-//!    edit-distance window `len ≤ l + min(⌊l·f_ed⌋, k_ed)`, with the
-//!    banded DP of [`mapsynth_text::edit_distance_within`]. Each
-//!    unordered pair is computed exactly once and mirrored.
+//! 2. **Filtered length windows** — values sorted by cached `char`
+//!    length; each value is compared only against values within its
+//!    fractional edit-distance window `len ≤ l + min(⌊l·f_ed⌋, k_ed)`.
+//!    Inside the window a candidate pair must survive the **signature
+//!    prefilters** — the `O(1)` exact lower bounds of
+//!    [`mapsynth_text::CharSignature`] (64-bit charset mask, then
+//!    histogram L1) against the pair's threshold — before the
+//!    edit-distance kernel ([`mapsynth_text::edit_distance_within`]:
+//!    bit-parallel Myers, banded-DP fallback) runs at all. The bounds
+//!    never exceed the true distance, so pruning is **exact**: the
+//!    cached pair set is bit-identical to the unfiltered scan's.
+//!    Each unordered pair is evaluated exactly once and mirrored.
 //! 3. **Union-find of approximate equivalence** — every matched pair is
 //!    unioned; the flattened component id serves as an `O(1)` negative
 //!    filter (different components can never match) in front of the
@@ -24,6 +32,12 @@
 //!    exact, *non-transitive* pairwise relation — the union-find only
 //!    over-approximates it, so cached answers are bit-identical to
 //!    direct evaluation.
+//!
+//! The fresh [`build`](ApproxMemo::build) and the incremental
+//! [`extend`](ApproxMemo::extend) share **one** filtered
+//! candidate-generation path (the private `enumerate_matches`) — they
+//! differ only in which values participate and which pairs are
+//! accepted, so the batch and delta pipelines cannot drift apart.
 //!
 //! Stored entries carry the **actual edit distance**, so any query with
 //! *tighter* matching parameters (`f_ed' ≤ f_ed`, `k_ed' ≤ k_ed`) is
@@ -46,9 +60,18 @@ pub const ROLE_RIGHT: u8 = 2;
 pub struct ApproxMemoStats {
     /// Values participating (role ≠ 0).
     pub values: usize,
-    /// Candidate pairs surviving the length window + role/class filters.
+    /// Candidate pairs surviving the length window + role/class filters
+    /// (before the signature prefilters — the work an unfiltered scan
+    /// would hand to the edit-distance kernel).
     pub candidate_pairs: usize,
-    /// Banded-DP invocations (≤ `candidate_pairs`).
+    /// Candidates rejected by the 64-bit charset-mask lower bound.
+    pub sig_mask_rejects: usize,
+    /// Candidates rejected by the histogram-L1 lower bound (after
+    /// passing the mask).
+    pub sig_hist_rejects: usize,
+    /// Edit-distance kernel invocations
+    /// (= `candidate_pairs − sig_mask_rejects − sig_hist_rejects`,
+    /// minus the distance-0 pairs pass 1 already decided).
     pub dp_calls: usize,
     /// Approximately-matching pairs cached.
     pub matched_pairs: usize,
@@ -86,89 +109,14 @@ impl ApproxMemo {
     pub fn build(space: &ValueSpace, roles: &[u8], params: MatchParams, mr: &MapReduce) -> Self {
         let n = space.len();
         debug_assert_eq!(roles.len(), n);
-        let mut stats = ApproxMemoStats::default();
-
-        // Values sorted by (compact char length, id): the bucket index.
-        let mut by_len: Vec<u32> = (0..n as u32).filter(|&i| roles[i as usize] != 0).collect();
-        stats.values = by_len.len();
-        by_len.sort_unstable_by_key(|&i| (space.compact_chars(NormId(i)), i));
-        let lens: Vec<u32> = by_len
-            .iter()
-            .map(|&i| space.compact_chars(NormId(i)))
-            .collect();
-
-        // Pass 1 — equal-compact groups: distance-0 matches across
-        // classes (whitespace-only differences survive normalization as
-        // distinct values but compare equal after compaction).
-        let mut pairs: Vec<(u32, u32, u32)> = Vec::new();
-        let mut by_compact: HashMap<&str, Vec<u32>> = HashMap::new();
-        for &i in &by_len {
-            by_compact
-                .entry(space.compact(NormId(i)))
-                .or_default()
-                .push(i);
-        }
-        for group in by_compact.values() {
-            for (gi, &x) in group.iter().enumerate() {
-                for &y in &group[gi + 1..] {
-                    if compatible(roles, x, y) && space.class(NormId(x)) != space.class(NormId(y)) {
-                        pairs.push((x.min(y), x.max(y), 0));
-                    }
-                }
-            }
-        }
-        stats.candidate_pairs = pairs.len();
-
-        // Pass 2 — banded DP over the length windows, parallel per
-        // value. Each value owns the pairs whose partner follows it in
-        // (length, id) order, so every unordered pair is computed once.
-        // Every candidate surviving the window/role/class/equality
-        // filters costs exactly one DP call.
-        type FoundPairs = (Vec<(u32, u32, u32)>, usize);
-        let positions: Vec<u32> = (0..by_len.len() as u32).collect();
-        let by_len_ref = &by_len;
-        let lens_ref = &lens;
-        let found: Vec<FoundPairs> = mr.par_map(&positions, |&p| {
-            let p = p as usize;
-            let x = by_len_ref[p];
-            let la = lens_ref[p];
-            let bound = fractional_threshold_for_lens(la as usize, la as usize, params);
-            let mut out = Vec::new();
-            let mut dps = 0usize;
-            if bound == 0 {
-                // Only exact compact equality can match — covered by
-                // the equal-compact pass.
-                return (out, dps);
-            }
-            let max_len = la + bound;
-            let x_str = space.compact(NormId(x));
-            let x_class = space.class(NormId(x));
-            for q in p + 1..by_len_ref.len() {
-                let lb = lens_ref[q];
-                if lb > max_len {
-                    break;
-                }
-                let y = by_len_ref[q];
-                if !compatible(roles, x, y) || space.class(NormId(y)) == x_class {
-                    continue;
-                }
-                let y_str = space.compact(NormId(y));
-                if x_str == y_str {
-                    continue; // cached at distance 0 by pass 1
-                }
-                dps += 1;
-                // la ≤ lb here, so the pair threshold equals `bound`.
-                if let Some(d) = edit_distance_within(x_str, y_str, bound) {
-                    out.push((x.min(y), x.max(y), d));
-                }
-            }
-            (out, dps)
-        });
-        for (found_pairs, dps) in found {
-            stats.candidate_pairs += dps;
-            stats.dp_calls += dps;
-            pairs.extend(found_pairs);
-        }
+        let ids: Vec<u32> = (0..n as u32).filter(|&i| roles[i as usize] != 0).collect();
+        let mut stats = ApproxMemoStats {
+            values: ids.len(),
+            ..Default::default()
+        };
+        let (pairs, tallies) =
+            enumerate_matches(space, ids, params, mr, |x, y| compatible(roles, x, y));
+        tallies.accumulate(&mut stats);
         stats.matched_pairs = pairs.len();
 
         // Mirror into CSR adjacency + union approximate equivalents.
@@ -187,10 +135,14 @@ impl ApproxMemo {
     /// is harmless because any pair actually queried joins two values
     /// carrying the role in live tables).
     ///
-    /// Banded DP runs **only** for pairs that became queryable — one
-    /// side new or role-grown — against partners inside the length
-    /// window; everything already cached is carried over verbatim.
-    /// Deterministic for any worker count.
+    /// The edit-distance kernel runs **only** for pairs that became
+    /// queryable — one side new or role-grown — against partners inside
+    /// the length window that also survive the signature prefilters;
+    /// everything already cached is carried over verbatim. The
+    /// enumeration is the **same** `enumerate_matches` path the fresh
+    /// build uses (same ownership order, same thresholds, same
+    /// filters), restricted by the freshness predicate, so the two
+    /// cannot drift. Deterministic for any worker count.
     pub fn extend(
         &self,
         space: &ValueSpace,
@@ -206,7 +158,8 @@ impl ApproxMemo {
         // A pair needs evaluation iff it is compatible now but was not
         // at build time (both-old compatible pairs were already
         // decided). "Dirty" values — new or role-grown — are the only
-        // ones that can create such pairs.
+        // ones that can create such pairs; the dirty test is the cheap
+        // screen in front of the exact freshness predicate.
         let old_role = |i: usize| old_roles.get(i).copied().unwrap_or(0);
         let dirty: Vec<bool> = (0..n).map(|i| new_roles[i] & !old_role(i) != 0).collect();
         let fresh_pair = |x: u32, y: u32| {
@@ -225,88 +178,14 @@ impl ApproxMemo {
             }
         }
 
-        let mut by_len: Vec<u32> = (0..n as u32)
+        let ids: Vec<u32> = (0..n as u32)
             .filter(|&i| new_roles[i as usize] != 0)
             .collect();
-        stats.values = by_len.len();
-        by_len.sort_unstable_by_key(|&i| (space.compact_chars(NormId(i)), i));
-        let lens: Vec<u32> = by_len
-            .iter()
-            .map(|&i| space.compact_chars(NormId(i)))
-            .collect();
-
-        // Pass 1 — equal-compact groups among fresh pairs.
-        let mut by_compact: HashMap<&str, Vec<u32>> = HashMap::new();
-        for &i in &by_len {
-            by_compact
-                .entry(space.compact(NormId(i)))
-                .or_default()
-                .push(i);
-        }
-        let mut new_pairs: Vec<(u32, u32, u32)> = Vec::new();
-        for group in by_compact.values() {
-            for (gi, &x) in group.iter().enumerate() {
-                for &y in &group[gi + 1..] {
-                    if fresh_pair(x, y) && space.class(NormId(x)) != space.class(NormId(y)) {
-                        new_pairs.push((x.min(y), x.max(y), 0));
-                    }
-                }
-            }
-        }
-        stats.candidate_pairs += new_pairs.len();
-
-        // Pass 2 — banded DP over the length windows, parallel per
-        // value, owner = earlier in (length, id) order exactly as the
-        // full build's pass so thresholds agree bit-for-bit. Windows
-        // around non-dirty values are scanned only to find dirty
-        // partners (cheap comparisons, no DP).
-        type FoundPairs = (Vec<(u32, u32, u32)>, usize);
-        let positions: Vec<u32> = (0..by_len.len() as u32).collect();
-        let by_len_ref = &by_len;
-        let lens_ref = &lens;
-        let dirty_ref = &dirty;
-        let found: Vec<FoundPairs> = mr.par_map(&positions, |&p| {
-            let p = p as usize;
-            let x = by_len_ref[p];
-            let la = lens_ref[p];
-            let bound = fractional_threshold_for_lens(la as usize, la as usize, params);
-            let mut out = Vec::new();
-            let mut dps = 0usize;
-            if bound == 0 {
-                return (out, dps);
-            }
-            let max_len = la + bound;
-            let x_str = space.compact(NormId(x));
-            let x_class = space.class(NormId(x));
-            let x_dirty = dirty_ref[x as usize];
-            for q in p + 1..by_len_ref.len() {
-                let lb = lens_ref[q];
-                if lb > max_len {
-                    break;
-                }
-                let y = by_len_ref[q];
-                if !x_dirty && !dirty_ref[y as usize] {
-                    continue;
-                }
-                if !fresh_pair(x, y) || space.class(NormId(y)) == x_class {
-                    continue;
-                }
-                let y_str = space.compact(NormId(y));
-                if x_str == y_str {
-                    continue; // cached at distance 0 by pass 1
-                }
-                dps += 1;
-                if let Some(d) = edit_distance_within(x_str, y_str, bound) {
-                    out.push((x.min(y), x.max(y), d));
-                }
-            }
-            (out, dps)
+        stats.values = ids.len();
+        let (new_pairs, tallies) = enumerate_matches(space, ids, params, mr, |x, y| {
+            (dirty[x as usize] || dirty[y as usize]) && fresh_pair(x, y)
         });
-        for (found_pairs, dps) in found {
-            stats.candidate_pairs += dps;
-            stats.dp_calls += dps;
-            new_pairs.extend(found_pairs);
-        }
+        tallies.accumulate(&mut stats);
         pairs.extend(new_pairs);
         stats.matched_pairs = pairs.len();
 
@@ -452,6 +331,169 @@ fn compatible(roles: &[u8], x: u32, y: u32) -> bool {
     roles[x as usize] & roles[y as usize] != 0
 }
 
+/// Tallies of one [`enumerate_matches`] pass, folded into
+/// [`ApproxMemoStats`] by the caller (the fresh build starts from
+/// zero, the delta extend accumulates on the carried-over stats).
+#[derive(Clone, Copy, Debug, Default)]
+struct PassTallies {
+    /// Pairs surviving window + accept + class filters in pass 2,
+    /// **including** equal-compact pairs the strcmp later skips.
+    window_pairs: usize,
+    /// Window pairs skipped because their compact strings are equal
+    /// (already cached at distance 0 by pass 1).
+    equal_skips: usize,
+    /// Distance-0 pairs found by the equal-compact pass.
+    zero_pairs: usize,
+    /// Window pairs rejected by the charset-mask lower bound.
+    mask_rejects: usize,
+    /// Window pairs rejected by the histogram-L1 lower bound.
+    hist_rejects: usize,
+    /// Edit-distance kernel invocations.
+    dp_calls: usize,
+}
+
+impl PassTallies {
+    /// Fold into the public stats. `candidate_pairs` keeps its
+    /// pre-prefilter meaning — the pairs an unfiltered scan would have
+    /// DP'd (window survivors minus equal-compact skips, plus the
+    /// distance-0 pass) — so the committed-baseline ceiling guards the
+    /// length window and the signature filters independently.
+    fn accumulate(self, stats: &mut ApproxMemoStats) {
+        stats.candidate_pairs += self.zero_pairs + self.window_pairs - self.equal_skips;
+        stats.sig_mask_rejects += self.mask_rejects;
+        stats.sig_hist_rejects += self.hist_rejects;
+        stats.dp_calls += self.dp_calls;
+    }
+}
+
+/// The single filtered candidate-generation path shared by
+/// [`ApproxMemo::build`] and [`ApproxMemo::extend`].
+///
+/// `ids` are the participating values; `accept(x, y)` decides whether
+/// an unordered pair may enter the result at all (role compatibility
+/// for the fresh build; role compatibility *gained by the delta* for
+/// the incremental extend). Returns every accepted cross-class pair
+/// whose compact strings match within the fractional threshold, as
+/// `(min id, max id, distance)`:
+///
+/// * **Pass 1** — equal-compact groups: distance-0 matches across
+///   classes (whitespace-only differences survive normalization as
+///   distinct values but compare equal after compaction), found by one
+///   hash pass.
+/// * **Pass 2** — values sorted by (compact `char` length, id); each
+///   value owns the window of partners that follow it in that order
+///   within its fractional length window (`la ≤ lb`, so the pair
+///   threshold equals the owner's own-length threshold), parallel per
+///   value and deterministic for any worker count. A window pair runs
+///   the filter chain — charset-mask bound, histogram-L1 bound (both
+///   exact: they never exceed the true distance), equal-compact skip —
+///   and only survivors reach the edit-distance kernel.
+fn enumerate_matches<F>(
+    space: &ValueSpace,
+    mut ids: Vec<u32>,
+    params: MatchParams,
+    mr: &MapReduce,
+    accept: F,
+) -> (Vec<(u32, u32, u32)>, PassTallies)
+where
+    F: Fn(u32, u32) -> bool + Sync,
+{
+    // Values sorted by (compact char length, id): the window index.
+    ids.sort_unstable_by_key(|&i| (space.compact_chars(NormId(i)), i));
+    let by_len = ids;
+    let lens: Vec<u32> = by_len
+        .iter()
+        .map(|&i| space.compact_chars(NormId(i)))
+        .collect();
+
+    let mut tallies = PassTallies::default();
+
+    // Pass 1 — equal-compact groups.
+    let mut pairs: Vec<(u32, u32, u32)> = Vec::new();
+    let mut by_compact: HashMap<&str, Vec<u32>> = HashMap::new();
+    for &i in &by_len {
+        by_compact
+            .entry(space.compact(NormId(i)))
+            .or_default()
+            .push(i);
+    }
+    for group in by_compact.values() {
+        for (gi, &x) in group.iter().enumerate() {
+            for &y in &group[gi + 1..] {
+                if accept(x, y) && space.class(NormId(x)) != space.class(NormId(y)) {
+                    pairs.push((x.min(y), x.max(y), 0));
+                }
+            }
+        }
+    }
+    tallies.zero_pairs = pairs.len();
+
+    // Pass 2 — filtered length windows, parallel per owner.
+    type OwnerResult = (Vec<(u32, u32, u32)>, PassTallies);
+    let positions: Vec<u32> = (0..by_len.len() as u32).collect();
+    let by_len_ref = &by_len;
+    let lens_ref = &lens;
+    let accept_ref = &accept;
+    let found: Vec<OwnerResult> = mr.par_map(&positions, |&p| {
+        let p = p as usize;
+        let x = by_len_ref[p];
+        let la = lens_ref[p];
+        let bound = fractional_threshold_for_lens(la as usize, la as usize, params);
+        let mut out = Vec::new();
+        let mut t = PassTallies::default();
+        if bound == 0 {
+            // Only exact compact equality can match — covered by the
+            // equal-compact pass.
+            return (out, t);
+        }
+        let max_len = la + bound;
+        let x_str = space.compact(NormId(x));
+        let x_class = space.class(NormId(x));
+        let x_sig = space.signature(NormId(x));
+        for q in p + 1..by_len_ref.len() {
+            let lb = lens_ref[q];
+            if lb > max_len {
+                break;
+            }
+            let y = by_len_ref[q];
+            if !accept_ref(x, y) || space.class(NormId(y)) == x_class {
+                continue;
+            }
+            t.window_pairs += 1;
+            // Signature prefilters: exact lower bounds, cheapest first.
+            let y_sig = space.signature(NormId(y));
+            if x_sig.mask_bound(y_sig) > bound {
+                t.mask_rejects += 1;
+                continue;
+            }
+            if x_sig.hist_bound(y_sig) > bound {
+                t.hist_rejects += 1;
+                continue;
+            }
+            let y_str = space.compact(NormId(y));
+            if x_str == y_str {
+                t.equal_skips += 1;
+                continue; // cached at distance 0 by pass 1
+            }
+            t.dp_calls += 1;
+            // la ≤ lb here, so the pair threshold equals `bound`.
+            if let Some(d) = edit_distance_within(x_str, y_str, bound) {
+                out.push((x.min(y), x.max(y), d));
+            }
+        }
+        (out, t)
+    });
+    for (found_pairs, t) in found {
+        tallies.window_pairs += t.window_pairs;
+        tallies.equal_skips += t.equal_skips;
+        tallies.mask_rejects += t.mask_rejects;
+        tallies.hist_rejects += t.hist_rejects;
+        tallies.dp_calls += t.dp_calls;
+        pairs.extend(found_pairs);
+    }
+    (pairs, tallies)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,6 +604,128 @@ mod tests {
             &MapReduce::new(1),
         );
         assert_eq!(both.distance(NormId(0), NormId(1)), Some(1));
+    }
+
+    #[test]
+    fn extend_equals_fresh_build_through_shared_path() {
+        // Roles granted in two steps must produce the same memo as one
+        // fresh build with the final roles — the shared enumeration
+        // path restricted by freshness must cover exactly the new
+        // pairs.
+        let strings = [
+            "american samoa",
+            "american samoa us",
+            "american samao", // typo
+            "cote divoire",
+            "cote d ivoire",
+            "usa",
+            "uza",
+        ];
+        let space = space_of(&strings);
+        let params = MatchParams::default();
+        let mr = MapReduce::new(2);
+        let none = vec![0u8; space.len()];
+        let mut half = vec![ROLE_LEFT; space.len()];
+        half[2] = 0;
+        half[4] = 0;
+        let full = vec![ROLE_LEFT | ROLE_RIGHT; space.len()];
+
+        let fresh = ApproxMemo::build(&space, &full, params, &mr);
+        let grown = ApproxMemo::build(&space, &half, params, &mr)
+            .extend(&space, &half, &full, &mr)
+            .extend(&space, &full, &full, &mr); // no-op delta
+        assert_eq!(fresh.offsets, grown.offsets);
+        assert_eq!(fresh.entries, grown.entries);
+        assert_eq!(fresh.component, grown.component);
+
+        // From nothing: extend must equal a fresh build outright.
+        let from_none =
+            ApproxMemo::build(&space, &none, params, &mr).extend(&space, &none, &full, &mr);
+        assert_eq!(fresh.entries, from_none.entries);
+    }
+
+    #[test]
+    fn signature_filters_only_skip_kernel_work() {
+        // On a window-dense set the filters must reject candidates
+        // (dp_calls < candidate_pairs) without changing the cached
+        // pair set — checked against direct evaluation of every pair.
+        let strings: Vec<String> = ["alpha", "alhpa", "bravo", "brava", "delta", "gamma"]
+            .iter()
+            .flat_map(|b| (0..4).map(move |i| format!("{b} station {i}")))
+            .collect();
+        let space = ValueSpace::from_strings(strings);
+        let params = MatchParams::default();
+        let roles = vec![ROLE_LEFT | ROLE_RIGHT; space.len()];
+        let memo = ApproxMemo::build(&space, &roles, params, &MapReduce::new(2));
+        assert!(
+            memo.stats.sig_mask_rejects + memo.stats.sig_hist_rejects > 0,
+            "expected some prefilter rejections on near-match data"
+        );
+        // candidate = distance-0 pairs + mask rejects + hist rejects
+        // + kernel calls (every window candidate lands in exactly one
+        // bucket).
+        assert!(
+            memo.stats.candidate_pairs
+                >= memo.stats.dp_calls + memo.stats.sig_mask_rejects + memo.stats.sig_hist_rejects
+        );
+        assert!(memo.stats.dp_calls < memo.stats.candidate_pairs);
+        for i in 0..space.len() as u32 {
+            for j in 0..space.len() as u32 {
+                let (x, y) = (NormId(i), NormId(j));
+                if i == j || space.class(x) == space.class(y) {
+                    continue;
+                }
+                let direct =
+                    mapsynth_text::approx_match(space.compact(x), space.compact(y), params);
+                assert_eq!(memo.matches(&space, x, y, params), direct);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Memo ≡ direct predicate on generated near-match corpora:
+        /// the signature filters and the Myers kernel must be
+        /// invisible in the cached result.
+        #[test]
+        fn prop_filtered_memo_matches_direct(
+            bases in proptest::collection::vec("[a-c]{3,12}", 2..8),
+            suffix in 0u32..3,
+        ) {
+            let strings: Vec<String> = bases
+                .iter()
+                .flat_map(|b| {
+                    [
+                        format!("{b} number {suffix}"),
+                        format!("{b}x number {suffix}"),
+                        b.clone(),
+                    ]
+                })
+                .collect();
+            let space = ValueSpace::from_strings(strings);
+            let params = MatchParams::default();
+            let roles = vec![ROLE_LEFT | ROLE_RIGHT; space.len()];
+            let memo = ApproxMemo::build(&space, &roles, params, &MapReduce::new(2));
+            for i in 0..space.len() as u32 {
+                for j in 0..space.len() as u32 {
+                    let (x, y) = (NormId(i), NormId(j));
+                    if i == j || space.class(x) == space.class(y) {
+                        continue;
+                    }
+                    let direct = mapsynth_text::approx_match(
+                        space.compact(x),
+                        space.compact(y),
+                        params,
+                    );
+                    proptest::prop_assert_eq!(
+                        memo.matches(&space, x, y, params),
+                        direct,
+                        "{:?} vs {:?}",
+                        space.compact(x),
+                        space.compact(y)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

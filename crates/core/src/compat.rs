@@ -9,8 +9,8 @@
 //!   the FD-conflict set.
 //!
 //! Value matching layers (fast → slow): class equality (normalized
-//! string equality ∪ synonym feed), then banded edit-distance matching
-//! (paper Algorithm 2) for residual values.
+//! string equality ∪ synonym feed), then bounded edit-distance
+//! matching (paper Algorithm 2) for residual values.
 //!
 //! # The scoring hot path
 //!
@@ -23,9 +23,11 @@
 //!   [`ScoringContext::counts`] is a merge-join over two sorted slices
 //!   (class-equality matches resolve by binary search inside a run);
 //! * a global [`ApproxMemo`]: every cross-class approximate value match
-//!   is resolved once per *value pair* (length-bucketed, one banded DP
-//!   each) instead of once per *table pair*, and queried as an `O(log)`
-//!   adjacency lookup behind an `O(1)` union-find component filter;
+//!   is resolved once per *value pair* instead of once per *table
+//!   pair* — via a similarity-join pass (length window → signature
+//!   prefilters → bit-parallel Myers kernel, see [`crate::approx`]) —
+//!   and queried as an `O(log)` adjacency lookup behind an `O(1)`
+//!   union-find component filter;
 //! * [`MatchCounts`] carries both exact and approximate-inclusive
 //!   counts, so weights for matching-parameter variants derive
 //!   arithmetically — no re-scoring.
@@ -280,7 +282,8 @@ impl ScoringContext {
     /// append-only stable across deltas even when candidate tables are
     /// renumbered, so the memoized distances — the expensive part —
     /// survive; only value pairs that became queryable (one side new
-    /// or newly role-carrying) run banded DP. Views are rebuilt (they
+    /// or newly role-carrying) run the edit-distance kernel. Views are
+    /// rebuilt (they
     /// are position-indexed and cheap).
     ///
     /// `space` must be append-only over the space `prev` was built

@@ -14,7 +14,7 @@
 //! | 1. Extraction | old columns re-scored *arithmetically* from cached co-occurrence counts ([`mapsynth_extract::ExtractionCache`]); FD/structural filters never re-run for unchanged tables |
 //! | 2. Value space | interning extended **append-only** ([`crate::values::extend_value_space`]); removed tables tombstoned, never renumbered |
 //! | 3a. Blocking | posting lists + pair counts patched for touched keys only ([`crate::blocking::BlockingIndex`]) |
-//! | 3b. Approx memo | banded DP only for new-value × (new ∪ old) length-window pairs ([`crate::approx::ApproxMemo::extend`]) |
+//! | 3b. Approx memo | the fresh build's filtered enumeration (length window → signature prefilters → edit-distance kernel), restricted to newly queryable pairs ([`crate::approx::ApproxMemo::extend`]); `ValueSpace` signatures extend append-only with the interning |
 //! | 3c. Match counts | merge-join recomputed only for pairs whose support changed; surviving pairs keep their cached [`MatchCounts`] verbatim |
 //! | 4. Variant tail | unchanged — runs over the patched artifacts |
 //!
@@ -154,7 +154,8 @@ pub struct DeltaReport {
     pub pairs_added: usize,
     /// Blocked pairs dropped.
     pub pairs_removed: usize,
-    /// Banded-DP calls spent growing the approximate-match memo.
+    /// Edit-distance kernel calls spent growing the approximate-match
+    /// memo (candidates the signature prefilters could not reject).
     pub memo_dp_calls: usize,
     /// Cost breakdown.
     pub timings: DeltaTimings,

@@ -13,7 +13,7 @@
 
 use mapsynth_corpus::{BinaryTable, Corpus, Sym};
 use mapsynth_mapreduce::MapReduce;
-use mapsynth_text::{normalize, SynonymDict};
+use mapsynth_text::{normalize, CharSignature, SynonymDict};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -38,6 +38,13 @@ pub struct ValueSpace {
     /// confuses byte lengths with character lengths — edit-distance
     /// thresholds are measured in characters).
     char_len: Vec<u32>,
+    /// NormId → character-occurrence signature of the compact string
+    /// (the form the edit-distance kernels compare), computed once at
+    /// intern time. The similarity-join prefilters of
+    /// [`crate::approx::ApproxMemo`] reject candidate pairs from these
+    /// exact lower bounds before any DP runs; deltas extend the vector
+    /// append-only alongside the strings.
+    sigs: Vec<CharSignature>,
 }
 
 impl ValueSpace {
@@ -65,6 +72,13 @@ impl ValueSpace {
         self.char_len[id.0 as usize]
     }
 
+    /// Cached character-occurrence signature of the compact string
+    /// (the approximate-matching prefilter input).
+    #[inline]
+    pub fn signature(&self, id: NormId) -> &CharSignature {
+        &self.sigs[id.0 as usize]
+    }
+
     /// Number of distinct normalized values.
     pub fn len(&self) -> usize {
         self.strings.len()
@@ -87,11 +101,13 @@ impl ValueSpace {
             .collect();
         let class = (0..strings.len() as u32).collect();
         let char_len = compact.iter().map(|s| s.chars().count() as u32).collect();
+        let sigs = compact.iter().map(|s| CharSignature::of(s)).collect();
         Arc::new(Self {
             strings,
             compact,
             class,
             char_len,
+            sigs,
         })
     }
 }
@@ -192,11 +208,13 @@ pub fn build_value_space_stateful(
         s.chars().filter(|c| !c.is_whitespace()).collect()
     });
     let char_len = compact.iter().map(|s| s.chars().count() as u32).collect();
+    let sigs: Vec<CharSignature> = mr.par_map(&compact, |s| CharSignature::of(s));
     let space = Arc::new(ValueSpace {
         strings,
         compact,
         class,
         char_len,
+        sigs,
     });
 
     let tables = project_candidates(&space, &interning, candidates, 0, mr);
@@ -239,6 +257,8 @@ pub fn extend_value_space(
     let mut compact = space.compact.clone();
     let mut char_len = space.char_len.clone();
     char_len.extend(new_compact.iter().map(|s| s.chars().count() as u32));
+    let mut sigs = space.sigs.clone();
+    sigs.extend(new_compact.iter().map(|s| CharSignature::of(s)));
     compact.extend(new_compact);
 
     let grown = Arc::new(ValueSpace {
@@ -246,6 +266,7 @@ pub fn extend_value_space(
         compact,
         class,
         char_len,
+        sigs,
     });
     let tables = project_candidates(&grown, interning, new_candidates, idx_base, mr);
     (grown, tables)
@@ -436,6 +457,47 @@ mod tests {
             .unwrap()
             .0;
         assert!(space.compact(cote).len() > space.compact_chars(cote) as usize);
+    }
+
+    #[test]
+    fn signatures_cached_at_intern_time_and_extended_on_delta() {
+        let (corpus, cands) = mk_candidates(vec![
+            vec![("United States", "USA"), ("Côte d'Ivoire", "CIV")],
+            vec![("Canada", "CAN"), ("Peru", "PER")],
+        ]);
+        let mr = MapReduce::new(2);
+        let (space, _, mut interning) =
+            build_value_space_stateful(&corpus, &cands[..1], &SynonymDict::new(), &mr);
+        for i in 0..space.len() as u32 {
+            assert_eq!(
+                space.signature(NormId(i)),
+                &CharSignature::of(space.compact(NormId(i))),
+                "cached signature must match the compact string {:?}",
+                space.compact(NormId(i))
+            );
+        }
+
+        // Growing the space appends signatures for the new values and
+        // leaves existing ones untouched.
+        let (grown, _) = extend_value_space(
+            &space,
+            &mut interning,
+            &corpus,
+            &cands[1..],
+            &SynonymDict::new(),
+            1,
+            &mr,
+        );
+        assert!(grown.len() > space.len());
+        for i in 0..grown.len() as u32 {
+            assert_eq!(
+                grown.signature(NormId(i)),
+                &CharSignature::of(grown.compact(NormId(i)))
+            );
+        }
+        for i in 0..space.len() as u32 {
+            assert_eq!(grown.signature(NormId(i)), space.signature(NormId(i)));
+        }
     }
 
     #[test]

@@ -1,10 +1,20 @@
-//! Banded edit distance — the paper's Algorithm 2.
+//! Bounded edit distance — the paper's Algorithm 2, hardware-shaped.
 //!
 //! Computing full `O(|v1|·|v2|)` Levenshtein matrices for hundreds of
-//! millions of value comparisons is infeasible; the required threshold
-//! `θ_ed` is small, so (following Ukkonen) only a band of width
-//! `2·θ_ed + 1` around the diagonal is filled:
-//! `O(θ_ed · min{|v1|, |v2|})` per comparison.
+//! millions of value comparisons is infeasible. Two bounded kernels
+//! return **identical distances** and [`edit_distance_within`] picks
+//! between them:
+//!
+//! * **Bit-parallel Myers** (Myers 1999 / Hyyrö 2003): one DP column
+//!   per 64 pattern characters packed into machine words —
+//!   `O(⌈min{|v1|,|v2|}/64⌉ · max{|v1|,|v2|})` word operations, with
+//!   multi-word blocks chained through horizontal-delta carries for
+//!   patterns longer than one word. The default for the value lengths
+//!   approximate matching actually sees.
+//! * **Banded DP** (Ukkonen): only a band of width `2·θ_ed + 1` around
+//!   the diagonal is filled — `O(θ_ed · min{|v1|, |v2|})` per
+//!   comparison. The fallback once values are so long that the band is
+//!   narrower than the Myers block span.
 //!
 //! Thresholds are *fractional* (paper §4.1): an absolute threshold ≥ 1
 //! would incorrectly match short codes like "USA" and "RSA", so the
@@ -47,24 +57,95 @@ pub fn fractional_threshold_for_lens(l1: usize, l2: usize, params: MatchParams) 
     (t as u32).min(params.k_ed)
 }
 
-/// Banded edit distance: returns `Some(d)` with `d ≤ bound` if the
+/// Bounded edit distance: returns `Some(d)` with `d ≤ bound` if the
 /// Levenshtein distance between `v1` and `v2` is at most `bound`,
 /// otherwise `None`.
 ///
 /// Operates on Unicode scalar values (one edit = one `char`).
+/// Dispatches to the bit-parallel Myers kernel, with the banded DP as
+/// the fallback for values so long that the diagonal band is narrower
+/// than the Myers block span; both kernels compute the exact
+/// Levenshtein distance, so the choice is invisible to callers.
 pub fn edit_distance_within(v1: &str, v2: &str, bound: u32) -> Option<u32> {
     let a: Vec<char> = v1.chars().collect();
     let b: Vec<char> = v2.chars().collect();
     // Ensure |a| <= |b| (Algorithm 2 line 1-2).
     let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    match prefilter(&a, &b, bound) {
+        Prefilter::Reject => None,
+        Prefilter::Decided(d) => Some(d),
+        Prefilter::Run => {
+            // Myers pays ⌈|a|/64⌉ word ops per text char; the banded DP
+            // pays 2·bound+1 cells. The single-word case (the value
+            // lengths matching actually sees) always favors Myers; only
+            // a pattern spanning more words than the band is wide goes
+            // to the banded DP.
+            if a.len() <= WORD * (2 * bound as usize + 1) {
+                myers_within(&a, &b, bound)
+            } else {
+                banded_within(&a, &b, bound)
+            }
+        }
+    }
+}
+
+/// The banded (Ukkonen) kernel of [`edit_distance_within`], exposed for
+/// the kernel-equivalence proptests and the `micro_edit_distance`
+/// ablation bench. Identical results, possibly different wall-clock.
+pub fn edit_distance_within_banded(v1: &str, v2: &str, bound: u32) -> Option<u32> {
+    let a: Vec<char> = v1.chars().collect();
+    let b: Vec<char> = v2.chars().collect();
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    match prefilter(&a, &b, bound) {
+        Prefilter::Reject => None,
+        Prefilter::Decided(d) => Some(d),
+        Prefilter::Run => banded_within(&a, &b, bound),
+    }
+}
+
+/// The bit-parallel Myers kernel of [`edit_distance_within`], exposed
+/// for the kernel-equivalence proptests and the `micro_edit_distance`
+/// ablation bench. Identical results, possibly different wall-clock.
+pub fn edit_distance_within_myers(v1: &str, v2: &str, bound: u32) -> Option<u32> {
+    let a: Vec<char> = v1.chars().collect();
+    let b: Vec<char> = v2.chars().collect();
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    match prefilter(&a, &b, bound) {
+        Prefilter::Reject => None,
+        Prefilter::Decided(d) => Some(d),
+        Prefilter::Run => myers_within(&a, &b, bound),
+    }
+}
+
+/// Shared trivial-case handling before either kernel runs. `a` must be
+/// the shorter side.
+enum Prefilter {
+    /// Length difference alone exceeds the bound.
+    Reject,
+    /// Distance known without running a kernel (empty shorter side).
+    Decided(u32),
+    /// Run a kernel.
+    Run,
+}
+
+fn prefilter(a: &[char], b: &[char], bound: u32) -> Prefilter {
+    debug_assert!(a.len() <= b.len());
+    if (b.len() - a.len()) as u32 > bound {
+        Prefilter::Reject
+    } else if a.is_empty() {
+        Prefilter::Decided(b.len() as u32)
+    } else {
+        Prefilter::Run
+    }
+}
+
+/// Machine-word width of the Myers kernel: pattern characters per block.
+const WORD: usize = 64;
+
+/// Ukkonen banded DP over `char` slices; `a` is the shorter,
+/// non-empty side and `b.len() - a.len() ≤ bound`.
+fn banded_within(a: &[char], b: &[char], bound: u32) -> Option<u32> {
     let (n, m) = (a.len(), b.len());
-    // Length difference alone exceeds the bound → early reject.
-    if (m - n) as u32 > bound {
-        return None;
-    }
-    if n == 0 {
-        return Some(m as u32);
-    }
     let band = bound as usize;
     const INF: u32 = u32::MAX / 2;
     // prev[j] = dist[i-1][j], cur[j] = dist[i][j]; band-limited columns
@@ -96,6 +177,168 @@ pub fn edit_distance_within(v1: &str, v2: &str, bound: u32) -> Option<u32> {
     }
     let d = prev[m];
     (d <= bound).then_some(d)
+}
+
+/// One Myers column step for one 64-row block (Myers 1999 Fig. 8 /
+/// the Hyyrö block formulation). `pv`/`mv` are the block's vertical
+/// positive/negative delta words, `eq` its pattern-match word for the
+/// current text character, `hin` the horizontal delta entering from
+/// the block above (+1, 0, or −1), `msb` the bit of the block's last
+/// pattern row. Returns the horizontal delta leaving the block's last
+/// row. Unused high bits of a partial final block are harmless: every
+/// operation (carry, shift, bitwise) only propagates *upward*, so
+/// garbage above `msb` never reaches the rows below it.
+#[inline]
+fn myers_advance_block(pv: &mut u64, mv: &mut u64, mut eq: u64, hin: i32, msb: u64) -> i32 {
+    let hin_neg = u64::from(hin < 0);
+    let xv = eq | *mv;
+    eq |= hin_neg;
+    let xh = (((eq & *pv).wrapping_add(*pv)) ^ *pv) | eq;
+    let mut ph = *mv | !(xh | *pv);
+    let mut mh = *pv & xh;
+    let mut hout = 0i32;
+    if ph & msb != 0 {
+        hout += 1;
+    }
+    if mh & msb != 0 {
+        hout -= 1;
+    }
+    ph <<= 1;
+    mh <<= 1;
+    mh |= hin_neg;
+    if hin > 0 {
+        ph |= 1;
+    }
+    *pv = mh | !(xv | ph);
+    *mv = ph & xv;
+    hout
+}
+
+/// Pattern-match words (`Peq`) for the single-word kernel: a direct
+/// ASCII table plus a spill list for the (rare, post-normalization)
+/// non-ASCII pattern characters.
+struct Peq64 {
+    ascii: [u64; 128],
+    spill: Vec<(char, u64)>,
+}
+
+impl Peq64 {
+    fn build(a: &[char]) -> Self {
+        let mut p = Self {
+            ascii: [0u64; 128],
+            spill: Vec::new(),
+        };
+        for (i, &c) in a.iter().enumerate() {
+            let bit = 1u64 << (i % WORD);
+            if (c as u32) < 128 {
+                p.ascii[c as usize] |= bit;
+            } else if let Some(e) = p.spill.iter_mut().find(|e| e.0 == c) {
+                e.1 |= bit;
+            } else {
+                p.spill.push((c, bit));
+            }
+        }
+        p
+    }
+
+    #[inline]
+    fn get(&self, c: char) -> u64 {
+        if (c as u32) < 128 {
+            self.ascii[c as usize]
+        } else {
+            self.spill.iter().find(|e| e.0 == c).map_or(0, |e| e.1)
+        }
+    }
+}
+
+/// Bit-parallel Myers over `char` slices; `a` is the shorter,
+/// non-empty side and `b.len() - a.len() ≤ bound`. Single-word fast
+/// path for patterns up to 64 chars, block-chained multi-word beyond.
+fn myers_within(a: &[char], b: &[char], bound: u32) -> Option<u32> {
+    if a.len() <= WORD {
+        myers_one_word(a, b, bound)
+    } else {
+        myers_blocked(a, b, bound)
+    }
+}
+
+/// Single-word Myers: the whole pattern lives in one machine word, one
+/// block step per text character.
+fn myers_one_word(a: &[char], b: &[char], bound: u32) -> Option<u32> {
+    let m = a.len();
+    debug_assert!(0 < m && m <= WORD);
+    let peq = Peq64::build(a);
+    let msb = 1u64 << (m - 1);
+    let (mut pv, mut mv) = (!0u64, 0u64);
+    let mut score = m as u32;
+    let n = b.len();
+    for (j, &c) in b.iter().enumerate() {
+        let hout = myers_advance_block(&mut pv, &mut mv, peq.get(c), 1, msb);
+        score = score.wrapping_add_signed(hout);
+        // The last-row score changes by at most one per remaining text
+        // character: once it cannot come back under the bound, stop.
+        if score > bound + (n - j - 1) as u32 {
+            return None;
+        }
+    }
+    (score <= bound).then_some(score)
+}
+
+/// Multi-word Myers: ⌈m/64⌉ blocks per text character, horizontal
+/// deltas carried block to block; the distance is tracked at the last
+/// pattern row of the final (possibly partial) block.
+fn myers_blocked(a: &[char], b: &[char], bound: u32) -> Option<u32> {
+    let m = a.len();
+    let blocks = m.div_ceil(WORD);
+    // Peq laid out per character: ascii[c * blocks + k] is character
+    // `c`'s match word for block `k` (contiguous per inner loop).
+    let mut ascii = vec![0u64; 128 * blocks];
+    let mut spill: Vec<(char, Vec<u64>)> = Vec::new();
+    for (i, &c) in a.iter().enumerate() {
+        let (blk, bit) = (i / WORD, 1u64 << (i % WORD));
+        if (c as u32) < 128 {
+            ascii[c as usize * blocks + blk] |= bit;
+        } else if let Some(e) = spill.iter_mut().find(|e| e.0 == c) {
+            e.1[blk] |= bit;
+        } else {
+            let mut words = vec![0u64; blocks];
+            words[blk] |= bit;
+            spill.push((c, words));
+        }
+    }
+    let zeros = vec![0u64; blocks];
+    let eq_words = |c: char| -> &[u64] {
+        if (c as u32) < 128 {
+            &ascii[c as usize * blocks..(c as usize + 1) * blocks]
+        } else {
+            spill
+                .iter()
+                .find(|e| e.0 == c)
+                .map_or(&zeros[..], |e| &e.1[..])
+        }
+    };
+
+    let mut pv = vec![!0u64; blocks];
+    let mut mv = vec![0u64; blocks];
+    let last = blocks - 1;
+    let last_msb = 1u64 << ((m - 1) % WORD);
+    let mut score = m as u32;
+    let n = b.len();
+    for (j, &c) in b.iter().enumerate() {
+        let eqs = eq_words(c);
+        // The top boundary row is D(0, j) = j: a permanent +1 entering
+        // block 0 (the single-word kernel's `ph |= 1` each column).
+        let mut hin = 1i32;
+        for k in 0..blocks {
+            let msb = if k == last { last_msb } else { 1u64 << 63 };
+            hin = myers_advance_block(&mut pv[k], &mut mv[k], eqs[k], hin, msb);
+        }
+        score = score.wrapping_add_signed(hin);
+        if score > bound + (n - j - 1) as u32 {
+            return None;
+        }
+    }
+    (score <= bound).then_some(score)
 }
 
 /// Full-matrix Levenshtein distance. Reference implementation used for
@@ -212,6 +455,70 @@ mod tests {
     fn unicode_chars_count_as_single_edits() {
         assert_eq!(edit_distance_full("café", "cafe"), 1);
         assert_eq!(edit_distance_within("café", "cafe", 1), Some(1));
+        assert_eq!(edit_distance_within_myers("café", "cafe", 1), Some(1));
+        assert_eq!(edit_distance_within_banded("café", "cafe", 1), Some(1));
+    }
+
+    /// All three implementations on one input/bound: full-matrix DP as
+    /// the ground truth, banded and Myers must agree with it exactly.
+    fn assert_kernels_agree(a: &str, b: &str, bound: u32) {
+        let full = edit_distance_full(a, b);
+        let want = (full <= bound).then_some(full);
+        assert_eq!(
+            edit_distance_within_banded(a, b, bound),
+            want,
+            "banded: {a:?} vs {b:?} bound {bound}"
+        );
+        assert_eq!(
+            edit_distance_within_myers(a, b, bound),
+            want,
+            "myers: {a:?} vs {b:?} bound {bound}"
+        );
+        assert_eq!(
+            edit_distance_within(a, b, bound),
+            want,
+            "dispatch: {a:?} vs {b:?} bound {bound}"
+        );
+    }
+
+    #[test]
+    fn myers_agrees_at_word_boundaries() {
+        // Pattern lengths straddling the 64-char block boundary, with
+        // edits placed at the start, the boundary itself, and the end.
+        for len in [63usize, 64, 65, 127, 128, 129, 200] {
+            let a: String = (0..len).map(|i| char::from(b'a' + (i % 7) as u8)).collect();
+            for pos in [0usize, 62, 63, 64, 65, len - 1] {
+                let pos = pos.min(len - 1);
+                // Substitution at `pos`.
+                let mut chars: Vec<char> = a.chars().collect();
+                chars[pos] = 'z';
+                let sub: String = chars.iter().collect();
+                // Deletion at `pos` (shifts everything across blocks).
+                let del: String = a
+                    .chars()
+                    .enumerate()
+                    .filter(|&(i, _)| i != pos)
+                    .map(|(_, c)| c)
+                    .collect();
+                for bound in [0u32, 1, 2, 5, 10] {
+                    assert_kernels_agree(&a, &sub, bound);
+                    assert_kernels_agree(&a, &del, bound);
+                }
+            }
+            assert_kernels_agree(&a, &a, 0);
+        }
+    }
+
+    #[test]
+    fn myers_handles_non_ascii_spill() {
+        // > 64 chars with multi-byte chars on both sides of the block
+        // boundary exercises the spill path of the blocked Peq.
+        let a: String = "αβγδ".repeat(20); // 80 chars
+        let mut b = a.clone();
+        b.push('ω');
+        assert_kernels_agree(&a, &b, 3);
+        let c: String = a.chars().rev().collect();
+        assert_kernels_agree(&a, &c, 10);
     }
 
     #[test]
@@ -244,6 +551,36 @@ mod tests {
             } else {
                 prop_assert_eq!(banded, None);
             }
+        }
+
+        /// Myers ≡ banded ≡ full on arbitrary unicode — small alphabet
+        /// with multi-byte chars for collision-rich short strings.
+        #[test]
+        fn prop_kernels_agree_unicode(
+            a in "[a-cé-ía-c ]{0,20}",
+            b in "[a-cé-ía-c ]{0,20}",
+            bound in 0u32..12,
+        ) {
+            let full = edit_distance_full(&a, &b);
+            let want = (full <= bound).then_some(full);
+            prop_assert_eq!(edit_distance_within_banded(&a, &b, bound), want);
+            prop_assert_eq!(edit_distance_within_myers(&a, &b, bound), want);
+            prop_assert_eq!(edit_distance_within(&a, &b, bound), want);
+        }
+
+        /// Same equivalence on long values spanning Myers block
+        /// boundaries (patterns up to two-plus words).
+        #[test]
+        fn prop_kernels_agree_across_blocks(
+            a in "[ab]{40,150}",
+            b in "[ab]{40,150}",
+            bound in 0u32..16,
+        ) {
+            let full = edit_distance_full(&a, &b);
+            let want = (full <= bound).then_some(full);
+            prop_assert_eq!(edit_distance_within_banded(&a, &b, bound), want);
+            prop_assert_eq!(edit_distance_within_myers(&a, &b, bound), want);
+            prop_assert_eq!(edit_distance_within(&a, &b, bound), want);
         }
 
         #[test]

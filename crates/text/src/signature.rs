@@ -1,0 +1,170 @@
+//! Character-occurrence signatures: `O(1)` lower bounds on edit
+//! distance, the prefilter tier of similarity-join-style approximate
+//! matching.
+//!
+//! A [`CharSignature`] summarizes one string as a 64-bit
+//! bucket-occurrence mask plus a 64-bucket character-frequency
+//! histogram (saturating `u8` counts). Two signatures yield cheap
+//! **exact** lower bounds on the Levenshtein distance of the
+//! underlying strings, so a candidate pair whose bound already exceeds
+//! the fractional threshold is rejected without running any
+//! edit-distance kernel — and a pair whose true distance is within
+//! the threshold is *never* rejected.
+//!
+//! Soundness (why these are lower bounds): one edit changes at most
+//! one character occurrence on each side —
+//!
+//! * an insert or delete changes one bucket count by one (histogram
+//!   L1 distance moves by ≤ 1, the mask flips ≤ 1 bit);
+//! * a substitution changes two bucket counts by one each (L1 moves by
+//!   ≤ 2, the mask flips ≤ 2 bits).
+//!
+//! Hence `L1(h_a, h_b) ≤ 2·d` and `popcount(mask_a ⊕ mask_b) ≤ 2·d`,
+//! i.e. `d ≥ ⌈L1/2⌉` and `d ≥ ⌈popcount/2⌉`. Bucketing only merges
+//! characters (can only *shrink* the measured L1/popcount), and the
+//! saturating `u8` counts only shrink per-bucket differences — both
+//! keep the bounds conservative, never inflated.
+
+/// Histogram buckets (and mask bits) per signature.
+pub const SIG_BUCKETS: usize = 64;
+
+/// Map a character to its signature bucket. Any function works for
+/// soundness (collisions only loosen the bounds); a multiplicative
+/// hash spreads the dense ASCII range of normalized values across all
+/// 64 buckets so letters and digits rarely collide.
+#[inline]
+fn bucket(c: char) -> usize {
+    ((c as u32).wrapping_mul(0x9E37_79B1) >> 26) as usize
+}
+
+/// Character-occurrence summary of one string: which of the 64 buckets
+/// occur ([`mask`](Self::mask)) and how often (saturating counts in
+/// [`hist`](Self::hist)).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CharSignature {
+    /// Bit `i` set iff some character hashing to bucket `i` occurs.
+    pub mask: u64,
+    /// Saturating per-bucket occurrence counts.
+    pub hist: [u8; SIG_BUCKETS],
+}
+
+impl CharSignature {
+    /// Signature of a string (over its `char`s — compute it over the
+    /// same form the edit-distance kernels will compare).
+    pub fn of(s: &str) -> Self {
+        let mut mask = 0u64;
+        let mut hist = [0u8; SIG_BUCKETS];
+        for c in s.chars() {
+            let b = bucket(c);
+            mask |= 1u64 << b;
+            hist[b] = hist[b].saturating_add(1);
+        }
+        Self { mask, hist }
+    }
+
+    /// Lower bound on the edit distance from the occurrence masks
+    /// alone: `⌈popcount(mask_a ⊕ mask_b) / 2⌉`. One xor + popcount —
+    /// the first, cheapest filter stage.
+    #[inline]
+    pub fn mask_bound(&self, other: &Self) -> u32 {
+        (self.mask ^ other.mask).count_ones().div_ceil(2)
+    }
+
+    /// Lower bound on the edit distance from the histogram L1
+    /// distance: `⌈Σ|h_a[i] − h_b[i]| / 2⌉`. Strictly at least
+    /// [`mask_bound`](Self::mask_bound) (a presence-differing bucket
+    /// contributes ≥ 1 to L1), so run it second.
+    #[inline]
+    pub fn hist_bound(&self, other: &Self) -> u32 {
+        let l1: u32 = self
+            .hist
+            .iter()
+            .zip(&other.hist)
+            .map(|(&x, &y)| u32::from(x.abs_diff(y)))
+            .sum();
+        l1.div_ceil(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::editdist::edit_distance_full;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_strings_have_zero_bounds() {
+        for s in ["", "abc", "american samoa", "ωωω"] {
+            let sig = CharSignature::of(s);
+            assert_eq!(sig.mask_bound(&sig), 0);
+            assert_eq!(sig.hist_bound(&sig), 0);
+        }
+    }
+
+    #[test]
+    fn bounds_are_symmetric_and_ordered() {
+        let a = CharSignature::of("north dakota");
+        let b = CharSignature::of("south carolina");
+        assert_eq!(a.mask_bound(&b), b.mask_bound(&a));
+        assert_eq!(a.hist_bound(&b), b.hist_bound(&a));
+        assert!(a.hist_bound(&b) >= a.mask_bound(&b));
+    }
+
+    #[test]
+    fn disjoint_alphabets_are_rejected_fast() {
+        let a = CharSignature::of("aaaaaaaa");
+        let b = CharSignature::of("bbbbbbbb");
+        // Distinct buckets for 'a' and 'b' → each side's bucket is
+        // missing from the other; distance 8 must be admitted.
+        assert!(a.mask_bound(&b) >= 1);
+        assert!(a.hist_bound(&b) <= 8);
+        assert!(a.hist_bound(&b) >= 1);
+    }
+
+    #[test]
+    fn saturation_stays_sound() {
+        // > 255 occurrences of one char: counts saturate, the bound
+        // must still not exceed the true distance.
+        let long_a = "a".repeat(300);
+        let long_b = format!("{}b", "a".repeat(299));
+        let sa = CharSignature::of(&long_a);
+        let sb = CharSignature::of(&long_b);
+        let d = edit_distance_full(&long_a, &long_b);
+        assert!(sa.hist_bound(&sb) <= d);
+        assert!(sa.mask_bound(&sb) <= d);
+    }
+
+    proptest! {
+        /// Soundness on arbitrary unicode: neither bound ever exceeds
+        /// the true edit distance, so a filter chain using them can
+        /// never drop a pair within threshold.
+        #[test]
+        fn prop_bounds_never_exceed_distance(
+            a in "[a-fé-í0-3 ]{0,24}",
+            b in "[a-fé-í0-3 ]{0,24}",
+        ) {
+            let d = edit_distance_full(&a, &b);
+            let sa = CharSignature::of(&a);
+            let sb = CharSignature::of(&b);
+            prop_assert!(sa.mask_bound(&sb) <= d, "mask bound {} > d {}", sa.mask_bound(&sb), d);
+            prop_assert!(sa.hist_bound(&sb) <= d, "hist bound {} > d {}", sa.hist_bound(&sb), d);
+            prop_assert!(sa.hist_bound(&sb) >= sa.mask_bound(&sb));
+        }
+
+        /// Soundness also on long, saturating, block-spanning strings.
+        #[test]
+        fn prop_bounds_sound_on_long_strings(
+            a in "[ab]{0,90}",
+            b in "[ab]{0,90}",
+            pad in 0usize..300,
+        ) {
+            let a = format!("{}{}", a, "c".repeat(pad));
+            let b = format!("{}{}", b, "c".repeat(pad));
+            let d = edit_distance_full(&a, &b);
+            let sa = CharSignature::of(&a);
+            let sb = CharSignature::of(&b);
+            prop_assert!(sa.mask_bound(&sb) <= d);
+            prop_assert!(sa.hist_bound(&sb) <= d);
+        }
+    }
+}
