@@ -168,7 +168,7 @@ mod tests {
             })
             .collect();
         build_value_space(
-            &corpus,
+            &corpus.interner,
             &cands,
             &SynonymDict::new(),
             &mapsynth_mapreduce::MapReduce::new(2),

@@ -94,7 +94,7 @@ mod tests {
             })
             .collect();
         build_value_space(
-            &corpus,
+            &corpus.interner,
             &cands,
             &SynonymDict::new(),
             &mapsynth_mapreduce::MapReduce::new(2),

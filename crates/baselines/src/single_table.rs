@@ -66,7 +66,7 @@ mod tests {
     fn webtable_offers_everything() {
         let (corpus, cands) = setup();
         let (space, tables) = build_value_space(
-            &corpus,
+            &corpus.interner,
             &cands,
             &SynonymDict::new(),
             &mapsynth_mapreduce::MapReduce::new(2),
@@ -80,7 +80,7 @@ mod tests {
     fn wikitable_filters_by_domain() {
         let (corpus, cands) = setup();
         let (space, tables) = build_value_space(
-            &corpus,
+            &corpus.interner,
             &cands,
             &SynonymDict::new(),
             &mapsynth_mapreduce::MapReduce::new(2),

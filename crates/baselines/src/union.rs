@@ -118,7 +118,7 @@ mod tests {
     fn union_domain_groups_within_domain_only() {
         let (corpus, cands) = setup();
         let (space, tables) = build_value_space(
-            &corpus,
+            &corpus.interner,
             &cands,
             &SynonymDict::new(),
             &mapsynth_mapreduce::MapReduce::new(2),
@@ -134,7 +134,7 @@ mod tests {
     fn union_web_overgroups_generic_names() {
         let (corpus, cands) = setup();
         let (space, tables) = build_value_space(
-            &corpus,
+            &corpus.interner,
             &cands,
             &SynonymDict::new(),
             &mapsynth_mapreduce::MapReduce::new(2),
@@ -156,7 +156,7 @@ mod tests {
         ];
         cands.push(BinaryTable::new(BinaryId(3), TableId(3), d, 0, 1, syms));
         let (space, tables) = build_value_space(
-            &corpus,
+            &corpus.interner,
             &cands,
             &SynonymDict::new(),
             &mapsynth_mapreduce::MapReduce::new(2),

@@ -224,7 +224,7 @@ mod tests {
             ),
         ];
         let (space, tables) = build_value_space(
-            &corpus,
+            &corpus.interner,
             &cands,
             &SynonymDict::new(),
             &mapsynth_mapreduce::MapReduce::new(2),

@@ -16,7 +16,7 @@ fn blocking(c: &mut Criterion) {
     let mr = MapReduce::default();
     let (cands, _) = extract_candidates(&wc.corpus, &ExtractionConfig::default(), &mr);
     let feed = wc.registry.partial_synonym_feed(0.5, 11);
-    let (space, tables) = build_value_space(&wc.corpus, &cands, &feed, &mr);
+    let (space, tables) = build_value_space(&wc.corpus.interner, &cands, &feed, &mr);
     let cfg = SynthesisConfig::default();
 
     let ctx = ScoringContext::build(&space, &tables, &cfg, &mr);

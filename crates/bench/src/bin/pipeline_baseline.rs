@@ -7,7 +7,11 @@
 //! # verify counts against a committed baseline (CI drift gate):
 //! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --check BENCH_pipeline.json
 //! # corpus scale tier: growth-curve points up to N tables
-//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 3000 BENCH_scale.json
+//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 30000 BENCH_scale.json
+//! # explicit point list instead of the default N/4, N/2, N:
+//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 30000 --points 600,7500,15000,30000 BENCH_scale.json
+//! # verify one committed scale point (CI growth-curve gate):
+//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 600 --check BENCH_scale.json
 //! ```
 //!
 //! See `crates/bench/README.md` for the output schema. In `--check`
@@ -17,12 +21,20 @@
 //! filter counters (`memo_candidate_pairs`, `memo_dp_calls`) **exceed**
 //! their committed ceilings (a silent prefilter regression) — timings
 //! are machine-dependent and informational only. In `--tables N` mode
-//! the binary runs the synthesis pipeline at N/4, N/2 and N tables and
-//! writes a `scale_detail` block showing how the candidate-pair and
-//! DP-call curves grow with corpus size.
+//! the binary runs the **streaming** synthesis pipeline (the corpus is
+//! generated table-by-table, never materialized) at each point —
+//! `N/4`, `N/2` and `N` tables unless `--points` lists them — each
+//! point in a child process so its peak-RSS reading is isolated, and
+//! writes a `scale_detail` block with per-stage wall-clock, per-stage
+//! peak RSS, and growth-curve ceilings. `--tables N --check FILE`
+//! re-runs the single committed point with `"tables": N` and fails on
+//! exact-count drift or on any `ceil_*` ceiling being exceeded —
+//! count ceilings are the committed measurements themselves, the
+//! wall-clock ceilings (`ceil_extraction_ms`, `ceil_blocking_ms`)
+//! carry a 4× machine-variance margin.
 
 use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
-use mapsynth_bench::{bench_corpus, bench_delta};
+use mapsynth_bench::{bench_corpus, bench_delta, bench_stream, peak_rss_kb};
 use mapsynth_serve::{DeltaPublishStats, MappingService, SnapshotBuilder};
 use std::time::Instant;
 
@@ -218,6 +230,118 @@ fn json_int(json: &str, key: &str) -> Option<i64> {
     rest[..end].parse().ok()
 }
 
+/// Pull a float field out of a baseline JSON snippet (same text-scan
+/// approach as [`json_int`]).
+fn json_num(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '-' && c != '.')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Slice the committed `scale_detail` point object whose `"tables"`
+/// equals `tables`. Points are flat objects with `"tables"` as their
+/// first key, so the scope runs from that key to the next `}`.
+fn scale_point_block(json: &str, tables: usize) -> Option<&str> {
+    let mut rest = json;
+    loop {
+        let at = rest.find("\"tables\":")?;
+        let block_end = rest[at..].find('}').map(|e| at + e).unwrap_or(rest.len());
+        let block = &rest[at..block_end];
+        if json_int(block, "tables") == Some(tables as i64) {
+            return Some(block);
+        }
+        rest = &rest[block_end..];
+    }
+}
+
+/// `--tables N --check FILE`: re-measure the single committed scale
+/// point at `N` tables and fail on exact-count drift (candidates,
+/// edges, mappings) or on any committed ceiling being exceeded —
+/// growth-curve counts (`ceil_blocking_pairs`,
+/// `ceil_memo_candidate_pairs`, `ceil_memo_dp_calls`) and the
+/// margin-carrying wall-clock ceilings (`ceil_extraction_ms`,
+/// `ceil_blocking_ms`).
+fn check_scale_point(tables: usize, path: &str) -> ! {
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read scale baseline {path}: {e}"));
+    let block = scale_point_block(&committed, tables)
+        .unwrap_or_else(|| panic!("no committed scale point with \"tables\": {tables} in {path}"));
+
+    let p = measure_scale_point(tables);
+    let mut drifted = false;
+    let exact = [
+        ("candidates", p.candidates as i64),
+        ("edges", p.edges as i64),
+        ("mappings", p.mappings as i64),
+    ];
+    for (key, actual) in exact {
+        match json_int(block, key) {
+            Some(expected) if expected == actual => {
+                eprintln!("scale-check {key}: {actual} (ok)");
+            }
+            Some(expected) => {
+                eprintln!("scale-check {key}: expected {expected}, got {actual} (DRIFT)");
+                drifted = true;
+            }
+            None => {
+                eprintln!("scale-check {key}: missing from baseline point (DRIFT)");
+                drifted = true;
+            }
+        }
+    }
+    let count_ceilings = [
+        ("ceil_blocking_pairs", p.blocking_pairs as i64),
+        ("ceil_memo_candidate_pairs", p.memo.candidate_pairs as i64),
+        ("ceil_memo_dp_calls", p.memo.dp_calls as i64),
+    ];
+    for (key, actual) in count_ceilings {
+        match json_int(block, key) {
+            Some(ceiling) if actual <= ceiling => {
+                eprintln!("scale-check {key}: {actual} ≤ {ceiling} (ok)");
+            }
+            Some(ceiling) => {
+                eprintln!("scale-check {key}: {actual} exceeds ceiling {ceiling} (DRIFT)");
+                drifted = true;
+            }
+            None => {
+                eprintln!("scale-check {key}: missing from baseline point (DRIFT)");
+                drifted = true;
+            }
+        }
+    }
+    let ms_ceilings = [
+        ("ceil_extraction_ms", p.extraction_ms),
+        ("ceil_blocking_ms", p.blocking_ms),
+    ];
+    for (key, actual) in ms_ceilings {
+        match json_num(block, key) {
+            Some(ceiling) if actual <= ceiling => {
+                eprintln!("scale-check {key}: {actual:.1}ms ≤ {ceiling:.0}ms (ok)");
+            }
+            Some(ceiling) => {
+                eprintln!(
+                    "scale-check {key}: {actual:.1}ms exceeds ceiling {ceiling:.0}ms (DRIFT)"
+                );
+                drifted = true;
+            }
+            None => {
+                eprintln!("scale-check {key}: missing from baseline point (DRIFT)");
+                drifted = true;
+            }
+        }
+    }
+    if drifted {
+        eprintln!("scale point {tables} drifted from {path}; regenerate the baseline if intended");
+        std::process::exit(1);
+    }
+    eprintln!("scale point {tables} matches {path}");
+    std::process::exit(0);
+}
+
 /// Corpus size of the committed post-delta golden edge dump.
 const GOLDEN_TABLES: usize = 200;
 /// Committed golden dump of the post-delta compatibility-graph edges
@@ -333,70 +457,148 @@ struct ScalePoint {
     candidates: usize,
     edges: usize,
     mappings: usize,
+    blocking_pairs: usize,
     memo: mapsynth::approx::ApproxMemoStats,
+    extraction_ms: f64,
+    value_space_ms: f64,
+    blocking_ms: f64,
+    scoring_ms: f64,
     approx_memo_ms: f64,
     graph_ms: f64,
     total_ms: f64,
+    /// Peak-RSS watermarks (MiB): process start, then after each
+    /// prepare stage, then the run's overall peak. `VmHWM` is
+    /// monotone, so consecutive differences attribute the growth.
+    rss_start_mb: f64,
+    rss_extraction_mb: f64,
+    rss_value_space_mb: f64,
+    rss_scoring_mb: f64,
+    peak_rss_mb: f64,
 }
 
-/// The scale tier: full synthesis runs at `max/4`, `max/2` and `max`
-/// tables (serving/delta stages skipped — this tier is about how the
-/// scoring work *grows*). The interesting columns are
-/// `memo_candidate_pairs` (what the length window alone would hand to
-/// the kernel — grows like a similarity join's candidate set) versus
-/// `memo_dp_calls` (what survives the signature prefilters).
-fn scale_stage(max_tables: usize) -> Vec<ScalePoint> {
-    [max_tables / 4, max_tables / 2, max_tables]
-        .into_iter()
-        .filter(|&t| t > 0)
-        .map(|tables| {
-            let wc = bench_corpus(tables);
-            let mut session = SynthesisSession::new(PipelineConfig::default());
-            let output = session.run(&wc.corpus);
-            let detail = session.scores().expect("prepared").detail;
-            let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
-            let point = ScalePoint {
-                tables,
-                candidates: output.candidates,
-                edges: output.edges,
-                mappings: output.mappings.len(),
-                memo: detail.memo,
-                approx_memo_ms: ms(detail.approx_memo),
-                graph_ms: ms(output.timings.graph),
-                total_ms: ms(output.timings.total),
-            };
-            eprintln!(
-                "scale {} tables: {} candidate pairs, {} dp calls, approx_memo {:.1}ms",
-                tables, point.memo.candidate_pairs, point.memo.dp_calls, point.approx_memo_ms
-            );
-            point
+/// Wall-clock ceiling margin for committed scale points: generous
+/// enough to absorb machine variance in CI, tight enough that a
+/// complexity-class regression (linear → quadratic between committed
+/// points) still trips it.
+const MS_CEILING_MARGIN: f64 = 4.0;
+
+/// Measure one scale point: generate the corpus as a stream (never
+/// materialized — the whole reason peak RSS stays sublinear), run the
+/// streaming prepare with the stage probe sampling `VmHWM`, then the
+/// synthesis tail. Serving/delta stages are skipped: this tier is
+/// about how extraction, blocking, and the match memo *grow*.
+fn measure_scale_point(tables: usize) -> ScalePoint {
+    let mb = |kb: u64| kb as f64 / 1024.0;
+    let rss_start = peak_rss_kb();
+    let mut stream = bench_stream(tables);
+    let mut session = SynthesisSession::new(PipelineConfig::default());
+    let mut stage_rss: Vec<(&'static str, u64)> = Vec::new();
+    session.prepare_streaming_with(&mut stream, |stage| stage_rss.push((stage, peak_rss_kb())));
+    let run = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
+    let peak = peak_rss_kb();
+
+    let rss_of = |stage: &str| {
+        stage_rss
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map_or(0.0, |&(_, kb)| mb(kb))
+    };
+    let extraction = session.extraction().expect("prepared");
+    let values = session.values().expect("prepared");
+    let scores = session.scores().expect("prepared");
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let point = ScalePoint {
+        tables,
+        candidates: session.live_tables(),
+        edges: run.edges,
+        mappings: run.mappings.len(),
+        blocking_pairs: scores.blocking.pairs,
+        memo: scores.detail.memo,
+        extraction_ms: ms(extraction.elapsed),
+        value_space_ms: ms(values.elapsed),
+        blocking_ms: ms(scores.detail.blocking),
+        scoring_ms: ms(scores.elapsed.saturating_sub(scores.detail.blocking)),
+        approx_memo_ms: ms(scores.detail.approx_memo),
+        graph_ms: ms(run.timings.graph),
+        total_ms: ms(run.timings.total),
+        rss_start_mb: mb(rss_start),
+        rss_extraction_mb: rss_of("extraction"),
+        rss_value_space_mb: rss_of("value_space"),
+        rss_scoring_mb: rss_of("scoring"),
+        peak_rss_mb: mb(peak),
+    };
+    eprintln!(
+        "scale {} tables: {} blocked pairs, {} memo candidate pairs, {} dp calls, \
+         extraction {:.1}ms, blocking {:.1}ms, peak rss {:.1}MB",
+        tables,
+        point.blocking_pairs,
+        point.memo.candidate_pairs,
+        point.memo.dp_calls,
+        point.extraction_ms,
+        point.blocking_ms,
+        point.peak_rss_mb
+    );
+    point
+}
+
+/// Render one scale point as its (flat-keyed) JSON object. `"tables"`
+/// is deliberately the first key: the per-point `--check` scanner
+/// scopes its text scan from that key to the object's closing brace.
+fn render_point(p: &ScalePoint) -> String {
+    format!(
+        "      {{\n        \"tables\": {},\n        \"candidates\": {},\n        \"edges\": {},\n        \"mappings\": {},\n        \"blocking_pairs\": {},\n        \"memo_values\": {},\n        \"memo_candidate_pairs\": {},\n        \"memo_sig_mask_rejects\": {},\n        \"memo_sig_hist_rejects\": {},\n        \"memo_dp_calls\": {},\n        \"memo_matched_pairs\": {},\n        \"extraction_ms\": {:.3},\n        \"value_space_ms\": {:.3},\n        \"blocking_ms\": {:.3},\n        \"scoring_ms\": {:.3},\n        \"approx_memo_ms\": {:.3},\n        \"graph_ms\": {:.3},\n        \"total_ms\": {:.3},\n        \"rss_start_mb\": {:.1},\n        \"rss_extraction_mb\": {:.1},\n        \"rss_value_space_mb\": {:.1},\n        \"rss_scoring_mb\": {:.1},\n        \"peak_rss_mb\": {:.1},\n        \"ceil_extraction_ms\": {:.0},\n        \"ceil_blocking_ms\": {:.0},\n        \"ceil_blocking_pairs\": {},\n        \"ceil_memo_candidate_pairs\": {},\n        \"ceil_memo_dp_calls\": {}\n      }}",
+        p.tables,
+        p.candidates,
+        p.edges,
+        p.mappings,
+        p.blocking_pairs,
+        p.memo.values,
+        p.memo.candidate_pairs,
+        p.memo.sig_mask_rejects,
+        p.memo.sig_hist_rejects,
+        p.memo.dp_calls,
+        p.memo.matched_pairs,
+        p.extraction_ms,
+        p.value_space_ms,
+        p.blocking_ms,
+        p.scoring_ms,
+        p.approx_memo_ms,
+        p.graph_ms,
+        p.total_ms,
+        p.rss_start_mb,
+        p.rss_extraction_mb,
+        p.rss_value_space_mb,
+        p.rss_scoring_mb,
+        p.peak_rss_mb,
+        (p.extraction_ms * MS_CEILING_MARGIN).ceil().max(1.0),
+        (p.blocking_ms * MS_CEILING_MARGIN).ceil().max(1.0),
+        p.blocking_pairs,
+        p.memo.candidate_pairs,
+        p.memo.dp_calls,
+    )
+}
+
+/// The scale tier driver: one child process per point (so each point's
+/// `VmHWM` watermark is its own, not inherited from a bigger earlier
+/// point), assembling the children's stdout blocks into `scale_detail`.
+fn scale_stage(points: &[usize]) -> Vec<String> {
+    let exe = std::env::current_exe().expect("current_exe");
+    points
+        .iter()
+        .map(|&tables| {
+            let out = std::process::Command::new(&exe)
+                .args(["--scale-point", &tables.to_string()])
+                .output()
+                .expect("spawn scale-point child");
+            std::io::Write::write_all(&mut std::io::stderr(), &out.stderr).ok();
+            assert!(out.status.success(), "scale point {tables} failed");
+            String::from_utf8(out.stdout).expect("scale point JSON is UTF-8")
         })
         .collect()
 }
 
 /// Render the scale points as the `scale_detail` JSON block.
-fn scale_json(max_tables: usize, points: &[ScalePoint]) -> String {
-    let rows: Vec<String> = points
-        .iter()
-        .map(|p| {
-            format!(
-                "      {{\n        \"tables\": {},\n        \"candidates\": {},\n        \"edges\": {},\n        \"mappings\": {},\n        \"memo_values\": {},\n        \"memo_candidate_pairs\": {},\n        \"memo_sig_mask_rejects\": {},\n        \"memo_sig_hist_rejects\": {},\n        \"memo_dp_calls\": {},\n        \"memo_matched_pairs\": {},\n        \"approx_memo_ms\": {:.3},\n        \"graph_ms\": {:.3},\n        \"total_ms\": {:.3}\n      }}",
-                p.tables,
-                p.candidates,
-                p.edges,
-                p.mappings,
-                p.memo.values,
-                p.memo.candidate_pairs,
-                p.memo.sig_mask_rejects,
-                p.memo.sig_hist_rejects,
-                p.memo.dp_calls,
-                p.memo.matched_pairs,
-                p.approx_memo_ms,
-                p.graph_ms,
-                p.total_ms,
-            )
-        })
-        .collect();
+fn scale_json(max_tables: usize, rows: &[String]) -> String {
     format!(
         "{{\n  \"scale_detail\": {{\n    \"max_tables\": {},\n    \"points\": [\n{}\n    ]\n  }}\n}}\n",
         max_tables,
@@ -406,6 +608,15 @@ fn scale_json(max_tables: usize, points: &[ScalePoint]) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--scale-point") {
+        let tables: usize = args
+            .get(1)
+            .and_then(|v| v.parse().ok())
+            .expect("--scale-point needs a corpus size");
+        let p = measure_scale_point(tables);
+        print!("{}", render_point(&p));
+        return;
+    }
     if args.first().map(String::as_str) == Some("--check") {
         let path = args
             .get(1)
@@ -418,11 +629,50 @@ fn main() {
             .get(1)
             .and_then(|v| v.parse().ok())
             .expect("--tables needs a corpus size");
-        let points = scale_stage(max_tables);
-        let json = scale_json(max_tables, &points);
-        match args.get(2) {
+        let mut points: Option<Vec<usize>> = None;
+        let mut check: Option<String> = None;
+        let mut out: Option<String> = None;
+        let mut i = 2;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--points" => {
+                    points = Some(
+                        args.get(i + 1)
+                            .expect("--points needs a comma-separated list")
+                            .split(',')
+                            .map(|s| s.trim().parse().expect("bad --points entry"))
+                            .collect(),
+                    );
+                    i += 2;
+                }
+                "--check" => {
+                    check = Some(
+                        args.get(i + 1)
+                            .cloned()
+                            .unwrap_or_else(|| "BENCH_scale.json".to_string()),
+                    );
+                    i += 2;
+                }
+                other => {
+                    out = Some(other.to_string());
+                    i += 1;
+                }
+            }
+        }
+        if let Some(path) = check {
+            check_scale_point(max_tables, &path);
+        }
+        let points = points.unwrap_or_else(|| {
+            [max_tables / 4, max_tables / 2, max_tables]
+                .into_iter()
+                .filter(|&t| t > 0)
+                .collect()
+        });
+        let rows = scale_stage(&points);
+        let json = scale_json(max_tables, &rows);
+        match out {
             Some(path) => {
-                std::fs::write(path, &json).expect("write scale file");
+                std::fs::write(&path, &json).expect("write scale file");
                 eprintln!("wrote {path}");
                 print!("{json}");
             }
@@ -435,7 +685,11 @@ fn main() {
 
     let mut wc = bench_corpus(tables);
     let cfg = PipelineConfig::default();
+    let requested_workers = cfg.workers;
     let mut session = SynthesisSession::new(cfg);
+    let rss_start_kb = peak_rss_kb();
+    let mut stage_rss: Vec<(&'static str, u64)> = Vec::new();
+    session.prepare_with(&wc.corpus, |stage| stage_rss.push((stage, peak_rss_kb())));
     let output = session.run(&wc.corpus);
     let t = output.timings;
     let detail = session.scores().expect("prepared").detail;
@@ -446,11 +700,19 @@ fn main() {
     let serving = serving_stage(&output.mappings, threads);
 
     let delta = delta_stage(&mut session, &mut wc.corpus, tables, &output.mappings);
+    let rss_end_kb = peak_rss_kb();
+    let mb = |kb: u64| kb as f64 / 1024.0;
+    let rss_of = |stage: &str| {
+        stage_rss
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map_or(0.0, |&(_, kb)| mb(kb))
+    };
 
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let delta_apply_ms = ms(delta.report.timings.total);
     let json = format!(
-        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_sig_mask_rejects\": {},\n    \"memo_sig_hist_rejects\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"workers\": {},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }}\n}}\n",
+        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_sig_mask_rejects\": {},\n    \"memo_sig_hist_rejects\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"stage_peak_rss_mb\": {{\n    \"start\": {:.1},\n    \"extraction\": {:.1},\n    \"value_space\": {:.1},\n    \"scoring\": {:.1},\n    \"end\": {:.1}\n  }},\n  \"workers\": {{\n    \"requested\": {},\n    \"effective\": {},\n    \"available\": {}\n  }},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }}\n}}\n",
         tables,
         output.candidates,
         output.edges,
@@ -472,7 +734,14 @@ fn main() {
         detail.memo.sig_hist_rejects,
         detail.memo.dp_calls,
         detail.memo.matched_pairs,
+        mb(rss_start_kb),
+        rss_of("extraction"),
+        rss_of("value_space"),
+        rss_of("scoring"),
+        mb(rss_end_kb),
+        requested_workers,
         session.workers(),
+        threads,
         serving.shards,
         serving.values,
         serving.mappings,

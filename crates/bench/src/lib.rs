@@ -18,11 +18,13 @@ use mapsynth::delta::CorpusDelta;
 use mapsynth_corpus::{Corpus, TableId};
 use mapsynth_gen::procedural::ProceduralConfig;
 use mapsynth_gen::webgen::WebCorpus;
-use mapsynth_gen::{generate_web, WebConfig};
+use mapsynth_gen::{generate_web, WebConfig, WebTableStream};
 
-/// A small deterministic web corpus for benchmarks.
-pub fn bench_corpus(tables: usize) -> WebCorpus {
-    generate_web(&WebConfig {
+/// The generator configuration behind every benchmark corpus —
+/// [`bench_corpus`] and [`bench_stream`] share it, so the streamed and
+/// materialized fixtures are the same corpus.
+pub fn bench_config(tables: usize) -> WebConfig {
+    WebConfig {
         tables,
         domains: (tables / 20).clamp(30, 200),
         procedural: ProceduralConfig {
@@ -31,7 +33,41 @@ pub fn bench_corpus(tables: usize) -> WebCorpus {
             ..Default::default()
         },
         ..Default::default()
-    })
+    }
+}
+
+/// A small deterministic web corpus for benchmarks.
+pub fn bench_corpus(tables: usize) -> WebCorpus {
+    generate_web(&bench_config(tables))
+}
+
+/// The benchmark corpus as a bounded-memory
+/// [`TableSource`](mapsynth_corpus::TableSource): yields exactly the tables
+/// [`bench_corpus`] materializes, one at a time, for the scale tier's
+/// streaming runs.
+pub fn bench_stream(tables: usize) -> WebTableStream {
+    WebTableStream::new(bench_config(tables))
+}
+
+/// Peak resident-set size of this process in kibibytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable. A
+/// monotone high-water mark: sampling it after each pipeline stage
+/// shows which stage pushed the peak.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
 }
 
 /// Append one table of `src` to `dst`, re-interning its strings (the

@@ -13,7 +13,7 @@
 
 use crate::config::SynthesisConfig;
 use crate::values::{NormBinary, ValueSpace};
-use mapsynth_mapreduce::MapReduce;
+use mapsynth_mapreduce::{partition_of, MapReduce};
 use std::collections::HashMap;
 
 /// Statistics from blocking, used by the scalability experiments.
@@ -131,19 +131,102 @@ pub struct BlockingIndex {
 }
 
 impl BlockingIndex {
-    /// Run blocking as two Map-Reduce jobs mirroring the paper's
-    /// cluster formulation (§4.1 "Efficiency" / Appendix F):
-    ///
-    /// 1. **Inverted index**: map each table to its blocking keys,
-    ///    reduce each key to its (ascending, deduplicated) posting
-    ///    list;
-    /// 2. **Pair counting**: map each posting list to the table pairs
-    ///    it witnesses, reduce by summing, filter at `θ_overlap`.
-    ///
-    /// Both jobs return key-sorted output, so results are identical
-    /// for any worker count. Returns the index state alongside the
-    /// qualifying pairs and stats.
+    /// Build the blocking index, qualifying pairs, and stats. Since
+    /// PR 6 this delegates to [`build_sharded`](Self::build_sharded)
+    /// with one shard per worker; the original two-job Map-Reduce
+    /// formulation survives as
+    /// [`build_unsharded`](Self::build_unsharded), the oracle both
+    /// paths are tested against. Results are identical for any worker
+    /// or shard count.
     pub fn build(
+        space: &ValueSpace,
+        tables: &[NormBinary],
+        cfg: &SynthesisConfig,
+        mr: &MapReduce,
+    ) -> (Self, Vec<(u32, u32)>, BlockingStats) {
+        Self::build_sharded(space, tables, cfg, mr, mr.workers())
+    }
+
+    /// Sharded build: partition blocking keys by hash (the same FNV-1a
+    /// partitioner the shuffle uses) into `shards` independent groups,
+    /// build each shard's posting lists and pair contributions in
+    /// parallel, then stitch.
+    ///
+    /// Stitching is trivial because the decomposition is exact: every
+    /// key lives in exactly one shard, so per-shard posting maps are
+    /// disjoint (concatenate), while a table *pair* can be witnessed by
+    /// keys in different shards, so pair counts sum. Bucketing scans
+    /// tables in ascending index order, which keeps every posting list
+    /// ti-ascending by plain push. The stored maps therefore hold
+    /// exactly the content the unsharded reference produces, for any
+    /// shard or worker count.
+    pub fn build_sharded(
+        space: &ValueSpace,
+        tables: &[NormBinary],
+        cfg: &SynthesisConfig,
+        mr: &MapReduce,
+        shards: usize,
+    ) -> (Self, Vec<(u32, u32)>, BlockingStats) {
+        let shards = shards.max(1);
+        // Stage 1 — per-table blocking keys, in parallel
+        // (order-preserving, so stage 2 sees tables in index order).
+        let keys_per_table: Vec<Vec<(u8, u32, u32)>> =
+            mr.par_map(tables, |t| table_keys(space, t, cfg));
+        // Stage 2 — bucket (key, table) records by key shard.
+        type ShardBucket = Vec<((u8, u32, u32), u32)>;
+        let mut buckets: Vec<ShardBucket> = vec![Vec::new(); shards];
+        for (ti, keys) in keys_per_table.iter().enumerate() {
+            for &k in keys {
+                buckets[partition_of(&k, shards)].push((k, ti as u32));
+            }
+        }
+        let sizes: Vec<u32> = tables.iter().map(|t| t.len() as u32).collect();
+        // Stage 3 — per-shard posting lists and pair contributions.
+        let sizes_ref = &sizes;
+        type ShardOut = (
+            HashMap<(u8, u32, u32), Vec<u32>>,
+            HashMap<(u32, u32, u8), u32>,
+        );
+        let shard_results: Vec<ShardOut> = mr.par_map(&buckets, |bucket| {
+            let mut postings: HashMap<(u8, u32, u32), Vec<u32>> = HashMap::new();
+            for &(k, ti) in bucket {
+                // ti arrives ascending per key; a table emits each key
+                // at most once, so the list is deduped by construction.
+                postings.entry(k).or_default().push(ti);
+            }
+            let mut contrib: Vec<(u32, u32, u8)> = Vec::new();
+            for ((kind, _, _), tis) in &postings {
+                contribution(tis, *kind, sizes_ref, cfg.max_key_fanout, &mut contrib);
+            }
+            let mut pair_counts: HashMap<(u32, u32, u8), u32> = HashMap::new();
+            for p in contrib {
+                *pair_counts.entry(p).or_insert(0) += 1;
+            }
+            (postings, pair_counts)
+        });
+        // Stage 4 — stitch: disjoint postings concatenate, pair counts
+        // sum across shards.
+        let mut postings: HashMap<(u8, u32, u32), Vec<u32>> = HashMap::new();
+        let mut pair_counts: HashMap<(u32, u32, u8), u32> = HashMap::new();
+        for (p, c) in shard_results {
+            postings.extend(p);
+            for (pair, n) in c {
+                *pair_counts.entry(pair).or_insert(0) += n;
+            }
+        }
+        let index = Self {
+            postings,
+            pair_counts,
+            sizes,
+        };
+        let (pairs, stats) = index.qualifying_pairs(cfg);
+        (index, pairs, stats)
+    }
+
+    /// The unsharded two-job Map-Reduce build — the reference
+    /// implementation [`build_sharded`](Self::build_sharded) must match
+    /// bit-for-bit (kept as the oracle for the shard-invariance tests).
+    pub fn build_unsharded(
         space: &ValueSpace,
         tables: &[NormBinary],
         cfg: &SynthesisConfig,
@@ -420,7 +503,12 @@ mod tests {
                 BinaryTable::new(BinaryId(i as u32), TableId(i as u32), d, 0, 1, syms)
             })
             .collect();
-        build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2))
+        build_value_space(
+            &corpus.interner,
+            &cands,
+            &SynonymDict::new(),
+            &MapReduce::new(2),
+        )
     }
 
     #[test]
@@ -497,6 +585,69 @@ mod tests {
         assert!(pairs.contains(&(20, 21)), "hub pair missing: {pairs:?}");
         // Far fewer than the C(22,2)=231 all-pairs.
         assert!(pairs.len() < 100, "{} pairs", pairs.len());
+    }
+
+    /// The sharded build must reproduce the unsharded reference
+    /// bit-for-bit — not just the qualifying pairs but the full stored
+    /// state (postings, pair counts, sizes) — for every shard and
+    /// worker count, hot keys included.
+    #[test]
+    fn sharded_build_matches_unsharded_reference() {
+        let small = vec![("hot", "1"), ("hot2", "2")];
+        let mut rows: Vec<Vec<(&str, &str)>> = (0..12).map(|_| small.clone()).collect();
+        rows.push(vec![("hot", "1"), ("hot2", "2"), ("x", "3"), ("y", "4")]);
+        rows.push(vec![("hot", "1"), ("x", "3"), ("y", "4"), ("z", "5")]);
+        rows.push(vec![("p", "7"), ("q", "8")]);
+        rows.push(vec![("p", "7"), ("q", "8"), ("r", "9")]);
+        let (space, t) = setup(rows);
+        let cfg = SynthesisConfig {
+            max_key_fanout: 4,
+            ..Default::default()
+        };
+        for workers in [1usize, 2, 8] {
+            let mr = MapReduce::new(workers);
+            let (ref_index, ref_pairs, ref_stats) =
+                BlockingIndex::build_unsharded(&space, &t, &cfg, &mr);
+            for shards in [1usize, 2, 8] {
+                let (index, pairs, stats) =
+                    BlockingIndex::build_sharded(&space, &t, &cfg, &mr, shards);
+                assert_eq!(pairs, ref_pairs, "workers {workers} shards {shards}");
+                assert_eq!(stats.pairs, ref_stats.pairs);
+                assert_eq!(stats.pos_keys, ref_stats.pos_keys);
+                assert_eq!(stats.neg_keys, ref_stats.neg_keys);
+                assert_eq!(stats.capped_keys, ref_stats.capped_keys);
+                assert_eq!(index.postings, ref_index.postings);
+                assert_eq!(index.pair_counts, ref_index.pair_counts);
+                assert_eq!(index.sizes, ref_index.sizes);
+            }
+        }
+    }
+
+    /// A sharded-built index feeds the delta path exactly like the
+    /// reference: registering more tables lands on the same state as a
+    /// fresh build over everything.
+    #[test]
+    fn sharded_build_composes_with_delta() {
+        let rows: Vec<Vec<(&str, &str)>> = vec![
+            vec![("a", "1"), ("b", "2"), ("c", "3")],
+            vec![("a", "1"), ("b", "2"), ("d", "4")],
+            vec![("a", "9"), ("b", "8"), ("c", "7")],
+            vec![("x", "9"), ("y", "8"), ("z", "7")],
+            vec![("a", "1"), ("c", "3"), ("z", "7")],
+        ];
+        let (space, t) = setup(rows);
+        let cfg = SynthesisConfig::default();
+        let mr = MapReduce::new(2);
+        let (fresh, fresh_pairs, _) = BlockingIndex::build_unsharded(&space, &t, &cfg, &mr);
+        for shards in [1usize, 2, 8] {
+            let (mut index, _, _) =
+                BlockingIndex::build_sharded(&space, &t[..3], &cfg, &mr, shards);
+            index.sizes.resize(t.len(), 0);
+            let (pairs, _) = index.apply_delta(&space, &t, &[3, 4], &[], &cfg);
+            assert_eq!(pairs, fresh_pairs, "shards {shards}");
+            assert_eq!(index.postings, fresh.postings);
+            assert_eq!(index.pair_counts, fresh.pair_counts);
+        }
     }
 
     #[test]

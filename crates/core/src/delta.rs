@@ -280,7 +280,7 @@ impl SynthesisSession {
             extend_value_space(
                 &values.space,
                 &mut incr.interning,
-                corpus,
+                &corpus.interner,
                 &ex.added,
                 &self.synonyms,
                 idx_base,
@@ -444,7 +444,7 @@ impl SynthesisSession {
         let (space, tables) = extend_value_space(
             &old_values.space,
             &mut incr.interning,
-            corpus,
+            &corpus.interner,
             &candidates,
             &self.synonyms,
             0,

@@ -126,7 +126,12 @@ mod tests {
                 BinaryTable::new(BinaryId(i as u32), TableId(i as u32), d, 0, 1, syms)
             })
             .collect();
-        build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2))
+        build_value_space(
+            &corpus.interner,
+            &cands,
+            &SynonymDict::new(),
+            &MapReduce::new(2),
+        )
     }
 
     #[test]

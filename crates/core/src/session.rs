@@ -46,12 +46,20 @@ use crate::partition::{partition_by_components, Partitioning};
 use crate::pipeline::{PipelineConfig, PipelineOutput, Resolver, StageTimings};
 use crate::synth::SynthesizedMapping;
 use crate::values::{build_value_space_stateful, NormBinary, ValueSpace};
-use mapsynth_corpus::Corpus;
-use mapsynth_extract::{extract_candidates_masked, ExtractionStats};
+use mapsynth_corpus::{Corpus, Interner, TableSource};
+use mapsynth_extract::{
+    extract_candidates_masked, extract_candidates_streaming, ExtractionCache, ExtractionStats,
+};
 use mapsynth_mapreduce::MapReduce;
 use mapsynth_text::SynonymDict;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Tables pulled per batch by the streaming prepare — small enough to
+/// bound resident raw-table memory, large enough to keep the per-batch
+/// parallel dispatch amortized. Batch size never affects results (the
+/// streaming extractor is bit-identical for any batch size).
+const STREAM_BATCH_TABLES: usize = 256;
 
 /// Stage-1 artifact: extracted candidate tables.
 pub struct ExtractionArtifact {
@@ -221,18 +229,24 @@ impl SynthesisSession {
         &mut self,
         corpus: &Corpus,
     ) -> (&ExtractionArtifact, &ValueArtifact, &ScoreArtifact) {
+        self.prepare_with(corpus, |_| {})
+    }
+
+    /// [`prepare`](Self::prepare) with a stage probe: `stage_done` is
+    /// called with `"extraction"`, `"value_space"` and `"scoring"` as
+    /// each stage's artifact lands — the hook the benchmark harness
+    /// uses to sample per-stage peak RSS. Not called when artifacts
+    /// are already cached.
+    pub fn prepare_with(
+        &mut self,
+        corpus: &Corpus,
+        stage_done: impl FnMut(&'static str),
+    ) -> (&ExtractionArtifact, &ValueArtifact, &ScoreArtifact) {
         let fingerprint = (corpus.len(), corpus.total_columns() as u64);
-        match self.corpus_fingerprint {
-            None => self.corpus_fingerprint = Some(fingerprint),
-            Some(prior) => assert_eq!(
-                prior, fingerprint,
-                "SynthesisSession artifacts were prepared from a different corpus; \
-                 use one session per corpus (corpus deltas go through apply_delta)"
-            ),
-        }
+        self.check_fingerprint(fingerprint);
         if self.extraction.is_none() {
             let alive = vec![true; corpus.len()];
-            self.prepare_stages(corpus, alive);
+            self.prepare_stages_with(corpus, alive, stage_done);
         }
         (
             self.extraction.as_ref().unwrap(),
@@ -241,12 +255,90 @@ impl SynthesisSession {
         )
     }
 
+    /// Streaming counterpart of [`prepare`](Self::prepare): stages 1–3
+    /// driven table-by-table off a [`TableSource`], so the raw corpus
+    /// is never resident — peak memory holds one batch of tables plus
+    /// the (saturating) interner and the extracted artifacts. The
+    /// resulting artifacts are bit-identical to an in-memory `prepare`
+    /// over the materialized corpus.
+    pub fn prepare_streaming<S: TableSource>(
+        &mut self,
+        source: &mut S,
+    ) -> (&ExtractionArtifact, &ValueArtifact, &ScoreArtifact) {
+        self.prepare_streaming_with(source, |_| {})
+    }
+
+    /// [`prepare_streaming`](Self::prepare_streaming) with the same
+    /// stage probe as [`prepare_with`](Self::prepare_with).
+    pub fn prepare_streaming_with<S: TableSource>(
+        &mut self,
+        source: &mut S,
+        mut stage_done: impl FnMut(&'static str),
+    ) -> (&ExtractionArtifact, &ValueArtifact, &ScoreArtifact) {
+        if self.extraction.is_none() {
+            let t = Instant::now();
+            let (candidates, stats, extraction_cache) = extract_candidates_streaming(
+                source,
+                &self.cfg.extraction,
+                &self.mr,
+                STREAM_BATCH_TABLES,
+            );
+            // Streamed sources expose total columns only after the
+            // extraction pass has walked them (`next_gid` counts every
+            // column), so the fingerprint is checked post-extraction.
+            let n_tables = source.table_count();
+            self.check_fingerprint((n_tables, extraction_cache.total_columns() as u64));
+            self.extraction = Some(ExtractionArtifact {
+                candidates,
+                stats,
+                elapsed: t.elapsed(),
+            });
+            stage_done("extraction");
+            let alive = vec![true; n_tables];
+            self.finish_prepare(source.interner(), alive, extraction_cache, stage_done);
+        } else {
+            self.check_fingerprint_tables(source.table_count());
+        }
+        (
+            self.extraction.as_ref().unwrap(),
+            self.values.as_ref().unwrap(),
+            self.scores.as_ref().unwrap(),
+        )
+    }
+
+    fn check_fingerprint(&mut self, fingerprint: (usize, u64)) {
+        match self.corpus_fingerprint {
+            None => self.corpus_fingerprint = Some(fingerprint),
+            Some(prior) => assert_eq!(
+                prior, fingerprint,
+                "SynthesisSession artifacts were prepared from a different corpus; \
+                 use one session per corpus (corpus deltas go through apply_delta)"
+            ),
+        }
+    }
+
+    fn check_fingerprint_tables(&self, n_tables: usize) {
+        let prior = self
+            .corpus_fingerprint
+            .expect("cached artifacts imply a fingerprint");
+        assert_eq!(
+            prior.0, n_tables,
+            "SynthesisSession artifacts were prepared from a different corpus; \
+             use one session per corpus (corpus deltas go through apply_delta)"
+        );
+    }
+
     /// Build all three stage artifacts (plus the incremental-update
     /// state) over the tables `alive` marks. `alive` is all-true for a
     /// plain [`prepare`](Self::prepare); the tombstone-aware mask is
     /// used by [`apply_delta`](Self::apply_delta)'s full-rebuild
     /// fallback, which must keep the caller's table numbering.
-    pub(crate) fn prepare_stages(&mut self, corpus: &Corpus, alive: Vec<bool>) {
+    pub(crate) fn prepare_stages_with(
+        &mut self,
+        corpus: &Corpus,
+        alive: Vec<bool>,
+        mut stage_done: impl FnMut(&'static str),
+    ) {
         let t = Instant::now();
         let (candidates, stats, extraction_cache) =
             extract_candidates_masked(corpus, &alive, &self.cfg.extraction, &self.mr);
@@ -255,11 +347,25 @@ impl SynthesisSession {
             stats,
             elapsed: t.elapsed(),
         });
+        stage_done("extraction");
+        self.finish_prepare(&corpus.interner, alive, extraction_cache, stage_done);
+    }
 
+    /// Stages 2–3 (value space, blocking + scoring) plus the
+    /// incremental state, shared by the in-memory and streaming
+    /// prepares. Only the interner is needed from the corpus side —
+    /// raw tables are already behind us.
+    fn finish_prepare(
+        &mut self,
+        strs: &Interner,
+        alive: Vec<bool>,
+        extraction_cache: ExtractionCache,
+        mut stage_done: impl FnMut(&'static str),
+    ) {
         let t = Instant::now();
         let candidates = &self.extraction.as_ref().unwrap().candidates;
         let (space, tables, interning) =
-            build_value_space_stateful(corpus, candidates, &self.synonyms, &self.mr);
+            build_value_space_stateful(strs, candidates, &self.synonyms, &self.mr);
         let mut pos_of_candidate: Vec<Option<u32>> = vec![None; candidates.len()];
         for (pos, t) in tables.iter().enumerate() {
             pos_of_candidate[t.idx as usize] = Some(pos as u32);
@@ -270,6 +376,7 @@ impl SynthesisSession {
             tables,
             elapsed: t.elapsed(),
         });
+        stage_done("value_space");
 
         let t = Instant::now();
         let values = self.values.as_ref().unwrap();
@@ -325,6 +432,7 @@ impl SynthesisSession {
             dead,
             alive_tables: alive,
         });
+        stage_done("scoring");
     }
 
     /// The stage-1 artifact, if [`prepare`](Self::prepare) has run.
@@ -519,6 +627,22 @@ impl SynthesisSession {
         let t_total = Instant::now();
         let fresh = self.extraction.is_none();
         self.prepare(corpus);
+        self.run_tail(fresh, t_total)
+    }
+
+    /// Full pipeline semantics off a [`TableSource`] — the
+    /// bounded-memory counterpart of [`run`](Self::run), bit-identical
+    /// to it over the materialized equivalent corpus.
+    pub fn run_streaming<S: TableSource>(&mut self, source: &mut S) -> PipelineOutput {
+        let t_total = Instant::now();
+        let fresh = self.extraction.is_none();
+        self.prepare_streaming(source);
+        self.run_tail(fresh, t_total)
+    }
+
+    /// Shared synthesize-and-report tail of
+    /// [`run`](Self::run)/[`run_streaming`](Self::run_streaming).
+    fn run_tail(&mut self, fresh: bool, t_total: Instant) -> PipelineOutput {
         let resolver = if self.cfg.synthesis.resolve_conflicts {
             Resolver::Algorithm4
         } else {
@@ -757,6 +881,93 @@ mod tests {
             ..s.cfg.synthesis
         };
         let _ = s.weights_for(&wide);
+    }
+
+    /// The streaming prepare must land on the same artifacts as the
+    /// in-memory prepare — candidates, value space, scored pairs and
+    /// the synthesized mappings alike.
+    #[test]
+    fn streaming_prepare_matches_in_memory() {
+        let corpus = corpus();
+        let mut batch = SynthesisSession::new(PipelineConfig::default());
+        batch.prepare(&corpus);
+        let mut streamed = SynthesisSession::new(PipelineConfig::default());
+        let mut stages: Vec<&'static str> = Vec::new();
+        streamed.prepare_streaming_with(&mut corpus.stream(), |s| stages.push(s));
+        assert_eq!(stages, ["extraction", "value_space", "scoring"]);
+        assert_eq!(batch.corpus_fingerprint, streamed.corpus_fingerprint);
+
+        let (be, bv, bs) = (
+            batch.extraction().unwrap(),
+            batch.values().unwrap(),
+            batch.scores().unwrap(),
+        );
+        let (se, sv, ss) = (
+            streamed.extraction().unwrap(),
+            streamed.values().unwrap(),
+            streamed.scores().unwrap(),
+        );
+        assert_eq!(be.candidates.len(), se.candidates.len());
+        for (a, b) in be.candidates.iter().zip(&se.candidates) {
+            assert_eq!(a.pairs, b.pairs);
+            assert_eq!(a.id, b.id);
+        }
+        assert_eq!(bv.space.len(), sv.space.len());
+        for i in 0..bv.space.len() as u32 {
+            let id = crate::values::NormId(i);
+            assert_eq!(bv.space.string(id), sv.space.string(id));
+            assert_eq!(bv.space.class(id), sv.space.class(id));
+        }
+        assert_eq!(bv.tables.len(), sv.tables.len());
+        assert_eq!(bs.scored.len(), ss.scored.len());
+        for (a, b) in bs.scored.iter().zip(&ss.scored) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1, b.1);
+            assert_eq!(a.2.pos.to_bits(), b.2.pos.to_bits());
+            assert_eq!(a.2.neg.to_bits(), b.2.neg.to_bits());
+        }
+
+        let from_batch = batch.synthesize(&batch.cfg.synthesis.clone(), Resolver::Algorithm4);
+        let from_stream =
+            streamed.synthesize(&streamed.cfg.synthesis.clone(), Resolver::Algorithm4);
+        assert_eq!(from_batch.mappings.len(), from_stream.mappings.len());
+        for (a, b) in from_batch.mappings.iter().zip(&from_stream.mappings) {
+            assert_eq!(a.materialize_pairs(), b.materialize_pairs());
+        }
+    }
+
+    /// `run_streaming` reports the same pipeline output as `run`, and
+    /// repeated streaming prepares are idempotent.
+    #[test]
+    fn run_streaming_matches_run() {
+        let corpus = corpus();
+        let mut batch = SynthesisSession::new(PipelineConfig::default());
+        let out = batch.run(&corpus);
+        let mut streamed = SynthesisSession::new(PipelineConfig::default());
+        let out2 = streamed.run_streaming(&mut corpus.stream());
+        assert_eq!(out.mappings.len(), out2.mappings.len());
+        assert_eq!(out.candidates, out2.candidates);
+        assert_eq!(out.edges, out2.edges);
+        assert_eq!(out.negative_edges, out2.negative_edges);
+        assert_eq!(out.partitions, out2.partitions);
+        // Idempotent reuse, as with prepare().
+        let p: *const _ = streamed.values().unwrap().tables.as_ptr();
+        streamed.prepare_streaming(&mut corpus.stream());
+        assert_eq!(streamed.values().unwrap().tables.as_ptr(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "different corpus")]
+    fn streaming_rejects_a_second_corpus() {
+        let mut s = SynthesisSession::new(PipelineConfig::default());
+        s.prepare(&corpus());
+        let mut other = Corpus::new();
+        let d = other.domain("x");
+        other.push_table(
+            d,
+            vec![(Some("a"), vec!["1", "2"]), (Some("b"), vec!["3", "4"])],
+        );
+        s.prepare_streaming(&mut other.stream());
     }
 
     #[test]

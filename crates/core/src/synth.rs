@@ -197,7 +197,12 @@ mod tests {
                 )
             })
             .collect();
-        build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2))
+        build_value_space(
+            &corpus.interner,
+            &cands,
+            &SynonymDict::new(),
+            &MapReduce::new(2),
+        )
     }
 
     #[test]

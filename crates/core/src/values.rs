@@ -11,8 +11,8 @@
 //! * a [`NormBinary`] per candidate: its deduplicated `(left, right)`
 //!   class pairs plus the original strings for approximate matching.
 
-use mapsynth_corpus::{BinaryTable, Corpus, Sym};
-use mapsynth_mapreduce::MapReduce;
+use mapsynth_corpus::{BinaryTable, Interner, Sym};
+use mapsynth_mapreduce::{partition_of, MapReduce};
 use mapsynth_text::{normalize, CharSignature, SynonymDict};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -164,41 +164,61 @@ pub struct ValueInterning {
 /// entirely (their `NormBinary` is omitted — callers use `idx` to map
 /// back to the original candidate list).
 ///
-/// The hot work — normalizing every distinct cell symbol and
-/// projecting each candidate into the space — runs through the
-/// Map-Reduce engine; id assignment stays sequential in
-/// first-occurrence order, so the result is byte-identical regardless
-/// of worker count.
+/// The hot work — normalizing every distinct cell symbol, deduplicating
+/// the normalized strings (sharded by value hash), and projecting each
+/// candidate into the space — runs through the Map-Reduce engine; the
+/// shard outputs are stitched back in global first-occurrence order, so
+/// the result is byte-identical regardless of worker or shard count.
 ///
 /// The space is returned behind an [`Arc`] so downstream artifacts
 /// ([`crate::SynthesizedMapping`] in particular) can hold a handle to
 /// it instead of cloning strings out of it.
+///
+/// `strs` is the interner resolving the candidate tables' symbols
+/// (for a materialized corpus, its `interner` field; for a streaming
+/// source, [`TableSource::interner`](mapsynth_corpus::TableSource)).
 pub fn build_value_space(
-    corpus: &Corpus,
+    strs: &Interner,
     candidates: &[BinaryTable],
     synonyms: &SynonymDict,
     mr: &MapReduce,
 ) -> (Arc<ValueSpace>, Vec<NormBinary>) {
-    let (space, tables, _) = build_value_space_stateful(corpus, candidates, synonyms, mr);
+    let (space, tables, _) = build_value_space_stateful(strs, candidates, synonyms, mr);
     (space, tables)
 }
 
 /// [`build_value_space`] plus the [`ValueInterning`] state that
 /// [`extend_value_space`] needs to grow the space under corpus deltas.
+/// Shard count defaults to the engine's worker count.
 pub fn build_value_space_stateful(
-    corpus: &Corpus,
+    strs: &Interner,
     candidates: &[BinaryTable],
     synonyms: &SynonymDict,
     mr: &MapReduce,
+) -> (Arc<ValueSpace>, Vec<NormBinary>, ValueInterning) {
+    build_value_space_sharded(strs, candidates, synonyms, mr, mr.workers())
+}
+
+/// [`build_value_space_stateful`] with an explicit shard count for the
+/// normalized-value deduplication. The output is bit-identical for
+/// every `shards ≥ 1` (shard-count invariance is a tested contract);
+/// the parameter only controls how the dedup work is partitioned.
+pub fn build_value_space_sharded(
+    strs: &Interner,
+    candidates: &[BinaryTable],
+    synonyms: &SynonymDict,
+    mr: &MapReduce,
+    shards: usize,
 ) -> (Arc<ValueSpace>, Vec<NormBinary>, ValueInterning) {
     let mut interning = ValueInterning::default();
     let mut strings: Vec<String> = Vec::new();
     let mut class: Vec<u32> = Vec::new();
     intern_candidates(
-        corpus,
+        strs,
         candidates,
         synonyms,
         mr,
+        shards,
         &mut interning,
         &mut strings,
         &mut class,
@@ -230,20 +250,47 @@ pub fn build_value_space_stateful(
 pub fn extend_value_space(
     space: &ValueSpace,
     interning: &mut ValueInterning,
-    corpus: &Corpus,
+    strs: &Interner,
     new_candidates: &[BinaryTable],
     synonyms: &SynonymDict,
     idx_base: u32,
     mr: &MapReduce,
 ) -> (Arc<ValueSpace>, Vec<NormBinary>) {
+    extend_value_space_sharded(
+        space,
+        interning,
+        strs,
+        new_candidates,
+        synonyms,
+        idx_base,
+        mr,
+        mr.workers(),
+    )
+}
+
+/// [`extend_value_space`] with an explicit shard count; bit-identical
+/// output for every `shards ≥ 1`, exactly as for
+/// [`build_value_space_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn extend_value_space_sharded(
+    space: &ValueSpace,
+    interning: &mut ValueInterning,
+    strs: &Interner,
+    new_candidates: &[BinaryTable],
+    synonyms: &SynonymDict,
+    idx_base: u32,
+    mr: &MapReduce,
+    shards: usize,
+) -> (Arc<ValueSpace>, Vec<NormBinary>) {
     let mut strings = space.strings.clone();
     let mut class = space.class.clone();
     let old_len = strings.len();
     intern_candidates(
-        corpus,
+        strs,
         new_candidates,
         synonyms,
         mr,
+        shards,
         interning,
         &mut strings,
         &mut class,
@@ -272,20 +319,39 @@ pub fn extend_value_space(
     (grown, tables)
 }
 
+/// Per-position outcome of a shard's deduplication pass.
+enum SymRes {
+    /// The normalized string already had a [`NormId`] before this call.
+    Known(NormId),
+    /// First seen in this call: index into the shard's new-string list.
+    New(u32),
+}
+
 /// Shared interning pass: normalize (parallel) the distinct unseen
-/// symbols of `candidates` in first-occurrence order, intern
-/// sequentially, fold synonym classes. Appends to `strings`/`class`.
+/// symbols of `candidates` in first-occurrence order, deduplicate the
+/// normalized strings in `shards` independent hash shards (parallel),
+/// then stitch the shard outputs back in ascending first-occurrence
+/// order — a deterministic monotone renumber that reproduces, exactly,
+/// the id assignment a single sequential pass would make. Synonym
+/// classes are folded in id order (class id = representative NormId:
+/// the class's first-interned member). Appends to `strings`/`class`.
+///
+/// Shard and worker count affect only the partitioning of work; the
+/// appended ids, strings, classes and the updated `interning` state
+/// are bit-identical for every combination.
+#[allow(clippy::too_many_arguments)]
 fn intern_candidates(
-    corpus: &Corpus,
+    strs: &Interner,
     candidates: &[BinaryTable],
     synonyms: &SynonymDict,
     mr: &MapReduce,
+    shards: usize,
     interning: &mut ValueInterning,
     strings: &mut Vec<String>,
     class: &mut Vec<u32>,
 ) {
     // Distinct unseen cell symbols in first-occurrence order (the
-    // order the sequential implementation assigned NormIds in).
+    // order NormIds are assigned in).
     let mut seen: HashSet<Sym> = HashSet::new();
     let mut distinct: Vec<Sym> = Vec::new();
     for cand in candidates {
@@ -301,31 +367,95 @@ fn intern_candidates(
 
     // Parallel normalization of the distinct symbols (the dominant
     // cost: unicode folding and footnote stripping per string).
-    let normalized: Vec<String> = mr.par_map(&distinct, |&sym| normalize(corpus.str_of(sym)));
+    let normalized: Vec<String> = mr.par_map(&distinct, |&sym| normalize(strs.resolve(sym)));
 
-    // Sequential interning in first-occurrence order, with synonym
-    // classes folded as strings arrive (class id = representative
-    // NormId: the class's first-interned member).
-    for (&sym, n) in distinct.iter().zip(normalized) {
-        let id = if n.is_empty() {
-            None
-        } else {
-            match interning.id_of_string.get(&n) {
-                Some(&id) => Some(id),
-                None => {
-                    let id = NormId(strings.len() as u32);
-                    let c = match synonyms.class_of(&n) {
-                        Some(sc) => *interning.rep_of_class.entry(sc).or_insert(id.0),
-                        None => id.0,
-                    };
-                    interning.id_of_string.insert(n.clone(), id);
-                    strings.push(n);
-                    class.push(c);
-                    Some(id)
+    // Route each position to its shard by the hash of the normalized
+    // string — the same stable partitioner the shuffle uses. Positions
+    // stay ascending within a shard, so each shard sees its strings in
+    // global first-occurrence order.
+    let shards = shards.max(1);
+    let mut shard_pos: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    for (pos, n) in normalized.iter().enumerate() {
+        if n.is_empty() {
+            continue; // resolves to None below, no id to assign
+        }
+        shard_pos[partition_of(&n, shards)].push(pos as u32);
+    }
+
+    // Per-shard dedup (parallel): resolve every position against the
+    // pre-call id table and a shard-local first-occurrence map. Shards
+    // are disjoint by construction (same string → same shard), so no
+    // cross-shard coordination is needed.
+    let id_of_string = &interning.id_of_string;
+    let norm_ref = &normalized;
+    let shard_ids: Vec<usize> = (0..shards).collect();
+    // (first positions of new strings, per-position resolutions)
+    let outs: Vec<(Vec<u32>, Vec<SymRes>)> = mr.par_map(&shard_ids, |&s| {
+        let mut local: HashMap<&str, u32> = HashMap::new();
+        let mut news: Vec<u32> = Vec::new();
+        let mut res: Vec<SymRes> = Vec::with_capacity(shard_pos[s].len());
+        for &pos in &shard_pos[s] {
+            let n = norm_ref[pos as usize].as_str();
+            if let Some(&id) = id_of_string.get(n) {
+                res.push(SymRes::Known(id));
+            } else {
+                match local.entry(n) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        res.push(SymRes::New(*e.get()));
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let li = news.len() as u32;
+                        e.insert(li);
+                        news.push(pos);
+                        res.push(SymRes::New(li));
+                    }
                 }
             }
+        }
+        (news, res)
+    });
+
+    // Stitch: merge the shards' new strings by first-occurrence
+    // position and assign NormIds in that order — the monotone
+    // renumber that makes the shard partitioning invisible. Within a
+    // shard `news` is ascending, so the k-way merge reduces to a sort
+    // of (position, shard) heads and a per-shard cursor.
+    let mut merged: Vec<(u32, u32)> = outs
+        .iter()
+        .enumerate()
+        .flat_map(|(s, (news, _))| news.iter().map(move |&p| (p, s as u32)))
+        .collect();
+    merged.sort_unstable();
+    let mut local_to_global: Vec<Vec<NormId>> = outs
+        .iter()
+        .map(|(news, _)| Vec::with_capacity(news.len()))
+        .collect();
+    for &(pos, s) in &merged {
+        let id = NormId(strings.len() as u32);
+        local_to_global[s as usize].push(id);
+        let n = &normalized[pos as usize];
+        let c = match synonyms.class_of(n) {
+            Some(sc) => *interning.rep_of_class.entry(sc).or_insert(id.0),
+            None => id.0,
         };
-        interning.norm_of_sym.insert(sym, id);
+        interning.id_of_string.insert(n.clone(), id);
+        strings.push(n.clone());
+        class.push(c);
+    }
+
+    // Resolve every distinct symbol to its final id (None: normalizes
+    // to empty) and record the mapping.
+    let mut resolved: Vec<Option<NormId>> = vec![None; distinct.len()];
+    for (s, (_, res)) in outs.iter().enumerate() {
+        for (&pos, r) in shard_pos[s].iter().zip(res) {
+            resolved[pos as usize] = Some(match r {
+                SymRes::Known(id) => *id,
+                SymRes::New(li) => local_to_global[s][*li as usize],
+            });
+        }
+    }
+    for (&sym, r) in distinct.iter().zip(&resolved) {
+        interning.norm_of_sym.insert(sym, *r);
     }
 }
 
@@ -396,6 +526,140 @@ mod tests {
         (corpus, out)
     }
 
+    /// Reference implementation of the interning loop: the plain
+    /// sequential first-occurrence pass the sharded build must
+    /// reproduce bit-for-bit.
+    fn sequential_intern(
+        strs: &Interner,
+        candidates: &[BinaryTable],
+        synonyms: &SynonymDict,
+    ) -> (Vec<String>, Vec<u32>, HashMap<Sym, Option<NormId>>) {
+        let mut norm_of_sym: HashMap<Sym, Option<NormId>> = HashMap::new();
+        let mut id_of_string: HashMap<String, NormId> = HashMap::new();
+        let mut rep_of_class: HashMap<usize, u32> = HashMap::new();
+        let mut strings: Vec<String> = Vec::new();
+        let mut class: Vec<u32> = Vec::new();
+        for cand in candidates {
+            for &(l, r) in &cand.pairs {
+                for sym in [l, r] {
+                    if norm_of_sym.contains_key(&sym) {
+                        continue;
+                    }
+                    let n = normalize(strs.resolve(sym));
+                    let id = if n.is_empty() {
+                        None
+                    } else {
+                        match id_of_string.get(&n) {
+                            Some(&id) => Some(id),
+                            None => {
+                                let id = NormId(strings.len() as u32);
+                                let c = match synonyms.class_of(&n) {
+                                    Some(sc) => *rep_of_class.entry(sc).or_insert(id.0),
+                                    None => id.0,
+                                };
+                                id_of_string.insert(n.clone(), id);
+                                strings.push(n);
+                                class.push(c);
+                                Some(id)
+                            }
+                        }
+                    };
+                    norm_of_sym.insert(sym, id);
+                }
+            }
+        }
+        (strings, class, norm_of_sym)
+    }
+
+    /// The sharded build must be bit-identical to the sequential
+    /// reference for every shard and worker count — ids, strings,
+    /// classes, symbol resolutions and projections alike.
+    #[test]
+    fn sharded_interning_matches_sequential_reference() {
+        let (corpus, cands) = mk_candidates(vec![
+            vec![
+                ("United States", "USA"),
+                ("UNITED STATES[1]", "usa"),
+                ("Canada", "CAN"),
+                ("US Virgin Islands", "ISV"),
+            ],
+            vec![
+                ("United States Virgin Islands", "ISV"),
+                ("Côte d'Ivoire", "CIV"),
+                ("***", "empty-left"),
+                ("Canada", "CAN"),
+            ],
+            vec![("São Tomé", "STP"), ("Peru", "PER"), ("peru", "per")],
+        ]);
+        let mut dict = SynonymDict::new();
+        dict.declare("US Virgin Islands", "United States Virgin Islands");
+        let (ref_strings, ref_class, ref_norms) =
+            sequential_intern(&corpus.interner, &cands, &dict);
+        for workers in [1usize, 2, 8] {
+            let mr = MapReduce::new(workers);
+            for shards in [1usize, 2, 8] {
+                let (space, tables, interning) =
+                    build_value_space_sharded(&corpus.interner, &cands, &dict, &mr, shards);
+                assert_eq!(
+                    space.strings, ref_strings,
+                    "workers {workers} shards {shards}"
+                );
+                assert_eq!(space.class, ref_class, "workers {workers} shards {shards}");
+                assert_eq!(interning.norm_of_sym, ref_norms);
+                // Projections are downstream of the ids; spot-check
+                // they are stable too.
+                let (s1, t1, _) =
+                    build_value_space_sharded(&corpus.interner, &cands, &dict, &mr, 1);
+                assert_eq!(s1.strings, space.strings);
+                assert_eq!(tables.len(), t1.len());
+                for (a, b) in tables.iter().zip(&t1) {
+                    assert_eq!(a.idx, b.idx);
+                    assert_eq!(a.pairs, b.pairs);
+                }
+            }
+        }
+    }
+
+    /// Extending a space (the delta path) is shard-invariant too: any
+    /// shard count appends the same ids in the same order.
+    #[test]
+    fn sharded_extension_matches_across_shard_counts() {
+        let (corpus, cands) = mk_candidates(vec![
+            vec![("United States", "USA"), ("Canada", "CAN"), ("Peru", "PER")],
+            vec![
+                ("Chile", "CHL"),
+                ("canada", "CAN"),
+                ("Argentina", "ARG"),
+                ("Brazil", "BRA"),
+            ],
+        ]);
+        let dict = SynonymDict::new();
+        let mr = MapReduce::new(4);
+        let mut reference: Option<(Vec<String>, Vec<u32>)> = None;
+        for shards in [1usize, 2, 8] {
+            let (space, _, mut interning) =
+                build_value_space_sharded(&corpus.interner, &cands[..1], &dict, &mr, shards);
+            let (grown, tables) = extend_value_space_sharded(
+                &space,
+                &mut interning,
+                &corpus.interner,
+                &cands[1..],
+                &dict,
+                1,
+                &mr,
+                shards,
+            );
+            assert!(!tables.is_empty());
+            match &reference {
+                None => reference = Some((grown.strings.clone(), grown.class.clone())),
+                Some((s, c)) => {
+                    assert_eq!(&grown.strings, s, "shards {shards}");
+                    assert_eq!(&grown.class, c, "shards {shards}");
+                }
+            }
+        }
+    }
+
     #[test]
     fn normalization_folds_case_and_footnotes() {
         let (corpus, cands) = mk_candidates(vec![vec![
@@ -403,8 +667,12 @@ mod tests {
             ("UNITED STATES[1]", "usa"),
             ("Canada", "CAN"),
         ]]);
-        let (space, tables) =
-            build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2));
+        let (space, tables) = build_value_space(
+            &corpus.interner,
+            &cands,
+            &SynonymDict::new(),
+            &MapReduce::new(2),
+        );
         assert_eq!(tables.len(), 1);
         // "United States" and "UNITED STATES[1]" fold to one value;
         // ("united states","usa") dedups to one pair.
@@ -424,8 +692,12 @@ mod tests {
             vec![("***", "x"), ("a", "1")], // one usable pair → dropped
             vec![("a", "1"), ("b", "2")],
         ]);
-        let (_, tables) =
-            build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2));
+        let (_, tables) = build_value_space(
+            &corpus.interner,
+            &cands,
+            &SynonymDict::new(),
+            &MapReduce::new(2),
+        );
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].idx, 1);
     }
@@ -437,8 +709,12 @@ mod tests {
             ("São Tomé", "STP"),
             ("Curaçao", "CUW"),
         ]]);
-        let (space, tables) =
-            build_value_space(&corpus, &cands, &SynonymDict::new(), &MapReduce::new(2));
+        let (space, tables) = build_value_space(
+            &corpus.interner,
+            &cands,
+            &SynonymDict::new(),
+            &MapReduce::new(2),
+        );
         for &(l, r) in &tables[0].pairs {
             for id in [l, r] {
                 assert_eq!(
@@ -467,7 +743,7 @@ mod tests {
         ]);
         let mr = MapReduce::new(2);
         let (space, _, mut interning) =
-            build_value_space_stateful(&corpus, &cands[..1], &SynonymDict::new(), &mr);
+            build_value_space_stateful(&corpus.interner, &cands[..1], &SynonymDict::new(), &mr);
         for i in 0..space.len() as u32 {
             assert_eq!(
                 space.signature(NormId(i)),
@@ -482,7 +758,7 @@ mod tests {
         let (grown, _) = extend_value_space(
             &space,
             &mut interning,
-            &corpus,
+            &corpus.interner,
             &cands[1..],
             &SynonymDict::new(),
             1,
@@ -508,7 +784,8 @@ mod tests {
         ]);
         let mut dict = SynonymDict::new();
         dict.declare("US Virgin Islands", "United States Virgin Islands");
-        let (space, tables) = build_value_space(&corpus, &cands, &dict, &MapReduce::new(2));
+        let (space, tables) =
+            build_value_space(&corpus.interner, &cands, &dict, &MapReduce::new(2));
         let l0 = tables[0]
             .pairs
             .iter()

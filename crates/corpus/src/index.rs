@@ -25,6 +25,17 @@ pub struct ValueIndex {
 }
 
 impl ValueIndex {
+    /// An index with no columns. Streaming construction starts here
+    /// and registers columns with [`add_column`](Self::add_column) in
+    /// ascending gid order; the result is identical to
+    /// [`build`](Self::build) over the same columns.
+    pub fn empty() -> Self {
+        Self {
+            postings: Vec::new(),
+            total_columns: 0,
+        }
+    }
+
     /// Build the index over an entire corpus.
     pub fn build(corpus: &Corpus) -> Self {
         Self::build_filtered(corpus, |_| true)

@@ -39,6 +39,7 @@ pub mod index;
 pub mod intern;
 pub mod io;
 pub mod stats;
+pub mod stream;
 pub mod table;
 
 pub use binary::{BinaryId, BinaryTable};
@@ -49,4 +50,5 @@ pub use stats::{
     coherence_from_counts, column_coherence, column_coherence_detailed, column_coherence_excluding,
     npmi, pmi, CoherenceConfig, CoherenceDetail, CooccurrenceStats,
 };
+pub use stream::{CorpusStream, TableSource};
 pub use table::{Column, Corpus, DomainId, Table, TableId};

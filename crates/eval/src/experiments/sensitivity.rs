@@ -57,7 +57,7 @@ pub fn run(cfg: &ExpConfig) {
             .registry
             .partial_synonym_feed(cfg.synonym_fraction, 11);
         let (space, tables) =
-            mapsynth::values::build_value_space(&corpus_for_theta, &cands, &feed, &mr);
+            mapsynth::values::build_value_space(&corpus_for_theta.interner, &cands, &feed, &mr);
         let mappings = mapsynth::synthesize_from(&space, &tables, &SynthesisConfig::default(), &mr);
         t.row(vec![
             format!("{theta:.2}"),

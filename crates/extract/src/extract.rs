@@ -18,7 +18,7 @@
 use crate::filters::{approx_fd_holds, column_passes, numeric_fraction};
 use mapsynth_corpus::{
     coherence_from_counts, column_coherence_detailed, BinaryId, BinaryTable, CoherenceConfig,
-    CoherenceDetail, Corpus, GlobalColId, TableId, ValueIndex,
+    CoherenceDetail, Corpus, GlobalColId, Interner, Sym, Table, TableId, TableSource, ValueIndex,
 };
 use mapsynth_mapreduce::MapReduce;
 use std::collections::{HashMap, HashSet};
@@ -107,7 +107,7 @@ impl ExtractionStats {
 }
 
 /// (left col, right col, raw row pairs) per emitted candidate.
-type CandidateRows = (u16, u16, Vec<(mapsynth_corpus::Sym, mapsynth_corpus::Sym)>);
+type CandidateRows = (u16, u16, Vec<(Sym, Sym)>);
 
 /// Cached per-column extraction state.
 #[derive(Clone, Debug)]
@@ -150,13 +150,12 @@ struct TableExtraction {
 }
 
 fn extract_table(
-    corpus: &Corpus,
+    strs: &Interner,
     index: &ValueIndex,
-    ti: usize,
+    table: &Table,
     first_gid: u32,
     cfg: &ExtractionConfig,
 ) -> TableExtraction {
-    let table = &corpus.tables[ti];
     let width = table.width();
     let mut stats = ExtractionStats {
         tables: 1,
@@ -168,7 +167,7 @@ fn extract_table(
     let mut kept: Vec<usize> = Vec::new();
     for (ci, col) in table.columns.iter().enumerate() {
         stats.columns += 1;
-        if !column_passes(corpus, col, cfg.min_distinct, cfg.max_avg_len) {
+        if !column_passes(strs, col, cfg.min_distinct, cfg.max_avg_len) {
             stats.columns_structural += 1;
             cols.push(ColumnCache {
                 structural: false,
@@ -195,15 +194,15 @@ fn extract_table(
         });
     }
     // Ordered pair enumeration + FD filtering.
-    let pairs = enumerate_pairs(corpus, table, &kept, cfg, &mut stats);
+    let pairs = enumerate_pairs(strs, table, &kept, cfg, &mut stats);
     TableExtraction { cols, pairs, stats }
 }
 
 /// The ordered-pair tail of per-table extraction: numeric-left and
 /// approximate-FD filters over the kept columns.
 fn enumerate_pairs(
-    corpus: &Corpus,
-    table: &mapsynth_corpus::Table,
+    strs: &Interner,
+    table: &Table,
     kept: &[usize],
     cfg: &ExtractionConfig,
     stats: &mut ExtractionStats,
@@ -216,11 +215,11 @@ fn enumerate_pairs(
             }
             stats.pairs_considered += 1;
             let (left, right) = (&table.columns[i], &table.columns[j]);
-            if numeric_fraction(corpus, left) >= cfg.max_left_numeric {
+            if numeric_fraction(strs, left) >= cfg.max_left_numeric {
                 stats.pairs_numeric_left += 1;
                 continue;
             }
-            let (ok, _) = approx_fd_holds(corpus, left, right, cfg.fd_theta);
+            let (ok, _) = approx_fd_holds(strs, left, right, cfg.fd_theta);
             if !ok {
                 stats.pairs_failed_fd += 1;
                 continue;
@@ -293,7 +292,13 @@ pub fn extract_candidates_masked(
     let index_ref = &index;
     let first_ref = &first_col;
     let outputs: Vec<TableExtraction> = mr.par_map(&live, |&ti| {
-        extract_table(corpus, index_ref, ti, first_ref[ti], cfg)
+        extract_table(
+            &corpus.interner,
+            index_ref,
+            &corpus.tables[ti],
+            first_ref[ti],
+            cfg,
+        )
     });
 
     let mut all = Vec::new();
@@ -328,6 +333,109 @@ pub fn extract_candidates_masked(
             stats: out.stats,
             candidates: emitted,
         };
+    }
+    let cache = ExtractionCache {
+        index,
+        tables,
+        next_gid: next,
+        next_candidate: all.len() as u32,
+    };
+    (all, stats, cache)
+}
+
+/// Streaming variant of [`extract_candidates_cached`]: pull tables
+/// from a [`TableSource`] in bounded batches instead of borrowing a
+/// materialized corpus.
+///
+/// Two passes over the source. Pass 1 builds the [`ValueIndex`]
+/// incrementally (one batch of tables resident at a time), assigning
+/// global column ids in `(table, column)` order exactly as the batch
+/// path does. Pass 2 [`rewind`](TableSource::rewind)s and runs the
+/// same per-table extraction the batch path runs, so candidates, stats
+/// and the returned [`ExtractionCache`] are **bit-identical** to
+/// [`extract_candidates_cached`] on the materialized corpus — only the
+/// peak memory differs: the raw tables of at most one batch are alive
+/// at any moment, while the batch path holds all of them.
+///
+/// `batch_tables` trades parallelism against residency; it has no
+/// effect on the output.
+pub fn extract_candidates_streaming<S: TableSource>(
+    source: &mut S,
+    cfg: &ExtractionConfig,
+    mr: &MapReduce,
+    batch_tables: usize,
+) -> (Vec<BinaryTable>, ExtractionStats, ExtractionCache) {
+    let batch_tables = batch_tables.max(1);
+    let n_tables = source.table_count();
+
+    // Pass 1: value index + global column id assignment.
+    let mut index = ValueIndex::empty();
+    let mut first_col: Vec<u32> = Vec::with_capacity(n_tables);
+    let mut next = 0u32;
+    loop {
+        let batch = source.next_batch(batch_tables);
+        if batch.is_empty() {
+            break;
+        }
+        let distincts: Vec<Vec<Vec<Sym>>> =
+            mr.par_map(&batch, |t| t.columns.iter().map(|c| c.distinct()).collect());
+        // The source interned this batch's strings while producing it.
+        index.grow_symbols(source.interner().len());
+        for (t, cols) in batch.iter().zip(distincts) {
+            debug_assert_eq!(
+                t.id.0 as usize,
+                first_col.len(),
+                "table ids must be dense and ascending in yield order"
+            );
+            first_col.push(next);
+            for (ci, distinct) in cols.into_iter().enumerate() {
+                index.add_column(GlobalColId(next + ci as u32), distinct);
+            }
+            next += t.width() as u32;
+        }
+    }
+    assert_eq!(
+        first_col.len(),
+        n_tables,
+        "source yielded {} tables but table_count() promised {n_tables}",
+        first_col.len(),
+    );
+
+    // Pass 2: per-table extraction against the complete index.
+    source.rewind();
+    let mut all = Vec::new();
+    let mut stats = ExtractionStats::default();
+    let mut tables: Vec<TableCache> = Vec::with_capacity(n_tables);
+    let index_ref = &index;
+    let first_ref = &first_col;
+    loop {
+        let batch = source.next_batch(batch_tables);
+        if batch.is_empty() {
+            break;
+        }
+        let strs = source.interner();
+        let outputs: Vec<TableExtraction> = mr.par_map(&batch, |t| {
+            extract_table(strs, index_ref, t, first_ref[t.id.0 as usize], cfg)
+        });
+        for (t, out) in batch.iter().zip(outputs) {
+            merge_stats(&mut stats, &out.stats);
+            let mut emitted = Vec::with_capacity(out.pairs.len());
+            for (i, j, rows) in out.pairs {
+                let id = BinaryId(all.len() as u32);
+                emitted.push((i, j, id.0));
+                all.push(
+                    BinaryTable::new(id, t.id, t.domain, i, j, rows)
+                        .with_headers(t.columns[i as usize].header, t.columns[j as usize].header),
+                );
+            }
+            tables.push(TableCache {
+                alive: true,
+                first_gid: first_ref[t.id.0 as usize],
+                cols: out.cols,
+                stats: out.stats,
+                candidates: emitted,
+            });
+        }
     }
     let cache = ExtractionCache {
         index,
@@ -402,6 +510,13 @@ impl ExtractionCache {
     /// Live tables.
     pub fn alive_tables(&self) -> usize {
         self.tables.iter().filter(|t| t.alive).count()
+    }
+
+    /// Total columns walked so far (the next global column id) — the
+    /// corpus-size component of a session's fingerprint when the
+    /// corpus was streamed rather than materialized.
+    pub fn total_columns(&self) -> u32 {
+        self.next_gid
     }
 
     /// Advance the cache by one corpus delta and report the candidate
@@ -614,7 +729,7 @@ impl ExtractionCache {
                 pairs_possible: tc.cols.len() * tc.cols.len().saturating_sub(1),
                 ..Default::default()
             };
-            let pairs = enumerate_pairs(corpus, table, &kept, cfg, &mut stats);
+            let pairs = enumerate_pairs(&corpus.interner, table, &kept, cfg, &mut stats);
             tc.stats = stats;
             let old_ids: std::collections::HashMap<(u16, u16), u32> = tc
                 .candidates
@@ -651,9 +766,9 @@ impl ExtractionCache {
         let tables_ref = &self.tables;
         let extracted: Vec<TableExtraction> = mr.par_map(&added_idx, |&ti| {
             extract_table(
-                corpus,
+                &corpus.interner,
                 index_ref,
-                ti as usize,
+                &corpus.tables[ti as usize],
                 tables_ref[ti as usize].first_gid,
                 cfg,
             )
@@ -941,6 +1056,80 @@ mod tests {
             .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
         assert!(id_map.iter().all(|&(_, n)| (n as usize) < rebuilt.len()));
         let _ = base;
+    }
+
+    /// Streaming extraction must be bit-identical to the batch path:
+    /// same candidates (ids, sources, rows, headers), same stats, and
+    /// a cache that behaves identically under a subsequent delta.
+    #[test]
+    fn streaming_matches_batch_bit_for_bit() {
+        let wc = small_corpus();
+        let mut corpus = wc.corpus;
+        let cfg = ExtractionConfig::default();
+        let mr = MapReduce::new(2);
+        let (batch, batch_stats, mut batch_cache) = extract_candidates_cached(&corpus, &cfg, &mr);
+        for batch_size in [1usize, 7, 64, 10_000] {
+            let mut stream = corpus.stream();
+            let (streamed, stream_stats, _) =
+                extract_candidates_streaming(&mut stream, &cfg, &mr, batch_size);
+            assert_eq!(stream_stats, batch_stats, "batch_size {batch_size}");
+            assert_eq!(streamed.len(), batch.len());
+            for (a, b) in streamed.iter().zip(&batch) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.source, b.source);
+                assert_eq!((a.left_col, a.right_col), (b.left_col, b.right_col));
+                assert_eq!(a.pairs, b.pairs);
+            }
+        }
+        // Cache equivalence: the same delta applied to the streaming
+        // cache and the batch cache produces identical results.
+        let (_, _, mut stream_cache) =
+            extract_candidates_streaming(&mut corpus.stream(), &cfg, &mr, 32);
+        let removed: Vec<TableId> = vec![TableId(10), TableId(42)];
+        let nd = corpus.domain("delta.example");
+        let cols = corpus.tables[5].columns.clone();
+        let added = vec![corpus.push_interned_table(nd, cols)];
+        let da = batch_cache.apply_delta(&corpus, &added, &removed, &cfg, &mr);
+        let db = stream_cache.apply_delta(&corpus, &added, &removed, &cfg, &mr);
+        assert_eq!(da.stats, db.stats);
+        assert_eq!(da.tombstoned, db.tombstoned);
+        assert_eq!(da.reordered, db.reordered);
+        assert_eq!(da.added.len(), db.added.len());
+        for (a, b) in da.added.iter().zip(&db.added) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.pairs, b.pairs);
+        }
+    }
+
+    /// Streaming extraction over the *generator* source (no
+    /// materialized corpus at all) matches extraction over the
+    /// generated corpus.
+    #[test]
+    fn streaming_from_generator_matches_materialized() {
+        let cfg_gen = WebConfig {
+            tables: 250,
+            domains: 30,
+            procedural: ProceduralConfig {
+                families: 8,
+                temporal_families: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let cfg = ExtractionConfig::default();
+        let mr = MapReduce::new(2);
+        let wc = generate_web(&cfg_gen);
+        let (batch, batch_stats) = extract_candidates(&wc.corpus, &cfg, &mr);
+        let mut stream = mapsynth_gen::webgen::WebTableStream::new(cfg_gen);
+        let (streamed, stream_stats, _) = extract_candidates_streaming(&mut stream, &cfg, &mr, 64);
+        assert_eq!(stream_stats, batch_stats);
+        assert_eq!(streamed.len(), batch.len());
+        for (a, b) in streamed.iter().zip(&batch) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.source, b.source);
+            assert_eq!((a.left_col, a.right_col), (b.left_col, b.right_col));
+            assert_eq!(a.pairs, b.pairs);
+        }
     }
 
     /// Composing deltas: a second delta over the advanced cache still

@@ -1,6 +1,6 @@
 //! Column and column-pair filters.
 
-use mapsynth_corpus::{Column, Corpus, Sym};
+use mapsynth_corpus::{Column, Interner, Sym};
 use mapsynth_text::normalize;
 use std::collections::HashMap;
 
@@ -23,7 +23,7 @@ pub struct FdCheck {
 /// Values are compared on their normalized forms so that cosmetic
 /// variation ("CA" vs "ca") does not manufacture violations.
 pub fn approx_fd_holds(
-    corpus: &Corpus,
+    strs: &Interner,
     left: &Column,
     right: &Column,
     theta: f64,
@@ -31,10 +31,10 @@ pub fn approx_fd_holds(
     debug_assert_eq!(left.len(), right.len());
     // norm cache: Sym → normalized string (shared across both columns).
     let mut norm_cache: HashMap<Sym, String> = HashMap::new();
-    let mut norm = |s: Sym, corpus: &Corpus| -> String {
+    let mut norm = |s: Sym, strs: &Interner| -> String {
         norm_cache
             .entry(s)
-            .or_insert_with(|| normalize(corpus.str_of(s)))
+            .or_insert_with(|| normalize(strs.resolve(s)))
             .clone()
     };
 
@@ -42,8 +42,8 @@ pub fn approx_fd_holds(
     let mut groups: HashMap<String, HashMap<String, usize>> = HashMap::new();
     let mut rows = 0usize;
     for (&l, &r) in left.values.iter().zip(&right.values) {
-        let ln = norm(l, corpus);
-        let rn = norm(r, corpus);
+        let ln = norm(l, strs);
+        let rn = norm(r, strs);
         if ln.is_empty() || rn.is_empty() {
             continue;
         }
@@ -76,7 +76,7 @@ pub fn approx_fd_holds(
 /// Fraction of values in a column that are short numerics. Used for
 /// the paper's "additional filtering ... to further prune out numeric
 /// and temporal relationships" (§4.3).
-pub fn numeric_fraction(corpus: &Corpus, col: &Column) -> f64 {
+pub fn numeric_fraction(strs: &Interner, col: &Column) -> f64 {
     if col.is_empty() {
         return 0.0;
     }
@@ -84,7 +84,7 @@ pub fn numeric_fraction(corpus: &Corpus, col: &Column) -> f64 {
         .values
         .iter()
         .filter(|&&v| {
-            let s = corpus.str_of(v).trim();
+            let s = strs.resolve(v).trim();
             !s.is_empty() && s.len() <= 9 && s.chars().all(|c| c.is_ascii_digit())
         })
         .count();
@@ -94,7 +94,7 @@ pub fn numeric_fraction(corpus: &Corpus, col: &Column) -> f64 {
 /// Structural sanity checks for a candidate column: enough distinct
 /// values, not dominated by one value, values not overly long.
 pub fn column_passes(
-    corpus: &Corpus,
+    strs: &Interner,
     col: &Column,
     min_distinct: usize,
     max_avg_len: usize,
@@ -103,7 +103,7 @@ pub fn column_passes(
     if distinct.len() < min_distinct {
         return false;
     }
-    let total_len: usize = col.values.iter().map(|&v| corpus.str_of(v).len()).sum();
+    let total_len: usize = col.values.iter().map(|&v| strs.resolve(v).len()).sum();
     if total_len / col.len().max(1) > max_avg_len {
         return false;
     }
@@ -113,7 +113,7 @@ pub fn column_passes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mapsynth_corpus::TableId;
+    use mapsynth_corpus::{Corpus, TableId};
 
     fn corpus_with(cols: Vec<(Option<&str>, Vec<&str>)>) -> Corpus {
         let mut c = Corpus::new();
@@ -129,7 +129,7 @@ mod tests {
             (None, vec!["1", "2", "3", "1"]),
         ]);
         let t = c.table(TableId(0));
-        let (ok, chk) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 0.95);
+        let (ok, chk) = approx_fd_holds(&c.interner, &t.columns[0], &t.columns[1], 0.95);
         assert!(ok);
         assert_eq!(chk.support, 1.0);
         assert_eq!(chk.distinct_left, 3);
@@ -149,9 +149,9 @@ mod tests {
         rights2[0] = "9"; // x → 9 once, x → 1 eighteen times
         let c = corpus_with(vec![(None, lefts2), (None, rights2)]);
         let t = c.table(TableId(0));
-        let (ok95, chk) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 0.95);
+        let (ok95, chk) = approx_fd_holds(&c.interner, &t.columns[0], &t.columns[1], 0.95);
         assert!(ok95, "support {}", chk.support);
-        let (ok99, _) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 0.99);
+        let (ok99, _) = approx_fd_holds(&c.interner, &t.columns[0], &t.columns[1], 0.99);
         assert!(!ok99);
     }
 
@@ -188,7 +188,7 @@ mod tests {
         states.push("Maine");
         let c = corpus_with(vec![(None, cities), (None, states)]);
         let t = c.table(TableId(0));
-        let (ok, chk) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 0.95);
+        let (ok, chk) = approx_fd_holds(&c.interner, &t.columns[0], &t.columns[1], 0.95);
         assert!(ok, "support {}", chk.support);
     }
 
@@ -199,7 +199,7 @@ mod tests {
             (None, vec!["CA", "ca", "CA"]),
         ]);
         let t = c.table(TableId(0));
-        let (ok, chk) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 1.0);
+        let (ok, chk) = approx_fd_holds(&c.interner, &t.columns[0], &t.columns[1], 1.0);
         assert!(ok);
         assert_eq!(chk.distinct_left, 1);
     }
@@ -212,7 +212,7 @@ mod tests {
             (None, vec!["10-12", "10-19", "10-12", "10-26"]),
         ]);
         let t = c.table(TableId(0));
-        let (ok, chk) = approx_fd_holds(&c, &t.columns[0], &t.columns[1], 0.95);
+        let (ok, chk) = approx_fd_holds(&c.interner, &t.columns[0], &t.columns[1], 0.95);
         assert!(!ok);
         assert!(chk.support < 0.8);
     }
@@ -224,8 +224,8 @@ mod tests {
             (None, vec!["alpha", "beta", "gamma", "delta"]),
         ]);
         let t = c.table(TableId(0));
-        assert_eq!(numeric_fraction(&c, &t.columns[0]), 1.0);
-        assert_eq!(numeric_fraction(&c, &t.columns[1]), 0.0);
+        assert_eq!(numeric_fraction(&c.interner, &t.columns[0]), 1.0);
+        assert_eq!(numeric_fraction(&c.interner, &t.columns[1]), 0.0);
     }
 
     #[test]
@@ -243,8 +243,8 @@ mod tests {
             (None, vec!["a", "b", "c"]),
         ]);
         let t = c.table(TableId(0));
-        assert!(!column_passes(&c, &t.columns[0], 3, 50));
-        assert!(!column_passes(&c, &t.columns[1], 3, 50));
-        assert!(column_passes(&c, &t.columns[2], 3, 50));
+        assert!(!column_passes(&c.interner, &t.columns[0], 3, 50));
+        assert!(!column_passes(&c.interner, &t.columns[1], 3, 50));
+        assert!(column_passes(&c.interner, &t.columns[2], 3, 50));
     }
 }

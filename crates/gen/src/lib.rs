@@ -48,4 +48,4 @@ pub mod words;
 pub use entgen::{generate_enterprise, EnterpriseConfig};
 pub use noise::NoiseConfig;
 pub use registry::{Entry, Registry, Relation, RelationKind};
-pub use webgen::{generate_web, WebConfig};
+pub use webgen::{generate_web, WebConfig, WebTableStream};

@@ -6,17 +6,29 @@
 //! column headers; distractor columns (ranks, numbers, incoherent
 //! free text); spurious-FD tables; formatting tables; temporal
 //! relations; and dirty cells per [`NoiseConfig`].
+//!
+//! Generation is a deterministic state machine over a seeded RNG, so it
+//! comes in two shapes that produce bit-identical tables:
+//!
+//! * [`generate_web`] materializes the whole corpus at once (tests,
+//!   small runs, anything that needs the ground-truth registry), and
+//! * [`WebTableStream`] yields one table at a time through the
+//!   [`TableSource`] trait, so large scale tiers can feed streaming
+//!   extraction without ever holding every raw table in memory.
+//!
+//! `generate_web` is implemented by draining a `WebTableStream`, so the
+//! two cannot drift apart.
 
 use crate::data::{airports, cities, misc};
 use crate::noise::{corrupt_cell, incoherent_cell, NoiseConfig};
 use crate::procedural::{procedural_relations, ProceduralConfig};
-use crate::registry::Registry;
-use mapsynth_corpus::{Column, Corpus};
+use crate::registry::{Registry, Relation};
+use mapsynth_corpus::{Column, Corpus, DomainId, Interner, Table, TableId, TableSource};
 use mapsynth_text::normalize;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Web corpus generation parameters.
 #[derive(Clone, Debug)]
@@ -108,64 +120,196 @@ pub struct WebCorpus {
 
 /// Generate the web corpus.
 pub fn generate_web(cfg: &WebConfig) -> WebCorpus {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut relations = crate::data::build_real_relations();
-    relations.extend(procedural_relations(&cfg.procedural));
+    let mut stream = WebTableStream::new(cfg.clone());
+    let mut tables = Vec::with_capacity(stream.table_count());
+    while let Some(t) = stream.next_table() {
+        tables.push(t);
+    }
     let registry = Registry {
-        relations: relations.clone(),
+        relations: stream.relations.clone(),
     };
+    WebCorpus {
+        corpus: Corpus {
+            interner: stream.interner,
+            tables,
+            domain_names: stream.domain_names,
+        },
+        registry,
+        table_relation: stream.table_relation,
+        emitted_pairs: stream.emitted_pairs,
+    }
+}
 
-    let mut corpus = Corpus::new();
-    // Dedicated reference domain: comprehensive tables often live on a
-    // Wikipedia-like site. The WikiTable baseline selects on this.
-    let wiki_domain = corpus.domain("wikipedia.example.org");
-    let domain_ids: Vec<_> = (0..cfg.domains)
-        .map(|i| corpus.domain(&format!("site-{i:04}.example.com")))
-        .collect();
-    let mut table_relation: Vec<Option<String>> = Vec::new();
-    let mut emitted_pairs: std::collections::HashSet<(String, String)> =
-        std::collections::HashSet::new();
+/// Streaming web-corpus generator: the same deterministic state machine
+/// as [`generate_web`], exposed one table at a time as a
+/// [`TableSource`].
+///
+/// The stream owns the interner and RNG; each call to
+/// [`next_table`](TableSource::next_table) advances the RNG exactly as
+/// the batch generator's loop body would, so table `i` of the stream is
+/// bit-identical (same `Sym`s, same domain, same rows) to table `i` of
+/// the materialized corpus for the same config. [`rewind`] re-seeds the
+/// RNG and replays; the append-only interner resolves repeated strings
+/// to their first-pass symbols, so replayed tables are identical too.
+///
+/// Ground-truth metadata (`table_relation`, `emitted_pairs`) is
+/// recorded on the first pass only.
+///
+/// [`rewind`]: TableSource::rewind
+pub struct WebTableStream {
+    cfg: WebConfig,
+    rng: StdRng,
+    relations: Vec<Relation>,
+    /// Popularity weights over `relations`.
+    weights: Vec<f64>,
+    total_w: f64,
+    /// Per-relation map: canonical left form → entry index. Used for
+    /// multi-relation tables.
+    left_index: Vec<HashMap<String, usize>>,
+    interner: Interner,
+    domain_names: Vec<String>,
+    wiki_domain: DomainId,
+    domain_ids: Vec<DomainId>,
+    months: Vec<String>,
+    /// Tables yielded so far in the current pass (== next TableId).
+    produced: usize,
+    n_rel: usize,
+    n_spurious: usize,
+    n_fmt: usize,
+    /// Record ground-truth metadata (first pass only).
+    record_meta: bool,
+    table_relation: Vec<Option<String>>,
+    emitted_pairs: HashSet<(String, String)>,
+}
 
-    // Cumulative popularity distribution over relations.
-    let weights: Vec<f64> = relations.iter().map(|r| r.popularity).collect();
-    let total_w: f64 = weights.iter().sum();
+/// Relations grouped by shared left-entity family (same prefix).
+fn family_of(name: &str) -> Option<&'static str> {
+    ["country->", "state->", "airport->"]
+        .into_iter()
+        .find(|&prefix| name.starts_with(prefix))
+}
 
-    // Group map for multi-relation tables: canonical left → entry idx.
-    let left_index: Vec<HashMap<String, usize>> = relations
-        .iter()
-        .map(|r| {
-            r.entries
-                .iter()
-                .enumerate()
-                .map(|(i, e)| (normalize(&e.left[0]), i))
-                .collect()
-        })
-        .collect();
-    // Relations grouped by shared left-entity family (same prefix).
-    let family_of = |name: &str| -> Option<&str> {
-        ["country->", "state->", "airport->"]
+impl WebTableStream {
+    /// Set up the generator state for `cfg`. No tables are produced
+    /// yet; the first [`next_table`](TableSource::next_table) call
+    /// yields `TableId(0)`.
+    pub fn new(cfg: WebConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let mut relations = crate::data::build_real_relations();
+        relations.extend(procedural_relations(&cfg.procedural));
+
+        // Dedicated reference domain: comprehensive tables often live
+        // on a Wikipedia-like site. The WikiTable baseline selects on
+        // this. Domain ids mirror `Corpus::domain` registration order.
+        let mut domain_names = vec!["wikipedia.example.org".to_string()];
+        let wiki_domain = DomainId(0);
+        let domain_ids: Vec<_> = (0..cfg.domains)
+            .map(|i| {
+                domain_names.push(format!("site-{i:04}.example.com"));
+                DomainId((domain_names.len() - 1) as u32)
+            })
+            .collect();
+
+        // Cumulative popularity distribution over relations.
+        let weights: Vec<f64> = relations.iter().map(|r| r.popularity).collect();
+        let total_w: f64 = weights.iter().sum();
+
+        // Group map for multi-relation tables: canonical left → entry
+        // idx.
+        let left_index: Vec<HashMap<String, usize>> = relations
+            .iter()
+            .map(|r| {
+                r.entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (normalize(&e.left[0]), i))
+                    .collect()
+            })
+            .collect();
+
+        // Formatting tables: two-column month calendars (paper Figure
+        // 13's month→month).
+        let misc_rels = misc::misc_relations();
+        let months: Vec<String> = misc_rels[0]
+            .entries
+            .iter()
+            .map(|e| e.left[0].clone())
+            .collect();
+
+        let n_spurious = (cfg.tables as f64 * cfg.spurious_frac) as usize;
+        let n_fmt = (cfg.tables as f64 * cfg.formatting_frac) as usize;
+        Self {
+            n_rel: cfg.tables,
+            n_spurious,
+            n_fmt,
+            cfg,
+            rng,
+            relations,
+            weights,
+            total_w,
+            left_index,
+            interner: Interner::new(),
+            domain_names,
+            wiki_domain,
+            domain_ids,
+            months,
+            produced: 0,
+            record_meta: true,
+            table_relation: Vec::new(),
+            emitted_pairs: HashSet::new(),
+        }
+    }
+
+    /// The ground-truth registry the stream draws tables from.
+    pub fn registry(&self) -> Registry {
+        Registry {
+            relations: self.relations.clone(),
+        }
+    }
+
+    /// Intern a string-valued table and stamp it with the next id.
+    fn intern_table(
+        &mut self,
+        domain: DomainId,
+        columns: Vec<(Option<String>, Vec<String>)>,
+    ) -> Table {
+        let cols: Vec<Column> = columns
             .into_iter()
-            .find(|&prefix| name.starts_with(prefix))
-            .map(|v| v as _)
-    };
+            .map(|(h, vals)| {
+                let header = h.map(|h| self.interner.intern(&h));
+                let values = vals.iter().map(|v| self.interner.intern(v)).collect();
+                Column::new(header, values)
+            })
+            .collect();
+        let id = TableId(self.produced as u32);
+        self.produced += 1;
+        Table {
+            id,
+            domain,
+            columns: cols,
+        }
+    }
 
-    for _ in 0..cfg.tables {
+    /// One relation-backed table (phase 1 of the generator).
+    fn next_relation_table(&mut self) -> Table {
+        let cfg = self.cfg.clone();
+        let rng = &mut self.rng;
         // Pick a relation by popularity.
-        let mut pick = rng.gen::<f64>() * total_w;
+        let mut pick = rng.gen::<f64>() * self.total_w;
         let mut rel_idx = 0;
-        for (i, w) in weights.iter().enumerate() {
+        for (i, w) in self.weights.iter().enumerate() {
             if pick < *w {
                 rel_idx = i;
                 break;
             }
             pick -= w;
         }
-        let rel = &relations[rel_idx];
+        let rel = &self.relations[rel_idx];
         let comprehensive = rng.gen_bool(cfg.comprehensive_prob);
         let domain = if comprehensive && rng.gen_bool(0.5) {
-            wiki_domain
+            self.wiki_domain
         } else {
-            domain_ids[zipf_index(&mut rng, domain_ids.len())]
+            self.domain_ids[zipf_index(rng, self.domain_ids.len())]
         };
         let rows = if comprehensive {
             rel.len()
@@ -175,7 +319,7 @@ pub fn generate_web(cfg: &WebConfig) -> WebCorpus {
         };
 
         // Choose entity subset.
-        let entry_idxs = sample_entries(&mut rng, rel.len(), rows);
+        let entry_idxs = sample_entries(rng, rel.len(), rows);
 
         // Per-table synonym style. Comprehensive reference lists use
         // canonical names; other tables mostly do too, with a minority
@@ -191,17 +335,20 @@ pub fn generate_web(cfg: &WebConfig) -> WebCorpus {
         let mut right_cells: Vec<String> = Vec::with_capacity(rows);
         for &ei in &entry_idxs {
             let e = &rel.entries[ei];
-            let lform = pick_form(&mut rng, &e.left, style);
-            let rform = pick_form(&mut rng, &e.right, style);
+            let lform = pick_form(rng, &e.left, style);
+            let rform = pick_form(rng, &e.right, style);
             let mut right = rform.to_string();
             // Wrong-value substitution (paper Figure 4).
             if cfg.noise.wrong_value > 0.0 && rng.gen_bool(cfg.noise.wrong_value) && rel.len() > 1 {
                 let other = rng.gen_range(0..rel.len());
                 right = rel.entries[other].right[0].clone();
             }
-            let lcell = corrupt_cell(&mut rng, &cfg.noise, lform);
-            let rcell = corrupt_cell(&mut rng, &cfg.noise, &right);
-            emitted_pairs.insert((normalize(&lcell), normalize(&rcell)));
+            let lcell = corrupt_cell(rng, &cfg.noise, lform);
+            let rcell = corrupt_cell(rng, &cfg.noise, &right);
+            if self.record_meta {
+                self.emitted_pairs
+                    .insert((normalize(&lcell), normalize(&rcell)));
+            }
             left_cells.push(lcell);
             right_cells.push(rcell);
         }
@@ -237,19 +384,20 @@ pub fn generate_web(cfg: &WebConfig) -> WebCorpus {
         // Second related right column (same left entities).
         if rng.gen_bool(cfg.multi_rel_prob) {
             if let Some(fam) = family_of(&rel.name) {
-                let others: Vec<usize> = relations
+                let others: Vec<usize> = self
+                    .relations
                     .iter()
                     .enumerate()
                     .filter(|(i, r)| *i != rel_idx && r.name.starts_with(fam))
                     .map(|(i, _)| i)
                     .collect();
-                if let Some(&oi) = others.choose(&mut rng) {
-                    let other = &relations[oi];
+                if let Some(&oi) = others.choose(rng) {
+                    let other = &self.relations[oi];
                     let mut extra: Vec<String> = Vec::with_capacity(n_rows);
                     let mut complete = true;
                     for &ei in &entry_idxs {
                         let canon = normalize(&rel.entries[ei].left[0]);
-                        match left_index[oi].get(&canon) {
+                        match self.left_index[oi].get(&canon) {
                             Some(&oe) => {
                                 extra.push(other.entries[oe].right[0].clone());
                             }
@@ -260,9 +408,11 @@ pub fn generate_web(cfg: &WebConfig) -> WebCorpus {
                         }
                     }
                     if complete && extra.len() == n_rows {
-                        for (&ei, val) in entry_idxs.iter().zip(&extra) {
-                            emitted_pairs
-                                .insert((normalize(&rel.entries[ei].left[0]), normalize(val)));
+                        if self.record_meta {
+                            for (&ei, val) in entry_idxs.iter().zip(&extra) {
+                                self.emitted_pairs
+                                    .insert((normalize(&rel.entries[ei].left[0]), normalize(val)));
+                            }
                         }
                         columns.push((Some(other.generic_right.clone()), extra));
                     }
@@ -282,7 +432,7 @@ pub fn generate_web(cfg: &WebConfig) -> WebCorpus {
             columns.push((Some("value".to_string()), nums));
         }
         if rng.gen_bool(cfg.incoherent_col_prob) {
-            let mixed: Vec<String> = (0..n_rows).map(|_| incoherent_cell(&mut rng)).collect();
+            let mixed: Vec<String> = (0..n_rows).map(|_| incoherent_cell(rng)).collect();
             columns.push((Some("location".to_string()), mixed));
         }
 
@@ -291,15 +441,19 @@ pub fn generate_web(cfg: &WebConfig) -> WebCorpus {
             columns.swap(0, 1);
         }
 
-        push_string_table(&mut corpus, domain, columns);
-        table_relation.push(Some(rel.name.clone()));
+        let rel_name = self.relations[rel_idx].name.clone();
+        let table = self.intern_table(domain, columns);
+        if self.record_meta {
+            self.table_relation.push(Some(rel_name));
+        }
+        table
     }
 
-    // Spurious-FD tables: departure → arrival airports. Locally
-    // functional, globally meaningless (paper §1 "Spurious mappings").
-    let n_spurious = (cfg.tables as f64 * cfg.spurious_frac) as usize;
-    for _ in 0..n_spurious {
-        let domain = domain_ids[zipf_index(&mut rng, domain_ids.len())];
+    /// One spurious-FD table: departure → arrival airports. Locally
+    /// functional, globally meaningless (paper §1 "Spurious mappings").
+    fn next_spurious_table(&mut self) -> Table {
+        let rng = &mut self.rng;
+        let domain = self.domain_ids[zipf_index(rng, self.domain_ids.len())];
         let rows = rng.gen_range(4..12);
         let mut dep = Vec::with_capacity(rows);
         let mut arr = Vec::with_capacity(rows);
@@ -313,39 +467,63 @@ pub fn generate_web(cfg: &WebConfig) -> WebCorpus {
             dep.push(d.name.to_string());
             arr.push(a.name.to_string());
         }
-        push_string_table(
-            &mut corpus,
+        let table = self.intern_table(
             domain,
             vec![
                 (Some("departure".to_string()), dep),
                 (Some("arrival".to_string()), arr),
             ],
         );
-        table_relation.push(None);
+        if self.record_meta {
+            self.table_relation.push(None);
+        }
+        table
     }
 
-    // Formatting tables: two-column month calendars (paper Figure 13's
-    // month→month).
-    let misc_rels = misc::misc_relations();
-    let months: Vec<String> = misc_rels[0]
-        .entries
-        .iter()
-        .map(|e| e.left[0].clone())
-        .collect();
-    let n_fmt = (cfg.tables as f64 * cfg.formatting_frac) as usize;
-    for _ in 0..n_fmt {
-        let domain = domain_ids[zipf_index(&mut rng, domain_ids.len())];
-        let first: Vec<String> = months[..6].iter().map(|m| m.to_string()).collect();
-        let second: Vec<String> = months[6..12].iter().map(|m| m.to_string()).collect();
-        push_string_table(&mut corpus, domain, vec![(None, first), (None, second)]);
-        table_relation.push(None);
+    /// One formatting table (month → month calendar fragment).
+    fn next_formatting_table(&mut self) -> Table {
+        let domain = self.domain_ids[zipf_index(&mut self.rng, self.domain_ids.len())];
+        let first: Vec<String> = self.months[..6].iter().map(|m| m.to_string()).collect();
+        let second: Vec<String> = self.months[6..12].iter().map(|m| m.to_string()).collect();
+        let table = self.intern_table(domain, vec![(None, first), (None, second)]);
+        if self.record_meta {
+            self.table_relation.push(None);
+        }
+        table
+    }
+}
+
+impl TableSource for WebTableStream {
+    fn table_count(&self) -> usize {
+        self.n_rel + self.n_spurious + self.n_fmt
     }
 
-    WebCorpus {
-        corpus,
-        registry,
-        table_relation,
-        emitted_pairs,
+    fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    fn domain_names(&self) -> &[String] {
+        &self.domain_names
+    }
+
+    fn next_table(&mut self) -> Option<Table> {
+        if self.produced < self.n_rel {
+            Some(self.next_relation_table())
+        } else if self.produced < self.n_rel + self.n_spurious {
+            Some(self.next_spurious_table())
+        } else if self.produced < self.table_count() {
+            Some(self.next_formatting_table())
+        } else {
+            None
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.cfg.seed);
+        self.produced = 0;
+        // Metadata was fully captured on the first pass; re-recording
+        // would duplicate `table_relation` entries.
+        self.record_meta = false;
     }
 }
 
@@ -397,22 +575,6 @@ fn pick_form<'a>(rng: &mut StdRng, forms: &'a [String], style: usize) -> &'a str
     }
 }
 
-fn push_string_table(
-    corpus: &mut Corpus,
-    domain: mapsynth_corpus::DomainId,
-    columns: Vec<(Option<String>, Vec<String>)>,
-) {
-    let cols: Vec<Column> = columns
-        .into_iter()
-        .map(|(h, vals)| {
-            let header = h.map(|h| corpus.interner.intern(&h));
-            let values = vals.iter().map(|v| corpus.interner.intern(v)).collect();
-            Column::new(header, values)
-        })
-        .collect();
-    corpus.push_interned_table(domain, cols);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +614,53 @@ mod tests {
                 assert_eq!(va, vb);
             }
         }
+    }
+
+    #[test]
+    fn stream_matches_batch_bit_for_bit() {
+        let cfg = small_cfg();
+        let batch = generate_web(&cfg);
+        let mut stream = WebTableStream::new(cfg);
+        assert_eq!(stream.table_count(), batch.corpus.len());
+        let mut i = 0usize;
+        while let Some(t) = stream.next_table() {
+            let bt = &batch.corpus.tables[i];
+            // Same Sym ids, not just same strings: the stream's
+            // interner must assign symbols in the batch order.
+            assert_eq!(t.id, bt.id);
+            assert_eq!(t.domain, bt.domain);
+            assert_eq!(t.columns.len(), bt.columns.len());
+            for (ca, cb) in t.columns.iter().zip(&bt.columns) {
+                assert_eq!(ca.header, cb.header);
+                assert_eq!(ca.values, cb.values);
+            }
+            i += 1;
+        }
+        assert_eq!(i, batch.corpus.len());
+        assert_eq!(stream.interner().len(), batch.corpus.interner.len());
+        assert_eq!(stream.domain_names(), &batch.corpus.domain_names[..]);
+        assert_eq!(stream.table_relation, batch.table_relation);
+        assert_eq!(stream.emitted_pairs, batch.emitted_pairs);
+    }
+
+    #[test]
+    fn stream_rewind_replays_identically() {
+        let mut stream = WebTableStream::new(small_cfg());
+        let first: Vec<Table> = std::iter::from_fn(|| stream.next_table()).collect();
+        let meta_len = stream.table_relation.len();
+        stream.rewind();
+        let second: Vec<Table> = std::iter::from_fn(|| stream.next_table()).collect();
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.domain, b.domain);
+            for (ca, cb) in a.columns.iter().zip(&b.columns) {
+                assert_eq!(ca.header, cb.header);
+                assert_eq!(ca.values, cb.values);
+            }
+        }
+        // Second pass interned nothing new and recorded no metadata.
+        assert_eq!(stream.table_relation.len(), meta_len);
     }
 
     #[test]

@@ -285,8 +285,11 @@ impl MapReduce {
 }
 
 /// Stable partitioning function (FNV-1a over the key's hash) so runs
-/// are reproducible across processes.
-fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+/// are reproducible across processes. Public because sharded artifact
+/// builds (value-space interning, blocking posting lists) partition by
+/// the same function the shuffle uses, keeping the whole pipeline on
+/// one deterministic hash.
+pub fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
     let mut hasher = FnvHasher::default();
     key.hash(&mut hasher);
     (hasher.finish() % partitions as u64) as usize

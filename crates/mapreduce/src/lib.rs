@@ -41,5 +41,5 @@ pub mod engine;
 pub mod unionfind;
 
 pub use cc::{connected_components_hash_to_min, connected_components_union_find};
-pub use engine::MapReduce;
+pub use engine::{partition_of, MapReduce};
 pub use unionfind::UnionFind;
