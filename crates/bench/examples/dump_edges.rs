@@ -20,29 +20,49 @@
 //! cargo run --release -p mapsynth-bench --example dump_edges -- \
 //!     crates/bench/golden/delta_edges_200.txt 200 --delta
 //! ```
+//!
+//! With a trailing `--stream` argument the dump is taken **after**
+//! the full sustained row-delta stream
+//! (`mapsynth_bench::run_delta_stream`: `STREAM_DELTAS` row patches,
+//! table churn and compactions) — the committed golden file
+//! `crates/bench/golden/delta_stream_edges_200.txt` is this mode at
+//! `STREAM_TABLES` tables, regenerated via:
+//!
+//! ```text
+//! cargo run --release -p mapsynth-bench --example dump_edges -- \
+//!     crates/bench/golden/delta_stream_edges_200.txt 200 --stream
+//! ```
 
 use mapsynth::pipeline::{PipelineConfig, SynthesisSession};
-use mapsynth_bench::{bench_delta, format_edges};
+use mapsynth_bench::{bench_delta, format_edges, post_stream_edge_dump, STREAM_DELTAS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tables: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(600);
     let delta_mode = args.iter().any(|a| a == "--delta");
-
-    let mut wc = mapsynth_bench::bench_corpus(tables);
-    let mut session = SynthesisSession::new(PipelineConfig::default());
-    session.prepare(&wc.corpus);
-    if delta_mode {
-        let delta = bench_delta(&mut wc.corpus, tables);
-        session.apply_delta(&wc.corpus, &delta);
-    }
-    let graph = session.graph(&session.config().synthesis);
-    let out = format_edges(&graph);
+    let stream_mode = args.iter().any(|a| a == "--stream");
     let path = args.first().cloned().unwrap_or_else(|| "edges.txt".into());
+
+    let (out, edges, label) = if stream_mode {
+        let out = post_stream_edge_dump(tables, STREAM_DELTAS);
+        let edges = out.lines().count();
+        (out, edges, " (post-stream)")
+    } else {
+        let mut wc = mapsynth_bench::bench_corpus(tables);
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&wc.corpus);
+        if delta_mode {
+            let delta = bench_delta(&mut wc.corpus, tables);
+            session.apply_delta(&wc.corpus, &delta);
+        }
+        let graph = session.graph(&session.config().synthesis);
+        let out = format_edges(&graph);
+        (
+            out,
+            graph.edges.len(),
+            if delta_mode { " (post-delta)" } else { "" },
+        )
+    };
     std::fs::write(&path, &out).unwrap();
-    eprintln!(
-        "wrote {} edges to {path}{}",
-        graph.edges.len(),
-        if delta_mode { " (post-delta)" } else { "" }
-    );
+    eprintln!("wrote {edges} edges to {path}{label}");
 }

@@ -342,6 +342,236 @@ fn check_scale_point(tables: usize, path: &str) -> ! {
     std::process::exit(0);
 }
 
+/// Committed golden dump of the post-stream compatibility-graph edges
+/// (the final graph after the full `run_delta_stream` sequence of row
+/// patches, table churn and compactions).
+const STREAM_GOLDEN_PATH: &str = "crates/bench/golden/delta_stream_edges_200.txt";
+
+/// RSS ceiling margin for the stream tier's post-compaction reading:
+/// tighter than the wall-clock margin (resident size varies far less
+/// across machines than timings do), loose enough for allocator noise.
+const RSS_CEILING_MARGIN: f64 = 2.0;
+
+/// Outcome of the sustained row-delta stream tier: latency
+/// distribution of `apply_delta` across the whole stream, churn and
+/// compaction counts, final deterministic counts, and the RSS probes
+/// that bound the session's footprint under sustained churn.
+struct StreamBenchReport {
+    outcome: mapsynth_bench::DeltaStreamOutcome,
+    publishes: usize,
+    publish_total_ms: f64,
+    candidates: usize,
+    edges: usize,
+    partitions: usize,
+    mappings: usize,
+    memo_values: usize,
+    apply_p50_ms: f64,
+    apply_p90_ms: f64,
+    apply_p99_ms: f64,
+    apply_max_ms: f64,
+    apply_total_ms: f64,
+    end_rss_mb: f64,
+    /// Post-stream edge dump (byte-compared against the committed
+    /// golden file in `--delta-stream --check`).
+    edge_dump: String,
+}
+
+/// Nearest-rank percentile over a sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The sustained-stream stage: drive the full deterministic row-delta
+/// stream at [`mapsynth_bench::STREAM_TABLES`] tables, publishing into
+/// a `MappingService` every [`mapsynth_bench::STREAM_PUBLISH_EVERY`]
+/// deltas (first publish full, the rest incremental), then derive the
+/// final counts and the latency distribution. With `verify` the stream
+/// self-checks against fresh rebuilds at its midpoint and end.
+fn stream_stage(verify: bool) -> StreamBenchReport {
+    use mapsynth_bench::{current_rss_kb, run_delta_stream, STREAM_DELTAS, STREAM_TABLES};
+    let service = MappingService::new();
+    let mut publishes = 0usize;
+    let mut publish_total_ms = 0.0;
+    let outcome = run_delta_stream(STREAM_TABLES, STREAM_DELTAS, verify, |mappings| {
+        let t = Instant::now();
+        if publishes == 0 {
+            service.publish(SnapshotBuilder::from_synthesized(mappings).build());
+        } else {
+            service.publish_delta(mappings);
+        }
+        publish_total_ms += t.elapsed().as_secs_f64() * 1e3;
+        publishes += 1;
+    });
+
+    let run = outcome.session.synthesize(
+        &outcome.session.config().synthesis.clone(),
+        Resolver::Algorithm4,
+    );
+    let memo_values = outcome
+        .session
+        .scores()
+        .expect("prepared")
+        .detail
+        .memo
+        .values;
+    let edge_dump =
+        mapsynth_bench::format_edges(&outcome.session.graph(&outcome.session.config().synthesis));
+
+    let mut sorted = outcome.apply_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    StreamBenchReport {
+        publishes,
+        publish_total_ms,
+        candidates: outcome.session.live_tables(),
+        edges: run.edges,
+        partitions: run.partitions,
+        mappings: run.mappings.len(),
+        memo_values,
+        apply_p50_ms: percentile(&sorted, 0.50),
+        apply_p90_ms: percentile(&sorted, 0.90),
+        apply_p99_ms: percentile(&sorted, 0.99),
+        apply_max_ms: sorted.last().copied().unwrap_or(0.0),
+        apply_total_ms: sorted.iter().sum(),
+        end_rss_mb: current_rss_kb() as f64 / 1024.0,
+        edge_dump,
+        outcome,
+    }
+}
+
+/// Render the stream report as the `delta_stream_detail` JSON object
+/// (indented for embedding at depth 1 in the main baseline file).
+fn render_stream(r: &StreamBenchReport) -> String {
+    let rss_measured = if r.outcome.post_compact_rss_mb > 0.0 {
+        r.outcome.post_compact_rss_mb
+    } else {
+        r.end_rss_mb
+    };
+    format!(
+        "{{\n    \"stream_tables\": {},\n    \"stream_deltas\": {},\n    \"stream_row_patches\": {},\n    \"stream_removals\": {},\n    \"stream_additions\": {},\n    \"stream_reorders\": {},\n    \"stream_compactions\": {},\n    \"stream_publishes\": {},\n    \"stream_candidates\": {},\n    \"stream_edges\": {},\n    \"stream_partitions\": {},\n    \"stream_mappings\": {},\n    \"stream_memo_values\": {},\n    \"stream_apply_p50_ms\": {:.3},\n    \"stream_apply_p90_ms\": {:.3},\n    \"stream_apply_p99_ms\": {:.3},\n    \"stream_apply_max_ms\": {:.3},\n    \"stream_apply_total_ms\": {:.3},\n    \"stream_publish_total_ms\": {:.3},\n    \"post_compact_rss_mb\": {:.1},\n    \"stream_end_rss_mb\": {:.1},\n    \"ceil_stream_p99_ms\": {:.0},\n    \"ceil_stream_rss_mb\": {:.0}\n  }}",
+        mapsynth_bench::STREAM_TABLES,
+        mapsynth_bench::STREAM_DELTAS,
+        r.outcome.row_patches,
+        r.outcome.removals,
+        r.outcome.additions,
+        r.outcome.reorders,
+        r.outcome.compactions,
+        r.publishes,
+        r.candidates,
+        r.edges,
+        r.partitions,
+        r.mappings,
+        r.memo_values,
+        r.apply_p50_ms,
+        r.apply_p90_ms,
+        r.apply_p99_ms,
+        r.apply_max_ms,
+        r.apply_total_ms,
+        r.publish_total_ms,
+        r.outcome.post_compact_rss_mb,
+        r.end_rss_mb,
+        (r.apply_p99_ms * MS_CEILING_MARGIN).ceil().max(1.0),
+        (rss_measured * RSS_CEILING_MARGIN).ceil().max(1.0),
+    )
+}
+
+/// `--delta-stream --check FILE`: re-run the full verified stream and
+/// fail on exact-count drift against the committed
+/// `delta_stream_detail` block, on the per-delta p99 latency or the
+/// post-compaction RSS exceeding their committed ceilings, or on the
+/// post-stream edge dump differing from the committed golden file.
+fn check_stream(path: &str) -> ! {
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let r = stream_stage(true);
+
+    let exact = [
+        ("stream_deltas", mapsynth_bench::STREAM_DELTAS as i64),
+        ("stream_row_patches", r.outcome.row_patches as i64),
+        ("stream_removals", r.outcome.removals as i64),
+        ("stream_additions", r.outcome.additions as i64),
+        ("stream_reorders", r.outcome.reorders as i64),
+        ("stream_compactions", r.outcome.compactions as i64),
+        ("stream_publishes", r.publishes as i64),
+        ("stream_candidates", r.candidates as i64),
+        ("stream_edges", r.edges as i64),
+        ("stream_partitions", r.partitions as i64),
+        ("stream_mappings", r.mappings as i64),
+        ("stream_memo_values", r.memo_values as i64),
+    ];
+    let mut drifted = false;
+    for (key, actual) in exact {
+        match json_int(&committed, key) {
+            Some(expected) if expected == actual => {
+                eprintln!("stream-check {key}: {actual} (ok)");
+            }
+            Some(expected) => {
+                eprintln!("stream-check {key}: expected {expected}, got {actual} (DRIFT)");
+                drifted = true;
+            }
+            None => {
+                eprintln!("stream-check {key}: missing from baseline (DRIFT)");
+                drifted = true;
+            }
+        }
+    }
+
+    let rss_measured = if r.outcome.post_compact_rss_mb > 0.0 {
+        r.outcome.post_compact_rss_mb
+    } else {
+        r.end_rss_mb
+    };
+    let ceilings = [
+        ("ceil_stream_p99_ms", r.apply_p99_ms),
+        ("ceil_stream_rss_mb", rss_measured),
+    ];
+    for (key, actual) in ceilings {
+        match json_num(&committed, key) {
+            Some(ceiling) if actual <= ceiling => {
+                eprintln!("stream-check {key}: {actual:.1} ≤ {ceiling:.0} (ok)");
+            }
+            Some(ceiling) => {
+                eprintln!("stream-check {key}: {actual:.1} exceeds ceiling {ceiling:.0} (DRIFT)");
+                drifted = true;
+            }
+            None => {
+                eprintln!("stream-check {key}: missing from baseline (DRIFT)");
+                drifted = true;
+            }
+        }
+    }
+
+    match std::fs::read_to_string(STREAM_GOLDEN_PATH) {
+        Ok(golden) => {
+            if golden == r.edge_dump {
+                eprintln!("stream-check golden edges: {} bytes (ok)", golden.len());
+            } else {
+                eprintln!(
+                    "stream-check golden edges: dump differs from {STREAM_GOLDEN_PATH} (DRIFT); \
+                     regenerate via `cargo run --release -p mapsynth-bench --example dump_edges -- \
+                     {STREAM_GOLDEN_PATH} {} --stream` if intended",
+                    mapsynth_bench::STREAM_TABLES
+                );
+                drifted = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("stream-check golden edges: cannot read {STREAM_GOLDEN_PATH}: {e} (DRIFT)");
+            drifted = true;
+        }
+    }
+
+    if drifted {
+        eprintln!("delta-stream tier drifted from {path}; regenerate the baseline if intended");
+        std::process::exit(1);
+    }
+    eprintln!("delta-stream tier matches {path}");
+    std::process::exit(0);
+}
+
 /// Corpus size of the committed post-delta golden edge dump.
 const GOLDEN_TABLES: usize = 200;
 /// Committed golden dump of the post-delta compatibility-graph edges
@@ -617,6 +847,20 @@ fn main() {
         print!("{}", render_point(&p));
         return;
     }
+    if args.first().map(String::as_str) == Some("--delta-stream") {
+        if args.get(1).map(String::as_str) == Some("--check") {
+            let path = args
+                .get(2)
+                .map(String::as_str)
+                .unwrap_or("BENCH_pipeline.json");
+            check_stream(path);
+        }
+        // Standalone (child-process) mode: print the bare
+        // `delta_stream_detail` object for embedding by the parent run.
+        let r = stream_stage(true);
+        print!("{}", render_stream(&r));
+        return;
+    }
     if args.first().map(String::as_str) == Some("--check") {
         let path = args
             .get(1)
@@ -701,6 +945,20 @@ fn main() {
 
     let delta = delta_stage(&mut session, &mut wc.corpus, tables, &output.mappings);
     let rss_end_kb = peak_rss_kb();
+
+    // Sustained-stream tier in a child process, so its RSS probes read
+    // only the stream's own footprint — not the 600-table batch state
+    // still resident in this process.
+    let stream_block = {
+        let exe = std::env::current_exe().expect("current_exe");
+        let out = std::process::Command::new(&exe)
+            .arg("--delta-stream")
+            .output()
+            .expect("spawn delta-stream child");
+        std::io::Write::write_all(&mut std::io::stderr(), &out.stderr).ok();
+        assert!(out.status.success(), "delta-stream stage failed");
+        String::from_utf8(out.stdout).expect("delta-stream JSON is UTF-8")
+    };
     let mb = |kb: u64| kb as f64 / 1024.0;
     let rss_of = |stage: &str| {
         stage_rss
@@ -712,7 +970,7 @@ fn main() {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let delta_apply_ms = ms(delta.report.timings.total);
     let json = format!(
-        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_sig_mask_rejects\": {},\n    \"memo_sig_hist_rejects\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"stage_peak_rss_mb\": {{\n    \"start\": {:.1},\n    \"extraction\": {:.1},\n    \"value_space\": {:.1},\n    \"scoring\": {:.1},\n    \"end\": {:.1}\n  }},\n  \"workers\": {{\n    \"requested\": {},\n    \"effective\": {},\n    \"available\": {}\n  }},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }}\n}}\n",
+        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_sig_mask_rejects\": {},\n    \"memo_sig_hist_rejects\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"stage_peak_rss_mb\": {{\n    \"start\": {:.1},\n    \"extraction\": {:.1},\n    \"value_space\": {:.1},\n    \"scoring\": {:.1},\n    \"end\": {:.1}\n  }},\n  \"workers\": {{\n    \"requested\": {},\n    \"effective\": {},\n    \"available\": {}\n  }},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }},\n  \"delta_stream_detail\": {}\n}}\n",
         tables,
         output.candidates,
         output.edges,
@@ -778,6 +1036,7 @@ fn main() {
         delta.serve.rebuilt_shards,
         delta.serve.total_shards,
         delta.publish_delta_ms,
+        stream_block,
     );
     match out_path {
         Some(path) => {

@@ -192,6 +192,55 @@ impl ApproxMemo {
         Self::from_pairs(n, params, pairs, stats)
     }
 
+    /// Shrink the memo onto a freshly rebuilt value space without
+    /// re-running any edit-distance work.
+    ///
+    /// `map` translates a pre-compaction value id to its id in the new
+    /// space (`None`: the value died with its last table). `new_roles`
+    /// are the roles of a **fresh** build over the new space. A cached
+    /// pair survives iff both endpoints survive and the pair is still
+    /// role-compatible under the fresh roles.
+    ///
+    /// Why this is exactly the fresh memo: role bits only ever grow
+    /// while a session runs (removed tables' bits are never cleared),
+    /// so for every surviving value the stale role set is a superset of
+    /// its fresh one — the cached pair set restricted by fresh-role
+    /// compatibility is precisely the set a fresh build would cache,
+    /// with the same distances (matching is content-only). The CSR and
+    /// union-find are reassembled from the kept pairs, so `neighbors`,
+    /// `distance` and the component filter are bit-identical to a
+    /// fresh build's. The prefilter/DP counters in `stats` stay
+    /// cumulative (they describe work actually done across the
+    /// session); `values`/`matched_pairs`/`components` are recomputed
+    /// for the new space.
+    pub fn compact(
+        &self,
+        map: impl Fn(NormId) -> Option<NormId>,
+        n_new: usize,
+        new_roles: &[u8],
+    ) -> Self {
+        debug_assert_eq!(new_roles.len(), n_new);
+        let n_old = self.offsets.len().saturating_sub(1);
+        let mut pairs: Vec<(u32, u32, u32)> = Vec::new();
+        for x in 0..n_old as u32 {
+            let Some(nx) = map(NormId(x)) else { continue };
+            for &(y, d) in self.neighbors(NormId(x)) {
+                if y <= x {
+                    continue; // each unordered pair owned by its min id
+                }
+                let Some(ny) = map(NormId(y)) else { continue };
+                if new_roles[nx.0 as usize] & new_roles[ny.0 as usize] == 0 {
+                    continue;
+                }
+                pairs.push((nx.0.min(ny.0), nx.0.max(ny.0), d));
+            }
+        }
+        let mut stats = self.stats;
+        stats.values = new_roles.iter().filter(|&&r| r != 0).count();
+        stats.matched_pairs = pairs.len();
+        Self::from_pairs(n_new, self.params, pairs, stats)
+    }
+
     /// Assemble the CSR adjacency + union-find from an explicit pair
     /// list (shared by [`build`](Self::build) and
     /// [`extend`](Self::extend)).

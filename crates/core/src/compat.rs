@@ -383,6 +383,116 @@ impl ScoringContext {
         self.roles = roles;
     }
 
+    /// Advance the context for a row-patch delta: rebuild the views of
+    /// the tables at `replaced_positions` (whose `tables` entries now
+    /// hold post-patch content), append views for `new_positions`, and
+    /// extend the memo exactly as [`extend`](Self::extend) does.
+    ///
+    /// Replaced values' old role bits are kept — stale bits only ever
+    /// cache extra memo pairs no live query can reach (the same
+    /// argument that lets removed tables keep theirs) — so the memo
+    /// grows monotonically and only genuinely new value pairs run the
+    /// edit-distance kernel.
+    pub fn patch(
+        &mut self,
+        space: &ValueSpace,
+        tables: &[NormBinary],
+        replaced_positions: &[u32],
+        new_positions: &[u32],
+        mr: &MapReduce,
+    ) {
+        let t = Instant::now();
+        let replaced_views: Vec<TableView> = mr.par_map(replaced_positions, |&ti| {
+            view_of(space, &tables[ti as usize])
+        });
+        for (&p, v) in replaced_positions.iter().zip(replaced_views) {
+            self.views[p as usize] = v;
+        }
+        let new_views: Vec<TableView> =
+            mr.par_map(new_positions, |&ti| view_of(space, &tables[ti as usize]));
+        debug_assert_eq!(
+            new_positions.first().map(|&p| p as usize),
+            (!new_positions.is_empty()).then_some(self.views.len()),
+            "new views must append contiguously"
+        );
+        self.views.extend(new_views);
+        self.build_stats.index_build += t.elapsed();
+
+        let old_roles = std::mem::take(&mut self.roles);
+        let mut roles = old_roles.clone();
+        roles.resize(space.len(), 0);
+        for &ti in replaced_positions.iter().chain(new_positions) {
+            for &(l, r) in &tables[ti as usize].pairs {
+                roles[l.0 as usize] |= ROLE_LEFT;
+                roles[r.0 as usize] |= ROLE_RIGHT;
+            }
+        }
+        if let Some(memo) = &self.memo {
+            let t = Instant::now();
+            let grown = memo.extend(space, &old_roles, &roles, mr);
+            self.build_stats.approx_memo += t.elapsed();
+            self.build_stats.memo = grown.stats;
+            self.memo = Some(grown);
+        }
+        self.roles = roles;
+    }
+
+    /// Build the context for a *compacted* session: views and roles
+    /// are computed fresh over the compacted table list (exactly as
+    /// [`build`](Self::build) would), but the approximate-match memo is
+    /// carried over through [`ApproxMemo::compact`] — `map` translates
+    /// pre-compaction value ids into the freshly rebuilt space — so no
+    /// edit-distance work re-runs. The fresh roles also serve as the
+    /// compaction filter that sheds every stale-role-only pair, leaving
+    /// the memo bit-identical in behavior to a fresh build's.
+    pub fn compacted(
+        prev: &ScoringContext,
+        space: &ValueSpace,
+        tables: &[NormBinary],
+        cfg: &SynthesisConfig,
+        map: impl Fn(NormId) -> Option<NormId>,
+        mr: &MapReduce,
+    ) -> Self {
+        assert_eq!(cfg.match_params, prev.params, "matching identity");
+        assert_eq!(
+            cfg.approx_matching, prev.approx_matching,
+            "matching identity"
+        );
+        let t = Instant::now();
+        let views: Vec<TableView> = mr.par_map(tables, |tb| view_of(space, tb));
+        let index_build = t.elapsed();
+
+        let mut roles = vec![0u8; space.len()];
+        for tb in tables {
+            for &(l, r) in &tb.pairs {
+                roles[l.0 as usize] |= ROLE_LEFT;
+                roles[r.0 as usize] |= ROLE_RIGHT;
+            }
+        }
+
+        let mut build_stats = ScoringBuildStats {
+            index_build,
+            ..prev.build_stats
+        };
+        let memo = prev.memo.as_ref().map(|m| {
+            let t = Instant::now();
+            let compacted = m.compact(map, space.len(), &roles);
+            build_stats.approx_memo = prev.build_stats.approx_memo + t.elapsed();
+            build_stats.memo = compacted.stats;
+            compacted
+        });
+
+        Self {
+            views,
+            memo,
+            roles,
+            params: cfg.match_params,
+            approx_matching: cfg.approx_matching,
+            max_approx_cross: cfg.max_approx_cross,
+            build_stats,
+        }
+    }
+
     /// Number of tables in the context.
     pub fn len(&self) -> usize {
         self.views.len()

@@ -4,18 +4,19 @@
 //! A [`SynthesisSession`] caches three expensive stage artifacts;
 //! [`SynthesisSession::apply_delta`] advances all of them under a
 //! [`CorpusDelta`] (tables appended to the corpus + live tables
-//! removed) so that every variant derived afterwards —
+//! removed + row-granular [`RowPatch`]es to surviving tables) so that
+//! every variant derived afterwards —
 //! [`SynthesisSession::synthesize`], `graph`, `weights_for` — is
 //! **bit-identical** to what a fresh session on the post-delta corpus
 //! would produce, at a fraction of the cost:
 //!
 //! | Stage | Delta work |
 //! |---|---|
-//! | 1. Extraction | old columns re-scored *arithmetically* from cached co-occurrence counts ([`mapsynth_extract::ExtractionCache`]); FD/structural filters never re-run for unchanged tables |
-//! | 2. Value space | interning extended **append-only** ([`crate::values::extend_value_space`]); removed tables tombstoned, never renumbered |
+//! | 1. Extraction | old columns re-scored *arithmetically* from cached co-occurrence counts ([`mapsynth_extract::ExtractionCache`]); FD/structural filters never re-run for unchanged tables; row-patched tables patch the value index per changed column and re-extract only themselves |
+//! | 2. Value space | interning extended **append-only** ([`crate::values::extend_value_space`]); removed tables tombstoned, never renumbered; row-patched candidates re-project in place, keeping their stage-2 position |
 //! | 3a. Blocking | posting lists + pair counts patched for touched keys only ([`crate::blocking::BlockingIndex`]) |
 //! | 3b. Approx memo | the fresh build's filtered enumeration (length window → signature prefilters → edit-distance kernel), restricted to newly queryable pairs ([`crate::approx::ApproxMemo::extend`]); `ValueSpace` signatures extend append-only with the interning |
-//! | 3c. Match counts | merge-join recomputed only for pairs whose support changed; surviving pairs keep their cached [`MatchCounts`] verbatim |
+//! | 3c. Match counts | merge-join recomputed only for pairs whose support changed (including every pair touching a row-patched table); surviving pairs keep their cached [`MatchCounts`] verbatim |
 //! | 4. Variant tail | unchanged — runs over the patched artifacts |
 //!
 //! # Why bit-identity holds
@@ -42,7 +43,7 @@
 //! ```
 //! use mapsynth::delta::CorpusDelta;
 //! use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
-//! use mapsynth_corpus::Corpus;
+//! use mapsynth_corpus::{Corpus, RowPatch};
 //!
 //! let mut corpus = Corpus::new();
 //! let d = corpus.domain("example.com");
@@ -55,15 +56,24 @@
 //! let mut session = SynthesisSession::new(PipelineConfig::default());
 //! session.prepare(&corpus);
 //!
-//! // Corpus evolves: one table retired, one appended.
+//! // Corpus evolves: one table retired, one appended, one edited in
+//! // place (rows change, the table id does not). Row patches are
+//! // applied to the corpus *first*, then named in the delta.
 //! let removed = vec![corpus.tables[1].id];
 //! let added = vec![corpus.push_table(d, vec![
 //!     (Some("name"), vec!["United States", "Canada", "Japan", "Germany", "France"]),
 //!     (Some("code"), vec!["USA", "CAN", "JPN", "DEU", "FRA"]),
 //! ])];
-//! let delta = CorpusDelta { added, removed };
+//! let patch = RowPatch {
+//!     table: corpus.tables[0].id,
+//!     deleted: vec![],
+//!     inserted: vec![vec!["Italy".to_string(), "ITA".to_string()]],
+//! };
+//! corpus.apply_row_patch(&patch);
+//! let delta = CorpusDelta { added, removed, patches: vec![patch] };
 //! let report = session.apply_delta(&corpus, &delta);
 //! assert_eq!(report.tables_added, 1);
+//! assert_eq!(report.tables_patched, 1);
 //!
 //! // Derived variants now reflect the post-delta corpus.
 //! let run = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
@@ -73,20 +83,27 @@
 use crate::blocking::BlockingIndex;
 use crate::compat::{MatchCounts, PairWeights};
 use crate::session::SynthesisSession;
-use crate::values::{extend_value_space, ValueInterning};
-use mapsynth_corpus::{Corpus, TableId};
+use crate::values::{
+    extend_value_space, grow_value_space_sharded, project_candidate_at, NormBinary, ValueInterning,
+};
+use mapsynth_corpus::{BinaryTable, Corpus, RowPatch, TableId};
 use mapsynth_extract::ExtractionCache;
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 /// One batch of corpus evolution: tables appended to the corpus since
-/// the session last saw it, plus live tables to retire.
+/// the session last saw it, live tables to retire, and row-granular
+/// edits to tables that survive.
 ///
-/// The corpus itself is append-only — callers push the new tables into
-/// the *same* [`Corpus`] the session was prepared on and name them
-/// here; removal is logical (the session tombstones every trace of the
-/// table). [`CorpusDelta::post_corpus`] materializes the reference
-/// semantics for oracles and benchmarks.
+/// The corpus itself is append-only at table granularity — callers push
+/// the new tables into the *same* [`Corpus`] the session was prepared
+/// on and name them here; removal is logical (the session tombstones
+/// every trace of the table). Row patches mutate the corpus in place:
+/// callers apply each patch via [`Corpus::apply_row_patch`] **before**
+/// handing the delta to [`SynthesisSession::apply_delta`], which uses
+/// the patch lists to reconstruct the pre-patch state arithmetically.
+/// [`CorpusDelta::post_corpus`] materializes the reference semantics
+/// for oracles and benchmarks.
 #[derive(Clone, Debug, Default)]
 pub struct CorpusDelta {
     /// Ids of tables appended to the corpus, in push order. Must be
@@ -94,6 +111,11 @@ pub struct CorpusDelta {
     pub added: Vec<TableId>,
     /// Ids of live tables to remove.
     pub removed: Vec<TableId>,
+    /// Row-granular edits, already applied to the corpus via
+    /// [`Corpus::apply_row_patch`]. At most one patch per table per
+    /// delta; a patched table must be live and may not also appear in
+    /// `added` or `removed`.
+    pub patches: Vec<RowPatch>,
 }
 
 impl CorpusDelta {
@@ -127,22 +149,32 @@ pub struct DeltaTimings {
 /// What one delta did to the session's artifacts.
 #[derive(Clone, Debug, Default)]
 pub struct DeltaReport {
-    /// The delta hit the coherence-gain case (an old table gained a
-    /// candidate) and was answered with the renumber path: candidate
-    /// ids and table positions were rebuilt in fresh order, reusing
-    /// the value space, the approximate-match memo and surviving match
-    /// counts. Output is exactly the post-delta result either way; on
-    /// this path `candidates_added`/`candidates_tombstoned` describe
-    /// the renumbered universe rather than a patch.
+    /// The delta hit a coherence-gain or projection-gain case (an old
+    /// table gained a candidate, or a row-patched candidate that had
+    /// been dropped below two usable pairs resurfaced) and was
+    /// answered with the renumber path: candidate ids and table
+    /// positions were rebuilt in fresh order, reusing the value space,
+    /// the approximate-match memo and surviving match counts. Output
+    /// is exactly the post-delta result either way, and the candidate
+    /// counters below keep the same unified semantics on both paths.
     pub reordered: bool,
     /// Tables added / removed by the delta.
     pub tables_added: usize,
     /// Tables removed by the delta.
     pub tables_removed: usize,
-    /// Candidate binary tables appended.
+    /// Tables edited in place by row patches.
+    pub tables_patched: usize,
+    /// Live candidate binary tables that exist after the delta but not
+    /// before it — the same definition on the in-place and renumber
+    /// paths, so `live_after = live_before + candidates_added -
+    /// candidates_tombstoned` always holds.
     pub candidates_added: usize,
-    /// Candidate binary tables tombstoned.
+    /// Live candidates before the delta that are gone after it.
     pub candidates_tombstoned: usize,
+    /// Live candidates surviving the delta with changed content (row
+    /// patches): same extraction slot, new rows. Counted in neither
+    /// `candidates_added` nor `candidates_tombstoned`.
+    pub candidates_replaced: usize,
     /// Values newly interned into the space.
     pub new_values: usize,
     /// Old columns whose coherence verdict flipped.
@@ -207,6 +239,7 @@ impl SynthesisSession {
         let mut report = DeltaReport {
             tables_added: delta.added.len(),
             tables_removed: delta.removed.len(),
+            tables_patched: delta.patches.len(),
             ..Default::default()
         };
 
@@ -238,6 +271,26 @@ impl SynthesisSession {
                     "added ids must name the appended tables in push order"
                 );
             }
+            let mut patched = HashSet::new();
+            for p in &delta.patches {
+                let tid = p.table;
+                assert!(
+                    (tid.0 as usize) < old_len,
+                    "patched table {tid:?} unknown to this session"
+                );
+                assert!(
+                    incr.alive_tables[tid.0 as usize],
+                    "patched table {tid:?} is not live"
+                );
+                assert!(
+                    !seen.contains(&tid),
+                    "table {tid:?} both patched and removed in one delta"
+                );
+                assert!(
+                    patched.insert(tid),
+                    "table {tid:?} patched twice in one delta"
+                );
+            }
         }
         {
             let incr = self.incr.as_mut().unwrap();
@@ -248,6 +301,12 @@ impl SynthesisSession {
         }
 
         // Stage 1 — incremental extraction.
+        let live_before = self
+            .incr
+            .as_ref()
+            .unwrap()
+            .extraction_cache
+            .live_candidates();
         let t = Instant::now();
         let ex = {
             let incr = self.incr.as_mut().unwrap();
@@ -255,6 +314,7 @@ impl SynthesisSession {
                 corpus,
                 &delta.added,
                 &delta.removed,
+                &delta.patches,
                 &self.cfg.extraction,
                 &self.mr,
             )
@@ -263,31 +323,93 @@ impl SynthesisSession {
         report.coherence_flips = ex.coherence_flips;
 
         if ex.reordered {
-            self.apply_delta_reordered(corpus, &mut report);
+            // The extraction cache has already sentineled any
+            // row-patched survivors, so the rebuilt candidate list
+            // assigns them fresh ids.
+            self.apply_delta_reordered(corpus, &mut report, live_before, ex.replaced.len());
             self.corpus_fingerprint = Some((corpus.len(), corpus.total_columns() as u64));
             report.timings.total = t_total.elapsed();
             return report;
         }
         report.candidates_added = ex.added.len();
         report.candidates_tombstoned = ex.tombstoned.len();
+        report.candidates_replaced = ex.replaced.len();
 
-        // Stage 2 — append-only value-space extension + tombstoning.
+        // Stage 2 — append-only value-space growth, in-place
+        // re-projection of row-patched candidates, tombstoning.
         let t = Instant::now();
         let idx_base = self.extraction.as_ref().unwrap().candidates.len() as u32;
-        let (grown_space, new_norms) = {
+        debug_assert!(ex
+            .added
+            .iter()
+            .enumerate()
+            .all(|(k, c)| c.id.0 as usize == idx_base as usize + k));
+        let (grown_space, replaced_proj, added_proj) = {
             let incr = self.incr.as_mut().unwrap();
             let values = self.values.as_ref().unwrap();
-            extend_value_space(
+            let mut to_intern: Vec<BinaryTable> =
+                Vec::with_capacity(ex.replaced.len() + ex.added.len());
+            to_intern.extend(ex.replaced.iter().cloned());
+            to_intern.extend(ex.added.iter().cloned());
+            let grown = grow_value_space_sharded(
                 &values.space,
                 &mut incr.interning,
                 &corpus.interner,
-                &ex.added,
+                &to_intern,
                 &self.synonyms,
-                idx_base,
                 &self.mr,
-            )
+                self.mr.workers(),
+            );
+            let replaced_proj: Vec<(u32, Option<NormBinary>)> = ex
+                .replaced
+                .iter()
+                .map(|rb| {
+                    (
+                        rb.id.0,
+                        project_candidate_at(&grown, &incr.interning, rb, rb.id.0),
+                    )
+                })
+                .collect();
+            let added_proj: Vec<NormBinary> = ex
+                .added
+                .iter()
+                .filter_map(|cand| project_candidate_at(&grown, &incr.interning, cand, cand.id.0))
+                .collect();
+            (grown, replaced_proj, added_proj)
         };
-        let (removed_positions, added_positions) = {
+
+        // A row-patched candidate that had been projected out (below
+        // two usable pairs) resurfacing breaks the stage-2 table order
+        // a fresh run would produce — fall back to the renumber path.
+        // The interning has already advanced past the grown space, so
+        // that space must be installed first: the renumber extends it
+        // rather than the pre-delta one.
+        let projection_gain = {
+            let incr = self.incr.as_ref().unwrap();
+            replaced_proj
+                .iter()
+                .any(|(id, proj)| incr.pos_of_candidate[*id as usize].is_none() && proj.is_some())
+        };
+        if projection_gain {
+            {
+                let values = self.values.as_mut().unwrap();
+                report.new_values = grown_space.len() - values.space.len();
+                values.space = grown_space;
+            }
+            report.timings.values = t.elapsed();
+            let replaced_ids: Vec<u32> = ex.replaced.iter().map(|c| c.id.0).collect();
+            self.incr
+                .as_mut()
+                .unwrap()
+                .extraction_cache
+                .sentinel_candidates(&replaced_ids);
+            self.apply_delta_reordered(corpus, &mut report, live_before, ex.replaced.len());
+            self.corpus_fingerprint = Some((corpus.len(), corpus.total_columns() as u64));
+            report.timings.total = t_total.elapsed();
+            return report;
+        }
+
+        let (removed_positions, added_positions, replaced_positions, swaps) = {
             let incr = self.incr.as_mut().unwrap();
             let values = self.values.as_mut().unwrap();
             report.new_values = grown_space.len() - values.space.len();
@@ -299,51 +421,93 @@ impl SynthesisSession {
                     removed_positions.push(pos);
                 }
             }
+            // Row-patched candidates: survivors swap their stage-2
+            // entry in place (deferred until blocking unregisters the
+            // old content); ones dropping below two usable pairs leave
+            // the slice like tombstones.
+            let mut replaced_positions = Vec::new();
+            let mut swaps: Vec<(u32, NormBinary)> = Vec::new();
+            for (id, proj) in replaced_proj {
+                match (incr.pos_of_candidate[id as usize], proj) {
+                    (Some(pos), Some(nb)) => {
+                        replaced_positions.push(pos);
+                        swaps.push((pos, nb));
+                    }
+                    (Some(pos), None) => {
+                        incr.pos_of_candidate[id as usize] = None;
+                        incr.dead[pos as usize] = true;
+                        removed_positions.push(pos);
+                    }
+                    // Projected out before and after: the raw content
+                    // update below is all there is.
+                    (None, _) => {}
+                }
+            }
             incr.pos_of_candidate
                 .resize(idx_base as usize + ex.added.len(), None);
             let mut added_positions = Vec::new();
-            for nb in new_norms {
+            for nb in added_proj {
                 let pos = values.tables.len() as u32;
                 incr.pos_of_candidate[nb.idx as usize] = Some(pos);
                 values.tables.push(nb);
                 incr.dead.push(false);
                 added_positions.push(pos);
             }
-            (removed_positions, added_positions)
+            (
+                removed_positions,
+                added_positions,
+                replaced_positions,
+                swaps,
+            )
         };
         report.timings.values = t.elapsed();
         self.values.as_mut().unwrap().elapsed += report.timings.values;
 
-        // Stage 3a — blocking index patch.
+        // Stage 3a — blocking index patch. Replaced positions
+        // unregister under their old content, swap, then re-register
+        // under the new content alongside the appended tables.
         let t = Instant::now();
         let (pairs, blocking_stats) = {
             let incr = self.incr.as_mut().unwrap();
-            let values = self.values.as_ref().unwrap();
-            incr.blocking.apply_delta(
-                &values.space,
-                &values.tables,
-                &added_positions,
-                &removed_positions,
-                &self.cfg.synthesis,
-            )
+            let values = self.values.as_mut().unwrap();
+            let cfg = &self.cfg.synthesis;
+            let mut drop_list = removed_positions.clone();
+            drop_list.extend_from_slice(&replaced_positions);
+            incr.blocking
+                .remove_tables(&values.space, &values.tables, &drop_list, cfg);
+            for (pos, nb) in swaps {
+                values.tables[pos as usize] = nb;
+            }
+            let mut add_list = replaced_positions.clone();
+            add_list.extend_from_slice(&added_positions);
+            incr.blocking
+                .add_tables(&values.space, &values.tables, &add_list, cfg);
+            incr.blocking.pairs(cfg)
         };
         report.timings.blocking = t.elapsed();
 
-        // Stage 3b + 3c — grow the scoring context, then recompute
-        // match counts only for pairs whose support changed. Surviving
-        // pairs keep their cached counts verbatim: two live tables'
-        // counts depend only on their contents, the class partition
-        // restricted to their values, and memoized distances — all of
-        // which the delta leaves untouched.
+        // Stage 3b + 3c — grow the scoring context (patching the views
+        // of row-patched tables in place), then recompute match counts
+        // only for pairs whose support changed. Surviving pairs keep
+        // their cached counts verbatim: two live tables' counts depend
+        // only on their contents, the class partition restricted to
+        // their values, and memoized distances — all of which the
+        // delta leaves untouched. Every pair touching a row-patched
+        // table re-joins, cached or not.
         let t = Instant::now();
         let values = self.values.as_ref().unwrap();
         let scores = self.scores.as_mut().unwrap();
         let dp_before = scores.context.build_stats.memo.dp_calls;
-        scores
-            .context
-            .extend(&values.space, &values.tables, &added_positions, &self.mr);
+        scores.context.patch(
+            &values.space,
+            &values.tables,
+            &replaced_positions,
+            &added_positions,
+            &self.mr,
+        );
         report.memo_dp_calls = scores.context.build_stats.memo.dp_calls - dp_before;
 
+        let replaced_set: HashSet<u32> = replaced_positions.iter().copied().collect();
         let old_counts = std::mem::take(&mut scores.counts);
         let mut kept: Vec<(u32, u32, MatchCounts)> = Vec::with_capacity(pairs.len());
         let mut fresh_pairs: Vec<(u32, u32)> = Vec::new();
@@ -353,10 +517,15 @@ impl SynthesisSession {
                 while oi < old_counts.len() && (old_counts[oi].0, old_counts[oi].1) < (a, b) {
                     oi += 1;
                 }
-                if oi < old_counts.len() && (old_counts[oi].0, old_counts[oi].1) == (a, b) {
+                let cached =
+                    oi < old_counts.len() && (old_counts[oi].0, old_counts[oi].1) == (a, b);
+                if cached && !replaced_set.contains(&a) && !replaced_set.contains(&b) {
                     kept.push(old_counts[oi]);
                     oi += 1;
                 } else {
+                    if cached {
+                        oi += 1;
+                    }
                     fresh_pairs.push((a, b));
                 }
             }
@@ -409,11 +578,27 @@ impl SynthesisSession {
         scores.elapsed += report.timings.blocking + report.timings.scoring;
 
         // Stage 1 artifact bookkeeping (after the value stage borrowed
-        // the old candidate list length).
+        // the old candidate list length). Replaced candidates keep
+        // their slot — `candidates[i].id.0 == i` stays invariant.
         let extraction = self.extraction.as_mut().unwrap();
+        for rb in ex.replaced {
+            let idx = rb.id.0 as usize;
+            debug_assert_eq!(extraction.candidates[idx].id, rb.id);
+            extraction.candidates[idx] = rb;
+        }
         extraction.candidates.extend(ex.added);
         extraction.stats = ex.stats;
         extraction.elapsed += report.timings.extraction;
+
+        debug_assert_eq!(
+            live_before + report.candidates_added - report.candidates_tombstoned,
+            self.incr
+                .as_ref()
+                .unwrap()
+                .extraction_cache
+                .live_candidates(),
+            "unified candidate counters must balance"
+        );
 
         self.corpus_fingerprint = Some((corpus.len(), corpus.total_columns() as u64));
         report.timings.total = t_total.elapsed();
@@ -429,7 +614,19 @@ impl SynthesisSession {
     /// newly queryable value pairs), and surviving pairs' match counts
     /// are *remapped* to the new numbering instead of re-joined —
     /// only blocking and the per-table views rebuild outright.
-    fn apply_delta_reordered(&mut self, corpus: &Corpus, report: &mut DeltaReport) {
+    ///
+    /// `live_before` is the live-candidate count before the delta's
+    /// extraction pass and `replaced` the number of row-patched
+    /// survivors (already sentineled out of the surviving-id map);
+    /// together with the rebuilt list they pin down the unified
+    /// candidate counters.
+    fn apply_delta_reordered(
+        &mut self,
+        corpus: &Corpus,
+        report: &mut DeltaReport,
+        live_before: usize,
+        replaced: usize,
+    ) {
         report.reordered = true;
         let t = Instant::now();
         let incr = self.incr.as_mut().expect("incremental state");
@@ -450,12 +647,12 @@ impl SynthesisSession {
             0,
             &self.mr,
         );
-        report.new_values = space.len() - old_values.space.len();
+        report.new_values += space.len() - old_values.space.len();
         let mut pos_of_candidate: Vec<Option<u32>> = vec![None; candidates.len()];
         for (pos, t) in tables.iter().enumerate() {
             pos_of_candidate[t.idx as usize] = Some(pos as u32);
         }
-        report.timings.values = t.elapsed();
+        report.timings.values += t.elapsed();
 
         // Old stage-2 position → new stage-2 position, for surviving
         // candidates (monotone: survivors keep their relative order).
@@ -572,8 +769,19 @@ impl SynthesisSession {
             })
             .collect();
         report.timings.scoring = t.elapsed();
-        report.candidates_added = candidates.len();
-        report.candidates_tombstoned = old_values.tables.len();
+        // Unified counter semantics, identical to the in-place path.
+        // `id_map` also carries ids handed to this delta's added-table
+        // candidates before the renumber was detected, so pre-delta
+        // survivors are the entries whose old id predates the
+        // session's candidate list: those are live on both sides with
+        // unchanged content, `replaced` are live on both sides with
+        // changed content, everything else in the rebuilt list was
+        // gained, and whatever was live before and is neither is gone.
+        let idx_base = self.extraction.as_ref().expect("prepared").candidates.len() as u32;
+        let survivors = id_map.iter().filter(|&&(old, _)| old < idx_base).count();
+        report.candidates_replaced = replaced;
+        report.candidates_added = candidates.len() - survivors - replaced;
+        report.candidates_tombstoned = live_before - survivors - replaced;
 
         // Install the renumbered artifacts.
         let extraction = self.extraction.as_mut().expect("prepared");
@@ -706,7 +914,14 @@ mod tests {
                 ],
             ),
         ];
-        let report = session.apply_delta(&corpus, &CorpusDelta { added, removed });
+        let report = session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added,
+                removed,
+                patches: vec![],
+            },
+        );
         assert_eq!(report.tables_added, 2);
         assert_eq!(report.tables_removed, 2);
         assert_matches_fresh(&session, &corpus);
@@ -722,6 +937,7 @@ mod tests {
         let r1 = CorpusDelta {
             added: vec![],
             removed: vec![TableId(0), TableId(2)],
+            patches: vec![],
         };
         session.apply_delta(&corpus, &r1);
         assert_matches_fresh(&session, &corpus);
@@ -740,6 +956,7 @@ mod tests {
         let r2 = CorpusDelta {
             added,
             removed: vec![TableId(6)],
+            patches: vec![],
         };
         let report = session.apply_delta(&corpus, &r2);
         // Re-inserted values resurrect their old NormIds.
@@ -753,6 +970,7 @@ mod tests {
             &CorpusDelta {
                 added: vec![],
                 removed: vec![last],
+                patches: vec![],
             },
         );
         assert_matches_fresh(&session, &corpus);
@@ -775,6 +993,7 @@ mod tests {
         let delta = CorpusDelta {
             added: vec![],
             removed: (5..10).map(TableId).collect(),
+            patches: vec![],
         };
         session.apply_delta(&corpus, &delta);
         let after = session.synthesize(&base, Resolver::Algorithm4);
@@ -819,6 +1038,7 @@ mod tests {
             &CorpusDelta {
                 added,
                 removed: vec![],
+                patches: vec![],
             },
         );
         assert!(report.reordered, "weak-table clone must flip coherence");
@@ -842,6 +1062,7 @@ mod tests {
             &CorpusDelta {
                 added,
                 removed: vec![TableId(3)],
+                patches: vec![],
             },
         );
         assert_matches_fresh(&session, &corpus);
@@ -875,6 +1096,7 @@ mod tests {
                     &CorpusDelta {
                         added,
                         removed: vec![TableId(4), TableId(9)],
+                        patches: vec![],
                     },
                 );
                 let run =
@@ -886,6 +1108,263 @@ mod tests {
         assert_eq!(outputs[0], outputs[2], "1 vs 8 workers");
     }
 
+    fn string_rows(rows: &[(&str, &str)]) -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|&(l, r)| vec![l.to_string(), r.to_string()])
+            .collect()
+    }
+
+    #[test]
+    fn row_patch_delta_equals_fresh() {
+        let mut corpus = base_corpus();
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+
+        // One ISO table's Algeria row switches code standards in place.
+        let patch = RowPatch {
+            table: TableId(2),
+            deleted: string_rows(&[("Algeria", "DZA")]),
+            inserted: string_rows(&[("Algeria", "ALG")]),
+        };
+        corpus.apply_row_patch(&patch);
+        let report = session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                patches: vec![patch],
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.tables_patched, 1);
+        assert!(
+            report.candidates_replaced >= 1,
+            "the surviving candidates of the patched table must be replaced"
+        );
+        assert_matches_fresh(&session, &corpus);
+
+        // Patches compose with table-granular evolution in one delta.
+        let patch = RowPatch {
+            table: TableId(6),
+            deleted: string_rows(&[("Netherlands", "NED")]),
+            inserted: string_rows(&[("Netherlands", "NLD"), ("Italy", "ITA")]),
+        };
+        corpus.apply_row_patch(&patch);
+        let added = vec![push_rows(
+            &mut corpus,
+            "mixed.org",
+            &[
+                ("Afghanistan", "AFG"),
+                ("Albania", "ALB"),
+                ("Algeria", "DZA"),
+                ("Germany", "DEU"),
+                ("Netherlands", "NLD"),
+                ("Greece", "GRC"),
+            ],
+        )];
+        let report = session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added,
+                removed: vec![TableId(12)],
+                patches: vec![patch],
+            },
+        );
+        assert_eq!(report.tables_patched, 1);
+        assert_eq!(report.tables_added, 1);
+        assert_eq!(report.tables_removed, 1);
+        assert_matches_fresh(&session, &corpus);
+    }
+
+    #[test]
+    fn emptying_patch_equals_fresh_and_session_keeps_going() {
+        let mut corpus = base_corpus();
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+
+        // Delete every row of one ISO table; the table itself stays.
+        let all_rows: Vec<(&str, &str)> = vec![
+            ("Afghanistan", "AFG"),
+            ("Albania", "ALB"),
+            ("Algeria", "DZA"),
+            ("Germany", "DEU"),
+            ("Netherlands", "NLD"),
+            ("Greece", "GRC"),
+        ];
+        let patch = RowPatch {
+            table: TableId(1),
+            deleted: string_rows(&all_rows),
+            inserted: vec![],
+        };
+        corpus.apply_row_patch(&patch);
+        let report = session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                patches: vec![patch],
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.candidates_tombstoned >= 1,
+            "an emptied table cannot keep candidates"
+        );
+        assert_matches_fresh(&session, &corpus);
+
+        // The session keeps taking deltas afterwards — including a
+        // patch refilling the emptied (still live) table.
+        let patch = RowPatch {
+            table: TableId(1),
+            deleted: vec![],
+            inserted: string_rows(&all_rows),
+        };
+        corpus.apply_row_patch(&patch);
+        session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                patches: vec![patch],
+                ..Default::default()
+            },
+        );
+        assert_matches_fresh(&session, &corpus);
+    }
+
+    #[test]
+    fn patch_below_two_usable_pairs_equals_fresh() {
+        let mut corpus = base_corpus();
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+
+        // Shrink a typo table to a single row: whatever survives
+        // extraction cannot project (two usable pairs minimum).
+        let patch = RowPatch {
+            table: TableId(10),
+            deleted: string_rows(&[
+                ("Albania xy", "ALB"),
+                ("Algeria", "DZA"),
+                ("Germany z", "DEU"),
+                ("Netherland", "NLD"),
+                ("Greece", "GRC"),
+            ]),
+            inserted: vec![],
+        };
+        corpus.apply_row_patch(&patch);
+        let report = session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                patches: vec![patch],
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.candidates_tombstoned + report.candidates_replaced >= 1,
+            "a one-row table must lose its stage-2 presence one way or the other"
+        );
+        assert_matches_fresh(&session, &corpus);
+    }
+
+    #[test]
+    fn patch_resurfacing_a_projection_renumbers_transparently() {
+        // Two clone tables whose rows are mostly punctuation: the
+        // punctuation values normalize to nothing, so each candidate
+        // holds a single usable pair and is projected out of stage 2
+        // even though extraction keeps it (the clones give its raw
+        // values co-occurrence evidence). A patch that inserts one
+        // usable row flips the projection back on — the old-table
+        // gain that must renumber.
+        let mut corpus = base_corpus();
+        let junk: Vec<(&str, &str)> =
+            vec![("Germany", "DEU"), ("**", "%%"), ("((", "@@"), ("[[", "]]")];
+        push_rows(&mut corpus, "pg-1.org", &junk);
+        push_rows(&mut corpus, "pg-2.org", &junk);
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+
+        let patch = RowPatch {
+            table: TableId(15),
+            deleted: vec![],
+            inserted: string_rows(&[("Greece", "GRC")]),
+        };
+        corpus.apply_row_patch(&patch);
+        let report = session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                patches: vec![patch],
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.reordered,
+            "a resurfacing projection must take the renumber path"
+        );
+        assert_matches_fresh(&session, &corpus);
+
+        // And the renumbered session keeps taking row patches.
+        let patch = RowPatch {
+            table: TableId(16),
+            deleted: string_rows(&[("[[", "]]")]),
+            inserted: string_rows(&[("Albania", "ALB")]),
+        };
+        corpus.apply_row_patch(&patch);
+        session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                patches: vec![patch],
+                ..Default::default()
+            },
+        );
+        assert_matches_fresh(&session, &corpus);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not live")]
+    fn patch_to_removed_table_rejected() {
+        let mut corpus = base_corpus();
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+        session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                removed: vec![TableId(0)],
+                ..Default::default()
+            },
+        );
+        // The physical table still exists, so the corpus-level patch
+        // applies — the session must reject it, not corrupt state.
+        let patch = RowPatch {
+            table: TableId(0),
+            deleted: vec![],
+            inserted: string_rows(&[("Italy", "ITA")]),
+        };
+        corpus.apply_row_patch(&patch);
+        session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                patches: vec![patch],
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "both patched and removed")]
+    fn patch_and_remove_same_delta_rejected() {
+        let mut corpus = base_corpus();
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+        let patch = RowPatch {
+            table: TableId(3),
+            deleted: vec![],
+            inserted: string_rows(&[("Italy", "ITA")]),
+        };
+        corpus.apply_row_patch(&patch);
+        session.apply_delta(
+            &corpus,
+            &CorpusDelta {
+                removed: vec![TableId(3)],
+                patches: vec![patch],
+                ..Default::default()
+            },
+        );
+    }
+
     #[test]
     #[should_panic(expected = "not live")]
     fn double_removal_rejected() {
@@ -895,6 +1374,7 @@ mod tests {
         let d = CorpusDelta {
             added: vec![],
             removed: vec![TableId(0)],
+            patches: vec![],
         };
         session.apply_delta(&corpus, &d);
         session.apply_delta(&corpus, &d);

@@ -28,7 +28,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Pipeline configuration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct PipelineConfig {
     /// Step-1 extraction parameters.
     pub extraction: ExtractionConfig,
@@ -36,6 +36,21 @@ pub struct PipelineConfig {
     pub synthesis: SynthesisConfig,
     /// Worker threads (0 = auto).
     pub workers: usize,
+    /// Garbage fraction (tombstoned values or candidates over totals)
+    /// above which [`SynthesisSession::compaction_due`] reports that a
+    /// [`SynthesisSession::compact`] pass would pay off.
+    pub compact_threshold: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            extraction: ExtractionConfig::default(),
+            synthesis: SynthesisConfig::default(),
+            workers: 0,
+            compact_threshold: 0.5,
+        }
+    }
 }
 
 /// Wall-clock duration of each stage.

@@ -45,8 +45,8 @@ use crate::graph::{graph_from_scores, CompatGraph};
 use crate::partition::{partition_by_components, Partitioning};
 use crate::pipeline::{PipelineConfig, PipelineOutput, Resolver, StageTimings};
 use crate::synth::SynthesizedMapping;
-use crate::values::{build_value_space_stateful, NormBinary, ValueSpace};
-use mapsynth_corpus::{Corpus, Interner, TableSource};
+use crate::values::{build_value_space_stateful, NormBinary, NormId, ValueSpace};
+use mapsynth_corpus::{BinaryId, Corpus, Interner, TableId, TableSource};
 use mapsynth_extract::{
     extract_candidates_masked, extract_candidates_streaming, ExtractionCache, ExtractionStats,
 };
@@ -554,6 +554,265 @@ impl SynthesisSession {
             Some(s) => n - s.dead.iter().filter(|&&d| d).count(),
             None => n,
         }
+    }
+
+    /// How much of the session's artifacts tombstones have turned into
+    /// garbage: `(value_garbage, candidate_garbage)`, both in
+    /// `[0, 1]`. Value garbage is the fraction of the interned value
+    /// space no live candidate references any more (deltas intern
+    /// append-only, so departed values linger); candidate garbage is
+    /// the tombstoned fraction of the stage-2 table slice. Computed on
+    /// demand by walking the live candidates — no counters to
+    /// maintain, so the probe costs one pass over live candidate
+    /// cells. Returns `(0, 0)` before [`prepare`](Self::prepare).
+    pub fn garbage_fractions(&self) -> (f64, f64) {
+        let (Some(incr), Some(values), Some(extraction)) =
+            (&self.incr, &self.values, &self.extraction)
+        else {
+            return (0.0, 0.0);
+        };
+        let dead = incr.dead.iter().filter(|&&d| d).count();
+        let candidate_garbage = if incr.dead.is_empty() {
+            0.0
+        } else {
+            dead as f64 / incr.dead.len() as f64
+        };
+        let value_garbage = if values.space.is_empty() {
+            0.0
+        } else {
+            let mut live: std::collections::HashSet<NormId> = std::collections::HashSet::new();
+            for id in incr.extraction_cache.live_candidate_ids() {
+                for &(l, r) in &extraction.candidates[id as usize].pairs {
+                    if let Some(n) = incr.interning.norm_of(l) {
+                        live.insert(n);
+                    }
+                    if let Some(n) = incr.interning.norm_of(r) {
+                        live.insert(n);
+                    }
+                }
+            }
+            1.0 - live.len() as f64 / values.space.len() as f64
+        };
+        (value_garbage, candidate_garbage)
+    }
+
+    /// Whether either garbage fraction has crossed the configured
+    /// [`PipelineConfig::compact_threshold`] — the signal that a
+    /// [`compact`](Self::compact) pass would reclaim enough space to
+    /// pay for itself.
+    pub fn compaction_due(&self) -> bool {
+        let (values, candidates) = self.garbage_fractions();
+        values > self.cfg.compact_threshold || candidates > self.cfg.compact_threshold
+    }
+
+    /// Reclaim every tombstone in one pass: rebuild the corpus densely
+    /// (dropping dead tables but **cloning** the interner, so the
+    /// extraction cache's `Sym`s stay valid), renumber the surviving
+    /// candidates, re-project the value space from scratch (departed
+    /// values and their postings vanish), rebuild blocking, compact
+    /// the approximate-match memo row-by-row through the old → new
+    /// value map, and carry every surviving pair's match counts over
+    /// the monotone live-position renumbering.
+    ///
+    /// Afterwards the session is **byte-identical** to a fresh session
+    /// prepared on the returned corpus — same candidate ids, same
+    /// `NormId`s, same stage-2 positions, zero tombstones — while
+    /// skipping all extraction, normalization, edit-distance DP and
+    /// merge-join work. Callers must adopt the returned corpus: the
+    /// old one (and any `TableId`s into it) no longer matches the
+    /// session, and subsequent [`apply_delta`](Self::apply_delta)
+    /// calls push tables into the new corpus.
+    ///
+    /// # Panics
+    /// If [`prepare`](Self::prepare) has not run, or if `corpus` is
+    /// not the corpus the session has been tracking.
+    pub fn compact(&mut self, corpus: &Corpus) -> Corpus {
+        assert!(
+            self.scores.is_some() && self.incr.is_some(),
+            "prepare() before compact()"
+        );
+        assert_eq!(
+            self.corpus_fingerprint,
+            Some((corpus.len(), corpus.total_columns() as u64)),
+            "compact() must receive the session's tracked corpus"
+        );
+
+        // Dense post-compaction corpus + old → new table id map.
+        let alive = self.incr.as_ref().unwrap().alive_tables.clone();
+        let new_corpus = corpus.retain_interned(|tid| alive[tid.0 as usize]);
+        let mut table_map: Vec<Option<TableId>> = vec![None; alive.len()];
+        {
+            let mut next = 0u32;
+            for (i, &a) in alive.iter().enumerate() {
+                if a {
+                    table_map[i] = Some(TableId(next));
+                    next += 1;
+                }
+            }
+        }
+
+        // Candidate renumber inside the extraction cache (monotone,
+        // so surviving candidates keep their relative order), then
+        // remap the stage-1 artifact through it.
+        let id_map = self.incr.as_mut().unwrap().extraction_cache.compact();
+        let old_extraction = self.extraction.take().expect("prepared");
+        let mut candidates = Vec::with_capacity(id_map.len());
+        for &(old_id, new_id) in &id_map {
+            let mut c = old_extraction.candidates[old_id as usize].clone();
+            debug_assert_eq!(c.id.0, old_id);
+            c.id = BinaryId(new_id);
+            c.source = table_map[c.source.0 as usize].expect("live candidate in a live table");
+            candidates.push(c);
+        }
+
+        // Stage 2 rebuilt outright — this *is* the reclamation: only
+        // strings live candidates reference get re-interned, exactly
+        // as a fresh prepare would.
+        let (space, tables, interning) =
+            build_value_space_stateful(&new_corpus.interner, &candidates, &self.synonyms, &self.mr);
+
+        // Stage 3a rebuilt outright (postings of dead tables vanish).
+        let cfg = &self.cfg.synthesis;
+        let (blocking_index, pairs, blocking_stats) =
+            BlockingIndex::build(&space, &tables, cfg, &self.mr);
+
+        // Stage 3b: fresh views, memo compacted through the old → new
+        // value map — a string-keyed lookup, so values surviving via
+        // other live tables land on their new ids and dead values map
+        // to nothing.
+        let old_scores = self.scores.take().expect("prepared");
+        let old_values = self.values.take().expect("prepared");
+        let old_space = &old_values.space;
+        let context = ScoringContext::compacted(
+            &old_scores.context,
+            &space,
+            &tables,
+            cfg,
+            |old| interning.id_of(old_space.string(old)),
+            &self.mr,
+        );
+
+        // Stage 3c: carry surviving counts over the monotone live
+        // stage-2 position renumbering. Projection usability depends
+        // only on content, so live old positions biject with the new
+        // slice.
+        let mut old_pos_to_new: Vec<Option<u32>> = vec![None; old_values.tables.len()];
+        {
+            let dead = &self.incr.as_ref().unwrap().dead;
+            let mut next = 0u32;
+            for (p, slot) in old_pos_to_new.iter_mut().enumerate() {
+                if !dead[p] {
+                    *slot = Some(next);
+                    next += 1;
+                }
+            }
+            assert_eq!(
+                next as usize,
+                tables.len(),
+                "live stage-2 tables must survive compaction 1:1"
+            );
+        }
+        let remapped: Vec<(u32, u32, MatchCounts)> = old_scores
+            .counts
+            .iter()
+            .filter_map(|&(a, b, c)| {
+                let (a2, b2) = (old_pos_to_new[a as usize]?, old_pos_to_new[b as usize]?);
+                debug_assert!(a2 < b2, "monotone renumbering preserves pair order");
+                Some((a2, b2, c))
+            })
+            .collect();
+        let mut counts: Vec<(u32, u32, MatchCounts)> = Vec::with_capacity(pairs.len());
+        let mut fresh_pairs: Vec<(u32, u32)> = Vec::new();
+        {
+            let mut oi = 0usize;
+            for &(a, b) in &pairs {
+                while oi < remapped.len() && (remapped[oi].0, remapped[oi].1) < (a, b) {
+                    oi += 1;
+                }
+                if oi < remapped.len() && (remapped[oi].0, remapped[oi].1) == (a, b) {
+                    counts.push(remapped[oi]);
+                    oi += 1;
+                } else {
+                    fresh_pairs.push((a, b));
+                }
+            }
+        }
+        // The maintained blocking state and the fresh build derive the
+        // same pair set, so nothing should surface here — but if it
+        // does, score it rather than corrupt the artifact.
+        debug_assert!(
+            fresh_pairs.is_empty(),
+            "compaction surfaced pairs the maintained blocking state lacked"
+        );
+        if !fresh_pairs.is_empty() {
+            let ctx = &context;
+            let space_ref = &space;
+            let computed: Vec<(u32, u32, MatchCounts)> = self
+                .mr
+                .par_map(&fresh_pairs, |&(a, b)| (a, b, ctx.counts(space_ref, a, b)));
+            let kept = std::mem::take(&mut counts);
+            let (mut ki, mut ci) = (0usize, 0usize);
+            while ki < kept.len() || ci < computed.len() {
+                let take_kept = match (kept.get(ki), computed.get(ci)) {
+                    (Some(k), Some(c)) => (k.0, k.1) < (c.0, c.1),
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                if take_kept {
+                    counts.push(kept[ki]);
+                    ki += 1;
+                } else {
+                    counts.push(computed[ci]);
+                    ci += 1;
+                }
+            }
+        }
+        let scored: Vec<(u32, u32, PairWeights)> = counts
+            .iter()
+            .map(|&(a, b, c)| {
+                let w = c.weights(
+                    tables[a as usize].len(),
+                    tables[b as usize].len(),
+                    cfg.approx_matching,
+                );
+                (a, b, w)
+            })
+            .collect();
+
+        // Install the compacted artifacts; all tombstone state resets.
+        let mut pos_of_candidate: Vec<Option<u32>> = vec![None; candidates.len()];
+        for (pos, t) in tables.iter().enumerate() {
+            pos_of_candidate[t.idx as usize] = Some(pos as u32);
+        }
+        self.extraction = Some(ExtractionArtifact {
+            candidates,
+            stats: old_extraction.stats,
+            elapsed: old_extraction.elapsed,
+        });
+        self.values = Some(ValueArtifact {
+            space,
+            tables,
+            elapsed: old_values.elapsed,
+        });
+        let mut detail = old_scores.detail;
+        detail.memo = context.build_stats.memo;
+        self.scores = Some(ScoreArtifact {
+            scored,
+            counts,
+            context,
+            blocking: blocking_stats,
+            elapsed: old_scores.elapsed,
+            detail,
+        });
+        let incr = self.incr.as_mut().unwrap();
+        incr.interning = interning;
+        incr.blocking = blocking_index;
+        let n_tables = self.values.as_ref().unwrap().tables.len();
+        incr.pos_of_candidate = pos_of_candidate;
+        incr.dead = vec![false; n_tables];
+        incr.alive_tables = vec![true; new_corpus.len()];
+        self.corpus_fingerprint = Some((new_corpus.len(), new_corpus.total_columns() as u64));
+        new_corpus
     }
 
     /// Run the full variant tail — graph filter, partitioning,

@@ -157,6 +157,23 @@ pub struct ValueInterning {
     rep_of_class: HashMap<usize, u32>,
 }
 
+impl ValueInterning {
+    /// Resolve a corpus symbol to its interned value, if the symbol has
+    /// been seen and does not normalize to the empty string. Used by
+    /// the row-patch path to maintain per-value live reference counts
+    /// without re-normalizing.
+    pub fn norm_of(&self, sym: Sym) -> Option<NormId> {
+        self.norm_of_sym.get(&sym).copied().flatten()
+    }
+
+    /// Resolve an already-normalized string to its value id, if
+    /// interned. Compaction uses this to translate surviving values
+    /// from a pre-compaction space into the freshly rebuilt one.
+    pub fn id_of(&self, normalized: &str) -> Option<NormId> {
+        self.id_of_string.get(normalized).copied()
+    }
+}
+
 /// Build the value space and normalized candidates.
 ///
 /// Pairs whose left or right normalizes to the empty string are
@@ -282,6 +299,29 @@ pub fn extend_value_space_sharded(
     mr: &MapReduce,
     shards: usize,
 ) -> (Arc<ValueSpace>, Vec<NormBinary>) {
+    let grown =
+        grow_value_space_sharded(space, interning, strs, new_candidates, synonyms, mr, shards);
+    let tables = project_candidates(&grown, interning, new_candidates, idx_base, mr);
+    (grown, tables)
+}
+
+/// The space-growing half of [`extend_value_space_sharded`]: intern the
+/// unseen values of `new_candidates` append-only and return the grown
+/// space, **without** projecting anything. The row-patch path uses this
+/// to intern the values of patched *and* added candidates in one
+/// deterministic pass, then projects patched survivors at their
+/// original positions ([`project_candidate_at`]) and added candidates
+/// at appended ones.
+#[allow(clippy::too_many_arguments)]
+pub fn grow_value_space_sharded(
+    space: &ValueSpace,
+    interning: &mut ValueInterning,
+    strs: &Interner,
+    new_candidates: &[BinaryTable],
+    synonyms: &SynonymDict,
+    mr: &MapReduce,
+    shards: usize,
+) -> Arc<ValueSpace> {
     let mut strings = space.strings.clone();
     let mut class = space.class.clone();
     let old_len = strings.len();
@@ -308,15 +348,13 @@ pub fn extend_value_space_sharded(
     sigs.extend(new_compact.iter().map(|s| CharSignature::of(s)));
     compact.extend(new_compact);
 
-    let grown = Arc::new(ValueSpace {
+    Arc::new(ValueSpace {
         strings,
         compact,
         class,
         char_len,
         sigs,
-    });
-    let tables = project_candidates(&grown, interning, new_candidates, idx_base, mr);
-    (grown, tables)
+    })
 }
 
 /// Per-position outcome of a shard's deduplication pass.
@@ -474,28 +512,58 @@ fn project_candidates(
         .enumerate()
         .map(|(i, c)| (idx_base + i as u32, c))
         .collect();
-    let space_ref = &space;
-    let norm_ref = &interning.norm_of_sym;
+    let space_ref: &ValueSpace = space;
     mr.par_map(&indexed, |&(idx, cand)| {
-        let mut pairs: Vec<(NormId, NormId)> = cand
-            .pairs
-            .iter()
-            .filter_map(|&(l, r)| Some(((*norm_ref.get(&l)?)?, (*norm_ref.get(&r)?)?)))
-            .collect();
-        pairs.sort_unstable();
-        pairs.dedup();
-        // Sort by class pair for the hash-join in compat scoring.
-        pairs.sort_by_key(|&(l, r)| (space_ref.class(l), space_ref.class(r)));
-        (pairs.len() >= 2).then_some(NormBinary {
-            idx,
-            domain: cand.domain,
-            source: cand.source,
-            pairs,
-        })
+        project_one(space_ref, interning, cand, idx)
     })
     .into_iter()
     .flatten()
     .collect()
+}
+
+/// Project a single candidate into the space at an explicit `idx`. The
+/// row-patch path uses this to re-project a patched survivor **at its
+/// original position** in the candidate list (the position encodes the
+/// live-table order that bit-identity depends on); the bulk paths go
+/// through [`build_value_space`]/[`extend_value_space`]. Returns `None`
+/// when fewer than two usable pairs remain — exactly the drop rule of
+/// the bulk projection.
+///
+/// Every symbol in `cand` must already be interned (the caller runs
+/// the interning pass over patched candidates first).
+pub fn project_candidate_at(
+    space: &ValueSpace,
+    interning: &ValueInterning,
+    cand: &BinaryTable,
+    idx: u32,
+) -> Option<NormBinary> {
+    project_one(space, interning, cand, idx)
+}
+
+/// Shared single-candidate projection: pairs mapped into the space,
+/// deduplicated, class-sorted; below two usable pairs → `None`.
+fn project_one(
+    space: &ValueSpace,
+    interning: &ValueInterning,
+    cand: &BinaryTable,
+    idx: u32,
+) -> Option<NormBinary> {
+    let norm_ref = &interning.norm_of_sym;
+    let mut pairs: Vec<(NormId, NormId)> = cand
+        .pairs
+        .iter()
+        .filter_map(|&(l, r)| Some(((*norm_ref.get(&l)?)?, (*norm_ref.get(&r)?)?)))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    // Sort by class pair for the hash-join in compat scoring.
+    pairs.sort_by_key(|&(l, r)| (space.class(l), space.class(r)));
+    (pairs.len() >= 2).then_some(NormBinary {
+        idx,
+        domain: cand.domain,
+        source: cand.source,
+        pairs,
+    })
 }
 
 #[cfg(test)]

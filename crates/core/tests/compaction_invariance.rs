@@ -1,0 +1,437 @@
+//! Compaction oracle: after [`SynthesisSession::compact`] renumbers
+//! away the tombstones accrued by a delta stream, the session must be
+//! **bit-identical** to a fresh session prepared on the compacted
+//! corpus — value space strings and classes, projected pairs, scored
+//! edge bits, and synthesized outputs under every resolver. Also
+//! proves that `compact → apply_delta → compact` composes, that the
+//! approximate-match memo reclaims tombstoned value rows, that the
+//! compacted artifacts are worker/shard-invariant (the incremental
+//! side runs at a sampled worker count, the oracle always at 1), and
+//! the `compact_threshold` trigger arithmetic.
+
+use mapsynth::compat::{MatchCounts, PairWeights};
+use mapsynth::delta::CorpusDelta;
+use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
+use mapsynth::values::NormId;
+use mapsynth_corpus::{Corpus, RowPatch, TableId};
+use mapsynth_text::SynonymDict;
+use proptest::prelude::*;
+
+/// Generator shape shared with `tests/delta_oracle.rs`: functional
+/// tables whose codes derive from `(relation, entity)`, with typo
+/// variants so approximate matching populates the memo.
+type GenTable = (u8, u8, Vec<(u8, (u8, u8))>);
+
+fn code_of(relation: u8, entity: u8) -> u8 {
+    ((entity as u16 * 7 + relation as u16 * 13) % 6) as u8
+}
+
+fn left_str(entity: u8, variant: u8) -> String {
+    let base = format!("entity number {entity} of the corpus");
+    match variant % 4 {
+        0 => base,
+        1 => base.replace("number", "numbr"),
+        2 => base.replace("corpus", "korpus"),
+        _ => format!("{base}x"),
+    }
+}
+
+fn right_str(code: u8, variant: u8) -> String {
+    let base = format!("mapping code {code}");
+    match variant % 3 {
+        0 => base,
+        1 => base.replace("code", "cod"),
+        _ => format!("{base}s"),
+    }
+}
+
+fn push_gen_table(corpus: &mut Corpus, t: &GenTable) -> TableId {
+    let (domain, relation, rows) = t;
+    let d = corpus.domain(&format!("domain-{}.org", domain % 5));
+    let ev_of = |ev: u8| if ev < 9 { 0 } else { ev - 8 };
+    let cv_of = |cv: u8| if cv < 6 { 0 } else { cv - 5 };
+    let lefts: Vec<String> = rows
+        .iter()
+        .map(|&(e, (ev, _))| left_str(e, ev_of(ev)))
+        .collect();
+    let rights: Vec<String> = rows
+        .iter()
+        .map(|&(e, (_, cv))| right_str(code_of(*relation, e), cv_of(cv)))
+        .collect();
+    corpus.push_table(
+        d,
+        vec![
+            (Some("entity"), lefts.iter().map(String::as_str).collect()),
+            (Some("code"), rights.iter().map(String::as_str).collect()),
+        ],
+    )
+}
+
+fn synonyms() -> SynonymDict {
+    let mut dict = SynonymDict::new();
+    dict.declare(&left_str(1, 0), &left_str(1, 1));
+    dict.declare(&right_str(1, 0), &right_str(1, 1));
+    dict
+}
+
+/// A deterministic 12-table corpus (6 domains × 2 relations) with typo
+/// variants on every fourth entity.
+fn base_corpus() -> Corpus {
+    let mut corpus = Corpus::new();
+    for domain in 0..6u8 {
+        for relation in 0..2u8 {
+            let rows: Vec<(u8, (u8, u8))> = (0..8)
+                .map(|e| (e, ((e % 4) * 9, ((e + domain) % 3) * 6)))
+                .collect();
+            push_gen_table(&mut corpus, &(domain, relation, rows));
+        }
+    }
+    corpus
+}
+
+/// The synthesized output under all three resolvers — the invariant
+/// that must hold after **every** delta (the incremental session may
+/// carry tombstoned internal rows a fresh session never builds, but
+/// outputs must be bit-identical).
+type ObservedOut = Vec<(Vec<(Vec<(String, String)>, usize, usize)>, usize, usize)>;
+
+fn observe_out(session: &SynthesisSession) -> ObservedOut {
+    [Resolver::Algorithm4, Resolver::MajorityVote, Resolver::None]
+        .into_iter()
+        .map(|resolver| {
+            let run = session.synthesize(&session.config().synthesis.clone(), resolver);
+            (
+                run.mappings
+                    .iter()
+                    .map(|m| (m.materialize_pairs(), m.domains, m.source_tables))
+                    .collect(),
+                run.edges,
+                run.partitions,
+            )
+        })
+        .collect()
+}
+
+/// Everything externally observable about a prepared session: the
+/// value space (strings + class representatives), every candidate's
+/// projected pairs, the scored edge bits and raw match counts, and the
+/// synthesized output under all three resolvers. Holds only when no
+/// tombstones are pending — i.e. fresh vs. freshly **compacted**.
+type Observed = (
+    Vec<String>,
+    Vec<u32>,
+    Vec<(u32, Vec<(u32, u32)>)>,
+    Vec<(u32, u32, PairWeights)>,
+    Vec<(u32, u32, MatchCounts)>,
+    ObservedOut,
+);
+
+fn observe_full(session: &SynthesisSession) -> Observed {
+    let values = session.values().expect("prepared");
+    let scores = session.scores().expect("prepared");
+    let strings = (0..values.space.len() as u32)
+        .map(|i| values.space.string(NormId(i)).to_string())
+        .collect();
+    let classes = (0..values.space.len() as u32)
+        .map(|i| values.space.class(NormId(i)))
+        .collect();
+    let projected = values
+        .tables
+        .iter()
+        .map(|t| {
+            (
+                t.idx,
+                t.pairs.iter().map(|&(l, r)| (l.0, r.0)).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    (
+        strings,
+        classes,
+        projected,
+        scores.scored.clone(),
+        scores.counts.clone(),
+        observe_out(session),
+    )
+}
+
+fn fresh_on(corpus: &Corpus) -> SynthesisSession {
+    let mut fresh = SynthesisSession::new(PipelineConfig {
+        workers: 1,
+        ..Default::default()
+    })
+    .with_synonyms(synonyms());
+    fresh.prepare(corpus);
+    fresh
+}
+
+#[test]
+fn compaction_equals_fresh_and_composes_with_deltas() {
+    let mut corpus = base_corpus();
+    let mut session = SynthesisSession::new(PipelineConfig {
+        workers: 4,
+        ..Default::default()
+    })
+    .with_synonyms(synonyms());
+    session.prepare(&corpus);
+
+    // Accrue garbage: drop four tables, and edit one in place with a
+    // second mapping for an entity it already lists — the FD violation
+    // tombstones that orientation without perturbing any other
+    // column's coherence (an insertion never changes another column's
+    // marginals), so the delta stays on the in-place path and the
+    // tombstones survive to be compacted.
+    let patch = RowPatch {
+        table: TableId(5),
+        deleted: vec![],
+        inserted: vec![vec![left_str(0, 0), "mapping code 5x".to_string()]],
+    };
+    corpus.apply_row_patch(&patch);
+    let report = session.apply_delta(
+        &corpus,
+        &CorpusDelta {
+            added: vec![],
+            removed: vec![TableId(0), TableId(3), TableId(8), TableId(11)],
+            patches: vec![patch],
+        },
+    );
+    assert!(!report.reordered, "insert-only edits stay in place");
+    let (_, cand_garbage) = session.garbage_fractions();
+    assert!(cand_garbage > 0.0, "removals must leave tombstones");
+
+    // Compact: the session must be byte-identical to a fresh session
+    // on the compacted corpus, with zero garbage left.
+    let mut corpus = session.compact(&corpus);
+    assert_eq!(corpus.len(), 8, "compaction renumbers densely");
+    assert_eq!(session.garbage_fractions(), (0.0, 0.0));
+    assert!(!session.compaction_due());
+    assert_eq!(observe_full(&session), observe_full(&fresh_on(&corpus)));
+
+    // compact → apply_delta: the compacted session keeps taking
+    // deltas — against the renumbered table ids.
+    let patch = RowPatch {
+        table: TableId(2),
+        deleted: vec![],
+        inserted: vec![vec![left_str(8, 1), right_str(code_of(0, 8), 1)]],
+    };
+    corpus.apply_row_patch(&patch);
+    let added = vec![push_gen_table(
+        &mut corpus,
+        &(2, 1, (0..8).map(|e| (e, (0, 0))).collect()),
+    )];
+    session.apply_delta(
+        &corpus,
+        &CorpusDelta {
+            added,
+            removed: vec![TableId(6)],
+            patches: vec![patch],
+        },
+    );
+    let live = session.live_corpus(&corpus);
+    assert_eq!(observe_out(&session), observe_out(&fresh_on(&live)));
+
+    // → compact again: composition lands on a fresh session once more.
+    let corpus = session.compact(&corpus);
+    assert_eq!(session.garbage_fractions(), (0.0, 0.0));
+    assert_eq!(observe_full(&session), observe_full(&fresh_on(&corpus)));
+}
+
+#[test]
+fn compaction_reclaims_memo_rows_and_value_space() {
+    // Base corpus plus two tables over a disjoint entity range
+    // (10..18): their left spellings — typo variants included — occur
+    // nowhere else, so removing the pair strands distinct values.
+    let mut corpus = base_corpus();
+    for relation in 0..2u8 {
+        let rows: Vec<(u8, (u8, u8))> = (10..18).map(|e| (e, ((e % 4) * 9, (e % 3) * 6))).collect();
+        push_gen_table(&mut corpus, &(relation, relation, rows));
+    }
+    let mut session = SynthesisSession::new(PipelineConfig::default()).with_synonyms(synonyms());
+    session.prepare(&corpus);
+    let memo_before = session.scores().expect("prepared").detail.memo.values;
+    assert!(
+        memo_before > 0,
+        "typo variants must populate the approximate-match memo"
+    );
+    let space_before = session.values().expect("prepared").space.len();
+
+    // Remove the disjoint-entity pair: their spellings leave the live
+    // value set, so compaction must shrink both the space and the
+    // memo's value rows.
+    session.apply_delta(
+        &corpus,
+        &CorpusDelta {
+            added: vec![],
+            removed: vec![TableId(12), TableId(13)],
+            patches: vec![],
+        },
+    );
+    let (value_garbage, _) = session.garbage_fractions();
+    assert!(value_garbage > 0.0, "dropped spellings must be garbage");
+
+    let compacted = session.compact(&corpus);
+    let space_after = session.values().expect("prepared").space.len();
+    let memo_after = session.scores().expect("prepared").detail.memo.values;
+    assert!(space_after < space_before, "value rows must be reclaimed");
+    assert!(memo_after <= memo_before);
+    assert_eq!(
+        memo_after,
+        fresh_on(&compacted)
+            .scores()
+            .expect("prepared")
+            .detail
+            .memo
+            .values,
+        "memo row count must match a fresh build"
+    );
+    assert_eq!(observe_full(&session), observe_full(&fresh_on(&compacted)));
+}
+
+#[test]
+fn compaction_due_follows_the_configured_threshold() {
+    let corpus = base_corpus();
+    let delta = CorpusDelta {
+        added: vec![],
+        removed: (0..6).map(TableId).collect(),
+        patches: vec![],
+    };
+
+    // A low threshold trips after the removals; a threshold of 1.0
+    // never trips (garbage fractions cannot exceed 1).
+    for (threshold, due) in [(0.05, true), (1.0, false)] {
+        let mut session = SynthesisSession::new(PipelineConfig {
+            compact_threshold: threshold,
+            ..Default::default()
+        })
+        .with_synonyms(synonyms());
+        session.prepare(&corpus);
+        assert!(!session.compaction_due(), "a fresh session has no garbage");
+        session.apply_delta(&corpus, &delta);
+        assert_eq!(session.compaction_due(), due, "threshold {threshold}");
+        if due {
+            session.compact(&corpus);
+            assert!(!session.compaction_due(), "compaction clears the trigger");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// For any generated corpus, any worker count, and any interleaving
+    /// of deltas (removals, additions, row edits) with compaction
+    /// points: the session equals a fresh session on its live corpus at
+    /// every step, compaction replaces the corpus without perturbing
+    /// any observable bit, and the unified counters stay balanced
+    /// across renumberings.
+    #[test]
+    fn prop_compaction_invariance(
+        base in proptest::collection::vec(
+            (0u8..5, 0u8..2, proptest::collection::btree_map(0u8..10, (0u8..12, 0u8..9), 5..10)
+                .prop_map(|m| m.into_iter().collect::<Vec<_>>())),
+            4..9,
+        ),
+        steps in proptest::collection::vec(
+            (
+                proptest::collection::vec(0u16..1000, 0..2),  // removals
+                proptest::collection::vec(
+                    (0u8..5, 0u8..2, proptest::collection::btree_map(0u8..10, (0u8..12, 0u8..9), 5..10)
+                        .prop_map(|m| m.into_iter().collect::<Vec<_>>())),
+                    0..2,
+                ),                                             // additions
+                (0u8..2, 0u16..1000, 0u16..1000, 0u8..10),     // row edit (flag, table, row, entity)
+                0u8..2,                                        // compact after?
+            ),
+            1..4,
+        ),
+        worker_sel in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 8][worker_sel];
+        let mut corpus = Corpus::new();
+        for t in &base {
+            push_gen_table(&mut corpus, t);
+        }
+        let mut session = SynthesisSession::new(PipelineConfig {
+            workers,
+            ..Default::default()
+        })
+        .with_synonyms(synonyms());
+        session.prepare(&corpus);
+        let mut alive: Vec<TableId> = (0..corpus.len() as u32).map(TableId).collect();
+
+        for (removal_sel, additions, edit, compact_after) in &steps {
+            let mut removed: Vec<TableId> = Vec::new();
+            for &sel in removal_sel {
+                let live: Vec<TableId> = alive
+                    .iter()
+                    .copied()
+                    .filter(|t| !removed.contains(t))
+                    .collect();
+                if live.is_empty() {
+                    break;
+                }
+                removed.push(live[sel as usize % live.len()]);
+            }
+            // One row edit: delete a row by position, insert a typo'd
+            // replacement — the in-place or renumber patch path,
+            // whichever the content demands.
+            let mut patches: Vec<RowPatch> = Vec::new();
+            let (edit_flag, tsel, rsel, e) = edit;
+            if *edit_flag == 1 {
+                let eligible: Vec<TableId> = alive
+                    .iter()
+                    .copied()
+                    .filter(|t| !removed.contains(t))
+                    .collect();
+                if !eligible.is_empty() {
+                    let tid = eligible[*tsel as usize % eligible.len()];
+                    let deleted = {
+                        let table = corpus.table(tid);
+                        let nrows = table.rows();
+                        if nrows == 0 {
+                            vec![]
+                        } else {
+                            let r = *rsel as usize % nrows;
+                            vec![table
+                                .columns
+                                .iter()
+                                .map(|c| corpus.str_of(c.values[r]).to_string())
+                                .collect()]
+                        }
+                    };
+                    let patch = RowPatch {
+                        table: tid,
+                        deleted,
+                        inserted: vec![vec![left_str(*e, 1), right_str(code_of(1, *e), 1)]],
+                    };
+                    corpus.apply_row_patch(&patch);
+                    patches.push(patch);
+                }
+            }
+            let added: Vec<TableId> = additions
+                .iter()
+                .map(|t| push_gen_table(&mut corpus, t))
+                .collect();
+            alive.retain(|t| !removed.contains(t));
+            alive.extend(added.iter().copied());
+
+            session.apply_delta(&corpus, &CorpusDelta { added, removed, patches });
+            let live_corpus = session.live_corpus(&corpus);
+            prop_assert_eq!(
+                observe_out(&session),
+                observe_out(&fresh_on(&live_corpus)),
+                "delta diverged (workers = {})", workers
+            );
+
+            if *compact_after == 1 {
+                corpus = session.compact(&corpus);
+                alive = (0..corpus.len() as u32).map(TableId).collect();
+                prop_assert_eq!(session.garbage_fractions(), (0.0, 0.0));
+                prop_assert_eq!(
+                    observe_full(&session),
+                    observe_full(&fresh_on(&corpus)),
+                    "compaction diverged (workers = {})", workers
+                );
+            }
+        }
+    }
+}

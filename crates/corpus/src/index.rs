@@ -130,6 +130,35 @@ impl ValueIndex {
         self.total_columns += 1;
     }
 
+    /// Patch one registered column's evidence in place: `leaving`
+    /// values no longer appear in the column, `entering` values now do.
+    /// Unlike [`add_column`](Self::add_column), the column keeps its
+    /// (possibly mid-range) `gid`, so entering postings are inserted at
+    /// their sorted position rather than pushed. The column count is
+    /// unchanged — only value membership moved.
+    pub fn patch_column(
+        &mut self,
+        gid: GlobalColId,
+        leaving: impl IntoIterator<Item = Sym>,
+        entering: impl IntoIterator<Item = Sym>,
+    ) {
+        for v in leaving {
+            let p = &mut self.postings[v.index()];
+            let at = p
+                .binary_search(&gid)
+                .expect("patch_column: column was not registered for this value");
+            p.remove(at);
+        }
+        for v in entering {
+            self.grow_symbols(v.index() + 1);
+            let p = &mut self.postings[v.index()];
+            let at = p
+                .binary_search(&gid)
+                .expect_err("patch_column: column already registered for this value");
+            p.insert(at, gid);
+        }
+    }
+
     /// Remove a column's evidence. `distinct` must be the same distinct
     /// value set the column was registered with.
     pub fn remove_column<I: IntoIterator<Item = Sym>>(&mut self, gid: GlobalColId, distinct: I) {

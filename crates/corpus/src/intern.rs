@@ -35,7 +35,7 @@ impl fmt::Debug for Sym {
 ///
 /// Strings are stored once in an arena vector; a hash map resolves
 /// string → [`Sym`]. Lookups by symbol are a plain vector index.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Interner {
     strings: Vec<Box<str>>,
     map: HashMap<Box<str>, Sym>,

@@ -83,6 +83,25 @@ impl Table {
     }
 }
 
+/// A row-granular edit to one table: delete some existing rows and
+/// append some new ones, leaving the table (and its id) in place.
+///
+/// Rows are full string tuples in column order. Deletions match by
+/// value — the first row whose cells all equal the tuple is removed —
+/// because external change feeds (re-crawls, spreadsheet diffs) carry
+/// values, not row offsets. Deletions are applied before insertions.
+#[derive(Clone, Debug)]
+pub struct RowPatch {
+    /// The table to edit. Must exist (and, when applied through an
+    /// incremental session, must be live).
+    pub table: TableId,
+    /// Rows to remove, as full-width string tuples. Each must match an
+    /// existing row.
+    pub deleted: Vec<Vec<String>>,
+    /// Rows to append, as full-width string tuples.
+    pub inserted: Vec<Vec<String>>,
+}
+
 /// A corpus of tables plus the interner that owns their cell strings.
 pub struct Corpus {
     /// String interner for every cell and header in the corpus.
@@ -218,6 +237,91 @@ impl Corpus {
             out.push_interned_table(domain, columns);
         }
         out
+    }
+
+    /// A corpus holding only the tables `keep` accepts, in the
+    /// original order with densely renumbered table ids, *sharing*
+    /// this corpus' interner: every `Sym` stays valid, so caches keyed
+    /// by symbol (extraction state, postings) survive the rebuild.
+    /// Compaction uses this; strings referenced only by dropped tables
+    /// stay interned (full string reclamation is [`subset`]'s job —
+    /// `Sym`s are append-only by contract).
+    ///
+    /// [`subset`]: Self::subset
+    pub fn retain_interned(&self, keep: impl Fn(TableId) -> bool) -> Corpus {
+        let mut tables: Vec<Table> = Vec::new();
+        for table in &self.tables {
+            if !keep(table.id) {
+                continue;
+            }
+            let mut t = table.clone();
+            t.id = TableId(tables.len() as u32);
+            tables.push(t);
+        }
+        Corpus {
+            interner: self.interner.clone(),
+            tables,
+            domain_names: self.domain_names.clone(),
+        }
+    }
+
+    /// Apply a [`RowPatch`] in place: delete each `deleted` tuple (first
+    /// matching row, by value) and append each `inserted` tuple,
+    /// interning any new strings. Call this *before*
+    /// `session.apply_delta` so the session sees the post-patch corpus,
+    /// mirroring how added tables are pushed before the delta is
+    /// applied.
+    ///
+    /// # Panics
+    /// Panics if the table does not exist, a tuple's width differs from
+    /// the table's, or a deleted tuple matches no remaining row.
+    pub fn apply_row_patch(&mut self, patch: &RowPatch) {
+        assert!(
+            (patch.table.0 as usize) < self.tables.len(),
+            "row patch targets unknown table {:?}",
+            patch.table
+        );
+        let width = self.tables[patch.table.0 as usize].width();
+        for row in &patch.deleted {
+            assert_eq!(
+                row.len(),
+                width,
+                "deleted row width {} != table width {width}",
+                row.len()
+            );
+            // A tuple containing a never-interned string cannot match
+            // any row.
+            let syms: Option<Vec<Sym>> = row.iter().map(|s| self.interner.get(s)).collect();
+            let table = &mut self.tables[patch.table.0 as usize];
+            let at = syms.and_then(|syms| {
+                (0..table.rows()).find(|&ri| {
+                    table
+                        .columns
+                        .iter()
+                        .zip(&syms)
+                        .all(|(c, &s)| c.values[ri] == s)
+                })
+            });
+            let at = at.unwrap_or_else(|| {
+                panic!("deleted row {row:?} not present in table {:?}", patch.table)
+            });
+            for c in &mut table.columns {
+                c.values.remove(at);
+            }
+        }
+        for row in &patch.inserted {
+            assert_eq!(
+                row.len(),
+                width,
+                "inserted row width {} != table width {width}",
+                row.len()
+            );
+            let syms: Vec<Sym> = row.iter().map(|s| self.interner.intern(s)).collect();
+            let table = &mut self.tables[patch.table.0 as usize];
+            for (c, s) in table.columns.iter_mut().zip(syms) {
+                c.values.push(s);
+            }
+        }
     }
 
     /// Resolve a symbol to its string.

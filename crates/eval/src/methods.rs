@@ -414,6 +414,22 @@ impl PreparedWeb {
         let delta = evolve(&mut self.corpus);
         self.session.apply_delta(&self.corpus, &delta)
     }
+
+    /// Reclaim the tombstones a delta stream has accrued: delegates to
+    /// [`mapsynth::pipeline::SynthesisSession::compact`] and adopts
+    /// the densely renumbered corpus it returns. `TableId`s handed to
+    /// earlier [`apply_delta`](Self::apply_delta) calls are invalid
+    /// afterwards; every method sweep keeps working unchanged.
+    pub fn compact(&mut self) {
+        self.corpus = self.session.compact(&self.corpus);
+    }
+
+    /// Whether accrued garbage has crossed the session's configured
+    /// compaction threshold — the cue for [`compact`](Self::compact)
+    /// in long-running harnesses.
+    pub fn compaction_due(&self) -> bool {
+        self.session.compaction_due()
+    }
 }
 
 #[cfg(test)]
@@ -424,8 +440,9 @@ mod delta_tests {
     use mapsynth_gen::{generate_web, WebConfig};
 
     /// The harness contract under corpus evolution: a parameter sweep
-    /// after `apply_delta` equals the same sweep on a freshly prepared
-    /// post-delta corpus.
+    /// after `apply_delta` — table removals **and** a row-level patch
+    /// — equals the same sweep on a freshly prepared post-delta
+    /// corpus, and stays equal after a compaction pass.
     #[test]
     fn sweeps_reflect_deltas() {
         let wc = generate_web(&WebConfig {
@@ -439,32 +456,63 @@ mod delta_tests {
             ..Default::default()
         });
         let mut prepared = PreparedWeb::prepare(wc, 0.5, 0);
-        let report = prepared.apply_delta(|_corpus| CorpusDelta {
-            added: vec![],
-            removed: (0..6).map(|k| mapsynth_corpus::TableId(k * 41)).collect(),
+        let report = prepared.apply_delta(|corpus| {
+            // Drop the first row of one surviving table, by value.
+            let tid = mapsynth_corpus::TableId(7);
+            let deleted = {
+                let t = corpus.table(tid);
+                if t.rows() == 0 {
+                    vec![]
+                } else {
+                    vec![t
+                        .columns
+                        .iter()
+                        .map(|c| corpus.str_of(c.values[0]).to_string())
+                        .collect()]
+                }
+            };
+            let patch = mapsynth_corpus::RowPatch {
+                table: tid,
+                deleted,
+                inserted: vec![],
+            };
+            corpus.apply_row_patch(&patch);
+            CorpusDelta {
+                added: vec![],
+                removed: (0..6).map(|k| mapsynth_corpus::TableId(k * 41)).collect(),
+                patches: vec![patch],
+            }
         });
         assert_eq!(report.tables_removed, 6);
+        assert_eq!(report.tables_patched, 1);
 
         let cfg = SynthesisConfig {
             theta_edge: 0.7,
             ..Default::default()
         };
-        let swept = prepared.run_synthesis(&cfg, Resolver::Algorithm4);
+        let check = |prepared: &PreparedWeb, corpus: &Corpus| {
+            let swept = prepared.run_synthesis(&cfg, Resolver::Algorithm4);
+            let feed = prepared.registry.partial_synonym_feed(0.5, 11);
+            let mut fresh = SynthesisSession::new(PipelineConfig::default()).with_synonyms(feed);
+            fresh.prepare(corpus);
+            let fresh_results: Vec<Vec<(String, String)>> = fresh
+                .synthesize(&cfg, Resolver::Algorithm4)
+                .mappings
+                .iter()
+                .map(|m| m.materialize_pairs())
+                .collect();
+            assert_eq!(swept.len(), fresh_results.len());
+            for (a, b) in swept.iter().zip(&fresh_results) {
+                assert_eq!(&a.pairs, b);
+            }
+        };
 
         // Fresh harness on the post-delta corpus.
         let live = prepared.session.live_corpus(&prepared.corpus);
-        let feed = prepared.registry.partial_synonym_feed(0.5, 11);
-        let mut fresh = SynthesisSession::new(PipelineConfig::default()).with_synonyms(feed);
-        fresh.prepare(&live);
-        let fresh_results: Vec<Vec<(String, String)>> = fresh
-            .synthesize(&cfg, Resolver::Algorithm4)
-            .mappings
-            .iter()
-            .map(|m| m.materialize_pairs())
-            .collect();
-        assert_eq!(swept.len(), fresh_results.len());
-        for (a, b) in swept.iter().zip(&fresh_results) {
-            assert_eq!(&a.pairs, b);
-        }
+        check(&prepared, &live);
+
+        // And on the compacted corpus after tombstone reclamation.
+        prepared.compact();
+        check(&prepared, &prepared.corpus);
     }
 }

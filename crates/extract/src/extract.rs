@@ -18,7 +18,8 @@
 use crate::filters::{approx_fd_holds, column_passes, numeric_fraction};
 use mapsynth_corpus::{
     coherence_from_counts, column_coherence_detailed, BinaryId, BinaryTable, CoherenceConfig,
-    CoherenceDetail, Corpus, GlobalColId, Interner, Sym, Table, TableId, TableSource, ValueIndex,
+    CoherenceDetail, Corpus, GlobalColId, Interner, RowPatch, Sym, Table, TableId, TableSource,
+    ValueIndex,
 };
 use mapsynth_mapreduce::MapReduce;
 use std::collections::{HashMap, HashSet};
@@ -471,6 +472,13 @@ pub struct ExtractionDelta {
     /// surviving tables whose column lost coherence. Meaningless when
     /// `reordered`.
     pub tombstoned: Vec<u32>,
+    /// Candidates of row-patched tables that survived with *changed
+    /// content*: same id, same `(left, right)` columns, new rows. When
+    /// `reordered`, these candidates' cached scores are already
+    /// invalidated (sentineled out of the surviving-id map that
+    /// [`ExtractionCache::rebuild_candidates`] returns) and the entries
+    /// here — under their **old** ids — are reporting-only.
+    pub replaced: Vec<BinaryTable>,
     /// Aggregate stats over the live post-delta view — bit-identical to
     /// a fresh extraction of the post-delta corpus.
     pub stats: ExtractionStats,
@@ -523,19 +531,26 @@ impl ExtractionCache {
     /// changes.
     ///
     /// `added` must be the ids of tables appended to `corpus` since the
-    /// cache last saw it (in order); `removed` must be live table ids.
-    /// The cache is fully advanced on return; when the delta flags
-    /// `reordered` the caller must renumber through
+    /// cache last saw it (in order); `removed` must be live table ids;
+    /// `patches` are row-granular edits whose [`RowPatch`]es were
+    /// already applied to `corpus` (via [`Corpus::apply_row_patch`]) —
+    /// the pre-patch column multisets are reconstructed from the
+    /// post-patch corpus as `new − inserted + deleted`. The cache is
+    /// fully advanced on return; when the delta flags `reordered` the
+    /// caller must renumber through
     /// [`rebuild_candidates`](Self::rebuild_candidates) instead of
-    /// using the tombstone/append lists.
+    /// using the tombstone/append/replace lists.
     ///
     /// # Panics
-    /// On out-of-order `added` ids, unknown or dead `removed` ids.
+    /// On out-of-order `added` ids, unknown or dead `removed` ids, and
+    /// patches that target a dead table, a table removed by the same
+    /// delta, or the same table twice.
     pub fn apply_delta(
         &mut self,
         corpus: &Corpus,
         added: &[TableId],
         removed: &[TableId],
+        patches: &[RowPatch],
         cfg: &ExtractionConfig,
         mr: &MapReduce,
     ) -> ExtractionDelta {
@@ -579,6 +594,87 @@ impl ExtractionCache {
                 .tombstoned
                 .extend(tc.candidates.iter().map(|&(_, _, idx)| idx));
             tc.candidates.clear();
+        }
+
+        // 1b. Row-patched tables: swap per-column value *membership* in
+        // the index (the column keeps its gid) and register the full
+        // old/new distinct sets as a −1/+1 delta-column pair. Values in
+        // both sets cancel in the value counts, but registering both
+        // full sets is what keeps the *pair* arithmetic exact: a pair
+        // with one staying and one leaving value shares only the −1
+        // pseudo-column, one staying and one entering only the +1 —
+        // exactly the `[u,v ∈ new] − [u,v ∈ old]` change a fresh
+        // intersection would see.
+        self.index.grow_symbols(corpus.interner.len());
+        let mut patched: Vec<u32> = Vec::new();
+        for patch in patches {
+            let tc = self
+                .tables
+                .get(patch.table.0 as usize)
+                .expect("patched table id unknown to the extraction cache");
+            assert!(tc.alive, "patched table {:?} is not live", patch.table);
+            assert!(
+                !removed.contains(&patch.table),
+                "table {:?} both patched and removed in one delta",
+                patch.table
+            );
+            assert!(
+                !patched.contains(&patch.table.0),
+                "table {:?} patched twice in one delta",
+                patch.table
+            );
+            patched.push(patch.table.0);
+            let table = corpus.table(patch.table);
+            let first_gid = tc.first_gid;
+            for (ci, col) in table.columns.iter().enumerate() {
+                let new_distinct = col.distinct();
+                let mut old_counts: HashMap<Sym, i64> = HashMap::with_capacity(col.values.len());
+                for &v in &col.values {
+                    *old_counts.entry(v).or_default() += 1;
+                }
+                for row in &patch.inserted {
+                    let s = corpus
+                        .interner
+                        .get(&row[ci])
+                        .expect("inserted value was interned by apply_row_patch");
+                    *old_counts.entry(s).or_default() -= 1;
+                }
+                for row in &patch.deleted {
+                    let s = corpus
+                        .interner
+                        .get(&row[ci])
+                        .expect("deleted value existed in the corpus");
+                    *old_counts.entry(s).or_default() += 1;
+                }
+                let mut old_distinct: Vec<Sym> = old_counts
+                    .iter()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(&v, _)| v)
+                    .collect();
+                old_distinct.sort_unstable();
+                let new_set: HashSet<Sym> = new_distinct.iter().copied().collect();
+                let leaving: Vec<Sym> = old_distinct
+                    .iter()
+                    .copied()
+                    .filter(|v| !new_set.contains(v))
+                    .collect();
+                let entering: Vec<Sym> = new_distinct
+                    .iter()
+                    .copied()
+                    .filter(|v| old_counts.get(v).is_none_or(|&c| c <= 0))
+                    .collect();
+                if leaving.is_empty() && entering.is_empty() {
+                    // Pure duplicate-count churn: no evidence moved.
+                    continue;
+                }
+                self.index.patch_column(
+                    GlobalColId(first_gid + ci as u32),
+                    leaving.iter().copied(),
+                    entering.iter().copied(),
+                );
+                register(&mut delta_cols, &mut col_sign, &old_distinct, -1);
+                register(&mut delta_cols, &mut col_sign, &new_distinct, 1);
+            }
         }
 
         // 2. Register added tables' evidence (fresh, never-reused gids).
@@ -639,12 +735,16 @@ impl ExtractionCache {
             d
         };
         let total = self.index.total_columns();
+        // Patched tables are excluded: their own column content changed
+        // (distinct sets, and with them the coherence sample lists), so
+        // they are re-scored from scratch in step 4b instead of
+        // arithmetically.
         let old_live: Vec<u32> = self
             .tables
             .iter()
             .enumerate()
             .take(self.tables.len() - added.len())
-            .filter(|(_, t)| t.alive)
+            .filter(|&(ti, t)| t.alive && !patched.contains(&(ti as u32)))
             .map(|(ti, _)| ti as u32)
             .collect();
         let touched_ref = &touched_lists;
@@ -760,6 +860,70 @@ impl ExtractionCache {
                 .collect();
         }
 
+        // 4b. Re-extract row-patched tables in full against the
+        // post-delta evidence: structural filters, coherence samples,
+        // FD checks and pair enumeration all depend on row content, so
+        // nothing cached about these tables' own columns survives a
+        // patch. A surviving (left, right) pair keeps its candidate id
+        // with replaced rows; a lost pair tombstones; a gained pair
+        // forces a renumber exactly like a coherence flip-up.
+        let index_ref = &self.index;
+        let tables_ref = &self.tables;
+        let repatched: Vec<TableExtraction> = mr.par_map(&patched, |&ti| {
+            extract_table(
+                &corpus.interner,
+                index_ref,
+                &corpus.tables[ti as usize],
+                tables_ref[ti as usize].first_gid,
+                cfg,
+            )
+        });
+        for (&ti, out) in patched.iter().zip(repatched) {
+            delta.tables_reextracted += 1;
+            let table = &corpus.tables[ti as usize];
+            let tc = &mut self.tables[ti as usize];
+            delta.coherence_flips += tc
+                .cols
+                .iter()
+                .zip(&out.cols)
+                .filter(|(a, b)| a.kept != b.kept)
+                .count();
+            let old_ids: HashMap<(u16, u16), u32> = tc
+                .candidates
+                .iter()
+                .map(|&(i, j, idx)| ((i, j), idx))
+                .collect();
+            let new_set: HashSet<(u16, u16)> = out.pairs.iter().map(|&(i, j, _)| (i, j)).collect();
+            delta.tombstoned.extend(
+                tc.candidates
+                    .iter()
+                    .filter(|&&(i, j, _)| !new_set.contains(&(i, j)))
+                    .map(|&(_, _, idx)| idx),
+            );
+            tc.cols = out.cols;
+            tc.stats = out.stats;
+            let mut emitted = Vec::with_capacity(out.pairs.len());
+            for (i, j, rows) in out.pairs {
+                match old_ids.get(&(i, j)) {
+                    Some(&idx) => {
+                        emitted.push((i, j, idx));
+                        delta.replaced.push(
+                            BinaryTable::new(BinaryId(idx), table.id, table.domain, i, j, rows)
+                                .with_headers(
+                                    table.columns[i as usize].header,
+                                    table.columns[j as usize].header,
+                                ),
+                        );
+                    }
+                    None => {
+                        delta.reordered = true;
+                        emitted.push((i, j, GAINED_CANDIDATE));
+                    }
+                }
+            }
+            tc.candidates = emitted;
+        }
+
         // 5. Extract the added tables against the post-delta evidence.
         let added_idx: Vec<u32> = added.iter().map(|t| t.0).collect();
         let index_ref = &self.index;
@@ -799,7 +963,109 @@ impl ExtractionCache {
         }
         delta.stats = stats;
         delta.tombstoned.sort_unstable();
+        // A renumber rebuilds the candidate list from scratch, and the
+        // surviving-id map must not carry stale scores: invalidate
+        // every content-replaced candidate now (its rows are rebuilt
+        // from the patched corpus by `rebuild_candidates` anyway).
+        if delta.reordered {
+            let ids: Vec<u32> = delta.replaced.iter().map(|c| c.id.0).collect();
+            self.sentinel_candidates(&ids);
+        }
         delta
+    }
+
+    /// Number of live candidates the cache currently tracks.
+    pub fn live_candidates(&self) -> usize {
+        self.tables
+            .iter()
+            .filter(|t| t.alive)
+            .map(|t| t.candidates.len())
+            .sum()
+    }
+
+    /// Ids of every live candidate, in live-table order. The
+    /// incremental session walks these to probe how much of its
+    /// value space is still referenced (the compaction trigger).
+    ///
+    /// # Panics
+    /// If a renumber is pending (sentineled candidates have no id).
+    pub fn live_candidate_ids(&self) -> Vec<u32> {
+        self.tables
+            .iter()
+            .filter(|t| t.alive)
+            .flat_map(|t| t.candidates.iter().map(|c| c.2))
+            .inspect(|&id| {
+                assert_ne!(
+                    id, GAINED_CANDIDATE,
+                    "live_candidate_ids with a renumber pending"
+                )
+            })
+            .collect()
+    }
+
+    /// Invalidate the given live candidates ahead of a renumber: their
+    /// entries are replaced by the gained-candidate sentinel, so
+    /// [`rebuild_candidates`](Self::rebuild_candidates) assigns them
+    /// fresh ids and *excludes* them from the surviving-id map —
+    /// downstream caches must re-derive their state. The incremental
+    /// session uses this when it detects a content change the
+    /// extraction layer cannot see (a replaced candidate whose
+    /// normalized projection newly became usable).
+    pub fn sentinel_candidates(&mut self, ids: &[u32]) {
+        if ids.is_empty() {
+            return;
+        }
+        let set: HashSet<u32> = ids.iter().copied().collect();
+        let mut found = 0usize;
+        for tc in self.tables.iter_mut().filter(|t| t.alive) {
+            for c in tc.candidates.iter_mut() {
+                if c.2 != GAINED_CANDIDATE && set.contains(&c.2) {
+                    c.2 = GAINED_CANDIDATE;
+                    found += 1;
+                }
+            }
+        }
+        assert_eq!(
+            found,
+            set.len(),
+            "sentinel_candidates: some ids are unknown, dead, or already sentineled"
+        );
+    }
+
+    /// Drop tombstoned tables and renumber the surviving candidates
+    /// densely, in place — the extraction half of a session compaction.
+    /// Table positions shrink to the live tables in order (matching
+    /// [`Corpus::retain_interned`] of the live set); candidate ids are
+    /// renumbered in `(table, pair)` order, which equals ascending old
+    /// id order, so the returned old → new id map is monotone. Global
+    /// column ids are *not* renumbered: dead gids already carry no
+    /// postings, the coherence arithmetic only ever uses counts, and
+    /// keeping them avoids rewriting every posting list.
+    ///
+    /// # Panics
+    /// If called while a `reordered` delta is pending (sentineled
+    /// candidates present).
+    pub fn compact(&mut self) -> Vec<(u32, u32)> {
+        self.tables.retain(|t| t.alive);
+        let mut id_map = Vec::new();
+        let mut next = 0u32;
+        for tc in &mut self.tables {
+            for c in tc.candidates.iter_mut() {
+                assert_ne!(
+                    c.2, GAINED_CANDIDATE,
+                    "compact called with a renumber pending"
+                );
+                id_map.push((c.2, next));
+                c.2 = next;
+                next += 1;
+            }
+        }
+        debug_assert!(
+            id_map.windows(2).all(|w| w[0].0 < w[1].0),
+            "live candidate ids must ascend in (table, pair) order"
+        );
+        self.next_candidate = next;
+        id_map
     }
 
     /// Reassemble the full candidate list from the cache in fresh
@@ -983,7 +1249,7 @@ mod tests {
             added.push(corpus.push_interned_table(nd, cols));
         }
 
-        let delta = cache.apply_delta(&corpus, &added, &removed, &cfg, &mr);
+        let delta = cache.apply_delta(&corpus, &added, &removed, &[], &cfg, &mr);
         assert!(!delta.reordered, "this delta must not force a renumber");
 
         // Survivors in order + added, from the incremental path.
@@ -1036,7 +1302,7 @@ mod tests {
             let cols = corpus.tables[src as usize].columns.clone();
             added.push(corpus.push_interned_table(nd, cols));
         }
-        let delta = cache.apply_delta(&corpus, &added, &[], &cfg, &mr);
+        let delta = cache.apply_delta(&corpus, &added, &[], &[], &cfg, &mr);
         assert!(delta.reordered, "borderline flip-up must demand a renumber");
         assert!(delta.coherence_flips > 0);
 
@@ -1089,8 +1355,8 @@ mod tests {
         let nd = corpus.domain("delta.example");
         let cols = corpus.tables[5].columns.clone();
         let added = vec![corpus.push_interned_table(nd, cols)];
-        let da = batch_cache.apply_delta(&corpus, &added, &removed, &cfg, &mr);
-        let db = stream_cache.apply_delta(&corpus, &added, &removed, &cfg, &mr);
+        let da = batch_cache.apply_delta(&corpus, &added, &removed, &[], &cfg, &mr);
+        let db = stream_cache.apply_delta(&corpus, &added, &removed, &[], &cfg, &mr);
         assert_eq!(da.stats, db.stats);
         assert_eq!(da.tombstoned, db.tombstoned);
         assert_eq!(da.reordered, db.reordered);
@@ -1152,7 +1418,7 @@ mod tests {
             let src = 5 + step as usize * 7;
             let cols = corpus.tables[src].columns.clone();
             let added = vec![corpus.push_interned_table(nd, cols)];
-            let delta = cache.apply_delta(&corpus, &added, &removed, &cfg, &mr);
+            let delta = cache.apply_delta(&corpus, &added, &removed, &[], &cfg, &mr);
             assert!(!delta.reordered);
             tombstoned.extend(delta.tombstoned.iter().copied());
             appended.extend(delta.added);
@@ -1172,5 +1438,148 @@ mod tests {
         for (a, b) in incremental.iter().zip(&fresh) {
             assert_eq!((a.left_col, a.right_col), (b.left_col, b.right_col));
         }
+    }
+
+    /// A row patch advances the cache to exactly what a fresh
+    /// extraction of the patched corpus produces: same candidate set,
+    /// same stats, with surviving candidates keeping their ids and
+    /// reporting replaced rows.
+    #[test]
+    fn row_patch_matches_fresh_extraction() {
+        let wc = small_corpus();
+        let mut corpus = wc.corpus;
+        let cfg = ExtractionConfig::default();
+        let mr = MapReduce::new(2);
+        let (base, _, mut cache) = extract_candidates_cached(&corpus, &cfg, &mr);
+
+        // Pick a table that emitted candidates, swap one row for two
+        // new ones (one value reused from another table to overlap).
+        let src = base[0].source;
+        let t = corpus.table(src);
+        let row_of = |c: &Corpus, t: &Table, ri: usize| -> Vec<String> {
+            t.columns
+                .iter()
+                .map(|col| c.str_of(col.values[ri]).to_string())
+                .collect()
+        };
+        let deleted = vec![row_of(&corpus, t, 0)];
+        let width = t.width();
+        // Insert rows copied from a same-width sibling so the new
+        // values already co-occur in the corpus (a row of synthetic
+        // strings would legitimately sink the column's coherence and
+        // tombstone the candidate instead of replacing it).
+        let donor = corpus
+            .tables
+            .iter()
+            .find(|d| d.id != src && d.width() == width && d.rows() >= 2)
+            .expect("corpus has a same-width donor table");
+        let inserted = vec![row_of(&corpus, donor, 0), row_of(&corpus, donor, 1)];
+        let patch = RowPatch {
+            table: src,
+            deleted,
+            inserted,
+        };
+        corpus.apply_row_patch(&patch);
+
+        let delta = cache.apply_delta(&corpus, &[], &[], &[patch], &cfg, &mr);
+        let (fresh, fresh_stats, _) = extract_candidates_cached(&corpus, &cfg, &mr);
+        assert_eq!(delta.stats, fresh_stats, "aggregate stats");
+
+        if delta.reordered {
+            let (rebuilt, stats, _) = cache.rebuild_candidates(&corpus);
+            assert_eq!(stats, fresh_stats);
+            assert_eq!(rebuilt.len(), fresh.len());
+            for (a, b) in rebuilt.iter().zip(&fresh) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.pairs, b.pairs);
+            }
+            return;
+        }
+        // Same corpus, same interner: candidates must match the fresh
+        // run bit for bit after swapping in the replaced rows.
+        let tomb: std::collections::HashSet<u32> = delta.tombstoned.iter().copied().collect();
+        let replaced: std::collections::HashMap<u32, &BinaryTable> =
+            delta.replaced.iter().map(|c| (c.id.0, c)).collect();
+        let mut incremental: Vec<&BinaryTable> = base
+            .iter()
+            .map(|c| replaced.get(&c.id.0).copied().unwrap_or(c))
+            .filter(|c| !tomb.contains(&c.id.0))
+            .collect();
+        incremental.extend(delta.added.iter());
+        assert_eq!(incremental.len(), fresh.len(), "candidate count");
+        assert!(
+            !delta.replaced.is_empty(),
+            "the patch touched an emitting table, so some candidate must be replaced"
+        );
+        let fresh_sorted = {
+            let mut v: Vec<&BinaryTable> = fresh.iter().collect();
+            v.sort_by_key(|c| c.id.0);
+            v
+        };
+        incremental.sort_by_key(|c| c.id.0);
+        for (a, b) in incremental.iter().zip(&fresh_sorted) {
+            assert_eq!(a.source, b.source);
+            assert_eq!((a.left_col, a.right_col), (b.left_col, b.right_col));
+            assert_eq!(a.pairs, b.pairs, "rows of candidate {:?}", a.id);
+        }
+    }
+
+    /// Degenerate patches at the extraction layer: emptying a table
+    /// keeps it live with zero candidates, and a patch to a removed
+    /// table panics rather than corrupting the cache.
+    #[test]
+    fn emptying_patch_drops_all_candidates() {
+        let wc = small_corpus();
+        let mut corpus = wc.corpus;
+        let cfg = ExtractionConfig::default();
+        let mr = MapReduce::new(2);
+        let (base, _, mut cache) = extract_candidates_cached(&corpus, &cfg, &mr);
+        let src = base[0].source;
+        let t = corpus.table(src);
+        let deleted: Vec<Vec<String>> = (0..t.rows())
+            .map(|ri| {
+                t.columns
+                    .iter()
+                    .map(|col| corpus.str_of(col.values[ri]).to_string())
+                    .collect()
+            })
+            .collect();
+        let patch = RowPatch {
+            table: src,
+            deleted,
+            inserted: vec![],
+        };
+        corpus.apply_row_patch(&patch);
+        assert_eq!(corpus.table(src).rows(), 0);
+        let delta = cache.apply_delta(&corpus, &[], &[], &[patch], &cfg, &mr);
+        if delta.reordered {
+            let (rebuilt, stats, _) = cache.rebuild_candidates(&corpus);
+            let (fresh, fresh_stats, _) = extract_candidates_cached(&corpus, &cfg, &mr);
+            assert_eq!(stats, fresh_stats);
+            assert_eq!(rebuilt.len(), fresh.len());
+        } else {
+            let (_, fresh_stats, _) = extract_candidates_cached(&corpus, &cfg, &mr);
+            assert_eq!(delta.stats, fresh_stats);
+        }
+        assert!(cache.live_candidates() < base.len());
+        assert!(!base.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "is not live")]
+    fn patch_to_removed_table_panics() {
+        let wc = small_corpus();
+        let mut corpus = wc.corpus;
+        let cfg = ExtractionConfig::default();
+        let mr = MapReduce::new(1);
+        let (_, _, mut cache) = extract_candidates_cached(&corpus, &cfg, &mr);
+        cache.apply_delta(&corpus, &[], &[TableId(0)], &[], &cfg, &mr);
+        let patch = RowPatch {
+            table: TableId(0),
+            deleted: vec![],
+            inserted: vec![],
+        };
+        corpus.apply_row_patch(&patch);
+        cache.apply_delta(&corpus, &[], &[], &[patch], &cfg, &mr);
     }
 }

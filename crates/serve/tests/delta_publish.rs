@@ -149,6 +149,98 @@ fn unchanged_set_shares_every_shard() {
     );
 }
 
+/// End-to-end row-granular publishing: a synthesis session evolving
+/// through row patches feeds `publish_delta`, and the served content
+/// always equals a full rebuild over a fresh session's output —
+/// including across a session compaction, which must not perturb the
+/// served snapshot at all (stable mappings stay verbatim).
+#[test]
+fn session_row_patches_flow_through_publish_delta() {
+    use mapsynth::delta::CorpusDelta;
+    use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
+    use mapsynth_corpus::{Corpus, RowPatch, TableId};
+
+    let rows: [(&str, &str); 6] = [
+        ("Afghanistan", "AFG"),
+        ("Albania", "ALB"),
+        ("Algeria", "DZA"),
+        ("Germany", "DEU"),
+        ("Netherlands", "NLD"),
+        ("Greece", "GRC"),
+    ];
+    let mut corpus = Corpus::new();
+    for i in 0..6 {
+        let d = corpus.domain(&format!("iso-{i}.org"));
+        let (l, r): (Vec<&str>, Vec<&str>) = rows.iter().cloned().unzip();
+        corpus.push_table(d, vec![(Some("country"), l), (Some("code"), r)]);
+    }
+    let mut session = SynthesisSession::new(PipelineConfig::default());
+    session.prepare(&corpus);
+    let cfg = session.config().synthesis;
+
+    let service = MappingService::new();
+    let synthesized = session.synthesize(&cfg, Resolver::Algorithm4).mappings;
+    service.publish(SnapshotBuilder::from_synthesized(&synthesized).build());
+
+    let check_serves_fresh = |service: &MappingService, session: &SynthesisSession| {
+        let mappings = session.synthesize(&cfg, Resolver::Algorithm4).mappings;
+        let rebuilt = SnapshotBuilder::from_synthesized(&mappings).build();
+        assert_eq!(
+            observable(&service.snapshot(), &mappings),
+            observable(&rebuilt, &mappings),
+            "served snapshot diverged from a full rebuild"
+        );
+    };
+
+    // Row patch: one table switches Algeria to the IOC code — its
+    // candidates are replaced in place, and the publish diff retires
+    // only the mappings the edit actually changed.
+    let patch = RowPatch {
+        table: TableId(2),
+        deleted: vec![vec!["Algeria".to_string(), "DZA".to_string()]],
+        inserted: vec![vec!["Algeria".to_string(), "ALG".to_string()]],
+    };
+    corpus.apply_row_patch(&patch);
+    let report = session.apply_delta(
+        &corpus,
+        &CorpusDelta {
+            added: vec![],
+            removed: vec![],
+            patches: vec![patch],
+        },
+    );
+    assert_eq!(report.tables_patched, 1);
+    let (version, _) =
+        service.publish_delta(&session.synthesize(&cfg, Resolver::Algorithm4).mappings);
+    assert_eq!(version, 2);
+    check_serves_fresh(&service, &session);
+
+    // Drop two tables, then compact the session. The synthesized
+    // content is unchanged by compaction, so the follow-up publish
+    // must diff to zero — renumbering never leaks into serving.
+    session.apply_delta(
+        &corpus,
+        &CorpusDelta {
+            added: vec![],
+            removed: vec![TableId(0), TableId(4)],
+            patches: vec![],
+        },
+    );
+    let (_, _) = service.publish_delta(&session.synthesize(&cfg, Resolver::Algorithm4).mappings);
+    check_serves_fresh(&service, &session);
+
+    session.compact(&corpus);
+    let (version, stats) =
+        service.publish_delta(&session.synthesize(&cfg, Resolver::Algorithm4).mappings);
+    assert_eq!(version, 4);
+    assert_eq!(
+        (stats.added, stats.removed, stats.rebuilt_shards),
+        (0, 0, 0),
+        "compaction must not change served content"
+    );
+    check_serves_fresh(&service, &session);
+}
+
 /// The serve stress satellite: a writer stream of `publish_delta`
 /// calls interleaved with concurrent readers. Readers must only ever
 /// observe monotone versions and *complete* snapshots — every

@@ -13,7 +13,7 @@
 
 use mapsynth::delta::CorpusDelta;
 use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
-use mapsynth_corpus::{Corpus, TableId};
+use mapsynth_corpus::{Corpus, RowPatch, TableId};
 use mapsynth_text::SynonymDict;
 use proptest::prelude::*;
 
@@ -87,9 +87,17 @@ fn synonyms() -> SynonymDict {
     dict
 }
 
+/// A generated row patch: a live-table selector, row-index selectors
+/// for deletion, and generator-shaped rows (relation + entity rows) to
+/// append. Resolved against the live table set and the table's actual
+/// rows at application time, so deletions always name real tuples and
+/// insertions can duplicate lefts (FD-breaking), overlap other
+/// relations' values, or re-introduce typo'd spellings.
+type GenPatch = (u16, Vec<u16>, (u8, Vec<(u8, (u8, u8))>));
+
 /// One delta: removal selectors (resolved against the live table set
-/// at application time) plus tables to append.
-type GenDelta = (Vec<u16>, Vec<GenTable>);
+/// at application time), tables to append, and row patches.
+type GenDelta = (Vec<u16>, Vec<GenTable>, Vec<GenPatch>);
 
 fn table_strategy() -> impl Strategy<Value = GenTable> {
     // Rows keyed by entity (unique lefts → functional tables); enough
@@ -103,12 +111,79 @@ fn tables_strategy() -> impl Strategy<Value = Vec<GenTable>> {
     proptest::collection::vec(table_strategy(), 4..9)
 }
 
+fn patch_strategy() -> impl Strategy<Value = GenPatch> {
+    let ins_rows = proptest::collection::btree_map(0u8..10, (0u8..12, 0u8..9), 0..4)
+        .prop_map(|m| m.into_iter().collect::<Vec<_>>());
+    (
+        0u16..1000,
+        proptest::collection::vec(0u16..1000, 0..8),
+        (0u8..2, ins_rows),
+    )
+}
+
 fn deltas_strategy() -> impl Strategy<Value = Vec<GenDelta>> {
     let delta = (
         proptest::collection::vec(0u16..1000, 0..3),
         proptest::collection::vec(table_strategy(), 0..3),
+        proptest::collection::vec(patch_strategy(), 0..3),
     );
     proptest::collection::vec(delta, 1..4)
+}
+
+/// Resolve a [`GenPatch`] into a concrete [`RowPatch`] against the
+/// current corpus and apply it, or `None` when no live table is
+/// eligible (everything removed or already patched this delta).
+fn resolve_and_apply_patch(
+    corpus: &mut Corpus,
+    sel: &GenPatch,
+    eligible: &[TableId],
+) -> Option<RowPatch> {
+    let (tsel, del_sels, (relation, ins_rows)) = sel;
+    if eligible.is_empty() {
+        return None;
+    }
+    let tid = eligible[*tsel as usize % eligible.len()];
+    let (deleted, width) = {
+        let table = corpus.table(tid);
+        let nrows = table.rows();
+        let mut del_idx: Vec<usize> = del_sels
+            .iter()
+            .filter(|_| nrows > 0)
+            .map(|&s| s as usize % nrows)
+            .collect();
+        del_idx.sort_unstable();
+        del_idx.dedup();
+        let deleted: Vec<Vec<String>> = del_idx
+            .iter()
+            .map(|&r| {
+                table
+                    .columns
+                    .iter()
+                    .map(|c| corpus.str_of(c.values[r]).to_string())
+                    .collect()
+            })
+            .collect();
+        (deleted, table.width())
+    };
+    let ev_of = |ev: u8| if ev < 9 { 0 } else { ev - 8 };
+    let cv_of = |cv: u8| if cv < 6 { 0 } else { cv - 5 };
+    let inserted: Vec<Vec<String>> = ins_rows
+        .iter()
+        .filter(|_| width == 2)
+        .map(|&(e, (ev, cv))| {
+            vec![
+                left_str(e, ev_of(ev)),
+                right_str(code_of(*relation, e), cv_of(cv)),
+            ]
+        })
+        .collect();
+    let patch = RowPatch {
+        table: tid,
+        deleted,
+        inserted,
+    };
+    corpus.apply_row_patch(&patch);
+    Some(patch)
 }
 
 /// The observable output of a synthesis run: curation-ranked
@@ -151,14 +226,62 @@ fn generated_corpora_exercise_the_pipeline() {
     assert!(edges > 0, "generator shape must produce graph edges");
 }
 
+/// Teeth check for the patch generator: resolved against a concrete
+/// corpus, the selectors must produce real row edits that replace live
+/// candidates — otherwise the row-patch arm of the property would hold
+/// vacuously.
+#[test]
+fn generated_patches_exercise_the_row_delta_path() {
+    let mut corpus = Corpus::new();
+    for domain in 0..6u8 {
+        for relation in 0..2u8 {
+            let rows: Vec<(u8, (u8, u8))> =
+                (0..8).map(|e| (e, (e % 4, (e + domain) % 3))).collect();
+            push_gen_table(&mut corpus, &(domain, relation, rows));
+        }
+    }
+    let mut session = SynthesisSession::new(PipelineConfig::default()).with_synonyms(synonyms());
+    session.prepare(&corpus);
+    let alive: Vec<TableId> = (0..corpus.len() as u32).map(TableId).collect();
+
+    // Delete two rows of one table, insert one typo'd row into it.
+    let sel: GenPatch = (3, vec![0, 5], (1, vec![(9, (10, 7))]));
+    let patch = resolve_and_apply_patch(&mut corpus, &sel, &alive).expect("eligible tables");
+    assert_eq!(patch.deleted.len(), 2);
+    assert_eq!(patch.inserted.len(), 1);
+    let report = session.apply_delta(
+        &corpus,
+        &CorpusDelta {
+            added: vec![],
+            removed: vec![],
+            patches: vec![patch],
+        },
+    );
+    assert_eq!(report.tables_patched, 1);
+    assert!(
+        report.candidates_replaced + report.candidates_added + report.candidates_tombstoned >= 1,
+        "a real row edit must move at least one candidate"
+    );
+    let live_corpus = session.live_corpus(&corpus);
+    let mut fresh = SynthesisSession::new(PipelineConfig::default()).with_synonyms(synonyms());
+    fresh.prepare(&live_corpus);
+    for resolver in [Resolver::Algorithm4, Resolver::MajorityVote, Resolver::None] {
+        assert_eq!(observe(&session, resolver), observe(&fresh, resolver));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
-    /// The tentpole invariant: after every delta in a random sequence,
+    /// The tentpole invariant: after every delta in a random sequence —
+    /// table additions, removals, and row-granular patches, mixed —
     /// the incremental session's output is bit-identical to a fresh
     /// batch session on the live corpus — across worker counts (the
     /// incremental side runs at a sampled worker count, the oracle
     /// always at 1, so the comparison also proves the delta path's
-    /// parallel determinism).
+    /// parallel determinism). On the side it checks the unified
+    /// candidate counters: `live_after = live_before + added −
+    /// tombstoned` must hold on both the in-place and the renumber
+    /// path, with the fresh session's candidate list as ground truth.
     #[test]
     fn prop_delta_equals_fresh(
         base in tables_strategy(),
@@ -177,8 +300,13 @@ proptest! {
         .with_synonyms(synonyms());
         session.prepare(&corpus);
         let mut alive: Vec<TableId> = (0..corpus.len() as u32).map(TableId).collect();
+        let mut expected_live = session
+            .extraction()
+            .expect("prepared")
+            .candidates
+            .len();
 
-        for (removal_sel, additions) in &deltas {
+        for (removal_sel, additions, patch_sels) in &deltas {
             // Resolve removal selectors against the live set.
             let mut removed: Vec<TableId> = Vec::new();
             for &sel in removal_sel {
@@ -193,6 +321,21 @@ proptest! {
                 let pick = live[sel as usize % live.len()];
                 removed.push(pick);
             }
+            // Resolve row patches against surviving pre-delta tables
+            // (the session rejects patches to removed, added, or
+            // twice-patched tables) and apply them to the corpus
+            // up front, as the contract requires.
+            let mut patches: Vec<RowPatch> = Vec::new();
+            for sel in patch_sels {
+                let eligible: Vec<TableId> = alive
+                    .iter()
+                    .copied()
+                    .filter(|t| !removed.contains(t) && !patches.iter().any(|p| p.table == *t))
+                    .collect();
+                if let Some(p) = resolve_and_apply_patch(&mut corpus, sel, &eligible) {
+                    patches.push(p);
+                }
+            }
             let added: Vec<TableId> = additions
                 .iter()
                 .map(|t| push_gen_table(&mut corpus, t))
@@ -200,8 +343,8 @@ proptest! {
             alive.retain(|t| !removed.contains(t));
             alive.extend(added.iter().copied());
 
-            let delta = CorpusDelta { added, removed };
-            session.apply_delta(&corpus, &delta);
+            let delta = CorpusDelta { added, removed, patches };
+            let report = session.apply_delta(&corpus, &delta);
 
             // Fresh batch oracle on the live corpus, single worker.
             let live_corpus = session.live_corpus(&corpus);
@@ -211,6 +354,20 @@ proptest! {
             })
             .with_synonyms(synonyms());
             fresh.prepare(&live_corpus);
+
+            // Counter balance: the report's unified counters must track
+            // the fresh session's live candidate count exactly.
+            prop_assert_eq!(report.tables_patched, delta.patches.len());
+            expected_live = expected_live + report.candidates_added - report.candidates_tombstoned;
+            prop_assert_eq!(
+                expected_live,
+                fresh.extraction().expect("prepared").candidates.len(),
+                "candidate counters out of balance (added {}, tombstoned {}, replaced {}, reordered {})",
+                report.candidates_added,
+                report.candidates_tombstoned,
+                report.candidates_replaced,
+                report.reordered
+            );
 
             for resolver in [Resolver::Algorithm4, Resolver::MajorityVote, Resolver::None] {
                 let incremental = observe(&session, resolver);

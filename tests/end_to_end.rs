@@ -246,6 +246,7 @@ fn delta_tombstones_mappings_end_to_end() {
         &CorpusDelta {
             added: vec![],
             removed,
+            patches: vec![],
         },
     );
     assert_eq!(report.tables_removed, n_removed);
@@ -295,6 +296,7 @@ fn delta_tombstones_mappings_end_to_end() {
         &CorpusDelta {
             added,
             removed: vec![],
+            patches: vec![],
         },
     );
     let revived = session.synthesize(&base, Resolver::Algorithm4);
@@ -354,7 +356,14 @@ fn delta_path_deterministic_across_worker_counts_at_scale() {
                     .collect();
                 added.push(corpus.push_table(d, cols_ref));
             }
-            session.apply_delta(&corpus, &CorpusDelta { added, removed });
+            session.apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    added,
+                    removed,
+                    patches: vec![],
+                },
+            );
             let run = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
             run.mappings.iter().map(|m| m.materialize_pairs()).collect()
         })
