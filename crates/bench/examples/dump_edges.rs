@@ -32,8 +32,22 @@
 //! cargo run --release -p mapsynth-bench --example dump_edges -- \
 //!     crates/bench/golden/delta_stream_edges_200.txt 200 --stream
 //! ```
+//!
+//! With a trailing `--faults` argument the dump is taken **after**
+//! the deterministic fault-injection stream
+//! (`mapsynth_bench::fault::run_fault_stream`: malformed deltas,
+//! induced apply panics and publish failures at planned positions,
+//! each rejected delta rolled back) — the committed golden file
+//! `crates/bench/golden/fault_stream_edges_100.txt` is this mode at
+//! `FAULT_STREAM_TABLES` tables, regenerated via:
+//!
+//! ```text
+//! cargo run --release -p mapsynth-bench --example dump_edges -- \
+//!     crates/bench/golden/fault_stream_edges_100.txt 100 --faults
+//! ```
 
 use mapsynth::pipeline::{PipelineConfig, SynthesisSession};
+use mapsynth_bench::fault::{post_fault_stream_edge_dump, FAULT_STREAM_DELTAS};
 use mapsynth_bench::{bench_delta, format_edges, post_stream_edge_dump, STREAM_DELTAS};
 
 fn main() {
@@ -41,9 +55,14 @@ fn main() {
     let tables: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(600);
     let delta_mode = args.iter().any(|a| a == "--delta");
     let stream_mode = args.iter().any(|a| a == "--stream");
+    let fault_mode = args.iter().any(|a| a == "--faults");
     let path = args.first().cloned().unwrap_or_else(|| "edges.txt".into());
 
-    let (out, edges, label) = if stream_mode {
+    let (out, edges, label) = if fault_mode {
+        let out = post_fault_stream_edge_dump(tables, FAULT_STREAM_DELTAS);
+        let edges = out.lines().count();
+        (out, edges, " (post-fault-stream)")
+    } else if stream_mode {
         let out = post_stream_edge_dump(tables, STREAM_DELTAS);
         let edges = out.lines().count();
         (out, edges, " (post-stream)")
@@ -53,7 +72,9 @@ fn main() {
         session.prepare(&wc.corpus);
         if delta_mode {
             let delta = bench_delta(&mut wc.corpus, tables);
-            session.apply_delta(&wc.corpus, &delta);
+            session
+                .apply_delta(&wc.corpus, &delta)
+                .expect("valid delta");
         }
         let graph = session.graph(&session.config().synthesis);
         let out = format_edges(&graph);

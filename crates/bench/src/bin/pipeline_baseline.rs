@@ -12,6 +12,11 @@
 //! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 30000 --points 600,7500,15000,30000 BENCH_scale.json
 //! # verify one committed scale point (CI growth-curve gate):
 //! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 600 --check BENCH_scale.json
+//! # fault-injection tier: deterministic stream with planned malformed
+//! # deltas, induced apply panics and publish failures:
+//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --delta-stream --faults BENCH_fault.json
+//! # verify the committed fault counts + post-fault edge golden (CI gate):
+//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --delta-stream --faults --check BENCH_pipeline.json
 //! ```
 //!
 //! See `crates/bench/README.md` for the output schema. In `--check`
@@ -172,7 +177,7 @@ fn delta_stage(
     base_mappings: &[mapsynth::SynthesizedMapping],
 ) -> DeltaBenchReport {
     let delta = bench_delta(corpus, tables);
-    let report = session.apply_delta(corpus, &delta);
+    let report = session.apply_delta(corpus, &delta).expect("valid delta");
 
     let t = Instant::now();
     let run = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
@@ -572,6 +577,156 @@ fn check_stream(path: &str) -> ! {
     std::process::exit(0);
 }
 
+/// Committed golden dump of the post-fault-stream compatibility-graph
+/// edges (the final graph after the deterministic fault-injection
+/// stream: every planted rejection rolled back, accepted deltas only).
+const FAULT_GOLDEN_PATH: &str = "crates/bench/golden/fault_stream_edges_100.txt";
+
+/// Outcome of the fault-injection tier: the ingestor's counters under
+/// a planted fault plan, serving throughput under churn, and the final
+/// deterministic counts of the surviving (accepted-only) state.
+struct FaultBenchReport {
+    outcome: mapsynth_bench::fault::FaultStreamOutcome,
+    candidates: usize,
+    edges: usize,
+    partitions: usize,
+    mappings: usize,
+    /// Post-fault-stream edge dump (byte-compared against the
+    /// committed golden file in `--delta-stream --faults --check`).
+    edge_dump: String,
+}
+
+/// The fault-injection stage: drive the full deterministic fault
+/// stream through a `DeltaIngestor` (with the concurrent-reader QPS
+/// probe on), then derive the final counts. With `verify` every
+/// robustness assertion runs — exact quarantine, retry/abandon
+/// counters, the accepted-deltas-only oracle.
+fn fault_stage(verify: bool) -> FaultBenchReport {
+    use mapsynth_bench::fault::{run_fault_stream, FAULT_STREAM_DELTAS, FAULT_STREAM_TABLES};
+    let outcome = run_fault_stream(FAULT_STREAM_TABLES, FAULT_STREAM_DELTAS, verify, true);
+    let run = outcome.session.synthesize(
+        &outcome.session.config().synthesis.clone(),
+        Resolver::Algorithm4,
+    );
+    let edge_dump =
+        mapsynth_bench::format_edges(&outcome.session.graph(&outcome.session.config().synthesis));
+    FaultBenchReport {
+        candidates: outcome.session.live_tables(),
+        edges: run.edges,
+        partitions: run.partitions,
+        mappings: run.mappings.len(),
+        edge_dump,
+        outcome,
+    }
+}
+
+/// Render the fault report as the `fault_detail` JSON object (indented
+/// for embedding at depth 1 in the main baseline file).
+fn render_fault(r: &FaultBenchReport) -> String {
+    let s = &r.outcome.stats;
+    format!(
+        "{{\n    \"fault_tables\": {},\n    \"fault_deltas\": {},\n    \"fault_submitted\": {},\n    \"fault_accepted\": {},\n    \"fault_rejected\": {},\n    \"fault_quarantined\": {},\n    \"fault_malformed\": {},\n    \"fault_sabotaged\": {},\n    \"fault_publishes\": {},\n    \"fault_publish_retries\": {},\n    \"fault_publishes_abandoned\": {},\n    \"fault_compactions\": {},\n    \"fault_served_version\": {},\n    \"fault_candidates\": {},\n    \"fault_edges\": {},\n    \"fault_partitions\": {},\n    \"fault_mappings\": {},\n    \"fault_churn_lookups\": {},\n    \"fault_churn_qps\": {:.0}\n  }}",
+        mapsynth_bench::fault::FAULT_STREAM_TABLES,
+        mapsynth_bench::fault::FAULT_STREAM_DELTAS,
+        s.submitted,
+        s.accepted,
+        s.rejected,
+        s.quarantined,
+        r.outcome.malformed,
+        r.outcome.sabotaged,
+        s.publishes,
+        s.publish_retries,
+        s.publishes_abandoned,
+        s.compactions,
+        r.outcome.served_version,
+        r.candidates,
+        r.edges,
+        r.partitions,
+        r.mappings,
+        r.outcome.churn_lookups,
+        r.outcome.churn_qps,
+    )
+}
+
+/// `--delta-stream --faults --check FILE`: re-run the fully verified
+/// fault stream and fail on exact-count drift against the committed
+/// `fault_detail` block (acceptance/rejection/quarantine/retry/abandon
+/// counters and the final deterministic counts are all exact — the
+/// fault plan is deterministic, so there is nothing to tolerate), or
+/// on the post-fault-stream edge dump differing from the committed
+/// golden file. Serving QPS under churn is informational only.
+fn check_fault(path: &str) -> ! {
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let r = fault_stage(true);
+
+    let s = &r.outcome.stats;
+    let exact = [
+        (
+            "fault_deltas",
+            mapsynth_bench::fault::FAULT_STREAM_DELTAS as i64,
+        ),
+        ("fault_submitted", s.submitted as i64),
+        ("fault_accepted", s.accepted as i64),
+        ("fault_rejected", s.rejected as i64),
+        ("fault_quarantined", s.quarantined as i64),
+        ("fault_malformed", r.outcome.malformed as i64),
+        ("fault_sabotaged", r.outcome.sabotaged as i64),
+        ("fault_publishes", s.publishes as i64),
+        ("fault_publish_retries", s.publish_retries as i64),
+        ("fault_publishes_abandoned", s.publishes_abandoned as i64),
+        ("fault_compactions", s.compactions as i64),
+        ("fault_served_version", r.outcome.served_version as i64),
+        ("fault_candidates", r.candidates as i64),
+        ("fault_edges", r.edges as i64),
+        ("fault_partitions", r.partitions as i64),
+        ("fault_mappings", r.mappings as i64),
+    ];
+    let mut drifted = false;
+    for (key, actual) in exact {
+        match json_int(&committed, key) {
+            Some(expected) if expected == actual => {
+                eprintln!("fault-check {key}: {actual} (ok)");
+            }
+            Some(expected) => {
+                eprintln!("fault-check {key}: expected {expected}, got {actual} (DRIFT)");
+                drifted = true;
+            }
+            None => {
+                eprintln!("fault-check {key}: missing from baseline (DRIFT)");
+                drifted = true;
+            }
+        }
+    }
+
+    match std::fs::read_to_string(FAULT_GOLDEN_PATH) {
+        Ok(golden) => {
+            if golden == r.edge_dump {
+                eprintln!("fault-check golden edges: {} bytes (ok)", golden.len());
+            } else {
+                eprintln!(
+                    "fault-check golden edges: dump differs from {FAULT_GOLDEN_PATH} (DRIFT); \
+                     regenerate via `cargo run --release -p mapsynth-bench --example dump_edges -- \
+                     {FAULT_GOLDEN_PATH} {} --faults` if intended",
+                    mapsynth_bench::fault::FAULT_STREAM_TABLES
+                );
+                drifted = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("fault-check golden edges: cannot read {FAULT_GOLDEN_PATH}: {e} (DRIFT)");
+            drifted = true;
+        }
+    }
+
+    if drifted {
+        eprintln!("fault-injection tier drifted from {path}; regenerate the baseline if intended");
+        std::process::exit(1);
+    }
+    eprintln!("fault-injection tier matches {path}");
+    std::process::exit(0);
+}
+
 /// Corpus size of the committed post-delta golden edge dump.
 const GOLDEN_TABLES: usize = 200;
 /// Committed golden dump of the post-delta compatibility-graph edges
@@ -598,7 +753,9 @@ fn check_against(path: &str) -> ! {
     // Incremental stage re-run (counts only; the full bench also times
     // a rebuild).
     let delta = bench_delta(&mut wc.corpus, tables);
-    session.apply_delta(&wc.corpus, &delta);
+    session
+        .apply_delta(&wc.corpus, &delta)
+        .expect("valid delta");
     let run = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
 
     let expectations = [
@@ -848,6 +1005,20 @@ fn main() {
         return;
     }
     if args.first().map(String::as_str) == Some("--delta-stream") {
+        if args.get(1).map(String::as_str) == Some("--faults") {
+            if args.get(2).map(String::as_str) == Some("--check") {
+                let path = args
+                    .get(3)
+                    .map(String::as_str)
+                    .unwrap_or("BENCH_pipeline.json");
+                check_fault(path);
+            }
+            // Standalone (child-process) mode: print the bare
+            // `fault_detail` object for embedding by the parent run.
+            let r = fault_stage(true);
+            print!("{}", render_fault(&r));
+            return;
+        }
         if args.get(1).map(String::as_str) == Some("--check") {
             let path = args
                 .get(2)
@@ -959,6 +1130,19 @@ fn main() {
         assert!(out.status.success(), "delta-stream stage failed");
         String::from_utf8(out.stdout).expect("delta-stream JSON is UTF-8")
     };
+
+    // Fault-injection tier, also in a child process (it spawns its own
+    // ingestor + reader threads and runs a fresh-oracle rebuild).
+    let fault_block = {
+        let exe = std::env::current_exe().expect("current_exe");
+        let out = std::process::Command::new(&exe)
+            .args(["--delta-stream", "--faults"])
+            .output()
+            .expect("spawn fault-stream child");
+        std::io::Write::write_all(&mut std::io::stderr(), &out.stderr).ok();
+        assert!(out.status.success(), "fault-injection stage failed");
+        String::from_utf8(out.stdout).expect("fault-stream JSON is UTF-8")
+    };
     let mb = |kb: u64| kb as f64 / 1024.0;
     let rss_of = |stage: &str| {
         stage_rss
@@ -970,7 +1154,7 @@ fn main() {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let delta_apply_ms = ms(delta.report.timings.total);
     let json = format!(
-        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_sig_mask_rejects\": {},\n    \"memo_sig_hist_rejects\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"stage_peak_rss_mb\": {{\n    \"start\": {:.1},\n    \"extraction\": {:.1},\n    \"value_space\": {:.1},\n    \"scoring\": {:.1},\n    \"end\": {:.1}\n  }},\n  \"workers\": {{\n    \"requested\": {},\n    \"effective\": {},\n    \"available\": {}\n  }},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }},\n  \"delta_stream_detail\": {}\n}}\n",
+        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_sig_mask_rejects\": {},\n    \"memo_sig_hist_rejects\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"stage_peak_rss_mb\": {{\n    \"start\": {:.1},\n    \"extraction\": {:.1},\n    \"value_space\": {:.1},\n    \"scoring\": {:.1},\n    \"end\": {:.1}\n  }},\n  \"workers\": {{\n    \"requested\": {},\n    \"effective\": {},\n    \"available\": {}\n  }},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }},\n  \"delta_stream_detail\": {},\n  \"fault_detail\": {}\n}}\n",
         tables,
         output.candidates,
         output.edges,
@@ -1037,6 +1221,7 @@ fn main() {
         delta.serve.total_shards,
         delta.publish_delta_ms,
         stream_block,
+        fault_block,
     );
     match out_path {
         Some(path) => {

@@ -14,6 +14,8 @@
 //! | `micro_scoring` | §4.1 hot path: shared `ScoringContext` vs throwaway per-pair scoring |
 //! | `apps_lookup` | §1 mapping-index containment lookup (Bloom) |
 
+pub mod fault;
+
 use mapsynth::delta::CorpusDelta;
 use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
 use mapsynth_corpus::{Corpus, RowPatch, TableId};
@@ -125,7 +127,9 @@ pub fn post_delta_edge_dump(tables: usize) -> String {
     let mut session = SynthesisSession::new(PipelineConfig::default());
     session.prepare(&wc.corpus);
     let delta = bench_delta(&mut wc.corpus, tables);
-    session.apply_delta(&wc.corpus, &delta);
+    session
+        .apply_delta(&wc.corpus, &delta)
+        .expect("valid delta");
     format_edges(&session.graph(&session.config().synthesis))
 }
 
@@ -366,7 +370,7 @@ pub fn run_delta_stream(
         };
 
         let t = std::time::Instant::now();
-        let report = session.apply_delta(&corpus, &delta);
+        let report = session.apply_delta(&corpus, &delta).expect("valid delta");
         out.apply_ms.push(t.elapsed().as_secs_f64() * 1e3);
         out.reorders += usize::from(report.reordered);
         expected_live = expected_live + report.candidates_added - report.candidates_tombstoned;

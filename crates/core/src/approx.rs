@@ -82,7 +82,7 @@ pub struct ApproxMemoStats {
 /// The memo: a CSR adjacency of approximately-matching cross-class
 /// value pairs with their edit distances, plus flattened
 /// approximate-equivalence component ids.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ApproxMemo {
     /// Parameters the memo was built with (the widest answerable).
     params: MatchParams,

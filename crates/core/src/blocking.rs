@@ -119,6 +119,7 @@ fn contribution(
 /// contributions (hub sampling included — a hot key's sampled hub set
 /// can shift, which may create or destroy pairs between two *old*
 /// tables; contribution diffing handles that case for free).
+#[derive(Clone)]
 pub struct BlockingIndex {
     /// `(kind, key) → ascending live table indices`; empty lists are
     /// removed.

@@ -216,7 +216,7 @@ pub struct ScoringBuildStats {
 /// plus the global approximate-match memo. Built once per session;
 /// every scored pair reuses it. Corpus deltas grow it in place with
 /// [`extend`](Self::extend).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ScoringContext {
     views: Vec<TableView>,
     memo: Option<ApproxMemo>,

@@ -71,7 +71,7 @@
 //! };
 //! corpus.apply_row_patch(&patch);
 //! let delta = CorpusDelta { added, removed, patches: vec![patch] };
-//! let report = session.apply_delta(&corpus, &delta);
+//! let report = session.apply_delta(&corpus, &delta).expect("valid delta");
 //! assert_eq!(report.tables_added, 1);
 //! assert_eq!(report.tables_patched, 1);
 //!
@@ -89,6 +89,8 @@ use crate::values::{
 use mapsynth_corpus::{BinaryTable, Corpus, RowPatch, TableId};
 use mapsynth_extract::ExtractionCache;
 use std::collections::HashSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// One batch of corpus evolution: tables appended to the corpus since
@@ -193,8 +195,195 @@ pub struct DeltaReport {
     pub timings: DeltaTimings,
 }
 
+/// Why [`SynthesisSession::apply_delta`] rejected a [`CorpusDelta`].
+///
+/// Every rejection is **transactional**: the session is byte-identical
+/// to its pre-apply state afterwards and keeps accepting deltas.
+/// Malformed deltas (everything but [`ApplyPanicked`]) are caught by
+/// upfront validation before any artifact is touched;
+/// [`ApplyPanicked`] additionally contains a panic that escaped
+/// mid-mutation — the session is restored from a pre-apply backup.
+///
+/// [`ApplyPanicked`]: DeltaError::ApplyPanicked
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// `apply_delta` was called on an unprepared session.
+    NotPrepared,
+    /// The corpus handed in does not hold exactly the delta's added
+    /// tables appended to the corpus the session last saw — the
+    /// session's fingerprint of the prepared corpus does not extend to
+    /// this one.
+    FingerprintMismatch {
+        /// Tables the session expected (`last seen + added`).
+        expected: usize,
+        /// Tables the corpus actually holds.
+        got: usize,
+    },
+    /// `delta.added` ids do not name the appended tables in push order.
+    AddedIdOutOfOrder {
+        /// The offending id.
+        id: TableId,
+        /// The id that position must carry.
+        expected: u32,
+    },
+    /// A removed or patched table id past everything this session has
+    /// ever seen.
+    UnknownTable {
+        /// The offending id.
+        id: TableId,
+    },
+    /// `delta.removed` names a table a previous delta already removed.
+    RemovedTableNotLive {
+        /// The offending id.
+        id: TableId,
+    },
+    /// The same table appears twice in `delta.removed`.
+    DuplicateRemoval {
+        /// The offending id.
+        id: TableId,
+    },
+    /// A row patch targets a table that is not live (removed by a
+    /// previous delta).
+    PatchToRemovedTable {
+        /// The offending id.
+        id: TableId,
+    },
+    /// The same table is both patched and removed within one delta.
+    PatchAndRemoveSameDelta {
+        /// The offending id.
+        id: TableId,
+    },
+    /// The same table is patched twice within one delta.
+    DuplicatePatch {
+        /// The offending id.
+        id: TableId,
+    },
+    /// A row patch with neither deleted nor inserted rows: it cannot
+    /// describe an edit, so it is rejected rather than silently
+    /// re-scoring an unchanged table.
+    EmptyPatch {
+        /// The targeted table.
+        id: TableId,
+    },
+    /// A row patch whose tuples contradict the shape of the table they
+    /// claim to edit (wrong tuple width).
+    ContradictoryPatch {
+        /// The targeted table.
+        id: TableId,
+        /// The tuple width found in the patch.
+        width: usize,
+        /// The table's actual width.
+        expected: usize,
+    },
+    /// The apply panicked mid-mutation (an internal invariant broke,
+    /// or an induced fault fired). The panic was contained and the
+    /// session restored byte-identical from its pre-apply backup.
+    ApplyPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::NotPrepared => write!(f, "prepare() before apply_delta()"),
+            DeltaError::FingerprintMismatch { expected, got } => write!(
+                f,
+                "corpus must hold exactly the delta's added tables appended to \
+                 the prepared corpus (expected {expected} tables, got {got})"
+            ),
+            DeltaError::AddedIdOutOfOrder { id, expected } => write!(
+                f,
+                "added ids must name the appended tables in push order \
+                 ({id:?} where TableId({expected}) was expected)"
+            ),
+            DeltaError::UnknownTable { id } => {
+                write!(f, "table {id:?} unknown to this session")
+            }
+            DeltaError::RemovedTableNotLive { id } => {
+                write!(f, "removed table {id:?} is not live")
+            }
+            DeltaError::DuplicateRemoval { id } => {
+                write!(f, "table {id:?} removed twice in one delta")
+            }
+            DeltaError::PatchToRemovedTable { id } => {
+                write!(f, "patched table {id:?} is not live")
+            }
+            DeltaError::PatchAndRemoveSameDelta { id } => {
+                write!(f, "table {id:?} both patched and removed in one delta")
+            }
+            DeltaError::DuplicatePatch { id } => {
+                write!(f, "table {id:?} patched twice in one delta")
+            }
+            DeltaError::EmptyPatch { id } => {
+                write!(
+                    f,
+                    "patch to table {id:?} has neither deleted nor inserted rows"
+                )
+            }
+            DeltaError::ContradictoryPatch {
+                id,
+                width,
+                expected,
+            } => write!(
+                f,
+                "patch to table {id:?} carries width-{width} tuples, table is width {expected}"
+            ),
+            DeltaError::ApplyPanicked { message } => {
+                write!(
+                    f,
+                    "apply panicked mid-mutation (session restored): {message}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Deterministic fault injection for crash-containment testing.
+///
+/// [`arm_induced_panic`](fault::arm_induced_panic) primes the
+/// **current thread** so the next
+/// [`SynthesisSession::apply_delta`] on it panics *after* the stage-1
+/// extraction-cache mutation — past validation, in the middle of the
+/// mutating section — exercising the backup/restore guard exactly
+/// where a real invariant break would strike. The flag is one-shot:
+/// it is consumed when it fires (and cleared defensively whenever an
+/// apply is contained), so a harness arms it per sabotaged delta.
+pub mod fault {
+    use std::cell::Cell;
+
+    thread_local! {
+        static ARMED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Message carried by an induced panic, matched by harnesses.
+    pub const INDUCED_PANIC_MESSAGE: &str = "induced apply fault (fault-injection harness)";
+
+    /// Arm the current thread: the next `apply_delta` on it panics
+    /// mid-mutation and must be contained + rolled back.
+    pub fn arm_induced_panic() {
+        ARMED.with(|a| a.set(true));
+    }
+
+    /// Clear the flag, returning whether it was armed.
+    pub fn disarm() -> bool {
+        ARMED.with(|a| a.replace(false))
+    }
+
+    /// Internal fire point, placed after the first artifact mutation.
+    pub(crate) fn fire_if_armed() {
+        if ARMED.with(|a| a.replace(false)) {
+            panic!("{}", INDUCED_PANIC_MESSAGE);
+        }
+    }
+}
+
 /// Everything [`SynthesisSession::apply_delta`] needs beyond the stage
 /// artifacts themselves. Built during `prepare`, advanced per delta.
+#[derive(Clone)]
 pub(crate) struct IncrementalState {
     pub(crate) extraction_cache: ExtractionCache,
     pub(crate) interning: ValueInterning,
@@ -226,72 +415,129 @@ impl SynthesisSession {
     /// [`live_corpus`](Self::live_corpus) (see the module docs for the
     /// invariance argument). Deterministic for any worker count.
     ///
-    /// # Panics
-    /// If the session is not prepared, if `delta.added` is not exactly
-    /// the tables appended to `corpus` since the session last saw it,
-    /// or if `delta.removed` names unknown or already-removed tables.
-    pub fn apply_delta(&mut self, corpus: &Corpus, delta: &CorpusDelta) -> DeltaReport {
+    /// The apply is **all-or-nothing**: a malformed delta is rejected
+    /// by upfront validation before any artifact is touched, and a
+    /// panic escaping the mutating section is contained
+    /// (`catch_unwind`) with the session restored from a pre-apply
+    /// backup — either way [`Err`] leaves the session byte-identical
+    /// to its pre-apply state and ready for the next delta. The corpus
+    /// is the caller's to roll back (appended tables and applied row
+    /// patches; see `mapsynth-serve`'s `DeltaIngestor` for the
+    /// transactional driver).
+    pub fn apply_delta(
+        &mut self,
+        corpus: &Corpus,
+        delta: &CorpusDelta,
+    ) -> Result<DeltaReport, DeltaError> {
+        self.validate_delta(corpus, delta)?;
+        let backup = SessionBackup {
+            extraction: self.extraction.clone(),
+            values: self.values.clone(),
+            scores: self.scores.clone(),
+            incr: self.incr.clone(),
+            fingerprint: self.corpus_fingerprint,
+        };
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.apply_delta_unchecked(corpus, delta)
+        })) {
+            Ok(report) => Ok(report),
+            Err(payload) => {
+                // A panic before the fire point leaves the arm set for
+                // the next (innocent) apply — always clear it.
+                fault::disarm();
+                self.extraction = backup.extraction;
+                self.values = backup.values;
+                self.scores = backup.scores;
+                self.incr = backup.incr;
+                self.corpus_fingerprint = backup.fingerprint;
+                Err(DeltaError::ApplyPanicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    /// Full upfront validation of `delta` against the session's
+    /// last-seen corpus shape — no artifact is touched. `Ok` means the
+    /// mutating path cannot reject the delta (only an internal
+    /// invariant break — contained separately — could still fail it).
+    fn validate_delta(&self, corpus: &Corpus, delta: &CorpusDelta) -> Result<(), DeltaError> {
+        if self.scores.is_none() || self.incr.is_none() {
+            return Err(DeltaError::NotPrepared);
+        }
+        let incr = self.incr.as_ref().expect("checked above");
+        let old_len = incr.alive_tables.len();
+        let mut seen = HashSet::new();
+        for &tid in &delta.removed {
+            if (tid.0 as usize) >= old_len {
+                return Err(DeltaError::UnknownTable { id: tid });
+            }
+            if !incr.alive_tables[tid.0 as usize] {
+                return Err(DeltaError::RemovedTableNotLive { id: tid });
+            }
+            if !seen.insert(tid) {
+                return Err(DeltaError::DuplicateRemoval { id: tid });
+            }
+        }
+        if corpus.len() != old_len + delta.added.len() {
+            return Err(DeltaError::FingerprintMismatch {
+                expected: old_len + delta.added.len(),
+                got: corpus.len(),
+            });
+        }
+        for (k, &tid) in delta.added.iter().enumerate() {
+            if tid.0 as usize != old_len + k {
+                return Err(DeltaError::AddedIdOutOfOrder {
+                    id: tid,
+                    expected: (old_len + k) as u32,
+                });
+            }
+        }
+        let mut patched = HashSet::new();
+        for p in &delta.patches {
+            let tid = p.table;
+            if (tid.0 as usize) >= old_len {
+                return Err(DeltaError::UnknownTable { id: tid });
+            }
+            if !incr.alive_tables[tid.0 as usize] {
+                return Err(DeltaError::PatchToRemovedTable { id: tid });
+            }
+            if seen.contains(&tid) {
+                return Err(DeltaError::PatchAndRemoveSameDelta { id: tid });
+            }
+            if !patched.insert(tid) {
+                return Err(DeltaError::DuplicatePatch { id: tid });
+            }
+            if p.deleted.is_empty() && p.inserted.is_empty() {
+                return Err(DeltaError::EmptyPatch { id: tid });
+            }
+            let expected = corpus.tables[tid.0 as usize].width();
+            for row in p.deleted.iter().chain(&p.inserted) {
+                if row.len() != expected {
+                    return Err(DeltaError::ContradictoryPatch {
+                        id: tid,
+                        width: row.len(),
+                        expected,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The mutating section: everything past validation. Runs under
+    /// `catch_unwind` with a full artifact backup held by the caller,
+    /// so internal invariant breaks surface as
+    /// [`DeltaError::ApplyPanicked`] instead of corrupting the
+    /// session.
+    fn apply_delta_unchecked(&mut self, corpus: &Corpus, delta: &CorpusDelta) -> DeltaReport {
         let t_total = Instant::now();
-        assert!(
-            self.scores.is_some() && self.incr.is_some(),
-            "prepare() before apply_delta()"
-        );
         let mut report = DeltaReport {
             tables_added: delta.added.len(),
             tables_removed: delta.removed.len(),
             tables_patched: delta.patches.len(),
             ..Default::default()
         };
-
-        // Validate against the last-seen corpus shape.
-        {
-            let incr = self.incr.as_ref().unwrap();
-            let old_len = incr.alive_tables.len();
-            let mut seen = HashSet::new();
-            for &tid in &delta.removed {
-                assert!(
-                    (tid.0 as usize) < old_len,
-                    "removed table {tid:?} unknown to this session"
-                );
-                assert!(
-                    incr.alive_tables[tid.0 as usize],
-                    "removed table {tid:?} is not live"
-                );
-                assert!(seen.insert(tid), "table {tid:?} removed twice in one delta");
-            }
-            assert_eq!(
-                corpus.len(),
-                old_len + delta.added.len(),
-                "corpus must hold exactly the delta's added tables appended to the prepared corpus"
-            );
-            for (k, &tid) in delta.added.iter().enumerate() {
-                assert_eq!(
-                    tid.0 as usize,
-                    old_len + k,
-                    "added ids must name the appended tables in push order"
-                );
-            }
-            let mut patched = HashSet::new();
-            for p in &delta.patches {
-                let tid = p.table;
-                assert!(
-                    (tid.0 as usize) < old_len,
-                    "patched table {tid:?} unknown to this session"
-                );
-                assert!(
-                    incr.alive_tables[tid.0 as usize],
-                    "patched table {tid:?} is not live"
-                );
-                assert!(
-                    !seen.contains(&tid),
-                    "table {tid:?} both patched and removed in one delta"
-                );
-                assert!(
-                    patched.insert(tid),
-                    "table {tid:?} patched twice in one delta"
-                );
-            }
-        }
         {
             let incr = self.incr.as_mut().unwrap();
             incr.alive_tables.resize(corpus.len(), true);
@@ -321,6 +567,9 @@ impl SynthesisSession {
         };
         report.timings.extraction = t.elapsed();
         report.coherence_flips = ex.coherence_flips;
+        // Past the first artifact mutation: an induced fault striking
+        // here proves the extraction cache rolls back with the rest.
+        fault::fire_if_armed();
 
         if ex.reordered {
             // The extraction cache has already sentineled any
@@ -806,6 +1055,28 @@ impl SynthesisSession {
     }
 }
 
+/// Pre-apply snapshot of every session artifact a delta mutates.
+/// Restored wholesale when the guarded apply panics; dropped (one
+/// deallocation pass, no copies back) when it succeeds.
+struct SessionBackup {
+    extraction: Option<crate::session::ExtractionArtifact>,
+    values: Option<crate::session::ValueArtifact>,
+    scores: Option<crate::session::ScoreArtifact>,
+    incr: Option<IncrementalState>,
+    fingerprint: Option<(usize, u64)>,
+}
+
+/// Best-effort extraction of a contained panic's payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -914,14 +1185,16 @@ mod tests {
                 ],
             ),
         ];
-        let report = session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                added,
-                removed,
-                patches: vec![],
-            },
-        );
+        let report = session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    added,
+                    removed,
+                    patches: vec![],
+                },
+            )
+            .unwrap();
         assert_eq!(report.tables_added, 2);
         assert_eq!(report.tables_removed, 2);
         assert_matches_fresh(&session, &corpus);
@@ -939,7 +1212,7 @@ mod tests {
             removed: vec![TableId(0), TableId(2)],
             patches: vec![],
         };
-        session.apply_delta(&corpus, &r1);
+        session.apply_delta(&corpus, &r1).unwrap();
         assert_matches_fresh(&session, &corpus);
 
         // Delta 2: re-insert the same content under a new id, remove an
@@ -958,21 +1231,23 @@ mod tests {
             removed: vec![TableId(6)],
             patches: vec![],
         };
-        let report = session.apply_delta(&corpus, &r2);
+        let report = session.apply_delta(&corpus, &r2).unwrap();
         // Re-inserted values resurrect their old NormIds.
         assert_eq!(report.new_values, 0, "re-inserted content interns nothing");
         assert_matches_fresh(&session, &corpus);
 
         // Delta 3: remove the re-inserted table again.
         let last = TableId(corpus.len() as u32 - 1);
-        session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                added: vec![],
-                removed: vec![last],
-                patches: vec![],
-            },
-        );
+        session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    added: vec![],
+                    removed: vec![last],
+                    patches: vec![],
+                },
+            )
+            .unwrap();
         assert_matches_fresh(&session, &corpus);
     }
 
@@ -995,7 +1270,7 @@ mod tests {
             removed: (5..10).map(TableId).collect(),
             patches: vec![],
         };
-        session.apply_delta(&corpus, &delta);
+        session.apply_delta(&corpus, &delta).unwrap();
         let after = session.synthesize(&base, Resolver::Algorithm4);
         assert!(
             !after
@@ -1033,14 +1308,16 @@ mod tests {
         // Adding a clone of the weak table gives its values
         // co-occurrence evidence — its columns flip coherent.
         let added = vec![push_rows(&mut corpus, "weak-2.org", &weak)];
-        let report = session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                added,
-                removed: vec![],
-                patches: vec![],
-            },
-        );
+        let report = session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    added,
+                    removed: vec![],
+                    patches: vec![],
+                },
+            )
+            .unwrap();
         assert!(report.reordered, "weak-table clone must flip coherence");
         assert_matches_fresh(&session, &corpus);
 
@@ -1057,14 +1334,16 @@ mod tests {
                 ("Greece", "GRC"),
             ],
         )];
-        session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                added,
-                removed: vec![TableId(3)],
-                patches: vec![],
-            },
-        );
+        session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    added,
+                    removed: vec![TableId(3)],
+                    patches: vec![],
+                },
+            )
+            .unwrap();
         assert_matches_fresh(&session, &corpus);
     }
 
@@ -1091,14 +1370,16 @@ mod tests {
                         ("Greece", "GRE"),
                     ],
                 )];
-                session.apply_delta(
-                    &corpus,
-                    &CorpusDelta {
-                        added,
-                        removed: vec![TableId(4), TableId(9)],
-                        patches: vec![],
-                    },
-                );
+                session
+                    .apply_delta(
+                        &corpus,
+                        &CorpusDelta {
+                            added,
+                            removed: vec![TableId(4), TableId(9)],
+                            patches: vec![],
+                        },
+                    )
+                    .unwrap();
                 let run =
                     session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
                 run.mappings.iter().map(|m| m.materialize_pairs()).collect()
@@ -1127,13 +1408,15 @@ mod tests {
             inserted: string_rows(&[("Algeria", "ALG")]),
         };
         corpus.apply_row_patch(&patch);
-        let report = session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                patches: vec![patch],
-                ..Default::default()
-            },
-        );
+        let report = session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    patches: vec![patch],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert_eq!(report.tables_patched, 1);
         assert!(
             report.candidates_replaced >= 1,
@@ -1160,14 +1443,16 @@ mod tests {
                 ("Greece", "GRC"),
             ],
         )];
-        let report = session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                added,
-                removed: vec![TableId(12)],
-                patches: vec![patch],
-            },
-        );
+        let report = session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    added,
+                    removed: vec![TableId(12)],
+                    patches: vec![patch],
+                },
+            )
+            .unwrap();
         assert_eq!(report.tables_patched, 1);
         assert_eq!(report.tables_added, 1);
         assert_eq!(report.tables_removed, 1);
@@ -1195,13 +1480,15 @@ mod tests {
             inserted: vec![],
         };
         corpus.apply_row_patch(&patch);
-        let report = session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                patches: vec![patch],
-                ..Default::default()
-            },
-        );
+        let report = session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    patches: vec![patch],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert!(
             report.candidates_tombstoned >= 1,
             "an emptied table cannot keep candidates"
@@ -1216,13 +1503,15 @@ mod tests {
             inserted: string_rows(&all_rows),
         };
         corpus.apply_row_patch(&patch);
-        session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                patches: vec![patch],
-                ..Default::default()
-            },
-        );
+        session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    patches: vec![patch],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert_matches_fresh(&session, &corpus);
     }
 
@@ -1246,13 +1535,15 @@ mod tests {
             inserted: vec![],
         };
         corpus.apply_row_patch(&patch);
-        let report = session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                patches: vec![patch],
-                ..Default::default()
-            },
-        );
+        let report = session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    patches: vec![patch],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert!(
             report.candidates_tombstoned + report.candidates_replaced >= 1,
             "a one-row table must lose its stage-2 presence one way or the other"
@@ -1283,13 +1574,15 @@ mod tests {
             inserted: string_rows(&[("Greece", "GRC")]),
         };
         corpus.apply_row_patch(&patch);
-        let report = session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                patches: vec![patch],
-                ..Default::default()
-            },
-        );
+        let report = session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    patches: vec![patch],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert!(
             report.reordered,
             "a resurfacing projection must take the renumber path"
@@ -1303,29 +1596,32 @@ mod tests {
             inserted: string_rows(&[("Albania", "ALB")]),
         };
         corpus.apply_row_patch(&patch);
-        session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                patches: vec![patch],
-                ..Default::default()
-            },
-        );
+        session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    patches: vec![patch],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert_matches_fresh(&session, &corpus);
     }
 
     #[test]
-    #[should_panic(expected = "is not live")]
     fn patch_to_removed_table_rejected() {
         let mut corpus = base_corpus();
         let mut session = SynthesisSession::new(PipelineConfig::default());
         session.prepare(&corpus);
-        session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                removed: vec![TableId(0)],
-                ..Default::default()
-            },
-        );
+        session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    removed: vec![TableId(0)],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         // The physical table still exists, so the corpus-level patch
         // applies — the session must reject it, not corrupt state.
         let patch = RowPatch {
@@ -1334,17 +1630,23 @@ mod tests {
             inserted: string_rows(&[("Italy", "ITA")]),
         };
         corpus.apply_row_patch(&patch);
-        session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                patches: vec![patch],
-                ..Default::default()
-            },
-        );
+        let err = session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    patches: vec![patch.clone()],
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, DeltaError::PatchToRemovedTable { id: TableId(0) });
+        // The rejection is transparent: the session still matches a
+        // fresh oracle on its live corpus — which, because the patch
+        // hit a tombstoned table, is unchanged by the corpus edit.
+        assert_matches_fresh(&session, &corpus);
     }
 
     #[test]
-    #[should_panic(expected = "both patched and removed")]
     fn patch_and_remove_same_delta_rejected() {
         let mut corpus = base_corpus();
         let mut session = SynthesisSession::new(PipelineConfig::default());
@@ -1355,18 +1657,32 @@ mod tests {
             inserted: string_rows(&[("Italy", "ITA")]),
         };
         corpus.apply_row_patch(&patch);
-        session.apply_delta(
-            &corpus,
-            &CorpusDelta {
-                removed: vec![TableId(3)],
-                patches: vec![patch],
-                ..Default::default()
-            },
-        );
+        let err = session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    removed: vec![TableId(3)],
+                    patches: vec![patch.clone()],
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, DeltaError::PatchAndRemoveSameDelta { id: TableId(3) });
+        // The session accepted nothing — a retried, well-formed delta
+        // (patch only) still goes through.
+        session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    patches: vec![patch],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_matches_fresh(&session, &corpus);
     }
 
     #[test]
-    #[should_panic(expected = "not live")]
     fn double_removal_rejected() {
         let corpus = base_corpus();
         let mut session = SynthesisSession::new(PipelineConfig::default());
@@ -1376,7 +1692,194 @@ mod tests {
             removed: vec![TableId(0)],
             patches: vec![],
         };
-        session.apply_delta(&corpus, &d);
-        session.apply_delta(&corpus, &d);
+        session.apply_delta(&corpus, &d).unwrap();
+        let err = session.apply_delta(&corpus, &d).unwrap_err();
+        assert_eq!(err, DeltaError::RemovedTableNotLive { id: TableId(0) });
+        assert_matches_fresh(&session, &corpus);
+    }
+
+    #[test]
+    fn malformed_deltas_rejected_upfront() {
+        let mut corpus = base_corpus();
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+
+        // Unprepared session.
+        let mut unprepared = SynthesisSession::new(PipelineConfig::default());
+        assert_eq!(
+            unprepared
+                .apply_delta(&corpus, &CorpusDelta::default())
+                .unwrap_err(),
+            DeltaError::NotPrepared
+        );
+
+        // Empty patch.
+        let err = session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    patches: vec![RowPatch {
+                        table: TableId(2),
+                        deleted: vec![],
+                        inserted: vec![],
+                    }],
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, DeltaError::EmptyPatch { id: TableId(2) });
+
+        // Contradictory patch: tuple width disagrees with the table.
+        let err = session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    patches: vec![RowPatch {
+                        table: TableId(2),
+                        deleted: vec![],
+                        inserted: vec![vec!["one-column-only".to_string()]],
+                    }],
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeltaError::ContradictoryPatch {
+                id: TableId(2),
+                width: 1,
+                expected: 2
+            }
+        );
+
+        // Unknown table, duplicate removal, duplicate patch.
+        let far = TableId(10_000);
+        assert_eq!(
+            session
+                .apply_delta(
+                    &corpus,
+                    &CorpusDelta {
+                        removed: vec![far],
+                        ..Default::default()
+                    }
+                )
+                .unwrap_err(),
+            DeltaError::UnknownTable { id: far }
+        );
+        assert_eq!(
+            session
+                .apply_delta(
+                    &corpus,
+                    &CorpusDelta {
+                        removed: vec![TableId(4), TableId(4)],
+                        ..Default::default()
+                    }
+                )
+                .unwrap_err(),
+            DeltaError::DuplicateRemoval { id: TableId(4) }
+        );
+        let p = RowPatch {
+            table: TableId(4),
+            deleted: vec![],
+            inserted: string_rows(&[("Italy", "ITA")]),
+        };
+        assert_eq!(
+            session
+                .apply_delta(
+                    &corpus,
+                    &CorpusDelta {
+                        patches: vec![p.clone(), p],
+                        ..Default::default()
+                    }
+                )
+                .unwrap_err(),
+            DeltaError::DuplicatePatch { id: TableId(4) }
+        );
+
+        // Fingerprint mismatch: the corpus grew but the delta does not
+        // name the appended table.
+        push_rows(&mut corpus, "sneaky.org", &[("Italy", "ITA")]);
+        assert_eq!(
+            session
+                .apply_delta(&corpus, &CorpusDelta::default())
+                .unwrap_err(),
+            DeltaError::FingerprintMismatch {
+                expected: 15,
+                got: 16
+            }
+        );
+        // Naming it, but with the wrong id, is out of order.
+        assert_eq!(
+            session
+                .apply_delta(
+                    &corpus,
+                    &CorpusDelta {
+                        added: vec![TableId(3)],
+                        ..Default::default()
+                    }
+                )
+                .unwrap_err(),
+            DeltaError::AddedIdOutOfOrder {
+                id: TableId(3),
+                expected: 15
+            }
+        );
+
+        // None of the rejections touched the session: the appended
+        // table, once properly named, still applies cleanly.
+        session
+            .apply_delta(
+                &corpus,
+                &CorpusDelta {
+                    added: vec![TableId(15)],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_matches_fresh(&session, &corpus);
+    }
+
+    #[test]
+    fn induced_panic_is_contained_and_rolled_back() {
+        let mut corpus = base_corpus();
+        let mut session = SynthesisSession::new(PipelineConfig::default());
+        session.prepare(&corpus);
+
+        // Sabotage a perfectly valid delta: the fault fires after the
+        // extraction cache has mutated, so containment must restore
+        // every artifact from the backup.
+        let added = vec![push_rows(
+            &mut corpus,
+            "sabotaged.org",
+            &[
+                ("Afghanistan", "AFG"),
+                ("Albania", "ALB"),
+                ("Algeria", "DZA"),
+                ("Germany", "DEU"),
+                ("Netherlands", "NLD"),
+                ("Greece", "GRC"),
+            ],
+        )];
+        let delta = CorpusDelta {
+            added,
+            removed: vec![TableId(1)],
+            patches: vec![],
+        };
+        fault::arm_induced_panic();
+        let err = session.apply_delta(&corpus, &delta).unwrap_err();
+        match &err {
+            DeltaError::ApplyPanicked { message } => {
+                assert_eq!(message, fault::INDUCED_PANIC_MESSAGE)
+            }
+            other => panic!("expected ApplyPanicked, got {other:?}"),
+        }
+        assert!(!fault::disarm(), "the fault flag must be consumed");
+
+        // The session was restored byte-identical: retrying the same
+        // delta un-sabotaged succeeds and matches a fresh oracle.
+        let report = session.apply_delta(&corpus, &delta).unwrap();
+        assert_eq!(report.tables_added, 1);
+        assert_eq!(report.tables_removed, 1);
+        assert_matches_fresh(&session, &corpus);
     }
 }

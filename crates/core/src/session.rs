@@ -62,6 +62,7 @@ use std::time::{Duration, Instant};
 const STREAM_BATCH_TABLES: usize = 256;
 
 /// Stage-1 artifact: extracted candidate tables.
+#[derive(Clone)]
 pub struct ExtractionArtifact {
     /// Ordered binary column pairs surviving extraction.
     pub candidates: Vec<mapsynth_corpus::BinaryTable>,
@@ -72,6 +73,7 @@ pub struct ExtractionArtifact {
 }
 
 /// Stage-2 artifact: the normalized value space.
+#[derive(Clone)]
 pub struct ValueArtifact {
     /// Shared value space handle.
     pub space: Arc<ValueSpace>,
@@ -103,6 +105,7 @@ pub struct ScoringDetail {
 /// matching-parameter variants (approximate matching off, tighter
 /// `f_ed`/`k_ed`) derive from these without re-running edit distance —
 /// see [`SynthesisSession::weights_for`].
+#[derive(Clone)]
 pub struct ScoreArtifact {
     /// `(a, b, weights)` for every blocked pair under the base config,
     /// sorted by `(a, b)`.
@@ -249,9 +252,11 @@ impl SynthesisSession {
             self.prepare_stages_with(corpus, alive, stage_done);
         }
         (
-            self.extraction.as_ref().unwrap(),
-            self.values.as_ref().unwrap(),
-            self.scores.as_ref().unwrap(),
+            // Invariant: the branch above either found cached
+            // artifacts or just built all three.
+            self.extraction.as_ref().expect("artifacts built above"),
+            self.values.as_ref().expect("artifacts built above"),
+            self.scores.as_ref().expect("artifacts built above"),
         )
     }
 
@@ -300,9 +305,11 @@ impl SynthesisSession {
             self.check_fingerprint_tables(source.table_count());
         }
         (
-            self.extraction.as_ref().unwrap(),
-            self.values.as_ref().unwrap(),
-            self.scores.as_ref().unwrap(),
+            // Invariant: the branch above either found cached
+            // artifacts or just built all three.
+            self.extraction.as_ref().expect("artifacts built above"),
+            self.values.as_ref().expect("artifacts built above"),
+            self.scores.as_ref().expect("artifacts built above"),
         )
     }
 
@@ -363,7 +370,13 @@ impl SynthesisSession {
         mut stage_done: impl FnMut(&'static str),
     ) {
         let t = Instant::now();
-        let candidates = &self.extraction.as_ref().unwrap().candidates;
+        // Invariant: both callers store the extraction artifact
+        // immediately before calling finish_prepare.
+        let candidates = &self
+            .extraction
+            .as_ref()
+            .expect("extraction stored by caller")
+            .candidates;
         let (space, tables, interning) =
             build_value_space_stateful(strs, candidates, &self.synonyms, &self.mr);
         let mut pos_of_candidate: Vec<Option<u32>> = vec![None; candidates.len()];
@@ -379,7 +392,7 @@ impl SynthesisSession {
         stage_done("value_space");
 
         let t = Instant::now();
-        let values = self.values.as_ref().unwrap();
+        let values = self.values.as_ref().expect("value artifact set above");
         let space = &values.space;
         let tables = &values.tables;
         let cfg = &self.cfg.synthesis;
@@ -638,7 +651,12 @@ impl SynthesisSession {
         );
 
         // Dense post-compaction corpus + old → new table id map.
-        let alive = self.incr.as_ref().unwrap().alive_tables.clone();
+        let alive = self
+            .incr
+            .as_ref()
+            .expect("prepared (asserted above)")
+            .alive_tables
+            .clone();
         let new_corpus = corpus.retain_interned(|tid| alive[tid.0 as usize]);
         let mut table_map: Vec<Option<TableId>> = vec![None; alive.len()];
         {
@@ -654,7 +672,12 @@ impl SynthesisSession {
         // Candidate renumber inside the extraction cache (monotone,
         // so surviving candidates keep their relative order), then
         // remap the stage-1 artifact through it.
-        let id_map = self.incr.as_mut().unwrap().extraction_cache.compact();
+        let id_map = self
+            .incr
+            .as_mut()
+            .expect("prepared (asserted above)")
+            .extraction_cache
+            .compact();
         let old_extraction = self.extraction.take().expect("prepared");
         let mut candidates = Vec::with_capacity(id_map.len());
         for &(old_id, new_id) in &id_map {
@@ -698,7 +721,7 @@ impl SynthesisSession {
         // slice.
         let mut old_pos_to_new: Vec<Option<u32>> = vec![None; old_values.tables.len()];
         {
-            let dead = &self.incr.as_ref().unwrap().dead;
+            let dead = &self.incr.as_ref().expect("prepared (asserted above)").dead;
             let mut next = 0u32;
             for (p, slot) in old_pos_to_new.iter_mut().enumerate() {
                 if !dead[p] {
@@ -780,6 +803,7 @@ impl SynthesisSession {
             .collect();
 
         // Install the compacted artifacts; all tombstone state resets.
+        let tables_len = tables.len();
         let mut pos_of_candidate: Vec<Option<u32>> = vec![None; candidates.len()];
         for (pos, t) in tables.iter().enumerate() {
             pos_of_candidate[t.idx as usize] = Some(pos as u32);
@@ -804,10 +828,10 @@ impl SynthesisSession {
             elapsed: old_scores.elapsed,
             detail,
         });
-        let incr = self.incr.as_mut().unwrap();
+        let incr = self.incr.as_mut().expect("prepared (asserted above)");
         incr.interning = interning;
         incr.blocking = blocking_index;
-        let n_tables = self.values.as_ref().unwrap().tables.len();
+        let n_tables = tables_len;
         incr.pos_of_candidate = pos_of_candidate;
         incr.dead = vec![false; n_tables];
         incr.alive_tables = vec![true; new_corpus.len()];
@@ -908,7 +932,8 @@ impl SynthesisSession {
             Resolver::None
         };
         let run = self.synthesize(&self.cfg.synthesis, resolver);
-        let extraction = self.extraction.as_ref().unwrap();
+        // Invariant: run/run_streaming prepared the session just above.
+        let extraction = self.extraction.as_ref().expect("prepared above");
         let mut timings = run.timings;
         // On a fresh run the end-to-end wall-clock is observable;
         // reuse runs report the sum of stage costs actually incurred.

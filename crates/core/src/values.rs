@@ -146,7 +146,7 @@ impl NormBinary {
 /// numbering itself — only on identity and on the class *partition* —
 /// which is exactly what lets an extended space serve artifacts that
 /// must stay bit-identical to a fresh renumbered run.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ValueInterning {
     /// Corpus symbol → interned value (None: normalizes to empty).
     norm_of_sym: HashMap<Sym, Option<NormId>>,

@@ -187,14 +187,16 @@ fn compaction_equals_fresh_and_composes_with_deltas() {
         inserted: vec![vec![left_str(0, 0), "mapping code 5x".to_string()]],
     };
     corpus.apply_row_patch(&patch);
-    let report = session.apply_delta(
-        &corpus,
-        &CorpusDelta {
-            added: vec![],
-            removed: vec![TableId(0), TableId(3), TableId(8), TableId(11)],
-            patches: vec![patch],
-        },
-    );
+    let report = session
+        .apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added: vec![],
+                removed: vec![TableId(0), TableId(3), TableId(8), TableId(11)],
+                patches: vec![patch],
+            },
+        )
+        .expect("valid delta");
     assert!(!report.reordered, "insert-only edits stay in place");
     let (_, cand_garbage) = session.garbage_fractions();
     assert!(cand_garbage > 0.0, "removals must leave tombstones");
@@ -219,14 +221,16 @@ fn compaction_equals_fresh_and_composes_with_deltas() {
         &mut corpus,
         &(2, 1, (0..8).map(|e| (e, (0, 0))).collect()),
     )];
-    session.apply_delta(
-        &corpus,
-        &CorpusDelta {
-            added,
-            removed: vec![TableId(6)],
-            patches: vec![patch],
-        },
-    );
+    session
+        .apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added,
+                removed: vec![TableId(6)],
+                patches: vec![patch],
+            },
+        )
+        .expect("valid delta");
     let live = session.live_corpus(&corpus);
     assert_eq!(observe_out(&session), observe_out(&fresh_on(&live)));
 
@@ -258,14 +262,16 @@ fn compaction_reclaims_memo_rows_and_value_space() {
     // Remove the disjoint-entity pair: their spellings leave the live
     // value set, so compaction must shrink both the space and the
     // memo's value rows.
-    session.apply_delta(
-        &corpus,
-        &CorpusDelta {
-            added: vec![],
-            removed: vec![TableId(12), TableId(13)],
-            patches: vec![],
-        },
-    );
+    session
+        .apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added: vec![],
+                removed: vec![TableId(12), TableId(13)],
+                patches: vec![],
+            },
+        )
+        .expect("valid delta");
     let (value_garbage, _) = session.garbage_fractions();
     assert!(value_garbage > 0.0, "dropped spellings must be garbage");
 
@@ -306,7 +312,7 @@ fn compaction_due_follows_the_configured_threshold() {
         .with_synonyms(synonyms());
         session.prepare(&corpus);
         assert!(!session.compaction_due(), "a fresh session has no garbage");
-        session.apply_delta(&corpus, &delta);
+        session.apply_delta(&corpus, &delta).expect("valid delta");
         assert_eq!(session.compaction_due(), due, "threshold {threshold}");
         if due {
             session.compact(&corpus);
@@ -414,7 +420,7 @@ proptest! {
             alive.retain(|t| !removed.contains(t));
             alive.extend(added.iter().copied());
 
-            session.apply_delta(&corpus, &CorpusDelta { added, removed, patches });
+            session.apply_delta(&corpus, &CorpusDelta { added, removed, patches }).expect("valid delta");
             let live_corpus = session.live_corpus(&corpus);
             prop_assert_eq!(
                 observe_out(&session),

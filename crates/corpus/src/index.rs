@@ -18,6 +18,7 @@ pub struct GlobalColId(pub u32);
 ///
 /// A value is counted at most once per column (set semantics), matching
 /// the paper's definition of `C(u)`.
+#[derive(Clone)]
 pub struct ValueIndex {
     /// postings[sym.index()] = sorted column ids containing that value.
     postings: Vec<Vec<GlobalColId>>,

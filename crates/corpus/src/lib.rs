@@ -51,4 +51,4 @@ pub use stats::{
     npmi, pmi, CoherenceConfig, CoherenceDetail, CooccurrenceStats,
 };
 pub use stream::{CorpusStream, TableSource};
-pub use table::{Column, Corpus, DomainId, RowPatch, Table, TableId};
+pub use table::{Column, Corpus, DomainId, RowPatch, RowPatchError, Table, TableId};

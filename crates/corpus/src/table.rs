@@ -102,6 +102,58 @@ pub struct RowPatch {
     pub inserted: Vec<Vec<String>>,
 }
 
+/// Why a [`RowPatch`] cannot apply to a corpus — the non-mutating
+/// verdict of [`Corpus::check_row_patch`], for ingestion paths that
+/// must reject bad patches instead of panicking mid-stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RowPatchError {
+    /// The patch names a table the corpus does not hold.
+    UnknownTable {
+        /// The offending id.
+        table: TableId,
+    },
+    /// A tuple's width differs from the table's.
+    WidthMismatch {
+        /// The targeted table.
+        table: TableId,
+        /// The tuple width found in the patch.
+        width: usize,
+        /// The table's actual width.
+        expected: usize,
+    },
+    /// A deleted tuple (counted with multiplicity) matches fewer rows
+    /// than the patch deletes.
+    MissingRow {
+        /// The targeted table.
+        table: TableId,
+        /// The unmatched tuple.
+        row: Vec<String>,
+    },
+}
+
+impl fmt::Display for RowPatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RowPatchError::UnknownTable { table } => {
+                write!(f, "row patch targets unknown table {table:?}")
+            }
+            RowPatchError::WidthMismatch {
+                table,
+                width,
+                expected,
+            } => write!(
+                f,
+                "row patch tuple width {width} != table {table:?} width {expected}"
+            ),
+            RowPatchError::MissingRow { table, row } => {
+                write!(f, "deleted row {row:?} not present in table {table:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RowPatchError {}
+
 /// A corpus of tables plus the interner that owns their cell strings.
 pub struct Corpus {
     /// String interner for every cell and header in the corpus.
@@ -272,9 +324,83 @@ impl Corpus {
     /// mirroring how added tables are pushed before the delta is
     /// applied.
     ///
+    /// Validate a [`RowPatch`] against the current corpus **without
+    /// mutating anything**: the table must exist, every tuple must
+    /// match the table's width, and each deleted tuple (counted with
+    /// multiplicity) must match at least that many current rows. `Ok`
+    /// guarantees [`apply_row_patch`](Self::apply_row_patch) cannot
+    /// panic on this patch — the transactional entry point for
+    /// ingestion paths fed caller-controlled patches.
+    pub fn check_row_patch(&self, patch: &RowPatch) -> Result<(), RowPatchError> {
+        if (patch.table.0 as usize) >= self.tables.len() {
+            return Err(RowPatchError::UnknownTable { table: patch.table });
+        }
+        let table = &self.tables[patch.table.0 as usize];
+        let expected = table.width();
+        for row in patch.deleted.iter().chain(&patch.inserted) {
+            if row.len() != expected {
+                return Err(RowPatchError::WidthMismatch {
+                    table: patch.table,
+                    width: row.len(),
+                    expected,
+                });
+            }
+        }
+        // Deletions consume rows one at a time, so a tuple deleted
+        // twice needs two matching rows: compare multiplicities.
+        let mut demand: std::collections::HashMap<&Vec<String>, usize> = Default::default();
+        for row in &patch.deleted {
+            *demand.entry(row).or_insert(0) += 1;
+        }
+        for (row, need) in demand {
+            // A tuple containing a never-interned string cannot match
+            // any row.
+            let syms: Option<Vec<Sym>> = row.iter().map(|s| self.interner.get(s)).collect();
+            let have = match syms {
+                None => 0,
+                Some(syms) => (0..table.rows())
+                    .filter(|&ri| {
+                        table
+                            .columns
+                            .iter()
+                            .zip(&syms)
+                            .all(|(c, &s)| c.values[ri] == s)
+                    })
+                    .count(),
+            };
+            if have < need {
+                return Err(RowPatchError::MissingRow {
+                    table: patch.table,
+                    row: row.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop every table past `len`, undoing a run of
+    /// [`push_table`](Self::push_table) calls — the corpus half of a
+    /// transactional rollback when a delta is rejected after its added
+    /// tables were appended. Interned strings stay (symbols are
+    /// append-only and harmless when dormant); the caller re-applies
+    /// inverse row patches separately.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the current table count.
+    pub fn truncate_tables(&mut self, len: usize) {
+        assert!(
+            len <= self.tables.len(),
+            "truncate_tables({len}) on a corpus of {}",
+            self.tables.len()
+        );
+        self.tables.truncate(len);
+    }
+
     /// # Panics
     /// Panics if the table does not exist, a tuple's width differs from
-    /// the table's, or a deleted tuple matches no remaining row.
+    /// the table's, or a deleted tuple matches no remaining row
+    /// (validate first with [`check_row_patch`](Self::check_row_patch)
+    /// when the patch is not trusted).
     pub fn apply_row_patch(&mut self, patch: &RowPatch) {
         assert!(
             (patch.table.0 as usize) < self.tables.len(),
@@ -412,5 +538,100 @@ mod tests {
             vec![(None, vec!["x"]), (None, vec!["y"]), (None, vec!["z"])],
         );
         assert_eq!(c.total_columns(), 5);
+    }
+
+    fn rows(rows: &[(&str, &str)]) -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|&(l, r)| vec![l.to_string(), r.to_string()])
+            .collect()
+    }
+
+    #[test]
+    fn check_row_patch_verdicts() {
+        let mut c = Corpus::new();
+        let d = c.domain("x");
+        let t = c.push_table(
+            d,
+            vec![
+                (Some("l"), vec!["a", "b", "a"]),
+                (Some("r"), vec!["1", "2", "1"]),
+            ],
+        );
+
+        // Valid: duplicate tuple deleted twice (two matching rows).
+        let ok = RowPatch {
+            table: t,
+            deleted: rows(&[("a", "1"), ("a", "1")]),
+            inserted: rows(&[("c", "3")]),
+        };
+        assert_eq!(c.check_row_patch(&ok), Ok(()));
+
+        // Same tuple deleted three times: only two rows match.
+        let over = RowPatch {
+            table: t,
+            deleted: rows(&[("a", "1"), ("a", "1"), ("a", "1")]),
+            inserted: vec![],
+        };
+        assert_eq!(
+            c.check_row_patch(&over),
+            Err(RowPatchError::MissingRow {
+                table: t,
+                row: vec!["a".to_string(), "1".to_string()]
+            })
+        );
+
+        // Never-interned string: no row can match.
+        let ghost = RowPatch {
+            table: t,
+            deleted: rows(&[("zzz", "1")]),
+            inserted: vec![],
+        };
+        assert!(matches!(
+            c.check_row_patch(&ghost),
+            Err(RowPatchError::MissingRow { .. })
+        ));
+
+        let wide = RowPatch {
+            table: t,
+            deleted: vec![],
+            inserted: vec![vec!["only-one".to_string()]],
+        };
+        assert_eq!(
+            c.check_row_patch(&wide),
+            Err(RowPatchError::WidthMismatch {
+                table: t,
+                width: 1,
+                expected: 2
+            })
+        );
+
+        let missing_table = RowPatch {
+            table: TableId(99),
+            deleted: vec![],
+            inserted: rows(&[("c", "3")]),
+        };
+        assert_eq!(
+            c.check_row_patch(&missing_table),
+            Err(RowPatchError::UnknownTable { table: TableId(99) })
+        );
+
+        // Ok implies apply cannot panic.
+        c.apply_row_patch(&ok);
+        assert_eq!(c.table(t).rows(), 2);
+    }
+
+    #[test]
+    fn truncate_tables_undoes_pushes() {
+        let mut c = Corpus::new();
+        let d = c.domain("x");
+        c.push_table(d, vec![(None, vec!["a"])]);
+        let before = c.len();
+        c.push_table(d, vec![(None, vec!["b"])]);
+        c.push_table(d, vec![(None, vec!["c"])]);
+        c.truncate_tables(before);
+        assert_eq!(c.len(), before);
+        // Interned strings stay; re-pushing re-uses them.
+        let t = c.push_table(d, vec![(None, vec!["b"])]);
+        assert_eq!(c.table(t).id, TableId(1));
     }
 }

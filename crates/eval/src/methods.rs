@@ -410,7 +410,7 @@ impl PreparedWeb {
     pub fn apply_delta(
         &mut self,
         evolve: impl FnOnce(&mut Corpus) -> mapsynth::delta::CorpusDelta,
-    ) -> mapsynth::delta::DeltaReport {
+    ) -> Result<mapsynth::delta::DeltaReport, mapsynth::delta::DeltaError> {
         let delta = evolve(&mut self.corpus);
         self.session.apply_delta(&self.corpus, &delta)
     }
@@ -456,33 +456,35 @@ mod delta_tests {
             ..Default::default()
         });
         let mut prepared = PreparedWeb::prepare(wc, 0.5, 0);
-        let report = prepared.apply_delta(|corpus| {
-            // Drop the first row of one surviving table, by value.
-            let tid = mapsynth_corpus::TableId(7);
-            let deleted = {
-                let t = corpus.table(tid);
-                if t.rows() == 0 {
-                    vec![]
-                } else {
-                    vec![t
-                        .columns
-                        .iter()
-                        .map(|c| corpus.str_of(c.values[0]).to_string())
-                        .collect()]
+        let report = prepared
+            .apply_delta(|corpus| {
+                // Drop the first row of one surviving table, by value.
+                let tid = mapsynth_corpus::TableId(7);
+                let deleted = {
+                    let t = corpus.table(tid);
+                    if t.rows() == 0 {
+                        vec![]
+                    } else {
+                        vec![t
+                            .columns
+                            .iter()
+                            .map(|c| corpus.str_of(c.values[0]).to_string())
+                            .collect()]
+                    }
+                };
+                let patch = mapsynth_corpus::RowPatch {
+                    table: tid,
+                    deleted,
+                    inserted: vec![],
+                };
+                corpus.apply_row_patch(&patch);
+                CorpusDelta {
+                    added: vec![],
+                    removed: (0..6).map(|k| mapsynth_corpus::TableId(k * 41)).collect(),
+                    patches: vec![patch],
                 }
-            };
-            let patch = mapsynth_corpus::RowPatch {
-                table: tid,
-                deleted,
-                inserted: vec![],
-            };
-            corpus.apply_row_patch(&patch);
-            CorpusDelta {
-                added: vec![],
-                removed: (0..6).map(|k| mapsynth_corpus::TableId(k * 41)).collect(),
-                patches: vec![patch],
-            }
-        });
+            })
+            .expect("valid delta");
         assert_eq!(report.tables_removed, 6);
         assert_eq!(report.tables_patched, 1);
 

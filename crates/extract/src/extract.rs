@@ -507,6 +507,7 @@ const GAINED_CANDIDATE: u32 = u32::MAX;
 /// table's cached column verdicts and coherence evidence. Built by
 /// [`extract_candidates_cached`]; advanced by
 /// [`apply_delta`](Self::apply_delta).
+#[derive(Clone)]
 pub struct ExtractionCache {
     index: ValueIndex,
     tables: Vec<TableCache>,

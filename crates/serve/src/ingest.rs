@@ -1,0 +1,610 @@
+//! Fault-tolerant background delta ingestion: a bounded queue, a
+//! publisher thread, quarantine for poisoned deltas.
+//!
+//! [`DeltaIngestor`] moves the delta stream behind the service
+//! boundary (the ROADMAP's serving-while-streaming milestone): callers
+//! [`submit`](DeltaIngestor::submit) key-addressed [`DeltaRequest`]s
+//! into a **bounded** queue (a full queue blocks the producer —
+//! backpressure, never unbounded memory) while a background worker
+//! owns the [`SynthesisSession`] + [`Corpus`] and drives them
+//! transactionally:
+//!
+//! 1. **validate** — keys resolve against the live table set, row
+//!    patches are checked non-mutating ([`Corpus::check_row_patch`]);
+//! 2. **apply** — the corpus is evolved, then
+//!    [`SynthesisSession::apply_delta`] runs all-or-nothing (typed
+//!    [`DeltaError`] + `catch_unwind` containment). On rejection the
+//!    corpus is rolled back (appended tables truncated, applied row
+//!    patches inverted in reverse order) so corpus and session stay
+//!    in lockstep;
+//! 3. **publish** — every `publish_every` accepted deltas the worker
+//!    synthesizes and calls
+//!    [`MappingService::publish_delta`], retrying transient publish
+//!    failures with exponential backoff and **abandoning** (not
+//!    crashing) after `max_publish_attempts` — the accepted deltas
+//!    stay in the session, so the next publish carries them;
+//! 4. **quarantine** — every rejected delta is recorded with its
+//!    stream position, typed reason and the original request, and is
+//!    observable while the stream runs
+//!    ([`quarantined`](DeltaIngestor::quarantined) /
+//!    [`drain_quarantine`](DeltaIngestor::drain_quarantine)).
+//!
+//! Readers are never involved: they keep cloning the last good
+//! snapshot from the shared [`MappingService`] and sustain lookups
+//! through malformed deltas, induced apply panics and publish
+//! failures alike — the service degrades to *stale-until-next-publish*,
+//! never to torn or absent.
+//!
+//! Determinism: the worker applies deltas in submission order on one
+//! thread, so for a fixed request stream and [`FaultInjector`] plan
+//! the post-stream session is reproducible and bit-identical to a
+//! fresh session built from only the accepted deltas (the bench
+//! crate's `--delta-stream --faults` tier gates exactly that).
+
+use crate::service::MappingService;
+use mapsynth::delta::{fault, CorpusDelta, DeltaError};
+use mapsynth::pipeline::{Resolver, SynthesisSession};
+use mapsynth::SynthesisConfig;
+use mapsynth_corpus::{Corpus, RowPatch, RowPatchError, TableId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// A table shipped to the ingestor: a caller-chosen stable key (the
+/// ingestor's table ids shift across compactions; keys never do), the
+/// provenance domain, and the columns.
+#[derive(Clone, Debug)]
+pub struct TableSpec {
+    /// Caller-chosen stable identity; must not collide with a live
+    /// table's key.
+    pub key: u64,
+    /// Provenance domain name (interned on accept).
+    pub domain: String,
+    /// Columns as `(header, values)`; all value vectors must share one
+    /// length.
+    pub columns: Vec<(Option<String>, Vec<String>)>,
+}
+
+/// A row patch addressed by table key instead of [`TableId`].
+#[derive(Clone, Debug)]
+pub struct PatchSpec {
+    /// Key of the (live) table to edit.
+    pub key: u64,
+    /// Full-width tuples to delete (each must match a current row).
+    pub deleted: Vec<Vec<String>>,
+    /// Full-width tuples to append.
+    pub inserted: Vec<Vec<String>>,
+}
+
+/// One unit of corpus evolution submitted to the ingestor — the
+/// key-addressed analogue of [`CorpusDelta`].
+#[derive(Clone, Debug, Default)]
+pub struct DeltaRequest {
+    /// Tables to append.
+    pub add: Vec<TableSpec>,
+    /// Keys of live tables to remove.
+    pub remove: Vec<u64>,
+    /// Row patches to live tables.
+    pub patches: Vec<PatchSpec>,
+}
+
+/// Why the ingestor rejected (and quarantined) a [`DeltaRequest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// A `remove` or patch key that names no live table.
+    UnknownKey {
+        /// The unresolvable key.
+        key: u64,
+    },
+    /// An `add` key that is already live (or repeated within the
+    /// request).
+    DuplicateKey {
+        /// The colliding key.
+        key: u64,
+    },
+    /// A row patch the corpus cannot apply.
+    Patch(RowPatchError),
+    /// The session rejected the delta (including contained apply
+    /// panics — [`DeltaError::ApplyPanicked`]).
+    Delta(DeltaError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::UnknownKey { key } => write!(f, "key {key} names no live table"),
+            IngestError::DuplicateKey { key } => write!(f, "key {key} is already live"),
+            IngestError::Patch(e) => write!(f, "corpus rejected patch: {e}"),
+            IngestError::Delta(e) => write!(f, "session rejected delta: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Patch(e) => Some(e),
+            IngestError::Delta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A rejected delta held for inspection: where in the stream it sat,
+/// why it was refused, and the request itself (for repair/replay).
+#[derive(Clone, Debug)]
+pub struct Quarantined {
+    /// 0-based position in the submission stream.
+    pub seq: u64,
+    /// The typed rejection reason.
+    pub error: IngestError,
+    /// The original request, verbatim.
+    pub request: DeltaRequest,
+}
+
+/// Counters of everything the worker has done so far. Monotone except
+/// `quarantined`, which is the *currently held* entry count (drains
+/// subtract).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Requests submitted to the queue.
+    pub submitted: u64,
+    /// Deltas applied end to end.
+    pub accepted: u64,
+    /// Deltas rejected (each one is quarantined).
+    pub rejected: u64,
+    /// Quarantine entries currently held (not yet drained).
+    pub quarantined: u64,
+    /// Successful snapshot publishes.
+    pub publishes: u64,
+    /// Publish attempts retried after a transient failure.
+    pub publish_retries: u64,
+    /// Publishes abandoned after `max_publish_attempts` failures (the
+    /// served snapshot stayed on the last good version).
+    pub publishes_abandoned: u64,
+    /// Mid-stream compaction passes.
+    pub compactions: u64,
+}
+
+/// Deterministic fault plan hook: the harness decides, per stream
+/// position, whether to sabotage the apply (induced panic past
+/// validation) or fail a publish attempt. The default methods inject
+/// nothing, so production code passes [`NoFaults`].
+pub trait FaultInjector: Send {
+    /// Return `true` to arm an induced panic inside this delta's
+    /// `apply_delta` (fired after the first artifact mutation —
+    /// exercising containment + rollback). `seq` is the request's
+    /// 0-based stream position.
+    fn sabotage_apply(&mut self, seq: u64) -> bool {
+        let _ = seq;
+        false
+    }
+
+    /// Return `true` to simulate a transient failure of publish
+    /// `publish_idx` (0-based), attempt `attempt` (0-based). The
+    /// worker retries with exponential backoff up to
+    /// `max_publish_attempts`.
+    fn fail_publish(&mut self, publish_idx: u64, attempt: u32) -> bool {
+        let _ = (publish_idx, attempt);
+        false
+    }
+}
+
+/// The production injector: no faults.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+/// Tuning knobs for [`DeltaIngestor::spawn`].
+#[derive(Clone, Copy, Debug)]
+pub struct IngestorConfig {
+    /// Bounded queue depth; a full queue blocks `submit`
+    /// (backpressure).
+    pub queue_depth: usize,
+    /// Publish after this many accepted deltas (and once more at
+    /// shutdown for the tail).
+    pub publish_every: usize,
+    /// Publish attempts before abandoning (≥ 1).
+    pub max_publish_attempts: u32,
+    /// Backoff before retry `n` is `retry_base * 2^n`, capped at
+    /// `retry_cap`.
+    pub retry_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub retry_cap: Duration,
+    /// Resolver used for the published mappings.
+    pub resolver: Resolver,
+}
+
+impl Default for IngestorConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 64,
+            publish_every: 8,
+            max_publish_attempts: 4,
+            retry_base: Duration::from_millis(1),
+            retry_cap: Duration::from_millis(16),
+            resolver: Resolver::Algorithm4,
+        }
+    }
+}
+
+/// Everything the worker hands back at shutdown.
+pub struct IngestOutcome {
+    /// The post-stream session (bit-identical to a fresh session on
+    /// the accepted-deltas-only corpus).
+    pub session: SynthesisSession,
+    /// The post-stream corpus (rolled back past every rejected delta).
+    pub corpus: Corpus,
+    /// Final counters.
+    pub stats: IngestStats,
+    /// Quarantine entries never drained mid-stream.
+    pub quarantine: Vec<Quarantined>,
+}
+
+#[derive(Default)]
+struct SharedState {
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    publishes: AtomicU64,
+    publish_retries: AtomicU64,
+    publishes_abandoned: AtomicU64,
+    compactions: AtomicU64,
+    quarantine: Mutex<Vec<Quarantined>>,
+}
+
+impl SharedState {
+    fn quarantine_lock(&self) -> std::sync::MutexGuard<'_, Vec<Quarantined>> {
+        // Pushes/drains of a Vec under the lock can't leave torn data;
+        // recovering keeps inspection working even if a holder died.
+        self.quarantine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn stats(&self) -> IngestStats {
+        IngestStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            quarantined: self.quarantine_lock().len() as u64,
+            publishes: self.publishes.load(Ordering::Relaxed),
+            publish_retries: self.publish_retries.load(Ordering::Relaxed),
+            publishes_abandoned: self.publishes_abandoned.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum WorkerMsg {
+    Delta(DeltaRequest),
+    Shutdown,
+}
+
+/// The background ingestion handle. See the module docs for the
+/// pipeline it drives.
+pub struct DeltaIngestor {
+    tx: SyncSender<WorkerMsg>,
+    shared: Arc<SharedState>,
+    service: Arc<MappingService>,
+    handle: Option<JoinHandle<(SynthesisSession, Corpus)>>,
+}
+
+impl DeltaIngestor {
+    /// Start the background worker over a prepared session and its
+    /// corpus. `initial_keys[i]` is the caller's stable key for
+    /// `TableId(i)`; the session must be freshly prepared (every
+    /// corpus table live) so keys and tables correspond 1:1.
+    ///
+    /// # Panics
+    /// Panics if `initial_keys` does not cover the corpus exactly
+    /// (len mismatch or duplicate keys) — a programming error in the
+    /// caller, not stream data.
+    pub fn spawn(
+        session: SynthesisSession,
+        corpus: Corpus,
+        initial_keys: &[u64],
+        service: Arc<MappingService>,
+        cfg: IngestorConfig,
+        injector: Box<dyn FaultInjector>,
+    ) -> Self {
+        assert_eq!(initial_keys.len(), corpus.len(), "one key per corpus table");
+        let mut key_of_table: HashMap<u64, TableId> = HashMap::new();
+        for (i, &key) in initial_keys.iter().enumerate() {
+            let prev = key_of_table.insert(key, TableId(i as u32));
+            assert!(prev.is_none(), "duplicate initial key {key}");
+        }
+        let shared = Arc::new(SharedState::default());
+        let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
+        let synthesis = session.config().synthesis;
+        let worker = Worker {
+            session,
+            corpus,
+            key_of_table,
+            synthesis,
+            service: Arc::clone(&service),
+            shared: Arc::clone(&shared),
+            cfg,
+            injector,
+            seq: 0,
+            publish_idx: 0,
+            accepted_since_publish: 0,
+        };
+        let handle = thread::Builder::new()
+            .name("delta-ingestor".into())
+            .spawn(move || worker.run(rx))
+            .expect("spawn delta-ingestor thread");
+        Self {
+            tx,
+            shared,
+            service,
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueue one delta. **Blocks** while the queue is at
+    /// `queue_depth` — backpressure toward the producer, so a slow
+    /// apply can never grow memory without bound.
+    pub fn submit(&self, request: DeltaRequest) {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .send(WorkerMsg::Delta(request))
+            .expect("delta-ingestor worker exited before shutdown");
+    }
+
+    /// The shared serving handle readers hold. Lookups on snapshots
+    /// from here sustain through every ingestion failure mode.
+    pub fn service(&self) -> &Arc<MappingService> {
+        &self.service
+    }
+
+    /// Current counters (racy against the worker by design — exact
+    /// after `shutdown`).
+    pub fn stats(&self) -> IngestStats {
+        self.shared.stats()
+    }
+
+    /// Inspect the quarantine without draining it.
+    pub fn quarantined(&self) -> Vec<Quarantined> {
+        self.shared.quarantine_lock().clone()
+    }
+
+    /// Drain the quarantine, taking ownership of every held entry
+    /// (subsequent calls see only newer rejections).
+    pub fn drain_quarantine(&self) -> Vec<Quarantined> {
+        std::mem::take(&mut *self.shared.quarantine_lock())
+    }
+
+    /// Stop the worker: every already-submitted delta is processed,
+    /// the tail of accepted-but-unpublished deltas is published, and
+    /// the session + corpus come back for offline use (e.g. the
+    /// bit-identity oracle).
+    pub fn shutdown(mut self) -> IngestOutcome {
+        let _ = self.tx.send(WorkerMsg::Shutdown);
+        let handle = self.handle.take().expect("shutdown called once");
+        match handle.join() {
+            Ok((session, corpus)) => IngestOutcome {
+                session,
+                corpus,
+                stats: self.shared.stats(),
+                quarantine: std::mem::take(&mut *self.shared.quarantine_lock()),
+            },
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+struct Worker {
+    session: SynthesisSession,
+    corpus: Corpus,
+    /// Stable key → current live table id (remapped on compaction).
+    key_of_table: HashMap<u64, TableId>,
+    synthesis: SynthesisConfig,
+    service: Arc<MappingService>,
+    shared: Arc<SharedState>,
+    cfg: IngestorConfig,
+    injector: Box<dyn FaultInjector>,
+    seq: u64,
+    publish_idx: u64,
+    accepted_since_publish: usize,
+}
+
+impl Worker {
+    fn run(mut self, rx: Receiver<WorkerMsg>) -> (SynthesisSession, Corpus) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                WorkerMsg::Delta(request) => self.process(request),
+                WorkerMsg::Shutdown => break,
+            }
+        }
+        if self.accepted_since_publish > 0 || self.shared.publishes.load(Ordering::Relaxed) == 0 {
+            self.publish_with_retry();
+        }
+        (self.session, self.corpus)
+    }
+
+    fn process(&mut self, request: DeltaRequest) {
+        let seq = self.seq;
+        self.seq += 1;
+        match self.try_apply(seq, &request) {
+            Ok(()) => {
+                self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                self.accepted_since_publish += 1;
+                if self.session.compaction_due() {
+                    self.compact();
+                }
+                if self.accepted_since_publish >= self.cfg.publish_every.max(1) {
+                    self.publish_with_retry();
+                }
+            }
+            Err(error) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.quarantine_lock().push(Quarantined {
+                    seq,
+                    error,
+                    request,
+                });
+            }
+        }
+    }
+
+    /// Resolve, evolve the corpus, and run the guarded apply. On any
+    /// rejection the corpus is rolled back to byte-equivalent content
+    /// (appended tables truncated, applied patches inverted in reverse
+    /// order — table row *order* may differ, which extraction
+    /// canonicalizes away), keeping it in lockstep with the untouched
+    /// session.
+    fn try_apply(&mut self, seq: u64, request: &DeltaRequest) -> Result<(), IngestError> {
+        // Key resolution — pure.
+        let mut removed: Vec<TableId> = Vec::with_capacity(request.remove.len());
+        for &key in &request.remove {
+            let tid = *self
+                .key_of_table
+                .get(&key)
+                .ok_or(IngestError::UnknownKey { key })?;
+            removed.push(tid);
+        }
+        let mut patches: Vec<RowPatch> = Vec::with_capacity(request.patches.len());
+        for p in &request.patches {
+            let tid = *self
+                .key_of_table
+                .get(&p.key)
+                .ok_or(IngestError::UnknownKey { key: p.key })?;
+            patches.push(RowPatch {
+                table: tid,
+                deleted: p.deleted.clone(),
+                inserted: p.inserted.clone(),
+            });
+        }
+        let mut fresh: std::collections::HashSet<u64> = Default::default();
+        for t in &request.add {
+            if self.key_of_table.contains_key(&t.key) || !fresh.insert(t.key) {
+                return Err(IngestError::DuplicateKey { key: t.key });
+            }
+        }
+
+        // Corpus evolution, recorded for rollback.
+        let len_before = self.corpus.len();
+        let mut applied: Vec<RowPatch> = Vec::new();
+        let mut failure: Option<IngestError> = None;
+        for p in &patches {
+            if let Err(e) = self.corpus.check_row_patch(p) {
+                failure = Some(IngestError::Patch(e));
+                break;
+            }
+            self.corpus.apply_row_patch(p);
+            applied.push(p.clone());
+        }
+        let mut added: Vec<TableId> = Vec::with_capacity(request.add.len());
+        if failure.is_none() {
+            for t in &request.add {
+                let d = self.corpus.domain(&t.domain);
+                let columns: Vec<(Option<&str>, Vec<&str>)> = t
+                    .columns
+                    .iter()
+                    .map(|(h, vs)| {
+                        (
+                            h.as_deref(),
+                            vs.iter().map(String::as_str).collect::<Vec<&str>>(),
+                        )
+                    })
+                    .collect();
+                added.push(self.corpus.push_table(d, columns));
+            }
+            let delta = CorpusDelta {
+                added: added.clone(),
+                removed,
+                patches: applied.clone(),
+            };
+            if self.injector.sabotage_apply(seq) {
+                fault::arm_induced_panic();
+            }
+            let applied_result = self.session.apply_delta(&self.corpus, &delta);
+            // A validation-rejected sabotaged delta never reaches the
+            // fire point; don't let the arm leak onto the next delta.
+            fault::disarm();
+            match applied_result {
+                Ok(_) => {
+                    for (t, tid) in request.add.iter().zip(added) {
+                        self.key_of_table.insert(t.key, tid);
+                    }
+                    for key in &request.remove {
+                        self.key_of_table.remove(key);
+                    }
+                    return Ok(());
+                }
+                Err(e) => failure = Some(IngestError::Delta(e)),
+            }
+        }
+
+        // Rollback: drop appended tables, invert applied patches.
+        self.corpus.truncate_tables(len_before);
+        for p in applied.iter().rev() {
+            let inverse = RowPatch {
+                table: p.table,
+                deleted: p.inserted.clone(),
+                inserted: p.deleted.clone(),
+            };
+            self.corpus.apply_row_patch(&inverse);
+        }
+        Err(failure.unwrap_or(IngestError::DuplicateKey { key: u64::MAX }))
+    }
+
+    /// Reclaim tombstones and densely renumber, keeping the key map in
+    /// lockstep: compaction preserves the relative order of live
+    /// tables, so the k-th smallest live id becomes `TableId(k)`.
+    fn compact(&mut self) {
+        self.corpus = self.session.compact(&self.corpus);
+        let mut entries: Vec<(u64, TableId)> = self.key_of_table.drain().collect();
+        entries.sort_by_key(|&(_, tid)| tid.0);
+        debug_assert_eq!(
+            entries.len(),
+            self.corpus.len(),
+            "key map must cover exactly the live tables"
+        );
+        for (k, (key, _)) in entries.into_iter().enumerate() {
+            self.key_of_table.insert(key, TableId(k as u32));
+        }
+        self.shared.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Synthesize once, then attempt the publish with exponential
+    /// backoff on simulated-transient failures. Abandoning leaves the
+    /// served snapshot on the last good version; the accepted deltas
+    /// stay in the session and ride the next publish.
+    fn publish_with_retry(&mut self) {
+        let run = self.session.synthesize(&self.synthesis, self.cfg.resolver);
+        let idx = self.publish_idx;
+        self.publish_idx += 1;
+        let mut attempt: u32 = 0;
+        loop {
+            if self.injector.fail_publish(idx, attempt) {
+                attempt += 1;
+                if attempt >= self.cfg.max_publish_attempts.max(1) {
+                    self.shared
+                        .publishes_abandoned
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                self.shared.publish_retries.fetch_add(1, Ordering::Relaxed);
+                let exp = attempt.saturating_sub(1).min(16);
+                let backoff = self
+                    .cfg
+                    .retry_base
+                    .saturating_mul(1u32 << exp)
+                    .min(self.cfg.retry_cap);
+                thread::sleep(backoff);
+                continue;
+            }
+            self.service.publish_delta(&run.mappings);
+            self.shared.publishes.fetch_add(1, Ordering::Relaxed);
+            self.accepted_since_publish = 0;
+            return;
+        }
+    }
+}

@@ -47,12 +47,23 @@
 //! assert_eq!(hit.forward(0), Some("ca"));
 //! ```
 
+// Serving/ingestion code must degrade, not panic: every fallible path
+// carries a typed error or a documented `expect` invariant. Unit tests
+// (cfg(test)) are exempt; CI runs clippy on this lib with -D warnings,
+// which makes this deny a hard gate.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod bloom;
+pub mod ingest;
 pub mod service;
 pub mod snapshot;
 pub mod store;
 
 pub use bloom::BloomFilter;
+pub use ingest::{
+    DeltaIngestor, DeltaRequest, FaultInjector, IngestError, IngestOutcome, IngestStats,
+    IngestorConfig, NoFaults, PatchSpec, Quarantined, TableSpec,
+};
 pub use service::{DeltaPublishStats, MappingService, HISTORY_DEPTH};
 pub use snapshot::{
     ColumnTranslation, IndexSnapshot, MappingMeta, SnapshotBuilder, SnapshotStats, ValueHit,

@@ -22,10 +22,30 @@ use crate::snapshot::{mapping_content_hash, IndexSnapshot};
 use mapsynth::SynthesizedMapping;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Superseded snapshots retained for rollback.
 pub const HISTORY_DEPTH: usize = 4;
+
+// Lock poisoning recovery: every critical section in this module
+// either performs a single atomic assignment (`Arc` swap / clone) or
+// mutates the history `Vec` with operations that cannot leave it
+// half-updated from the reader's point of view, so a thread that
+// panicked while holding a lock cannot have left torn data behind.
+// Recovering (instead of propagating the poison) is what lets readers
+// keep serving the last good snapshot after a publisher thread dies —
+// the graceful-degradation contract of the ingestion path.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn mutex_lock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What an incremental publish
 /// ([`MappingService::publish_delta`]) did.
@@ -76,7 +96,7 @@ impl MappingService {
     /// blocked by) publishers. A handle stays fully valid even after
     /// its version is superseded.
     pub fn snapshot(&self) -> Arc<IndexSnapshot> {
-        Arc::clone(&self.current.read().expect("service lock poisoned"))
+        Arc::clone(&read_lock(&self.current))
     }
 
     /// Version id of the currently served snapshot.
@@ -94,12 +114,12 @@ impl MappingService {
         // it across the swap: concurrent publishers serialize on it,
         // so install order always matches version order and readers
         // never see the served version move backwards.
-        let mut history = self.history.lock().expect("service lock poisoned");
+        let mut history = mutex_lock(&self.history);
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         snapshot.version = version;
         let next = Arc::new(snapshot);
         {
-            let mut current = self.current.write().expect("service lock poisoned");
+            let mut current = write_lock(&self.current);
             history.push(std::mem::replace(&mut *current, next));
         }
         if history.len() > HISTORY_DEPTH {
@@ -128,8 +148,8 @@ impl MappingService {
     /// (renumbering ids from 0) instead of patching, keeping a long
     /// churny publish stream O(live mappings) per publish.
     pub fn publish_delta(&self, mappings: &[SynthesizedMapping]) -> (u64, DeltaPublishStats) {
-        let mut history = self.history.lock().expect("service lock poisoned");
-        let base = Arc::clone(&self.current.read().expect("service lock poisoned"));
+        let mut history = mutex_lock(&self.history);
+        let base = Arc::clone(&read_lock(&self.current));
 
         // Content diff: unchanged mappings keep their ids (and their
         // shard entries); duplicates are matched by multiplicity.
@@ -190,7 +210,7 @@ impl MappingService {
         snapshot.version = version;
         let next = Arc::new(snapshot);
         {
-            let mut current = self.current.write().expect("service lock poisoned");
+            let mut current = write_lock(&self.current);
             history.push(std::mem::replace(&mut *current, next));
         }
         if history.len() > HISTORY_DEPTH {
@@ -203,19 +223,17 @@ impl MappingService {
     /// version id), dropping the current one. Returns the reinstated
     /// version, or `None` when no history remains.
     pub fn rollback(&self) -> Option<u64> {
-        let mut history = self.history.lock().expect("service lock poisoned");
+        let mut history = mutex_lock(&self.history);
         let prev = history.pop()?;
         let version = prev.version();
-        let mut current = self.current.write().expect("service lock poisoned");
+        let mut current = write_lock(&self.current);
         *current = prev;
         Some(version)
     }
 
     /// Versions currently available to roll back to, oldest first.
     pub fn rollback_versions(&self) -> Vec<u64> {
-        self.history
-            .lock()
-            .expect("service lock poisoned")
+        mutex_lock(&self.history)
             .iter()
             .map(|s| s.version())
             .collect()

@@ -201,14 +201,16 @@ fn session_row_patches_flow_through_publish_delta() {
         inserted: vec![vec!["Algeria".to_string(), "ALG".to_string()]],
     };
     corpus.apply_row_patch(&patch);
-    let report = session.apply_delta(
-        &corpus,
-        &CorpusDelta {
-            added: vec![],
-            removed: vec![],
-            patches: vec![patch],
-        },
-    );
+    let report = session
+        .apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added: vec![],
+                removed: vec![],
+                patches: vec![patch],
+            },
+        )
+        .expect("valid delta");
     assert_eq!(report.tables_patched, 1);
     let (version, _) =
         service.publish_delta(&session.synthesize(&cfg, Resolver::Algorithm4).mappings);
@@ -218,14 +220,16 @@ fn session_row_patches_flow_through_publish_delta() {
     // Drop two tables, then compact the session. The synthesized
     // content is unchanged by compaction, so the follow-up publish
     // must diff to zero — renumbering never leaks into serving.
-    session.apply_delta(
-        &corpus,
-        &CorpusDelta {
-            added: vec![],
-            removed: vec![TableId(0), TableId(4)],
-            patches: vec![],
-        },
-    );
+    session
+        .apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added: vec![],
+                removed: vec![TableId(0), TableId(4)],
+                patches: vec![],
+            },
+        )
+        .expect("valid delta");
     let (_, _) = service.publish_delta(&session.synthesize(&cfg, Resolver::Algorithm4).mappings);
     check_serves_fresh(&service, &session);
 

@@ -11,7 +11,8 @@
 //! on [`mapsynth::delta::CorpusDelta::post_corpus`]-style live
 //! corpora) pair-for-pair.
 
-use mapsynth::delta::CorpusDelta;
+use mapsynth::delta::fault::{self, INDUCED_PANIC_MESSAGE};
+use mapsynth::delta::{CorpusDelta, DeltaError};
 use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
 use mapsynth_corpus::{Corpus, RowPatch, TableId};
 use mapsynth_text::SynonymDict;
@@ -177,6 +178,11 @@ fn resolve_and_apply_patch(
             ]
         })
         .collect();
+    // An empty patch describes no edit — the session rejects it
+    // (`DeltaError::EmptyPatch`), so the generator never emits one.
+    if deleted.is_empty() && inserted.is_empty() {
+        return None;
+    }
     let patch = RowPatch {
         table: tid,
         deleted,
@@ -249,14 +255,16 @@ fn generated_patches_exercise_the_row_delta_path() {
     let patch = resolve_and_apply_patch(&mut corpus, &sel, &alive).expect("eligible tables");
     assert_eq!(patch.deleted.len(), 2);
     assert_eq!(patch.inserted.len(), 1);
-    let report = session.apply_delta(
-        &corpus,
-        &CorpusDelta {
-            added: vec![],
-            removed: vec![],
-            patches: vec![patch],
-        },
-    );
+    let report = session
+        .apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added: vec![],
+                removed: vec![],
+                patches: vec![patch],
+            },
+        )
+        .expect("valid delta");
     assert_eq!(report.tables_patched, 1);
     assert!(
         report.candidates_replaced + report.candidates_added + report.candidates_tombstoned >= 1,
@@ -344,7 +352,9 @@ proptest! {
             alive.extend(added.iter().copied());
 
             let delta = CorpusDelta { added, removed, patches };
-            let report = session.apply_delta(&corpus, &delta);
+            let report = session
+                .apply_delta(&corpus, &delta)
+                .expect("generated deltas are valid");
 
             // Fresh batch oracle on the live corpus, single worker.
             let live_corpus = session.live_corpus(&corpus);
@@ -380,6 +390,209 @@ proptest! {
                     workers
                 );
             }
+        }
+    }
+
+    /// Rejection transparency: every [`DeltaError`] — each validation
+    /// variant, crafted as a malformed twist on a generated valid
+    /// delta, plus a fault-injected panic mid-apply — must leave the
+    /// session's observable output (mappings, provenance, graph and
+    /// partition counts, live-table count) identical to before the
+    /// attempt, across worker counts. After the whole gauntlet the
+    /// original delta must replay verbatim and match the fresh batch
+    /// oracle, proving the rejections left no hidden residue either.
+    #[test]
+    fn prop_rejection_leaves_session_intact(
+        base in tables_strategy(),
+        deltas in deltas_strategy(),
+        worker_sel in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 8][worker_sel];
+        let mut corpus = Corpus::new();
+        for t in &base {
+            push_gen_table(&mut corpus, t);
+        }
+        let mut session = SynthesisSession::new(PipelineConfig {
+            workers,
+            ..Default::default()
+        })
+        .with_synonyms(synonyms());
+        session.prepare(&corpus);
+        let mut alive: Vec<TableId> = (0..corpus.len() as u32).map(TableId).collect();
+
+        for (removal_sel, additions, patch_sels) in &deltas {
+            // Resolve a valid delta exactly as `prop_delta_equals_fresh`
+            // does (the corpus is mutated up front, per the contract).
+            let pre_alive = alive.clone();
+            let mut removed: Vec<TableId> = Vec::new();
+            for &sel in removal_sel {
+                let live: Vec<TableId> = alive
+                    .iter()
+                    .copied()
+                    .filter(|t| !removed.contains(t))
+                    .collect();
+                if live.is_empty() {
+                    break;
+                }
+                removed.push(live[sel as usize % live.len()]);
+            }
+            let mut patches: Vec<RowPatch> = Vec::new();
+            for sel in patch_sels {
+                let eligible: Vec<TableId> = alive
+                    .iter()
+                    .copied()
+                    .filter(|t| !removed.contains(t) && !patches.iter().any(|p| p.table == *t))
+                    .collect();
+                if let Some(p) = resolve_and_apply_patch(&mut corpus, sel, &eligible) {
+                    patches.push(p);
+                }
+            }
+            let added: Vec<TableId> = additions
+                .iter()
+                .map(|t| push_gen_table(&mut corpus, t))
+                .collect();
+            alive.retain(|t| !removed.contains(t));
+            alive.extend(added.iter().copied());
+            let delta = CorpusDelta { added, removed, patches };
+
+            let before: Vec<Observed> = [Resolver::Algorithm4, Resolver::MajorityVote, Resolver::None]
+                .into_iter()
+                .map(|r| observe(&session, r))
+                .collect();
+            let live_before = session.live_tables();
+            let survivor = pre_alive.first().copied();
+            let empty_patch = |t: TableId| RowPatch {
+                table: t,
+                deleted: vec![],
+                inserted: vec![],
+            };
+
+            // The gauntlet: one malformed delta per validation variant,
+            // each asserted to produce exactly its typed error. The
+            // `added` list is carried over where the variant under test
+            // sits past the fingerprint check.
+            let bogus = TableId(corpus.len() as u32 + 7);
+            let err = session
+                .apply_delta(&corpus, &CorpusDelta {
+                    added: delta.added.clone(),
+                    removed: vec![bogus],
+                    patches: vec![],
+                })
+                .unwrap_err();
+            prop_assert_eq!(err, DeltaError::UnknownTable { id: bogus });
+            if let Some(t) = survivor {
+                let err = session
+                    .apply_delta(&corpus, &CorpusDelta {
+                        added: delta.added.clone(),
+                        removed: vec![t, t],
+                        patches: vec![],
+                    })
+                    .unwrap_err();
+                prop_assert_eq!(err, DeltaError::DuplicateRemoval { id: t });
+                let err = session
+                    .apply_delta(&corpus, &CorpusDelta {
+                        added: delta.added.clone(),
+                        removed: vec![],
+                        patches: vec![empty_patch(t)],
+                    })
+                    .unwrap_err();
+                prop_assert_eq!(err, DeltaError::EmptyPatch { id: t });
+                let err = session
+                    .apply_delta(&corpus, &CorpusDelta {
+                        added: delta.added.clone(),
+                        removed: vec![t],
+                        patches: vec![empty_patch(t)],
+                    })
+                    .unwrap_err();
+                prop_assert_eq!(err, DeltaError::PatchAndRemoveSameDelta { id: t });
+                let err = session
+                    .apply_delta(&corpus, &CorpusDelta {
+                        added: delta.added.clone(),
+                        removed: vec![],
+                        patches: vec![RowPatch {
+                            table: t,
+                            deleted: vec![],
+                            inserted: vec![vec!["lone value".into()]],
+                        }],
+                    })
+                    .unwrap_err();
+                prop_assert_eq!(
+                    err,
+                    DeltaError::ContradictoryPatch { id: t, width: 1, expected: 2 }
+                );
+            }
+            if !delta.added.is_empty() {
+                // Dropping the additions desynchronizes the corpus
+                // length from the session's last-seen shape.
+                let err = session
+                    .apply_delta(&corpus, &CorpusDelta {
+                        added: vec![],
+                        removed: vec![],
+                        patches: vec![],
+                    })
+                    .unwrap_err();
+                prop_assert!(matches!(err, DeltaError::FingerprintMismatch { .. }));
+                let mut shifted = delta.added.clone();
+                shifted[0] = TableId(shifted[0].0 + 1_000_000);
+                let err = session
+                    .apply_delta(&corpus, &CorpusDelta {
+                        added: shifted.clone(),
+                        removed: vec![],
+                        patches: vec![],
+                    })
+                    .unwrap_err();
+                prop_assert_eq!(
+                    err,
+                    DeltaError::AddedIdOutOfOrder {
+                        id: shifted[0],
+                        expected: shifted[0].0 - 1_000_000,
+                    }
+                );
+            }
+
+            // The valid delta itself, sabotaged: a panic fired past the
+            // first artifact mutation must be contained and rolled back.
+            fault::arm_induced_panic();
+            let err = session.apply_delta(&corpus, &delta).unwrap_err();
+            match err {
+                DeltaError::ApplyPanicked { ref message } => {
+                    prop_assert_eq!(message, INDUCED_PANIC_MESSAGE)
+                }
+                other => prop_assert!(false, "expected ApplyPanicked, got {:?}", other),
+            }
+            prop_assert!(!fault::disarm(), "induced fault must be one-shot");
+
+            // None of the rejections may have moved the observation.
+            prop_assert_eq!(live_before, session.live_tables());
+            let after: Vec<Observed> = [Resolver::Algorithm4, Resolver::MajorityVote, Resolver::None]
+                .into_iter()
+                .map(|r| observe(&session, r))
+                .collect();
+            prop_assert_eq!(
+                &before,
+                &after,
+                "a rejected delta changed the session (workers = {})",
+                workers
+            );
+
+            // Replay the original delta verbatim: it must now apply and
+            // land exactly on the fresh batch oracle.
+            session
+                .apply_delta(&corpus, &delta)
+                .expect("replay after contained fault must succeed");
+            let live_corpus = session.live_corpus(&corpus);
+            let mut fresh = SynthesisSession::new(PipelineConfig {
+                workers: 1,
+                ..Default::default()
+            })
+            .with_synonyms(synonyms());
+            fresh.prepare(&live_corpus);
+            prop_assert_eq!(
+                observe(&session, Resolver::Algorithm4),
+                observe(&fresh, Resolver::Algorithm4),
+                "replayed delta diverged from the oracle (workers = {})",
+                workers
+            );
         }
     }
 }

@@ -241,14 +241,16 @@ fn delta_tombstones_mappings_end_to_end() {
         .collect();
     let n_removed = removed.len();
 
-    let report = session.apply_delta(
-        &corpus,
-        &CorpusDelta {
-            added: vec![],
-            removed,
-            patches: vec![],
-        },
-    );
+    let report = session
+        .apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added: vec![],
+                removed,
+                patches: vec![],
+            },
+        )
+        .expect("valid delta");
     assert_eq!(report.tables_removed, n_removed);
     let after = session.synthesize(&base, Resolver::Algorithm4);
     let (_, stats) = service.publish_delta(&after.mappings);
@@ -291,14 +293,16 @@ fn delta_tombstones_mappings_end_to_end() {
             rows.iter().map(|(l, r)| (l.as_str(), r.as_str())).unzip();
         added.push(corpus.push_table(d, vec![(Some("left"), l), (Some("right"), r)]));
     }
-    session.apply_delta(
-        &corpus,
-        &CorpusDelta {
-            added,
-            removed: vec![],
-            patches: vec![],
-        },
-    );
+    session
+        .apply_delta(
+            &corpus,
+            &CorpusDelta {
+                added,
+                removed: vec![],
+                patches: vec![],
+            },
+        )
+        .expect("valid delta");
     let revived = session.synthesize(&base, Resolver::Algorithm4);
     service.publish_delta(&revived.mappings);
     let snap = service.snapshot();
@@ -356,14 +360,16 @@ fn delta_path_deterministic_across_worker_counts_at_scale() {
                     .collect();
                 added.push(corpus.push_table(d, cols_ref));
             }
-            session.apply_delta(
-                &corpus,
-                &CorpusDelta {
-                    added,
-                    removed,
-                    patches: vec![],
-                },
-            );
+            session
+                .apply_delta(
+                    &corpus,
+                    &CorpusDelta {
+                        added,
+                        removed,
+                        patches: vec![],
+                    },
+                )
+                .expect("valid delta");
             let run = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
             run.mappings.iter().map(|m| m.materialize_pairs()).collect()
         })
