@@ -8,10 +8,11 @@
 //! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --check BENCH_pipeline.json
 //! # corpus scale tier: growth-curve points up to N tables
 //! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 30000 BENCH_scale.json
-//! # explicit point list instead of the default N/4, N/2, N:
-//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 30000 --points 600,7500,15000,30000 BENCH_scale.json
+//! # explicit point list instead of the default N/4, N/2, N, with the
+//! # sharded builds spilling shard artifacts to disk:
+//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 100000 --points 600,7500,15000,30000,100000 --spill BENCH_scale.json
 //! # verify one committed scale point (CI growth-curve gate):
-//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 600 --check BENCH_scale.json
+//! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --tables 600 --check BENCH_scale.json --spill
 //! # fault-injection tier: deterministic stream with planned malformed
 //! # deltas, induced apply panics and publish failures:
 //! cargo run --release -p mapsynth-bench --bin pipeline_baseline -- --delta-stream --faults BENCH_fault.json
@@ -267,16 +268,16 @@ fn scale_point_block(json: &str, tables: usize) -> Option<&str> {
 /// point at `N` tables and fail on exact-count drift (candidates,
 /// edges, mappings) or on any committed ceiling being exceeded —
 /// growth-curve counts (`ceil_blocking_pairs`,
-/// `ceil_memo_candidate_pairs`, `ceil_memo_dp_calls`) and the
-/// margin-carrying wall-clock ceilings (`ceil_extraction_ms`,
-/// `ceil_blocking_ms`).
-fn check_scale_point(tables: usize, path: &str) -> ! {
+/// `ceil_memo_candidate_pairs`, `ceil_memo_dp_calls`,
+/// `ceil_coh_list_probes`) and the margin-carrying wall-clock
+/// ceilings (`ceil_extraction_ms`, `ceil_blocking_ms`).
+fn check_scale_point(tables: usize, path: &str, spill: bool) -> ! {
     let committed = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read scale baseline {path}: {e}"));
     let block = scale_point_block(&committed, tables)
         .unwrap_or_else(|| panic!("no committed scale point with \"tables\": {tables} in {path}"));
 
-    let p = measure_scale_point(tables);
+    let p = measure_scale_point(tables, spill);
     let mut drifted = false;
     let exact = [
         ("candidates", p.candidates as i64),
@@ -302,6 +303,7 @@ fn check_scale_point(tables: usize, path: &str) -> ! {
         ("ceil_blocking_pairs", p.blocking_pairs as i64),
         ("ceil_memo_candidate_pairs", p.memo.candidate_pairs as i64),
         ("ceil_memo_dp_calls", p.memo.dp_calls as i64),
+        ("ceil_coh_list_probes", p.coh_list_probes as i64),
     ];
     for (key, actual) in count_ceilings {
         match json_int(block, key) {
@@ -375,7 +377,8 @@ struct StreamBenchReport {
     apply_p99_ms: f64,
     apply_max_ms: f64,
     apply_total_ms: f64,
-    end_rss_mb: f64,
+    end_vmrss_mb: f64,
+    end_vmhwm_mb: f64,
     /// Post-stream edge dump (byte-compared against the committed
     /// golden file in `--delta-stream --check`).
     edge_dump: String,
@@ -441,7 +444,8 @@ fn stream_stage(verify: bool) -> StreamBenchReport {
         apply_p99_ms: percentile(&sorted, 0.99),
         apply_max_ms: sorted.last().copied().unwrap_or(0.0),
         apply_total_ms: sorted.iter().sum(),
-        end_rss_mb: current_rss_kb() as f64 / 1024.0,
+        end_vmrss_mb: current_rss_kb() as f64 / 1024.0,
+        end_vmhwm_mb: peak_rss_kb() as f64 / 1024.0,
         edge_dump,
         outcome,
     }
@@ -450,13 +454,13 @@ fn stream_stage(verify: bool) -> StreamBenchReport {
 /// Render the stream report as the `delta_stream_detail` JSON object
 /// (indented for embedding at depth 1 in the main baseline file).
 fn render_stream(r: &StreamBenchReport) -> String {
-    let rss_measured = if r.outcome.post_compact_rss_mb > 0.0 {
-        r.outcome.post_compact_rss_mb
+    let rss_measured = if r.outcome.post_compact_vmrss_mb > 0.0 {
+        r.outcome.post_compact_vmrss_mb
     } else {
-        r.end_rss_mb
+        r.end_vmrss_mb
     };
     format!(
-        "{{\n    \"stream_tables\": {},\n    \"stream_deltas\": {},\n    \"stream_row_patches\": {},\n    \"stream_removals\": {},\n    \"stream_additions\": {},\n    \"stream_reorders\": {},\n    \"stream_compactions\": {},\n    \"stream_publishes\": {},\n    \"stream_candidates\": {},\n    \"stream_edges\": {},\n    \"stream_partitions\": {},\n    \"stream_mappings\": {},\n    \"stream_memo_values\": {},\n    \"stream_apply_p50_ms\": {:.3},\n    \"stream_apply_p90_ms\": {:.3},\n    \"stream_apply_p99_ms\": {:.3},\n    \"stream_apply_max_ms\": {:.3},\n    \"stream_apply_total_ms\": {:.3},\n    \"stream_publish_total_ms\": {:.3},\n    \"post_compact_rss_mb\": {:.1},\n    \"stream_end_rss_mb\": {:.1},\n    \"ceil_stream_p99_ms\": {:.0},\n    \"ceil_stream_rss_mb\": {:.0}\n  }}",
+        "{{\n    \"stream_tables\": {},\n    \"stream_deltas\": {},\n    \"stream_row_patches\": {},\n    \"stream_removals\": {},\n    \"stream_additions\": {},\n    \"stream_reorders\": {},\n    \"stream_compactions\": {},\n    \"stream_publishes\": {},\n    \"stream_candidates\": {},\n    \"stream_edges\": {},\n    \"stream_partitions\": {},\n    \"stream_mappings\": {},\n    \"stream_memo_values\": {},\n    \"stream_apply_p50_ms\": {:.3},\n    \"stream_apply_p90_ms\": {:.3},\n    \"stream_apply_p99_ms\": {:.3},\n    \"stream_apply_max_ms\": {:.3},\n    \"stream_apply_total_ms\": {:.3},\n    \"stream_publish_total_ms\": {:.3},\n    \"post_compact_vmrss_mb\": {:.1},\n    \"post_compact_vmhwm_mb\": {:.1},\n    \"stream_end_vmrss_mb\": {:.1},\n    \"stream_end_vmhwm_mb\": {:.1},\n    \"ceil_stream_p99_ms\": {:.0},\n    \"ceil_stream_rss_mb\": {:.0}\n  }}",
         mapsynth_bench::STREAM_TABLES,
         mapsynth_bench::STREAM_DELTAS,
         r.outcome.row_patches,
@@ -476,8 +480,10 @@ fn render_stream(r: &StreamBenchReport) -> String {
         r.apply_max_ms,
         r.apply_total_ms,
         r.publish_total_ms,
-        r.outcome.post_compact_rss_mb,
-        r.end_rss_mb,
+        r.outcome.post_compact_vmrss_mb,
+        r.outcome.post_compact_vmhwm_mb,
+        r.end_vmrss_mb,
+        r.end_vmhwm_mb,
         (r.apply_p99_ms * MS_CEILING_MARGIN).ceil().max(1.0),
         (rss_measured * RSS_CEILING_MARGIN).ceil().max(1.0),
     )
@@ -524,10 +530,10 @@ fn check_stream(path: &str) -> ! {
         }
     }
 
-    let rss_measured = if r.outcome.post_compact_rss_mb > 0.0 {
-        r.outcome.post_compact_rss_mb
+    let rss_measured = if r.outcome.post_compact_vmrss_mb > 0.0 {
+        r.outcome.post_compact_vmrss_mb
     } else {
-        r.end_rss_mb
+        r.end_vmrss_mb
     };
     let ceilings = [
         ("ceil_stream_p99_ms", r.apply_p99_ms),
@@ -846,6 +852,12 @@ struct ScalePoint {
     mappings: usize,
     blocking_pairs: usize,
     memo: mapsynth::approx::ApproxMemoStats,
+    /// Coherence sketch-filter funnel: pairs the content sketch
+    /// rejected outright, and pairs that went on to probe posting
+    /// lists. Their sum tracks the O(samples²) pair loop; the probe
+    /// count is the expensive tail the sketch exists to shrink.
+    coh_sketch_rejects: u64,
+    coh_list_probes: u64,
     extraction_ms: f64,
     value_space_ms: f64,
     blocking_ms: f64,
@@ -853,14 +865,18 @@ struct ScalePoint {
     approx_memo_ms: f64,
     graph_ms: f64,
     total_ms: f64,
-    /// Peak-RSS watermarks (MiB): process start, then after each
+    /// `VmHWM` watermarks (MiB): process start, then after each
     /// prepare stage, then the run's overall peak. `VmHWM` is
     /// monotone, so consecutive differences attribute the growth.
-    rss_start_mb: f64,
-    rss_extraction_mb: f64,
-    rss_value_space_mb: f64,
-    rss_scoring_mb: f64,
-    peak_rss_mb: f64,
+    vmhwm_start_mb: f64,
+    vmhwm_extraction_mb: f64,
+    vmhwm_value_space_mb: f64,
+    vmhwm_scoring_mb: f64,
+    vmhwm_peak_mb: f64,
+    /// `VmRSS` when the run finished — unlike the watermarks this
+    /// drops as stages release memory, so peak − end is the
+    /// transient (spillable) share of the footprint.
+    vmrss_end_mb: f64,
 }
 
 /// Wall-clock ceiling margin for committed scale points: generous
@@ -873,16 +889,26 @@ const MS_CEILING_MARGIN: f64 = 4.0;
 /// materialized — the whole reason peak RSS stays sublinear), run the
 /// streaming prepare with the stage probe sampling `VmHWM`, then the
 /// synthesis tail. Serving/delta stages are skipped: this tier is
-/// about how extraction, blocking, and the match memo *grow*.
-fn measure_scale_point(tables: usize) -> ScalePoint {
+/// about how extraction, blocking, and the match memo *grow*. With
+/// `spill`, the sharded value-space and blocking builds stream their
+/// shard artifacts through a temp directory (bit-identical outputs;
+/// only the RSS watermarks move).
+fn measure_scale_point(tables: usize, spill: bool) -> ScalePoint {
     let mb = |kb: u64| kb as f64 / 1024.0;
     let rss_start = peak_rss_kb();
     let mut stream = bench_stream(tables);
-    let mut session = SynthesisSession::new(PipelineConfig::default());
+    let mut cfg = PipelineConfig::default();
+    let spill_dir = spill
+        .then(|| std::env::temp_dir().join(format!("mapsynth-scale-spill-{}", std::process::id())));
+    cfg.spill_dir = spill_dir.clone();
+    let mut session = SynthesisSession::new(cfg);
     let mut stage_rss: Vec<(&'static str, u64)> = Vec::new();
     session.prepare_streaming_with(&mut stream, |stage| stage_rss.push((stage, peak_rss_kb())));
     let run = session.synthesize(&session.config().synthesis.clone(), Resolver::Algorithm4);
     let peak = peak_rss_kb();
+    if let Some(dir) = &spill_dir {
+        std::fs::remove_dir_all(dir).ok();
+    }
 
     let rss_of = |stage: &str| {
         stage_rss
@@ -901,6 +927,8 @@ fn measure_scale_point(tables: usize) -> ScalePoint {
         mappings: run.mappings.len(),
         blocking_pairs: scores.blocking.pairs,
         memo: scores.detail.memo,
+        coh_sketch_rejects: extraction.funnel.sketch_rejects,
+        coh_list_probes: extraction.funnel.list_probes,
         extraction_ms: ms(extraction.elapsed),
         value_space_ms: ms(values.elapsed),
         blocking_ms: ms(scores.detail.blocking),
@@ -908,22 +936,27 @@ fn measure_scale_point(tables: usize) -> ScalePoint {
         approx_memo_ms: ms(scores.detail.approx_memo),
         graph_ms: ms(run.timings.graph),
         total_ms: ms(run.timings.total),
-        rss_start_mb: mb(rss_start),
-        rss_extraction_mb: rss_of("extraction"),
-        rss_value_space_mb: rss_of("value_space"),
-        rss_scoring_mb: rss_of("scoring"),
-        peak_rss_mb: mb(peak),
+        vmhwm_start_mb: mb(rss_start),
+        vmhwm_extraction_mb: rss_of("extraction"),
+        vmhwm_value_space_mb: rss_of("value_space"),
+        vmhwm_scoring_mb: rss_of("scoring"),
+        vmhwm_peak_mb: mb(peak),
+        vmrss_end_mb: mb(mapsynth_bench::current_rss_kb()),
     };
     eprintln!(
-        "scale {} tables: {} blocked pairs, {} memo candidate pairs, {} dp calls, \
-         extraction {:.1}ms, blocking {:.1}ms, peak rss {:.1}MB",
+        "scale {} tables{}: {} blocked pairs, {} memo candidate pairs, {} dp calls, \
+         {} sketch rejects / {} list probes, extraction {:.1}ms, blocking {:.1}ms, \
+         peak rss {:.1}MB",
         tables,
+        if spill { " (spill)" } else { "" },
         point.blocking_pairs,
         point.memo.candidate_pairs,
         point.memo.dp_calls,
+        point.coh_sketch_rejects,
+        point.coh_list_probes,
         point.extraction_ms,
         point.blocking_ms,
-        point.peak_rss_mb
+        point.vmhwm_peak_mb
     );
     point
 }
@@ -933,7 +966,7 @@ fn measure_scale_point(tables: usize) -> ScalePoint {
 /// scopes its text scan from that key to the object's closing brace.
 fn render_point(p: &ScalePoint) -> String {
     format!(
-        "      {{\n        \"tables\": {},\n        \"candidates\": {},\n        \"edges\": {},\n        \"mappings\": {},\n        \"blocking_pairs\": {},\n        \"memo_values\": {},\n        \"memo_candidate_pairs\": {},\n        \"memo_sig_mask_rejects\": {},\n        \"memo_sig_hist_rejects\": {},\n        \"memo_dp_calls\": {},\n        \"memo_matched_pairs\": {},\n        \"extraction_ms\": {:.3},\n        \"value_space_ms\": {:.3},\n        \"blocking_ms\": {:.3},\n        \"scoring_ms\": {:.3},\n        \"approx_memo_ms\": {:.3},\n        \"graph_ms\": {:.3},\n        \"total_ms\": {:.3},\n        \"rss_start_mb\": {:.1},\n        \"rss_extraction_mb\": {:.1},\n        \"rss_value_space_mb\": {:.1},\n        \"rss_scoring_mb\": {:.1},\n        \"peak_rss_mb\": {:.1},\n        \"ceil_extraction_ms\": {:.0},\n        \"ceil_blocking_ms\": {:.0},\n        \"ceil_blocking_pairs\": {},\n        \"ceil_memo_candidate_pairs\": {},\n        \"ceil_memo_dp_calls\": {}\n      }}",
+        "      {{\n        \"tables\": {},\n        \"candidates\": {},\n        \"edges\": {},\n        \"mappings\": {},\n        \"blocking_pairs\": {},\n        \"memo_values\": {},\n        \"memo_candidate_pairs\": {},\n        \"memo_sig_mask_rejects\": {},\n        \"memo_sig_hist_rejects\": {},\n        \"memo_dp_calls\": {},\n        \"memo_matched_pairs\": {},\n        \"coh_sketch_rejects\": {},\n        \"coh_list_probes\": {},\n        \"extraction_ms\": {:.3},\n        \"value_space_ms\": {:.3},\n        \"blocking_ms\": {:.3},\n        \"scoring_ms\": {:.3},\n        \"approx_memo_ms\": {:.3},\n        \"graph_ms\": {:.3},\n        \"total_ms\": {:.3},\n        \"vmhwm_start_mb\": {:.1},\n        \"vmhwm_extraction_mb\": {:.1},\n        \"vmhwm_value_space_mb\": {:.1},\n        \"vmhwm_scoring_mb\": {:.1},\n        \"vmhwm_peak_mb\": {:.1},\n        \"vmrss_end_mb\": {:.1},\n        \"ceil_extraction_ms\": {:.0},\n        \"ceil_blocking_ms\": {:.0},\n        \"ceil_blocking_pairs\": {},\n        \"ceil_memo_candidate_pairs\": {},\n        \"ceil_memo_dp_calls\": {},\n        \"ceil_coh_list_probes\": {}\n      }}",
         p.tables,
         p.candidates,
         p.edges,
@@ -945,6 +978,8 @@ fn render_point(p: &ScalePoint) -> String {
         p.memo.sig_hist_rejects,
         p.memo.dp_calls,
         p.memo.matched_pairs,
+        p.coh_sketch_rejects,
+        p.coh_list_probes,
         p.extraction_ms,
         p.value_space_ms,
         p.blocking_ms,
@@ -952,29 +987,35 @@ fn render_point(p: &ScalePoint) -> String {
         p.approx_memo_ms,
         p.graph_ms,
         p.total_ms,
-        p.rss_start_mb,
-        p.rss_extraction_mb,
-        p.rss_value_space_mb,
-        p.rss_scoring_mb,
-        p.peak_rss_mb,
+        p.vmhwm_start_mb,
+        p.vmhwm_extraction_mb,
+        p.vmhwm_value_space_mb,
+        p.vmhwm_scoring_mb,
+        p.vmhwm_peak_mb,
+        p.vmrss_end_mb,
         (p.extraction_ms * MS_CEILING_MARGIN).ceil().max(1.0),
         (p.blocking_ms * MS_CEILING_MARGIN).ceil().max(1.0),
         p.blocking_pairs,
         p.memo.candidate_pairs,
         p.memo.dp_calls,
+        p.coh_list_probes,
     )
 }
 
 /// The scale tier driver: one child process per point (so each point's
 /// `VmHWM` watermark is its own, not inherited from a bigger earlier
 /// point), assembling the children's stdout blocks into `scale_detail`.
-fn scale_stage(points: &[usize]) -> Vec<String> {
+fn scale_stage(points: &[usize], spill: bool) -> Vec<String> {
     let exe = std::env::current_exe().expect("current_exe");
     points
         .iter()
         .map(|&tables| {
+            let mut args = vec!["--scale-point".to_string(), tables.to_string()];
+            if spill {
+                args.push("--spill".to_string());
+            }
             let out = std::process::Command::new(&exe)
-                .args(["--scale-point", &tables.to_string()])
+                .args(&args)
                 .output()
                 .expect("spawn scale-point child");
             std::io::Write::write_all(&mut std::io::stderr(), &out.stderr).ok();
@@ -1000,7 +1041,8 @@ fn main() {
             .get(1)
             .and_then(|v| v.parse().ok())
             .expect("--scale-point needs a corpus size");
-        let p = measure_scale_point(tables);
+        let spill = args.get(2).map(String::as_str) == Some("--spill");
+        let p = measure_scale_point(tables, spill);
         print!("{}", render_point(&p));
         return;
     }
@@ -1047,17 +1089,18 @@ fn main() {
         let mut points: Option<Vec<usize>> = None;
         let mut check: Option<String> = None;
         let mut out: Option<String> = None;
+        let mut spill = false;
         let mut i = 2;
         while i < args.len() {
             match args[i].as_str() {
                 "--points" => {
-                    points = Some(
-                        args.get(i + 1)
-                            .expect("--points needs a comma-separated list")
-                            .split(',')
-                            .map(|s| s.trim().parse().expect("bad --points entry"))
-                            .collect(),
-                    );
+                    let arg = args
+                        .get(i + 1)
+                        .expect("--points needs a comma-separated list");
+                    points = Some(mapsynth_bench::parse_points(arg).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }));
                     i += 2;
                 }
                 "--check" => {
@@ -1068,6 +1111,10 @@ fn main() {
                     );
                     i += 2;
                 }
+                "--spill" => {
+                    spill = true;
+                    i += 1;
+                }
                 other => {
                     out = Some(other.to_string());
                     i += 1;
@@ -1075,7 +1122,7 @@ fn main() {
             }
         }
         if let Some(path) = check {
-            check_scale_point(max_tables, &path);
+            check_scale_point(max_tables, &path, spill);
         }
         let points = points.unwrap_or_else(|| {
             [max_tables / 4, max_tables / 2, max_tables]
@@ -1083,7 +1130,7 @@ fn main() {
                 .filter(|&t| t > 0)
                 .collect()
         });
-        let rows = scale_stage(&points);
+        let rows = scale_stage(&points, spill);
         let json = scale_json(max_tables, &rows);
         match out {
             Some(path) => {
@@ -1154,12 +1201,14 @@ fn main() {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let delta_apply_ms = ms(delta.report.timings.total);
     let json = format!(
-        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_sig_mask_rejects\": {},\n    \"memo_sig_hist_rejects\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"stage_peak_rss_mb\": {{\n    \"start\": {:.1},\n    \"extraction\": {:.1},\n    \"value_space\": {:.1},\n    \"scoring\": {:.1},\n    \"end\": {:.1}\n  }},\n  \"workers\": {{\n    \"requested\": {},\n    \"effective\": {},\n    \"available\": {}\n  }},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }},\n  \"delta_stream_detail\": {},\n  \"fault_detail\": {}\n}}\n",
+        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"coh_sketch_rejects\": {},\n  \"coh_list_probes\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_sig_mask_rejects\": {},\n    \"memo_sig_hist_rejects\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"stage_peak_rss_mb\": {{\n    \"start\": {:.1},\n    \"extraction\": {:.1},\n    \"value_space\": {:.1},\n    \"scoring\": {:.1},\n    \"end\": {:.1}\n  }},\n  \"workers\": {{\n    \"requested\": {},\n    \"effective\": {},\n    \"available\": {}\n  }},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }},\n  \"delta_stream_detail\": {},\n  \"fault_detail\": {}\n}}\n",
         tables,
         output.candidates,
         output.edges,
         output.partitions,
         output.mappings.len(),
+        session.extraction().expect("prepared").funnel.sketch_rejects,
+        session.extraction().expect("prepared").funnel.list_probes,
         ms(t.extraction),
         ms(t.value_space),
         ms(t.graph),

@@ -545,7 +545,7 @@ pub fn run_fault_stream(
                 .collect();
             oracle_corpus.push_table(d, cols);
         }
-        let mut oracle = SynthesisSession::new(*outcome.session.config());
+        let mut oracle = SynthesisSession::new(outcome.session.config().clone());
         oracle.prepare(&oracle_corpus);
         let observe = |s: &SynthesisSession| {
             let run = s.synthesize(&s.config().synthesis, Resolver::Algorithm4);

@@ -85,6 +85,39 @@ fn proc_status_kb(field: &str) -> u64 {
     0
 }
 
+/// Parse a `--points` argument: a comma-separated list of corpus
+/// sizes that must be strictly increasing and non-zero. Duplicate,
+/// unsorted, zero, or non-numeric points are configuration mistakes —
+/// each gets its own error message rather than a silent reorder (the
+/// scale harness assumes growth-curve order) or a cryptic panic.
+pub fn parse_points(arg: &str) -> Result<Vec<usize>, String> {
+    let mut points = Vec::new();
+    for part in arg.split(',') {
+        let part = part.trim();
+        let n: usize = part
+            .parse()
+            .map_err(|_| format!("--points: `{part}` is not a table count"))?;
+        if n == 0 {
+            return Err("--points: table counts must be non-zero".to_string());
+        }
+        if let Some(&prev) = points.last() {
+            if n == prev {
+                return Err(format!("--points: duplicate point {n}"));
+            }
+            if n < prev {
+                return Err(format!(
+                    "--points: {n} after {prev} — points must be sorted ascending"
+                ));
+            }
+        }
+        points.push(n);
+    }
+    if points.is_empty() {
+        return Err("--points: expected at least one table count".to_string());
+    }
+    Ok(points)
+}
+
 /// Append one table of `src` to `dst`, re-interning its strings (the
 /// two corpora own separate interners).
 pub fn append_table(dst: &mut Corpus, src: &Corpus, ti: usize) -> TableId {
@@ -221,8 +254,13 @@ pub struct DeltaStreamOutcome {
     pub reorders: usize,
     /// Compaction passes triggered by `compaction_due`.
     pub compactions: usize,
-    /// Current RSS (MiB) right after the last compaction (0 if none).
-    pub post_compact_rss_mb: f64,
+    /// `VmRSS` (MiB) right after the last compaction (0 if none) —
+    /// the instantaneous residency, which *drops* when compaction
+    /// reclaims memory.
+    pub post_compact_vmrss_mb: f64,
+    /// `VmHWM` (MiB) at the same instant — the process-lifetime
+    /// high-water mark, which never drops.
+    pub post_compact_vmhwm_mb: f64,
 }
 
 /// Drive the sustained row-delta stream: `deltas` deterministic deltas
@@ -267,7 +305,8 @@ pub fn run_delta_stream(
         additions: 0,
         reorders: 0,
         compactions: 0,
-        post_compact_rss_mb: 0.0,
+        post_compact_vmrss_mb: 0.0,
+        post_compact_vmhwm_mb: 0.0,
         session: SynthesisSession::new(PipelineConfig::default()),
         corpus: Corpus::new(),
     };
@@ -379,7 +418,8 @@ pub fn run_delta_stream(
             corpus = session.compact(&corpus);
             alive = (0..corpus.len() as u32).map(TableId).collect();
             out.compactions += 1;
-            out.post_compact_rss_mb = current_rss_kb() as f64 / 1024.0;
+            out.post_compact_vmrss_mb = current_rss_kb() as f64 / 1024.0;
+            out.post_compact_vmhwm_mb = peak_rss_kb() as f64 / 1024.0;
         }
 
         if (k + 1) % STREAM_PUBLISH_EVERY == 0 {
@@ -458,6 +498,33 @@ mod tests {
                 && out.session.garbage_fractions().1 <= STREAM_COMPACT_THRESHOLD,
             "stream ended above the compaction threshold"
         );
+    }
+
+    #[test]
+    fn parse_points_accepts_sorted_unique_lists() {
+        assert_eq!(parse_points("600").unwrap(), vec![600]);
+        assert_eq!(
+            parse_points("600, 7500,15000").unwrap(),
+            vec![600, 7500, 15000]
+        );
+    }
+
+    #[test]
+    fn parse_points_rejects_malformed_lists() {
+        for (arg, needle) in [
+            ("", "not a table count"),
+            ("abc", "not a table count"),
+            ("600,,7500", "not a table count"),
+            ("0,600", "non-zero"),
+            ("600,600", "duplicate point 600"),
+            ("7500,600", "sorted ascending"),
+        ] {
+            let err = parse_points(arg).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "parse_points({arg:?}) → {err:?}, expected {needle:?}"
+            );
+        }
     }
 
     /// The stream is a pure function of (tables, deltas): two dumps of

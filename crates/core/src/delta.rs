@@ -838,6 +838,12 @@ impl SynthesisSession {
         extraction.candidates.extend(ex.added);
         extraction.stats = ex.stats;
         extraction.elapsed += report.timings.extraction;
+        extraction.funnel = self
+            .incr
+            .as_ref()
+            .unwrap()
+            .extraction_cache
+            .coherence_funnel();
 
         debug_assert_eq!(
             live_before + report.candidates_added - report.candidates_tombstoned,
@@ -1037,6 +1043,7 @@ impl SynthesisSession {
         extraction.candidates = candidates;
         extraction.stats = ex_stats;
         extraction.elapsed += report.timings.extraction;
+        extraction.funnel = incr.extraction_cache.coherence_funnel();
         incr.dead = vec![false; tables.len()];
         incr.pos_of_candidate = pos_of_candidate;
         self.values = Some(crate::session::ValueArtifact {
@@ -1131,7 +1138,7 @@ mod tests {
     /// fresh session prepared on the live corpus, for every resolver.
     fn assert_matches_fresh(session: &SynthesisSession, corpus: &Corpus) {
         let fresh_corpus = session.live_corpus(corpus);
-        let mut fresh = SynthesisSession::new(*session.config());
+        let mut fresh = SynthesisSession::new(session.config().clone());
         fresh.prepare(&fresh_corpus);
         let base = session.config().synthesis;
         for resolver in [Resolver::Algorithm4, Resolver::MajorityVote, Resolver::None] {

@@ -45,8 +45,8 @@ use crate::graph::{graph_from_scores, CompatGraph};
 use crate::partition::{partition_by_components, Partitioning};
 use crate::pipeline::{PipelineConfig, PipelineOutput, Resolver, StageTimings};
 use crate::synth::SynthesizedMapping;
-use crate::values::{build_value_space_stateful, NormBinary, NormId, ValueSpace};
-use mapsynth_corpus::{BinaryId, Corpus, Interner, TableId, TableSource};
+use crate::values::{build_value_space_spillable, NormBinary, NormId, ValueSpace};
+use mapsynth_corpus::{BinaryId, CoherenceFunnel, Corpus, Interner, TableId, TableSource};
 use mapsynth_extract::{
     extract_candidates_masked, extract_candidates_streaming, ExtractionCache, ExtractionStats,
 };
@@ -68,6 +68,10 @@ pub struct ExtractionArtifact {
     pub candidates: Vec<mapsynth_corpus::BinaryTable>,
     /// Extraction counters.
     pub stats: ExtractionStats,
+    /// Cumulative coherence sketch-filter funnel (sketch rejects and
+    /// posting-list probes) over the build and every delta since.
+    /// Diagnostics only — never part of the bit-identity contract.
+    pub funnel: CoherenceFunnel,
     /// Stage wall-clock.
     pub elapsed: Duration,
 }
@@ -296,6 +300,7 @@ impl SynthesisSession {
             self.extraction = Some(ExtractionArtifact {
                 candidates,
                 stats,
+                funnel: extraction_cache.coherence_funnel(),
                 elapsed: t.elapsed(),
             });
             stage_done("extraction");
@@ -352,6 +357,7 @@ impl SynthesisSession {
         self.extraction = Some(ExtractionArtifact {
             candidates,
             stats,
+            funnel: extraction_cache.coherence_funnel(),
             elapsed: t.elapsed(),
         });
         stage_done("extraction");
@@ -377,8 +383,14 @@ impl SynthesisSession {
             .as_ref()
             .expect("extraction stored by caller")
             .candidates;
-        let (space, tables, interning) =
-            build_value_space_stateful(strs, candidates, &self.synonyms, &self.mr);
+        let (space, tables, interning) = build_value_space_spillable(
+            strs,
+            candidates,
+            &self.synonyms,
+            &self.mr,
+            self.mr.workers(),
+            self.cfg.spill_dir.as_deref(),
+        );
         let mut pos_of_candidate: Vec<Option<u32>> = vec![None; candidates.len()];
         for (pos, t) in tables.iter().enumerate() {
             pos_of_candidate[t.idx as usize] = Some(pos as u32);
@@ -396,7 +408,14 @@ impl SynthesisSession {
         let space = &values.space;
         let tables = &values.tables;
         let cfg = &self.cfg.synthesis;
-        let (blocking_index, pairs, blocking) = BlockingIndex::build(space, tables, cfg, &self.mr);
+        let (blocking_index, pairs, blocking) = BlockingIndex::build_spillable(
+            space,
+            tables,
+            cfg,
+            &self.mr,
+            self.mr.workers(),
+            self.cfg.spill_dir.as_deref(),
+        );
         let blocking_time = t.elapsed();
 
         // Shared scoring state: per-table sorted views + the
@@ -691,13 +710,25 @@ impl SynthesisSession {
         // Stage 2 rebuilt outright — this *is* the reclamation: only
         // strings live candidates reference get re-interned, exactly
         // as a fresh prepare would.
-        let (space, tables, interning) =
-            build_value_space_stateful(&new_corpus.interner, &candidates, &self.synonyms, &self.mr);
+        let (space, tables, interning) = build_value_space_spillable(
+            &new_corpus.interner,
+            &candidates,
+            &self.synonyms,
+            &self.mr,
+            self.mr.workers(),
+            self.cfg.spill_dir.as_deref(),
+        );
 
         // Stage 3a rebuilt outright (postings of dead tables vanish).
         let cfg = &self.cfg.synthesis;
-        let (blocking_index, pairs, blocking_stats) =
-            BlockingIndex::build(&space, &tables, cfg, &self.mr);
+        let (blocking_index, pairs, blocking_stats) = BlockingIndex::build_spillable(
+            &space,
+            &tables,
+            cfg,
+            &self.mr,
+            self.mr.workers(),
+            self.cfg.spill_dir.as_deref(),
+        );
 
         // Stage 3b: fresh views, memo compacted through the old → new
         // value map — a string-keyed lookup, so values surviving via
@@ -811,6 +842,7 @@ impl SynthesisSession {
         self.extraction = Some(ExtractionArtifact {
             candidates,
             stats: old_extraction.stats,
+            funnel: old_extraction.funnel,
             elapsed: old_extraction.elapsed,
         });
         self.values = Some(ValueArtifact {

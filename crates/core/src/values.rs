@@ -11,10 +11,11 @@
 //! * a [`NormBinary`] per candidate: its deduplicated `(left, right)`
 //!   class pairs plus the original strings for approximate matching.
 
-use mapsynth_corpus::{BinaryTable, Interner, Sym};
+use mapsynth_corpus::{BinaryTable, Interner, SpillReader, SpillWriter, Sym};
 use mapsynth_mapreduce::{partition_of, MapReduce};
 use mapsynth_text::{normalize, CharSignature, SynonymDict};
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Dense id of a distinct normalized string.
@@ -227,6 +228,25 @@ pub fn build_value_space_sharded(
     mr: &MapReduce,
     shards: usize,
 ) -> (Arc<ValueSpace>, Vec<NormBinary>, ValueInterning) {
+    build_value_space_spillable(strs, candidates, synonyms, mr, shards, None)
+}
+
+/// [`build_value_space_sharded`] with optional shard spilling: when
+/// `spill` names a directory, each dedup shard streams its output
+/// through the binary spill format ([`SpillWriter`]) and drops it
+/// before the stitch re-reads shards one at a time — bounding the
+/// build's residency by the largest single shard instead of the sum of
+/// all of them. The spill files are deleted as they are consumed.
+/// Output is bit-identical to the in-memory build for every shard and
+/// worker count.
+pub fn build_value_space_spillable(
+    strs: &Interner,
+    candidates: &[BinaryTable],
+    synonyms: &SynonymDict,
+    mr: &MapReduce,
+    shards: usize,
+    spill: Option<&Path>,
+) -> (Arc<ValueSpace>, Vec<NormBinary>, ValueInterning) {
     let mut interning = ValueInterning::default();
     let mut strings: Vec<String> = Vec::new();
     let mut class: Vec<u32> = Vec::new();
@@ -236,6 +256,7 @@ pub fn build_value_space_sharded(
         synonyms,
         mr,
         shards,
+        spill,
         &mut interning,
         &mut strings,
         &mut class,
@@ -325,12 +346,15 @@ pub fn grow_value_space_sharded(
     let mut strings = space.strings.clone();
     let mut class = space.class.clone();
     let old_len = strings.len();
+    // Delta-sized inputs never spill: the shard outputs are tiny
+    // relative to the space being cloned above.
     intern_candidates(
         strs,
         new_candidates,
         synonyms,
         mr,
         shards,
+        None,
         interning,
         &mut strings,
         &mut class,
@@ -365,6 +389,60 @@ enum SymRes {
     New(u32),
 }
 
+/// Spill encoding of a resolution list: `(tag, value)` word pairs.
+fn encode_res(res: &[SymRes]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(res.len() * 2);
+    for r in res {
+        match r {
+            SymRes::Known(id) => out.extend([0, id.0]),
+            SymRes::New(li) => out.extend([1, *li]),
+        }
+    }
+    out
+}
+
+fn decode_res(words: &[u32]) -> Vec<SymRes> {
+    assert_eq!(words.len() % 2, 0, "corrupt spill frame: odd word count");
+    words
+        .chunks_exact(2)
+        .map(|c| match c[0] {
+            0 => SymRes::Known(NormId(c[1])),
+            1 => SymRes::New(c[1]),
+            t => panic!("corrupt spill frame: unknown resolution tag {t}"),
+        })
+        .collect()
+}
+
+/// Where the shards' resolution lists live between the dedup pass and
+/// the final symbol-resolution walk: in memory, or spilled to disk.
+enum ResSource {
+    Mem(Vec<Vec<SymRes>>),
+    Disk(Vec<PathBuf>),
+}
+
+impl ResSource {
+    /// The resolutions of shard `s`, consumed — the disk variant
+    /// re-reads and then deletes the shard's spill file, so at most one
+    /// shard's resolutions are resident at a time.
+    fn take(&mut self, s: usize) -> Vec<SymRes> {
+        match self {
+            ResSource::Mem(lists) => std::mem::take(&mut lists[s]),
+            ResSource::Disk(paths) => {
+                let mut r = SpillReader::open(&paths[s]).expect("value spill file must reopen");
+                r.next_frame()
+                    .expect("value spill read failed")
+                    .expect("value spill file missing its news frame");
+                let words = r
+                    .next_frame()
+                    .expect("value spill read failed")
+                    .expect("value spill file missing its resolution frame");
+                std::fs::remove_file(&paths[s]).ok();
+                decode_res(&words)
+            }
+        }
+    }
+}
+
 /// Shared interning pass: normalize (parallel) the distinct unseen
 /// symbols of `candidates` in first-occurrence order, deduplicate the
 /// normalized strings in `shards` independent hash shards (parallel),
@@ -384,6 +462,7 @@ fn intern_candidates(
     synonyms: &SynonymDict,
     mr: &MapReduce,
     shards: usize,
+    spill: Option<&Path>,
     interning: &mut ValueInterning,
     strings: &mut Vec<String>,
     class: &mut Vec<u32>,
@@ -423,16 +502,18 @@ fn intern_candidates(
     // Per-shard dedup (parallel): resolve every position against the
     // pre-call id table and a shard-local first-occurrence map. Shards
     // are disjoint by construction (same string → same shard), so no
-    // cross-shard coordination is needed.
+    // cross-shard coordination is needed. The dedup body is shared
+    // verbatim by the in-memory and spilling paths — that sharing is
+    // what keeps them bit-identical.
     let id_of_string = &interning.id_of_string;
     let norm_ref = &normalized;
+    let shard_pos_ref = &shard_pos;
     let shard_ids: Vec<usize> = (0..shards).collect();
-    // (first positions of new strings, per-position resolutions)
-    let outs: Vec<(Vec<u32>, Vec<SymRes>)> = mr.par_map(&shard_ids, |&s| {
+    let dedup_shard = |s: usize| -> (Vec<u32>, Vec<SymRes>) {
         let mut local: HashMap<&str, u32> = HashMap::new();
         let mut news: Vec<u32> = Vec::new();
-        let mut res: Vec<SymRes> = Vec::with_capacity(shard_pos[s].len());
-        for &pos in &shard_pos[s] {
+        let mut res: Vec<SymRes> = Vec::with_capacity(shard_pos_ref[s].len());
+        for &pos in &shard_pos_ref[s] {
             let n = norm_ref[pos as usize].as_str();
             if let Some(&id) = id_of_string.get(n) {
                 res.push(SymRes::Known(id));
@@ -451,22 +532,62 @@ fn intern_candidates(
             }
         }
         (news, res)
-    });
+    };
+    // (per-shard first positions of new strings, resolution source)
+    let (news_lists, mut res_source): (Vec<Vec<u32>>, ResSource) = match spill {
+        None => {
+            let outs: Vec<(Vec<u32>, Vec<SymRes>)> = mr.par_map(&shard_ids, |&s| dedup_shard(s));
+            let (news, res) = outs.into_iter().unzip();
+            (news, ResSource::Mem(res))
+        }
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("spill directory must be creatable");
+            let paths: Vec<PathBuf> = shard_ids
+                .iter()
+                .map(|s| dir.join(format!("values-shard-{s}.spill")))
+                .collect();
+            let paths_ref = &paths;
+            // Each worker writes its shard's two frames (news, encoded
+            // resolutions) and drops them before returning — the
+            // shard's output leaves memory until the stitch streams it
+            // back.
+            let written: Vec<std::io::Result<()>> = mr.par_map(&shard_ids, |&s| {
+                let (news, res) = dedup_shard(s);
+                let mut w = SpillWriter::create(&paths_ref[s])?;
+                w.write_frame(&news)?;
+                w.write_frame(&encode_res(&res))?;
+                w.finish()
+            });
+            for r in written {
+                r.expect("value-space shard spill failed");
+            }
+            let news = paths
+                .iter()
+                .map(|p| {
+                    let mut r = SpillReader::open(p).expect("value spill file must reopen");
+                    r.next_frame()
+                        .expect("value spill read failed")
+                        .expect("value spill file missing its news frame")
+                })
+                .collect();
+            (news, ResSource::Disk(paths))
+        }
+    };
 
     // Stitch: merge the shards' new strings by first-occurrence
     // position and assign NormIds in that order — the monotone
     // renumber that makes the shard partitioning invisible. Within a
     // shard `news` is ascending, so the k-way merge reduces to a sort
     // of (position, shard) heads and a per-shard cursor.
-    let mut merged: Vec<(u32, u32)> = outs
+    let mut merged: Vec<(u32, u32)> = news_lists
         .iter()
         .enumerate()
-        .flat_map(|(s, (news, _))| news.iter().map(move |&p| (p, s as u32)))
+        .flat_map(|(s, news)| news.iter().map(move |&p| (p, s as u32)))
         .collect();
     merged.sort_unstable();
-    let mut local_to_global: Vec<Vec<NormId>> = outs
+    let mut local_to_global: Vec<Vec<NormId>> = news_lists
         .iter()
-        .map(|(news, _)| Vec::with_capacity(news.len()))
+        .map(|news| Vec::with_capacity(news.len()))
         .collect();
     for &(pos, s) in &merged {
         let id = NormId(strings.len() as u32);
@@ -482,10 +603,12 @@ fn intern_candidates(
     }
 
     // Resolve every distinct symbol to its final id (None: normalizes
-    // to empty) and record the mapping.
+    // to empty) and record the mapping, one shard's resolutions
+    // resident at a time.
     let mut resolved: Vec<Option<NormId>> = vec![None; distinct.len()];
-    for (s, (_, res)) in outs.iter().enumerate() {
-        for (&pos, r) in shard_pos[s].iter().zip(res) {
+    for s in 0..shards {
+        let res = res_source.take(s);
+        for (&pos, r) in shard_pos[s].iter().zip(&res) {
             resolved[pos as usize] = Some(match r {
                 SymRes::Known(id) => *id,
                 SymRes::New(li) => local_to_global[s][*li as usize],
@@ -686,6 +809,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The spilling build (shards written to disk and streamed back at
+    /// stitch) must be bit-identical to the in-memory build — ids,
+    /// strings, classes and projections alike — for every shard count.
+    #[test]
+    fn spilled_build_matches_in_memory() {
+        let (corpus, cands) = mk_candidates(vec![
+            vec![
+                ("United States", "USA"),
+                ("UNITED STATES[1]", "usa"),
+                ("Canada", "CAN"),
+                ("US Virgin Islands", "ISV"),
+            ],
+            vec![
+                ("United States Virgin Islands", "ISV"),
+                ("Côte d'Ivoire", "CIV"),
+                ("***", "empty-left"),
+                ("Canada", "CAN"),
+            ],
+            vec![("São Tomé", "STP"), ("Peru", "PER"), ("peru", "per")],
+        ]);
+        let mut dict = SynonymDict::new();
+        dict.declare("US Virgin Islands", "United States Virgin Islands");
+        let mr = MapReduce::new(2);
+        let dir =
+            std::env::temp_dir().join(format!("mapsynth-values-spill-test-{}", std::process::id()));
+        for shards in [1usize, 3, 8] {
+            let (mem_space, mem_tabs, mem_int) =
+                build_value_space_sharded(&corpus.interner, &cands, &dict, &mr, shards);
+            let (spill_space, spill_tabs, spill_int) = build_value_space_spillable(
+                &corpus.interner,
+                &cands,
+                &dict,
+                &mr,
+                shards,
+                Some(&dir),
+            );
+            assert_eq!(spill_space.strings, mem_space.strings, "shards {shards}");
+            assert_eq!(spill_space.class, mem_space.class, "shards {shards}");
+            assert_eq!(spill_int.norm_of_sym, mem_int.norm_of_sym);
+            assert_eq!(spill_tabs.len(), mem_tabs.len());
+            for (a, b) in spill_tabs.iter().zip(&mem_tabs) {
+                assert_eq!(a.idx, b.idx);
+                assert_eq!(a.pairs, b.pairs);
+            }
+            // Spill files are consumed: the directory is left empty.
+            let leftover = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+            assert_eq!(leftover, 0, "spill files must be deleted after the stitch");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Extending a space (the delta path) is shard-invariant too: any

@@ -1,12 +1,24 @@
-//! Candidate two-column ("binary") tables.
+//! Candidate two-column ("binary") tables, plus the binary spill
+//! format shard builds stream their artifacts through.
 //!
 //! The unit of synthesis (paper §3): an *ordered* pair of columns
 //! `(left, right)` drawn from one source table, stored as a
 //! deduplicated set of `(l, r)` value pairs. Extraction produces these;
 //! the synthesis graph's vertices are these.
+//!
+//! [`SpillWriter`]/[`SpillReader`] are the on-disk half of the
+//! bounded-memory shard builds: a shard serializes its output as
+//! length-prefixed frames of `u32` words (everything the sharded
+//! value-space and blocking builds produce is u32-shaped), drops it
+//! from memory, and the stitch phase streams the frames back. The
+//! format carries no interpretation — each spill site defines its own
+//! frame layout — so the round trip is trivially byte-exact.
 
 use crate::intern::Sym;
 use crate::table::{DomainId, TableId};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
 
 /// Identifier of a binary candidate table within one extraction run.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -112,6 +124,72 @@ impl BinaryTable {
     }
 }
 
+/// Streams length-prefixed `u32` frames to a spill file. One writer
+/// per shard; shard paths are distinct, so parallel shard workers
+/// never share a file.
+pub struct SpillWriter {
+    out: BufWriter<File>,
+}
+
+impl SpillWriter {
+    /// Create (truncate) the spill file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Append one frame: a `u32` little-endian length prefix followed
+    /// by the words.
+    pub fn write_frame(&mut self, words: &[u32]) -> io::Result<()> {
+        let len = u32::try_from(words.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "spill frame too long"))?;
+        self.out.write_all(&len.to_le_bytes())?;
+        for w in words {
+            self.out.write_all(&w.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Flush and close the file.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Streams frames back from a spill file in write order.
+pub struct SpillReader {
+    input: BufReader<File>,
+}
+
+impl SpillReader {
+    /// Open the spill file at `path`.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Ok(Self {
+            input: BufReader::new(File::open(path)?),
+        })
+    }
+
+    /// The next frame, or `None` at a clean end of file. A truncated
+    /// frame (EOF mid-record) is an error, never a silent `None`.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u32>>> {
+        let mut len_buf = [0u8; 4];
+        match self.input.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut words = vec![0u32; len];
+        let mut buf = [0u8; 4];
+        for w in &mut words {
+            self.input.read_exact(&mut buf)?;
+            *w = u32::from_le_bytes(buf);
+        }
+        Ok(Some(words))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +227,41 @@ mod tests {
         let a = bt(1, vec![(1, 2)]);
         assert!(e.is_empty());
         assert_eq!(e.exact_overlap(&a), 0);
+    }
+
+    #[test]
+    fn spill_round_trips_frames_in_order() {
+        let dir = std::env::temp_dir().join(format!("mapsynth-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frames.spill");
+        let frames: Vec<Vec<u32>> =
+            vec![vec![], vec![7], (0..1000).collect(), vec![u32::MAX, 0, 42]];
+        let mut w = SpillWriter::create(&path).unwrap();
+        for f in &frames {
+            w.write_frame(f).unwrap();
+        }
+        w.finish().unwrap();
+        let mut r = SpillReader::open(&path).unwrap();
+        for f in &frames {
+            assert_eq!(r.next_frame().unwrap().as_ref(), Some(f));
+        }
+        assert!(r.next_frame().unwrap().is_none());
+        assert!(r.next_frame().unwrap().is_none(), "EOF is sticky");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_spill_frame_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("mapsynth-trunc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.spill");
+        let mut w = SpillWriter::create(&path).unwrap();
+        w.write_frame(&[1, 2, 3]).unwrap();
+        w.finish().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 2]).unwrap();
+        let mut r = SpillReader::open(&path).unwrap();
+        assert!(r.next_frame().is_err(), "mid-frame EOF must not be silent");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

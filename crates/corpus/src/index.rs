@@ -6,6 +6,7 @@
 //! linear sorted-set intersection.
 
 use crate::intern::Sym;
+use crate::sketch::{PostingSketch, SKETCH_MIN_LEN};
 use crate::table::Corpus;
 use std::collections::HashSet;
 
@@ -22,6 +23,14 @@ pub struct GlobalColId(pub u32);
 pub struct ValueIndex {
     /// postings[sym.index()] = sorted column ids containing that value.
     postings: Vec<Vec<GlobalColId>>,
+    /// Constant-size overlap sketch per posting list, maintained only
+    /// once a list reaches [`SKETCH_MIN_LEN`] (short lists are cheaper
+    /// to probe than to summarize). [`crate::stats`] resolves a
+    /// coherence pair from a sketch only when its lower and upper
+    /// bounds meet, so a sketch must always describe its list exactly:
+    /// additions extend it append-only, removals rebuild it (a dropped
+    /// gid could have been a stored bucket minimum).
+    sketches: Vec<Option<Box<PostingSketch>>>,
     total_columns: usize,
 }
 
@@ -33,6 +42,7 @@ impl ValueIndex {
     pub fn empty() -> Self {
         Self {
             postings: Vec::new(),
+            sketches: Vec::new(),
             total_columns: 0,
         }
     }
@@ -76,8 +86,10 @@ impl ValueIndex {
             debug_assert!(p.windows(2).all(|w| w[0] < w[1]));
             p.sort_unstable();
         }
+        let sketches = postings.iter().map(|p| sketch_of(p)).collect();
         Self {
             postings,
+            sketches,
             total_columns: total,
         }
     }
@@ -99,6 +111,13 @@ impl ValueIndex {
         intersection_len(self.columns(u), self.columns(v))
     }
 
+    /// The overlap sketch of `u`'s posting list, when the list is long
+    /// enough to carry one (see [`SKETCH_MIN_LEN`]).
+    #[inline]
+    pub fn sketch(&self, u: Sym) -> Option<&PostingSketch> {
+        self.sketches.get(u.index()).and_then(|s| s.as_deref())
+    }
+
     /// Total number of columns contributing evidence (the `N` of
     /// Equation 1). After incremental updates this counts *live*
     /// columns only — removed columns no longer contribute.
@@ -112,6 +131,7 @@ impl ValueIndex {
     pub fn grow_symbols(&mut self, interner_len: usize) {
         if self.postings.len() < interner_len {
             self.postings.resize(interner_len, Vec::new());
+            self.sketches.resize(interner_len, None);
         }
     }
 
@@ -127,6 +147,13 @@ impl ValueIndex {
             let p = &mut self.postings[v.index()];
             debug_assert!(p.last().is_none_or(|&last| last < gid));
             p.push(gid);
+            // Append-only sketch maintenance: extend an existing
+            // sketch in place, or start one when the list crosses the
+            // threshold.
+            match &mut self.sketches[v.index()] {
+                Some(s) => s.insert(gid),
+                slot => *slot = sketch_of(p),
+            }
         }
         self.total_columns += 1;
     }
@@ -149,6 +176,9 @@ impl ValueIndex {
                 .binary_search(&gid)
                 .expect("patch_column: column was not registered for this value");
             p.remove(at);
+            // The removed gid may have been a stored bucket minimum:
+            // rebuild (or drop) the sketch from the surviving list.
+            self.sketches[v.index()] = sketch_of(p);
         }
         for v in entering {
             self.grow_symbols(v.index() + 1);
@@ -157,6 +187,10 @@ impl ValueIndex {
                 .binary_search(&gid)
                 .expect_err("patch_column: column already registered for this value");
             p.insert(at, gid);
+            match &mut self.sketches[v.index()] {
+                Some(s) => s.insert(gid),
+                slot => *slot = sketch_of(p),
+            }
         }
     }
 
@@ -169,9 +203,18 @@ impl ValueIndex {
                 .binary_search(&gid)
                 .expect("remove_column: column was not registered for this value");
             p.remove(at);
+            self.sketches[v.index()] = sketch_of(p);
         }
         self.total_columns -= 1;
     }
+}
+
+/// The sketch a posting list should carry: one iff the list is long
+/// enough to be worth summarizing. The single policy point shared by
+/// batch builds and incremental maintenance, so an incrementally grown
+/// index always matches a fresh build.
+fn sketch_of(postings: &[GlobalColId]) -> Option<Box<PostingSketch>> {
+    (postings.len() >= SKETCH_MIN_LEN).then(|| Box::new(PostingSketch::of(postings)))
 }
 
 /// Length of the intersection of two sorted, duplicate-free slices.
@@ -229,6 +272,52 @@ mod tests {
         assert_eq!(idx.cooccurrence(usa, can), 1); // only col0
         assert_eq!(idx.cooccurrence(usa, mex), 1); // col2
         assert_eq!(idx.cooccurrence(can, mex), 0);
+    }
+
+    /// Incremental sketch maintenance (append, patch, remove) must
+    /// land on exactly the sketches a fresh build over the same
+    /// postings produces — the invariant that keeps sketch-resolved
+    /// coherence pairs exact under deltas.
+    #[test]
+    fn sketches_track_postings_through_mutation() {
+        let mut c = Corpus::new();
+        let d = c.domain("t.org");
+        // Enough repetition that some values cross SKETCH_MIN_LEN.
+        for i in 0..12 {
+            let extra = format!("only-{i}");
+            c.push_table(d, vec![(None, vec!["USA", "Canada", extra.as_str()])]);
+        }
+        let mut idx = ValueIndex::build(&c);
+        let usa = c.interner.get("USA").unwrap();
+        let can = c.interner.get("Canada").unwrap();
+        let fresh = PostingSketch::of(idx.columns(usa));
+        assert_eq!(
+            idx.sketch(usa),
+            Some(&fresh),
+            "12-column list must be sketched"
+        );
+
+        // Remove a mid-range column, patch another, append a new one.
+        idx.remove_column(
+            GlobalColId(3),
+            [usa, can, c.interner.get("only-3").unwrap()],
+        );
+        idx.patch_column(GlobalColId(5), [usa], [c.interner.get("only-0").unwrap()]);
+        idx.add_column(GlobalColId(12), [usa, can]);
+
+        for v in [usa, can, c.interner.get("only-0").unwrap()] {
+            let expect = if idx.column_count(v) >= SKETCH_MIN_LEN {
+                Some(PostingSketch::of(idx.columns(v)))
+            } else {
+                None
+            };
+            assert_eq!(
+                idx.sketch(v),
+                expect.as_ref(),
+                "sketch out of sync for {:?}",
+                c.str_of(v)
+            );
+        }
     }
 
     #[test]

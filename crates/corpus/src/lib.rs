@@ -38,17 +38,19 @@ pub mod binary;
 pub mod index;
 pub mod intern;
 pub mod io;
+pub mod sketch;
 pub mod stats;
 pub mod stream;
 pub mod table;
 
-pub use binary::{BinaryId, BinaryTable};
+pub use binary::{BinaryId, BinaryTable, SpillReader, SpillWriter};
 pub use index::{GlobalColId, ValueIndex};
 pub use intern::{Interner, Sym};
 pub use io::{load_csv_dir, load_csv_table, parse_csv};
+pub use sketch::{PostingSketch, SKETCH_MIN_LEN};
 pub use stats::{
     coherence_from_counts, column_coherence, column_coherence_detailed, column_coherence_excluding,
-    npmi, pmi, CoherenceConfig, CoherenceDetail, CooccurrenceStats,
+    npmi, pmi, CoherenceConfig, CoherenceDetail, CoherenceFunnel, CooccurrenceStats,
 };
 pub use stream::{CorpusStream, TableSource};
 pub use table::{Column, Corpus, DomainId, RowPatch, RowPatchError, Table, TableId};

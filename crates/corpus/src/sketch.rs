@@ -1,0 +1,240 @@
+//! Posting-list sketches: constant-size summaries of `C(u)` column
+//! sets with *exact* overlap bounds.
+//!
+//! Coherence scoring (paper §3.1) intersects posting lists for every
+//! sampled value pair of every column — the dominant extraction cost
+//! at scale. A [`PostingSketch`] summarizes one posting list in a few
+//! dozen bytes so that `|C(u) ∩ C(v)|` can often be *resolved* (lower
+//! bound == upper bound) without touching either list. The bounds are
+//! sound, never heuristic, mirroring the
+//! [`CharSignature`](../../mapsynth_text/struct.CharSignature.html)
+//! prefilters of the approximate-matching stage: a pair the sketch
+//! resolves gets the exact count the full intersection would produce,
+//! and every other pair falls through to a real probe. Output is
+//! therefore bit-identical with sketches on or off.
+//!
+//! Structure: column gids are hashed into [`SKETCH_BUCKETS`] buckets;
+//! per bucket the sketch keeps the **minimum gid** and a saturating
+//! occupant count, plus a 64-bit occupancy mask at double resolution
+//! (the charset-mask analog).
+//!
+//! * **Lower bound** — if two sketches store the same non-empty
+//!   minimum in a bucket, that gid is an element of *both* lists
+//!   (a bucket's stored minimum is always a real member); distinct
+//!   buckets hold distinct gids, so the number of agreeing buckets
+//!   never exceeds the true overlap.
+//! * **Upper bound** — common elements of a bucket are at most
+//!   `min(count_u, count_v)` for that bucket; a saturated count is
+//!   replaced by the owning list's full length (the count may have
+//!   wrapped, the length cannot). Disjoint occupancy masks prove an
+//!   empty intersection outright.
+
+use crate::index::GlobalColId;
+
+/// Buckets carrying minima and counts. Gids hash uniformly, so ~32
+/// buckets resolve the short and disjoint lists that dominate pairwise
+/// coherence sampling while keeping the sketch under 200 bytes.
+pub const SKETCH_BUCKETS: usize = 32;
+
+/// Posting lists shorter than this are not sketched: a direct probe of
+/// so few elements is cheaper than maintaining a summary, and the
+/// coherence fast path short-circuits most of them anyway.
+pub const SKETCH_MIN_LEN: usize = 8;
+
+/// Sentinel for an empty bucket (no gid can be `u32::MAX`: global
+/// column ids are dense indices).
+const EMPTY: u32 = u32::MAX;
+
+/// Knuth multiplicative hash; the same mixer the text-layer signature
+/// uses for its charset mask.
+#[inline]
+fn mix(gid: u32) -> u32 {
+    gid.wrapping_mul(0x9E37_79B1)
+}
+
+/// A constant-size summary of one sorted posting list. See the module
+/// docs for the exact-bound contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PostingSketch {
+    /// Minimum gid hashed into each bucket (`EMPTY` when none).
+    mins: [u32; SKETCH_BUCKETS],
+    /// Saturating occupant count per bucket.
+    counts: [u8; SKETCH_BUCKETS],
+    /// 64-bucket occupancy mask (double the min/count resolution).
+    mask: u64,
+}
+
+impl PostingSketch {
+    /// The sketch of an empty list.
+    pub fn new() -> Self {
+        Self {
+            mins: [EMPTY; SKETCH_BUCKETS],
+            counts: [0; SKETCH_BUCKETS],
+            mask: 0,
+        }
+    }
+
+    /// Build the sketch of a posting list (order-independent).
+    pub fn of(postings: &[GlobalColId]) -> Self {
+        let mut s = Self::new();
+        for &gid in postings {
+            s.insert(gid);
+        }
+        s
+    }
+
+    /// Register one gid. Append-only maintenance: inserting never
+    /// invalidates a stored minimum, so incremental index growth can
+    /// extend sketches in place (removals rebuild via [`of`](Self::of)
+    /// instead — dropping a minimum *would* go stale).
+    pub fn insert(&mut self, gid: GlobalColId) {
+        let h = mix(gid.0);
+        let b = (h >> 27) as usize; // top 5 bits → 32 buckets
+        self.mask |= 1u64 << (h >> 26); // top 6 bits → 64-bit mask
+        self.counts[b] = self.counts[b].saturating_add(1);
+        if gid.0 < self.mins[b] {
+            self.mins[b] = gid.0;
+        }
+    }
+
+    /// Exact lower bound on `|A ∩ B|`: the number of buckets whose
+    /// stored minima agree. Each agreeing bucket certifies one shared
+    /// gid; different buckets certify different gids.
+    #[inline]
+    pub fn overlap_lower_bound(&self, other: &Self) -> u32 {
+        let mut lb = 0u32;
+        for b in 0..SKETCH_BUCKETS {
+            if self.mins[b] != EMPTY && self.mins[b] == other.mins[b] {
+                lb += 1;
+            }
+        }
+        lb
+    }
+
+    /// Exact upper bound on `|A ∩ B|` given the true list lengths
+    /// (needed to de-saturate wrapped bucket counts).
+    #[inline]
+    pub fn overlap_upper_bound(&self, other: &Self, len_a: u32, len_b: u32) -> u32 {
+        if self.mask & other.mask == 0 {
+            return 0;
+        }
+        let mut ub = 0u32;
+        for b in 0..SKETCH_BUCKETS {
+            let ca = desaturate(self.counts[b], len_a);
+            let cb = desaturate(other.counts[b], len_b);
+            ub += ca.min(cb);
+        }
+        ub.min(len_a).min(len_b)
+    }
+}
+
+impl Default for PostingSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A saturated bucket count only proves "at least 255"; the owning
+/// list's length is the tightest sound replacement.
+#[inline]
+fn desaturate(count: u8, len: u32) -> u32 {
+    if count == u8::MAX {
+        len
+    } else {
+        u32::from(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<GlobalColId> {
+        v.iter().map(|&x| GlobalColId(x)).collect()
+    }
+
+    fn true_overlap(a: &[GlobalColId], b: &[GlobalColId]) -> u32 {
+        a.iter().filter(|x| b.contains(x)).count() as u32
+    }
+
+    #[test]
+    fn identical_lists_resolve_exactly() {
+        // Few enough elements that every one lands alone in a bucket:
+        // the bounds pinch to the true overlap and the pair resolves.
+        let a = ids(&[1, 5, 9, 200, 4001]);
+        let s = PostingSketch::of(&a);
+        let n = a.len() as u32;
+        assert!(s.overlap_lower_bound(&s) <= n);
+        assert!(s.overlap_upper_bound(&s, n, n) >= n);
+        if s.overlap_lower_bound(&s) == s.overlap_upper_bound(&s, n, n) {
+            assert_eq!(s.overlap_lower_bound(&s), n);
+        }
+    }
+
+    #[test]
+    fn disjoint_masks_prove_zero() {
+        // Construct lists whose gids land in different mask bits.
+        let a = ids(&[0]);
+        let b = ids(&[1]);
+        let (sa, sb) = (PostingSketch::of(&a), PostingSketch::of(&b));
+        if sa.mask & sb.mask == 0 {
+            assert_eq!(sa.overlap_upper_bound(&sb, 1, 1), 0);
+        }
+        assert_eq!(sa.overlap_lower_bound(&sb), 0);
+    }
+
+    #[test]
+    fn append_only_insert_matches_batch_build() {
+        let list = ids(&[3, 17, 17_000, 90_000, 123]);
+        let batch = PostingSketch::of(&list);
+        let mut inc = PostingSketch::new();
+        for &g in &list {
+            inc.insert(g);
+        }
+        assert_eq!(batch, inc);
+    }
+
+    proptest! {
+        /// Soundness on arbitrary gid sets: the lower bound never
+        /// exceeds the true overlap and the upper bound never
+        /// undercuts it, so a coherence pair resolved by `lb == ub`
+        /// always gets the exact intersection count.
+        #[test]
+        fn prop_bounds_bracket_true_overlap(
+            mut a in proptest::collection::vec(0u32..5000, 0..120),
+            mut b in proptest::collection::vec(0u32..5000, 0..120),
+        ) {
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let (a, b) = (ids(&a), ids(&b));
+            let (sa, sb) = (PostingSketch::of(&a), PostingSketch::of(&b));
+            let t = true_overlap(&a, &b);
+            let lb = sa.overlap_lower_bound(&sb);
+            let ub = sa.overlap_upper_bound(&sb, a.len() as u32, b.len() as u32);
+            prop_assert!(lb <= t, "lower bound {lb} > true {t}");
+            prop_assert!(ub >= t, "upper bound {ub} < true {t}");
+        }
+
+        /// Saturation soundness: dense gid ranges overflow the u8
+        /// bucket counts; the de-saturated upper bound must still
+        /// bracket the true overlap.
+        #[test]
+        fn prop_bounds_sound_under_bucket_saturation(
+            start_a in 0u32..2000,
+            start_b in 0u32..2000,
+            len in 4000u32..12_000,
+        ) {
+            let a: Vec<GlobalColId> = (start_a..start_a + len).map(GlobalColId).collect();
+            let b: Vec<GlobalColId> = (start_b..start_b + len).map(GlobalColId).collect();
+            let (sa, sb) = (PostingSketch::of(&a), PostingSketch::of(&b));
+            let t = len - start_a.abs_diff(start_b).min(len);
+            let lb = sa.overlap_lower_bound(&sb);
+            let ub = sa.overlap_upper_bound(&sb, len, len);
+            prop_assert!(lb <= t, "lower bound {lb} > true {t}");
+            prop_assert!(ub >= t, "upper bound {ub} < true {t}");
+        }
+    }
+}

@@ -202,13 +202,52 @@ pub struct CoherenceDetail {
     pub pair_counts: Vec<u32>,
 }
 
+/// Funnel counters for the sketch-accelerated coherence pair loop:
+/// how many sampled pairs were resolved from sketches alone versus
+/// needing real posting-list data. Purely observational — the counts
+/// themselves are exact either way — but committed to the scale-tier
+/// baseline so a regression in sketch effectiveness fails CI.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoherenceFunnel {
+    /// Pairs resolved without touching a posting list: zero-length or
+    /// singleton shortcuts, and sketch bounds that pinched
+    /// (`lower == upper`).
+    pub sketch_rejects: u64,
+    /// Pairs that fell through to posting-list data (small-list
+    /// probes or the restricted-universe bitmap intersection).
+    pub list_probes: u64,
+}
+
+impl CoherenceFunnel {
+    /// Fold another funnel's counts into this one (per-table funnels
+    /// are gathered in parallel and merged by the extraction cache).
+    pub fn merge(&mut self, other: &CoherenceFunnel) {
+        self.sketch_rejects += other.sketch_rejects;
+        self.list_probes += other.list_probes;
+    }
+}
+
+/// Below this length a direct gallop of the shorter list against the
+/// longer is cheaper than routing the pair through the bitmap
+/// intersection (and keeps the bitmap universe small).
+const DIRECT_PROBE_MAX: usize = 8;
+
 /// [`column_coherence_excluding`] plus the raw evidence it was computed
 /// from. The score is bit-identical to the plain entry point.
+///
+/// The O(samples²) pair loop consults the posting-list sketches first
+/// ([`crate::sketch::PostingSketch`]); pairs the exact bounds resolve
+/// never touch a posting list, and the survivors are intersected
+/// together over one restricted universe of column ids (64 columns per
+/// machine word) instead of pair-by-pair list merges. Every count is
+/// exact, so the detail — and therefore the score — is bit-identical
+/// to the `#[cfg(test)]` probe oracle this path is tested against.
 pub fn column_coherence_detailed(
     index: &ValueIndex,
     distinct_values: &[Sym],
     cfg: CoherenceConfig,
     exclude: GlobalColId,
+    funnel: &mut CoherenceFunnel,
 ) -> (f64, CoherenceDetail) {
     let samples = sample_values(distinct_values, cfg);
     let value_counts: Vec<u32> = samples
@@ -218,12 +257,7 @@ pub fn column_coherence_detailed(
             index.column_count(u) as u32
         })
         .collect();
-    let mut pair_counts = Vec::with_capacity(samples.len() * samples.len().saturating_sub(1) / 2);
-    for i in 0..samples.len() {
-        for j in (i + 1)..samples.len() {
-            pair_counts.push(index.cooccurrence(samples[i], samples[j]) as u32);
-        }
-    }
+    let pair_counts = pair_cooccurrences(index, &samples, exclude, funnel);
     let score = coherence_from_counts(&value_counts, &pair_counts, index.total_columns());
     (
         score,
@@ -233,6 +267,157 @@ pub fn column_coherence_detailed(
             pair_counts,
         },
     )
+}
+
+/// `|C(u) ∩ C(v)|` for every sampled pair in `i < j` order — the exact
+/// counts the old pair-by-pair [`ValueIndex::cooccurrence`] loop
+/// produced, through a three-tier funnel:
+///
+/// 1. **Shortcuts** — an empty list intersects nothing; when both
+///    lists contain the scored column `g`, a singleton list is exactly
+///    `{g}` and the pair counts 1.
+/// 2. **Sketch resolution** — the exact lower/upper overlap bounds of
+///    the posting sketches (floored at 1 when both lists contain `g`);
+///    a pinched pair (`lb == ub`) is resolved without list access.
+/// 3. **Bitmap intersection** — survivors are counted over one shared
+///    restricted universe: the union of the involved posting lists,
+///    each list materialized once as a bitvector, each pair a
+///    word-parallel AND/popcount.
+fn pair_cooccurrences(
+    index: &ValueIndex,
+    samples: &[Sym],
+    exclude: GlobalColId,
+    funnel: &mut CoherenceFunnel,
+) -> Vec<u32> {
+    let k = samples.len();
+    let n_pairs = k * k.saturating_sub(1) / 2;
+    let mut pair_counts = vec![0u32; n_pairs];
+    if n_pairs == 0 {
+        return pair_counts;
+    }
+    // Per-sample facts, gathered once: list length and whether the
+    // scored column is a member (true by construction when extraction
+    // calls this, but verified so the entry point stays exact for any
+    // caller).
+    let lens: Vec<usize> = samples.iter().map(|&u| index.column_count(u)).collect();
+    let has_g: Vec<bool> = samples
+        .iter()
+        .map(|&u| index.columns(u).binary_search(&exclude).is_ok())
+        .collect();
+
+    // (i, j, slot) of pairs the sketches could not resolve.
+    let mut unresolved: Vec<(u32, u32, u32)> = Vec::new();
+    let mut slot = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let floor = u32::from(has_g[i] && has_g[j]);
+            if lens[i] == 0 || lens[j] == 0 {
+                // pair_counts[slot] stays 0.
+                funnel.sketch_rejects += 1;
+            } else if floor == 1 && (lens[i] == 1 || lens[j] == 1) {
+                // A singleton list containing g is exactly {g}, and g
+                // is in the other list too.
+                pair_counts[slot] = 1;
+                funnel.sketch_rejects += 1;
+            } else if let (Some(su), Some(sv)) =
+                (index.sketch(samples[i]), index.sketch(samples[j]))
+            {
+                let lb = floor.max(su.overlap_lower_bound(sv));
+                let ub = su.overlap_upper_bound(sv, lens[i] as u32, lens[j] as u32);
+                if lb == ub {
+                    debug_assert_eq!(
+                        lb,
+                        index.cooccurrence(samples[i], samples[j]) as u32,
+                        "sketch resolved a pair to the wrong count"
+                    );
+                    pair_counts[slot] = lb;
+                    funnel.sketch_rejects += 1;
+                } else {
+                    unresolved.push((i as u32, j as u32, slot as u32));
+                }
+            } else if lens[i].min(lens[j]) <= DIRECT_PROBE_MAX {
+                // Short lists gallop against the longer one directly —
+                // cheaper than widening the bitmap universe for them.
+                pair_counts[slot] =
+                    gallop_intersection(index.columns(samples[i]), index.columns(samples[j]));
+                funnel.list_probes += 1;
+            } else {
+                unresolved.push((i as u32, j as u32, slot as u32));
+            }
+            slot += 1;
+        }
+    }
+    if unresolved.is_empty() {
+        return pair_counts;
+    }
+    funnel.list_probes += unresolved.len() as u64;
+
+    // Restricted universe: the union of the unresolved samples'
+    // posting lists, deduplicated to dense bit positions.
+    let mut involved = vec![false; k];
+    for &(i, j, _) in &unresolved {
+        involved[i as usize] = true;
+        involved[j as usize] = true;
+    }
+    let mut universe: Vec<GlobalColId> = Vec::new();
+    for (i, &inv) in involved.iter().enumerate() {
+        if inv {
+            universe.extend_from_slice(index.columns(samples[i]));
+        }
+    }
+    universe.sort_unstable();
+    universe.dedup();
+    let words = universe.len().div_ceil(64);
+
+    // One bitvector per involved sample: each posting list is read
+    // once here, instead of once per pair in the old merge loop.
+    let mut rows: Vec<Vec<u64>> = vec![Vec::new(); k];
+    for (i, &inv) in involved.iter().enumerate() {
+        if !inv {
+            continue;
+        }
+        let mut row = vec![0u64; words];
+        let mut at = 0usize;
+        for &gid in index.columns(samples[i]) {
+            // Every gid is in the universe by construction; a merge
+            // walk finds its slot without per-element binary search.
+            while universe[at] < gid {
+                at += 1;
+            }
+            row[at / 64] |= 1u64 << (at % 64);
+            at += 1;
+        }
+        rows[i] = row;
+    }
+    for &(i, j, s) in &unresolved {
+        let (ru, rv) = (&rows[i as usize], &rows[j as usize]);
+        pair_counts[s as usize] = ru.iter().zip(rv).map(|(a, b)| (a & b).count_ones()).sum();
+    }
+    pair_counts
+}
+
+/// `|a ∩ b|` by binary-searching each element of the shorter list in
+/// the longer — exact, and O(short · log long) instead of the linear
+/// merge, which matters when a rare value meets a hot one.
+fn gallop_intersection(a: &[GlobalColId], b: &[GlobalColId]) -> u32 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    short
+        .iter()
+        .filter(|g| long.binary_search(g).is_ok())
+        .count() as u32
+}
+
+/// The pre-sketch pair loop, kept as the oracle the fast path is
+/// tested against: plain pair-by-pair posting-list intersections.
+#[cfg(test)]
+fn pair_cooccurrences_probe(index: &ValueIndex, samples: &[Sym]) -> Vec<u32> {
+    let mut pair_counts = Vec::with_capacity(samples.len() * samples.len().saturating_sub(1) / 2);
+    for i in 0..samples.len() {
+        for j in (i + 1)..samples.len() {
+            pair_counts.push(index.cooccurrence(samples[i], samples[j]) as u32);
+        }
+    }
+    pair_counts
 }
 
 /// Re-score a column from cached raw counts (see [`CoherenceDetail`])
@@ -403,5 +588,90 @@ mod tests {
             column_coherence(&idx, &col.distinct(), CoherenceConfig::default()),
             1.0
         );
+    }
+
+    /// The sketch fast path must reproduce the probe oracle bit for
+    /// bit — pair counts, value counts, and the f64 score — on a
+    /// corpus mixing hot (sketched), rare, and column-unique values.
+    #[test]
+    fn fast_pair_counts_match_probe_oracle() {
+        let mut c = Corpus::new();
+        let d = c.domain("x");
+        for i in 0..30 {
+            let uniq = format!("u{i}");
+            c.push_table(
+                d,
+                vec![(
+                    None,
+                    vec!["USA", "Canada", "Japan", uniq.as_str(), "rare-pair"],
+                )],
+            );
+        }
+        c.push_table(
+            d,
+            vec![(None, vec!["USA", "blob-1", "blob-2", "rare-pair", "u7"])],
+        );
+        let idx = ValueIndex::build(&c);
+        let cfg = CoherenceConfig::default();
+        let mut funnel = CoherenceFunnel::default();
+        for (ti, table) in c.tables.iter().enumerate() {
+            let col = &table.columns[0];
+            let g = GlobalColId(ti as u32);
+            let (score, detail) =
+                column_coherence_detailed(&idx, &col.distinct(), cfg, g, &mut funnel);
+            assert_eq!(
+                detail.pair_counts,
+                pair_cooccurrences_probe(&idx, &detail.samples),
+                "pair counts diverged from probe oracle on column {ti}"
+            );
+            let oracle = column_coherence_excluding(&idx, &col.distinct(), cfg, g);
+            assert_eq!(score.to_bits(), oracle.to_bits(), "score drifted, col {ti}");
+        }
+        assert!(funnel.sketch_rejects > 0, "no pair resolved by sketch");
+        assert!(funnel.list_probes > 0, "no pair needed a probe");
+    }
+
+    proptest::proptest! {
+        /// Bit-identity on arbitrary corpora: whatever mixture of
+        /// list lengths, overlaps and saturations the generator
+        /// produces, the fast pair loop equals the probe oracle.
+        #[test]
+        fn prop_fast_pair_counts_match_probe(
+            tables in proptest::collection::vec(
+                proptest::collection::vec(0u8..24, 1..12),
+                1..24,
+            ),
+            scored in 0usize..24,
+        ) {
+            let mut c = Corpus::new();
+            let d = c.domain("x");
+            for vals in &tables {
+                let strs: Vec<String> = vals.iter().map(|v| format!("v{v}")).collect();
+                let refs: Vec<&str> = strs.iter().map(String::as_str).collect();
+                c.push_table(d, vec![(None, refs)]);
+            }
+            let idx = ValueIndex::build(&c);
+            let ti = scored % tables.len();
+            let col = &c.tables[ti].columns[0];
+            let mut funnel = CoherenceFunnel::default();
+            let (score, detail) = column_coherence_detailed(
+                &idx,
+                &col.distinct(),
+                CoherenceConfig::default(),
+                GlobalColId(ti as u32),
+                &mut funnel,
+            );
+            proptest::prop_assert_eq!(
+                &detail.pair_counts,
+                &pair_cooccurrences_probe(&idx, &detail.samples)
+            );
+            let oracle = column_coherence_excluding(
+                &idx,
+                &col.distinct(),
+                CoherenceConfig::default(),
+                GlobalColId(ti as u32),
+            );
+            proptest::prop_assert_eq!(score.to_bits(), oracle.to_bits());
+        }
     }
 }

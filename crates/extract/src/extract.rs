@@ -18,8 +18,8 @@
 use crate::filters::{approx_fd_holds, column_passes, numeric_fraction};
 use mapsynth_corpus::{
     coherence_from_counts, column_coherence_detailed, BinaryId, BinaryTable, CoherenceConfig,
-    CoherenceDetail, Corpus, GlobalColId, Interner, RowPatch, Sym, Table, TableId, TableSource,
-    ValueIndex,
+    CoherenceDetail, CoherenceFunnel, Corpus, GlobalColId, Interner, RowPatch, Sym, Table, TableId,
+    TableSource, ValueIndex,
 };
 use mapsynth_mapreduce::MapReduce;
 use std::collections::{HashMap, HashSet};
@@ -88,22 +88,27 @@ pub struct ExtractionStats {
 }
 
 impl ExtractionStats {
-    /// Fraction of FD-checked pairs that were pruned.
+    /// Fraction of FD-checked pairs that were pruned. Always in
+    /// `[0, 1]`: zero considered pairs prune nothing (0.0, not NaN),
+    /// and the ratio is clamped so a caller merging stats from
+    /// mismatched runs can never observe a negative rate.
     pub fn prune_rate(&self) -> f64 {
-        if self.pairs_considered == 0 {
-            return 0.0;
-        }
-        1.0 - self.candidates as f64 / self.pairs_considered as f64
+        Self::pruned_fraction(self.candidates, self.pairs_considered)
     }
 
     /// Fraction of *all possible* ordered column pairs pruned by the
     /// combined column + FD filters — the paper's "around 78% \[of\]
-    /// candidates can be filtered out with these methods".
+    /// candidates can be filtered out with these methods". Same
+    /// `[0, 1]` guarantees as [`prune_rate`](Self::prune_rate).
     pub fn total_prune_rate(&self) -> f64 {
-        if self.pairs_possible == 0 {
+        Self::pruned_fraction(self.candidates, self.pairs_possible)
+    }
+
+    fn pruned_fraction(kept: usize, of: usize) -> f64 {
+        if of == 0 {
             return 0.0;
         }
-        1.0 - self.candidates as f64 / self.pairs_possible as f64
+        (1.0 - kept as f64 / of as f64).clamp(0.0, 1.0)
     }
 }
 
@@ -148,6 +153,12 @@ struct TableExtraction {
     cols: Vec<ColumnCache>,
     pairs: Vec<CandidateRows>,
     stats: ExtractionStats,
+    /// Sketch-filter work counters from this table's coherence scoring.
+    /// Diagnostics only — kept out of [`ExtractionStats`] because the
+    /// delta path re-scores old columns arithmetically (no coherence
+    /// pass at all), so funnel counters legitimately differ between an
+    /// incremental and a fresh run while the stats stay bit-identical.
+    funnel: CoherenceFunnel,
 }
 
 fn extract_table(
@@ -163,6 +174,7 @@ fn extract_table(
         pairs_possible: width * width.saturating_sub(1),
         ..Default::default()
     };
+    let mut funnel = CoherenceFunnel::default();
     // Column filtering (PMI + structural).
     let mut cols: Vec<ColumnCache> = Vec::with_capacity(width);
     let mut kept: Vec<usize> = Vec::new();
@@ -180,7 +192,7 @@ fn extract_table(
         }
         let gid = GlobalColId(first_gid + ci as u32);
         let (coherence, detail) =
-            column_coherence_detailed(index, &col.distinct(), cfg.coherence, gid);
+            column_coherence_detailed(index, &col.distinct(), cfg.coherence, gid, &mut funnel);
         let keep = coherence >= cfg.min_coherence;
         if !keep {
             stats.columns_incoherent += 1;
@@ -196,7 +208,12 @@ fn extract_table(
     }
     // Ordered pair enumeration + FD filtering.
     let pairs = enumerate_pairs(strs, table, &kept, cfg, &mut stats);
-    TableExtraction { cols, pairs, stats }
+    TableExtraction {
+        cols,
+        pairs,
+        stats,
+        funnel,
+    }
 }
 
 /// The ordered-pair tail of per-table extraction: numeric-left and
@@ -208,6 +225,7 @@ fn enumerate_pairs(
     cfg: &ExtractionConfig,
     stats: &mut ExtractionStats,
 ) -> Vec<CandidateRows> {
+    let entry = *stats;
     let mut pairs = Vec::new();
     for &i in kept {
         for &j in kept {
@@ -235,6 +253,16 @@ fn enumerate_pairs(
             pairs.push((i as u16, j as u16, rows));
         }
     }
+    // Every considered pair lands in exactly one bucket — the prune
+    // rates divide these counters, so a double- or un-counted pair
+    // would silently skew them.
+    debug_assert_eq!(
+        stats.pairs_considered - entry.pairs_considered,
+        (stats.candidates - entry.candidates)
+            + (stats.pairs_numeric_left - entry.pairs_numeric_left)
+            + (stats.pairs_failed_fd - entry.pairs_failed_fd),
+        "pair filter buckets must partition the considered pairs"
+    );
     pairs
 }
 
@@ -304,6 +332,7 @@ pub fn extract_candidates_masked(
 
     let mut all = Vec::new();
     let mut stats = ExtractionStats::default();
+    let mut funnel = CoherenceFunnel::default();
     let mut tables: Vec<TableCache> = (0..corpus.tables.len())
         .map(|ti| TableCache {
             alive: false,
@@ -315,6 +344,7 @@ pub fn extract_candidates_masked(
         .collect();
     for (&ti, out) in live.iter().zip(outputs) {
         merge_stats(&mut stats, &out.stats);
+        funnel.merge(&out.funnel);
         let table = &corpus.tables[ti];
         let mut emitted = Vec::with_capacity(out.pairs.len());
         for (i, j, rows) in out.pairs {
@@ -340,6 +370,7 @@ pub fn extract_candidates_masked(
         tables,
         next_gid: next,
         next_candidate: all.len() as u32,
+        funnel,
     };
     (all, stats, cache)
 }
@@ -406,6 +437,7 @@ pub fn extract_candidates_streaming<S: TableSource>(
     source.rewind();
     let mut all = Vec::new();
     let mut stats = ExtractionStats::default();
+    let mut funnel = CoherenceFunnel::default();
     let mut tables: Vec<TableCache> = Vec::with_capacity(n_tables);
     let index_ref = &index;
     let first_ref = &first_col;
@@ -420,6 +452,7 @@ pub fn extract_candidates_streaming<S: TableSource>(
         });
         for (t, out) in batch.iter().zip(outputs) {
             merge_stats(&mut stats, &out.stats);
+            funnel.merge(&out.funnel);
             let mut emitted = Vec::with_capacity(out.pairs.len());
             for (i, j, rows) in out.pairs {
                 let id = BinaryId(all.len() as u32);
@@ -443,6 +476,7 @@ pub fn extract_candidates_streaming<S: TableSource>(
         tables,
         next_gid: next,
         next_candidate: all.len() as u32,
+        funnel,
     };
     (all, stats, cache)
 }
@@ -513,12 +547,24 @@ pub struct ExtractionCache {
     tables: Vec<TableCache>,
     next_gid: u32,
     next_candidate: u32,
+    /// Cumulative sketch-filter funnel over every coherence pass this
+    /// cache has run (the fresh build plus each delta's re-extracted
+    /// tables). Diagnostics only — never compared for bit-identity.
+    funnel: CoherenceFunnel,
 }
 
 impl ExtractionCache {
     /// Live tables.
     pub fn alive_tables(&self) -> usize {
         self.tables.iter().filter(|t| t.alive).count()
+    }
+
+    /// Cumulative coherence sketch-filter counters: how many sampled
+    /// value pairs were resolved by the sketch bounds alone
+    /// (`sketch_rejects`) versus probed against posting lists
+    /// (`list_probes`), over every coherence pass this cache has run.
+    pub fn coherence_funnel(&self) -> CoherenceFunnel {
+        self.funnel
     }
 
     /// Total columns walked so far (the next global column id) — the
@@ -881,6 +927,7 @@ impl ExtractionCache {
         });
         for (&ti, out) in patched.iter().zip(repatched) {
             delta.tables_reextracted += 1;
+            self.funnel.merge(&out.funnel);
             let table = &corpus.tables[ti as usize];
             let tc = &mut self.tables[ti as usize];
             delta.coherence_flips += tc
@@ -939,6 +986,7 @@ impl ExtractionCache {
             )
         });
         for (&ti, out) in added_idx.iter().zip(extracted) {
+            self.funnel.merge(&out.funnel);
             let table = &corpus.tables[ti as usize];
             let tc = &mut self.tables[ti as usize];
             tc.cols = out.cols;
@@ -1564,6 +1612,87 @@ mod tests {
         }
         assert!(cache.live_candidates() < base.len());
         assert!(!base.is_empty());
+    }
+
+    /// Prune-rate boundary cases: zero pairs (fresh default and empty
+    /// corpus), everything pruned, nothing pruned, and inconsistent
+    /// counters (merged from mismatched runs) — the rates must stay in
+    /// `[0, 1]` in every case, never NaN or negative.
+    #[test]
+    fn prune_rates_stay_in_unit_interval() {
+        let zero = ExtractionStats::default();
+        assert_eq!(zero.prune_rate(), 0.0);
+        assert_eq!(zero.total_prune_rate(), 0.0);
+
+        let all_pruned = ExtractionStats {
+            pairs_possible: 12,
+            pairs_considered: 6,
+            pairs_failed_fd: 4,
+            pairs_numeric_left: 2,
+            ..Default::default()
+        };
+        assert_eq!(all_pruned.prune_rate(), 1.0);
+        assert_eq!(all_pruned.total_prune_rate(), 1.0);
+
+        let none_pruned = ExtractionStats {
+            pairs_possible: 6,
+            pairs_considered: 6,
+            candidates: 6,
+            ..Default::default()
+        };
+        assert_eq!(none_pruned.prune_rate(), 0.0);
+        assert_eq!(none_pruned.total_prune_rate(), 0.0);
+
+        // More candidates than pairs cannot come out of one extraction
+        // (enumerate_pairs asserts the buckets partition), but a caller
+        // summing stats across heterogeneous runs can build it; the
+        // rate clamps instead of going negative.
+        let skewed = ExtractionStats {
+            pairs_possible: 2,
+            pairs_considered: 2,
+            candidates: 5,
+            ..Default::default()
+        };
+        assert_eq!(skewed.prune_rate(), 0.0);
+        assert_eq!(skewed.total_prune_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_corpus_extracts_nothing_with_zero_rates() {
+        let corpus = mapsynth_corpus::Corpus::new();
+        let mr = MapReduce::new(1);
+        let (cands, stats) = extract_candidates(&corpus, &ExtractionConfig::default(), &mr);
+        assert!(cands.is_empty());
+        assert_eq!(stats, ExtractionStats::default());
+        assert_eq!(stats.prune_rate(), 0.0);
+        assert_eq!(stats.total_prune_rate(), 0.0);
+    }
+
+    /// The coherence funnel is cumulative: a fresh build records the
+    /// sketch-filter work, and a delta's re-extractions only ever add
+    /// to it.
+    #[test]
+    fn funnel_accumulates_across_build_and_deltas() {
+        let wc = small_corpus();
+        let mut corpus = wc.corpus;
+        let cfg = ExtractionConfig::default();
+        let mr = MapReduce::new(2);
+        let (_, _, mut cache) = extract_candidates_cached(&corpus, &cfg, &mr);
+        let base = cache.coherence_funnel();
+        assert!(
+            base.sketch_rejects + base.list_probes > 0,
+            "a real corpus must exercise the coherence pair loop"
+        );
+        let nd = corpus.domain("delta.example");
+        let cols = corpus.tables[5].columns.clone();
+        let added = vec![corpus.push_interned_table(nd, cols)];
+        cache.apply_delta(&corpus, &added, &[], &[], &cfg, &mr);
+        let after = cache.coherence_funnel();
+        assert!(after.sketch_rejects >= base.sketch_rejects);
+        assert!(
+            after.list_probes + after.sketch_rejects > base.list_probes + base.sketch_rejects,
+            "the added table's extraction must add funnel work"
+        );
     }
 
     #[test]

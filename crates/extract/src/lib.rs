@@ -37,6 +37,8 @@
 //! assert!(!candidates.is_empty());
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod extract;
 pub mod filters;
 

@@ -118,7 +118,7 @@ fn observed(session: &SynthesisSession) -> Vec<ObservedMapping> {
 /// observe exactly what the streamed session observes.
 fn assert_matches_fresh(session: &SynthesisSession, corpus: &Corpus) {
     let live = session.live_corpus(corpus);
-    let mut fresh = SynthesisSession::new(*session.config());
+    let mut fresh = SynthesisSession::new(session.config().clone());
     fresh.prepare(&live);
     assert_eq!(
         observed(session),
