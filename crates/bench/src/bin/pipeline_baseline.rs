@@ -733,6 +733,113 @@ fn check_fault(path: &str) -> ! {
     std::process::exit(0);
 }
 
+/// The crash-recovery tier: kill-point sweep plus torn-write/corruption
+/// fault matrix over the persistence layer. `verify` turns on the
+/// oracle equivalence and per-cell typed-error assertions.
+fn recovery_stage(verify: bool) -> mapsynth_bench::recovery::RecoveryMatrixOutcome {
+    mapsynth_bench::recovery::run_recovery_matrix(verify)
+}
+
+/// Render the recovery report as the `recovery_detail` JSON object
+/// (indented for embedding at depth 1 in the main baseline file).
+fn render_recovery(r: &mapsynth_bench::recovery::RecoveryMatrixOutcome) -> String {
+    use mapsynth_bench::recovery::{RECOVERY_DELTAS, RECOVERY_TABLES};
+    format!(
+        "{{\n    \"recovery_tables\": {},\n    \"recovery_deltas\": {},\n    \"recovery_kill_points\": {},\n    \"recovery_sweep_replayed\": {},\n    \"recovery_sweep_skipped\": {},\n    \"recovery_generations\": {},\n    \"recovery_wal_segments\": {},\n    \"recovery_full_replayed\": {},\n    \"recovery_matrix_cells\": {},\n    \"recovery_matrix_recovered\": {},\n    \"recovery_matrix_fallbacks\": {},\n    \"recovery_matrix_typed_errors\": {},\n    \"recovery_matrix_torn_repaired\": {},\n    \"recovery_matrix_wal_halted\": {},\n    \"recovery_sweep_recover_ms\": {:.3}\n  }}",
+        RECOVERY_TABLES,
+        RECOVERY_DELTAS,
+        r.kill_points,
+        r.sweep_replayed,
+        r.sweep_skipped,
+        r.full_generations,
+        r.full_wal_segments,
+        r.full_replayed,
+        r.cells.len(),
+        r.cells_recovered(),
+        r.cells_fallback(),
+        r.cells_typed_errors(),
+        r.cells_torn_repaired(),
+        r.cells_wal_halted(),
+        r.sweep_recover_ms,
+    )
+}
+
+/// `--recovery --check FILE`: re-run the fully verified recovery tier
+/// (kill-point oracle equivalence plus every corruption-matrix cell's
+/// typed expectation) and fail on exact-count drift against the
+/// committed `recovery_detail` block. The sweep and the matrix are
+/// deterministic, so every count is exact; recovery latency is
+/// informational only.
+fn check_recovery(path: &str) -> ! {
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let r = recovery_stage(true);
+
+    let exact = [
+        (
+            "recovery_tables",
+            mapsynth_bench::recovery::RECOVERY_TABLES as i64,
+        ),
+        (
+            "recovery_deltas",
+            mapsynth_bench::recovery::RECOVERY_DELTAS as i64,
+        ),
+        ("recovery_kill_points", r.kill_points as i64),
+        ("recovery_sweep_replayed", r.sweep_replayed as i64),
+        ("recovery_sweep_skipped", r.sweep_skipped as i64),
+        ("recovery_generations", r.full_generations as i64),
+        ("recovery_wal_segments", r.full_wal_segments as i64),
+        ("recovery_full_replayed", r.full_replayed as i64),
+        ("recovery_matrix_cells", r.cells.len() as i64),
+        ("recovery_matrix_recovered", r.cells_recovered() as i64),
+        ("recovery_matrix_fallbacks", r.cells_fallback() as i64),
+        (
+            "recovery_matrix_typed_errors",
+            r.cells_typed_errors() as i64,
+        ),
+        (
+            "recovery_matrix_torn_repaired",
+            r.cells_torn_repaired() as i64,
+        ),
+        ("recovery_matrix_wal_halted", r.cells_wal_halted() as i64),
+    ];
+    let mut drifted = false;
+    for (key, actual) in exact {
+        match json_int(&committed, key) {
+            Some(expected) if expected == actual => {
+                eprintln!("recovery-check {key}: {actual} (ok)");
+            }
+            Some(expected) => {
+                eprintln!("recovery-check {key}: expected {expected}, got {actual} (DRIFT)");
+                drifted = true;
+            }
+            None => {
+                eprintln!("recovery-check {key}: missing from baseline (DRIFT)");
+                drifted = true;
+            }
+        }
+    }
+    for cell in &r.cells {
+        eprintln!(
+            "recovery-check cell '{}': {} ({:.1} ms)",
+            cell.label,
+            match (&cell.typed_error, cell.fell_back) {
+                (Some(e), _) => format!("typed error {e}"),
+                (None, true) => "recovered via fallback".to_string(),
+                (None, false) => "recovered".to_string(),
+            },
+            cell.recover_ms,
+        );
+    }
+
+    if drifted {
+        eprintln!("recovery tier drifted from {path}; regenerate the baseline if intended");
+        std::process::exit(1);
+    }
+    eprintln!("recovery tier matches {path}");
+    std::process::exit(0);
+}
+
 /// Corpus size of the committed post-delta golden edge dump.
 const GOLDEN_TABLES: usize = 200;
 /// Committed golden dump of the post-delta compatibility-graph edges
@@ -1074,6 +1181,20 @@ fn main() {
         print!("{}", render_stream(&r));
         return;
     }
+    if args.first().map(String::as_str) == Some("--recovery") {
+        if args.get(1).map(String::as_str) == Some("--check") {
+            let path = args
+                .get(2)
+                .map(String::as_str)
+                .unwrap_or("BENCH_pipeline.json");
+            check_recovery(path);
+        }
+        // Standalone (child-process) mode: print the bare
+        // `recovery_detail` object for embedding by the parent run.
+        let r = recovery_stage(true);
+        print!("{}", render_recovery(&r));
+        return;
+    }
     if args.first().map(String::as_str) == Some("--check") {
         let path = args
             .get(1)
@@ -1190,6 +1311,20 @@ fn main() {
         assert!(out.status.success(), "fault-injection stage failed");
         String::from_utf8(out.stdout).expect("fault-stream JSON is UTF-8")
     };
+
+    // Crash-recovery tier, also in a child process (it persists and
+    // recovers its own ingestor states in a scratch directory keyed by
+    // the child's pid).
+    let recovery_block = {
+        let exe = std::env::current_exe().expect("current_exe");
+        let out = std::process::Command::new(&exe)
+            .arg("--recovery")
+            .output()
+            .expect("spawn recovery child");
+        std::io::Write::write_all(&mut std::io::stderr(), &out.stderr).ok();
+        assert!(out.status.success(), "recovery stage failed");
+        String::from_utf8(out.stdout).expect("recovery JSON is UTF-8")
+    };
     let mb = |kb: u64| kb as f64 / 1024.0;
     let rss_of = |stage: &str| {
         stage_rss
@@ -1201,7 +1336,7 @@ fn main() {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let delta_apply_ms = ms(delta.report.timings.total);
     let json = format!(
-        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"coh_sketch_rejects\": {},\n  \"coh_list_probes\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_sig_mask_rejects\": {},\n    \"memo_sig_hist_rejects\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"stage_peak_rss_mb\": {{\n    \"start\": {:.1},\n    \"extraction\": {:.1},\n    \"value_space\": {:.1},\n    \"scoring\": {:.1},\n    \"end\": {:.1}\n  }},\n  \"workers\": {{\n    \"requested\": {},\n    \"effective\": {},\n    \"available\": {}\n  }},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }},\n  \"delta_stream_detail\": {},\n  \"fault_detail\": {}\n}}\n",
+        "{{\n  \"corpus_tables\": {},\n  \"candidates\": {},\n  \"edges\": {},\n  \"partitions\": {},\n  \"mappings\": {},\n  \"coh_sketch_rejects\": {},\n  \"coh_list_probes\": {},\n  \"stage_ms\": {{\n    \"extraction\": {:.3},\n    \"value_space\": {:.3},\n    \"graph\": {:.3},\n    \"partition\": {:.3},\n    \"conflict\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"graph_detail\": {{\n    \"blocking_ms\": {:.3},\n    \"index_build_ms\": {:.3},\n    \"approx_memo_ms\": {:.3},\n    \"merge_join_ms\": {:.3},\n    \"memo_values\": {},\n    \"memo_candidate_pairs\": {},\n    \"memo_sig_mask_rejects\": {},\n    \"memo_sig_hist_rejects\": {},\n    \"memo_dp_calls\": {},\n    \"memo_matched_pairs\": {}\n  }},\n  \"stage_peak_rss_mb\": {{\n    \"start\": {:.1},\n    \"extraction\": {:.1},\n    \"value_space\": {:.1},\n    \"scoring\": {:.1},\n    \"end\": {:.1}\n  }},\n  \"workers\": {{\n    \"requested\": {},\n    \"effective\": {},\n    \"available\": {}\n  }},\n  \"serving\": {{\n    \"shards\": {},\n    \"values\": {},\n    \"mappings\": {},\n    \"snapshot_build_ms\": {:.3},\n    \"probe_keys\": {},\n    \"lookups\": {},\n    \"single_thread_qps\": {:.0},\n    \"threads\": {},\n    \"multi_thread_qps\": {:.0},\n    \"hit_rate\": {:.3}\n  }},\n  \"delta_detail\": {{\n    \"delta_removed_tables\": {},\n    \"delta_added_tables\": {},\n    \"delta_reordered\": {},\n    \"delta_coherence_flips\": {},\n    \"delta_candidates\": {},\n    \"delta_edges\": {},\n    \"delta_partitions\": {},\n    \"delta_mappings\": {},\n    \"delta_pairs_kept\": {},\n    \"delta_pairs_added\": {},\n    \"delta_pairs_removed\": {},\n    \"delta_memo_dp_calls\": {},\n    \"delta_apply_ms\": {{\n      \"extraction\": {:.3},\n      \"values\": {:.3},\n      \"blocking\": {:.3},\n      \"scoring\": {:.3},\n      \"total\": {:.3}\n    }},\n    \"delta_synth_ms\": {:.3},\n    \"full_rebuild_ms\": {:.3},\n    \"delta_speedup\": {:.2},\n    \"delta_serve\": {{\n      \"publish_added\": {},\n      \"publish_removed\": {},\n      \"publish_unchanged\": {},\n      \"rebuilt_shards\": {},\n      \"total_shards\": {},\n      \"publish_delta_ms\": {:.3}\n    }}\n  }},\n  \"delta_stream_detail\": {},\n  \"fault_detail\": {},\n  \"recovery_detail\": {}\n}}\n",
         tables,
         output.candidates,
         output.edges,
@@ -1271,6 +1406,7 @@ fn main() {
         delta.publish_delta_ms,
         stream_block,
         fault_block,
+        recovery_block,
     );
     match out_path {
         Some(path) => {

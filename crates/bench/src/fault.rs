@@ -291,7 +291,8 @@ pub fn run_fault_stream(
         Arc::clone(&service),
         cfg,
         Box::new(PlanInjector::new(&plan)),
-    );
+    )
+    .expect("ingestor config is valid");
 
     // Concurrent reader: holds the graceful-degradation contract to
     // account — lookups must keep answering from complete snapshots

@@ -15,6 +15,7 @@
 //! | `apps_lookup` | §1 mapping-index containment lookup (Bloom) |
 
 pub mod fault;
+pub mod recovery;
 
 use mapsynth::delta::CorpusDelta;
 use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};

@@ -381,6 +381,203 @@ pub mod fault {
     }
 }
 
+/// A table in portable (content, not id) form: everything needed to
+/// re-push it into any corpus. Shape-identical to the serving layer's
+/// key-addressed table spec; lives here so the durable formats (delta
+/// WAL records, snapshot archives) can be decoded without the serving
+/// crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortableTable {
+    /// Caller-chosen stable identity (survives compaction renumbering).
+    pub key: u64,
+    /// Provenance domain name.
+    pub domain: String,
+    /// Columns as `(header, values)`.
+    pub columns: Vec<(Option<String>, Vec<String>)>,
+}
+
+/// A row patch in portable form, addressed by stable table key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortablePatch {
+    /// Key of the table to edit.
+    pub key: u64,
+    /// Full-width tuples to delete.
+    pub deleted: Vec<Vec<String>>,
+    /// Full-width tuples to append.
+    pub inserted: Vec<Vec<String>>,
+}
+
+/// A self-contained, replayable corpus delta. [`CorpusDelta`] names
+/// added tables by [`TableId`] — meaningful only against the corpus
+/// instance it was built for — so it cannot be written to a log and
+/// replayed after a crash. `PortableDelta` carries the added tables'
+/// *content* and addresses removals/patches by stable key, making a
+/// WAL record sufficient on its own: recovery re-pushes the tables
+/// into the rebuilt corpus and resolves keys there.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PortableDelta {
+    /// Tables to append, in order.
+    pub add: Vec<PortableTable>,
+    /// Keys of live tables to remove.
+    pub remove: Vec<u64>,
+    /// Row patches to live tables.
+    pub patches: Vec<PortablePatch>,
+}
+
+mod portable_wire {
+    //! Byte encoding of [`PortableDelta`](super::PortableDelta) for
+    //! WAL records and archive frames, over the corpus crate's wire
+    //! helpers. Integrity is the framing layer's job (CRC32 per
+    //! frame); this layer still decodes defensively with typed
+    //! [`WireError`]s — a decoder must never panic on bytes it did
+    //! not write.
+
+    use super::{PortableDelta, PortablePatch, PortableTable};
+    use mapsynth_corpus::wire::{put_str, put_u32, put_u64, put_u8, WireError, WireReader};
+
+    fn put_rows(buf: &mut Vec<u8>, rows: &[Vec<String>]) {
+        put_u32(buf, rows.len() as u32);
+        for row in rows {
+            put_u32(buf, row.len() as u32);
+            for cell in row {
+                put_str(buf, cell);
+            }
+        }
+    }
+
+    fn read_rows(r: &mut WireReader<'_>) -> Result<Vec<Vec<String>>, WireError> {
+        let n = r.u32()? as usize;
+        let mut rows = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let w = r.u32()? as usize;
+            let mut row = Vec::with_capacity(w.min(1 << 16));
+            for _ in 0..w {
+                row.push(r.str()?);
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+
+    pub(super) fn encode(delta: &PortableDelta) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, delta.add.len() as u32);
+        for t in &delta.add {
+            t.encode_into(&mut buf);
+        }
+        put_u32(&mut buf, delta.remove.len() as u32);
+        for k in &delta.remove {
+            put_u64(&mut buf, *k);
+        }
+        put_u32(&mut buf, delta.patches.len() as u32);
+        for p in &delta.patches {
+            put_u64(&mut buf, p.key);
+            put_rows(&mut buf, &p.deleted);
+            put_rows(&mut buf, &p.inserted);
+        }
+        // Tag byte reserved for future extension of the record shape;
+        // 0 = nothing follows.
+        put_u8(&mut buf, 0);
+        buf
+    }
+
+    pub(super) fn decode(bytes: &[u8]) -> Result<PortableDelta, WireError> {
+        let mut r = WireReader::new(bytes);
+        let n_add = r.u32()? as usize;
+        let mut add = Vec::with_capacity(n_add.min(1 << 16));
+        for _ in 0..n_add {
+            add.push(PortableTable::decode_from(&mut r)?);
+        }
+        let n_rm = r.u32()? as usize;
+        let mut remove = Vec::with_capacity(n_rm.min(1 << 16));
+        for _ in 0..n_rm {
+            remove.push(r.u64()?);
+        }
+        let n_patch = r.u32()? as usize;
+        let mut patches = Vec::with_capacity(n_patch.min(1 << 16));
+        for _ in 0..n_patch {
+            let key = r.u64()?;
+            let deleted = read_rows(&mut r)?;
+            let inserted = read_rows(&mut r)?;
+            patches.push(PortablePatch {
+                key,
+                deleted,
+                inserted,
+            });
+        }
+        match r.u8()? {
+            0 => {}
+            found => {
+                return Err(WireError::BadTag {
+                    at: r.position() - 1,
+                    found,
+                })
+            }
+        }
+        r.finish()?;
+        Ok(PortableDelta {
+            add,
+            remove,
+            patches,
+        })
+    }
+}
+
+impl PortableDelta {
+    /// Serialize to the durable wire format (a WAL record's payload).
+    pub fn encode(&self) -> Vec<u8> {
+        portable_wire::encode(self)
+    }
+
+    /// Decode a record produced by [`encode`](Self::encode), with
+    /// typed errors on malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, mapsynth_corpus::wire::WireError> {
+        portable_wire::decode(bytes)
+    }
+}
+
+impl PortableTable {
+    /// Serialize one table onto `buf` (an archive's corpus frame is a
+    /// length-prefixed sequence of these).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        use mapsynth_corpus::wire::{put_opt_str, put_str, put_u32, put_u64};
+        put_u64(buf, self.key);
+        put_str(buf, &self.domain);
+        put_u32(buf, self.columns.len() as u32);
+        for (header, values) in &self.columns {
+            put_opt_str(buf, header.as_deref());
+            put_u32(buf, values.len() as u32);
+            for v in values {
+                put_str(buf, v);
+            }
+        }
+    }
+
+    /// Decode one table from the cursor position.
+    pub fn decode_from(
+        r: &mut mapsynth_corpus::wire::WireReader<'_>,
+    ) -> Result<Self, mapsynth_corpus::wire::WireError> {
+        let key = r.u64()?;
+        let domain = r.str()?;
+        let n_cols = r.u32()? as usize;
+        let mut columns = Vec::with_capacity(n_cols.min(1 << 16));
+        for _ in 0..n_cols {
+            let header = r.opt_str()?;
+            let n_vals = r.u32()? as usize;
+            let mut values = Vec::with_capacity(n_vals.min(1 << 16));
+            for _ in 0..n_vals {
+                values.push(r.str()?);
+            }
+            columns.push((header, values));
+        }
+        Ok(Self {
+            key,
+            domain,
+            columns,
+        })
+    }
+}
+
 /// Everything [`SynthesisSession::apply_delta`] needs beyond the stage
 /// artifacts themselves. Built during `prepare`, advanced per delta.
 #[derive(Clone)]
@@ -1088,6 +1285,74 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
     use crate::pipeline::{PipelineConfig, Resolver};
+
+    #[test]
+    fn portable_delta_round_trips() {
+        let delta = PortableDelta {
+            add: vec![
+                PortableTable {
+                    key: 42,
+                    domain: "example.org".into(),
+                    columns: vec![
+                        (Some("name".into()), vec!["Japan".into(), "Perú".into()]),
+                        (None, vec!["JPN".into(), "PER".into()]),
+                    ],
+                },
+                PortableTable {
+                    key: u64::MAX,
+                    domain: String::new(),
+                    columns: vec![],
+                },
+            ],
+            remove: vec![7, 0],
+            patches: vec![PortablePatch {
+                key: 42,
+                deleted: vec![vec!["Japan".into(), "JPN".into()]],
+                inserted: vec![vec![], vec!["Chile".into(), "CHL".into()]],
+            }],
+        };
+        let bytes = delta.encode();
+        assert_eq!(PortableDelta::decode(&bytes).unwrap(), delta);
+        let empty = PortableDelta::default();
+        assert_eq!(PortableDelta::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn portable_delta_decode_is_total() {
+        use mapsynth_corpus::wire::WireError;
+        let bytes = PortableDelta {
+            add: vec![PortableTable {
+                key: 1,
+                domain: "d".into(),
+                columns: vec![(None, vec!["x".into()])],
+            }],
+            remove: vec![9],
+            patches: vec![],
+        }
+        .encode();
+        // Every strict prefix fails with a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                PortableDelta::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Trailing garbage is flagged.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            PortableDelta::decode(&long),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        ));
+        // A bad extension tag is flagged.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] = 3;
+        assert!(matches!(
+            PortableDelta::decode(&bad),
+            Err(WireError::BadTag { found: 3, .. })
+        ));
+    }
 
     /// A corpus of two conflicting standards (ISO vs IOC codes) spread
     /// over several domains, with typo'd spellings so approximate

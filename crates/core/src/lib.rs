@@ -103,7 +103,9 @@ pub use approx::{ApproxMemo, ApproxMemoStats};
 pub use compat::{MatchCounts, PairWeights, ScoringContext};
 pub use config::SynthesisConfig;
 pub use conflict::{resolve_conflicts, resolve_majority_vote, ConflictStats};
-pub use delta::{CorpusDelta, DeltaError, DeltaReport, DeltaTimings};
+pub use delta::{
+    CorpusDelta, DeltaError, DeltaReport, DeltaTimings, PortableDelta, PortablePatch, PortableTable,
+};
 pub use graph::{CompatGraph, EdgeWeights};
 pub use partition::{greedy_partition, Partitioning};
 pub use pipeline::{

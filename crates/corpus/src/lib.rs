@@ -34,6 +34,11 @@
 //! assert_eq!(corpus.str_of(sym), "USA");
 //! ```
 
+// The corpus layer underpins the durable persistence formats: library
+// code must degrade to typed errors, never panic, on rotten input.
+// Unit tests are exempt (they assert with unwrap freely).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod binary;
 pub mod index;
 pub mod intern;
@@ -43,7 +48,10 @@ pub mod stats;
 pub mod stream;
 pub mod table;
 
-pub use binary::{BinaryId, BinaryTable, SpillReader, SpillWriter};
+pub use binary::{
+    crc32, read_sealed, wire, BinaryId, BinaryTable, FrameError, FrameReader, FrameTail,
+    FrameWriter, SpillReader, SpillWriter, FRAME_VERSION, MAX_FRAME_LEN,
+};
 pub use index::{GlobalColId, ValueIndex};
 pub use intern::{Interner, Sym};
 pub use io::{load_csv_dir, load_csv_table, parse_csv};

@@ -41,6 +41,7 @@
 //! fresh session built from only the accepted deltas (the bench
 //! crate's `--delta-stream --faults` tier gates exactly that).
 
+use crate::persist::{PersistError, Persistence};
 use crate::service::MappingService;
 use mapsynth::delta::{fault, CorpusDelta, DeltaError};
 use mapsynth::pipeline::{Resolver, SynthesisSession};
@@ -168,6 +169,16 @@ pub struct IngestStats {
     pub publishes_abandoned: u64,
     /// Mid-stream compaction passes.
     pub compactions: u64,
+    /// Quarantine entries dropped (oldest first) to hold
+    /// [`IngestorConfig::quarantine_cap`].
+    pub quarantine_evicted: u64,
+    /// Accepted deltas durably appended to the WAL (0 without a
+    /// persistence hook).
+    pub wal_records: u64,
+    /// Persistence operations (WAL appends, archive writes) that
+    /// failed. Serving continues — durability degrades, lookups don't —
+    /// but a nonzero count means recovery would lose the failed tail.
+    pub persist_errors: u64,
 }
 
 /// Deterministic fault plan hook: the harness decides, per stream
@@ -218,6 +229,12 @@ pub struct IngestorConfig {
     pub retry_cap: Duration,
     /// Resolver used for the published mappings.
     pub resolver: Resolver,
+    /// Most quarantine entries held at once. When a rejection would
+    /// exceed the cap the **oldest** entries are dropped (counted in
+    /// [`IngestStats::quarantine_evicted`]), so a hostile stream of
+    /// poison deltas cannot grow memory without bound. `0` keeps
+    /// nothing (every rejection is counted, then immediately evicted).
+    pub quarantine_cap: usize,
 }
 
 impl Default for IngestorConfig {
@@ -229,7 +246,97 @@ impl Default for IngestorConfig {
             retry_base: Duration::from_millis(1),
             retry_cap: Duration::from_millis(16),
             resolver: Resolver::Algorithm4,
+            quarantine_cap: 1024,
         }
+    }
+}
+
+/// A structurally invalid [`IngestorConfig`], refused at
+/// [`DeltaIngestor::spawn`] instead of being silently clamped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestorConfigError {
+    /// `queue_depth == 0`: a zero-capacity channel would deadlock the
+    /// producer against the worker.
+    ZeroQueueDepth,
+    /// `publish_every == 0`: the publish cadence would never trigger.
+    ZeroPublishEvery,
+    /// `max_publish_attempts == 0`: every publish would be abandoned
+    /// before its first attempt.
+    ZeroPublishAttempts,
+    /// `retry_cap < retry_base`: the first backoff sleep would already
+    /// exceed the configured cap.
+    RetryCapBelowBase {
+        /// The configured base.
+        base: Duration,
+        /// The configured (smaller) cap.
+        cap: Duration,
+    },
+}
+
+impl fmt::Display for IngestorConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestorConfigError::ZeroQueueDepth => write!(f, "queue_depth must be nonzero"),
+            IngestorConfigError::ZeroPublishEvery => write!(f, "publish_every must be nonzero"),
+            IngestorConfigError::ZeroPublishAttempts => {
+                write!(f, "max_publish_attempts must be nonzero")
+            }
+            IngestorConfigError::RetryCapBelowBase { base, cap } => {
+                write!(f, "retry_cap {cap:?} is below retry_base {base:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestorConfigError {}
+
+/// Why [`DeltaIngestor::spawn_with_persistence`] refused to start.
+#[derive(Debug)]
+pub enum SpawnError {
+    /// The config failed [`IngestorConfig::validate`].
+    Config(IngestorConfigError),
+    /// The base archive could not be written durably — starting the
+    /// stream anyway would log WAL records no generation covers.
+    Persist(PersistError),
+}
+
+impl fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpawnError::Config(e) => write!(f, "invalid ingestor config: {e}"),
+            SpawnError::Persist(e) => write!(f, "base archive write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpawnError::Config(e) => Some(e),
+            SpawnError::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl IngestorConfig {
+    /// Check the structural invariants `spawn` relies on.
+    pub fn validate(&self) -> Result<(), IngestorConfigError> {
+        if self.queue_depth == 0 {
+            return Err(IngestorConfigError::ZeroQueueDepth);
+        }
+        if self.publish_every == 0 {
+            return Err(IngestorConfigError::ZeroPublishEvery);
+        }
+        if self.max_publish_attempts == 0 {
+            return Err(IngestorConfigError::ZeroPublishAttempts);
+        }
+        if self.retry_cap < self.retry_base {
+            return Err(IngestorConfigError::RetryCapBelowBase {
+                base: self.retry_base,
+                cap: self.retry_cap,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -242,8 +349,12 @@ pub struct IngestOutcome {
     pub corpus: Corpus,
     /// Final counters.
     pub stats: IngestStats,
-    /// Quarantine entries never drained mid-stream.
+    /// Quarantine entries never drained mid-stream (the tail the cap
+    /// kept).
     pub quarantine: Vec<Quarantined>,
+    /// Stable key → live table id at shutdown (covers exactly the
+    /// live tables; what a persistence archive stores per table).
+    pub key_of_table: HashMap<u64, TableId>,
 }
 
 #[derive(Default)]
@@ -255,6 +366,9 @@ struct SharedState {
     publish_retries: AtomicU64,
     publishes_abandoned: AtomicU64,
     compactions: AtomicU64,
+    quarantine_evicted: AtomicU64,
+    wal_records: AtomicU64,
+    persist_errors: AtomicU64,
     quarantine: Mutex<Vec<Quarantined>>,
 }
 
@@ -277,6 +391,9 @@ impl SharedState {
             publish_retries: self.publish_retries.load(Ordering::Relaxed),
             publishes_abandoned: self.publishes_abandoned.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
+            quarantine_evicted: self.quarantine_evicted.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            persist_errors: self.persist_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -292,14 +409,16 @@ pub struct DeltaIngestor {
     tx: SyncSender<WorkerMsg>,
     shared: Arc<SharedState>,
     service: Arc<MappingService>,
-    handle: Option<JoinHandle<(SynthesisSession, Corpus)>>,
+    #[allow(clippy::type_complexity)]
+    handle: Option<JoinHandle<(SynthesisSession, Corpus, HashMap<u64, TableId>)>>,
 }
 
 impl DeltaIngestor {
     /// Start the background worker over a prepared session and its
     /// corpus. `initial_keys[i]` is the caller's stable key for
     /// `TableId(i)`; the session must be freshly prepared (every
-    /// corpus table live) so keys and tables correspond 1:1.
+    /// corpus table live) so keys and tables correspond 1:1. The
+    /// config is [validated](IngestorConfig::validate) first.
     ///
     /// # Panics
     /// Panics if `initial_keys` does not cover the corpus exactly
@@ -312,15 +431,62 @@ impl DeltaIngestor {
         service: Arc<MappingService>,
         cfg: IngestorConfig,
         injector: Box<dyn FaultInjector>,
-    ) -> Self {
+    ) -> Result<Self, IngestorConfigError> {
+        match Self::spawn_with_persistence(
+            session,
+            corpus,
+            initial_keys,
+            service,
+            cfg,
+            injector,
+            None,
+        ) {
+            Ok(ing) => Ok(ing),
+            Err(SpawnError::Config(e)) => Err(e),
+            // Unreachable without a persistence hook; keep the type
+            // honest rather than panicking.
+            Err(SpawnError::Persist(e)) => {
+                unreachable!("persistence error without a persistence hook: {e}")
+            }
+        }
+    }
+
+    /// [`spawn`](Self::spawn) with an optional crash-safety hook: when
+    /// `persistence` is `Some`, a **base archive** capturing the
+    /// initial corpus and the currently served snapshot is written
+    /// durably before the worker starts (so the WAL always has a
+    /// covering generation beneath it), every accepted delta is
+    /// appended + fsynced to the WAL before it can reach a publish,
+    /// and archives are rolled forward on the configured publish
+    /// cadence. Persistence failures *after* spawn never stop serving:
+    /// they are counted in [`IngestStats::persist_errors`] and the
+    /// worker keeps going on the in-memory path.
+    pub fn spawn_with_persistence(
+        session: SynthesisSession,
+        corpus: Corpus,
+        initial_keys: &[u64],
+        service: Arc<MappingService>,
+        cfg: IngestorConfig,
+        injector: Box<dyn FaultInjector>,
+        persistence: Option<Persistence>,
+    ) -> Result<Self, SpawnError> {
+        cfg.validate().map_err(SpawnError::Config)?;
         assert_eq!(initial_keys.len(), corpus.len(), "one key per corpus table");
         let mut key_of_table: HashMap<u64, TableId> = HashMap::new();
         for (i, &key) in initial_keys.iter().enumerate() {
             let prev = key_of_table.insert(key, TableId(i as u32));
             assert!(prev.is_none(), "duplicate initial key {key}");
         }
+        let mut persist = persistence;
+        if let Some(p) = &mut persist {
+            p.write_archive(
+                &service.snapshot(),
+                &crate::persist::portable_tables(&corpus, &key_of_table),
+            )
+            .map_err(SpawnError::Persist)?;
+        }
         let shared = Arc::new(SharedState::default());
-        let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
+        let (tx, rx) = sync_channel(cfg.queue_depth);
         let synthesis = session.config().synthesis;
         let worker = Worker {
             session,
@@ -331,6 +497,7 @@ impl DeltaIngestor {
             shared: Arc::clone(&shared),
             cfg,
             injector,
+            persist,
             seq: 0,
             publish_idx: 0,
             accepted_since_publish: 0,
@@ -339,12 +506,12 @@ impl DeltaIngestor {
             .name("delta-ingestor".into())
             .spawn(move || worker.run(rx))
             .expect("spawn delta-ingestor thread");
-        Self {
+        Ok(Self {
             tx,
             shared,
             service,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Enqueue one delta. **Blocks** while the queue is at
@@ -388,11 +555,12 @@ impl DeltaIngestor {
         let _ = self.tx.send(WorkerMsg::Shutdown);
         let handle = self.handle.take().expect("shutdown called once");
         match handle.join() {
-            Ok((session, corpus)) => IngestOutcome {
+            Ok((session, corpus, key_of_table)) => IngestOutcome {
                 session,
                 corpus,
                 stats: self.shared.stats(),
                 quarantine: std::mem::take(&mut *self.shared.quarantine_lock()),
+                key_of_table,
             },
             Err(payload) => std::panic::resume_unwind(payload),
         }
@@ -409,13 +577,14 @@ struct Worker {
     shared: Arc<SharedState>,
     cfg: IngestorConfig,
     injector: Box<dyn FaultInjector>,
+    persist: Option<Persistence>,
     seq: u64,
     publish_idx: u64,
     accepted_since_publish: usize,
 }
 
 impl Worker {
-    fn run(mut self, rx: Receiver<WorkerMsg>) -> (SynthesisSession, Corpus) {
+    fn run(mut self, rx: Receiver<WorkerMsg>) -> (SynthesisSession, Corpus, HashMap<u64, TableId>) {
         while let Ok(msg) = rx.recv() {
             match msg {
                 WorkerMsg::Delta(request) => self.process(request),
@@ -425,151 +594,74 @@ impl Worker {
         if self.accepted_since_publish > 0 || self.shared.publishes.load(Ordering::Relaxed) == 0 {
             self.publish_with_retry();
         }
-        (self.session, self.corpus)
+        // Deliberately NO persistence finalization here: the on-disk
+        // state a graceful shutdown leaves behind is exactly the state
+        // a kill at this point would leave (modulo the tail publish's
+        // archive cadence), which is what lets the recovery oracle
+        // construct kill states without killing a process.
+        (self.session, self.corpus, self.key_of_table)
     }
 
     fn process(&mut self, request: DeltaRequest) {
         let seq = self.seq;
         self.seq += 1;
-        match self.try_apply(seq, &request) {
+        let sabotage = self.injector.sabotage_apply(seq);
+        match apply_request_to(
+            &mut self.session,
+            &mut self.corpus,
+            &mut self.key_of_table,
+            &request,
+            sabotage,
+        ) {
             Ok(()) => {
                 self.shared.accepted.fetch_add(1, Ordering::Relaxed);
                 self.accepted_since_publish += 1;
+                // Durability before visibility: the accepted delta is
+                // fsynced into the WAL before it can influence a
+                // publish, so a served snapshot never reflects state
+                // recovery could not reconstruct.
+                if let Some(p) = &mut self.persist {
+                    match p.record_accepted(&request) {
+                        Ok(_seq) => {
+                            self.shared.wal_records.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            self.shared.persist_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
                 if self.session.compaction_due() {
                     self.compact();
                 }
-                if self.accepted_since_publish >= self.cfg.publish_every.max(1) {
+                if self.accepted_since_publish >= self.cfg.publish_every {
                     self.publish_with_retry();
                 }
             }
             Err(error) => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-                self.shared.quarantine_lock().push(Quarantined {
+                let mut quarantine = self.shared.quarantine_lock();
+                quarantine.push(Quarantined {
                     seq,
                     error,
                     request,
                 });
-            }
-        }
-    }
-
-    /// Resolve, evolve the corpus, and run the guarded apply. On any
-    /// rejection the corpus is rolled back to byte-equivalent content
-    /// (appended tables truncated, applied patches inverted in reverse
-    /// order — table row *order* may differ, which extraction
-    /// canonicalizes away), keeping it in lockstep with the untouched
-    /// session.
-    fn try_apply(&mut self, seq: u64, request: &DeltaRequest) -> Result<(), IngestError> {
-        // Key resolution — pure.
-        let mut removed: Vec<TableId> = Vec::with_capacity(request.remove.len());
-        for &key in &request.remove {
-            let tid = *self
-                .key_of_table
-                .get(&key)
-                .ok_or(IngestError::UnknownKey { key })?;
-            removed.push(tid);
-        }
-        let mut patches: Vec<RowPatch> = Vec::with_capacity(request.patches.len());
-        for p in &request.patches {
-            let tid = *self
-                .key_of_table
-                .get(&p.key)
-                .ok_or(IngestError::UnknownKey { key: p.key })?;
-            patches.push(RowPatch {
-                table: tid,
-                deleted: p.deleted.clone(),
-                inserted: p.inserted.clone(),
-            });
-        }
-        let mut fresh: std::collections::HashSet<u64> = Default::default();
-        for t in &request.add {
-            if self.key_of_table.contains_key(&t.key) || !fresh.insert(t.key) {
-                return Err(IngestError::DuplicateKey { key: t.key });
-            }
-        }
-
-        // Corpus evolution, recorded for rollback.
-        let len_before = self.corpus.len();
-        let mut applied: Vec<RowPatch> = Vec::new();
-        let mut failure: Option<IngestError> = None;
-        for p in &patches {
-            if let Err(e) = self.corpus.check_row_patch(p) {
-                failure = Some(IngestError::Patch(e));
-                break;
-            }
-            self.corpus.apply_row_patch(p);
-            applied.push(p.clone());
-        }
-        let mut added: Vec<TableId> = Vec::with_capacity(request.add.len());
-        if failure.is_none() {
-            for t in &request.add {
-                let d = self.corpus.domain(&t.domain);
-                let columns: Vec<(Option<&str>, Vec<&str>)> = t
-                    .columns
-                    .iter()
-                    .map(|(h, vs)| {
-                        (
-                            h.as_deref(),
-                            vs.iter().map(String::as_str).collect::<Vec<&str>>(),
-                        )
-                    })
-                    .collect();
-                added.push(self.corpus.push_table(d, columns));
-            }
-            let delta = CorpusDelta {
-                added: added.clone(),
-                removed,
-                patches: applied.clone(),
-            };
-            if self.injector.sabotage_apply(seq) {
-                fault::arm_induced_panic();
-            }
-            let applied_result = self.session.apply_delta(&self.corpus, &delta);
-            // A validation-rejected sabotaged delta never reaches the
-            // fire point; don't let the arm leak onto the next delta.
-            fault::disarm();
-            match applied_result {
-                Ok(_) => {
-                    for (t, tid) in request.add.iter().zip(added) {
-                        self.key_of_table.insert(t.key, tid);
-                    }
-                    for key in &request.remove {
-                        self.key_of_table.remove(key);
-                    }
-                    return Ok(());
+                // Drop-oldest to the cap: the newest rejection is the
+                // one an operator inspects first.
+                if quarantine.len() > self.cfg.quarantine_cap {
+                    let excess = quarantine.len() - self.cfg.quarantine_cap;
+                    quarantine.drain(..excess);
+                    self.shared
+                        .quarantine_evicted
+                        .fetch_add(excess as u64, Ordering::Relaxed);
                 }
-                Err(e) => failure = Some(IngestError::Delta(e)),
             }
         }
-
-        // Rollback: drop appended tables, invert applied patches.
-        self.corpus.truncate_tables(len_before);
-        for p in applied.iter().rev() {
-            let inverse = RowPatch {
-                table: p.table,
-                deleted: p.inserted.clone(),
-                inserted: p.deleted.clone(),
-            };
-            self.corpus.apply_row_patch(&inverse);
-        }
-        Err(failure.unwrap_or(IngestError::DuplicateKey { key: u64::MAX }))
     }
 
     /// Reclaim tombstones and densely renumber, keeping the key map in
-    /// lockstep: compaction preserves the relative order of live
-    /// tables, so the k-th smallest live id becomes `TableId(k)`.
+    /// lockstep.
     fn compact(&mut self) {
-        self.corpus = self.session.compact(&self.corpus);
-        let mut entries: Vec<(u64, TableId)> = self.key_of_table.drain().collect();
-        entries.sort_by_key(|&(_, tid)| tid.0);
-        debug_assert_eq!(
-            entries.len(),
-            self.corpus.len(),
-            "key map must cover exactly the live tables"
-        );
-        for (k, (key, _)) in entries.into_iter().enumerate() {
-            self.key_of_table.insert(key, TableId(k as u32));
-        }
+        compact_with_keys(&mut self.session, &mut self.corpus, &mut self.key_of_table);
         self.shared.compactions.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -585,7 +677,7 @@ impl Worker {
         loop {
             if self.injector.fail_publish(idx, attempt) {
                 attempt += 1;
-                if attempt >= self.cfg.max_publish_attempts.max(1) {
+                if attempt >= self.cfg.max_publish_attempts {
                     self.shared
                         .publishes_abandoned
                         .fetch_add(1, Ordering::Relaxed);
@@ -604,7 +696,152 @@ impl Worker {
             self.service.publish_delta(&run.mappings);
             self.shared.publishes.fetch_add(1, Ordering::Relaxed);
             self.accepted_since_publish = 0;
+            // Roll the archive forward on its cadence: the just-
+            // installed snapshot plus the live corpus, covering every
+            // WAL record so far — older generations and fully covered
+            // WAL segments are then prunable.
+            if let Some(p) = &mut self.persist {
+                if p.archive_due() {
+                    let tables = crate::persist::portable_tables(&self.corpus, &self.key_of_table);
+                    if p.write_archive(&self.service.snapshot(), &tables).is_err() {
+                        self.shared.persist_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
             return;
         }
+    }
+}
+
+/// Resolve a key-addressed request against the live table set, evolve
+/// the corpus, and run the guarded [`SynthesisSession::apply_delta`] —
+/// the single apply path shared by the live ingestion worker and WAL
+/// replay during recovery (which is what makes replay
+/// observation-identical to the original stream). On any rejection the
+/// corpus is rolled back to byte-equivalent content (appended tables
+/// truncated, applied patches inverted in reverse order — table row
+/// *order* may differ, which extraction canonicalizes away), keeping
+/// it in lockstep with the untouched session. `sabotage` arms the
+/// fault injector's induced apply panic (always `false` outside the
+/// fault harness).
+pub(crate) fn apply_request_to(
+    session: &mut SynthesisSession,
+    corpus: &mut Corpus,
+    key_of_table: &mut HashMap<u64, TableId>,
+    request: &DeltaRequest,
+    sabotage: bool,
+) -> Result<(), IngestError> {
+    // Key resolution — pure.
+    let mut removed: Vec<TableId> = Vec::with_capacity(request.remove.len());
+    for &key in &request.remove {
+        let tid = *key_of_table
+            .get(&key)
+            .ok_or(IngestError::UnknownKey { key })?;
+        removed.push(tid);
+    }
+    let mut patches: Vec<RowPatch> = Vec::with_capacity(request.patches.len());
+    for p in &request.patches {
+        let tid = *key_of_table
+            .get(&p.key)
+            .ok_or(IngestError::UnknownKey { key: p.key })?;
+        patches.push(RowPatch {
+            table: tid,
+            deleted: p.deleted.clone(),
+            inserted: p.inserted.clone(),
+        });
+    }
+    let mut fresh: std::collections::HashSet<u64> = Default::default();
+    for t in &request.add {
+        if key_of_table.contains_key(&t.key) || !fresh.insert(t.key) {
+            return Err(IngestError::DuplicateKey { key: t.key });
+        }
+    }
+
+    // Corpus evolution, recorded for rollback.
+    let len_before = corpus.len();
+    let mut applied: Vec<RowPatch> = Vec::new();
+    let mut failure: Option<IngestError> = None;
+    for p in &patches {
+        if let Err(e) = corpus.check_row_patch(p) {
+            failure = Some(IngestError::Patch(e));
+            break;
+        }
+        corpus.apply_row_patch(p);
+        applied.push(p.clone());
+    }
+    let mut added: Vec<TableId> = Vec::with_capacity(request.add.len());
+    if failure.is_none() {
+        for t in &request.add {
+            let d = corpus.domain(&t.domain);
+            let columns: Vec<(Option<&str>, Vec<&str>)> = t
+                .columns
+                .iter()
+                .map(|(h, vs)| {
+                    (
+                        h.as_deref(),
+                        vs.iter().map(String::as_str).collect::<Vec<&str>>(),
+                    )
+                })
+                .collect();
+            added.push(corpus.push_table(d, columns));
+        }
+        let delta = CorpusDelta {
+            added: added.clone(),
+            removed,
+            patches: applied.clone(),
+        };
+        if sabotage {
+            fault::arm_induced_panic();
+        }
+        let applied_result = session.apply_delta(corpus, &delta);
+        // A validation-rejected sabotaged delta never reaches the
+        // fire point; don't let the arm leak onto the next delta.
+        fault::disarm();
+        match applied_result {
+            Ok(_) => {
+                for (t, tid) in request.add.iter().zip(added) {
+                    key_of_table.insert(t.key, tid);
+                }
+                for key in &request.remove {
+                    key_of_table.remove(key);
+                }
+                return Ok(());
+            }
+            Err(e) => failure = Some(IngestError::Delta(e)),
+        }
+    }
+
+    // Rollback: drop appended tables, invert applied patches.
+    corpus.truncate_tables(len_before);
+    for p in applied.iter().rev() {
+        let inverse = RowPatch {
+            table: p.table,
+            deleted: p.inserted.clone(),
+            inserted: p.deleted.clone(),
+        };
+        corpus.apply_row_patch(&inverse);
+    }
+    Err(failure.unwrap_or(IngestError::DuplicateKey { key: u64::MAX }))
+}
+
+/// Reclaim tombstones and densely renumber, keeping the key map in
+/// lockstep: compaction preserves the relative order of live tables,
+/// so the k-th smallest live id becomes `TableId(k)`. Shared by the
+/// ingestion worker and WAL replay.
+pub(crate) fn compact_with_keys(
+    session: &mut SynthesisSession,
+    corpus: &mut Corpus,
+    key_of_table: &mut HashMap<u64, TableId>,
+) {
+    *corpus = session.compact(corpus);
+    let mut entries: Vec<(u64, TableId)> = key_of_table.drain().collect();
+    entries.sort_by_key(|&(_, tid)| tid.0);
+    debug_assert_eq!(
+        entries.len(),
+        corpus.len(),
+        "key map must cover exactly the live tables"
+    );
+    for (k, (key, _)) in entries.into_iter().enumerate() {
+        key_of_table.insert(key, TableId(k as u32));
     }
 }

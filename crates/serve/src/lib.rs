@@ -55,6 +55,7 @@
 
 pub mod bloom;
 pub mod ingest;
+pub mod persist;
 pub mod service;
 pub mod snapshot;
 pub mod store;
@@ -62,7 +63,10 @@ pub mod store;
 pub use bloom::BloomFilter;
 pub use ingest::{
     DeltaIngestor, DeltaRequest, FaultInjector, IngestError, IngestOutcome, IngestStats,
-    IngestorConfig, NoFaults, PatchSpec, Quarantined, TableSpec,
+    IngestorConfig, IngestorConfigError, NoFaults, PatchSpec, Quarantined, SpawnError, TableSpec,
+};
+pub use persist::{
+    recover, PersistConfig, PersistError, Persistence, Recovered, ReplayReport, WalTail,
 };
 pub use service::{DeltaPublishStats, MappingService, HISTORY_DEPTH};
 pub use snapshot::{

@@ -219,6 +219,27 @@ impl MappingService {
         (version, stats)
     }
 
+    /// Install a snapshot **recovered from disk**, keeping its
+    /// archived version id instead of stamping a fresh one. The
+    /// version counter is advanced past it (monotonically — a
+    /// concurrent publish can only push it further), so every later
+    /// publish gets a strictly larger id than anything the archive
+    /// ever served. Returns the installed version.
+    pub fn restore(&self, snapshot: IndexSnapshot) -> u64 {
+        let mut history = mutex_lock(&self.history);
+        let version = snapshot.version;
+        self.next_version.fetch_max(version + 1, Ordering::Relaxed);
+        let next = Arc::new(snapshot);
+        {
+            let mut current = write_lock(&self.current);
+            history.push(std::mem::replace(&mut *current, next));
+        }
+        if history.len() > HISTORY_DEPTH {
+            history.remove(0);
+        }
+        version
+    }
+
     /// Re-install the previously served snapshot (keeping its original
     /// version id), dropping the current one. Returns the reinstated
     /// version, or `None` when no history remains.
@@ -292,6 +313,19 @@ mod tests {
         // A fresh publish after rollback still gets a higher id than
         // anything ever published.
         assert_eq!(svc.publish(one_pair_snapshot("c", "3")), 3);
+    }
+
+    #[test]
+    fn restore_keeps_archived_version_and_advances_counter() {
+        let svc = MappingService::new();
+        let mut snap = one_pair_snapshot("a", "1");
+        snap.version = 7;
+        assert_eq!(svc.restore(snap), 7);
+        assert_eq!(svc.version(), 7);
+        assert_eq!(svc.snapshot().lookup("a").unwrap().forward(0), Some("1"));
+        // Publishes after a restore are strictly newer than the
+        // archived version.
+        assert_eq!(svc.publish(one_pair_snapshot("b", "2")), 8);
     }
 
     #[test]

@@ -485,6 +485,183 @@ impl IndexSnapshot {
     }
 }
 
+impl IndexSnapshot {
+    /// Serialize the snapshot for the archive's snapshot frame.
+    /// Deterministic: per shard, entries are emitted in sorted key
+    /// order, so equal snapshots encode to equal bytes regardless of
+    /// hash-map iteration order. Hit/miss counters are serving-side
+    /// ephemera and are not persisted.
+    pub(crate) fn persist_encode(&self) -> Vec<u8> {
+        use mapsynth_corpus::wire::{put_opt_str, put_str, put_u32, put_u64, put_u8};
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.version);
+        put_u32(&mut buf, self.shards.len() as u32);
+        put_u32(&mut buf, self.metas.len() as u32);
+        for (i, meta) in self.metas.iter().enumerate() {
+            put_opt_str(&mut buf, meta.name.as_deref());
+            put_u64(&mut buf, meta.pairs as u64);
+            put_u64(&mut buf, meta.domains as u64);
+            put_u64(&mut buf, meta.source_tables as u64);
+            put_u8(&mut buf, u8::from(self.live[i]));
+            put_u64(&mut buf, self.hashes[i]);
+            put_u32(&mut buf, self.shards_of_mapping[i].len() as u32);
+            for &s in &self.shards_of_mapping[i] {
+                put_u32(&mut buf, u32::from(s));
+            }
+        }
+        for shard in &self.shards {
+            let mut keys: Vec<&String> = shard.entries.keys().collect();
+            keys.sort_unstable();
+            put_u32(&mut buf, keys.len() as u32);
+            for key in keys {
+                let entry = &shard.entries[key];
+                put_str(&mut buf, key);
+                put_u32(&mut buf, entry.postings.len() as u32);
+                for &mi in &entry.postings {
+                    put_u32(&mut buf, mi);
+                }
+                put_u32(&mut buf, entry.forward.len() as u32);
+                for (mi, r) in &entry.forward {
+                    put_u32(&mut buf, *mi);
+                    put_str(&mut buf, r);
+                }
+                put_u32(&mut buf, entry.reverse.len() as u32);
+                for (mi, ls) in &entry.reverse {
+                    put_u32(&mut buf, *mi);
+                    put_u32(&mut buf, ls.len() as u32);
+                    for l in ls {
+                        put_str(&mut buf, l);
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    /// Rebuild a snapshot from [`persist_encode`](Self::persist_encode)
+    /// bytes. Bloom filters are reconstructed from the entry keys
+    /// (their build is deterministic), hit/miss counters start at
+    /// zero. Structural invariants (power-of-two shard count, aligned
+    /// per-mapping vectors) are validated with typed errors.
+    pub(crate) fn persist_decode(
+        bytes: &[u8],
+    ) -> Result<IndexSnapshot, mapsynth_corpus::wire::WireError> {
+        use mapsynth_corpus::wire::{WireError, WireReader};
+        let mut r = WireReader::new(bytes);
+        let version = r.u64()?;
+        let shard_count = r.u32()? as usize;
+        if shard_count == 0 || !shard_count.is_power_of_two() {
+            return Err(WireError::Invalid {
+                what: "shard count must be a nonzero power of two",
+            });
+        }
+        let slots = r.u32()? as usize;
+        let mut metas = Vec::with_capacity(slots.min(1 << 16));
+        let mut live = Vec::with_capacity(slots.min(1 << 16));
+        let mut hashes = Vec::with_capacity(slots.min(1 << 16));
+        let mut shards_of_mapping = Vec::with_capacity(slots.min(1 << 16));
+        for _ in 0..slots {
+            let name = r.opt_str()?;
+            let pairs = r.u64()? as usize;
+            let domains = r.u64()? as usize;
+            let source_tables = r.u64()? as usize;
+            let is_live = match r.u8()? {
+                0 => false,
+                1 => true,
+                found => {
+                    return Err(WireError::BadTag {
+                        at: r.position() - 1,
+                        found,
+                    })
+                }
+            };
+            let hash = r.u64()?;
+            let n_shards = r.u32()? as usize;
+            let mut of = Vec::with_capacity(n_shards.min(1 << 16));
+            for _ in 0..n_shards {
+                let s = r.u32()?;
+                if s as usize >= shard_count {
+                    return Err(WireError::Invalid {
+                        what: "mapping touch set names a shard out of range",
+                    });
+                }
+                of.push(s as u16);
+            }
+            metas.push(MappingMeta {
+                name,
+                pairs,
+                domains,
+                source_tables,
+            });
+            live.push(is_live);
+            hashes.push(hash);
+            shards_of_mapping.push(of);
+        }
+        let mut values = 0usize;
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let n_entries = r.u32()? as usize;
+            let mut entries: HashMap<String, Entry> =
+                HashMap::with_capacity(n_entries.min(1 << 20));
+            for _ in 0..n_entries {
+                let key = r.str()?;
+                let n_post = r.u32()? as usize;
+                let mut postings = Vec::with_capacity(n_post.min(1 << 16));
+                for _ in 0..n_post {
+                    postings.push(r.u32()?);
+                }
+                let n_fwd = r.u32()? as usize;
+                let mut forward = Vec::with_capacity(n_fwd.min(1 << 16));
+                for _ in 0..n_fwd {
+                    let mi = r.u32()?;
+                    forward.push((mi, r.str()?));
+                }
+                let n_rev = r.u32()? as usize;
+                let mut reverse = Vec::with_capacity(n_rev.min(1 << 16));
+                for _ in 0..n_rev {
+                    let mi = r.u32()?;
+                    let n_ls = r.u32()? as usize;
+                    let mut ls = Vec::with_capacity(n_ls.min(1 << 16));
+                    for _ in 0..n_ls {
+                        ls.push(r.str()?);
+                    }
+                    reverse.push((mi, ls));
+                }
+                entries.insert(
+                    key,
+                    Entry {
+                        postings,
+                        forward,
+                        reverse,
+                    },
+                );
+            }
+            values += entries.len();
+            let mut bloom = BloomFilter::new(entries.len().max(1), 0.01);
+            for v in entries.keys() {
+                bloom.insert(v);
+            }
+            shards.push(Arc::new(Shard {
+                bloom,
+                entries,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }));
+        }
+        r.finish()?;
+        Ok(IndexSnapshot {
+            version,
+            shards,
+            shard_mask: shard_count - 1,
+            metas,
+            live,
+            hashes,
+            shards_of_mapping,
+            values,
+        })
+    }
+}
+
 /// Insert one mapping's (already-normalized) pairs into an entry map,
 /// restricted to the values `owns` accepts. The insertion order per
 /// mapping matches [`SnapshotBuilder::build`], so a delta-built shard
@@ -828,5 +1005,52 @@ mod tests {
         assert!(s.is_empty());
         assert!(s.lookup("anything").is_none());
         assert_eq!(s.version(), 0);
+    }
+
+    #[test]
+    fn persist_round_trip_is_lookup_identical_and_deterministic() {
+        let s = snapshot();
+        let bytes = s.persist_encode();
+        assert_eq!(bytes, s.persist_encode(), "encoding must be deterministic");
+        let d = IndexSnapshot::persist_decode(&bytes).expect("decodes");
+        assert_eq!(d.version(), s.version());
+        assert_eq!(d.shard_count(), s.shard_count());
+        assert_eq!(d.value_count(), s.value_count());
+        assert_eq!(d.mapping_count(), s.mapping_count());
+        for probe in ["California", "CA", "United States", "USA", "nonsense"] {
+            match (s.lookup(probe), d.lookup(probe)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.mappings(), b.mappings(), "postings for {probe}");
+                    for &mi in a.mappings() {
+                        assert_eq!(a.forward(mi), b.forward(mi));
+                        assert_eq!(a.reverse(mi), b.reverse(mi));
+                    }
+                }
+                _ => panic!("presence of {probe} diverged"),
+            }
+        }
+        // Content hashes (the publish_delta identity) survive.
+        let live_a: Vec<_> = s.live_hashes().collect();
+        let live_b: Vec<_> = d.live_hashes().collect();
+        assert_eq!(live_a, live_b);
+        // Re-encoding the decoded snapshot is byte-identical.
+        assert_eq!(d.persist_encode(), bytes);
+    }
+
+    #[test]
+    fn persist_decode_is_total_on_prefixes() {
+        let bytes = snapshot().persist_encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                IndexSnapshot::persist_decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Structural validation: a non-power-of-two shard count is
+        // refused even if the bytes parse.
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&3u32.to_le_bytes());
+        assert!(IndexSnapshot::persist_decode(&bad).is_err());
     }
 }

@@ -10,8 +10,8 @@ use mapsynth::delta::DeltaError;
 use mapsynth::pipeline::{PipelineConfig, Resolver, SynthesisSession};
 use mapsynth_corpus::{Corpus, RowPatchError};
 use mapsynth_serve::ingest::{
-    DeltaIngestor, DeltaRequest, FaultInjector, IngestError, IngestorConfig, NoFaults, PatchSpec,
-    TableSpec,
+    DeltaIngestor, DeltaRequest, FaultInjector, IngestError, IngestorConfig, IngestorConfigError,
+    NoFaults, PatchSpec, TableSpec,
 };
 use mapsynth_serve::MappingService;
 use std::collections::{HashMap, HashSet};
@@ -177,7 +177,8 @@ fn clean_stream_applies_compacts_and_publishes() {
         Arc::clone(&service),
         cfg,
         Box::new(NoFaults),
-    );
+    )
+    .expect("ingestor config is valid");
 
     // Patch, add, then enough removals to push the garbage fraction
     // over the compaction threshold — the key map must survive the
@@ -226,7 +227,8 @@ fn poisoned_deltas_are_quarantined_and_rolled_back() {
         Arc::clone(&service),
         fast_cfg(),
         Box::new(NoFaults),
-    );
+    )
+    .expect("ingestor config is valid");
 
     // seq 0: good patch.
     ing.submit(DeltaRequest {
@@ -336,7 +338,8 @@ fn induced_apply_panics_are_contained_and_replayable() {
         Arc::clone(&service),
         fast_cfg(),
         Box::new(faults),
-    );
+    )
+    .expect("ingestor config is valid");
 
     for i in 0..5u64 {
         ing.submit(DeltaRequest {
@@ -395,7 +398,8 @@ fn publish_failures_retry_then_abandon_without_torn_serving() {
         Arc::clone(&service),
         cfg,
         Box::new(faults),
-    );
+    )
+    .expect("ingestor config is valid");
 
     ing.submit(DeltaRequest {
         add: vec![add_table(600, "first.org", &ROWS)],
@@ -426,4 +430,97 @@ fn publish_failures_retry_then_abandon_without_torn_serving() {
     assert_eq!(outcome.stats.publishes_abandoned, 1);
     assert_eq!(service.version(), 2);
     assert_matches_fresh(&outcome.session, &outcome.corpus);
+}
+
+#[test]
+fn quarantine_cap_evicts_oldest_and_counts() {
+    let (corpus, session, keys) = fixture(2);
+    let service = Arc::new(MappingService::new());
+    let cfg = IngestorConfig {
+        quarantine_cap: 2,
+        ..fast_cfg()
+    };
+    let ing = DeltaIngestor::spawn(
+        session,
+        corpus,
+        &keys,
+        Arc::clone(&service),
+        cfg,
+        Box::new(NoFaults),
+    )
+    .expect("ingestor config is valid");
+
+    // Five poisoned deltas (unknown removal keys): all rejected, only
+    // the newest two survive in quarantine.
+    for i in 0..5u64 {
+        ing.submit(DeltaRequest {
+            remove: vec![900 + i],
+            ..Default::default()
+        });
+    }
+    let outcome = ing.shutdown();
+    assert_eq!(outcome.stats.rejected, 5);
+    // `quarantined` gauges what is *held*, capped at 2.
+    assert_eq!(outcome.stats.quarantined, 2);
+    assert_eq!(outcome.stats.quarantine_evicted, 3);
+    assert_eq!(
+        outcome.quarantine.iter().map(|e| e.seq).collect::<Vec<_>>(),
+        vec![3, 4],
+        "drop-oldest keeps the newest entries"
+    );
+}
+
+#[test]
+fn invalid_configs_are_refused_at_spawn() {
+    let cases: Vec<(IngestorConfig, IngestorConfigError)> = vec![
+        (
+            IngestorConfig {
+                queue_depth: 0,
+                ..fast_cfg()
+            },
+            IngestorConfigError::ZeroQueueDepth,
+        ),
+        (
+            IngestorConfig {
+                publish_every: 0,
+                ..fast_cfg()
+            },
+            IngestorConfigError::ZeroPublishEvery,
+        ),
+        (
+            IngestorConfig {
+                max_publish_attempts: 0,
+                ..fast_cfg()
+            },
+            IngestorConfigError::ZeroPublishAttempts,
+        ),
+        (
+            IngestorConfig {
+                retry_base: Duration::from_millis(10),
+                retry_cap: Duration::from_millis(1),
+                ..fast_cfg()
+            },
+            IngestorConfigError::RetryCapBelowBase {
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(1),
+            },
+        ),
+    ];
+    for (cfg, expected) in cases {
+        let (corpus, session, keys) = fixture(1);
+        let service = Arc::new(MappingService::new());
+        match DeltaIngestor::spawn(
+            session,
+            corpus,
+            &keys,
+            Arc::clone(&service),
+            cfg,
+            Box::new(NoFaults),
+        ) {
+            Err(e) => assert_eq!(e, expected),
+            Ok(_) => panic!("invalid config accepted: expected {expected:?}"),
+        }
+        // Refusal happens before any worker spawns or snapshot publishes.
+        assert_eq!(service.version(), 0);
+    }
 }
