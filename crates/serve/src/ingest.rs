@@ -616,10 +616,15 @@ impl Worker {
             Ok(()) => {
                 self.shared.accepted.fetch_add(1, Ordering::Relaxed);
                 self.accepted_since_publish += 1;
-                // Durability before visibility: the accepted delta is
-                // fsynced into the WAL before it can influence a
-                // publish, so a served snapshot never reflects state
-                // recovery could not reconstruct.
+                // Durability before visibility, best-effort: the
+                // accepted delta is fsynced into the WAL before the
+                // publish cadence can pick it up. On an append failure
+                // the WAL repairs itself (the torn frame is physically
+                // removed — see `DeltaWal::append`) but the delta
+                // stays applied and may still reach a publish: with
+                // `persist_errors > 0` the served state can outrun
+                // what recovery reconstructs. Durability degrades,
+                // serving doesn't — the module's standing trade.
                 if let Some(p) = &mut self.persist {
                     match p.record_accepted(&request) {
                         Ok(_seq) => {

@@ -31,7 +31,13 @@
 //! WAL segment is deliberately *never* sealed (not even on graceful
 //! shutdown), so the disk state after a clean stop is byte-identical
 //! to the state after a kill at the same point — the property the
-//! recovery oracle leans on.
+//! recovery oracle leans on. A consequence: each recover→resume cycle
+//! leaves the pre-crash segment behind unsealed while the resumed WAL
+//! opens a fresh one, so a directory may legitimately hold *several*
+//! unsealed segments. Replay accepts an unsealed non-final segment
+//! whenever the next segment starts at or before the sequence replay
+//! expects next (contiguity — no record can be missing between them);
+//! only a provable hole halts it.
 
 use crate::ingest::{
     apply_request_to, compact_with_keys, DeltaRequest, IngestError, PatchSpec, TableSpec,
@@ -56,6 +62,9 @@ use std::time::Instant;
 const ARCHIVE_KIND: u32 = u32::from_le_bytes(*b"MSA1");
 /// Frame-file kind tag of WAL segments (`"MSW1"`).
 const WAL_KIND: u32 = u32::from_le_bytes(*b"MSW1");
+/// Byte length of a framed file's header: a segment at exactly this
+/// length holds no records at all.
+const WAL_HEADER_LEN: u64 = 16;
 
 /// Why persistence or recovery failed. Every failure mode the fault
 /// matrix exercises maps to exactly one variant.
@@ -387,53 +396,115 @@ impl PersistConfig {
 struct DeltaWal {
     dir: PathBuf,
     segment_bytes: u64,
-    /// The open segment, if any: writer + the path (for error
-    /// reporting).
-    active: Option<FrameWriter>,
+    /// The open segment, if any: writer + its path (for repair and
+    /// error reporting).
+    active: Option<(FrameWriter, PathBuf)>,
     /// Sequence number the next record will carry.
     next_seq: u64,
+    /// Set when a failed append (or seal) could not be repaired: the
+    /// active segment may hold a torn frame, and appending more
+    /// records behind it would make the whole tail unreplayable.
+    /// Every further append fails fast instead.
+    poisoned: bool,
 }
 
 impl DeltaWal {
     /// Append one accepted delta as record `next_seq` and fsync it;
     /// rotates (sealing the old segment) once the active segment
     /// crosses the size threshold.
+    ///
+    /// A failed append never leaves a torn frame behind: the segment
+    /// is truncated back to its last durable whole-frame boundary (or
+    /// deleted outright if no frame ever landed) and the next append
+    /// opens a fresh segment, so one transient i/o error costs exactly
+    /// one record, not the replayability of the remaining tail. Only
+    /// when that repair *itself* fails is the WAL poisoned (every
+    /// further append errors).
     fn append(&mut self, delta: &PortableDelta) -> Result<u64, PersistError> {
+        if self.poisoned {
+            return Err(PersistError::Layout {
+                file: file_name(&self.dir),
+                what: "WAL disabled: a torn append could not be repaired",
+            });
+        }
         let seq = self.next_seq;
         if self.active.is_none() {
             let path = segment_path(&self.dir, seq);
+            if path.exists() {
+                // Orphaned records from a recovery that halted on
+                // corruption — overwriting them would silently destroy
+                // fsync-acknowledged data.
+                return Err(PersistError::Layout {
+                    file: file_name(&path),
+                    what: "refusing to overwrite an existing WAL segment",
+                });
+            }
             let w = FrameWriter::create(&path, WAL_KIND).map_err(|e| frame_err(&path, e))?;
             // The segment file itself must be findable after a crash.
             sync_dir(&self.dir)?;
-            self.active = Some(w);
+            self.active = Some((w, path));
         }
-        let w = self.active.as_mut().expect("just ensured active segment");
         let mut record = Vec::new();
         wire::put_u64(&mut record, seq);
         record.extend_from_slice(&delta.encode());
-        let io = (|| {
-            w.write_frame(&record)?;
-            w.sync()
-        })();
+        let (durable_len, io) = {
+            let (w, _) = self.active.as_mut().expect("just ensured active segment");
+            let durable_len = w.len();
+            let io = w.write_frame(&record).and_then(|()| w.sync());
+            (durable_len, io)
+        };
         if let Err(e) = io {
-            return Err(PersistError::Frame {
-                file: "active WAL segment".into(),
-                error: e,
-            });
+            let (w, path) = self.active.take().expect("active segment present");
+            let file = file_name(&path);
+            // Drop first: the buffered writer flushes on drop and may
+            // push the torn frame's bytes to disk; the repair below
+            // removes them again. The seq stays unconsumed — the frame
+            // is physically gone, so the next record may reuse it.
+            drop(w);
+            self.repair_segment(&path, durable_len);
+            return Err(PersistError::Frame { file, error: e });
         }
         self.next_seq += 1;
-        if w.len() >= self.segment_bytes {
+        let rotate = self
+            .active
+            .as_ref()
+            .is_some_and(|(w, _)| w.len() >= self.segment_bytes);
+        if rotate {
             // Seal and rotate; the next accepted delta opens a fresh
             // segment named by its sequence number.
-            let w = self.active.take().expect("active segment present");
+            let (w, path) = self.active.take().expect("active segment present");
+            let sealed_len = w.len();
             if let Err(e) = w.finish() {
-                return Err(PersistError::Frame {
-                    file: "rotating WAL segment".into(),
-                    error: e,
-                });
+                // The record itself is durable; only the trailer may
+                // be torn. Truncate it away so the segment reads as a
+                // clean unsealed tail (recovery's contiguity rule
+                // accepts it once the next segment exists).
+                let file = file_name(&path);
+                self.repair_segment(&path, sealed_len);
+                return Err(PersistError::Frame { file, error: e });
             }
         }
         Ok(seq)
+    }
+
+    /// Truncate a possibly-torn segment back to `durable_len` (its
+    /// last durable whole-frame boundary), deleting it outright when
+    /// no frame ever landed so the path is free for re-creation. On
+    /// repair failure the WAL is poisoned.
+    fn repair_segment(&mut self, path: &Path, durable_len: u64) {
+        let repaired = (|| -> io::Result<()> {
+            if durable_len <= WAL_HEADER_LEN {
+                fs::remove_file(path)?;
+            } else {
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(durable_len)?;
+                f.sync_all()?;
+            }
+            sync_dir(&self.dir)
+        })();
+        if repaired.is_err() {
+            self.poisoned = true;
+        }
     }
 
     /// Delete every segment whose records are all `<= covered_seq`.
@@ -499,6 +570,7 @@ impl Persistence {
             segment_bytes: cfg.segment_bytes.max(1),
             active: None,
             next_seq: base_seq + 1,
+            poisoned: false,
         };
         Ok(Self {
             cfg,
@@ -789,19 +861,41 @@ pub fn recover(
                                 wal_tail = WalTail::Sealed;
                             }
                         }
-                        _ if last => wal_tail = WalTail::Open,
-                        // An unsealed non-final segment: rotation
-                        // always seals, so its tail was lost. Stop —
-                        // records past it cannot be trusted
-                        // contiguous.
+                        _ if last => {
+                            wal_tail = WalTail::Open;
+                            if reader.valid_len() <= WAL_HEADER_LEN {
+                                // Header-only tail (crash between
+                                // segment creation and the first
+                                // record's fsync): delete it, so a
+                                // resumed WAL can re-create the path
+                                // for the same sequence number.
+                                fs::remove_file(path)?;
+                                sync_dir(dir)?;
+                            }
+                        }
+                        // An unsealed non-final segment. This is the
+                        // normal footprint of a recover→resume cycle:
+                        // the pre-crash writer never seals its open
+                        // segment, and the resumed WAL starts a fresh
+                        // one. Accept it as long as the next segment
+                        // begins at or before the record replay
+                        // expects next — then nothing can be missing
+                        // between the two (a genuine gap among
+                        // uncovered records still trips `WalGap`
+                        // below). A next segment starting *past*
+                        // `expected` means this segment's tail was
+                        // lost: halt with the typed cause.
                         _ => {
-                            wal_halted = Some(Box::new(frame_err(
-                                path,
-                                FrameError::MissingTrailer {
-                                    frames: reader.frames_read(),
-                                },
-                            )));
-                            break 'segments;
+                            let next_first = segs[i + 1].0;
+                            if next_first > expected {
+                                wal_halted = Some(Box::new(frame_err(
+                                    path,
+                                    FrameError::MissingTrailer {
+                                        frames: reader.frames_read(),
+                                    },
+                                )));
+                                break 'segments;
+                            }
                         }
                     }
                     continue 'segments;
@@ -812,7 +906,19 @@ pub fn recover(
                     // a whole-frame boundary.
                     let file_len = fs::metadata(path)?.len();
                     torn_truncated_bytes = file_len.saturating_sub(offset);
-                    OpenOptions::new().write(true).open(path)?.set_len(offset)?;
+                    if offset <= WAL_HEADER_LEN {
+                        // No whole record survived: drop the segment
+                        // entirely so a resumed WAL can re-create the
+                        // path.
+                        fs::remove_file(path)?;
+                    } else {
+                        // The truncation itself must be durable before
+                        // the directory barrier, or a crash here could
+                        // resurrect the torn tail.
+                        let f = OpenOptions::new().write(true).open(path)?;
+                        f.set_len(offset)?;
+                        f.sync_all()?;
+                    }
                     sync_dir(dir)?;
                     wal_tail = WalTail::Torn;
                     break 'segments;
@@ -972,10 +1078,7 @@ mod tests {
             .expect("recovery succeeds");
         let r = &recovered.report;
         assert!(r.wal_halted.is_none(), "no corruption: {:?}", r.wal_halted);
-        assert_eq!(
-            r.wal_replayed + r.archive_errors.len() as u64,
-            r.wal_replayed
-        );
+        assert!(r.archive_errors.is_empty(), "no generation failed to load");
         // The recovered live key set matches the uncrashed worker's.
         let mut live_a: Vec<u64> = outcome.key_of_table.keys().copied().collect();
         let mut live_b: Vec<u64> = recovered.key_of_table.keys().copied().collect();
@@ -992,6 +1095,35 @@ mod tests {
             assert_eq!(a, b, "lookup {probe} diverged");
         }
         assert!(r.served_version >= r.archive_version);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A fresh append must never `File::create` over an existing
+    /// segment: after a halted recovery the path can hold orphaned
+    /// fsync-acknowledged records, and truncating them would be silent
+    /// permanent loss. The WAL refuses with a typed error instead.
+    #[test]
+    fn wal_refuses_to_overwrite_an_existing_segment() {
+        let dir = tmp_dir("clobber");
+        let orphan = segment_path(&dir, 1);
+        fs::write(&orphan, b"orphaned records").unwrap();
+        let mut wal = DeltaWal {
+            dir: dir.clone(),
+            segment_bytes: u64::MAX,
+            active: None,
+            next_seq: 1,
+            poisoned: false,
+        };
+        let err = wal.append(&PortableDelta::default()).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Layout { .. }),
+            "expected a typed refusal, got {err}"
+        );
+        assert_eq!(
+            fs::read(&orphan).unwrap(),
+            b"orphaned records",
+            "the existing segment must be untouched"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -362,6 +362,21 @@ fn torn_final_record_truncates_to_previous_state() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Stable keys of a recovered state in live-table order — what a
+/// respawn over it passes as `initial_keys`. The recovered corpus is
+/// dense in live tables (rebuilt from the archive + replay with
+/// compaction), so keys line up 1:1.
+fn live_keys(recovered: &mapsynth_serve::Recovered) -> Vec<u64> {
+    let mut entries: Vec<(u64, u32)> = recovered
+        .key_of_table
+        .iter()
+        .map(|(&k, &t)| (k, t.0))
+        .collect();
+    entries.sort_by_key(|&(_, t)| t);
+    assert_eq!(entries.len(), recovered.corpus.len());
+    entries.into_iter().map(|(k, _)| k).collect()
+}
+
 /// Recovery composes with resumption: a recovered state can seed a
 /// fresh persistent ingestor (base archive from the recovered
 /// snapshot, WAL continuing at `next_seq`), accept more deltas, and a
@@ -379,18 +394,7 @@ fn recovered_state_resumes_and_survives_a_second_crash() {
 
     let recovered = recover(&dir, pipe_cfg(), Resolver::Algorithm4).expect("first recovery");
     let base_seq = recovered.report.next_seq - 1;
-
-    // Re-key the recovered corpus in live-table order for respawn.
-    let mut entries: Vec<(u64, u32)> = recovered
-        .key_of_table
-        .iter()
-        .map(|(&k, &t)| (k, t.0))
-        .collect();
-    entries.sort_by_key(|&(_, t)| t);
-    // The recovered corpus is dense in live tables (rebuilt from the
-    // archive + replay with compaction), so keys line up 1:1.
-    assert_eq!(entries.len(), recovered.corpus.len());
-    let keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+    let keys = live_keys(&recovered);
 
     let persistence = Persistence::create(pcfg, base_seq).expect("re-init persistence");
     let ing = DeltaIngestor::spawn_with_persistence(
@@ -414,5 +418,105 @@ fn recovered_state_resumes_and_survives_a_second_crash() {
     assert_eq!(final_recovery.report.next_seq, n as u64 + 1);
     let (oracle, oracle_service) = run_oracle(n);
     assert_state_matches(&final_recovery, &oracle, &oracle_service, "resume");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The crash window the archive cadence can't paper over: a resumed
+/// stream dies again *before any archive roll*, so the post-resume
+/// records live only in the WAL — behind the pre-crash segment, which
+/// the resume left unsealed and non-final. Recovery must accept that
+/// segment by contiguity and replay every fsync-acknowledged record,
+/// not halt and (on the next resume) overwrite them. A third
+/// crash/resume cycle then chains *two* unsealed non-final segments.
+#[test]
+fn resume_crash_before_archive_roll_loses_nothing() {
+    let n = stream().len();
+    let split = n / 2;
+    let dir = tmp_dir("resume-no-roll");
+    let mut pcfg = PersistConfig::new(&dir);
+    // One unbounded segment per process lifetime and no archive rolls
+    // past each spawn's base generation: every post-resume record is
+    // recoverable only via WAL replay. Retention is deep enough that
+    // no resume prunes the earlier unsealed segments away — the chain
+    // itself is under test.
+    pcfg.segment_bytes = u64::MAX;
+    pcfg.archive_every_publishes = 1_000_000;
+    pcfg.keep_generations = 3;
+    run_persisted(split, pcfg.clone());
+
+    // Crash 1 → resume: the first segment stays behind, unsealed.
+    let recovered = recover(&dir, pipe_cfg(), Resolver::Algorithm4).expect("first recovery");
+    assert!(recovered.report.wal_halted.is_none());
+    let keys = live_keys(&recovered);
+    let persistence =
+        Persistence::create(pcfg.clone(), recovered.report.next_seq - 1).expect("resume 1");
+    let ing = DeltaIngestor::spawn_with_persistence(
+        recovered.session,
+        recovered.corpus,
+        &keys,
+        Arc::clone(&recovered.service),
+        ing_cfg(),
+        Box::new(NoFaults),
+        Some(persistence),
+    )
+    .expect("respawn over recovered state");
+    for delta in stream().into_iter().skip(split) {
+        ing.submit(delta);
+    }
+    let outcome = ing.shutdown();
+    assert_eq!(outcome.stats.wal_records, (n - split) as u64);
+    assert_eq!(outcome.stats.persist_errors, 0);
+
+    // Crash 2: no archive covered the resumed records, so replay must
+    // walk past the unsealed pre-crash segment into the resumed one.
+    let second = recover(&dir, pipe_cfg(), Resolver::Algorithm4).expect("second recovery");
+    assert!(
+        second.report.wal_halted.is_none(),
+        "the resume's unsealed predecessor segment was mistaken for corruption: {:?}",
+        second.report.wal_halted
+    );
+    assert_eq!(
+        second.report.next_seq,
+        n as u64 + 1,
+        "every fsync-acknowledged record must survive the resume crash"
+    );
+    assert_eq!(second.report.wal_replayed, (n - split) as u64);
+    let (oracle, oracle_service) = run_oracle(n);
+    assert_state_matches(&second, &oracle, &oracle_service, "resume without archive roll");
+
+    // Crash 3: resume once more (two unsealed non-final segments now
+    // precede the tail) and prove the chain still replays end to end.
+    let keys = live_keys(&second);
+    let persistence =
+        Persistence::create(pcfg.clone(), second.report.next_seq - 1).expect("resume 2");
+    let ing = DeltaIngestor::spawn_with_persistence(
+        second.session,
+        second.corpus,
+        &keys,
+        Arc::clone(&second.service),
+        ing_cfg(),
+        Box::new(NoFaults),
+        Some(persistence),
+    )
+    .expect("respawn twice over recovered state");
+    ing.submit(DeltaRequest {
+        add: vec![add_table(400, "wave-c-0.org", "Cydonia")],
+        ..Default::default()
+    });
+    let outcome = ing.shutdown();
+    assert_eq!(outcome.stats.persist_errors, 0);
+
+    let third = recover(&dir, pipe_cfg(), Resolver::Algorithm4).expect("third recovery");
+    assert!(third.report.wal_halted.is_none());
+    assert_eq!(third.report.next_seq, n as u64 + 2);
+    assert!(
+        third.key_of_table.contains_key(&400),
+        "the post-second-resume record must replay"
+    );
+    let snapshot = third.service.snapshot();
+    assert!(
+        snapshot.lookup("Cydonia").is_some(),
+        "served state must include the final delta"
+    );
     let _ = fs::remove_dir_all(&dir);
 }
